@@ -1,0 +1,285 @@
+// Ablations of the paper's design choices (DESIGN.md §6):
+//
+//   A1 — reliable vs plain disclosure. The paper reliably broadcasts
+//        proposed values "to circumvent adversarial runs where a Byzantine
+//        process may induce correct processes to deliver different input
+//        values" (§5). Ablation: plain point-to-point disclosure, against
+//        a raw equivocator. Expected: SAFE() starves on some processes and
+//        liveness is lost in a large fraction of schedules.
+//   A2 — the 3f+1 bound from the liveness side: WTS run (unsafely) at
+//        n = 3f with a mute Byzantine never decides; at n = 3f+1 it always
+//        does. Complements bench_resilience's safety-side violation.
+//   A3 — GWTS decide-by-adoption (Alg 3 L39-43) on/off: without adoption,
+//        proposers only decide on their own committed proposals; rounds
+//        still end, but stragglers lag and runs stretch.
+#include <memory>
+
+#include "bench/table.h"
+#include "harness/scenario.h"
+#include "byz/strategies.h"
+#include "la/gwts.h"
+#include "la/spec.h"
+#include "la/wts.h"
+#include "lattice/set_elem.h"
+
+using namespace bgla;
+using lattice::Item;
+using lattice::make_set;
+
+namespace {
+
+/// Raw (non-RB) disclosure equivocator for the A1 ablation.
+class PlainEquivocator : public sim::Process {
+ public:
+  PlainEquivocator(sim::Network& net, ProcessId id, la::LaConfig cfg)
+      : sim::Process(net, id), cfg_(cfg) {}
+
+  void on_start() override {
+    const auto m1 = std::make_shared<la::DisclosureMsg>(
+        make_set({Item{id(), 301, 0}}));
+    const auto m2 = std::make_shared<la::DisclosureMsg>(
+        make_set({Item{id(), 302, 0}}));
+    for (ProcessId to = 0; to < cfg_.n; ++to) {
+      if (to == id()) continue;
+      send(to, to < cfg_.n / 2 ? sim::MessagePtr(m1) : sim::MessagePtr(m2));
+    }
+  }
+  void on_message(ProcessId, const sim::MessagePtr&) override {}
+
+ private:
+  la::LaConfig cfg_;
+};
+
+struct WtsOutcome {
+  std::uint32_t decided = 0;
+  bool safe = true;
+};
+
+WtsOutcome run_wts_custom(const la::LaConfig& cfg, std::uint64_t seed,
+                          bool rb_equivocator) {
+  sim::Network net(std::make_unique<sim::UniformDelay>(1, 20), seed, cfg.n);
+  std::vector<std::unique_ptr<la::WtsProcess>> correct;
+  const std::uint32_t correct_count = cfg.n - 1;
+  for (ProcessId id = 0; id < correct_count; ++id) {
+    correct.push_back(std::make_unique<la::WtsProcess>(
+        net, id, cfg, make_set({Item{id, 100 + id, 0}})));
+  }
+  std::unique_ptr<sim::Process> byzp;
+  if (rb_equivocator) {
+    byzp = std::make_unique<byz::WtsEquivocator>(
+        net, correct_count, cfg, make_set({Item{correct_count, 301, 0}}),
+        make_set({Item{correct_count, 302, 0}}));
+  } else {
+    byzp = std::make_unique<PlainEquivocator>(net, correct_count, cfg);
+  }
+  net.run(2'000'000);
+
+  WtsOutcome out;
+  std::vector<la::LaView> views;
+  for (const auto& p : correct) {
+    if (p->decided()) ++out.decided;
+    la::LaView v;
+    v.id = p->id();
+    v.proposal = p->proposal();
+    if (p->decided()) v.decision = p->decision().value;
+    v.svs = p->svs();
+    views.push_back(std::move(v));
+  }
+  out.safe = la::check_la(views, {correct_count}, cfg.f).safe();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "A1: disclosure mechanism ablation — reliable broadcast vs plain "
+      "broadcast, against an equivocator (n=4, f=1, 20 seeds)");
+  {
+    bench::Table table({"disclosure", "runs", "all-correct-decided runs",
+                        "stuck runs", "Obs.1 violations"});
+    for (bool reliable : {true, false}) {
+      int full = 0, stuck = 0, unsafe = 0;
+      constexpr int kRuns = 20;
+      for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
+        la::LaConfig cfg;
+        cfg.n = 4;
+        cfg.f = 1;
+        cfg.reliable_disclosure = reliable;
+        const auto out = run_wts_custom(cfg, seed, reliable);
+        if (out.decided == 3) {
+          ++full;
+        } else {
+          ++stuck;
+        }
+        if (!out.safe) ++unsafe;
+      }
+      table.row() << (reliable ? "reliable (paper)" : "plain (ablated)")
+                  << kRuns << full << stuck << unsafe;
+    }
+    table.print();
+    bench::note(
+        "\nMeasured shape: with reliable broadcast every run completes "
+        "and Observation 1\n(one consistent SvS value per process) holds. "
+        "With plain disclosure the\nequivocator gets *different* values "
+        "into different correct processes' SvS\n(Obs.1 violations), "
+        "SAFE() starves, and no run completes — the §5 rationale for\n"
+        "the reliable broadcast.");
+  }
+
+  bench::banner(
+      "A2: resilience-bound ablation — WTS at n = 3f vs n = 3f+1 with a "
+      "mute Byzantine");
+  {
+    bench::Table table({"n", "f", "3f+1?", "seeds", "runs all decided",
+                        "runs stuck"});
+    for (std::uint32_t f : {1u, 2u}) {
+      for (std::uint32_t n : {3 * f, 3 * f + 1}) {
+        int full = 0, stuck = 0;
+        for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+          la::LaConfig cfg;
+          cfg.n = n;
+          cfg.f = f;
+          cfg.unsafe_allow_undersized = true;
+          sim::Network net(std::make_unique<sim::UniformDelay>(1, 20),
+                           seed, n);
+          std::vector<std::unique_ptr<la::WtsProcess>> correct;
+          for (ProcessId id = 0; id < n - f; ++id) {
+            correct.push_back(std::make_unique<la::WtsProcess>(
+                net, id, cfg, make_set({Item{id, 100 + id, 0}})));
+          }
+          std::vector<std::unique_ptr<byz::MuteProcess>> mutes;
+          for (ProcessId id = n - f; id < n; ++id) {
+            mutes.push_back(std::make_unique<byz::MuteProcess>(net, id));
+          }
+          net.run(2'000'000);
+          bool all = true;
+          for (const auto& p : correct) all = all && p->decided();
+          if (all) {
+            ++full;
+          } else {
+            ++stuck;
+          }
+        }
+        table.row() << n << f << (n >= 3 * f + 1) << 8 << full << stuck;
+      }
+    }
+    table.print();
+    bench::note(
+        "\nExpected shape: at n = 3f nothing ever decides (the Byzantine "
+        "quorum equals or\nexceeds the correct population); at n = 3f+1 "
+        "every run completes — Theorem 1's\nbound from the liveness side.");
+  }
+
+  bench::banner(
+      "A3: decide-by-adoption ablation — GWTS with Alg 3 L39-43 on/off "
+      "(n=7, f=2, stale-nacker)");
+  {
+    bench::Table table({"adoption", "seeds", "all reached target",
+                        "mean end time", "mean msgs/decision"});
+    for (bool adoption : {true, false}) {
+      bench::Agg time, rate;
+      int ok_runs = 0;
+      constexpr int kRuns = 6;
+      for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
+        la::LaConfig cfg;
+        cfg.n = 7;
+        cfg.f = 2;
+        cfg.decide_by_adoption = adoption;
+        sim::Network net(std::make_unique<sim::UniformDelay>(1, 20), seed,
+                         cfg.n);
+        std::vector<std::unique_ptr<la::GwtsProcess>> correct;
+        for (ProcessId id = 0; id < 5; ++id) {
+          correct.push_back(
+              std::make_unique<la::GwtsProcess>(net, id, cfg));
+        }
+        std::vector<std::unique_ptr<byz::GwtsStaleNacker>> nackers;
+        for (ProcessId id = 5; id < 7; ++id) {
+          nackers.push_back(std::make_unique<byz::GwtsStaleNacker>(
+              net, id, cfg, make_set({Item{id, 400 + id, 0}})));
+        }
+        for (auto& p : correct) {
+          p->set_decide_hook([&](const la::GwtsProcess&,
+                                 const la::DecisionRecord&) {
+            for (auto& q : correct) {
+              if (q->decisions().size() < 4) return;
+            }
+            net.request_stop();
+          });
+        }
+        const auto rr = net.run(10'000'000);
+        bool reached = true;
+        std::uint64_t decs = 0;
+        for (auto& p : correct) {
+          reached = reached && p->decisions().size() >= 4;
+          decs += p->decisions().size();
+        }
+        if (reached) ++ok_runs;
+        time.add(static_cast<double>(rr.end_time));
+        if (decs > 0) {
+          rate.add(static_cast<double>(net.metrics().total_messages()) /
+                   static_cast<double>(decs));
+        }
+      }
+      table.row() << (adoption ? "on (paper)" : "off (ablated)") << kRuns
+                  << ok_runs << time.mean() << rate.mean();
+    }
+    table.print();
+    bench::note(
+        "\nExpected shape: both variants reach the target (rounds still "
+        "have legitimate\nends), but without adoption runs take longer "
+        "and/or cost more messages per\ndecision — adoption is what keeps "
+        "all correct proposers deciding in every round\n(Lemma 8).");
+  }
+  bench::banner(
+      "A4: reliable-broadcast construction ablation — WTS over Bracha "
+      "(authenticated channels) vs certificate RB (signatures), mute byz");
+  {
+    bench::Table table({"n", "f", "bracha msgs/proc", "certRB msgs/proc",
+                        "ratio", "bracha bytes/proc", "certRB bytes/proc",
+                        "both safe"});
+    for (std::uint32_t n : {7u, 10u, 16u, 25u}) {
+      const std::uint32_t f = 1;
+      bench::Agg bm, cm, bb, cb;
+      bool ok = true;
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        for (bool cert : {false, true}) {
+          la::LaConfig cfg;
+          cfg.n = n;
+          cfg.f = f;
+          const crypto::SignatureAuthority auth(n, seed);
+          cfg.rb_impl = cert ? la::LaConfig::RbImpl::kSignedCert
+                             : la::LaConfig::RbImpl::kBracha;
+          cfg.authority = &auth;
+          sim::Network net(std::make_unique<sim::UniformDelay>(1, 10),
+                           seed, n);
+          std::vector<std::unique_ptr<la::WtsProcess>> procs;
+          for (ProcessId id = 0; id + 1 < n; ++id) {
+            procs.push_back(std::make_unique<la::WtsProcess>(
+                net, id, cfg, make_set({Item{id, 100 + id, 0}})));
+          }
+          byz::MuteProcess mute(net, n - 1);
+          net.run();
+          std::uint64_t msgs = 0, bytes = 0;
+          for (const auto& p : procs) {
+            ok = ok && p->decided();
+            msgs = std::max(msgs, net.metrics().messages_sent(p->id()));
+            bytes = std::max(bytes, net.metrics().bytes_sent(p->id()));
+          }
+          (cert ? cm : bm).add(static_cast<double>(msgs));
+          (cert ? cb : bb).add(static_cast<double>(bytes));
+        }
+      }
+      table.row() << n << f << bm.mean() << cm.mean()
+                  << bm.mean() / cm.mean() << bb.mean() << cb.mean() << ok;
+    }
+    table.print();
+    bench::note(
+        "\nMeasured shape: the certificate RB roughly halves the "
+        "broadcast-layer traffic\n(one signed echo + one certificate "
+        "forward per process vs echo+ready all-to-all),\nwhile paying in "
+        "bytes (certificates carry a quorum of signatures). Totality\n"
+        "still forces O(n^2) total messages either way.");
+  }
+  return 0;
+}

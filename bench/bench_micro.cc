@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark) for the substrate: SHA-256, HMAC,
+// the canonical codec, lattice joins/compares, Bracha handler throughput
+// and one end-to-end WTS run. These are sanity/perf baselines, not paper
+// tables — the T* binaries regenerate the paper's quantitative claims.
+#include <benchmark/benchmark.h>
+
+#include "bcast/bracha.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "harness/scenario.h"
+#include "lattice/set_elem.h"
+
+namespace {
+
+using namespace bgla;
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  Bytes data(1024, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key(32, 0x11);
+  const Bytes msg(256, 0x22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, msg));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_CodecRoundtrip(benchmark::State& state) {
+  for (auto _ : state) {
+    Encoder enc;
+    for (std::uint64_t i = 0; i < 64; ++i) enc.put_varint(i * 977);
+    Decoder dec(enc.bytes());
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 64; ++i) sum += dec.get_varint();
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_CodecRoundtrip);
+
+void BM_SetElemJoin(benchmark::State& state) {
+  const auto size = static_cast<std::uint64_t>(state.range(0));
+  std::set<lattice::Item> a, b;
+  for (std::uint64_t i = 0; i < size; ++i) {
+    a.insert(lattice::Item{i, 0, 0});
+    b.insert(lattice::Item{i + size / 2, 0, 0});
+  }
+  const auto ea = lattice::make_set(a);
+  const auto eb = lattice::make_set(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ea.join(eb));
+  }
+}
+BENCHMARK(BM_SetElemJoin)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_SetElemLeq(benchmark::State& state) {
+  const auto size = static_cast<std::uint64_t>(state.range(0));
+  std::set<lattice::Item> a;
+  for (std::uint64_t i = 0; i < size; ++i) a.insert(lattice::Item{i, 0, 0});
+  auto b = a;
+  b.insert(lattice::Item{size + 1, 0, 0});
+  const auto ea = lattice::make_set(a);
+  const auto eb = lattice::make_set(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ea.leq(eb));
+  }
+}
+BENCHMARK(BM_SetElemLeq)->Arg(16)->Arg(1024);
+
+void BM_ElemDigest(benchmark::State& state) {
+  std::set<lattice::Item> a;
+  for (std::uint64_t i = 0; i < 64; ++i) a.insert(lattice::Item{i, i, 0});
+  const auto e = lattice::make_set(a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.digest());
+  }
+}
+BENCHMARK(BM_ElemDigest);
+
+void BM_WtsEndToEnd(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    harness::WtsScenario sc;
+    sc.n = n;
+    sc.f = (n - 1) / 3;
+    sc.adversary = harness::Adversary::kNone;
+    sc.seed = seed++;
+    const auto rep = harness::run_wts(sc);
+    benchmark::DoNotOptimize(rep.total_msgs);
+  }
+}
+BENCHMARK(BM_WtsEndToEnd)->Arg(4)->Arg(10)->Arg(16);
+
+void BM_RsmOpsEndToEnd(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    harness::RsmScenario sc;
+    sc.n = 4;
+    sc.f = 1;
+    sc.num_clients = 2;
+    sc.ops_per_client = 4;
+    sc.seed = seed++;
+    const auto rep = harness::run_rsm(sc);
+    benchmark::DoNotOptimize(rep.ops_completed);
+  }
+}
+BENCHMARK(BM_RsmOpsEndToEnd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

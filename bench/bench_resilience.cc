@@ -1,0 +1,105 @@
+// T7 / F2 — the resilience frontier (Theorem 1: 3f+1 is necessary).
+//
+// Three demonstrations:
+//   (a) the crash-stop PODC'12 protocol (majority quorum, n = 3 = 3f)
+//       loses Comparability against a single lying Byzantine acceptor
+//       under an adversarial schedule — the constructive side of Thm 1;
+//   (b) WTS at n = 3f+1 under the same attack shape (and every other
+//       adversary in the library) keeps every property;
+//   (c) the safety × liveness grid across adversaries and actual Byzantine
+//       counts at n = 10, f = 3 (the F2 figure).
+#include "bench/table.h"
+#include "harness/scenario.h"
+
+using namespace bgla;
+using harness::Adversary;
+using harness::Sched;
+
+int main() {
+  bench::banner(
+      "T7a: crash-stop baseline at n = 3f under a Byzantine — "
+      "Comparability violations (expected!)");
+  {
+    bench::Table table({"n", "quorum", "sched", "seed", "comparability",
+                        "violated (expected)"});
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      harness::FaleiroScenario sc;
+      sc.n = 3;
+      sc.f = 1;
+      sc.byz_lying_acker = true;
+      sc.sched = Sched::kTargeted;
+      sc.seed = seed;
+      const auto rep = harness::run_faleiro(sc);
+      table.row() << 3 << 2 << "targeted" << seed
+                  << (rep.spec.comparability ? "held" : "VIOLATED")
+                  << !rep.spec.comparability;
+    }
+    table.print();
+  }
+
+  bench::banner(
+      "T7b: WTS at n = 3f+1 under the same attack shape — all properties "
+      "hold");
+  {
+    bench::Table table(
+        {"n", "f", "adversary", "sched", "seeds", "live", "safe"});
+    for (Adversary adv :
+         {Adversary::kLyingAcker, Adversary::kEquivocator,
+          Adversary::kStaleNacker, Adversary::kMute,
+          Adversary::kInvalidValue, Adversary::kFlooder}) {
+      bool live = true, safe = true;
+      for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        harness::WtsScenario sc;
+        sc.n = 4;
+        sc.f = 1;
+        sc.adversary = adv;
+        sc.sched = Sched::kTargeted;
+        sc.seed = seed;
+        const auto rep = harness::run_wts(sc);
+        live = live && rep.completed && rep.spec.liveness;
+        safe = safe && rep.spec.safe();
+      }
+      table.row() << 4 << 1 << harness::adversary_name(adv) << "targeted"
+                  << 6 << live << safe;
+    }
+    table.print();
+  }
+
+  bench::banner(
+      "F2: safety × liveness grid, WTS n = 10 f = 3, actual Byzantine "
+      "count 0..f per adversary");
+  {
+    bench::Table table({"adversary", "byz=0", "byz=1", "byz=2", "byz=3"});
+    for (Adversary adv :
+         {Adversary::kMute, Adversary::kEquivocator,
+          Adversary::kStaleNacker, Adversary::kLyingAcker,
+          Adversary::kFlooder}) {
+      std::vector<std::string> cells;
+      for (std::uint32_t byz = 0; byz <= 3; ++byz) {
+        bool live = true, safe = true;
+        for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+          harness::WtsScenario sc;
+          sc.n = 10;
+          sc.f = 3;
+          sc.byz_count = byz;
+          sc.adversary = byz == 0 ? Adversary::kNone : adv;
+          sc.seed = seed;
+          const auto rep = harness::run_wts(sc);
+          live = live && rep.completed && rep.spec.liveness;
+          safe = safe && rep.spec.safe();
+        }
+        cells.push_back(std::string(safe ? "safe" : "UNSAFE") + "+" +
+                        (live ? "live" : "STUCK"));
+      }
+      table.row() << harness::adversary_name(adv) << cells[0] << cells[1]
+                  << cells[2] << cells[3];
+    }
+    table.print();
+    bench::note(
+        "\nShape check: the entire grid reads safe+live — WTS delivers "
+        "both properties\nanywhere within f ≤ (n−1)/3, while the baseline "
+        "above breaks at n = 3f with one\nByzantine. This is the Theorem 1 "
+        "frontier made executable.");
+  }
+  return 0;
+}

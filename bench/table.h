@@ -1,0 +1,112 @@
+// Tiny fixed-width table printer + seed-aggregation helpers shared by the
+// experiment benches (T1..T8). Each bench binary prints the rows/series of
+// one DESIGN.md experiment; EXPERIMENTS.md records the measured outputs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bgla::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  class Row {
+   public:
+    explicit Row(Table& t) : table_(t) {}
+    Row& operator<<(const std::string& s) {
+      cells_.push_back(s);
+      return *this;
+    }
+    Row& operator<<(const char* s) { return *this << std::string(s); }
+    Row& operator<<(bool b) { return *this << std::string(b ? "yes" : "NO"); }
+    template <typename T>
+    Row& operator<<(T v) {
+      std::ostringstream os;
+      if constexpr (std::is_floating_point_v<T>) {
+        os << std::fixed << std::setprecision(1) << v;
+      } else {
+        os << v;
+      }
+      cells_.push_back(os.str());
+      return *this;
+    }
+    ~Row() { table_.rows_.push_back(std::move(cells_)); }
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+
+  Row row() { return Row(*this); }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& r : rows_) {
+        if (c < r.size()) widths[c] = std::max(widths[c], r[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+           << (c < cells.size() ? cells[c] : "");
+      }
+      os << "\n";
+    };
+    line(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      rule += std::string(widths[c], '-') + "  ";
+    }
+    os << rule << "\n";
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  friend class Row;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+struct Agg {
+  std::vector<double> xs;
+  void add(double x) { xs.push_back(x); }
+  double mean() const {
+    if (xs.empty()) return 0;
+    return std::accumulate(xs.begin(), xs.end(), 0.0) /
+           static_cast<double>(xs.size());
+  }
+  double max() const {
+    return xs.empty() ? 0 : *std::max_element(xs.begin(), xs.end());
+  }
+  double min() const {
+    return xs.empty() ? 0 : *std::min_element(xs.begin(), xs.end());
+  }
+  /// Percentile via nearest-rank on a sorted copy (q in [0, 100]).
+  double percentile(double q) const {
+    if (xs.empty()) return 0;
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        q / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+  }
+};
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+inline void note(const std::string& text) { std::cout << text << "\n"; }
+
+}  // namespace bgla::bench

@@ -1,0 +1,97 @@
+// The paper's motivating application (§1, §7): a dependable grow-only
+// counter — a replicated state machine with commutative add(x) updates and
+// linearizable reads — running on GWTS, with one Byzantine replica that
+// fabricates decision messages and one Byzantine client that hammers the
+// system with malformed requests.
+//
+// Two honest clients interleave add() and read(); the reads print as a
+// non-decreasing counter, every completed add is visible to later reads,
+// and the fabricated junk never surfaces.
+//
+//   $ ./examples/rsm_counter
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "rsm/byz_rsm.h"
+#include "rsm/client.h"
+#include "rsm/history.h"
+#include "rsm/replica.h"
+#include "sim/network.h"
+
+using namespace bgla;
+
+int main() {
+  la::LaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+
+  constexpr std::uint32_t kClients = 3;  // 2 honest + 1 Byzantine
+  sim::Network net(std::make_unique<sim::UniformDelay>(1, 15), /*seed=*/11,
+                   cfg.n + kClients);
+
+  // Replicas 0..2 are correct; replica 3 fabricates decisions/confirms.
+  std::vector<std::unique_ptr<rsm::Replica>> replicas;
+  for (ProcessId id = 0; id < 3; ++id) {
+    replicas.push_back(std::make_unique<rsm::Replica>(
+        net, id, cfg, /*client_base=*/cfg.n, kClients));
+  }
+  rsm::FakeDeciderReplica byz_replica(net, 3, cfg.n, kClients);
+
+  // Honest clients: add / read interleavings.
+  using rsm::Op;
+  std::vector<std::unique_ptr<rsm::Client>> clients;
+  clients.push_back(std::make_unique<rsm::Client>(
+      net, cfg.n + 0, cfg.n, cfg.f,
+      std::vector<Op>{Op::update(5), Op::read(), Op::update(10),
+                      Op::read()}));
+  clients.push_back(std::make_unique<rsm::Client>(
+      net, cfg.n + 1, cfg.n, cfg.f,
+      std::vector<Op>{Op::update(100), Op::read(), Op::read()}));
+  // Byzantine client: malformed traffic (Lemma 12 says: harmless).
+  rsm::ByzClient byz_client(net, cfg.n + 2, cfg.n, /*num_commands=*/6);
+
+  // Stop the (infinite-round) protocol once both honest clients finish.
+  for (auto& c : clients) {
+    c->set_op_hook([&](const rsm::Client&, const rsm::OpRecord&) {
+      for (auto& q : clients) {
+        if (!q->done()) return;
+      }
+      net.request_stop();
+    });
+  }
+  net.run(20'000'000);
+
+  std::vector<std::vector<rsm::OpRecord>> histories;
+  for (const auto& c : clients) {
+    std::cout << "client " << c->id() << ":\n";
+    for (const auto& rec : c->history()) {
+      if (rec.op.kind == Op::Kind::kUpdate) {
+        std::cout << "  add(" << rec.op.operand << ")   t=["
+                  << rec.invoke_time << "," << rec.complete_time << "]\n";
+      } else {
+        std::uint64_t honest = 0;
+        for (const auto& it : lattice::set_items(rec.read_value)) {
+          if (!rsm::is_nop(it) && it.a < cfg.n + 2) honest += it.c;
+        }
+        std::cout << "  read() = " << rsm::counter_value(rec.read_value)
+                  << " (honest adds: " << honest << ")   t=["
+                  << rec.invoke_time << "," << rec.complete_time << "]  ("
+                  << rec.read_value.weight()
+                  << " commands incl. nops)\n";
+      }
+    }
+    histories.push_back(c->history());
+  }
+
+  std::cout << "\nnote: the Byzantine client's (admissible) commands are "
+               "allowed into decisions\n— that is this paper's spec "
+               "choice vs [7]; the honest-adds column shows the\n"
+               "contribution of the two honest clients only.\n";
+
+  const auto check =
+      rsm::check_history(histories, byz_client.possible_commands());
+  std::cout << "\n§7.1 properties: "
+            << (check.ok() ? "all hold" : check.diagnostic) << "\n";
+  return check.ok() ? 0 : 1;
+}

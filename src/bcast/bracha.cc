@@ -1,0 +1,134 @@
+#include "bcast/bracha.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace bgla::bcast {
+
+namespace {
+void encode_key_and_inner(Encoder& enc, const RbKey& key,
+                          const sim::MessagePtr& inner) {
+  enc.put_u32(key.origin);
+  enc.put_u64(key.tag);
+  enc.put_bytes(inner->encoded());
+}
+
+std::string describe(const char* verb, const RbKey& key,
+                     const sim::MessagePtr& inner) {
+  std::ostringstream os;
+  os << verb << "(origin=" << key.origin << ",tag=" << key.tag << ","
+     << inner->to_string() << ")";
+  return os.str();
+}
+}  // namespace
+
+void RbSendMsg::encode_payload(Encoder& enc) const {
+  encode_key_and_inner(enc, key, inner);
+}
+std::string RbSendMsg::to_string() const {
+  return describe("RB_SEND", key, inner);
+}
+
+void RbEchoMsg::encode_payload(Encoder& enc) const {
+  encode_key_and_inner(enc, key, inner);
+}
+std::string RbEchoMsg::to_string() const {
+  return describe("RB_ECHO", key, inner);
+}
+
+void RbReadyMsg::encode_payload(Encoder& enc) const {
+  encode_key_and_inner(enc, key, inner);
+}
+std::string RbReadyMsg::to_string() const {
+  return describe("RB_READY", key, inner);
+}
+
+BrachaEndpoint::BrachaEndpoint(ProcessId self, std::uint32_t n,
+                               std::uint32_t f, SendFn send,
+                               DeliverFn deliver, bool allow_undersized)
+    : self_(self),
+      n_(n),
+      f_(f),
+      send_(std::move(send)),
+      deliver_(std::move(deliver)) {
+  BGLA_CHECK_MSG(allow_undersized || n_ >= 3 * f_ + 1,
+                 "Bracha requires n >= 3f+1");
+  BGLA_CHECK(send_ && deliver_);
+}
+
+void BrachaEndpoint::send_all(const sim::MessagePtr& msg) {
+  for (ProcessId to = 0; to < n_; ++to) send_(to, msg);
+}
+
+void BrachaEndpoint::broadcast(std::uint64_t tag, sim::MessagePtr inner) {
+  BGLA_CHECK_MSG(own_tags_.insert(tag).second,
+                 "reliable broadcast tag reused: " << tag);
+  const RbKey key{self_, tag};
+  send_all(std::make_shared<RbSendMsg>(key, std::move(inner)));
+}
+
+bool BrachaEndpoint::handle(ProcessId from, const sim::MessagePtr& msg) {
+  if (const auto* m = dynamic_cast<const RbSendMsg*>(msg.get())) {
+    on_send(from, *m);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const RbEchoMsg*>(msg.get())) {
+    on_echo(from, *m);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const RbReadyMsg*>(msg.get())) {
+    on_ready(from, *m);
+    return true;
+  }
+  return false;
+}
+
+void BrachaEndpoint::on_send(ProcessId from, const RbSendMsg& m) {
+  // Authenticated channels: a SEND for origin o must come from o itself;
+  // anything else is a (cost-free) forgery attempt and is dropped.
+  if (from != m.key.origin || m.inner == nullptr) return;
+  Instance& inst = instances_[m.key];
+  if (inst.echoed) return;  // echo only the first SEND per instance
+  inst.echoed = true;
+  send_all(std::make_shared<RbEchoMsg>(m.key, m.inner));
+}
+
+void BrachaEndpoint::on_echo(ProcessId from, const RbEchoMsg& m) {
+  if (m.inner == nullptr) return;
+  Instance& inst = instances_[m.key];
+  const crypto::Digest digest = m.inner->digest();
+  inst.payloads.emplace(digest, m.inner);
+  inst.echoes[digest].insert(from);
+  maybe_ready(m.key, inst, digest);
+}
+
+void BrachaEndpoint::on_ready(ProcessId from, const RbReadyMsg& m) {
+  if (m.inner == nullptr) return;
+  Instance& inst = instances_[m.key];
+  const crypto::Digest digest = m.inner->digest();
+  inst.payloads.emplace(digest, m.inner);
+  inst.readies[digest].insert(from);
+  maybe_ready(m.key, inst, digest);  // f+1 READY amplification
+  maybe_deliver(m.key, inst, digest);
+}
+
+void BrachaEndpoint::maybe_ready(const RbKey& key, Instance& inst,
+                                 const crypto::Digest& digest) {
+  if (inst.ready_sent) return;
+  const bool echo_quorum_met = inst.echoes[digest].size() >= echo_quorum();
+  const bool ready_amplified = inst.readies[digest].size() >= ready_amplify();
+  if (!echo_quorum_met && !ready_amplified) return;
+  inst.ready_sent = true;
+  send_all(std::make_shared<RbReadyMsg>(key, inst.payloads.at(digest)));
+}
+
+void BrachaEndpoint::maybe_deliver(const RbKey& key, Instance& inst,
+                                   const crypto::Digest& digest) {
+  if (inst.delivered) return;
+  if (inst.readies[digest].size() < deliver_quorum()) return;
+  inst.delivered = true;
+  deliver_(key.origin, key.tag, inst.payloads.at(digest));
+}
+
+}  // namespace bgla::bcast

@@ -1,0 +1,143 @@
+// Bracha's Byzantine reliable broadcast [Bracha 87], the primitive the
+// paper's Values Disclosure Phase and GWTS acks rely on ([12,13,14]).
+//
+// Guarantees with n ≥ 3f+1:
+//   - Validity: if a correct origin r-broadcasts m, every correct process
+//     eventually r-delivers m from it.
+//   - No duplication / Integrity: at most one delivery per (origin, tag),
+//     and only if the origin r-broadcast it (for correct origins).
+//   - Agreement: no two correct processes r-deliver different messages for
+//     the same (origin, tag) — this is what "prevents Byzantine processes
+//     from sending different [values] to [different] processes".
+//   - Totality: if any correct process r-delivers, all correct do.
+//
+// The `tag` distinguishes independent instances by the same origin (GWTS
+// round numbers, ack sequence numbers) — the round-aware usage the paper's
+// footnote 2 requires.
+//
+// Protocol: origin sends SEND(m) to all; on first SEND for (origin, tag)
+// echo m; on ⌊(n+f)/2⌋+1 ECHOes of the same m, or f+1 READYs, send
+// READY(m) (once); on 2f+1 READYs, deliver m.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "bcast/rb_iface.h"
+#include "crypto/sha256.h"
+#include "sim/message.h"
+#include "util/ids.h"
+
+namespace bgla::bcast {
+
+// ---- Wire messages (Layer::kBroadcast, type ids 1..3) ----
+
+struct RbKey {
+  ProcessId origin = kNoProcess;
+  std::uint64_t tag = 0;
+  auto operator<=>(const RbKey&) const = default;
+};
+
+class RbSendMsg final : public sim::Message {
+ public:
+  RbSendMsg(RbKey key, sim::MessagePtr inner)
+      : key(key), inner(std::move(inner)) {}
+
+  std::uint32_t type_id() const override { return 1; }
+  sim::Layer layer() const override { return sim::Layer::kBroadcast; }
+  void encode_payload(Encoder& enc) const override;
+  std::string to_string() const override;
+
+  RbKey key;
+  sim::MessagePtr inner;
+};
+
+class RbEchoMsg final : public sim::Message {
+ public:
+  RbEchoMsg(RbKey key, sim::MessagePtr inner)
+      : key(key), inner(std::move(inner)) {}
+
+  std::uint32_t type_id() const override { return 2; }
+  sim::Layer layer() const override { return sim::Layer::kBroadcast; }
+  void encode_payload(Encoder& enc) const override;
+  std::string to_string() const override;
+
+  RbKey key;
+  sim::MessagePtr inner;
+};
+
+class RbReadyMsg final : public sim::Message {
+ public:
+  RbReadyMsg(RbKey key, sim::MessagePtr inner)
+      : key(key), inner(std::move(inner)) {}
+
+  std::uint32_t type_id() const override { return 3; }
+  sim::Layer layer() const override { return sim::Layer::kBroadcast; }
+  void encode_payload(Encoder& enc) const override;
+  std::string to_string() const override;
+
+  RbKey key;
+  sim::MessagePtr inner;
+};
+
+// ---- Endpoint ----
+
+/// Per-process reliable-broadcast endpoint. The owning process forwards
+/// every incoming message to handle(); RB messages are consumed and
+/// r-deliveries surface through the deliver callback.
+class BrachaEndpoint final : public RbEndpoint {
+ public:
+  using SendFn = std::function<void(ProcessId to, sim::MessagePtr)>;
+  using DeliverFn = std::function<void(ProcessId origin, std::uint64_t tag,
+                                       const sim::MessagePtr& inner)>;
+
+  /// `allow_undersized` permits n < 3f+1 for the Theorem 1 necessity
+  /// experiments (deliveries may then simply never happen — which is the
+  /// demonstrated liveness loss, not a malfunction).
+  BrachaEndpoint(ProcessId self, std::uint32_t n, std::uint32_t f,
+                 SendFn send, DeliverFn deliver,
+                 bool allow_undersized = false);
+
+  /// R-broadcasts `inner` as origin = self under `tag` (one instance per
+  /// tag; re-broadcasting the same tag is a programming error).
+  void broadcast(std::uint64_t tag, sim::MessagePtr inner) override;
+
+  /// Returns true iff the message was an RB-layer message (consumed).
+  bool handle(ProcessId from, const sim::MessagePtr& msg) override;
+
+  std::uint32_t echo_quorum() const { return (n_ + f_) / 2 + 1; }
+  std::uint32_t ready_amplify() const { return f_ + 1; }
+  std::uint32_t deliver_quorum() const { return 2 * f_ + 1; }
+
+ private:
+  struct Instance {
+    bool echoed = false;
+    bool ready_sent = false;
+    bool delivered = false;
+    // per candidate digest: distinct echoers / readiers and the payload
+    std::map<crypto::Digest, std::set<ProcessId>> echoes;
+    std::map<crypto::Digest, std::set<ProcessId>> readies;
+    std::map<crypto::Digest, sim::MessagePtr> payloads;
+  };
+
+  void on_send(ProcessId from, const RbSendMsg& m);
+  void on_echo(ProcessId from, const RbEchoMsg& m);
+  void on_ready(ProcessId from, const RbReadyMsg& m);
+  void maybe_ready(const RbKey& key, Instance& inst,
+                   const crypto::Digest& digest);
+  void maybe_deliver(const RbKey& key, Instance& inst,
+                     const crypto::Digest& digest);
+  void send_all(const sim::MessagePtr& msg);
+
+  ProcessId self_;
+  std::uint32_t n_;
+  std::uint32_t f_;
+  SendFn send_;
+  DeliverFn deliver_;
+  std::map<RbKey, Instance> instances_;
+  std::set<std::uint64_t> own_tags_;
+};
+
+}  // namespace bgla::bcast

@@ -1,0 +1,163 @@
+#include "bcast/cert_rb.h"
+
+#include "util/check.h"
+
+namespace bgla::bcast {
+
+Bytes crb_echo_payload(const CrbKey& key, const crypto::Digest& digest) {
+  Encoder enc;
+  enc.put_u32(key.origin);
+  enc.put_u64(key.tag);
+  enc.put_bytes(BytesView(digest.data(), digest.size()));
+  enc.put_string("crb-echo");
+  return enc.take();
+}
+
+void CrbSendMsg::encode_payload(Encoder& enc) const {
+  enc.put_u32(key.origin);
+  enc.put_u64(key.tag);
+  enc.put_bytes(inner->encoded());
+}
+
+std::string CrbSendMsg::to_string() const {
+  std::ostringstream os;
+  os << "CRB_SEND(origin=" << key.origin << ",tag=" << key.tag << ","
+     << inner->to_string() << ")";
+  return os.str();
+}
+
+void CrbEchoMsg::encode_payload(Encoder& enc) const {
+  enc.put_u32(key.origin);
+  enc.put_u64(key.tag);
+  enc.put_bytes(BytesView(digest.data(), digest.size()));
+  enc.put_u32(sig.signer);
+  enc.put_bytes(BytesView(sig.mac.data(), sig.mac.size()));
+}
+
+std::string CrbEchoMsg::to_string() const {
+  std::ostringstream os;
+  os << "CRB_ECHO(origin=" << key.origin << ",tag=" << key.tag
+     << ",by=" << sig.signer << ")";
+  return os.str();
+}
+
+void CrbFinalMsg::encode_payload(Encoder& enc) const {
+  enc.put_u32(key.origin);
+  enc.put_u64(key.tag);
+  enc.put_bytes(inner->encoded());
+  enc.put_varint(cert.size());
+  for (const crypto::Signature& s : cert) {
+    enc.put_u32(s.signer);
+    enc.put_bytes(BytesView(s.mac.data(), s.mac.size()));
+  }
+}
+
+std::string CrbFinalMsg::to_string() const {
+  std::ostringstream os;
+  os << "CRB_FINAL(origin=" << key.origin << ",tag=" << key.tag << ",|cert|="
+     << cert.size() << ")";
+  return os.str();
+}
+
+bool CrbFinalMsg::well_formed(const crypto::SignatureAuthority& auth,
+                              std::uint32_t quorum) const {
+  if (inner == nullptr || cert.size() < quorum) return false;
+  const Bytes payload = crb_echo_payload(key, inner->digest());
+  std::set<ProcessId> signers;
+  for (const crypto::Signature& s : cert) {
+    if (!auth.verify(s, payload)) return false;
+    if (!signers.insert(s.signer).second) return false;  // duplicate
+  }
+  return true;
+}
+
+CertRbEndpoint::CertRbEndpoint(ProcessId self, std::uint32_t n,
+                               std::uint32_t f,
+                               const crypto::SignatureAuthority& auth,
+                               SendFn send, DeliverFn deliver,
+                               bool allow_undersized)
+    : self_(self),
+      n_(n),
+      f_(f),
+      auth_(auth),
+      signer_(auth.signer_for(self)),
+      send_(std::move(send)),
+      deliver_(std::move(deliver)) {
+  BGLA_CHECK_MSG(allow_undersized || n_ >= 3 * f_ + 1,
+                 "CertRb requires n >= 3f+1");
+  BGLA_CHECK(send_ && deliver_);
+}
+
+void CertRbEndpoint::send_all(const sim::MessagePtr& msg) {
+  for (ProcessId to = 0; to < n_; ++to) send_(to, msg);
+}
+
+void CertRbEndpoint::broadcast(std::uint64_t tag, sim::MessagePtr inner) {
+  auto [it, inserted] = own_.emplace(tag, OriginInstance{});
+  BGLA_CHECK_MSG(inserted, "CertRb tag reused: " << tag);
+  it->second.payload = inner;
+  it->second.digest = inner->digest();
+  send_all(std::make_shared<CrbSendMsg>(CrbKey{self_, tag},
+                                        std::move(inner)));
+}
+
+bool CertRbEndpoint::handle(ProcessId from, const sim::MessagePtr& msg) {
+  if (const auto* m = dynamic_cast<const CrbSendMsg*>(msg.get())) {
+    on_send(from, *m);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const CrbEchoMsg*>(msg.get())) {
+    on_echo(from, *m);
+    return true;
+  }
+  if (dynamic_cast<const CrbFinalMsg*>(msg.get()) != nullptr) {
+    on_final(msg);
+    return true;
+  }
+  return false;
+}
+
+void CertRbEndpoint::on_send(ProcessId from, const CrbSendMsg& m) {
+  // Authenticated channels: only the true origin's SENDs count.
+  if (from != m.key.origin || m.inner == nullptr) return;
+  ReceiverInstance& inst = received_[m.key];
+  if (inst.echoed) return;  // echo only the FIRST send per instance
+  inst.echoed = true;
+  const crypto::Digest digest = m.inner->digest();
+  const crypto::Signature sig =
+      signer_.sign(crb_echo_payload(m.key, digest));
+  send_(m.key.origin, std::make_shared<CrbEchoMsg>(m.key, digest, sig));
+}
+
+void CertRbEndpoint::on_echo(ProcessId from, const CrbEchoMsg& m) {
+  if (m.key.origin != self_) return;  // echoes only matter to the origin
+  const auto it = own_.find(m.key.tag);
+  if (it == own_.end()) return;
+  OriginInstance& inst = it->second;
+  if (inst.finalized) return;
+  if (m.digest != inst.digest) return;  // echo for something else
+  if (m.sig.signer != from) return;
+  if (!auth_.verify(m.sig, crb_echo_payload(m.key, m.digest))) return;
+  if (!inst.echoers.insert(from).second) return;
+  inst.cert.push_back(m.sig);
+  if (inst.cert.size() < quorum()) return;
+  inst.finalized = true;
+  send_all(std::make_shared<CrbFinalMsg>(m.key, inst.payload, inst.cert));
+}
+
+void CertRbEndpoint::on_final(const sim::MessagePtr& msg) {
+  const auto final =
+      std::static_pointer_cast<const CrbFinalMsg>(msg);
+  ReceiverInstance& inst = received_[final->key];
+  if (inst.delivered) return;
+  if (!final->well_formed(auth_, quorum())) return;
+  inst.delivered = true;
+  // Totality: propagate the self-verifying certificate once.
+  if (!inst.forwarded) {
+    inst.forwarded = true;
+    send_all(msg);
+  }
+  deliver_(final->key.origin, final->key.tag, final->inner);
+}
+
+}  // namespace bgla::bcast

@@ -1,0 +1,139 @@
+// Certificate-based reliable broadcast (signature-based, in the spirit of
+// Srikanth–Toueg [13] / signed echo broadcast).
+//
+// Protocol per (origin, tag) instance:
+//   1. origin → all:  CRB_SEND(m)
+//   2. receiver → origin:  CRB_ECHO = Sign_receiver(key, digest(m))
+//      (only for the FIRST send per instance — this is what makes two
+//      different certificates for one instance impossible: any two
+//      ⌊(n+f)/2⌋+1-quorums share a correct echoer, who signed only one
+//      digest)
+//   3. origin, on a quorum of valid echo signatures → all:
+//      CRB_FINAL(m, certificate)
+//   4. any process, on a well-formed CRB_FINAL: deliver m and forward the
+//      FINAL to all once (totality: a correct deliverer propagates the
+//      self-verifying certificate).
+//
+// Guarantees (n ≥ 3f+1, unforgeable signatures): validity, agreement,
+// no-duplication, totality — the same interface contract as Bracha. Cost:
+// totality still needs the certificate forwarded by every deliverer, so
+// the total stays O(n²), but per process the broadcast layer drops from
+// Bracha's ~2n (echo + ready all-to-all) to ~n+2 (one echo, one forward
+// fan-out) — measured ≈1.6-1.7× fewer messages end-to-end under WTS
+// (tests) — at the price of the stronger signature assumption (paper §8)
+// and certificate-sized messages.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "bcast/rb_iface.h"
+#include "crypto/signature.h"
+
+namespace bgla::bcast {
+
+struct CrbKey {
+  ProcessId origin = kNoProcess;
+  std::uint64_t tag = 0;
+  auto operator<=>(const CrbKey&) const = default;
+};
+
+/// Canonical bytes an echoer signs: (origin, tag, payload digest).
+Bytes crb_echo_payload(const CrbKey& key, const crypto::Digest& digest);
+
+class CrbSendMsg final : public sim::Message {
+ public:
+  CrbSendMsg(CrbKey key, sim::MessagePtr inner)
+      : key(key), inner(std::move(inner)) {}
+  std::uint32_t type_id() const override { return 4; }
+  sim::Layer layer() const override { return sim::Layer::kBroadcast; }
+  void encode_payload(Encoder& enc) const override;
+  std::string to_string() const override;
+
+  CrbKey key;
+  sim::MessagePtr inner;
+};
+
+class CrbEchoMsg final : public sim::Message {
+ public:
+  CrbEchoMsg(CrbKey key, crypto::Digest digest, crypto::Signature sig)
+      : key(key), digest(digest), sig(sig) {}
+  std::uint32_t type_id() const override { return 5; }
+  sim::Layer layer() const override { return sim::Layer::kBroadcast; }
+  void encode_payload(Encoder& enc) const override;
+  std::string to_string() const override;
+
+  CrbKey key;
+  crypto::Digest digest;
+  crypto::Signature sig;
+};
+
+class CrbFinalMsg final : public sim::Message {
+ public:
+  CrbFinalMsg(CrbKey key, sim::MessagePtr inner,
+              std::vector<crypto::Signature> cert)
+      : key(key), inner(std::move(inner)), cert(std::move(cert)) {}
+  std::uint32_t type_id() const override { return 6; }
+  sim::Layer layer() const override { return sim::Layer::kBroadcast; }
+  void encode_payload(Encoder& enc) const override;
+  std::string to_string() const override;
+
+  /// Quorum of valid echo signatures by distinct signers over this
+  /// payload's digest.
+  bool well_formed(const crypto::SignatureAuthority& auth,
+                   std::uint32_t quorum) const;
+
+  CrbKey key;
+  sim::MessagePtr inner;
+  std::vector<crypto::Signature> cert;
+};
+
+class CertRbEndpoint final : public RbEndpoint {
+ public:
+  using SendFn = std::function<void(ProcessId to, sim::MessagePtr)>;
+  using DeliverFn = std::function<void(ProcessId origin, std::uint64_t tag,
+                                       const sim::MessagePtr& inner)>;
+
+  CertRbEndpoint(ProcessId self, std::uint32_t n, std::uint32_t f,
+                 const crypto::SignatureAuthority& auth, SendFn send,
+                 DeliverFn deliver, bool allow_undersized = false);
+
+  void broadcast(std::uint64_t tag, sim::MessagePtr inner) override;
+  bool handle(ProcessId from, const sim::MessagePtr& msg) override;
+
+  std::uint32_t quorum() const { return (n_ + f_) / 2 + 1; }
+
+ private:
+  struct OriginInstance {           // state for our own broadcasts
+    sim::MessagePtr payload;
+    crypto::Digest digest{};
+    std::set<ProcessId> echoers;
+    std::vector<crypto::Signature> cert;
+    bool finalized = false;
+  };
+  struct ReceiverInstance {         // state per (origin, tag) received
+    bool echoed = false;
+    bool delivered = false;
+    bool forwarded = false;
+  };
+
+  void on_send(ProcessId from, const CrbSendMsg& m);
+  void on_echo(ProcessId from, const CrbEchoMsg& m);
+  void on_final(const sim::MessagePtr& msg);
+  void send_all(const sim::MessagePtr& msg);
+
+  ProcessId self_;
+  std::uint32_t n_;
+  std::uint32_t f_;
+  const crypto::SignatureAuthority& auth_;
+  crypto::Signer signer_;
+  SendFn send_;
+  DeliverFn deliver_;
+  std::map<std::uint64_t, OriginInstance> own_;       // by tag
+  std::map<CrbKey, ReceiverInstance> received_;
+};
+
+}  // namespace bgla::bcast

@@ -1,0 +1,33 @@
+// Abstract Byzantine reliable-broadcast endpoint.
+//
+// The paper's algorithms need the RB *properties* (validity, agreement,
+// no-duplication, totality), not a specific construction: [12] (Bracha)
+// and [13] (Srikanth–Toueg, signature-based) are both cited. Two
+// implementations are provided:
+//   - bcast::BrachaEndpoint      — authenticated channels only (§5's
+//                                  minimal assumption), O(n²) messages.
+//   - bcast::CertRbEndpoint      — signatures (the §8 assumption),
+//                                  certificate-based, ~4n messages.
+// WTS can run over either (LaConfig::rb_impl); bench_ablation A4 measures
+// the difference.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/message.h"
+#include "util/ids.h"
+
+namespace bgla::bcast {
+
+class RbEndpoint {
+ public:
+  virtual ~RbEndpoint() = default;
+
+  /// R-broadcasts `inner` as origin = self under `tag`.
+  virtual void broadcast(std::uint64_t tag, sim::MessagePtr inner) = 0;
+
+  /// Returns true iff the message belonged to this RB layer (consumed).
+  virtual bool handle(ProcessId from, const sim::MessagePtr& msg) = 0;
+};
+
+}  // namespace bgla::bcast

@@ -1,0 +1,231 @@
+#include "byz/strategies.h"
+
+namespace bgla::byz {
+
+namespace {
+bcast::BrachaEndpoint make_endpoint(sim::Process& owner, ProcessId id,
+                                    const LaConfig& cfg,
+                                    sim::Network& net) {
+  (void)owner;
+  return bcast::BrachaEndpoint(
+      id, cfg.n, cfg.f,
+      [&net, id](ProcessId to, sim::MessagePtr m) {
+        net.send(id, to, std::move(m));
+      },
+      [](ProcessId, std::uint64_t, const sim::MessagePtr&) {});
+}
+}  // namespace
+
+// ------------------------------------------------------- WtsEquivocator --
+
+void WtsEquivocator::on_start() {
+  const bcast::RbKey key{id(), /*tag=*/0};
+  const auto m1 = std::make_shared<bcast::RbSendMsg>(
+      key, std::make_shared<la::DisclosureMsg>(v1_));
+  const auto m2 = std::make_shared<bcast::RbSendMsg>(
+      key, std::make_shared<la::DisclosureMsg>(v2_));
+  for (ProcessId to = 0; to < cfg_.n; ++to) {
+    if (to == id()) continue;
+    net().send(id(), to, to < cfg_.n / 2 ? m1 : m2);
+  }
+}
+
+// -------------------------------------------------- WtsInvalidDiscloser --
+
+WtsInvalidDiscloser::WtsInvalidDiscloser(sim::Network& net, ProcessId id,
+                                         LaConfig cfg, Elem bad_value)
+    : sim::Process(net, id),
+      cfg_(cfg),
+      rb_(make_endpoint(*this, id, cfg_, net)),
+      bad_value_(std::move(bad_value)) {}
+
+void WtsInvalidDiscloser::on_start() {
+  rb_.broadcast(/*tag=*/0, std::make_shared<la::DisclosureMsg>(bad_value_));
+}
+
+void WtsInvalidDiscloser::on_message(ProcessId from,
+                                     const sim::MessagePtr& msg) {
+  rb_.handle(from, msg);  // participate in RB so its own value delivers
+}
+
+// ------------------------------------------------------- WtsStaleNacker --
+
+WtsStaleNacker::WtsStaleNacker(sim::Network& net, ProcessId id,
+                               LaConfig cfg, Elem own_value)
+    : sim::Process(net, id),
+      cfg_(cfg),
+      rb_(make_endpoint(*this, id, cfg_, net)),
+      own_value_(std::move(own_value)) {}
+
+void WtsStaleNacker::on_start() {
+  rb_.broadcast(/*tag=*/0, std::make_shared<la::DisclosureMsg>(own_value_));
+}
+
+void WtsStaleNacker::on_message(ProcessId from, const sim::MessagePtr& msg) {
+  if (rb_.handle(from, msg)) return;
+  if (const auto* m = dynamic_cast<const la::AckReqMsg*>(msg.get())) {
+    // Always refuse; the nacked set is safe (it was disclosed), so the
+    // proposer must process it — but at most one refinement results.
+    send(from, std::make_shared<la::NackMsg>(own_value_, m->ts));
+  }
+}
+
+// -------------------------------------------------------- WtsLyingAcker --
+
+void WtsLyingAcker::on_message(ProcessId from, const sim::MessagePtr& msg) {
+  if (const auto* m = dynamic_cast<const la::AckReqMsg*>(msg.get())) {
+    send(from, std::make_shared<la::AckMsg>(m->proposal, m->ts));
+  }
+}
+
+// ---------------------------------------------------- FaleiroLyingAcker --
+
+void FaleiroLyingAcker::on_message(ProcessId from,
+                                   const sim::MessagePtr& msg) {
+  if (const auto* m = dynamic_cast<const la::FAckReqMsg*>(msg.get())) {
+    send(from, std::make_shared<la::FAckMsg>(m->proposal, m->ts));
+  }
+}
+
+// ------------------------------------------------------ GwtsRoundRusher --
+
+GwtsRoundRusher::GwtsRoundRusher(sim::Network& net, ProcessId id,
+                                 LaConfig cfg, std::uint32_t rounds_ahead,
+                                 Elem value)
+    : sim::Process(net, id),
+      cfg_(cfg),
+      rb_(make_endpoint(*this, id, cfg_, net)),
+      rounds_ahead_(rounds_ahead),
+      value_(std::move(value)) {}
+
+void GwtsRoundRusher::on_start() {
+  for (std::uint64_t r = 0; r < rounds_ahead_; ++r) {
+    // Disclose a batch for round r (legal-looking) ...
+    rb_.broadcast(r << 1, std::make_shared<la::GDisclosureMsg>(value_, r));
+    // ... and immediately demand acks for it, pretending all earlier
+    // rounds already ended.
+    const auto req =
+        std::make_shared<la::GAckReqMsg>(value_, /*ts=*/r + 1, r);
+    for (ProcessId to = 0; to < cfg_.n; ++to) {
+      if (to != id()) net().send(id(), to, req);
+    }
+    // Also publish a self-serving "ack" claiming its proposal accepted.
+    rb_.broadcast((tag_counter_++ << 1) | 1,
+                  std::make_shared<la::GAckMsg>(value_, id(), id(),
+                                                r + 1, r));
+  }
+}
+
+void GwtsRoundRusher::on_message(ProcessId from, const sim::MessagePtr& msg) {
+  rb_.handle(from, msg);
+}
+
+// ------------------------------------------------------ GwtsStaleNacker --
+
+GwtsStaleNacker::GwtsStaleNacker(sim::Network& net, ProcessId id,
+                                 LaConfig cfg, Elem own_value)
+    : sim::Process(net, id),
+      cfg_(cfg),
+      rb_(make_endpoint(*this, id, cfg_, net)),
+      own_value_(std::move(own_value)) {}
+
+void GwtsStaleNacker::on_start() {
+  rb_.broadcast(/*tag=*/0,
+                std::make_shared<la::GDisclosureMsg>(own_value_, 0));
+}
+
+void GwtsStaleNacker::on_message(ProcessId from, const sim::MessagePtr& msg) {
+  if (rb_.handle(from, msg)) return;
+  if (const auto* m = dynamic_cast<const la::GAckReqMsg*>(msg.get())) {
+    send(from,
+         std::make_shared<la::GNackMsg>(own_value_, m->ts, m->round));
+  }
+}
+
+// --------------------------------------------------------------- Flooder --
+
+Flooder::Flooder(sim::Network& net, ProcessId id, LaConfig cfg,
+                 std::uint32_t burst, std::uint32_t max_total)
+    : sim::Process(net, id), cfg_(cfg), burst_(burst),
+      max_total_(max_total) {}
+
+void Flooder::on_start() { spray(); }
+
+void Flooder::on_message(ProcessId, const sim::MessagePtr&) { spray(); }
+
+void Flooder::spray() {
+  for (std::uint32_t i = 0; i < burst_ && sent_ < max_total_; ++i) {
+    for (ProcessId to = 0; to < cfg_.n && sent_ < max_total_; ++to) {
+      if (to == id()) continue;
+      send(to, std::make_shared<JunkMsg>(nonce_++));
+      ++sent_;
+    }
+  }
+}
+
+// ------------------------------------------------------ SbsDoubleSigner --
+
+SbsDoubleSigner::SbsDoubleSigner(sim::Network& net, ProcessId id,
+                                 la::LaConfig cfg,
+                                 const crypto::SignatureAuthority& auth,
+                                 la::Elem v1, la::Elem v2)
+    : sim::Process(net, id),
+      cfg_(cfg),
+      auth_(auth),
+      signer_(auth.signer_for(id)),
+      v1_(std::move(v1)),
+      v2_(std::move(v2)) {}
+
+void SbsDoubleSigner::on_start() {
+  const auto m1 = std::make_shared<la::SInitMsg>(
+      la::make_signed_value(signer_, v1_));
+  const auto m2 = std::make_shared<la::SInitMsg>(
+      la::make_signed_value(signer_, v2_));
+  for (ProcessId to = 0; to < cfg_.n; ++to) {
+    if (to == id()) continue;
+    send(to, to < cfg_.n / 2 ? sim::MessagePtr(m1) : sim::MessagePtr(m2));
+  }
+}
+
+void SbsDoubleSigner::on_message(ProcessId from, const sim::MessagePtr& msg) {
+  // Behave as an honest acceptor in the safetying phase so its conflicting
+  // values actually reach conflict detection (maximally adversarial: it
+  // wants one of its two values decided by only half the group).
+  if (const auto* m = dynamic_cast<const la::SSafeReqMsg*>(msg.get())) {
+    const auto conflicts = m->set.conflicts(auth_);
+    const crypto::Signature sig = signer_.sign(
+        la::SSafeAckMsg::signed_payload(m->set, conflicts, id()));
+    send(from, std::make_shared<la::SSafeAckMsg>(m->set, conflicts, id(),
+                                                 sig));
+  }
+}
+
+// ------------------------------------------------- SbsFakeConflictAcker --
+
+SbsFakeConflictAcker::SbsFakeConflictAcker(
+    sim::Network& net, ProcessId id, la::LaConfig cfg,
+    const crypto::SignatureAuthority& auth)
+    : sim::Process(net, id),
+      cfg_(cfg),
+      auth_(auth),
+      signer_(auth.signer_for(id)) {}
+
+void SbsFakeConflictAcker::on_message(ProcessId from,
+                                      const sim::MessagePtr& msg) {
+  if (const auto* m = dynamic_cast<const la::SSafeReqMsg*>(msg.get())) {
+    // Claim every received value conflicts with itself paired against a
+    // self-signed impostor (the pair cannot pass VerifyConfPair because
+    // this process cannot forge the original signer's signature).
+    std::vector<la::ConflictPair> fabricated;
+    for (const auto& [k, sv] : m->set.entries()) {
+      la::SignedValue fake = la::make_signed_value(signer_, sv.value);
+      fabricated.emplace_back(sv, fake);
+    }
+    const crypto::Signature sig = signer_.sign(
+        la::SSafeAckMsg::signed_payload(m->set, fabricated, id()));
+    send(from, std::make_shared<la::SSafeAckMsg>(m->set, fabricated, id(),
+                                                 sig));
+  }
+}
+
+}  // namespace bgla::byz

@@ -1,0 +1,226 @@
+// Byzantine strategy library (fault injection).
+//
+// Each class is a full network participant that deviates from the protocol
+// in a specific way. Tests pair every strategy with the paper mechanism
+// that defeats it:
+//
+//   MuteProcess          — never sends; liveness must not depend on it
+//                          (n−f disclosure threshold, Byzantine quorums).
+//   WtsEquivocator       — sends different disclosure SENDs to different
+//                          processes; Bracha agreement must prevent
+//                          divergent SvS entries (Observation 1).
+//   WtsInvalidDiscloser  — discloses a value ∉ E (or of the wrong lattice
+//                          family); the L11/L18 admissibility check must
+//                          filter it (Non-Triviality's B ⊆ E).
+//   WtsStaleNacker       — acceptor that nacks every request with its own
+//                          value; forces ≤ f refinements (Lemma 3), must
+//                          not block decisions.
+//   WtsLyingAcker        — acks every request instantly regardless of
+//                          content; must not let unsafe values decide.
+//   FaleiroLyingAcker    — the same attack against the crash-stop PODC'12
+//                          baseline, where it DOES produce a Comparability
+//                          violation (bench T7 / Theorem 1 intuition).
+//   GwtsRoundRusher      — discloses many future rounds at once and sends
+//                          future-round ack requests, trying to rush
+//                          correct acceptors past un-ended rounds; the
+//                          Safe_r gate (Alg 4 L17-19) must hold it back.
+//   GwtsStaleNacker      — per-round nacker for the generalised protocol.
+//   Flooder              — sprays junk messages; they must be ignored at
+//                          no cost to safety or liveness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bcast/bracha.h"
+#include "la/config.h"
+#include "la/messages.h"
+#include "la/sbs_msgs.h"
+#include "sim/network.h"
+
+namespace bgla::byz {
+
+using la::Elem;
+using la::LaConfig;
+
+/// Crashed-from-birth / silent participant.
+class MuteProcess : public sim::Process {
+ public:
+  MuteProcess(sim::Network& net, ProcessId id) : sim::Process(net, id) {}
+  void on_message(ProcessId, const sim::MessagePtr&) override {}
+};
+
+/// Disclosure equivocation: raw RB_SEND(v1) to the first half of the
+/// group, RB_SEND(v2) to the rest, then silence.
+class WtsEquivocator : public sim::Process {
+ public:
+  WtsEquivocator(sim::Network& net, ProcessId id, LaConfig cfg, Elem v1,
+                 Elem v2)
+      : sim::Process(net, id), cfg_(cfg), v1_(std::move(v1)),
+        v2_(std::move(v2)) {}
+
+  void on_start() override;
+  void on_message(ProcessId, const sim::MessagePtr&) override {}
+
+ private:
+  LaConfig cfg_;
+  Elem v1_, v2_;
+};
+
+/// Discloses an inadmissible value through an honest reliable broadcast.
+class WtsInvalidDiscloser : public sim::Process {
+ public:
+  WtsInvalidDiscloser(sim::Network& net, ProcessId id, LaConfig cfg,
+                      Elem bad_value);
+
+  void on_start() override;
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+
+ private:
+  LaConfig cfg_;
+  bcast::BrachaEndpoint rb_;
+  Elem bad_value_;
+};
+
+/// Honestly discloses `own_value`, then nacks every ack request with it,
+/// forcing refinements (WTS flavour).
+class WtsStaleNacker : public sim::Process {
+ public:
+  WtsStaleNacker(sim::Network& net, ProcessId id, LaConfig cfg,
+                 Elem own_value);
+
+  void on_start() override;
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+
+ private:
+  LaConfig cfg_;
+  bcast::BrachaEndpoint rb_;
+  Elem own_value_;
+};
+
+/// Acks everything instantly (content-free "yes"-machine).
+class WtsLyingAcker : public sim::Process {
+ public:
+  WtsLyingAcker(sim::Network& net, ProcessId id, LaConfig cfg)
+      : sim::Process(net, id), cfg_(cfg) {}
+
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+
+ private:
+  LaConfig cfg_;
+};
+
+/// The same yes-machine against the crash-stop baseline — drives the
+/// Comparability violation of bench T7.
+class FaleiroLyingAcker : public sim::Process {
+ public:
+  FaleiroLyingAcker(sim::Network& net, ProcessId id)
+      : sim::Process(net, id) {}
+
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+};
+
+/// GWTS round-rusher: discloses `rounds_ahead` future batches immediately
+/// and sends ack requests for all of them, trying to drag acceptors past
+/// rounds that never legitimately ended.
+class GwtsRoundRusher : public sim::Process {
+ public:
+  GwtsRoundRusher(sim::Network& net, ProcessId id, LaConfig cfg,
+                  std::uint32_t rounds_ahead, Elem value);
+
+  void on_start() override;
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+
+ private:
+  LaConfig cfg_;
+  bcast::BrachaEndpoint rb_;
+  std::uint32_t rounds_ahead_;
+  Elem value_;
+  std::uint64_t tag_counter_ = 1;
+};
+
+/// Per-round stale nacker for GWTS.
+class GwtsStaleNacker : public sim::Process {
+ public:
+  GwtsStaleNacker(sim::Network& net, ProcessId id, LaConfig cfg,
+                  Elem own_value);
+
+  void on_start() override;
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+
+ private:
+  LaConfig cfg_;
+  bcast::BrachaEndpoint rb_;
+  Elem own_value_;
+};
+
+/// Junk message used by the Flooder (unknown to every protocol).
+class JunkMsg final : public sim::Message {
+ public:
+  explicit JunkMsg(std::uint64_t nonce) : nonce_(nonce) {}
+  std::uint32_t type_id() const override { return 999; }
+  sim::Layer layer() const override { return sim::Layer::kOther; }
+  void encode_payload(Encoder& enc) const override { enc.put_u64(nonce_); }
+  std::string to_string() const override { return "JUNK"; }
+
+ private:
+  std::uint64_t nonce_;
+};
+
+/// Sprays `burst` junk messages at every process on start and again on
+/// every delivery (bounded by the event cap).
+class Flooder : public sim::Process {
+ public:
+  Flooder(sim::Network& net, ProcessId id, LaConfig cfg,
+          std::uint32_t burst, std::uint32_t max_total);
+
+  void on_start() override;
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+
+ private:
+  void spray();
+
+  LaConfig cfg_;
+  std::uint32_t burst_;
+  std::uint32_t max_total_;
+  std::uint32_t sent_ = 0;
+  std::uint64_t nonce_ = 0;
+};
+
+/// SbS double-signer: signs two different values and sends one to each
+/// half of the group during the Init phase (Lemma 13: at most one of the
+/// two can ever acquire a proof of safety). Also answers safe requests
+/// honestly so the run keeps moving.
+class SbsDoubleSigner : public sim::Process {
+ public:
+  SbsDoubleSigner(sim::Network& net, ProcessId id, la::LaConfig cfg,
+                  const crypto::SignatureAuthority& auth, la::Elem v1,
+                  la::Elem v2);
+
+  void on_start() override;
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+
+ private:
+  la::LaConfig cfg_;
+  const crypto::SignatureAuthority& auth_;
+  crypto::Signer signer_;
+  la::Elem v1_, v2_;
+};
+
+/// SbS acceptor that reports fabricated conflicts in its safe_acks
+/// (pairs it cannot actually sign); correct proposers must detect the
+/// invalid pairs and blacklist it (Alg 8 L21-24).
+class SbsFakeConflictAcker : public sim::Process {
+ public:
+  SbsFakeConflictAcker(sim::Network& net, ProcessId id, la::LaConfig cfg,
+                       const crypto::SignatureAuthority& auth);
+
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+
+ private:
+  la::LaConfig cfg_;
+  const crypto::SignatureAuthority& auth_;
+  crypto::Signer signer_;
+};
+
+}  // namespace bgla::byz

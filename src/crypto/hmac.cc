@@ -1,0 +1,35 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace bgla::crypto {
+
+Digest hmac_sha256(BytesView key, BytesView message) {
+  constexpr std::size_t kBlock = 64;
+  std::uint8_t key_block[kBlock] = {};
+  if (key.size() > kBlock) {
+    const Digest kd = Sha256::hash(key);
+    std::memcpy(key_block, kd.data(), kd.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[kBlock];
+  std::uint8_t opad[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad, kBlock));
+  inner.update(message);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(BytesView(opad, kBlock));
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+}  // namespace bgla::crypto

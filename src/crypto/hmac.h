@@ -1,0 +1,12 @@
+// HMAC-SHA256 (RFC 2104), keyed MAC used by the simulated signature scheme.
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace bgla::crypto {
+
+/// HMAC-SHA256(key, message).
+Digest hmac_sha256(BytesView key, BytesView message);
+
+}  // namespace bgla::crypto

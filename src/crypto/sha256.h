@@ -1,0 +1,51 @@
+// SHA-256 (FIPS 180-4).
+//
+// Used for message digests (Bracha echo matching, lattice-element and
+// message fingerprints) and as the compression function of HMAC-SHA256.
+// Tested against the published NIST vectors in tests/crypto_test.cc.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace bgla::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs more input; may be called repeatedly.
+  void update(BytesView data);
+
+  /// Finalizes and returns the digest. The object must not be reused
+  /// after finish() without calling reset().
+  Digest finish();
+
+  void reset();
+
+  /// One-shot convenience.
+  static Digest hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+/// Digest as lowercase hex (for tests and traces).
+std::string digest_hex(const Digest& d);
+
+/// Lexicographic comparison helpers so Digest can key ordered containers.
+struct DigestLess {
+  bool operator()(const Digest& a, const Digest& b) const { return a < b; }
+};
+
+}  // namespace bgla::crypto

@@ -1,0 +1,47 @@
+#include "crypto/signature.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace bgla::crypto {
+
+SignatureAuthority::SignatureAuthority(std::uint32_t num_processes,
+                                       std::uint64_t seed) {
+  Rng rng(seed ^ 0x5167c0de5167c0deull);
+  keys_.reserve(num_processes);
+  for (std::uint32_t i = 0; i < num_processes; ++i) {
+    Bytes key(32);
+    for (std::size_t b = 0; b < key.size(); b += 8) {
+      const std::uint64_t word = rng.next_u64();
+      for (std::size_t j = 0; j < 8; ++j)
+        key[b + j] = static_cast<std::uint8_t>(word >> (8 * j));
+    }
+    keys_.push_back(std::move(key));
+  }
+}
+
+Signer SignatureAuthority::signer_for(ProcessId id) const {
+  BGLA_CHECK_MSG(id < keys_.size(), "signer_for: unknown process id");
+  return Signer(this, id);
+}
+
+Signature SignatureAuthority::sign_as(ProcessId id, BytesView message) const {
+  BGLA_CHECK_MSG(id < keys_.size(), "sign_as: unknown process id");
+  Signature sig;
+  sig.signer = id;
+  sig.mac = hmac_sha256(keys_[id], message);
+  return sig;
+}
+
+bool SignatureAuthority::verify(const Signature& sig,
+                                BytesView message) const {
+  if (sig.signer >= keys_.size()) return false;
+  return hmac_sha256(keys_[sig.signer], message) == sig.mac;
+}
+
+Signature Signer::sign(BytesView message) const {
+  BGLA_CHECK_MSG(authority_ != nullptr, "Signer not initialized");
+  return authority_->sign_as(id_, message);
+}
+
+}  // namespace bgla::crypto

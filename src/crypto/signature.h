@@ -1,0 +1,71 @@
+// Simulated digital signatures with simulation-enforced unforgeability.
+//
+// Paper §3/§8 assume a PKI where every process can sign messages and every
+// other process can verify, and Byzantine processes cannot forge correct
+// processes' signatures. We substitute HMAC-SHA256 under per-process secret
+// keys held by a SignatureAuthority: processes receive a Signer capability
+// bound to their own identity (so even Byzantine strategy code can only
+// produce signatures as itself), and verification recomputes the MAC inside
+// the authority. This preserves exactly the unforgeability assumption the
+// §8 proofs rely on while remaining deterministic and dependency-free.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crypto/hmac.h"
+#include "util/bytes.h"
+#include "util/ids.h"
+
+namespace bgla::crypto {
+
+struct Signature {
+  ProcessId signer = kNoProcess;
+  Digest mac{};
+
+  bool operator==(const Signature& other) const = default;
+};
+
+class SignatureAuthority;
+
+/// Per-process signing capability. Handed to a process at construction;
+/// it can only produce signatures under its own identity.
+class Signer {
+ public:
+  Signer() = default;
+
+  ProcessId id() const { return id_; }
+  Signature sign(BytesView message) const;
+
+ private:
+  friend class SignatureAuthority;
+  Signer(const SignatureAuthority* authority, ProcessId id)
+      : authority_(authority), id_(id) {}
+
+  const SignatureAuthority* authority_ = nullptr;
+  ProcessId id_ = kNoProcess;
+};
+
+/// Holds all secret keys; the only component able to create or check MACs.
+class SignatureAuthority {
+ public:
+  SignatureAuthority(std::uint32_t num_processes, std::uint64_t seed);
+
+  /// Creates the signing capability for process `id`.
+  Signer signer_for(ProcessId id) const;
+
+  /// True iff `sig` is a valid signature by `sig.signer` over `message`.
+  bool verify(const Signature& sig, BytesView message) const;
+
+  std::uint32_t num_processes() const {
+    return static_cast<std::uint32_t>(keys_.size());
+  }
+
+ private:
+  friend class Signer;
+  Signature sign_as(ProcessId id, BytesView message) const;
+
+  std::vector<Bytes> keys_;
+};
+
+}  // namespace bgla::crypto

@@ -1,0 +1,781 @@
+#include "harness/scenario.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "byz/strategies.h"
+#include "la/faleiro_la.h"
+#include "la/gsbs.h"
+#include "la/gwts.h"
+#include "la/sbs.h"
+#include "la/wts.h"
+#include "lattice/set_elem.h"
+#include "rsm/byz_rsm.h"
+#include "rsm/replica.h"
+#include "sim/trace.h"
+
+#include <optional>
+
+namespace bgla::harness {
+
+using lattice::Elem;
+using lattice::Item;
+using lattice::make_set;
+
+namespace {
+
+/// Scenario-wide "E": items of the set lattice with b < 900 (b = 9999 is
+/// the canonical inadmissible value the InvalidValue adversary injects).
+bool scenario_admissible(const Elem& e) {
+  return lattice::all_items(e, [](const Item& it) { return it.b < 900; });
+}
+
+Elem correct_proposal(ProcessId id) {
+  return make_set({Item{id, 100 + id, 0}});
+}
+
+/// GWTS disclosure equivocator: raw round-0 SENDs with two different
+/// batches (the generalised twin of WtsEquivocator).
+class GwtsEquivocator : public sim::Process {
+ public:
+  GwtsEquivocator(sim::Network& net, ProcessId id, la::LaConfig cfg)
+      : sim::Process(net, id), cfg_(cfg) {}
+
+  void on_start() override {
+    const bcast::RbKey key{id(), /*tag=*/0};
+    const auto m1 = std::make_shared<bcast::RbSendMsg>(
+        key, std::make_shared<la::GDisclosureMsg>(
+                 make_set({Item{id(), 301, 0}}), 0));
+    const auto m2 = std::make_shared<bcast::RbSendMsg>(
+        key, std::make_shared<la::GDisclosureMsg>(
+                 make_set({Item{id(), 302, 0}}), 0));
+    for (ProcessId to = 0; to < cfg_.n; ++to) {
+      if (to == id()) continue;
+      net().send(id(), to, to < cfg_.n / 2 ? m1 : m2);
+    }
+  }
+  void on_message(ProcessId, const sim::MessagePtr&) override {}
+
+ private:
+  la::LaConfig cfg_;
+};
+
+std::unique_ptr<sim::Process> make_wts_adversary(Adversary a,
+                                                 sim::Network& net,
+                                                 ProcessId id,
+                                                 const la::LaConfig& cfg) {
+  switch (a) {
+    case Adversary::kNone:
+    case Adversary::kMute:
+      return std::make_unique<byz::MuteProcess>(net, id);
+    case Adversary::kEquivocator:
+      return std::make_unique<byz::WtsEquivocator>(
+          net, id, cfg, make_set({Item{id, 301, 0}}),
+          make_set({Item{id, 302, 0}}));
+    case Adversary::kInvalidValue:
+      return std::make_unique<byz::WtsInvalidDiscloser>(
+          net, id, cfg, make_set({Item{id, 9999, 0}}));
+    case Adversary::kStaleNacker:
+      return std::make_unique<byz::WtsStaleNacker>(
+          net, id, cfg, make_set({Item{id, 400 + id, 0}}));
+    case Adversary::kLyingAcker:
+      return std::make_unique<byz::WtsLyingAcker>(net, id, cfg);
+    case Adversary::kRoundRusher:  // degenerate for one-shot WTS
+      return std::make_unique<byz::WtsLyingAcker>(net, id, cfg);
+    case Adversary::kFlooder:
+      return std::make_unique<byz::Flooder>(net, id, cfg, /*burst=*/2,
+                                            /*max_total=*/5000);
+  }
+  return std::make_unique<byz::MuteProcess>(net, id);
+}
+
+std::unique_ptr<sim::Process> make_gwts_adversary(Adversary a,
+                                                  sim::Network& net,
+                                                  ProcessId id,
+                                                  const la::LaConfig& cfg) {
+  switch (a) {
+    case Adversary::kNone:
+    case Adversary::kMute:
+    case Adversary::kLyingAcker:
+      return std::make_unique<byz::MuteProcess>(net, id);
+    case Adversary::kEquivocator:
+      return std::make_unique<GwtsEquivocator>(net, id, cfg);
+    case Adversary::kInvalidValue:
+      return std::make_unique<byz::WtsInvalidDiscloser>(
+          net, id, cfg, make_set({Item{id, 9999, 0}}));
+    case Adversary::kStaleNacker:
+      return std::make_unique<byz::GwtsStaleNacker>(
+          net, id, cfg, make_set({Item{id, 400 + id, 0}}));
+    case Adversary::kRoundRusher:
+      return std::make_unique<byz::GwtsRoundRusher>(
+          net, id, cfg, /*rounds_ahead=*/6,
+          make_set({Item{id, 410 + id, 0}}));
+    case Adversary::kFlooder:
+      return std::make_unique<byz::Flooder>(net, id, cfg, /*burst=*/2,
+                                            /*max_total=*/5000);
+  }
+  return std::make_unique<byz::MuteProcess>(net, id);
+}
+
+}  // namespace
+
+namespace {
+std::optional<sim::Tracer> maybe_trace(sim::Network& net, bool trace,
+                                       bool include_broadcast) {
+  if (!trace) return std::nullopt;
+  sim::Tracer::Options opt;
+  opt.include_broadcast = include_broadcast;
+  return std::make_optional<sim::Tracer>(net, opt);
+}
+}  // namespace
+
+const char* adversary_name(Adversary a) {
+  switch (a) {
+    case Adversary::kNone: return "none";
+    case Adversary::kMute: return "mute";
+    case Adversary::kEquivocator: return "equivocator";
+    case Adversary::kInvalidValue: return "invalid-value";
+    case Adversary::kStaleNacker: return "stale-nacker";
+    case Adversary::kLyingAcker: return "lying-acker";
+    case Adversary::kRoundRusher: return "round-rusher";
+    case Adversary::kFlooder: return "flooder";
+  }
+  return "?";
+}
+
+const char* sched_name(Sched s) {
+  switch (s) {
+    case Sched::kFixed: return "fixed";
+    case Sched::kUniform: return "uniform";
+    case Sched::kTargeted: return "targeted";
+    case Sched::kJitter: return "jitter";
+  }
+  return "?";
+}
+
+std::unique_ptr<sim::DelayModel> make_delay(Sched sched) {
+  switch (sched) {
+    case Sched::kFixed:
+      return std::make_unique<sim::FixedDelay>(1);
+    case Sched::kUniform:
+      return std::make_unique<sim::UniformDelay>(1, 20);
+    case Sched::kTargeted:
+      return std::make_unique<sim::TargetedDelay>(
+          std::set<std::pair<ProcessId, ProcessId>>{{0, 1}, {1, 0}},
+          /*fast=*/1, /*stretch=*/200);
+    case Sched::kJitter:
+      return std::make_unique<sim::JitterDelay>(5, 500, 0.05);
+  }
+  return std::make_unique<sim::FixedDelay>(1);
+}
+
+// ------------------------------------------------------------------ WTS --
+
+WtsReport run_wts(const WtsScenario& sc) {
+  BGLA_CHECK(sc.byz_count <= sc.f || sc.adversary == Adversary::kNone);
+  BGLA_CHECK(sc.mixed.size() <= sc.f);
+
+  la::LaConfig cfg;
+  cfg.n = sc.n;
+  cfg.f = sc.f;
+  cfg.is_admissible = scenario_admissible;
+  cfg.validate();
+
+  const std::uint32_t byz =
+      !sc.mixed.empty()
+          ? static_cast<std::uint32_t>(sc.mixed.size())
+          : (sc.adversary == Adversary::kNone ? 0 : sc.byz_count);
+  const std::uint32_t correct_count = sc.n - byz;
+
+  sim::Network net(make_delay(sc.sched), sc.seed, sc.n);
+  std::vector<std::unique_ptr<la::WtsProcess>> correct;
+  std::vector<std::unique_ptr<sim::Process>> adversaries;
+  correct.reserve(correct_count);
+
+  for (ProcessId id = 0; id < correct_count; ++id) {
+    correct.push_back(std::make_unique<la::WtsProcess>(
+        net, id, cfg, correct_proposal(id)));
+  }
+  for (ProcessId id = correct_count; id < sc.n; ++id) {
+    const Adversary a = !sc.mixed.empty()
+                            ? sc.mixed[id - correct_count]
+                            : sc.adversary;
+    adversaries.push_back(make_wts_adversary(a, net, id, cfg));
+  }
+
+  const auto tracer = maybe_trace(net, sc.trace, sc.trace_broadcast);
+  (void)tracer;  // alive for the run; it observes via the network hook
+  const sim::RunResult rr = net.run(sc.max_events);
+
+  WtsReport rep;
+  rep.end_time = rr.end_time;
+  rep.total_msgs = net.metrics().total_messages();
+
+  std::vector<la::LaView> views;
+  std::set<ProcessId> byz_ids;
+  for (ProcessId id = correct_count; id < sc.n; ++id) byz_ids.insert(id);
+
+  double depth_sum = 0.0;
+  std::uint64_t decided = 0;
+  for (const auto& p : correct) {
+    la::LaView v;
+    v.id = p->id();
+    v.proposal = p->proposal();
+    if (p->decided()) {
+      v.decision = p->decision().value;
+      rep.max_depth = std::max(rep.max_depth, p->decision().depth);
+      depth_sum += static_cast<double>(p->decision().depth);
+      ++decided;
+    }
+    v.svs = p->svs();
+    views.push_back(std::move(v));
+    rep.max_refinements =
+        std::max(rep.max_refinements, p->stats().refinements);
+    rep.max_msgs_per_correct = std::max(
+        rep.max_msgs_per_correct, net.metrics().messages_sent(p->id()));
+    rep.max_bytes_per_correct = std::max(
+        rep.max_bytes_per_correct, net.metrics().bytes_sent(p->id()));
+  }
+  rep.mean_depth =
+      decided == 0 ? 0.0 : depth_sum / static_cast<double>(decided);
+  rep.completed = rr.quiescent && decided == correct_count;
+  rep.spec = la::check_la(views, byz_ids, sc.f, scenario_admissible);
+  return rep;
+}
+
+// ----------------------------------------------------------------- GWTS --
+
+GwtsReport run_gwts(const GwtsScenario& sc) {
+  BGLA_CHECK(sc.byz_count <= sc.f || sc.adversary == Adversary::kNone);
+  BGLA_CHECK(sc.mixed.size() <= sc.f);
+
+  la::LaConfig cfg;
+  cfg.n = sc.n;
+  cfg.f = sc.f;
+  cfg.is_admissible = scenario_admissible;
+  const crypto::SignatureAuthority rb_auth(sc.n, sc.seed ^ 0xcafe);
+  if (sc.signed_rb) {
+    cfg.rb_impl = la::LaConfig::RbImpl::kSignedCert;
+    cfg.authority = &rb_auth;
+  }
+  cfg.validate();
+
+  const std::uint32_t byz =
+      !sc.mixed.empty()
+          ? static_cast<std::uint32_t>(sc.mixed.size())
+          : (sc.adversary == Adversary::kNone ? 0 : sc.byz_count);
+  const std::uint32_t correct_count = sc.n - byz;
+
+  sim::Network net(make_delay(sc.sched), sc.seed, sc.n);
+  std::vector<std::unique_ptr<la::GwtsProcess>> correct;
+  std::vector<std::unique_ptr<sim::Process>> adversaries;
+
+  for (ProcessId id = 0; id < correct_count; ++id) {
+    correct.push_back(std::make_unique<la::GwtsProcess>(net, id, cfg));
+  }
+  for (ProcessId id = correct_count; id < sc.n; ++id) {
+    const Adversary a = !sc.mixed.empty()
+                            ? sc.mixed[id - correct_count]
+                            : sc.adversary;
+    adversaries.push_back(make_gwts_adversary(a, net, id, cfg));
+  }
+
+  // Stop once every correct process reached the decision target, received
+  // all its injected values, and its latest decision covers them (the
+  // stabilisation point that makes Inclusivity checkable on the prefix).
+  auto all_done = [&]() {
+    for (const auto& p : correct) {
+      if (p->submitted().size() < sc.submissions_per_proc) return false;
+      if (p->decisions().size() < sc.target_decisions) return false;
+      Elem own = lattice::join_all(p->submitted());
+      if (!own.leq(p->decisions().back().value)) return false;
+    }
+    return true;
+  };
+  for (const auto& p : correct) {
+    p->set_decide_hook([&](const la::GwtsProcess&, const la::DecisionRecord&) {
+      if (all_done()) net.request_stop();
+    });
+  }
+
+  // Inject the input streams, remembering injection times for the
+  // inclusion-latency measurement.
+  std::vector<std::tuple<ProcessId, Elem, sim::Time>> injections;
+  for (ProcessId id = 0; id < correct_count; ++id) {
+    for (std::uint32_t k = 0; k < sc.submissions_per_proc; ++k) {
+      const Elem v = make_set({Item{id, 100 + k, 1}});
+      const sim::Time at = (k + 1) * sc.submission_spacing;
+      injections.emplace_back(id, v, at);
+      net.inject(id, id, std::make_shared<la::SubmitMsg>(v), at);
+    }
+  }
+
+  const auto tracer = maybe_trace(net, sc.trace, sc.trace_broadcast);
+  (void)tracer;  // alive for the run; it observes via the network hook
+  const sim::RunResult rr = net.run(sc.max_events);
+
+  GwtsReport rep;
+  rep.end_time = rr.end_time;
+  rep.total_msgs = net.metrics().total_messages();
+  rep.completed = rr.stopped || all_done();
+
+  std::vector<la::GlaView> views;
+  Elem byz_disclosed;
+  std::set<ProcessId> byz_ids;
+  for (ProcessId id = correct_count; id < sc.n; ++id) byz_ids.insert(id);
+
+  double worst_rate = 0.0;
+  for (const auto& p : correct) {
+    la::GlaView v;
+    v.id = p->id();
+    v.submitted = p->submitted();
+    for (const auto& d : p->decisions()) v.decisions.push_back(d.value);
+    rep.total_decisions += p->decisions().size();
+    rep.max_round_refinements =
+        std::max(rep.max_round_refinements, p->stats().max_round_refinements);
+    rep.max_msgs_per_correct = std::max(
+        rep.max_msgs_per_correct, net.metrics().messages_sent(p->id()));
+    if (!p->decisions().empty()) {
+      const double rate =
+          static_cast<double>(net.metrics().messages_sent(p->id())) /
+          static_cast<double>(p->decisions().size());
+      worst_rate = std::max(worst_rate, rate);
+    }
+    for (const auto& [origin, value] : p->disclosed_by()) {
+      if (byz_ids.count(origin) > 0) byz_disclosed = byz_disclosed.join(value);
+    }
+    views.push_back(std::move(v));
+  }
+  rep.msgs_per_decision_per_proposer = worst_rate;
+  // Inclusion latency: injection time → first containing decision at the
+  // submitter.
+  double lat_sum = 0.0;
+  std::size_t lat_n = 0;
+  for (const auto& [id, v, at] : injections) {
+    for (const auto& d : correct[id]->decisions()) {
+      if (d.time >= at && v.leq(d.value)) {
+        const double lat = static_cast<double>(d.time - at);
+        lat_sum += lat;
+        rep.max_inclusion_latency = std::max(rep.max_inclusion_latency, lat);
+        ++lat_n;
+        break;
+      }
+    }
+  }
+  rep.mean_inclusion_latency = lat_n ? lat_sum / lat_n : 0.0;
+  rep.spec = la::check_gla(views, byz_disclosed, sc.target_decisions);
+  return rep;
+}
+
+// ------------------------------------------------------------------ SbS --
+
+SbsReport run_sbs(const SbsScenario& sc) {
+  BGLA_CHECK(sc.byz_count <= sc.f || sc.adversary == Adversary::kNone);
+
+  la::LaConfig cfg;
+  cfg.n = sc.n;
+  cfg.f = sc.f;
+  cfg.is_admissible = scenario_admissible;
+  cfg.validate();
+
+  const std::uint32_t byz =
+      sc.adversary == Adversary::kNone ? 0 : sc.byz_count;
+  const std::uint32_t correct_count = sc.n - byz;
+
+  sim::Network net(make_delay(sc.sched), sc.seed, sc.n);
+  const crypto::SignatureAuthority auth(sc.n, sc.seed ^ 0xabcdef);
+  std::vector<std::unique_ptr<la::SbsProcess>> correct;
+  std::vector<std::unique_ptr<sim::Process>> adversaries;
+
+  for (ProcessId id = 0; id < correct_count; ++id) {
+    correct.push_back(std::make_unique<la::SbsProcess>(
+        net, id, cfg, auth, correct_proposal(id)));
+  }
+  for (ProcessId id = correct_count; id < sc.n; ++id) {
+    switch (sc.adversary) {
+      case Adversary::kEquivocator:
+        adversaries.push_back(std::make_unique<byz::SbsDoubleSigner>(
+            net, id, cfg, auth, make_set({Item{id, 301, 0}}),
+            make_set({Item{id, 302, 0}})));
+        break;
+      case Adversary::kStaleNacker:
+        adversaries.push_back(std::make_unique<byz::SbsFakeConflictAcker>(
+            net, id, cfg, auth));
+        break;
+      case Adversary::kFlooder:
+        adversaries.push_back(std::make_unique<byz::Flooder>(
+            net, id, cfg, /*burst=*/2, /*max_total=*/5000));
+        break;
+      default:
+        adversaries.push_back(std::make_unique<byz::MuteProcess>(net, id));
+        break;
+    }
+  }
+
+  const auto tracer = maybe_trace(net, sc.trace, sc.trace_broadcast);
+  (void)tracer;  // alive for the run; it observes via the network hook
+  const sim::RunResult rr = net.run(sc.max_events);
+
+  SbsReport rep;
+  rep.end_time = rr.end_time;
+  rep.total_msgs = net.metrics().total_messages();
+
+  std::vector<la::LaView> views;
+  std::set<ProcessId> byz_ids;
+  for (ProcessId id = correct_count; id < sc.n; ++id) byz_ids.insert(id);
+
+  double depth_sum = 0.0;
+  std::uint64_t decided = 0;
+  for (const auto& p : correct) {
+    la::LaView v;
+    v.id = p->id();
+    v.proposal = p->proposal();
+    if (p->decided()) {
+      v.decision = p->decision().value;
+      rep.max_depth = std::max(rep.max_depth, p->decision().depth);
+      depth_sum += static_cast<double>(p->decision().depth);
+      ++decided;
+    }
+    // B attribution from proof-backed values (Lemma 13 guarantees the
+    // per-signer consistency the checker verifies).
+    v.svs = p->proposed_by();
+    views.push_back(std::move(v));
+    rep.max_refinements =
+        std::max(rep.max_refinements, p->stats().refinements);
+    rep.max_msgs_per_correct = std::max(
+        rep.max_msgs_per_correct, net.metrics().messages_sent(p->id()));
+    rep.max_bytes_per_correct = std::max(
+        rep.max_bytes_per_correct, net.metrics().bytes_sent(p->id()));
+  }
+  rep.mean_depth =
+      decided == 0 ? 0.0 : depth_sum / static_cast<double>(decided);
+  rep.completed = rr.quiescent && decided == correct_count;
+  rep.spec = la::check_la(views, byz_ids, sc.f, scenario_admissible);
+  return rep;
+}
+
+// ----------------------------------------------------------------- GSbS --
+
+namespace {
+
+/// Per-round init double-signer for GSbS.
+class GsbsDoubleSigner : public sim::Process {
+ public:
+  GsbsDoubleSigner(sim::Network& net, ProcessId id, la::LaConfig cfg,
+                   const crypto::SignatureAuthority& auth,
+                   std::uint32_t rounds)
+      : sim::Process(net, id),
+        cfg_(cfg),
+        signer_(auth.signer_for(id)),
+        rounds_(rounds) {}
+
+  void on_start() override {
+    for (std::uint64_t r = 0; r < rounds_; ++r) {
+      const auto m1 = std::make_shared<la::GSInitMsg>(la::make_signed_batch(
+          signer_, make_set({Item{id(), 301, r + 1}}), r));
+      const auto m2 = std::make_shared<la::GSInitMsg>(la::make_signed_batch(
+          signer_, make_set({Item{id(), 302, r + 1}}), r));
+      for (ProcessId to = 0; to < cfg_.n; ++to) {
+        if (to == id()) continue;
+        send(to, to < cfg_.n / 2 ? sim::MessagePtr(m1)
+                                 : sim::MessagePtr(m2));
+      }
+    }
+  }
+  void on_message(ProcessId, const sim::MessagePtr&) override {}
+
+ private:
+  la::LaConfig cfg_;
+  crypto::Signer signer_;
+  std::uint32_t rounds_;
+};
+
+}  // namespace
+
+GsbsReport run_gsbs(const GsbsScenario& sc) {
+  BGLA_CHECK(sc.byz_count <= sc.f || sc.adversary == Adversary::kNone);
+
+  la::LaConfig cfg;
+  cfg.n = sc.n;
+  cfg.f = sc.f;
+  cfg.is_admissible = scenario_admissible;
+  cfg.validate();
+
+  const std::uint32_t byz =
+      sc.adversary == Adversary::kNone ? 0 : sc.byz_count;
+  const std::uint32_t correct_count = sc.n - byz;
+
+  sim::Network net(make_delay(sc.sched), sc.seed, sc.n);
+  const crypto::SignatureAuthority auth(sc.n, sc.seed ^ 0x5eed5eed);
+  std::vector<std::unique_ptr<la::GsbsProcess>> correct;
+  std::vector<std::unique_ptr<sim::Process>> adversaries;
+
+  for (ProcessId id = 0; id < correct_count; ++id) {
+    correct.push_back(
+        std::make_unique<la::GsbsProcess>(net, id, cfg, auth));
+  }
+  for (ProcessId id = correct_count; id < sc.n; ++id) {
+    switch (sc.adversary) {
+      case Adversary::kEquivocator:
+        adversaries.push_back(std::make_unique<GsbsDoubleSigner>(
+            net, id, cfg, auth, /*rounds=*/4));
+        break;
+      case Adversary::kFlooder:
+        adversaries.push_back(std::make_unique<byz::Flooder>(
+            net, id, cfg, /*burst=*/2, /*max_total=*/5000));
+        break;
+      default:
+        adversaries.push_back(std::make_unique<byz::MuteProcess>(net, id));
+        break;
+    }
+  }
+
+  auto all_done = [&]() {
+    for (const auto& p : correct) {
+      if (p->submitted().size() < sc.submissions_per_proc) return false;
+      if (p->decisions().size() < sc.target_decisions) return false;
+      Elem own = lattice::join_all(p->submitted());
+      if (!own.leq(p->decisions().back().value)) return false;
+    }
+    return true;
+  };
+  for (const auto& p : correct) {
+    p->set_decide_hook([&](const la::GsbsProcess&,
+                           const la::DecisionRecord&) {
+      if (all_done()) net.request_stop();
+    });
+  }
+
+  for (ProcessId id = 0; id < correct_count; ++id) {
+    for (std::uint32_t k = 0; k < sc.submissions_per_proc; ++k) {
+      net.inject(id, id,
+                 std::make_shared<la::SubmitMsg>(
+                     make_set({Item{id, 100 + k, 1}})),
+                 (k + 1) * sc.submission_spacing);
+    }
+  }
+
+  const auto tracer = maybe_trace(net, sc.trace, sc.trace_broadcast);
+  (void)tracer;  // alive for the run; it observes via the network hook
+  const sim::RunResult rr = net.run(sc.max_events);
+
+  GsbsReport rep;
+  rep.end_time = rr.end_time;
+  rep.total_msgs = net.metrics().total_messages();
+  rep.completed = rr.stopped || all_done();
+
+  std::vector<la::GlaView> views;
+  Elem byz_disclosed;
+  std::set<ProcessId> byz_ids;
+  for (ProcessId id = correct_count; id < sc.n; ++id) byz_ids.insert(id);
+
+  double worst_rate = 0.0;
+  for (const auto& p : correct) {
+    la::GlaView v;
+    v.id = p->id();
+    v.submitted = p->submitted();
+    for (const auto& d : p->decisions()) v.decisions.push_back(d.value);
+    rep.total_decisions += p->decisions().size();
+    rep.max_round_refinements =
+        std::max(rep.max_round_refinements, p->stats().max_round_refinements);
+    rep.max_msgs_per_correct = std::max(
+        rep.max_msgs_per_correct, net.metrics().messages_sent(p->id()));
+    rep.max_bytes_per_correct = std::max(
+        rep.max_bytes_per_correct, net.metrics().bytes_sent(p->id()));
+    if (!p->decisions().empty()) {
+      worst_rate = std::max(
+          worst_rate,
+          static_cast<double>(net.metrics().messages_sent(p->id())) /
+              static_cast<double>(p->decisions().size()));
+    }
+    for (const auto& [origin, value] : p->proposed_by()) {
+      if (byz_ids.count(origin) > 0) {
+        byz_disclosed = byz_disclosed.join(value);
+      }
+    }
+    views.push_back(std::move(v));
+  }
+  rep.msgs_per_decision_per_proposer = worst_rate;
+  rep.spec = la::check_gla(views, byz_disclosed, sc.target_decisions);
+  return rep;
+}
+
+// ------------------------------------------- crash-stop baseline (PODC) --
+
+FaleiroReport run_faleiro(const FaleiroScenario& sc) {
+  la::CrashConfig cfg;
+  cfg.n = sc.n;
+  cfg.f = sc.f;
+  cfg.validate();
+
+  const std::uint32_t byz = sc.byz_lying_acker ? 1 : 0;
+  const std::uint32_t live_count = sc.n - sc.crash_count - byz;
+  BGLA_CHECK(live_count >= 1);
+
+  sim::Network net(make_delay(sc.sched), sc.seed, sc.n);
+  std::vector<std::unique_ptr<la::FaleiroProcess>> procs;  // live + crashing
+  std::unique_ptr<sim::Process> lying;
+
+  for (ProcessId id = 0; id < sc.n - byz; ++id) {
+    procs.push_back(std::make_unique<la::FaleiroProcess>(
+        net, id, cfg, correct_proposal(id)));
+    if (id >= live_count) {
+      procs.back()->crash_at(/*t=*/150);  // mid-run crash
+    }
+  }
+  if (byz > 0) {
+    lying = std::make_unique<byz::FaleiroLyingAcker>(net, sc.n - 1);
+  }
+
+  for (ProcessId id = 0; id < live_count; ++id) {
+    for (std::uint32_t k = 1; k < sc.submissions_per_proc; ++k) {
+      net.inject(id, id,
+                 std::make_shared<la::SubmitMsg>(
+                     make_set({Item{id, 100 + k, 1}})),
+                 k * sc.submission_spacing);
+    }
+  }
+
+  const auto tracer = maybe_trace(net, sc.trace, sc.trace_broadcast);
+  (void)tracer;  // alive for the run; it observes via the network hook
+  const sim::RunResult rr = net.run(sc.max_events);
+
+  FaleiroReport rep;
+  rep.end_time = rr.end_time;
+  rep.total_msgs = net.metrics().total_messages();
+  rep.completed = rr.quiescent;
+
+  std::vector<la::GlaView> views;
+  Elem crashed_submissions;  // allowed extra contribution in the bound
+  double worst_rate = 0.0;
+  for (ProcessId id = 0; id < sc.n - byz; ++id) {
+    const auto& p = procs[id];
+    if (id >= live_count) {
+      crashed_submissions =
+          crashed_submissions.join(lattice::join_all(p->submitted()));
+      continue;
+    }
+    la::GlaView v;
+    v.id = p->id();
+    v.submitted = p->submitted();
+    for (const auto& d : p->decisions()) v.decisions.push_back(d.value);
+    rep.total_decisions += p->decisions().size();
+    rep.max_msgs_per_correct = std::max(
+        rep.max_msgs_per_correct, net.metrics().messages_sent(p->id()));
+    if (!p->decisions().empty()) {
+      worst_rate = std::max(
+          worst_rate,
+          static_cast<double>(net.metrics().messages_sent(p->id())) /
+              static_cast<double>(p->decisions().size()));
+    }
+    views.push_back(std::move(v));
+  }
+  rep.msgs_per_decision_per_proposer = worst_rate;
+  rep.spec = la::check_gla(views, crashed_submissions, /*min_decisions=*/1);
+  return rep;
+}
+
+// ------------------------------------------------------------------ RSM --
+
+RsmReport run_rsm(const RsmScenario& sc) {
+  BGLA_CHECK(sc.byz_replicas <= sc.f);
+
+  la::LaConfig cfg;
+  cfg.n = sc.n;
+  cfg.f = sc.f;
+  cfg.validate();
+
+  const std::uint32_t correct_replicas = sc.n - sc.byz_replicas;
+  const std::uint32_t total_clients =
+      sc.num_clients + (sc.with_byz_client ? 1 : 0);
+  const ProcessId client_base = sc.n;
+
+  sim::Network net(make_delay(sc.sched), sc.seed,
+                   sc.n + total_clients);
+
+  std::vector<std::unique_ptr<rsm::Replica>> replicas;
+  std::vector<std::unique_ptr<sim::Process>> byz_procs;
+  for (ProcessId id = 0; id < correct_replicas; ++id) {
+    replicas.push_back(std::make_unique<rsm::Replica>(
+        net, id, cfg, client_base, total_clients));
+  }
+  for (ProcessId id = correct_replicas; id < sc.n; ++id) {
+    byz_procs.push_back(std::make_unique<rsm::FakeDeciderReplica>(
+        net, id, client_base, total_clients));
+  }
+
+  // Alternating update/read scripts, one op pattern per client.
+  std::vector<std::unique_ptr<rsm::Client>> clients;
+  for (std::uint32_t c = 0; c < sc.num_clients; ++c) {
+    std::vector<rsm::Op> script;
+    for (std::uint32_t k = 0; k < sc.ops_per_client; ++k) {
+      if (k % 2 == 0) {
+        script.push_back(rsm::Op::update(10 * (c + 1) + k));
+      } else {
+        script.push_back(rsm::Op::read());
+      }
+    }
+    clients.push_back(std::make_unique<rsm::Client>(
+        net, client_base + c, sc.n, sc.f, std::move(script)));
+    clients.back()->set_contact_all(sc.contact_all_replicas);
+  }
+  std::unique_ptr<rsm::ByzClient> byz_client;
+  std::set<lattice::Item> allowed_extra;
+  if (sc.with_byz_client) {
+    byz_client = std::make_unique<rsm::ByzClient>(
+        net, client_base + sc.num_clients, sc.n, /*num_commands=*/6);
+    allowed_extra = byz_client->possible_commands();
+  }
+
+  auto all_done = [&]() {
+    for (const auto& c : clients) {
+      if (!c->done()) return false;
+    }
+    return true;
+  };
+  for (const auto& c : clients) {
+    c->set_op_hook([&](const rsm::Client&, const rsm::OpRecord&) {
+      if (all_done()) net.request_stop();
+    });
+  }
+
+  const auto tracer = maybe_trace(net, sc.trace, sc.trace_broadcast);
+  (void)tracer;  // alive for the run; it observes via the network hook
+  const sim::RunResult rr = net.run(sc.max_events);
+
+  RsmReport rep;
+  rep.end_time = rr.end_time;
+  rep.total_msgs = net.metrics().total_messages();
+  rep.completed = all_done();
+
+  double upd_sum = 0.0, read_sum = 0.0;
+  std::uint64_t upd_n = 0, read_n = 0;
+  for (const auto& c : clients) {
+    rep.histories.push_back(c->history());
+    for (const auto& rec : c->history()) {
+      if (!rec.completed) continue;
+      ++rep.ops_completed;
+      const double lat =
+          static_cast<double>(rec.complete_time - rec.invoke_time);
+      if (rec.op.kind == rsm::Op::Kind::kRead) {
+        read_sum += lat;
+        ++read_n;
+      } else {
+        upd_sum += lat;
+        ++upd_n;
+      }
+    }
+  }
+  rep.mean_update_latency = upd_n ? upd_sum / upd_n : 0.0;
+  rep.mean_read_latency = read_n ? read_sum / read_n : 0.0;
+  rep.ops_per_ktime =
+      rr.end_time
+          ? 1000.0 * static_cast<double>(rep.ops_completed) /
+                static_cast<double>(rr.end_time)
+          : 0.0;
+  rep.check = rsm::check_history(rep.histories, allowed_extra);
+  rep.linearization = rsm::linearize(rep.histories, allowed_extra);
+  return rep;
+}
+
+}  // namespace bgla::harness

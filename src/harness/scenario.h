@@ -1,0 +1,237 @@
+// Scenario harness: assembles networks, protocol processes and Byzantine
+// strategies, runs them to completion, applies the executable specs and
+// gathers the measurements the benches report. Tests, benches and examples
+// all go through this layer so every number in EXPERIMENTS.md is produced
+// by the same code path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "la/spec.h"
+#include "rsm/history.h"
+#include "rsm/linearize.h"
+#include "sim/delay.h"
+#include "sim/metrics.h"
+
+namespace bgla::harness {
+
+/// Byzantine strategy selector (see byz/strategies.h for semantics).
+enum class Adversary {
+  kNone,
+  kMute,
+  kEquivocator,
+  kInvalidValue,
+  kStaleNacker,
+  kLyingAcker,
+  kRoundRusher,
+  kFlooder,
+};
+const char* adversary_name(Adversary a);
+
+/// Delay-model selector.
+enum class Sched {
+  kFixed,     ///< all links latency 1 (lock-step-looking)
+  kUniform,   ///< uniform latency in [1, 20]
+  kTargeted,  ///< adversarial: traffic among the first correct pair ×200
+  kJitter,    ///< mostly fast with 5% long spikes (×500)
+};
+const char* sched_name(Sched s);
+
+std::unique_ptr<sim::DelayModel> make_delay(Sched sched);
+
+// ------------------------------------------------------------------ WTS --
+
+struct WtsScenario {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;          ///< protocol resilience parameter
+  std::uint32_t byz_count = 1;  ///< actual adversaries instantiated (≤ f)
+  Adversary adversary = Adversary::kNone;
+  /// Optional heterogeneous adversary mix: when non-empty, overrides
+  /// `adversary`/`byz_count` — entry i is the strategy of the i-th
+  /// Byzantine process (size ≤ f).
+  std::vector<Adversary> mixed;
+  Sched sched = Sched::kUniform;
+  std::uint64_t seed = 1;
+  std::uint64_t max_events = 20'000'000;
+  bool trace = false;            ///< print each delivery (sim::Tracer)
+  bool trace_broadcast = false;  ///< include RB internals in the trace
+};
+
+struct WtsReport {
+  la::SpecResult spec;
+  bool completed = false;  ///< run drained (or all correct decided)
+  std::uint64_t max_depth = 0;       ///< max decision depth (≤ 2f+5 claim)
+  double mean_depth = 0.0;
+  std::uint64_t max_refinements = 0; ///< ≤ f claim (Lemma 3)
+  std::uint64_t max_msgs_per_correct = 0;
+  std::uint64_t max_bytes_per_correct = 0;
+  std::uint64_t total_msgs = 0;
+  sim::Time end_time = 0;
+};
+
+WtsReport run_wts(const WtsScenario& sc);
+
+// ----------------------------------------------------------------- GWTS --
+
+struct GwtsScenario {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;
+  std::uint32_t byz_count = 1;
+  Adversary adversary = Adversary::kNone;
+  /// Optional heterogeneous adversary mix (see WtsScenario::mixed).
+  std::vector<Adversary> mixed;
+  /// Use the signature-based certificate RB instead of Bracha.
+  bool signed_rb = false;
+  Sched sched = Sched::kUniform;
+  std::uint64_t seed = 1;
+  std::uint32_t target_decisions = 5;    ///< per correct process
+  std::uint32_t submissions_per_proc = 3;
+  sim::Time submission_spacing = 40;     ///< injection interval
+  std::uint64_t max_events = 50'000'000;
+  bool trace = false;
+  bool trace_broadcast = false;
+};
+
+struct GwtsReport {
+  la::GlaSpecResult spec;
+  bool completed = false;
+  std::uint64_t total_decisions = 0;
+  /// Time from a value's injection to the first decision containing it at
+  /// its submitter (streaming inclusion latency).
+  double mean_inclusion_latency = 0.0;
+  double max_inclusion_latency = 0.0;
+  double msgs_per_decision_per_proposer = 0.0;  ///< O(f·n²) claim (§6.4)
+  std::uint64_t max_round_refinements = 0;      ///< ≤ f claim (Lemma 10)
+  std::uint64_t max_msgs_per_correct = 0;
+  std::uint64_t total_msgs = 0;
+  sim::Time end_time = 0;
+};
+
+GwtsReport run_gwts(const GwtsScenario& sc);
+
+// ------------------------------------------------------------------ SbS --
+
+struct SbsScenario {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;
+  std::uint32_t byz_count = 1;
+  /// kEquivocator maps to the double-signer, kStaleNacker to the
+  /// fake-conflict acceptor; kMute/kFlooder as usual.
+  Adversary adversary = Adversary::kNone;
+  Sched sched = Sched::kUniform;
+  std::uint64_t seed = 1;
+  std::uint64_t max_events = 20'000'000;
+  bool trace = false;
+  bool trace_broadcast = false;
+};
+
+struct SbsReport {
+  la::SpecResult spec;
+  bool completed = false;
+  std::uint64_t max_depth = 0;        ///< ≤ 4f+5 claim (Theorem 8)
+  double mean_depth = 0.0;
+  std::uint64_t max_refinements = 0;  ///< ≤ 2f claim (Lemma 16)
+  std::uint64_t max_msgs_per_correct = 0;
+  std::uint64_t max_bytes_per_correct = 0;
+  std::uint64_t total_msgs = 0;
+  sim::Time end_time = 0;
+};
+
+SbsReport run_sbs(const SbsScenario& sc);
+
+// ----------------------------------------------------------------- GSbS --
+
+struct GsbsScenario {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;
+  std::uint32_t byz_count = 1;
+  /// kEquivocator maps to a per-round double-signer; others as usual.
+  Adversary adversary = Adversary::kNone;
+  Sched sched = Sched::kUniform;
+  std::uint64_t seed = 1;
+  std::uint32_t target_decisions = 5;
+  std::uint32_t submissions_per_proc = 3;
+  sim::Time submission_spacing = 40;
+  std::uint64_t max_events = 50'000'000;
+  bool trace = false;
+  bool trace_broadcast = false;
+};
+
+struct GsbsReport {
+  la::GlaSpecResult spec;
+  bool completed = false;
+  std::uint64_t total_decisions = 0;
+  double msgs_per_decision_per_proposer = 0.0;  ///< O(f·n) claim (§8.2)
+  std::uint64_t max_round_refinements = 0;
+  std::uint64_t max_msgs_per_correct = 0;
+  std::uint64_t max_bytes_per_correct = 0;
+  std::uint64_t total_msgs = 0;
+  sim::Time end_time = 0;
+};
+
+GsbsReport run_gsbs(const GsbsScenario& sc);
+
+// ------------------------------------------- crash-stop baseline (PODC) --
+
+struct FaleiroScenario {
+  std::uint32_t n = 3;
+  std::uint32_t f = 1;           ///< crash resilience parameter
+  std::uint32_t crash_count = 0; ///< processes crashed mid-run
+  bool byz_lying_acker = false;  ///< replace last process with a Byzantine
+  Sched sched = Sched::kUniform;
+  std::uint64_t seed = 1;
+  std::uint32_t submissions_per_proc = 1;
+  sim::Time submission_spacing = 40;
+  std::uint64_t max_events = 20'000'000;
+  bool trace = false;
+  bool trace_broadcast = false;
+};
+
+struct FaleiroReport {
+  la::GlaSpecResult spec;
+  bool completed = false;
+  std::uint64_t total_decisions = 0;
+  double msgs_per_decision_per_proposer = 0.0;
+  std::uint64_t max_msgs_per_correct = 0;
+  std::uint64_t total_msgs = 0;
+  sim::Time end_time = 0;
+};
+
+FaleiroReport run_faleiro(const FaleiroScenario& sc);
+
+// ------------------------------------------------------------------ RSM --
+
+struct RsmScenario {
+  std::uint32_t n = 4;             ///< replicas
+  std::uint32_t f = 1;
+  std::uint32_t byz_replicas = 0;  ///< fake-decider replicas (≤ f)
+  std::uint32_t num_clients = 2;   ///< correct clients
+  std::uint32_t ops_per_client = 4;  ///< alternating update/read script
+  bool with_byz_client = false;
+  bool contact_all_replicas = false;  ///< Alg 5 contact-policy ablation
+  Sched sched = Sched::kUniform;
+  std::uint64_t seed = 1;
+  std::uint64_t max_events = 80'000'000;
+  bool trace = false;
+  bool trace_broadcast = false;
+};
+
+struct RsmReport {
+  rsm::RsmCheckResult check;
+  rsm::LinearizationResult linearization;  ///< explicit witness (Thm 6)
+  bool completed = false;
+  std::uint64_t ops_completed = 0;
+  double mean_update_latency = 0.0;  ///< sim-time units
+  double mean_read_latency = 0.0;
+  double ops_per_ktime = 0.0;        ///< throughput: ops per 1000 ticks
+  std::uint64_t total_msgs = 0;
+  sim::Time end_time = 0;
+  std::vector<std::vector<rsm::OpRecord>> histories;  ///< correct clients
+};
+
+RsmReport run_rsm(const RsmScenario& sc);
+
+}  // namespace bgla::harness

@@ -1,0 +1,99 @@
+// Shared configuration for the lattice-agreement protocols.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "crypto/signature.h"
+#include "lattice/elem.h"
+#include "util/check.h"
+
+namespace bgla::la {
+
+/// Admissibility predicate: "value ∈ E" of §3.1 (E ⊆ V is the set of
+/// values processes may propose). Checked on every disclosed value so a
+/// Byzantine process cannot inject non-proposable lattice elements
+/// (Algorithm 1 line 11 / Algorithm 3 line 18).
+using Admissible = std::function<bool(const lattice::Elem&)>;
+
+struct LaConfig {
+  std::uint32_t n = 0;  ///< processes running the protocol (ids 0..n-1)
+  std::uint32_t f = 0;  ///< resilience bound: tolerated Byzantine count
+
+  /// Optional extra admissibility condition on top of the lattice-family
+  /// check below; defaults to "any value of the right family".
+  Admissible is_admissible;
+
+  /// Lattice family the protocol instance runs on; disclosed values of a
+  /// different family are rejected (a Byzantine payload of the wrong
+  /// family must not poison joins).
+  const char* expected_kind = "set";
+
+  /// Reliable-broadcast construction used by the disclosure phase (and
+  /// GWTS acks). kBracha needs only authenticated channels (the paper's
+  /// minimal assumption); kSignedCert uses signatures (the §8 assumption)
+  /// and costs ~4n messages per broadcast instead of ~2n². kSignedCert
+  /// requires `authority`.
+  enum class RbImpl { kBracha, kSignedCert };
+  RbImpl rb_impl = RbImpl::kBracha;
+  const crypto::SignatureAuthority* authority = nullptr;
+
+  /// ---- ablation / experiment knobs (defaults = the paper's design) ----
+
+  /// Disclose via Byzantine reliable broadcast (Alg 1 L9). Turning this
+  /// off (plain point-to-point broadcast) is the bench_ablation study: an
+  /// equivocator can then split the safe-value sets of correct processes
+  /// and starve SAFE(), killing liveness.
+  bool reliable_disclosure = true;
+
+  /// GWTS decide-by-adoption (Alg 3 L39-43). Turning it off makes each
+  /// proposer wait for a quorum on its *own* proposal; rounds still end
+  /// but stragglers lag (bench_ablation measures the spread).
+  bool decide_by_adoption = true;
+
+  /// Allows n < 3f+1 for the Theorem 1 necessity experiments ONLY (the
+  /// resilience bench shows WTS losing liveness at n = 3f). Never set in
+  /// production configurations.
+  bool unsafe_allow_undersized = false;
+
+  /// Byzantine quorum used throughout the paper: ⌊(n+f)/2⌋+1.
+  std::uint32_t quorum() const { return (n + f) / 2 + 1; }
+
+  /// Disclosure-phase threshold: proceed after n−f disclosures (§5).
+  std::uint32_t disclosure_threshold() const { return n - f; }
+
+  bool kind_ok(const lattice::Elem& e) const {
+    return e.is_bottom() ||
+           std::string_view(e.model()->kind()) == expected_kind;
+  }
+
+  bool admissible(const lattice::Elem& e) const {
+    if (!kind_ok(e)) return false;
+    if (is_admissible) return is_admissible(e);
+    return true;
+  }
+
+  void validate() const {
+    BGLA_CHECK_MSG(n >= 1, "LaConfig: need at least one process");
+    BGLA_CHECK_MSG(unsafe_allow_undersized || n >= 3 * f + 1,
+                   "LaConfig: Byzantine LA requires n >= 3f+1 (Theorem 1)");
+  }
+};
+
+/// Crash-stop configuration (Faleiro et al., PODC 2012 baseline): majority
+/// quorum, f = tolerated crash count, requires n >= 2f+1.
+struct CrashConfig {
+  std::uint32_t n = 0;
+  std::uint32_t f = 0;
+
+  std::uint32_t quorum() const { return n / 2 + 1; }
+
+  void validate() const {
+    BGLA_CHECK_MSG(n >= 1, "CrashConfig: need at least one process");
+    BGLA_CHECK_MSG(n >= 2 * f + 1,
+                   "CrashConfig: crash-stop LA requires n >= 2f+1");
+  }
+};
+
+}  // namespace bgla::la

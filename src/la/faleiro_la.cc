@@ -1,0 +1,95 @@
+#include "la/faleiro_la.h"
+
+namespace bgla::la {
+
+FaleiroProcess::FaleiroProcess(sim::Network& net, ProcessId id,
+                               CrashConfig cfg, Elem initial)
+    : sim::Process(net, id), cfg_(cfg), pending_(std::move(initial)) {
+  cfg_.validate();
+  if (!pending_.is_bottom()) submitted_.push_back(pending_);
+}
+
+void FaleiroProcess::submit(Elem value) {
+  submitted_.push_back(value);
+  pending_ = pending_.join(std::move(value));
+  if (started_ && state_ == State::kIdle && !crashed()) {
+    begin_proposal();
+  }
+}
+
+bool FaleiroProcess::crashed() const {
+  return crash_time_.has_value() && net().now() >= *crash_time_;
+}
+
+void FaleiroProcess::on_start() {
+  started_ = true;
+  if (!pending_.is_bottom()) begin_proposal();
+}
+
+void FaleiroProcess::begin_proposal() {
+  proposed_set_ = proposed_set_.join(pending_);
+  pending_ = Elem();
+  state_ = State::kProposing;
+  ++ts_;
+  ack_set_.clear();
+  broadcast_proposal();
+}
+
+void FaleiroProcess::broadcast_proposal() {
+  send_to_group(cfg_.n, std::make_shared<FAckReqMsg>(proposed_set_, ts_));
+}
+
+void FaleiroProcess::on_message(ProcessId from, const sim::MessagePtr& msg) {
+  if (crashed()) return;
+  if (const auto* m = dynamic_cast<const SubmitMsg*>(msg.get())) {
+    submit(m->value);
+  } else if (const auto* m = dynamic_cast<const FAckReqMsg*>(msg.get())) {
+    handle_ack_req(from, *m);
+  } else if (const auto* m = dynamic_cast<const FAckMsg*>(msg.get())) {
+    handle_ack(from, *m);
+  } else if (const auto* m = dynamic_cast<const FNackMsg*>(msg.get())) {
+    handle_nack(*m);
+  }
+}
+
+void FaleiroProcess::handle_ack_req(ProcessId from, const FAckReqMsg& m) {
+  if (accepted_set_.leq(m.proposal)) {
+    accepted_set_ = m.proposal;
+    send(from, std::make_shared<FAckMsg>(accepted_set_, m.ts));
+  } else {
+    send(from, std::make_shared<FNackMsg>(accepted_set_, m.ts));
+    accepted_set_ = accepted_set_.join(m.proposal);
+  }
+}
+
+void FaleiroProcess::handle_ack(ProcessId from, const FAckMsg& m) {
+  if (state_ != State::kProposing || m.ts != ts_) return;
+  ack_set_.insert(from);
+  if (ack_set_.size() >= cfg_.quorum()) decide();
+}
+
+void FaleiroProcess::handle_nack(const FNackMsg& m) {
+  if (state_ != State::kProposing || m.ts != ts_) return;
+  const Elem merged = proposed_set_.join(m.accepted);
+  if (merged != proposed_set_) {
+    proposed_set_ = merged;
+    ++ts_;
+    ++stats_.refinements;
+    ack_set_.clear();
+    broadcast_proposal();
+  }
+}
+
+void FaleiroProcess::decide() {
+  DecisionRecord rec;
+  rec.value = proposed_set_;
+  rec.time = net().now();
+  rec.depth = net().current_depth();
+  rec.round = decided_rounds_++;
+  decisions_.push_back(rec);
+  state_ = State::kIdle;
+  if (decide_hook_) decide_hook_(*this, rec);
+  if (!pending_.is_bottom() && !crashed()) begin_proposal();
+}
+
+}  // namespace bgla::la

@@ -1,0 +1,86 @@
+// Crash-stop (Generalized) Lattice Agreement — Faleiro, Rajamani, Rajan,
+// Ramalingam, Vaswani, "Generalized lattice agreement", PODC 2012.
+//
+// This is the titled paper's algorithm and the crash-fault baseline that
+// the Byzantine WTS/GWTS deciding phase extends ("The Deciding Phase is an
+// extension of the algorithm described in [2] with a Byzantine quorum and
+// additional checks", §5). Proposer/acceptor ack-nack refinement with a
+// majority quorum ⌊n/2⌋+1, plain (unauthenticated-content) broadcast, no
+// disclosure phase and no SAFE() filtering — correct under crash faults
+// with n ≥ 2f+1, and demonstrably NOT Byzantine tolerant (bench T7 shows a
+// Comparability violation with a single Byzantine acceptor at n = 3).
+//
+// Generalized operation: submitted values are batched; each batch is
+// proposed as soon as the previous proposal decided (the PODC'12 "buffered
+// values" scheme).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "la/config.h"
+#include "la/messages.h"
+#include "la/record.h"
+#include "sim/network.h"
+
+namespace bgla::la {
+
+class FaleiroProcess : public sim::Process {
+ public:
+  enum class State { kIdle, kProposing };
+
+  FaleiroProcess(sim::Network& net, ProcessId id, CrashConfig cfg,
+                 Elem initial = Elem());
+
+  /// Buffers a value; proposed with the next batch. Also reachable via an
+  /// injected SubmitMsg (harness / client feed).
+  void submit(Elem value);
+
+  const std::vector<Elem>& submitted() const { return submitted_; }
+
+  /// Crash-stop fault injection: the process ignores everything and sends
+  /// nothing from simulation time `t` on.
+  void crash_at(sim::Time t) { crash_time_ = t; }
+
+  void on_start() override;
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+
+  // ---- observation interface ----
+  State state() const { return state_; }
+  bool crashed() const;
+  const std::vector<DecisionRecord>& decisions() const { return decisions_; }
+  const Elem& proposed_set() const { return proposed_set_; }
+  const Elem& accepted_set() const { return accepted_set_; }
+  const ProposerStats& stats() const { return stats_; }
+
+  using DecideHook = std::function<void(const FaleiroProcess&,
+                                        const DecisionRecord&)>;
+  void set_decide_hook(DecideHook hook) { decide_hook_ = std::move(hook); }
+
+ private:
+  void begin_proposal();
+  void broadcast_proposal();
+  void handle_ack_req(ProcessId from, const FAckReqMsg& m);
+  void handle_ack(ProcessId from, const FAckMsg& m);
+  void handle_nack(const FNackMsg& m);
+  void decide();
+
+  CrashConfig cfg_;
+  State state_ = State::kIdle;
+  Elem pending_;
+  std::vector<Elem> submitted_;
+  Elem proposed_set_;
+  Elem accepted_set_;
+  std::uint64_t ts_ = 0;
+  std::set<ProcessId> ack_set_;
+  std::vector<DecisionRecord> decisions_;
+  std::optional<sim::Time> crash_time_;
+  ProposerStats stats_;
+  std::uint64_t decided_rounds_ = 0;
+  bool started_ = false;
+  DecideHook decide_hook_;
+};
+
+}  // namespace bgla::la

@@ -1,0 +1,287 @@
+#include "la/gsbs.h"
+
+namespace bgla::la {
+
+GsbsProcess::GsbsProcess(sim::Network& net, ProcessId id, LaConfig cfg,
+                         const crypto::SignatureAuthority& auth)
+    : sim::Process(net, id),
+      cfg_(cfg),
+      auth_(auth),
+      signer_(auth.signer_for(id)) {
+  cfg_.validate();
+}
+
+void GsbsProcess::submit(Elem value) {
+  BGLA_CHECK_MSG(cfg_.admissible(value), "GSbS: submitted value ∉ E");
+  submitted_.push_back(value);
+  pending_batch_ = pending_batch_.join(value);
+}
+
+void GsbsProcess::on_start() {
+  BGLA_CHECK(!started_);
+  started_ = true;
+  start_round();
+}
+
+void GsbsProcess::start_round() {
+  if (in_round_) {
+    ++round_;
+  } else {
+    in_round_ = true;
+  }
+  state_ = State::kInit;
+  refinements_this_round_ = 0;
+  ++stats_.rounds_joined;
+
+  Elem b = pending_batch_;
+  pending_batch_ = Elem();
+  const SignedBatch own = make_signed_batch(signer_, b, round_);
+  init_sets_[round_].insert(own);
+  safe_ack_senders_.clear();
+  safe_acks_.clear();
+  send_to_group(cfg_.n, std::make_shared<GSInitMsg>(own));
+
+  maybe_start_safetying();  // n−f inits for this round may already be in
+  drain_waiting();
+}
+
+void GsbsProcess::on_message(ProcessId from, const sim::MessagePtr& msg) {
+  if (const auto* m = dynamic_cast<const GSInitMsg*>(msg.get())) {
+    handle_init(*m);
+  } else if (const auto* m = dynamic_cast<const GSSafeReqMsg*>(msg.get())) {
+    handle_safe_req(from, *m);
+  } else if (const auto* m = dynamic_cast<const GSSafeAckMsg*>(msg.get())) {
+    handle_safe_ack(from, *m, msg);
+  } else if (const auto* m = dynamic_cast<const GSAckReqMsg*>(msg.get())) {
+    if (m->round > trusted_) {
+      waiting_.emplace_back(from, msg);  // round not yet trusted
+    } else {
+      handle_ack_req(from, *m);
+    }
+  } else if (const auto* m = dynamic_cast<const GSAckMsg*>(msg.get())) {
+    handle_ack(from, *m, msg);
+  } else if (const auto* m = dynamic_cast<const GSNackMsg*>(msg.get())) {
+    handle_nack(*m);
+  } else if (dynamic_cast<const GSDecidedMsg*>(msg.get()) != nullptr) {
+    handle_cert(msg);
+  } else if (const auto* m = dynamic_cast<const SubmitMsg*>(msg.get())) {
+    if (cfg_.admissible(m->value)) submit(m->value);
+  }
+}
+
+void GsbsProcess::handle_init(const GSInitMsg& m) {
+  if (!m.sb.verify(auth_)) return;
+  if (!cfg_.admissible(m.sb.value)) return;
+  auto& set = init_sets_[m.sb.round];
+  set.insert(m.sb);
+  set.remove_conflicts(auth_);
+  if (m.sb.round == round_) maybe_start_safetying();
+}
+
+void GsbsProcess::maybe_start_safetying() {
+  if (state_ != State::kInit || !started_) return;
+  const auto it = init_sets_.find(round_);
+  if (it == init_sets_.end() ||
+      it->second.size() < cfg_.disclosure_threshold()) {
+    return;
+  }
+  my_safety_set_ = it->second;  // snapshot
+  state_ = State::kSafetying;
+  safe_ack_senders_.clear();
+  safe_acks_.clear();
+  send_to_group(cfg_.n,
+                std::make_shared<GSSafeReqMsg>(my_safety_set_, round_));
+}
+
+void GsbsProcess::handle_safe_req(ProcessId from, const GSSafeReqMsg& m) {
+  // Acceptor role; always active, any round.
+  for (const auto& [k, sb] : m.set.entries()) {
+    if (k.round != m.round || !sb.verify(auth_)) return;
+  }
+  SignedBatchSet& candidates = safe_candidates_[m.round];
+  const SignedBatchSet combined = m.set.unioned(candidates);
+  auto conflicts = combined.conflicts(auth_);
+  const crypto::Signature sig = signer_.sign(
+      GSSafeAckMsg::signed_payload(m.set, conflicts, id(), m.round));
+  send(from, std::make_shared<GSSafeAckMsg>(m.set, std::move(conflicts),
+                                            id(), m.round, sig));
+  SignedBatchSet cleaned = combined;
+  cleaned.remove_conflicts(auth_);
+  candidates = candidates.unioned(cleaned);
+}
+
+void GsbsProcess::handle_safe_ack(ProcessId from, const GSSafeAckMsg& m,
+                                  const sim::MessagePtr& self) {
+  if (state_ != State::kSafetying || m.round != round_) return;
+  if (m.acceptor != from || !m.verify(auth_)) return;
+  if (!m.rcvd.same_as(my_safety_set_)) return;
+  for (const auto& [x, y] : m.conflicts) {
+    if (!batches_conflict(x, y, auth_)) return;  // fabricated conflict
+  }
+  if (safe_ack_senders_.insert(from).second) {
+    safe_acks_.push_back(std::static_pointer_cast<const GSSafeAckMsg>(self));
+  }
+  maybe_start_proposing();
+}
+
+void GsbsProcess::maybe_start_proposing() {
+  if (state_ != State::kSafetying) return;
+  if (safe_acks_.size() < cfg_.quorum()) return;
+
+  for (const auto& [k, sb] : my_safety_set_.entries()) {
+    bool conflicted = false;
+    for (const GSafeAckPtr& ack : safe_acks_) {
+      if (ack->mentions_conflict(k)) {
+        conflicted = true;
+        break;
+      }
+    }
+    if (!conflicted) proposed_.insert(SafeBatch{sb, safe_acks_});
+  }
+  state_ = State::kProposing;
+  ack_senders_.clear();
+  collected_acks_.clear();
+  ++ts_;
+  broadcast_proposal();
+  check_cert_adoption();  // a certificate for this round may already exist
+}
+
+void GsbsProcess::broadcast_proposal() {
+  send_to_group(cfg_.n,
+                std::make_shared<GSAckReqMsg>(proposed_, ts_, round_));
+}
+
+bool GsbsProcess::all_safe(const SafeBatchSet& set, const LaConfig& cfg,
+                           const crypto::SignatureAuthority& auth) {
+  for (const auto& [k, sb] : set.entries()) {
+    if (!cfg.admissible(sb.b.value) || !sb.b.verify(auth)) return false;
+    if (sb.proof.size() < cfg.quorum()) return false;
+    std::set<ProcessId> senders;
+    for (const GSafeAckPtr& ack : sb.proof) {
+      if (ack == nullptr || !ack->verify(auth)) return false;
+      if (ack->round != k.round) return false;
+      if (!senders.insert(ack->acceptor).second) return false;
+      if (!ack->rcvd.contains(k)) return false;
+      if (ack->mentions_conflict(k)) return false;
+    }
+  }
+  return true;
+}
+
+void GsbsProcess::handle_ack_req(ProcessId from, const GSAckReqMsg& m) {
+  if (!all_safe(m.proposal, cfg_, auth_)) return;
+  if (accepted_.leq(m.proposal)) {
+    accepted_ = m.proposal;
+    const crypto::Digest fp = accepted_.fingerprint();
+    const crypto::Signature sig = signer_.sign(
+        GSAckMsg::signed_payload(fp, from, m.ts, m.round));
+    send(from, std::make_shared<GSAckMsg>(fp, from, m.ts, m.round, sig));
+  } else {
+    send(from, std::make_shared<GSNackMsg>(accepted_, m.ts, m.round));
+    accepted_ = accepted_.unioned(m.proposal);
+  }
+}
+
+void GsbsProcess::handle_ack(ProcessId from, const GSAckMsg& m,
+                             const sim::MessagePtr& self) {
+  if (state_ != State::kProposing || m.ts != ts_ || m.round != round_) {
+    return;
+  }
+  if (m.destination != id() || m.acceptor() != from) return;
+  if (m.fp != proposed_.fingerprint()) return;
+  if (!m.verify(auth_)) return;
+  if (!ack_senders_.insert(from).second) return;
+  collected_acks_.push_back(std::static_pointer_cast<const GSAckMsg>(self));
+  if (collected_acks_.size() < cfg_.quorum()) return;
+
+  // Assemble and publish the DECIDED certificate, then decide.
+  const auto cert = std::make_shared<GSDecidedMsg>(
+      proposed_, id(), ts_, round_, collected_acks_);
+  send_to_group(cfg_.n, cert);
+  // Local effect happens when our own copy arrives through handle_cert
+  // (self-delivery is immediate); but decide now for depth fidelity.
+  if (decided_.leq(proposed_)) decide_with(proposed_);
+}
+
+void GsbsProcess::handle_nack(const GSNackMsg& m) {
+  if (state_ != State::kProposing || m.ts != ts_ || m.round != round_) {
+    return;
+  }
+  if (!all_safe(m.accepted, cfg_, auth_)) return;
+  const SafeBatchSet merged = m.accepted.unioned(proposed_);
+  if (merged.same_as(proposed_)) return;
+  proposed_ = merged;
+  ack_senders_.clear();
+  collected_acks_.clear();
+  ++ts_;
+  ++stats_.refinements;
+  ++refinements_this_round_;
+  stats_.max_round_refinements =
+      std::max(stats_.max_round_refinements, refinements_this_round_);
+  broadcast_proposal();
+}
+
+void GsbsProcess::handle_cert(const sim::MessagePtr& msg) {
+  const auto cert = std::static_pointer_cast<const GSDecidedMsg>(msg);
+  if (!cert->well_formed(auth_, cfg_.quorum())) return;
+  if (!all_safe(cert->set, cfg_, auth_)) return;
+  certs_.emplace(cert->round, cert);
+
+  // Round trust advances sequentially through certificates (§8.2: trust r
+  // only having trusted r−1 and seen r−1 terminate).
+  bool advanced = false;
+  while (certs_.count(trusted_) > 0) {
+    ++trusted_;
+    advanced = true;
+  }
+  if (advanced) drain_waiting();
+  check_cert_adoption();
+}
+
+void GsbsProcess::check_cert_adoption() {
+  if (state_ != State::kProposing) return;
+  const auto it = certs_.find(round_);
+  if (it == certs_.end()) return;
+  const auto& cert = it->second;
+  if (!decided_.leq(cert->set)) return;
+  proposed_ = proposed_.unioned(cert->set);
+  decide_with(cert->set);
+}
+
+void GsbsProcess::drain_waiting() {
+  std::deque<std::pair<ProcessId, sim::MessagePtr>> still;
+  while (!waiting_.empty()) {
+    auto [from, msg] = waiting_.front();
+    waiting_.pop_front();
+    const auto* m = static_cast<const GSAckReqMsg*>(msg.get());
+    if (m->round > trusted_) {
+      still.emplace_back(from, msg);
+    } else {
+      handle_ack_req(from, *m);
+    }
+  }
+  waiting_ = std::move(still);
+}
+
+void GsbsProcess::decide_with(const SafeBatchSet& set) {
+  DecisionRecord rec;
+  rec.value = set.join_values();
+  rec.time = net().now();
+  rec.depth = net().current_depth();
+  rec.round = round_;
+  decisions_.push_back(rec);
+  decided_ = set;
+  if (decide_hook_) decide_hook_(*this, rec);
+  start_round();
+}
+
+std::map<ProcessId, Elem> GsbsProcess::proposed_by() const {
+  std::map<ProcessId, Elem> out;
+  for (const auto& [k, sb] : proposed_.entries()) {
+    auto& slot = out[k.signer];
+    slot = slot.join(sb.b.value);
+  }
+  return out;
+}
+
+}  // namespace bgla::la

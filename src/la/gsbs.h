@@ -1,0 +1,120 @@
+// GSbS — generalised Safety by Signature (paper §8.2).
+//
+// Round-based Generalized Lattice Agreement without any reliable
+// broadcast. Each round runs the SbS init/safetying/proposing pipeline on
+// the round's batches, with two §8.2 substitutions for GWTS's reliably
+// broadcast acks:
+//   (1) acceptor acks are *signed* point-to-point messages, so a proposer
+//       can prove to third parties that its proposal was accepted;
+//   (2) before deciding, a proposer broadcasts a DECIDED certificate
+//       carrying the ⌊(n+f)/2⌋+1 signed acks; a well-formed certificate
+//       for round r is every process's evidence that r legitimately ended,
+//       so acceptors advance their round trust through certificates
+//       instead of reliably-broadcast ack quorums.
+//
+// Message complexity per decision per proposer: O(f·n) (§8.2), vs GWTS's
+// O(f·n²) — bench T4/T6 measure exactly this gap.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "la/config.h"
+#include "la/gsbs_msgs.h"
+#include "la/messages.h"
+#include "la/record.h"
+#include "sim/network.h"
+
+namespace bgla::la {
+
+class GsbsProcess : public sim::Process {
+ public:
+  enum class State { kInit, kSafetying, kProposing };
+
+  GsbsProcess(sim::Network& net, ProcessId id, LaConfig cfg,
+              const crypto::SignatureAuthority& auth);
+
+  /// "new value(v)": batched into the next round.
+  void submit(Elem value);
+
+  void on_start() override;
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+
+  // ---- observation interface ----
+  State state() const { return state_; }
+  std::uint64_t round() const { return round_; }
+  std::uint64_t trusted_round() const { return trusted_; }
+  const std::vector<DecisionRecord>& decisions() const { return decisions_; }
+  const std::vector<Elem>& submitted() const { return submitted_; }
+  const ProposerStats& stats() const { return stats_; }
+
+  /// Per-signer union of everything that made it into this process's
+  /// proposals (proof-backed), for Non-Triviality attribution.
+  std::map<ProcessId, Elem> proposed_by() const;
+
+  using DecideHook = std::function<void(const GsbsProcess&,
+                                        const DecisionRecord&)>;
+  void set_decide_hook(DecideHook hook) { decide_hook_ = std::move(hook); }
+
+  static bool all_safe(const SafeBatchSet& set, const LaConfig& cfg,
+                       const crypto::SignatureAuthority& auth);
+
+ private:
+  void start_round();
+  void maybe_start_safetying();
+  void handle_init(const GSInitMsg& m);
+  void handle_safe_req(ProcessId from, const GSSafeReqMsg& m);
+  void handle_safe_ack(ProcessId from, const GSSafeAckMsg& m,
+                       const sim::MessagePtr& self);
+  void maybe_start_proposing();
+  void broadcast_proposal();
+  void handle_ack_req(ProcessId from, const GSAckReqMsg& m);
+  void handle_ack(ProcessId from, const GSAckMsg& m,
+                  const sim::MessagePtr& self);
+  void handle_nack(const GSNackMsg& m);
+  void handle_cert(const sim::MessagePtr& msg);
+  void check_cert_adoption();
+  void drain_waiting();
+  void decide_with(const SafeBatchSet& set);
+
+  LaConfig cfg_;
+  const crypto::SignatureAuthority& auth_;
+  crypto::Signer signer_;
+
+  State state_ = State::kInit;
+  std::uint64_t round_ = 0;
+  std::uint64_t ts_ = 0;
+  bool in_round_ = false;
+  bool started_ = false;
+
+  Elem pending_batch_;
+  std::vector<Elem> submitted_;
+
+  std::map<std::uint64_t, SignedBatchSet> init_sets_;  // per round
+  SignedBatchSet my_safety_set_;                       // current round
+
+  std::set<ProcessId> safe_ack_senders_;
+  std::vector<GSafeAckPtr> safe_acks_;
+
+  SafeBatchSet proposed_;
+  SafeBatchSet decided_;
+  std::set<ProcessId> ack_senders_;
+  std::vector<std::shared_ptr<const GSAckMsg>> collected_acks_;
+
+  // Acceptor role.
+  std::map<std::uint64_t, SignedBatchSet> safe_candidates_;  // per round
+  SafeBatchSet accepted_;
+  std::uint64_t trusted_ = 0;
+  std::map<std::uint64_t, std::shared_ptr<const GSDecidedMsg>> certs_;
+
+  std::deque<std::pair<ProcessId, sim::MessagePtr>> waiting_;
+  std::vector<DecisionRecord> decisions_;
+  ProposerStats stats_;
+  std::uint64_t refinements_this_round_ = 0;
+  DecideHook decide_hook_;
+};
+
+}  // namespace bgla::la

@@ -1,0 +1,241 @@
+#include "la/gsbs_msgs.h"
+
+#include <set>
+#include <sstream>
+
+namespace bgla::la {
+
+// ------------------------------------------------------------ SignedBatch --
+
+Bytes SignedBatch::signed_payload(const Elem& value, std::uint64_t round) {
+  Encoder enc;
+  value.encode(enc);
+  enc.put_u64(round);
+  return enc.take();
+}
+
+void SignedBatch::encode(Encoder& enc) const {
+  value.encode(enc);
+  enc.put_u64(round);
+  enc.put_u32(sig.signer);
+  enc.put_bytes(BytesView(sig.mac.data(), sig.mac.size()));
+}
+
+std::string SignedBatch::to_string() const {
+  std::ostringstream os;
+  os << value.to_string() << "@p" << sig.signer << "/r" << round;
+  return os.str();
+}
+
+SignedBatch make_signed_batch(const crypto::Signer& signer, Elem value,
+                              std::uint64_t round) {
+  SignedBatch sb;
+  sb.sig = signer.sign(SignedBatch::signed_payload(value, round));
+  sb.value = std::move(value);
+  sb.round = round;
+  return sb;
+}
+
+bool batches_conflict(const SignedBatch& x, const SignedBatch& y,
+                      const crypto::SignatureAuthority& auth) {
+  return x.verify(auth) && y.verify(auth) && x.sender() == y.sender() &&
+         x.round == y.round && !(x.value == y.value);
+}
+
+// --------------------------------------------------------- SignedBatchSet --
+
+bool SignedBatchSet::insert(const SignedBatch& sb) {
+  return entries_.emplace(sb.key(), sb).second;
+}
+
+std::vector<std::pair<SignedBatch, SignedBatch>> SignedBatchSet::conflicts(
+    const crypto::SignatureAuthority& auth) const {
+  std::vector<std::pair<SignedBatch, SignedBatch>> out;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    auto jt = it;
+    for (++jt; jt != entries_.end(); ++jt) {
+      if (it->first.signer != jt->first.signer) break;
+      if (batches_conflict(it->second, jt->second, auth)) {
+        out.emplace_back(it->second, jt->second);
+      }
+    }
+  }
+  return out;
+}
+
+void SignedBatchSet::remove_conflicts(
+    const crypto::SignatureAuthority& auth) {
+  for (const auto& [x, y] : conflicts(auth)) {
+    entries_.erase(x.key());
+    entries_.erase(y.key());
+  }
+}
+
+SignedBatchSet SignedBatchSet::unioned(const SignedBatchSet& other) const {
+  SignedBatchSet out = *this;
+  for (const auto& [k, sb] : other.entries_) out.entries_.emplace(k, sb);
+  return out;
+}
+
+crypto::Digest SignedBatchSet::fingerprint() const {
+  Encoder enc;
+  enc.put_varint(entries_.size());
+  for (const auto& [k, sb] : entries_) {
+    enc.put_u32(k.signer);
+    enc.put_u64(k.round);
+    enc.put_bytes(BytesView(k.value_digest.data(), k.value_digest.size()));
+  }
+  return crypto::Sha256::hash(enc.bytes());
+}
+
+void SignedBatchSet::encode(Encoder& enc) const {
+  enc.put_varint(entries_.size());
+  for (const auto& [k, sb] : entries_) sb.encode(enc);
+}
+
+// ----------------------------------------------------------- SafeBatchSet --
+
+bool SafeBatchSet::insert(const SafeBatch& sb) {
+  return entries_.emplace(sb.b.key(), sb).second;
+}
+
+bool SafeBatchSet::leq(const SafeBatchSet& o) const {
+  for (const auto& [k, sb] : entries_) {
+    if (o.entries_.count(k) == 0) return false;
+  }
+  return true;
+}
+
+SafeBatchSet SafeBatchSet::unioned(const SafeBatchSet& o) const {
+  SafeBatchSet out = *this;
+  for (const auto& [k, sb] : o.entries_) out.entries_.emplace(k, sb);
+  return out;
+}
+
+Elem SafeBatchSet::join_values() const {
+  Elem acc;
+  for (const auto& [k, sb] : entries_) acc = acc.join(sb.b.value);
+  return acc;
+}
+
+crypto::Digest SafeBatchSet::fingerprint() const {
+  Encoder enc;
+  enc.put_varint(entries_.size());
+  for (const auto& [k, sb] : entries_) {
+    enc.put_u32(k.signer);
+    enc.put_u64(k.round);
+    enc.put_bytes(BytesView(k.value_digest.data(), k.value_digest.size()));
+  }
+  return crypto::Sha256::hash(enc.bytes());
+}
+
+void SafeBatchSet::encode(Encoder& enc) const {
+  // Dedupe shared proof acks, same rationale as SafeValueSet::encode.
+  std::vector<const GSSafeAckMsg*> distinct;
+  std::map<const GSSafeAckMsg*, std::size_t> index;
+  for (const auto& [k, sb] : entries_) {
+    for (const GSafeAckPtr& ack : sb.proof) {
+      if (index.emplace(ack.get(), distinct.size()).second) {
+        distinct.push_back(ack.get());
+      }
+    }
+  }
+  enc.put_varint(distinct.size());
+  for (const GSSafeAckMsg* ack : distinct) enc.put_bytes(ack->encoded());
+  enc.put_varint(entries_.size());
+  for (const auto& [k, sb] : entries_) {
+    sb.b.encode(enc);
+    enc.put_varint(sb.proof.size());
+    for (const GSafeAckPtr& ack : sb.proof) {
+      enc.put_varint(index.at(ack.get()));
+    }
+  }
+}
+
+// ------------------------------------------------------------ GSSafeAckMsg --
+
+void GSSafeAckMsg::encode_payload(Encoder& enc) const {
+  enc.put_bytes(signed_payload(rcvd, conflicts, acceptor, round));
+  enc.put_u32(sig.signer);
+  enc.put_bytes(BytesView(sig.mac.data(), sig.mac.size()));
+}
+
+Bytes GSSafeAckMsg::signed_payload(
+    const SignedBatchSet& rcvd,
+    const std::vector<std::pair<SignedBatch, SignedBatch>>& conflicts,
+    ProcessId acceptor, std::uint64_t round) {
+  Encoder enc;
+  rcvd.encode(enc);
+  enc.put_varint(conflicts.size());
+  for (const auto& [x, y] : conflicts) {
+    x.encode(enc);
+    y.encode(enc);
+  }
+  enc.put_u32(acceptor);
+  enc.put_u64(round);
+  return enc.take();
+}
+
+bool GSSafeAckMsg::verify(const crypto::SignatureAuthority& auth) const {
+  if (sig.signer != acceptor) return false;
+  return auth.verify(sig, signed_payload(rcvd, conflicts, acceptor, round));
+}
+
+bool GSSafeAckMsg::mentions_conflict(const SignedBatch::Key& k) const {
+  for (const auto& [x, y] : conflicts) {
+    if (x.key() == k || y.key() == k) return true;
+  }
+  return false;
+}
+
+// --------------------------------------------------------------- GSAckMsg --
+
+void GSAckMsg::encode_payload(Encoder& enc) const {
+  enc.put_bytes(signed_payload(fp, destination, ts, round));
+  enc.put_u32(sig.signer);
+  enc.put_bytes(BytesView(sig.mac.data(), sig.mac.size()));
+}
+
+Bytes GSAckMsg::signed_payload(const crypto::Digest& fp,
+                               ProcessId destination, std::uint64_t ts,
+                               std::uint64_t round) {
+  Encoder enc;
+  enc.put_bytes(BytesView(fp.data(), fp.size()));
+  enc.put_u32(destination);
+  enc.put_u64(ts);
+  enc.put_u64(round);
+  return enc.take();
+}
+
+bool GSAckMsg::verify(const crypto::SignatureAuthority& auth) const {
+  return auth.verify(sig, signed_payload(fp, destination, ts, round));
+}
+
+// ----------------------------------------------------------- GSDecidedMsg --
+
+void GSDecidedMsg::encode_payload(Encoder& enc) const {
+  set.encode(enc);
+  enc.put_u32(decider);
+  enc.put_u64(ts);
+  enc.put_u64(round);
+  enc.put_varint(acks.size());
+  for (const auto& ack : acks) enc.put_bytes(ack->encoded());
+}
+
+bool GSDecidedMsg::well_formed(const crypto::SignatureAuthority& auth,
+                               std::uint32_t quorum) const {
+  if (acks.size() < quorum) return false;
+  const crypto::Digest expect = set.fingerprint();
+  std::set<ProcessId> signers;
+  for (const auto& ack : acks) {
+    if (ack == nullptr) return false;
+    if (ack->fp != expect) return false;
+    if (ack->destination != decider) return false;
+    if (ack->ts != ts || ack->round != round) return false;
+    if (!ack->verify(auth)) return false;
+    if (!signers.insert(ack->acceptor()).second) return false;
+  }
+  return true;
+}
+
+}  // namespace bgla::la

@@ -1,0 +1,298 @@
+// Wire messages and proof-carrying data of GSbS, the generalised
+// signature-based algorithm (paper §8.2, type ids 50..59).
+//
+// Differences from GWTS: no reliable broadcast anywhere. Disclosure runs
+// through the SbS init/safetying machinery with *round-bound* signatures;
+// acceptor acks are signed point-to-point messages; a round ends when some
+// proposer assembles a DECIDED certificate (⌊(n+f)/2⌋+1 signed acks) and
+// broadcasts it — the certificate is independently verifiable, replacing
+// the "publicity" that GWTS got from reliably broadcasting acks.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "crypto/signature.h"
+#include "lattice/elem.h"
+#include "sim/message.h"
+#include "util/ids.h"
+
+namespace bgla::la {
+
+using lattice::Elem;
+
+/// A batch signed for a specific round (the round is inside the signed
+/// payload, so a batch signed for round r cannot be replayed in r' ≠ r).
+struct SignedBatch {
+  Elem value;
+  std::uint64_t round = 0;
+  crypto::Signature sig;
+
+  static Bytes signed_payload(const Elem& value, std::uint64_t round);
+  bool verify(const crypto::SignatureAuthority& auth) const {
+    return auth.verify(sig, signed_payload(value, round));
+  }
+  ProcessId sender() const { return sig.signer; }
+
+  struct Key {
+    ProcessId signer = kNoProcess;
+    std::uint64_t round = 0;
+    crypto::Digest value_digest{};
+    auto operator<=>(const Key&) const = default;
+  };
+  Key key() const { return Key{sig.signer, round, value.digest()}; }
+
+  void encode(Encoder& enc) const;
+  std::string to_string() const;
+};
+
+SignedBatch make_signed_batch(const crypto::Signer& signer, Elem value,
+                              std::uint64_t round);
+
+/// Conflict: same signer, same round, different batch.
+bool batches_conflict(const SignedBatch& x, const SignedBatch& y,
+                      const crypto::SignatureAuthority& auth);
+
+/// Set of signed batches for one round, keyed by (signer, round, digest).
+class SignedBatchSet {
+ public:
+  bool insert(const SignedBatch& sb);
+  bool contains(const SignedBatch::Key& k) const {
+    return entries_.count(k) > 0;
+  }
+  std::size_t size() const { return entries_.size(); }
+  const std::map<SignedBatch::Key, SignedBatch>& entries() const {
+    return entries_;
+  }
+
+  std::vector<std::pair<SignedBatch, SignedBatch>> conflicts(
+      const crypto::SignatureAuthority& auth) const;
+  void remove_conflicts(const crypto::SignatureAuthority& auth);
+  SignedBatchSet unioned(const SignedBatchSet& other) const;
+
+  crypto::Digest fingerprint() const;
+  bool same_as(const SignedBatchSet& o) const {
+    return fingerprint() == o.fingerprint();
+  }
+  void encode(Encoder& enc) const;
+
+ private:
+  std::map<SignedBatch::Key, SignedBatch> entries_;
+};
+
+class GSSafeAckMsg;
+using GSafeAckPtr = std::shared_ptr<const GSSafeAckMsg>;
+
+/// A batch with its proof of safety for its round.
+struct SafeBatch {
+  SignedBatch b;
+  std::vector<GSafeAckPtr> proof;
+};
+
+/// Cumulative proposal across rounds: proof-carrying batches keyed by
+/// (signer, round, digest). Order/equality over the key set.
+class SafeBatchSet {
+ public:
+  bool insert(const SafeBatch& sb);
+  bool contains(const SignedBatch::Key& k) const {
+    return entries_.count(k) > 0;
+  }
+  std::size_t size() const { return entries_.size(); }
+  const std::map<SignedBatch::Key, SafeBatch>& entries() const {
+    return entries_;
+  }
+  bool leq(const SafeBatchSet& o) const;
+  bool same_as(const SafeBatchSet& o) const {
+    return fingerprint() == o.fingerprint();
+  }
+  SafeBatchSet unioned(const SafeBatchSet& o) const;
+  Elem join_values() const;
+  crypto::Digest fingerprint() const;
+  void encode(Encoder& enc) const;
+
+ private:
+  std::map<SignedBatch::Key, SafeBatch> entries_;
+};
+
+// --------------------------------------------------------- wire messages --
+
+/// <g_init, SignedBatch> — round-r disclosure, plain broadcast.
+class GSInitMsg final : public sim::Message {
+ public:
+  explicit GSInitMsg(SignedBatch sb) : sb(std::move(sb)) {}
+  std::uint32_t type_id() const override { return 50; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override { sb.encode(enc); }
+  std::string to_string() const override {
+    return "GS_INIT(" + sb.to_string() + ")";
+  }
+  SignedBatch sb;
+};
+
+/// <g_safe_req, set, round>.
+class GSSafeReqMsg final : public sim::Message {
+ public:
+  GSSafeReqMsg(SignedBatchSet set, std::uint64_t round)
+      : set(std::move(set)), round(round) {}
+  std::uint32_t type_id() const override { return 51; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override {
+    set.encode(enc);
+    enc.put_u64(round);
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "GS_SAFE_REQ(r=" << round << ",|s|=" << set.size() << ")";
+    return os.str();
+  }
+  SignedBatchSet set;
+  std::uint64_t round;
+};
+
+/// Signed <g_safe_ack, rcvd, conflicts, acceptor, round>.
+class GSSafeAckMsg final : public sim::Message {
+ public:
+  GSSafeAckMsg(SignedBatchSet rcvd,
+               std::vector<std::pair<SignedBatch, SignedBatch>> conflicts,
+               ProcessId acceptor, std::uint64_t round,
+               crypto::Signature sig)
+      : rcvd(std::move(rcvd)),
+        conflicts(std::move(conflicts)),
+        acceptor(acceptor),
+        round(round),
+        sig(sig) {}
+
+  std::uint32_t type_id() const override { return 52; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override;
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "GS_SAFE_ACK(r=" << round << ",acc=" << acceptor << ")";
+    return os.str();
+  }
+
+  static Bytes signed_payload(
+      const SignedBatchSet& rcvd,
+      const std::vector<std::pair<SignedBatch, SignedBatch>>& conflicts,
+      ProcessId acceptor, std::uint64_t round);
+  bool verify(const crypto::SignatureAuthority& auth) const;
+  bool mentions_conflict(const SignedBatch::Key& k) const;
+
+  SignedBatchSet rcvd;
+  std::vector<std::pair<SignedBatch, SignedBatch>> conflicts;
+  ProcessId acceptor;
+  std::uint64_t round;
+  crypto::Signature sig;
+};
+
+/// <g_ack_req, proposal, ts, round>.
+class GSAckReqMsg final : public sim::Message {
+ public:
+  GSAckReqMsg(SafeBatchSet proposal, std::uint64_t ts, std::uint64_t round)
+      : proposal(std::move(proposal)), ts(ts), round(round) {}
+  std::uint32_t type_id() const override { return 53; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override {
+    proposal.encode(enc);
+    enc.put_u64(ts);
+    enc.put_u64(round);
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "GS_ACK_REQ(r=" << round << ",ts=" << ts << ")";
+    return os.str();
+  }
+  SafeBatchSet proposal;
+  std::uint64_t ts;
+  std::uint64_t round;
+};
+
+/// Signed point-to-point ack: the acceptor signs (proposal fingerprint,
+/// destination, ts, round) so the ack can serve in a DECIDED certificate.
+class GSAckMsg final : public sim::Message {
+ public:
+  GSAckMsg(crypto::Digest fp, ProcessId destination, std::uint64_t ts,
+           std::uint64_t round, crypto::Signature sig)
+      : fp(fp), destination(destination), ts(ts), round(round), sig(sig) {}
+
+  std::uint32_t type_id() const override { return 54; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override;
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "GS_ACK(r=" << round << ",ts=" << ts << ")";
+    return os.str();
+  }
+
+  static Bytes signed_payload(const crypto::Digest& fp,
+                              ProcessId destination, std::uint64_t ts,
+                              std::uint64_t round);
+  bool verify(const crypto::SignatureAuthority& auth) const;
+  ProcessId acceptor() const { return sig.signer; }
+
+  crypto::Digest fp;
+  ProcessId destination;
+  std::uint64_t ts;
+  std::uint64_t round;
+  crypto::Signature sig;
+};
+
+/// <g_nack, accepted, ts, round>.
+class GSNackMsg final : public sim::Message {
+ public:
+  GSNackMsg(SafeBatchSet accepted, std::uint64_t ts, std::uint64_t round)
+      : accepted(std::move(accepted)), ts(ts), round(round) {}
+  std::uint32_t type_id() const override { return 55; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override {
+    accepted.encode(enc);
+    enc.put_u64(ts);
+    enc.put_u64(round);
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "GS_NACK(r=" << round << ",ts=" << ts << ")";
+    return os.str();
+  }
+  SafeBatchSet accepted;
+  std::uint64_t ts;
+  std::uint64_t round;
+};
+
+/// Well-formed DECIDED certificate: the decided set plus ⌊(n+f)/2⌋+1
+/// signed acks for it; ends round `round` for everyone who verifies it.
+class GSDecidedMsg final : public sim::Message {
+ public:
+  GSDecidedMsg(SafeBatchSet set, ProcessId decider, std::uint64_t ts,
+               std::uint64_t round,
+               std::vector<std::shared_ptr<const GSAckMsg>> acks)
+      : set(std::move(set)),
+        decider(decider),
+        ts(ts),
+        round(round),
+        acks(std::move(acks)) {}
+
+  std::uint32_t type_id() const override { return 56; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override;
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "GS_DECIDED(r=" << round << ",by=" << decider << ")";
+    return os.str();
+  }
+
+  /// Certificate validity: quorum of distinct acceptors, every ack signed
+  /// over this very set's fingerprint addressed to the decider at (ts, r).
+  bool well_formed(const crypto::SignatureAuthority& auth,
+                   std::uint32_t quorum) const;
+
+  SafeBatchSet set;
+  ProcessId decider;
+  std::uint64_t ts;
+  std::uint64_t round;
+  std::vector<std::shared_ptr<const GSAckMsg>> acks;
+};
+
+}  // namespace bgla::la

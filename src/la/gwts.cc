@@ -1,0 +1,360 @@
+#include "la/gwts.h"
+
+namespace bgla::la {
+
+GwtsProcess::GwtsProcess(sim::Network& net, ProcessId id, LaConfig cfg)
+    : sim::Process(net, id), cfg_(cfg) {
+  cfg_.validate();
+  auto rb_send = [this](ProcessId to, sim::MessagePtr m) {
+    send(to, std::move(m));
+  };
+  auto rb_deliver = [this](ProcessId origin, std::uint64_t tag,
+                           const sim::MessagePtr& inner) {
+    on_rb_deliver(origin, tag, inner);
+  };
+  if (cfg_.rb_impl == LaConfig::RbImpl::kSignedCert) {
+    BGLA_CHECK_MSG(cfg_.authority != nullptr,
+                   "GWTS: kSignedCert RB needs a SignatureAuthority");
+    rb_ = std::make_unique<bcast::CertRbEndpoint>(
+        id, cfg_.n, cfg_.f, *cfg_.authority, rb_send, rb_deliver,
+        cfg_.unsafe_allow_undersized);
+  } else {
+    rb_ = std::make_unique<bcast::BrachaEndpoint>(
+        id, cfg_.n, cfg_.f, rb_send, rb_deliver,
+        cfg_.unsafe_allow_undersized);
+  }
+}
+
+void GwtsProcess::submit(Elem value) {
+  BGLA_CHECK_MSG(cfg_.admissible(value), "GWTS: submitted value ∉ E");
+  // Alg 3 L9-10: goes into the next round's batch.
+  submitted_.push_back(value);
+  pending_batch_ = pending_batch_.join(value);
+}
+
+void GwtsProcess::on_start() {
+  BGLA_CHECK(!started_);
+  started_ = true;
+  start_new_round();
+}
+
+void GwtsProcess::start_new_round() {
+  // Alg 3 L12-16 (round_ starts at 0 on the first call, like r = -1 + 1).
+  if (in_round_) {
+    ++round_;
+  } else {
+    in_round_ = true;
+  }
+  state_ = State::kDisclosing;
+  refinements_this_round_ = 0;
+  ++stats_.rounds_joined;
+
+  Elem b = pending_batch_;
+  pending_batch_ = Elem();
+  batch_[round_] = b;
+  proposed_set_ = proposed_set_.join(b);
+  rb_->broadcast(disclosure_tag(round_),
+                std::make_shared<GDisclosureMsg>(b, round_));
+  maybe_start_proposing();  // n−f disclosures may already have arrived
+  drain_waiting();
+}
+
+void GwtsProcess::on_message(ProcessId from, const sim::MessagePtr& msg) {
+  if (rb_->handle(from, msg)) return;
+  // Only nacks and ack_reqs travel point-to-point; acks and disclosures
+  // must come through the reliable broadcast (anything else from a
+  // Byzantine sender is dropped by try_process).
+  waiting_.emplace_back(from, msg);
+  drain_waiting();
+}
+
+void GwtsProcess::on_rb_deliver(ProcessId origin, std::uint64_t tag,
+                                const sim::MessagePtr& inner) {
+  if (const auto* d = dynamic_cast<const GDisclosureMsg*>(inner.get())) {
+    on_disclosure(origin, tag, *d);
+    return;
+  }
+  if (const auto* a = dynamic_cast<const GAckMsg*>(inner.get())) {
+    // Alg 3 L36 / Alg 4 L14 require "delivered with RBcastDelivery";
+    // we therefore enqueue RB-delivered acks through a trusted path: the
+    // sender recorded is the RB origin, which authenticates the acceptor.
+    if (a->acceptor != origin) return;  // forged acceptor field
+    if (safe(a->accepted)) {
+      record_ack(origin, *a);
+    } else {
+      waiting_.emplace_back(origin, inner);
+    }
+    drain_waiting();
+    return;
+  }
+  // Unknown RB payload from a Byzantine origin: ignore.
+}
+
+void GwtsProcess::on_disclosure(ProcessId origin, std::uint64_t tag,
+                                const GDisclosureMsg& m) {
+  // One disclosure per (origin, round): the tag must be the canonical
+  // disclosure tag of the claimed round (stops tag-space games).
+  if (tag != disclosure_tag(m.round)) return;
+  if (!cfg_.admissible(m.batch)) return;  // Alg 3 L18: ∀e ∈ Set, e ∈ E
+  auto& per_round = svs_[m.round];
+  if (per_round.count(origin) > 0) return;
+
+  if (state_ == State::kDisclosing) {
+    proposed_set_ = proposed_set_.join(m.batch);  // Alg 3 L19-20
+  }
+  per_round.emplace(origin, m.batch);  // Alg 3 L21-22
+  svs_join_ = svs_join_.join(m.batch);
+
+  maybe_start_proposing();
+  drain_waiting();
+}
+
+void GwtsProcess::maybe_start_proposing() {
+  // Alg 3 L24-27.
+  if (state_ != State::kDisclosing || !started_) return;
+  const auto it = svs_.find(round_);
+  if (it == svs_.end() ||
+      it->second.size() < cfg_.disclosure_threshold()) {
+    return;
+  }
+  state_ = State::kProposing;
+  ++ts_;
+  broadcast_proposal();
+  // A committed proposal for this round may already be known
+  // (decide-by-adoption, Alg 3 L39-43).
+  check_quorumed_for_decision();
+}
+
+void GwtsProcess::broadcast_proposal() {
+  send_to_group(cfg_.n,
+                std::make_shared<GAckReqMsg>(proposed_set_, ts_, round_));
+}
+
+void GwtsProcess::drain_waiting() {
+  if (draining_) return;
+  draining_ = true;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < waiting_.size();) {
+      auto [from, msg] = waiting_[i];
+      if (try_process(from, msg)) {
+        waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(i));
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  draining_ = false;
+}
+
+bool GwtsProcess::try_process(ProcessId from, const sim::MessagePtr& msg) {
+  if (const auto* m = dynamic_cast<const GAckReqMsg*>(msg.get())) {
+    // Alg 4 L6: SAFEA(m) ∧ r ≤ Safe_r.
+    if (m->round > safe_r_) return false;
+    if (!safe(m->proposal)) return false;
+    handle_ack_req(from, *m);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const GNackMsg*>(msg.get())) {
+    // Alg 3 L30: SAFE(m) ∧ state = proposing ∧ ts' = ts ∧ r' = r.
+    if (m->round < round_ || (m->round == round_ && m->ts < ts_)) {
+      return true;  // stale: drop
+    }
+    if (state_ != State::kProposing || m->ts != ts_ || m->round != round_) {
+      return false;
+    }
+    if (!safe(m->accepted)) return false;
+    handle_nack(*m);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const SubmitMsg*>(msg.get())) {
+    if (cfg_.admissible(m->value)) submit(m->value);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const GAckMsg*>(msg.get())) {
+    // Reaches here only when queued from on_rb_deliver (origin == from)
+    // while unsafe, or sent point-to-point by a Byzantine (dropped by the
+    // acceptor-authenticity check).
+    if (m->acceptor != from) return true;  // not RB-authenticated: drop
+    if (!safe(m->accepted)) return false;
+    record_ack(from, *m);
+    return true;
+  }
+  return true;  // unknown: consume and ignore
+}
+
+void GwtsProcess::handle_ack_req(ProcessId from, const GAckReqMsg& m) {
+  // Alg 4 L8-13.
+  if (accepted_set_.leq(m.proposal)) {
+    accepted_set_ = m.proposal;
+    rb_->broadcast(next_ack_tag(),
+                  std::make_shared<GAckMsg>(accepted_set_, from, id(),
+                                            m.ts, m.round));
+  } else {
+    send(from, std::make_shared<GNackMsg>(accepted_set_, m.ts, m.round));
+    accepted_set_ = accepted_set_.join(m.proposal);
+  }
+}
+
+void GwtsProcess::handle_nack(const GNackMsg& m) {
+  // Alg 3 L32-35.
+  const Elem merged = proposed_set_.join(m.accepted);
+  if (merged != proposed_set_) {
+    proposed_set_ = merged;
+    ++ts_;
+    ++stats_.refinements;
+    ++refinements_this_round_;
+    stats_.max_round_refinements =
+        std::max(stats_.max_round_refinements, refinements_this_round_);
+    broadcast_proposal();
+  }
+}
+
+void GwtsProcess::record_ack(ProcessId origin, const GAckMsg& m) {
+  // Alg 3 L37-38 / Alg 4 L15-16 (shared Ack_history).
+  AckKey key;
+  key.value_digest = m.accepted.digest();
+  key.destination = m.destination;
+  key.ts = m.ts;
+  key.round = m.round;
+
+  AckEntry& entry = ack_history_[key];
+  if (entry.value.is_bottom()) entry.value = m.accepted;
+  entry.acceptors.insert(origin);
+  if (!entry.quorumed && entry.acceptors.size() >= cfg_.quorum()) {
+    entry.quorumed = true;
+    quorumed_.insert(key);
+    on_quorum(key, entry);
+  }
+}
+
+void GwtsProcess::on_quorum(const AckKey&, const AckEntry&) {
+  advance_safe_r();
+  check_quorumed_for_decision();
+}
+
+void GwtsProcess::advance_safe_r() {
+  // Alg 4 L17-19: round trust advances only through legitimate ends.
+  for (const AckKey& key : quorumed_) ended_rounds_.insert(key.round);
+  while (ended_rounds_.count(safe_r_) > 0) ++safe_r_;
+}
+
+void GwtsProcess::check_quorumed_for_decision() {
+  // Alg 3 L39-43.
+  if (state_ != State::kProposing) return;
+  for (const AckKey& key : quorumed_) {
+    if (key.round != round_) continue;
+    // Ablation: without decide-by-adoption only quorums on requests this
+    // process issued itself may trigger its decision.
+    if (!cfg_.decide_by_adoption && key.destination != id()) continue;
+    const AckEntry& entry = ack_history_.at(key);
+    if (!decided_set_.leq(entry.value)) continue;
+    decide(entry.value);
+    return;  // decide() started a new round
+  }
+}
+
+void GwtsProcess::decide(const Elem& value) {
+  DecisionRecord rec;
+  rec.value = value;
+  rec.time = net().now();
+  rec.depth = net().current_depth();
+  rec.round = round_;
+  decisions_.push_back(rec);
+  decided_set_ = value;
+  if (decide_hook_) decide_hook_(*this, rec);
+  collect_garbage();
+  start_new_round();
+}
+
+void GwtsProcess::collect_garbage() {
+  // State from rounds well behind both our own round and the acceptor
+  // trust frontier can never be consulted again:
+  //  - per-round SvS maps only gate the Counter[r] >= n-f trigger and the
+  //    one-disclosure-per-(origin, round) rule for rounds we might still
+  //    be in; the cumulative W lives in svs_join_;
+  //  - Ack_history entries for decided rounds only served Safe_r
+  //    advancement, which ended_rounds_ now remembers compactly.
+  // Keep a 2-round tail for stragglers mid-flight.
+  if (round_ < 2) return;
+  const std::uint64_t horizon = round_ - 2;
+  for (auto it = svs_.begin();
+       it != svs_.end() && it->first < horizon;) {
+    for (const auto& [origin, value] : it->second) {
+      auto& slot = collected_disclosed_[origin];
+      slot = slot.join(value);
+    }
+    it = svs_.erase(it);
+  }
+  for (auto it = ack_history_.begin(); it != ack_history_.end();) {
+    if (it->first.round < horizon) {
+      it = ack_history_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = quorumed_.begin(); it != quorumed_.end();) {
+    if (it->round < horizon) {
+      it = quorumed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Drop buffered messages that can never matter again: nacks for rounds
+  // we long left (the ts/round guard would discard them on processing
+  // anyway) and acks for rounds whose decision and Safe_r effect are both
+  // behind us. Buffered *ack requests* are NOT dropped: a slow-but-correct
+  // proposer may still be working an old round, and answering it later is
+  // part of the reliable-channel contract.
+  for (std::size_t i = 0; i < waiting_.size();) {
+    const auto& msg = waiting_[i].second;
+    std::uint64_t r = 0;
+    bool droppable = false;
+    if (const auto* m = dynamic_cast<const GNackMsg*>(msg.get())) {
+      r = m->round;
+      droppable = true;
+    } else if (const auto* m = dynamic_cast<const GAckMsg*>(msg.get())) {
+      r = m->round;
+      droppable = true;
+    }
+    if (droppable && r < horizon) {
+      waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+std::size_t GwtsProcess::retained_state() const {
+  std::size_t n = waiting_.size() + quorumed_.size();
+  for (const auto& [round, per_origin] : svs_) n += per_origin.size();
+  for (const auto& [key, entry] : ack_history_) {
+    n += entry.acceptors.size();
+  }
+  return n;
+}
+
+std::map<ProcessId, Elem> GwtsProcess::disclosed_by() const {
+  std::map<ProcessId, Elem> out = collected_disclosed_;
+  for (const auto& [round, per_origin] : svs_) {
+    for (const auto& [origin, value] : per_origin) {
+      auto& slot = out[origin];
+      slot = slot.join(value);
+    }
+  }
+  return out;
+}
+
+bool GwtsProcess::confirmed(const Elem& value) const {
+  // Algorithm 7 L4: the value appears ⌊(n+f)/2⌋+1 times in Ack_history
+  // for a fixed (destination, ts, round).
+  const crypto::Digest d = value.digest();
+  for (const AckKey& key : quorumed_) {
+    if (key.value_digest == d) return true;
+  }
+  return false;
+}
+
+}  // namespace bgla::la

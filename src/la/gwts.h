@@ -1,0 +1,164 @@
+// GWTS — Generalized Wait Till Safe (paper §6, Algorithms 3 and 4).
+//
+// Byzantine Generalized Lattice Agreement: an infinite sequence of decision
+// rounds. Input values received during round r are batched into round r+1.
+// Each round runs a disclosure phase (reliable broadcast of the batch,
+// tagged with the round) and a deciding phase where acceptor acks are
+// themselves reliably broadcast, making acceptances public so that:
+//   - any proposer can adopt a committed Accepted_set for its round
+//     (decide-by-adoption, Alg 3 L39-43), and
+//   - acceptors advance their round trust Safe_r only when the previous
+//     round had a legitimate end (Alg 4 L17-19), which stops Byzantine
+//     round-rushing.
+//
+// Safety interpretation note: SAFE at round r checks the element against
+// the *cumulative* disclosed values W_r = ⊕ ∪_{r' ≤ r} SvS[r'], the set
+// the paper's Non-Triviality proof works with (§6.3.1); since W_r is
+// monotone in r, the acceptor-side "∃r: element ⊆ SvS[r]" is equivalent to
+// checking against the latest W.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include <memory>
+
+#include "bcast/bracha.h"
+#include "bcast/cert_rb.h"
+#include "la/config.h"
+#include "la/messages.h"
+#include "la/record.h"
+#include "sim/network.h"
+
+namespace bgla::la {
+
+class GwtsProcess : public sim::Process {
+ public:
+  enum class State { kDisclosing, kProposing };
+
+  GwtsProcess(sim::Network& net, ProcessId id, LaConfig cfg);
+
+  /// "upon event new value(v)" (Alg 3 L9-10): enqueue an input value; it
+  /// will be disclosed in the next round's batch. May be called before the
+  /// run starts or from any handler (e.g. the RSM replica receiving a
+  /// client command).
+  void submit(Elem value);
+
+  void on_start() override;
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+
+  // ---- observation interface ----
+  State state() const { return state_; }
+  std::uint64_t round() const { return round_; }
+  std::uint64_t safe_round() const { return safe_r_; }
+  const std::vector<DecisionRecord>& decisions() const { return decisions_; }
+  const std::vector<Elem>& submitted() const { return submitted_; }
+  const Elem& decided_set() const { return decided_set_; }
+  const Elem& proposed_set() const { return proposed_set_; }
+  const ProposerStats& stats() const { return stats_; }
+
+  /// Decide hook: called at every decide event, before the next round
+  /// starts. Used by the RSM replica and by run controllers.
+  using DecideHook = std::function<void(const GwtsProcess&,
+                                        const DecisionRecord&)>;
+  void set_decide_hook(DecideHook hook) { decide_hook_ = std::move(hook); }
+
+  /// Per-origin union of everything this process saw disclosed (across
+  /// rounds) — lets checkers attribute the Byzantine contribution B.
+  std::map<ProcessId, Elem> disclosed_by() const;
+
+  /// Bounded-state accounting: retained per-round SvS maps + Ack_history
+  /// entries + buffered messages (diagnostics; the GC test asserts this
+  /// stays bounded across an unbounded run).
+  std::size_t retained_state() const;
+
+  /// Algorithm 7 plug-in support: true iff `value` appears with quorum
+  /// support in Ack_history for some (destination, ts, round) — i.e. it
+  /// was effectively decided in GWTS.
+  bool confirmed(const Elem& value) const;
+
+ private:
+  struct AckKey {
+    crypto::Digest value_digest{};
+    ProcessId destination = kNoProcess;
+    std::uint64_t ts = 0;
+    std::uint64_t round = 0;
+    auto operator<=>(const AckKey&) const = default;
+  };
+  struct AckEntry {
+    Elem value;
+    std::set<ProcessId> acceptors;  // distinct RB origins
+    bool quorumed = false;
+  };
+
+  bool safe(const Elem& e) const { return e.leq(svs_join_); }
+
+  void start_new_round();
+  void on_rb_deliver(ProcessId origin, std::uint64_t tag,
+                     const sim::MessagePtr& inner);
+  void on_disclosure(ProcessId origin, std::uint64_t tag,
+                     const GDisclosureMsg& m);
+  void maybe_start_proposing();
+  void broadcast_proposal();
+  void drain_waiting();
+  bool try_process(ProcessId from, const sim::MessagePtr& msg);
+
+  void handle_ack_req(ProcessId from, const GAckReqMsg& m);
+  void handle_nack(const GNackMsg& m);
+  void record_ack(ProcessId origin, const GAckMsg& m);
+  void on_quorum(const AckKey& key, const AckEntry& entry);
+  void check_quorumed_for_decision();
+  void advance_safe_r();
+  void decide(const Elem& value);
+  void collect_garbage();
+
+  static std::uint64_t disclosure_tag(std::uint64_t round) {
+    return round << 1;  // even tags: disclosures; odd tags: acks
+  }
+  std::uint64_t next_ack_tag() { return (ack_tag_counter_++ << 1) | 1; }
+
+  LaConfig cfg_;
+  std::unique_ptr<bcast::RbEndpoint> rb_;
+
+  // Proposer state.
+  State state_ = State::kDisclosing;
+  std::uint64_t round_ = 0;
+  std::uint64_t ts_ = 0;
+  Elem proposed_set_;
+  Elem decided_set_;
+  Elem pending_batch_;                   // Batch[r+1] accumulator
+  std::vector<Elem> submitted_;          // all values fed via submit()
+  std::map<std::uint64_t, Elem> batch_;  // Batch[r] snapshots (diagnostics)
+  std::vector<DecisionRecord> decisions_;
+
+  // Values disclosure: per round, per origin.
+  std::map<std::uint64_t, std::map<ProcessId, Elem>> svs_;
+  Elem svs_join_;  // cumulative W
+
+  // Acceptor state.
+  Elem accepted_set_;
+  std::uint64_t safe_r_ = 0;
+  std::uint64_t ack_tag_counter_ = 0;
+
+  // Shared Ack_history (proposer L36-38 and acceptor L14-16 views).
+  std::map<AckKey, AckEntry> ack_history_;
+  std::set<AckKey> quorumed_;
+  std::set<std::uint64_t> ended_rounds_;  // rounds with a known quorum
+  // GC bookkeeping: per-origin union of *collected* disclosures so
+  // disclosed_by() stays exact after pruning.
+  std::map<ProcessId, Elem> collected_disclosed_;
+
+  std::deque<std::pair<ProcessId, sim::MessagePtr>> waiting_;
+  ProposerStats stats_;
+  std::uint64_t refinements_this_round_ = 0;
+  DecideHook decide_hook_;
+  bool started_ = false;
+  bool in_round_ = false;
+  bool draining_ = false;
+};
+
+}  // namespace bgla::la

@@ -1,0 +1,297 @@
+// Wire messages of the lattice-agreement protocols.
+//
+// Type-id ranges:
+//   1..3    reliable broadcast (bcast/bracha.h)
+//   10..19  WTS (Algorithms 1-2)
+//   20..29  GWTS (Algorithms 3-4)
+//   30..39  crash-stop Faleiro LA/GLA (PODC 2012 baseline)
+//   40..49  SbS (Algorithms 8-10)
+//   50..59  GSbS (§8.2)
+//   60..79  RSM client/replica traffic (§7)
+#pragma once
+
+#include <sstream>
+
+#include "lattice/elem.h"
+#include "sim/message.h"
+#include "util/ids.h"
+
+namespace bgla::la {
+
+using lattice::Elem;
+
+// ---------------------------------------------------------------- WTS ----
+
+/// Inner payload of the Values Disclosure reliable broadcast (Alg 1 L9).
+class DisclosureMsg final : public sim::Message {
+ public:
+  explicit DisclosureMsg(Elem value) : value(std::move(value)) {}
+
+  std::uint32_t type_id() const override { return 10; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override { value.encode(enc); }
+  std::string to_string() const override {
+    return "DISCLOSE(" + value.to_string() + ")";
+  }
+
+  Elem value;
+};
+
+/// <ack_req, Proposed_set, ts> (Alg 1 L19/L31).
+class AckReqMsg final : public sim::Message {
+ public:
+  AckReqMsg(Elem proposal, std::uint64_t ts)
+      : proposal(std::move(proposal)), ts(ts) {}
+
+  std::uint32_t type_id() const override { return 11; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override {
+    proposal.encode(enc);
+    enc.put_u64(ts);
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "ACK_REQ(ts=" << ts << "," << proposal.to_string() << ")";
+    return os.str();
+  }
+
+  Elem proposal;
+  std::uint64_t ts;
+};
+
+/// <ack, Accepted_set, ts> (Alg 2 L9).
+class AckMsg final : public sim::Message {
+ public:
+  AckMsg(Elem accepted, std::uint64_t ts)
+      : accepted(std::move(accepted)), ts(ts) {}
+
+  std::uint32_t type_id() const override { return 12; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override {
+    accepted.encode(enc);
+    enc.put_u64(ts);
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "ACK(ts=" << ts << "," << accepted.to_string() << ")";
+    return os.str();
+  }
+
+  Elem accepted;
+  std::uint64_t ts;
+};
+
+/// <nack, Accepted_set, ts> (Alg 2 L11).
+class NackMsg final : public sim::Message {
+ public:
+  NackMsg(Elem accepted, std::uint64_t ts)
+      : accepted(std::move(accepted)), ts(ts) {}
+
+  std::uint32_t type_id() const override { return 13; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override {
+    accepted.encode(enc);
+    enc.put_u64(ts);
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "NACK(ts=" << ts << "," << accepted.to_string() << ")";
+    return os.str();
+  }
+
+  Elem accepted;
+  std::uint64_t ts;
+};
+
+// --------------------------------------------------------------- GWTS ----
+
+/// Inner payload of the round-r disclosure broadcast (Alg 3 L16).
+class GDisclosureMsg final : public sim::Message {
+ public:
+  GDisclosureMsg(Elem batch, std::uint64_t round)
+      : batch(std::move(batch)), round(round) {}
+
+  std::uint32_t type_id() const override { return 20; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override {
+    batch.encode(enc);
+    enc.put_u64(round);
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "G_DISCLOSE(r=" << round << "," << batch.to_string() << ")";
+    return os.str();
+  }
+
+  Elem batch;
+  std::uint64_t round;
+};
+
+/// <ack_req, Proposed_set, ts, r> (Alg 3 L27/L35).
+class GAckReqMsg final : public sim::Message {
+ public:
+  GAckReqMsg(Elem proposal, std::uint64_t ts, std::uint64_t round)
+      : proposal(std::move(proposal)), ts(ts), round(round) {}
+
+  std::uint32_t type_id() const override { return 21; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override {
+    proposal.encode(enc);
+    enc.put_u64(ts);
+    enc.put_u64(round);
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "G_ACK_REQ(r=" << round << ",ts=" << ts << ","
+       << proposal.to_string() << ")";
+    return os.str();
+  }
+
+  Elem proposal;
+  std::uint64_t ts;
+  std::uint64_t round;
+};
+
+/// <ack, Accepted_set, destination, sender, ts, r> — reliably broadcast by
+/// acceptors so acceptances are public (Alg 4 L10).
+class GAckMsg final : public sim::Message {
+ public:
+  GAckMsg(Elem accepted, ProcessId destination, ProcessId acceptor,
+          std::uint64_t ts, std::uint64_t round)
+      : accepted(std::move(accepted)),
+        destination(destination),
+        acceptor(acceptor),
+        ts(ts),
+        round(round) {}
+
+  std::uint32_t type_id() const override { return 22; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override {
+    accepted.encode(enc);
+    enc.put_u32(destination);
+    enc.put_u32(acceptor);
+    enc.put_u64(ts);
+    enc.put_u64(round);
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "G_ACK(r=" << round << ",ts=" << ts << ",dst=" << destination
+       << ",acc=" << acceptor << "," << accepted.to_string() << ")";
+    return os.str();
+  }
+
+  Elem accepted;
+  ProcessId destination;
+  ProcessId acceptor;
+  std::uint64_t ts;
+  std::uint64_t round;
+};
+
+/// <nack, Accepted_set, ts, r> (Alg 4 L12), point-to-point.
+class GNackMsg final : public sim::Message {
+ public:
+  GNackMsg(Elem accepted, std::uint64_t ts, std::uint64_t round)
+      : accepted(std::move(accepted)), ts(ts), round(round) {}
+
+  std::uint32_t type_id() const override { return 23; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override {
+    accepted.encode(enc);
+    enc.put_u64(ts);
+    enc.put_u64(round);
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "G_NACK(r=" << round << ",ts=" << ts << ","
+       << accepted.to_string() << ")";
+    return os.str();
+  }
+
+  Elem accepted;
+  std::uint64_t ts;
+  std::uint64_t round;
+};
+
+/// External input feed: "new value(v)" (Alg 3 L9) arriving as a message —
+/// used by harnesses (network.inject) and by the RSM replica path.
+class SubmitMsg final : public sim::Message {
+ public:
+  explicit SubmitMsg(Elem value) : value(std::move(value)) {}
+
+  std::uint32_t type_id() const override { return 24; }
+  sim::Layer layer() const override { return sim::Layer::kOther; }
+  void encode_payload(Encoder& enc) const override { value.encode(enc); }
+  std::string to_string() const override {
+    return "SUBMIT(" + value.to_string() + ")";
+  }
+
+  Elem value;
+};
+
+// ------------------------------------------- crash-stop baseline (PODC) ----
+
+/// <propose, Proposed_set, ts> of Faleiro et al.'s crash-stop protocol.
+class FAckReqMsg final : public sim::Message {
+ public:
+  FAckReqMsg(Elem proposal, std::uint64_t ts)
+      : proposal(std::move(proposal)), ts(ts) {}
+
+  std::uint32_t type_id() const override { return 30; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override {
+    proposal.encode(enc);
+    enc.put_u64(ts);
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "F_ACK_REQ(ts=" << ts << "," << proposal.to_string() << ")";
+    return os.str();
+  }
+
+  Elem proposal;
+  std::uint64_t ts;
+};
+
+class FAckMsg final : public sim::Message {
+ public:
+  FAckMsg(Elem accepted, std::uint64_t ts)
+      : accepted(std::move(accepted)), ts(ts) {}
+
+  std::uint32_t type_id() const override { return 31; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override {
+    accepted.encode(enc);
+    enc.put_u64(ts);
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "F_ACK(ts=" << ts << ")";
+    return os.str();
+  }
+
+  Elem accepted;
+  std::uint64_t ts;
+};
+
+class FNackMsg final : public sim::Message {
+ public:
+  FNackMsg(Elem accepted, std::uint64_t ts)
+      : accepted(std::move(accepted)), ts(ts) {}
+
+  std::uint32_t type_id() const override { return 32; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override {
+    accepted.encode(enc);
+    enc.put_u64(ts);
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "F_NACK(ts=" << ts << "," << accepted.to_string() << ")";
+    return os.str();
+  }
+
+  Elem accepted;
+  std::uint64_t ts;
+};
+
+}  // namespace bgla::la

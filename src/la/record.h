@@ -1,0 +1,26 @@
+// Decision records and per-process protocol statistics, shared by every
+// lattice-agreement implementation, the spec checkers, and the benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/elem.h"
+#include "sim/delay.h"
+
+namespace bgla::la {
+
+struct DecisionRecord {
+  lattice::Elem value;
+  sim::Time time = 0;       ///< simulation time of the decide event
+  std::uint64_t depth = 0;  ///< causal message-delay depth at decision
+  std::uint64_t round = 0;  ///< GLA round (0 for one-shot LA)
+};
+
+struct ProposerStats {
+  std::uint64_t refinements = 0;       ///< executions of the L31/L33 refine
+  std::uint64_t max_round_refinements = 0;  ///< max refinements in one round
+  std::uint64_t rounds_joined = 0;
+};
+
+}  // namespace bgla::la

@@ -1,0 +1,210 @@
+#include "la/sbs.h"
+
+namespace bgla::la {
+
+SbsProcess::SbsProcess(sim::Network& net, ProcessId id, LaConfig cfg,
+                       const crypto::SignatureAuthority& auth,
+                       Elem proposal)
+    : sim::Process(net, id),
+      cfg_(cfg),
+      auth_(auth),
+      signer_(auth.signer_for(id)),
+      initial_proposal_(std::move(proposal)),
+      byz_(cfg.n, false) {
+  cfg_.validate();
+  BGLA_CHECK_MSG(!initial_proposal_.is_bottom() &&
+                     cfg_.admissible(initial_proposal_),
+                 "SbS: initial proposal must be an admissible value");
+}
+
+void SbsProcess::on_start() {
+  // Alg 8 L9-12: sign and broadcast the proposed value.
+  const SignedValue payload = make_signed_value(signer_, initial_proposal_);
+  safety_set_.insert(payload);
+  send_to_group(cfg_.n, std::make_shared<SInitMsg>(payload));
+}
+
+void SbsProcess::on_message(ProcessId from, const sim::MessagePtr& msg) {
+  if (const auto* m = dynamic_cast<const SInitMsg*>(msg.get())) {
+    handle_init(from, *m);
+  } else if (const auto* m = dynamic_cast<const SSafeReqMsg*>(msg.get())) {
+    handle_safe_req(from, *m);
+  } else if (const auto* m = dynamic_cast<const SSafeAckMsg*>(msg.get())) {
+    handle_safe_ack(from, *m, msg);
+  } else if (const auto* m = dynamic_cast<const SAckReqMsg*>(msg.get())) {
+    handle_ack_req(from, *m);
+  } else if (const auto* m = dynamic_cast<const SAckMsg*>(msg.get())) {
+    handle_ack(from, *m);
+  } else if (const auto* m = dynamic_cast<const SNackMsg*>(msg.get())) {
+    handle_nack(from, *m);
+  }
+}
+
+void SbsProcess::handle_init(ProcessId, const SInitMsg& m) {
+  // Alg 8 L13-15.
+  if (state_ != State::kInit) return;
+  if (!m.sv.verify(auth_)) return;
+  if (!cfg_.admissible(m.sv.value)) return;  // value ∈ E
+  safety_set_.insert(m.sv);
+  safety_set_.remove_conflicts(auth_);
+  maybe_start_safetying();
+}
+
+void SbsProcess::maybe_start_safetying() {
+  // Alg 8 L17-19.
+  if (state_ != State::kInit) return;
+  if (safety_set_.size() < cfg_.disclosure_threshold()) return;
+  state_ = State::kSafetying;
+  send_to_group(cfg_.n, std::make_shared<SSafeReqMsg>(safety_set_));
+}
+
+void SbsProcess::handle_safe_req(ProcessId from, const SSafeReqMsg& m) {
+  // Alg 9 L3-6 (acceptor role, always active).
+  for (const auto& [k, sv] : m.set.entries()) {
+    if (!sv.verify(auth_)) return;  // drop requests with bogus signatures
+  }
+  const SignedValueSet combined = m.set.unioned(safe_candidates_);
+  std::vector<ConflictPair> conflicts = combined.conflicts(auth_);
+  const crypto::Signature sig = signer_.sign(
+      SSafeAckMsg::signed_payload(m.set, conflicts, id()));
+  send(from, std::make_shared<SSafeAckMsg>(m.set, std::move(conflicts),
+                                           id(), sig));
+  SignedValueSet cleaned = combined;
+  cleaned.remove_conflicts(auth_);
+  safe_candidates_ = safe_candidates_.unioned(cleaned);
+}
+
+void SbsProcess::handle_safe_ack(ProcessId from, const SSafeAckMsg& m,
+                                 const sim::MessagePtr& self) {
+  // Alg 8 L20-24.
+  if (state_ != State::kSafetying) return;
+  bool valid = m.verify(auth_) && m.acceptor == from &&
+               m.rcvd.same_as(safety_set_);
+  if (valid) {
+    for (const auto& [x, y] : m.conflicts) {
+      if (!verify_conflict_pair(x, y, auth_)) {
+        valid = false;
+        break;
+      }
+    }
+  }
+  if (!valid) {
+    byz_[from] = true;
+    return;
+  }
+  if (safe_ack_senders_.insert(from).second) {
+    safe_acks_.push_back(
+        std::static_pointer_cast<const SSafeAckMsg>(self));
+  }
+  maybe_start_proposing();
+}
+
+void SbsProcess::maybe_start_proposing() {
+  // Alg 8 L26-32.
+  if (state_ != State::kSafetying) return;
+  if (safe_acks_.size() < cfg_.quorum()) return;
+
+  for (const auto& [k, sv] : safety_set_.entries()) {
+    bool conflicted = false;
+    for (const SafeAckPtr& ack : safe_acks_) {
+      if (ack->mentions_conflict(k)) {
+        conflicted = true;
+        break;
+      }
+    }
+    if (!conflicted) {
+      proposed_set_.insert(SafeValue{sv, safe_acks_});
+    }
+  }
+  state_ = State::kProposing;
+  ack_set_.clear();
+  ++ts_;
+  broadcast_proposal();
+}
+
+void SbsProcess::broadcast_proposal() {
+  send_to_group(cfg_.n, std::make_shared<SAckReqMsg>(proposed_set_, ts_));
+}
+
+bool SbsProcess::all_safe(const SafeValueSet& set, const LaConfig& cfg,
+                          const crypto::SignatureAuthority& auth) {
+  // Alg 10 L13-20 (AllSafe).
+  for (const auto& [k, sv] : set.entries()) {
+    if (!cfg.admissible(sv.v.value) || !sv.v.verify(auth)) return false;
+    if (sv.proof.size() < cfg.quorum()) return false;
+    std::set<ProcessId> senders;
+    for (const SafeAckPtr& ack : sv.proof) {
+      if (ack == nullptr || !ack->verify(auth)) return false;
+      if (!senders.insert(ack->acceptor).second) return false;  // dup
+      if (!ack->rcvd.contains(k)) return false;  // v ∉ echoed proposal
+      if (ack->mentions_conflict(k)) return false;
+    }
+  }
+  return true;
+}
+
+void SbsProcess::handle_ack_req(ProcessId from, const SAckReqMsg& m) {
+  // Alg 9 L7-14 (acceptor role).
+  if (!all_safe(m.proposal, cfg_, auth_)) return;
+  if (accepted_set_.leq(m.proposal)) {
+    accepted_set_ = m.proposal;
+    send(from, std::make_shared<SAckMsg>(accepted_set_, m.ts));
+  } else {
+    send(from, std::make_shared<SNackMsg>(accepted_set_, m.ts));
+    accepted_set_ = accepted_set_.unioned(m.proposal);
+  }
+}
+
+void SbsProcess::handle_ack(ProcessId from, const SAckMsg& m) {
+  // Alg 8 L33-38.
+  if (state_ != State::kProposing || m.ts != ts_) return;
+  if (m.accepted.same_as(proposed_set_) && !byz_[from]) {
+    ack_set_.insert(from);
+    if (ack_set_.size() >= cfg_.quorum()) decide();
+  } else {
+    byz_[from] = true;
+  }
+}
+
+void SbsProcess::handle_nack(ProcessId from, const SNackMsg& m) {
+  // Alg 8 L39-47.
+  if (state_ != State::kProposing || m.ts != ts_) return;
+  const SafeValueSet merged = m.accepted.unioned(proposed_set_);
+  if (!merged.same_as(proposed_set_) && !byz_[from] &&
+      all_safe(m.accepted, cfg_, auth_)) {
+    proposed_set_ = merged;
+    ack_set_.clear();
+    ++ts_;
+    ++stats_.refinements;
+    broadcast_proposal();
+  } else {
+    byz_[from] = true;
+  }
+}
+
+void SbsProcess::decide() {
+  // Alg 8 L48-51.
+  BGLA_CHECK(state_ == State::kProposing);
+  state_ = State::kDecided;
+  DecisionRecord rec;
+  rec.value = proposed_set_.join_values();
+  rec.time = net().now();
+  rec.depth = net().current_depth();
+  decision_ = rec;
+}
+
+std::map<ProcessId, Elem> SbsProcess::proposed_by() const {
+  std::map<ProcessId, Elem> out;
+  for (const auto& [k, sv] : proposed_set_.entries()) {
+    auto& slot = out[k.signer];
+    slot = slot.join(sv.v.value);
+  }
+  return out;
+}
+
+const DecisionRecord& SbsProcess::decision() const {
+  BGLA_CHECK_MSG(decision_.has_value(), "SbS process has not decided");
+  return *decision_;
+}
+
+}  // namespace bgla::la

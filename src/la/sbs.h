@@ -1,0 +1,103 @@
+// SbS — Safety by Signature (paper §8, Algorithms 8, 9 and 10).
+//
+// One-shot Byzantine Lattice Agreement with linear message complexity
+// (O(n) per process when f = O(1)), trading message count for message
+// size (proposals carry proofs of safety, up to O(n²) bytes).
+//
+// Three phases per proposer:
+//   Init      — broadcast the signed proposed value; collect n−f signed
+//               values, removing conflicting pairs.
+//   Safetying — ship the collected set to acceptors; an acceptor answers
+//               with a signed safe_ack echoing the set and reporting every
+//               conflict it knows; ⌊(n+f)/2⌋+1 clean safe_acks form a
+//               per-value proof of safety (Definition 7 / Lemma 13: at
+//               most one value per signer can ever become safe).
+//   Proposing — the WTS deciding phase, except every value carries its
+//               proof and both roles refuse values without valid proofs;
+//               misbehaving peers are blacklisted via byz[].
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "la/config.h"
+#include "la/record.h"
+#include "la/sbs_msgs.h"
+#include "sim/network.h"
+
+namespace bgla::la {
+
+class SbsProcess : public sim::Process {
+ public:
+  enum class State { kInit, kSafetying, kProposing, kDecided };
+
+  SbsProcess(sim::Network& net, ProcessId id, LaConfig cfg,
+             const crypto::SignatureAuthority& auth, Elem proposal);
+
+  void on_start() override;
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+
+  // ---- observation interface ----
+  State state() const { return state_; }
+  bool decided() const { return decision_.has_value(); }
+  const DecisionRecord& decision() const;
+  const Elem& proposal() const { return initial_proposal_; }
+  const ProposerStats& stats() const { return stats_; }
+  const SignedValueSet& safety_set() const { return safety_set_; }
+  bool marked_byz(ProcessId p) const { return byz_.at(p); }
+
+  /// Per-signer decomposition of the current Proposed_set — each entry
+  /// carries a proof of safety, so by Lemma 13 at most one value per
+  /// signer can ever appear here across the whole system. Feeds the
+  /// Non-Triviality checker's B attribution.
+  std::map<ProcessId, Elem> proposed_by() const;
+
+  /// AllSafe (Alg 10 L13-20) as a reusable predicate.
+  static bool all_safe(const SafeValueSet& set, const LaConfig& cfg,
+                       const crypto::SignatureAuthority& auth);
+
+ private:
+  void handle_init(ProcessId from, const SInitMsg& m);
+  void maybe_start_safetying();
+  void handle_safe_req(ProcessId from, const SSafeReqMsg& m);
+  void handle_safe_ack(ProcessId from, const SSafeAckMsg& m,
+                       const sim::MessagePtr& self);
+  void maybe_start_proposing();
+  void handle_ack_req(ProcessId from, const SAckReqMsg& m);
+  void handle_ack(ProcessId from, const SAckMsg& m);
+  void handle_nack(ProcessId from, const SNackMsg& m);
+  void broadcast_proposal();
+  void decide();
+
+  LaConfig cfg_;
+  const crypto::SignatureAuthority& auth_;
+  crypto::Signer signer_;
+
+  Elem initial_proposal_;
+  State state_ = State::kInit;
+
+  // Init phase.
+  SignedValueSet safety_set_;
+
+  // Safetying phase.
+  std::set<ProcessId> safe_ack_senders_;
+  std::vector<SafeAckPtr> safe_acks_;
+
+  // Proposing phase (proposer role).
+  SafeValueSet proposed_set_;
+  std::uint64_t ts_ = 0;
+  std::set<ProcessId> ack_set_;
+  std::vector<bool> byz_;
+
+  // Acceptor role.
+  SignedValueSet safe_candidates_;
+  SafeValueSet accepted_set_;
+
+  std::optional<DecisionRecord> decision_;
+  ProposerStats stats_;
+};
+
+}  // namespace bgla::la

@@ -1,0 +1,44 @@
+#include "la/sbs_msgs.h"
+
+namespace bgla::la {
+
+void SSafeAckMsg::encode_payload(Encoder& enc) const {
+  enc.put_bytes(signed_payload(rcvd, conflicts, acceptor));
+  enc.put_u32(sig.signer);
+  enc.put_bytes(BytesView(sig.mac.data(), sig.mac.size()));
+}
+
+std::string SSafeAckMsg::to_string() const {
+  std::ostringstream os;
+  os << "S_SAFE_ACK(acc=" << acceptor << ",rcvd=" << rcvd.size()
+     << ",conflicts=" << conflicts.size() << ")";
+  return os.str();
+}
+
+Bytes SSafeAckMsg::signed_payload(
+    const SignedValueSet& rcvd, const std::vector<ConflictPair>& conflicts,
+    ProcessId acceptor) {
+  Encoder enc;
+  rcvd.encode(enc);
+  enc.put_varint(conflicts.size());
+  for (const auto& [x, y] : conflicts) {
+    x.encode(enc);
+    y.encode(enc);
+  }
+  enc.put_u32(acceptor);
+  return enc.take();
+}
+
+bool SSafeAckMsg::verify(const crypto::SignatureAuthority& auth) const {
+  if (sig.signer != acceptor) return false;
+  return auth.verify(sig, signed_payload(rcvd, conflicts, acceptor));
+}
+
+bool SSafeAckMsg::mentions_conflict(const SignedValue::Key& k) const {
+  for (const auto& [x, y] : conflicts) {
+    if (x.key() == k || y.key() == k) return true;
+  }
+  return false;
+}
+
+}  // namespace bgla::la

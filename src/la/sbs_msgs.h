@@ -1,0 +1,142 @@
+// Wire messages of the signature-based algorithms (§8, type ids 40..49,
+// and the generalised variant §8.2, ids 50..59).
+#pragma once
+
+#include <sstream>
+#include <vector>
+
+#include "la/signed_value.h"
+#include "sim/message.h"
+
+namespace bgla::la {
+
+/// <init_phase, payload> (Alg 8 L12): a signed proposed value.
+class SInitMsg final : public sim::Message {
+ public:
+  explicit SInitMsg(SignedValue sv) : sv(std::move(sv)) {}
+
+  std::uint32_t type_id() const override { return 40; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override { sv.encode(enc); }
+  std::string to_string() const override {
+    return "S_INIT(" + sv.to_string() + ")";
+  }
+
+  SignedValue sv;
+};
+
+/// <safe_req, Safety_set> (Alg 8 L19).
+class SSafeReqMsg final : public sim::Message {
+ public:
+  explicit SSafeReqMsg(SignedValueSet set) : set(std::move(set)) {}
+
+  std::uint32_t type_id() const override { return 41; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override { set.encode(enc); }
+  std::string to_string() const override {
+    return "S_SAFE_REQ(" + set.to_string() + ")";
+  }
+
+  SignedValueSet set;
+};
+
+/// Signed <safe_ack, Rcvd_set, Conflicts> (Alg 9 L5). The acceptor signs
+/// (rcvd, conflicts, acceptor), making the ack usable by third parties as
+/// part of a proof of safety.
+class SSafeAckMsg final : public sim::Message {
+ public:
+  SSafeAckMsg(SignedValueSet rcvd, std::vector<ConflictPair> conflicts,
+              ProcessId acceptor, crypto::Signature sig)
+      : rcvd(std::move(rcvd)),
+        conflicts(std::move(conflicts)),
+        acceptor(acceptor),
+        sig(sig) {}
+
+  std::uint32_t type_id() const override { return 42; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override;
+  std::string to_string() const override;
+
+  /// Canonical bytes the acceptor signs.
+  static Bytes signed_payload(const SignedValueSet& rcvd,
+                              const std::vector<ConflictPair>& conflicts,
+                              ProcessId acceptor);
+
+  bool verify(const crypto::SignatureAuthority& auth) const;
+
+  /// True iff this ack mentions the key in any conflict pair.
+  bool mentions_conflict(const SignedValue::Key& k) const;
+
+  SignedValueSet rcvd;
+  std::vector<ConflictPair> conflicts;
+  ProcessId acceptor;
+  crypto::Signature sig;
+};
+
+/// <ack_req, Proposed_set, ts> (Alg 8 L32) — proposal with safety proofs.
+class SAckReqMsg final : public sim::Message {
+ public:
+  SAckReqMsg(SafeValueSet proposal, std::uint64_t ts)
+      : proposal(std::move(proposal)), ts(ts) {}
+
+  std::uint32_t type_id() const override { return 43; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override {
+    proposal.encode(enc);
+    enc.put_u64(ts);
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "S_ACK_REQ(ts=" << ts << "," << proposal.to_string() << ")";
+    return os.str();
+  }
+
+  SafeValueSet proposal;
+  std::uint64_t ts;
+};
+
+/// <ack, Accepted_set, x> (Alg 9 L11).
+class SAckMsg final : public sim::Message {
+ public:
+  SAckMsg(SafeValueSet accepted, std::uint64_t ts)
+      : accepted(std::move(accepted)), ts(ts) {}
+
+  std::uint32_t type_id() const override { return 44; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override {
+    accepted.encode(enc);
+    enc.put_u64(ts);
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "S_ACK(ts=" << ts << ")";
+    return os.str();
+  }
+
+  SafeValueSet accepted;
+  std::uint64_t ts;
+};
+
+/// <nack, Accepted_set, x> (Alg 9 L13).
+class SNackMsg final : public sim::Message {
+ public:
+  SNackMsg(SafeValueSet accepted, std::uint64_t ts)
+      : accepted(std::move(accepted)), ts(ts) {}
+
+  std::uint32_t type_id() const override { return 45; }
+  sim::Layer layer() const override { return sim::Layer::kAgreement; }
+  void encode_payload(Encoder& enc) const override {
+    accepted.encode(enc);
+    enc.put_u64(ts);
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "S_NACK(ts=" << ts << "," << accepted.to_string() << ")";
+    return os.str();
+  }
+
+  SafeValueSet accepted;
+  std::uint64_t ts;
+};
+
+}  // namespace bgla::la

@@ -1,0 +1,195 @@
+#include "la/signed_value.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "la/sbs_msgs.h"
+#include "util/check.h"
+
+namespace bgla::la {
+
+void SignedValue::encode(Encoder& enc) const {
+  value.encode(enc);
+  enc.put_u32(sig.signer);
+  enc.put_bytes(BytesView(sig.mac.data(), sig.mac.size()));
+}
+
+std::string SignedValue::to_string() const {
+  std::ostringstream os;
+  os << value.to_string() << "@p" << sig.signer;
+  return os.str();
+}
+
+SignedValue make_signed_value(const crypto::Signer& signer, Elem value) {
+  SignedValue sv;
+  sv.sig = signer.sign(value.encoded());
+  sv.value = std::move(value);
+  return sv;
+}
+
+bool verify_conflict_pair(const SignedValue& x, const SignedValue& y,
+                          const crypto::SignatureAuthority& auth) {
+  // Alg 10 L11-12.
+  return x.verify(auth) && y.verify(auth) &&
+         x.sender() == y.sender() && !(x.value == y.value);
+}
+
+// ------------------------------------------------------ SignedValueSet --
+
+bool SignedValueSet::insert(const SignedValue& sv) {
+  return entries_.emplace(sv.key(), sv).second;
+}
+
+std::vector<ConflictPair> SignedValueSet::conflicts(
+    const crypto::SignatureAuthority& auth) const {
+  std::vector<ConflictPair> out;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    auto jt = it;
+    for (++jt; jt != entries_.end(); ++jt) {
+      if (it->first.signer != jt->first.signer) break;  // keys sorted
+      if (verify_conflict_pair(it->second, jt->second, auth)) {
+        out.emplace_back(it->second, jt->second);
+      }
+    }
+  }
+  return out;
+}
+
+void SignedValueSet::remove_conflicts(
+    const crypto::SignatureAuthority& auth) {
+  for (const auto& [x, y] : conflicts(auth)) {
+    entries_.erase(x.key());
+    entries_.erase(y.key());
+  }
+}
+
+SignedValueSet SignedValueSet::unioned(const SignedValueSet& other) const {
+  SignedValueSet out = *this;
+  for (const auto& [k, sv] : other.entries_) out.entries_.emplace(k, sv);
+  return out;
+}
+
+Elem SignedValueSet::join_values() const {
+  Elem acc;
+  for (const auto& [k, sv] : entries_) acc = acc.join(sv.value);
+  return acc;
+}
+
+crypto::Digest SignedValueSet::fingerprint() const {
+  Encoder enc;
+  enc.put_varint(entries_.size());
+  for (const auto& [k, sv] : entries_) {
+    enc.put_u32(k.signer);
+    enc.put_bytes(BytesView(k.value_digest.data(), k.value_digest.size()));
+  }
+  return crypto::Sha256::hash(enc.bytes());
+}
+
+void SignedValueSet::encode(Encoder& enc) const {
+  enc.put_varint(entries_.size());
+  for (const auto& [k, sv] : entries_) sv.encode(enc);
+}
+
+std::string SignedValueSet::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [k, sv] : entries_) {
+    if (!first) os << ",";
+    first = false;
+    os << sv.to_string();
+  }
+  os << "}";
+  return os.str();
+}
+
+// --------------------------------------------------------- SafeValueSet --
+
+void SafeValue::encode(Encoder& enc) const {
+  v.encode(enc);
+  enc.put_varint(proof.size());
+  for (const SafeAckPtr& ack : proof) {
+    const crypto::Digest d = ack->digest();
+    enc.put_bytes(BytesView(d.data(), d.size()));
+  }
+}
+
+bool SafeValueSet::insert(const SafeValue& sv) {
+  return entries_.emplace(sv.v.key(), sv).second;
+}
+
+bool SafeValueSet::leq(const SafeValueSet& other) const {
+  for (const auto& [k, sv] : entries_) {
+    if (other.entries_.count(k) == 0) return false;
+  }
+  return true;
+}
+
+bool SafeValueSet::same_as(const SafeValueSet& other) const {
+  return fingerprint() == other.fingerprint();
+}
+
+SafeValueSet SafeValueSet::unioned(const SafeValueSet& other) const {
+  SafeValueSet out = *this;
+  for (const auto& [k, sv] : other.entries_) out.entries_.emplace(k, sv);
+  return out;
+}
+
+Elem SafeValueSet::join_values() const {
+  Elem acc;
+  for (const auto& [k, sv] : entries_) acc = acc.join(sv.v.value);
+  return acc;
+}
+
+crypto::Digest SafeValueSet::fingerprint() const {
+  Encoder enc;
+  enc.put_varint(entries_.size());
+  for (const auto& [k, sv] : entries_) {
+    enc.put_u32(k.signer);
+    enc.put_bytes(BytesView(k.value_digest.data(), k.value_digest.size()));
+  }
+  return crypto::Sha256::hash(enc.bytes());
+}
+
+void SafeValueSet::encode(Encoder& enc) const {
+  // Proof bundles are shared across values (Alg 8 attaches the same
+  // Safe_acks set to every value); encode each distinct ack once so the
+  // byte size reflects the paper's O(n²) message-size trade-off rather
+  // than an O(n³) blow-up.
+  std::vector<const SSafeAckMsg*> distinct;
+  std::map<const SSafeAckMsg*, std::size_t> index;
+  for (const auto& [k, sv] : entries_) {
+    for (const SafeAckPtr& ack : sv.proof) {
+      if (index.emplace(ack.get(), distinct.size()).second) {
+        distinct.push_back(ack.get());
+      }
+    }
+  }
+  enc.put_varint(distinct.size());
+  for (const SSafeAckMsg* ack : distinct) {
+    enc.put_bytes(ack->encoded());
+  }
+  enc.put_varint(entries_.size());
+  for (const auto& [k, sv] : entries_) {
+    sv.v.encode(enc);
+    enc.put_varint(sv.proof.size());
+    for (const SafeAckPtr& ack : sv.proof) {
+      enc.put_varint(index.at(ack.get()));
+    }
+  }
+}
+
+std::string SafeValueSet::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [k, sv] : entries_) {
+    if (!first) os << ",";
+    first = false;
+    os << sv.v.to_string() << "+" << sv.proof.size() << "acks";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace bgla::la

@@ -1,0 +1,143 @@
+// Signed lattice values and proof-carrying value sets for the §8
+// signature-based algorithms (SbS / GSbS).
+//
+// A SignedValue is a lattice element signed by its proposer. A SafeValue
+// pairs a SignedValue with its *proof of safety*: ⌊(n+f)/2⌋+1 signed
+// safe_ack messages from distinct acceptors, none of which reports the
+// value in a conflict (Definition 7). Proposals and accepted sets in the
+// proposing phase are sets of SafeValues.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "crypto/signature.h"
+#include "lattice/elem.h"
+#include "sim/message.h"
+#include "util/ids.h"
+
+namespace bgla::la {
+
+using lattice::Elem;
+
+struct SignedValue {
+  Elem value;
+  crypto::Signature sig;  // by sig.signer over value.encoded()
+
+  ProcessId sender() const { return sig.signer; }
+
+  bool verify(const crypto::SignatureAuthority& auth) const {
+    return auth.verify(sig, value.encoded());
+  }
+
+  /// Identity: (signer, value digest). Two SignedValues with the same key
+  /// carry the same value from the same signer.
+  struct Key {
+    ProcessId signer = kNoProcess;
+    crypto::Digest value_digest{};
+    auto operator<=>(const Key&) const = default;
+  };
+  Key key() const { return Key{sig.signer, value.digest()}; }
+
+  void encode(Encoder& enc) const;
+  std::string to_string() const;
+};
+
+/// Makes a SignedValue under the caller's signing capability.
+SignedValue make_signed_value(const crypto::Signer& signer, Elem value);
+
+/// VerifyConfPair (Alg 10 L11-12): both signatures valid, same signer,
+/// different values.
+bool verify_conflict_pair(const SignedValue& x, const SignedValue& y,
+                          const crypto::SignatureAuthority& auth);
+
+using ConflictPair = std::pair<SignedValue, SignedValue>;
+
+/// An ordered set of SignedValues keyed by (signer, value digest).
+class SignedValueSet {
+ public:
+  bool insert(const SignedValue& sv);  // false if already present
+  bool contains(const SignedValue::Key& k) const {
+    return entries_.count(k) > 0;
+  }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const std::map<SignedValue::Key, SignedValue>& entries() const {
+    return entries_;
+  }
+
+  /// All conflicting pairs (same signer, different value) in this set —
+  /// ReturnConflicts over one set (Alg 10 L1-5).
+  std::vector<ConflictPair> conflicts(
+      const crypto::SignatureAuthority& auth) const;
+
+  /// Removes every value involved in a conflict — RemoveConflicts
+  /// (Alg 10 L6-10).
+  void remove_conflicts(const crypto::SignatureAuthority& auth);
+
+  /// Union (used for Safety_set ∪ SafeCandidates style expressions).
+  SignedValueSet unioned(const SignedValueSet& other) const;
+
+  /// Join of the contained lattice values.
+  Elem join_values() const;
+
+  /// Fingerprint over the sorted key set (set equality / echo matching).
+  crypto::Digest fingerprint() const;
+  bool same_as(const SignedValueSet& other) const {
+    return fingerprint() == other.fingerprint();
+  }
+
+  void encode(Encoder& enc) const;
+  std::string to_string() const;
+
+ private:
+  std::map<SignedValue::Key, SignedValue> entries_;
+};
+
+// Forward declaration — full type in sbs_msgs.h.
+class SSafeAckMsg;
+using SafeAckPtr = std::shared_ptr<const SSafeAckMsg>;
+
+/// A value with its attached proof of safety (<v, Safe_acks> of Alg 8).
+struct SafeValue {
+  SignedValue v;
+  std::vector<SafeAckPtr> proof;
+
+  void encode(Encoder& enc) const;
+};
+
+/// Set of proof-carrying values, keyed like SignedValueSet. Order (≤) and
+/// equality are over the key set (proofs are evidence, not identity).
+class SafeValueSet {
+ public:
+  bool insert(const SafeValue& sv);
+  bool contains(const SignedValue::Key& k) const {
+    return entries_.count(k) > 0;
+  }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const std::map<SignedValue::Key, SafeValue>& entries() const {
+    return entries_;
+  }
+
+  /// Subset on keys — the "Accepted_set ≤ Rcvd_set" order of Alg 9.
+  bool leq(const SafeValueSet& other) const;
+  bool same_as(const SafeValueSet& other) const;
+
+  /// Union; on duplicate keys the existing proof is kept.
+  SafeValueSet unioned(const SafeValueSet& other) const;
+
+  Elem join_values() const;
+  crypto::Digest fingerprint() const;
+
+  void encode(Encoder& enc) const;
+  std::string to_string() const;
+
+ private:
+  std::map<SignedValue::Key, SafeValue> entries_;
+};
+
+}  // namespace bgla::la

@@ -1,0 +1,185 @@
+#include "la/spec.h"
+
+#include <sstream>
+
+#include "lattice/chain.h"
+
+namespace bgla::la {
+
+namespace {
+void append_diag(std::string& diag, const std::string& line) {
+  if (!diag.empty()) diag += "; ";
+  diag += line;
+}
+}  // namespace
+
+SpecResult check_la(const std::vector<LaView>& correct_views,
+                    const std::set<ProcessId>& byz_ids, std::uint32_t f,
+                    const std::function<bool(const Elem&)>& admissible) {
+  SpecResult res;
+
+  // Liveness: every correct process decided.
+  for (const LaView& v : correct_views) {
+    if (!v.decision.has_value()) {
+      res.liveness = false;
+      std::ostringstream os;
+      os << "liveness: p" << v.id << " did not decide";
+      append_diag(res.diagnostic, os.str());
+    }
+  }
+
+  // Comparability: all decisions pairwise comparable.
+  std::vector<Elem> decisions;
+  for (const LaView& v : correct_views) {
+    if (v.decision.has_value()) decisions.push_back(*v.decision);
+  }
+  const auto [i, j] = lattice::find_incomparable(decisions);
+  if (i >= 0) {
+    res.comparability = false;
+    std::ostringstream os;
+    os << "comparability: decisions " << decisions[i].to_string() << " and "
+       << decisions[j].to_string() << " are incomparable";
+    append_diag(res.diagnostic, os.str());
+  }
+
+  // Inclusivity: pro_i ≤ dec_i.
+  for (const LaView& v : correct_views) {
+    if (!v.decision.has_value() || v.proposal.is_bottom()) continue;
+    if (!v.proposal.leq(*v.decision)) {
+      res.inclusivity = false;
+      std::ostringstream os;
+      os << "inclusivity: p" << v.id << " proposal "
+         << v.proposal.to_string() << " not in decision "
+         << v.decision->to_string();
+      append_diag(res.diagnostic, os.str());
+    }
+  }
+
+  // Non-Triviality: dec_i ≤ ⊕(X ∪ B), B the Byzantine disclosures
+  // gathered from the correct processes' SvS, with |B| ≤ f and B ⊆ E.
+  Elem x_join;
+  for (const LaView& v : correct_views) x_join = x_join.join(v.proposal);
+
+  std::map<ProcessId, Elem> byz_values;  // at most one per Byzantine
+  for (const LaView& v : correct_views) {
+    for (const auto& [origin, value] : v.svs) {
+      if (byz_ids.count(origin) == 0) continue;
+      auto [it, inserted] = byz_values.emplace(origin, value);
+      if (!inserted && !(it->second == value)) {
+        // Two correct processes attribute different values to the same
+        // Byzantine — reliable broadcast was supposed to prevent this.
+        res.non_triviality = false;
+        std::ostringstream os;
+        os << "non-triviality: inconsistent disclosed value for Byzantine p"
+           << origin;
+        append_diag(res.diagnostic, os.str());
+      }
+    }
+  }
+  if (byz_values.size() > f) {
+    res.non_triviality = false;
+    std::ostringstream os;
+    os << "non-triviality: |B| = " << byz_values.size() << " > f = " << f;
+    append_diag(res.diagnostic, os.str());
+  }
+  Elem bound = x_join;
+  for (const auto& [origin, value] : byz_values) {
+    if (admissible && !admissible(value)) {
+      res.non_triviality = false;
+      std::ostringstream os;
+      os << "non-triviality: inadmissible Byzantine value from p" << origin;
+      append_diag(res.diagnostic, os.str());
+      continue;
+    }
+    bound = bound.join(value);
+  }
+  for (const LaView& v : correct_views) {
+    if (!v.decision.has_value()) continue;
+    if (!v.decision->leq(bound)) {
+      res.non_triviality = false;
+      std::ostringstream os;
+      os << "non-triviality: decision of p" << v.id << " = "
+         << v.decision->to_string() << " exceeds ⊕(X ∪ B) = "
+         << bound.to_string();
+      append_diag(res.diagnostic, os.str());
+    }
+  }
+
+  return res;
+}
+
+GlaSpecResult check_gla(const std::vector<GlaView>& correct_views,
+                        const Elem& byz_disclosed,
+                        std::size_t min_decisions) {
+  GlaSpecResult res;
+
+  // Liveness (finite-prefix form).
+  for (const GlaView& v : correct_views) {
+    if (v.decisions.size() < min_decisions) {
+      res.liveness = false;
+      std::ostringstream os;
+      os << "liveness: p" << v.id << " made " << v.decisions.size()
+         << " decisions (< " << min_decisions << ")";
+      append_diag(res.diagnostic, os.str());
+    }
+  }
+
+  // Local Stability.
+  for (const GlaView& v : correct_views) {
+    if (!lattice::is_non_decreasing(v.decisions)) {
+      res.local_stability = false;
+      std::ostringstream os;
+      os << "local stability: p" << v.id << " decision sequence decreases";
+      append_diag(res.diagnostic, os.str());
+    }
+  }
+
+  // Comparability across all decisions of all processes.
+  std::vector<Elem> all;
+  for (const GlaView& v : correct_views)
+    all.insert(all.end(), v.decisions.begin(), v.decisions.end());
+  const auto [i, j] = lattice::find_incomparable(all);
+  if (i >= 0) {
+    res.comparability = false;
+    std::ostringstream os;
+    os << "comparability: decisions " << all[i].to_string() << " and "
+       << all[j].to_string() << " are incomparable";
+    append_diag(res.diagnostic, os.str());
+  }
+
+  // Inclusivity: every submitted value reached its submitter's final
+  // decision (the harness guarantees the run went long enough).
+  for (const GlaView& v : correct_views) {
+    if (v.decisions.empty()) continue;
+    const Elem& final_dec = v.decisions.back();
+    for (const Elem& sub : v.submitted) {
+      if (!sub.leq(final_dec)) {
+        res.inclusivity = false;
+        std::ostringstream os;
+        os << "inclusivity: p" << v.id << " submitted "
+           << sub.to_string() << " missing from final decision";
+        append_diag(res.diagnostic, os.str());
+      }
+    }
+  }
+
+  // Non-Triviality: everything decided was submitted by a correct process
+  // or disclosed by a Byzantine one.
+  Elem bound = byz_disclosed;
+  for (const GlaView& v : correct_views)
+    for (const Elem& sub : v.submitted) bound = bound.join(sub);
+  for (const GlaView& v : correct_views) {
+    if (v.decisions.empty()) continue;
+    if (!v.decisions.back().leq(bound)) {
+      res.non_triviality = false;
+      std::ostringstream os;
+      os << "non-triviality: p" << v.id
+         << " decided values outside ⊕(Prop ∪ B)";
+      append_diag(res.diagnostic, os.str());
+    }
+  }
+
+  return res;
+}
+
+}  // namespace bgla::la

@@ -1,0 +1,98 @@
+// Executable specifications of Byzantine Lattice Agreement (§3.1) and its
+// generalised version (§6.1). Tests and benches record per-process views
+// of finished runs and feed them to these checkers; a reported violation
+// carries a human-readable diagnostic.
+//
+// The checkers are algorithm-agnostic: they take plain views, so the same
+// code validates WTS, SbS, GWTS, GSbS and the crash-stop baseline (whose
+// violations under Byzantine faults are exactly what bench T7 demonstrates).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lattice/elem.h"
+#include "util/ids.h"
+
+namespace bgla::la {
+
+using lattice::Elem;
+
+// ------------------------------------------------------------- one-shot --
+
+/// A correct process's view of a finished one-shot LA run.
+struct LaView {
+  ProcessId id = kNoProcess;
+  Elem proposal;                 ///< pro_i (⊥ if pure acceptor)
+  std::optional<Elem> decision;  ///< dec_i, if the process decided
+  /// Disclosed values this process attributes to each origin (its SvS);
+  /// used to bound the Byzantine contribution B in Non-Triviality.
+  std::map<ProcessId, Elem> svs;
+};
+
+struct SpecResult {
+  bool liveness = true;
+  bool stability = true;
+  bool comparability = true;
+  bool inclusivity = true;
+  bool non_triviality = true;
+  std::string diagnostic;
+
+  bool ok() const {
+    return liveness && stability && comparability && inclusivity &&
+           non_triviality;
+  }
+  /// Safety-only verdict (for runs deliberately cut short).
+  bool safe() const {
+    return stability && comparability && inclusivity && non_triviality;
+  }
+};
+
+/// Checks the §3.1 properties over the views of the correct processes.
+/// `byz_ids` identifies Byzantine processes (so their SvS entries form B;
+/// the checker also verifies |B| ≤ f and B admissible via `admissible`).
+SpecResult check_la(const std::vector<LaView>& correct_views,
+                    const std::set<ProcessId>& byz_ids, std::uint32_t f,
+                    const std::function<bool(const Elem&)>& admissible = {});
+
+// ----------------------------------------------------------- generalised --
+
+/// A correct process's view of a finished GLA run prefix.
+struct GlaView {
+  ProcessId id = kNoProcess;
+  /// Values received via "new value(v)" *before the stabilisation point*
+  /// (the harness must keep the run going long enough after the last
+  /// submission for Inclusivity to be checkable on a finite prefix).
+  std::vector<Elem> submitted;
+  /// The decision sequence Dec_i.
+  std::vector<Elem> decisions;
+};
+
+struct GlaSpecResult {
+  bool liveness = true;        ///< every correct process reached min_decisions
+  bool local_stability = true; ///< Dec_i non-decreasing
+  bool comparability = true;   ///< all decisions of all processes comparable
+  bool inclusivity = true;     ///< every submitted value in own final decision
+  bool non_triviality = true;  ///< ⊕decisions ≤ ⊕(submissions ∪ B)
+  std::string diagnostic;
+
+  bool ok() const {
+    return liveness && local_stability && comparability && inclusivity &&
+           non_triviality;
+  }
+  bool safe() const {
+    return local_stability && comparability && non_triviality;
+  }
+};
+
+/// `byz_disclosed` is the union of values the Byzantine processes managed
+/// to get disclosed (as observed in any correct process's SvS).
+GlaSpecResult check_gla(const std::vector<GlaView>& correct_views,
+                        const Elem& byz_disclosed,
+                        std::size_t min_decisions);
+
+}  // namespace bgla::la

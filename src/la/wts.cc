@@ -1,0 +1,186 @@
+#include "la/wts.h"
+
+namespace bgla::la {
+
+WtsProcess::WtsProcess(sim::Network& net, ProcessId id, LaConfig cfg,
+                       Elem proposal)
+    : sim::Process(net, id),
+      cfg_(cfg),
+      initial_proposal_(std::move(proposal)) {
+  cfg_.validate();
+  auto rb_send = [this](ProcessId to, sim::MessagePtr m) {
+    send(to, std::move(m));
+  };
+  auto rb_deliver = [this](ProcessId origin, std::uint64_t tag,
+                           const sim::MessagePtr& inner) {
+    on_rb_deliver(origin, tag, inner);
+  };
+  if (cfg_.rb_impl == LaConfig::RbImpl::kSignedCert) {
+    BGLA_CHECK_MSG(cfg_.authority != nullptr,
+                   "WTS: kSignedCert RB needs a SignatureAuthority");
+    rb_ = std::make_unique<bcast::CertRbEndpoint>(
+        id, cfg_.n, cfg_.f, *cfg_.authority, rb_send, rb_deliver,
+        cfg_.unsafe_allow_undersized);
+  } else {
+    rb_ = std::make_unique<bcast::BrachaEndpoint>(
+        id, cfg_.n, cfg_.f, rb_send, rb_deliver,
+        cfg_.unsafe_allow_undersized);
+  }
+  if (!initial_proposal_.is_bottom()) {
+    BGLA_CHECK_MSG(cfg_.admissible(initial_proposal_),
+                   "WTS: initial proposal not admissible (pro_i ∉ E)");
+  }
+}
+
+void WtsProcess::on_start() {
+  // Alg 1 L7-9: disclose the proposed value via reliable broadcast — or,
+  // in the ablated configuration, by plain point-to-point broadcast
+  // (which an equivocator can exploit; see bench_ablation).
+  if (!initial_proposal_.is_bottom()) {
+    proposed_set_ = proposed_set_.join(initial_proposal_);
+    if (cfg_.reliable_disclosure) {
+      rb_->broadcast(/*tag=*/0,
+                    std::make_shared<DisclosureMsg>(initial_proposal_));
+    } else {
+      send_to_group(cfg_.n,
+                    std::make_shared<DisclosureMsg>(initial_proposal_));
+    }
+  }
+}
+
+void WtsProcess::on_message(ProcessId from, const sim::MessagePtr& msg) {
+  if (cfg_.reliable_disclosure) {
+    if (rb_->handle(from, msg)) return;
+  } else if (const auto* d =
+                 dynamic_cast<const DisclosureMsg*>(msg.get())) {
+    // Ablated path: treat the raw disclosure like an RB delivery keyed by
+    // the (authenticated) sender.
+    on_rb_deliver(from, /*tag=*/0,
+                  std::make_shared<DisclosureMsg>(d->value));
+    return;
+  }
+  // Alg 1 L20-21 / Alg 2 L3-4: buffer, then process what is processable.
+  waiting_.emplace_back(from, msg);
+  drain_waiting();
+}
+
+void WtsProcess::on_rb_deliver(ProcessId origin, std::uint64_t tag,
+                               const sim::MessagePtr& inner) {
+  // Only the tag-0 instance of each origin is a disclosure; this pins
+  // Observation 1 (at most one SvS value per process).
+  if (tag != 0) return;
+  const auto* m = dynamic_cast<const DisclosureMsg*>(inner.get());
+  if (m == nullptr) return;
+  if (!cfg_.admissible(m->value)) return;  // Alg 1 L11: value ∈ E
+  if (svs_.count(origin) > 0) return;      // RB no-duplication safeguard
+
+  if (state_ == State::kDisclosing) {
+    proposed_set_ = proposed_set_.join(m->value);  // Alg 1 L13
+  }
+  svs_.emplace(origin, m->value);  // Alg 1 L14
+  svs_join_ = svs_join_.join(m->value);
+
+  maybe_start_proposing();  // Alg 1 L17 guard
+  drain_waiting();          // SvS grew: some waiting messages may be safe
+}
+
+void WtsProcess::maybe_start_proposing() {
+  if (state_ != State::kDisclosing) return;
+  if (svs_.size() < cfg_.disclosure_threshold()) return;
+  state_ = State::kProposing;  // Alg 1 L18
+  broadcast_proposal();        // Alg 1 L19
+}
+
+void WtsProcess::broadcast_proposal() {
+  send_to_group(cfg_.n,
+                std::make_shared<AckReqMsg>(proposed_set_, ts_));
+}
+
+void WtsProcess::drain_waiting() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < waiting_.size();) {
+      auto [from, msg] = waiting_[i];
+      if (try_process(from, msg)) {
+        waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(i));
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+bool WtsProcess::try_process(ProcessId from, const sim::MessagePtr& msg) {
+  if (const auto* m = dynamic_cast<const AckReqMsg*>(msg.get())) {
+    if (!safe(m->proposal)) return false;  // Alg 2 L5: SAFE(m)
+    handle_ack_req(from, *m);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const AckMsg*>(msg.get())) {
+    if (state_ == State::kDecided) return true;  // no longer relevant
+    if (m->ts < ts_) return true;                // stale: drop
+    if (state_ != State::kProposing || m->ts != ts_) return false;
+    if (!safe(m->accepted)) return false;  // Alg 1 L22: SAFE(m)
+    handle_ack(from, *m);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const NackMsg*>(msg.get())) {
+    if (state_ == State::kDecided) return true;
+    if (m->ts < ts_) return true;  // stale: drop
+    if (state_ != State::kProposing || m->ts != ts_) return false;
+    if (!safe(m->accepted)) return false;  // Alg 1 L25: SAFE(m)
+    handle_nack(from, *m);
+    return true;
+  }
+  return true;  // unknown message type: consume and ignore
+}
+
+void WtsProcess::handle_ack_req(ProcessId from, const AckReqMsg& m) {
+  // Alg 2 L7-12 (acceptor role).
+  if (accepted_set_.leq(m.proposal)) {
+    accepted_set_ = m.proposal;
+    send(from, std::make_shared<AckMsg>(accepted_set_, m.ts));
+  } else {
+    send(from, std::make_shared<NackMsg>(accepted_set_, m.ts));
+    accepted_set_ = accepted_set_.join(m.proposal);
+  }
+}
+
+void WtsProcess::handle_ack(ProcessId from, const AckMsg&) {
+  // Alg 1 L22-24.
+  ack_set_.insert(from);
+  if (ack_set_.size() >= cfg_.quorum()) decide();  // Alg 1 L32 guard
+}
+
+void WtsProcess::handle_nack(ProcessId, const NackMsg& m) {
+  // Alg 1 L25-31.
+  const Elem merged = proposed_set_.join(m.accepted);
+  if (merged != proposed_set_) {
+    proposed_set_ = merged;
+    ack_set_.clear();
+    ++ts_;
+    ++stats_.refinements;
+    broadcast_proposal();
+  }
+}
+
+void WtsProcess::decide() {
+  // Alg 1 L32-35.
+  BGLA_CHECK(state_ == State::kProposing);
+  state_ = State::kDecided;
+  DecisionRecord rec;
+  rec.value = proposed_set_;
+  rec.time = net().now();
+  rec.depth = net().current_depth();
+  decision_ = rec;
+  if (decide_hook_) decide_hook_(*this);
+}
+
+const DecisionRecord& WtsProcess::decision() const {
+  BGLA_CHECK_MSG(decision_.has_value(), "WTS process has not decided");
+  return *decision_;
+}
+
+}  // namespace bgla::la

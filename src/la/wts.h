@@ -1,0 +1,104 @@
+// WTS — Wait Till Safe (paper §5, Algorithms 1 and 2).
+//
+// One-shot Byzantine Lattice Agreement. Each process plays both roles of
+// the paper (proposer and acceptor share the SvS, as §5 allows).
+//
+// Phases:
+//   1. Values Disclosure — the proposer reliably broadcasts its input; all
+//      delivered admissible values enter the Safe-values Set (SvS), keyed
+//      by origin (Observation 1: at most one value per process, enforced
+//      by accepting only the tag-0 instance of each origin's broadcast).
+//   2. Deciding — Byzantine-quorum ack/nack refinement over safe messages;
+//      messages whose lattice element is not yet ≤ ⊕SvS wait in
+//      Waiting_msgs and are re-examined whenever SvS grows.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include <memory>
+
+#include "bcast/bracha.h"
+#include "bcast/cert_rb.h"
+#include "la/config.h"
+#include "la/messages.h"
+#include "la/record.h"
+#include "sim/network.h"
+
+namespace bgla::la {
+
+class WtsProcess : public sim::Process {
+ public:
+  enum class State { kDisclosing, kProposing, kDecided };
+
+  /// `proposal` is this process's input value pro_i (must be admissible);
+  /// pass ⊥ for a process that only acts as an acceptor.
+  WtsProcess(sim::Network& net, ProcessId id, LaConfig cfg, Elem proposal);
+
+  void on_start() override;
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+
+  // ---- observation interface (tests, checkers, benches) ----
+  State state() const { return state_; }
+  bool decided() const { return decision_.has_value(); }
+  const DecisionRecord& decision() const;
+  const Elem& proposal() const { return initial_proposal_; }
+  const Elem& proposed_set() const { return proposed_set_; }
+  const Elem& accepted_set() const { return accepted_set_; }
+  const ProposerStats& stats() const { return stats_; }
+
+  /// Join of all values disclosed so far (⊕SvS).
+  const Elem& svs_join() const { return svs_join_; }
+  /// SvS keyed by origin (Observation 1: at most one entry per process).
+  const std::map<ProcessId, Elem>& svs() const { return svs_; }
+  std::uint32_t svs_size() const {
+    return static_cast<std::uint32_t>(svs_.size());
+  }
+
+  /// Invoked at the decide event (before returning from the handler).
+  using DecideHook = std::function<void(const WtsProcess&)>;
+  void set_decide_hook(DecideHook hook) { decide_hook_ = std::move(hook); }
+
+ private:
+  // SAFE(m) of Algorithm 1 L36-40: the element is covered by ⊕SvS.
+  bool safe(const Elem& e) const { return e.leq(svs_join_); }
+
+  void on_rb_deliver(ProcessId origin, std::uint64_t tag,
+                     const sim::MessagePtr& inner);
+  void maybe_start_proposing();
+  void broadcast_proposal();
+  void drain_waiting();
+
+  /// Returns true iff the message was processed (false: keep waiting).
+  bool try_process(ProcessId from, const sim::MessagePtr& msg);
+
+  void handle_ack_req(ProcessId from, const AckReqMsg& m);
+  void handle_ack(ProcessId from, const AckMsg& m);
+  void handle_nack(ProcessId from, const NackMsg& m);
+  void decide();
+
+  LaConfig cfg_;
+  std::unique_ptr<bcast::RbEndpoint> rb_;
+
+  Elem initial_proposal_;
+  Elem proposed_set_;
+  State state_ = State::kDisclosing;
+  std::uint64_t ts_ = 0;
+  std::set<ProcessId> ack_set_;
+
+  // Acceptor role.
+  Elem accepted_set_;
+
+  // Values Disclosure.
+  std::map<ProcessId, Elem> svs_;
+  Elem svs_join_;
+
+  std::vector<std::pair<ProcessId, sim::MessagePtr>> waiting_;
+  std::optional<DecisionRecord> decision_;
+  ProposerStats stats_;
+  DecideHook decide_hook_;
+};
+
+}  // namespace bgla::la

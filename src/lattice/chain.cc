@@ -1,0 +1,39 @@
+#include "lattice/chain.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bgla::lattice {
+
+std::pair<int, int> find_incomparable(const std::vector<Elem>& elems) {
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    for (std::size_t j = i + 1; j < elems.size(); ++j) {
+      if (!comparable(elems[i], elems[j]))
+        return {static_cast<int>(i), static_cast<int>(j)};
+    }
+  }
+  return {-1, -1};
+}
+
+bool is_chain(const std::vector<Elem>& elems) {
+  return find_incomparable(elems).first < 0;
+}
+
+std::vector<Elem> sort_chain(std::vector<Elem> elems) {
+  BGLA_CHECK_MSG(is_chain(elems), "sort_chain: elements not a chain");
+  std::sort(elems.begin(), elems.end(),
+            [](const Elem& a, const Elem& b) {
+              return a.leq(b) && !(a == b);
+            });
+  return elems;
+}
+
+bool is_non_decreasing(const std::vector<Elem>& seq) {
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    if (!seq[i - 1].leq(seq[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace bgla::lattice

@@ -1,0 +1,25 @@
+// Chain utilities over lattice elements — used by the executable
+// specifications (Comparability checks) and by Figure-1 style renderings.
+#pragma once
+
+#include <vector>
+
+#include "lattice/elem.h"
+
+namespace bgla::lattice {
+
+/// True iff every pair of elements is comparable (forms a chain).
+bool is_chain(const std::vector<Elem>& elems);
+
+/// Returns the elements sorted by the lattice order; requires is_chain.
+std::vector<Elem> sort_chain(std::vector<Elem> elems);
+
+/// True iff the sequence is non-decreasing in the lattice order
+/// (GLA Local Stability).
+bool is_non_decreasing(const std::vector<Elem>& seq);
+
+/// Returns a pair of indices (i, j) of an incomparable pair, or (-1, -1)
+/// if the elements form a chain. For diagnostics in checkers.
+std::pair<int, int> find_incomparable(const std::vector<Elem>& elems);
+
+}  // namespace bgla::lattice

@@ -1,0 +1,69 @@
+// Compile-time lattice genericity (C++20 concepts).
+//
+// The runtime-polymorphic `Elem` is what the protocols use (messages must
+// be heterogeneous-safe against Byzantine payloads). For user code that
+// knows its lattice statically, this header provides the concept and
+// generic algorithms so the same laws apply to plain value types with
+// zero type-erasure overhead — and `Elem` itself models the concept, so
+// the two layers interoperate.
+#pragma once
+
+#include <concepts>
+#include <vector>
+
+namespace bgla::lattice {
+
+/// A join semilattice value type: join (⊕), lattice order (≤), equality.
+/// Laws (checked by tests, not expressible in the concept): join is
+/// idempotent, commutative, associative; a.leq(b) ⟺ a.join(b) == b.
+template <typename T>
+concept JoinSemilattice = requires(const T& a, const T& b) {
+  { a.join(b) } -> std::convertible_to<T>;
+  { a.leq(b) } -> std::convertible_to<bool>;
+  { a == b } -> std::convertible_to<bool>;
+};
+
+/// ⊕ over a range; `unit` is the fold seed (typically a bottom).
+template <JoinSemilattice T, typename Range>
+T join_fold(T unit, const Range& range) {
+  for (const auto& v : range) unit = unit.join(v);
+  return unit;
+}
+
+/// a and b comparable in the lattice order.
+template <JoinSemilattice T>
+bool comparable_v(const T& a, const T& b) {
+  return a.leq(b) || b.leq(a);
+}
+
+/// All values pairwise comparable.
+template <JoinSemilattice T>
+bool is_chain_v(const std::vector<T>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    for (std::size_t j = i + 1; j < values.size(); ++j) {
+      if (!comparable_v(values[i], values[j])) return false;
+    }
+  }
+  return true;
+}
+
+/// Non-decreasing in the lattice order (GLA Local Stability, statically).
+template <JoinSemilattice T>
+bool is_non_decreasing_v(const std::vector<T>& seq) {
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    if (!seq[i - 1].leq(seq[i])) return false;
+  }
+  return true;
+}
+
+/// Law checks usable from property tests on any model of the concept.
+template <JoinSemilattice T>
+bool satisfies_semilattice_laws(const T& a, const T& b, const T& c) {
+  if (!(a.join(a) == a)) return false;                          // idempotent
+  if (!(a.join(b) == b.join(a))) return false;                  // commutative
+  if (!(a.join(b).join(c) == a.join(b.join(c)))) return false;  // associative
+  if (a.leq(b) != (a.join(b) == b)) return false;  // order/join connection
+  return true;
+}
+
+}  // namespace bgla::lattice

@@ -1,0 +1,40 @@
+#include "lattice/crdt.h"
+
+#include "util/check.h"
+
+namespace bgla::lattice {
+
+std::uint64_t GCounter::value() const {
+  std::uint64_t sum = 0;
+  for (const auto& [id, v] : clock_) sum += v;
+  return sum;
+}
+
+void GCounter::merge(const Elem& peer_state) {
+  if (peer_state.is_bottom()) return;
+  for (const auto& [id, v] : peer_state.as<VClockElem>().clock()) {
+    auto& slot = clock_[id];
+    slot = std::max(slot, v);
+  }
+}
+
+Elem GCounter::as_set_lattice() const {
+  std::set<Item> items;
+  for (const auto& [id, v] : clock_) {
+    for (std::uint64_t k = 1; k <= v; ++k)
+      items.insert(Item{id, k, 0});
+  }
+  return make_set(std::move(items));
+}
+
+Elem GSet::state() const {
+  std::set<Item> items;
+  for (std::uint64_t v : values_) items.insert(Item{v, 0, 0});
+  return make_set(std::move(items));
+}
+
+void GSet::merge(const Elem& peer_state) {
+  for (const Item& it : set_items(peer_state)) values_.insert(it.a);
+}
+
+}  // namespace bgla::lattice

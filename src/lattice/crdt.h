@@ -1,0 +1,61 @@
+// State-based CRDTs whose state spaces are the join semilattices above —
+// the §3.1 isomorphism ("any join semilattice is isomorphic to a lattice of
+// sets under union") made executable, and the data types the paper's intro
+// motivates (a dependable counter with commutative add, a grow-only set).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "lattice/elem.h"
+#include "lattice/set_elem.h"
+#include "lattice/vclock_elem.h"
+#include "util/ids.h"
+
+namespace bgla::lattice {
+
+/// Grow-only counter. State lattice = vector clocks under pointwise max.
+class GCounter {
+ public:
+  explicit GCounter(ProcessId self) : self_(self) {}
+
+  /// Commutative update: add `amount` (the intro's add(x) operation).
+  void add(std::uint64_t amount) { clock_[self_] += amount; }
+
+  /// Current counter value (sum of components).
+  std::uint64_t value() const;
+
+  /// State as a vclock-lattice element.
+  Elem state() const { return make_vclock(clock_); }
+
+  /// Merge a peer's state (join).
+  void merge(const Elem& peer_state);
+
+  /// The §3.1 isomorphism: image of the state in the set lattice. Component
+  /// (p, k) maps to the set of items {(p, 1), ..., (p, k)}, so pointwise max
+  /// becomes set union and the orders coincide.
+  Elem as_set_lattice() const;
+
+ private:
+  ProcessId self_;
+  std::map<ProcessId, std::uint64_t> clock_;
+};
+
+/// Grow-only set of 64-bit values. State lattice = the set lattice itself.
+class GSet {
+ public:
+  void add(std::uint64_t v) { values_.insert(v); }
+  bool contains(std::uint64_t v) const { return values_.count(v) > 0; }
+  std::size_t size() const { return values_.size(); }
+
+  Elem state() const;
+  void merge(const Elem& peer_state);
+
+  const std::set<std::uint64_t>& values() const { return values_; }
+
+ private:
+  std::set<std::uint64_t> values_;
+};
+
+}  // namespace bgla::lattice

@@ -1,0 +1,70 @@
+#include "lattice/elem.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace bgla::lattice {
+
+namespace {
+void check_same_kind(const ElemModel& a, const ElemModel& b) {
+  BGLA_CHECK_MSG(std::strcmp(a.kind(), b.kind()) == 0,
+                 "lattice family mismatch: " << a.kind() << " vs "
+                                             << b.kind());
+}
+}  // namespace
+
+bool Elem::leq(const Elem& other) const {
+  if (is_bottom()) return true;
+  if (other.is_bottom()) return false;
+  // Elements of different lattice families are incomparable — not an
+  // error: a Byzantine process may ship arbitrary payloads, and protocol
+  // safety checks must classify them as "not ≤" rather than crash.
+  if (std::strcmp(impl_->kind(), other.impl_->kind()) != 0) return false;
+  return impl_->leq(*other.impl_);
+}
+
+Elem Elem::join(const Elem& other) const {
+  if (is_bottom()) return other;
+  if (other.is_bottom()) return *this;
+  check_same_kind(*impl_, *other.impl_);
+  return Elem(impl_->join(*other.impl_));
+}
+
+bool Elem::operator==(const Elem& other) const {
+  if (is_bottom() || other.is_bottom())
+    return is_bottom() && other.is_bottom();
+  if (std::strcmp(impl_->kind(), other.impl_->kind()) != 0) return false;
+  return impl_->leq(*other.impl_) && other.impl_->leq(*impl_);
+}
+
+void Elem::encode(Encoder& enc) const {
+  if (is_bottom()) {
+    enc.put_u8(0);  // bottom tag
+    return;
+  }
+  enc.put_u8(1);
+  enc.put_string(impl_->kind());
+  impl_->encode(enc);
+}
+
+Bytes Elem::encoded() const {
+  Encoder enc;
+  encode(enc);
+  return enc.take();
+}
+
+crypto::Digest Elem::digest() const {
+  const Bytes b = encoded();
+  return crypto::Sha256::hash(b);
+}
+
+std::string Elem::to_string() const {
+  return is_bottom() ? "⊥" : impl_->to_string();
+}
+
+bool comparable(const Elem& a, const Elem& b) {
+  return a.leq(b) || b.leq(a);
+}
+
+}  // namespace bgla::lattice

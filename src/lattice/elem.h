@@ -1,0 +1,120 @@
+// Type-erased join-semilattice elements.
+//
+// The paper's protocols are lattice-generic ("works on any possible
+// lattice"); we make that executable by having every protocol operate on
+// `Elem`, an immutable, shared, type-erased lattice value exposing exactly
+// the operations the algorithms use: join (⊕), leq (≤), equality, a
+// canonical binary encoding (for digests/signatures) and printing.
+//
+// A default-constructed Elem is the universal bottom ⊥: ⊥ ≤ x and
+// ⊥ ⊕ x = x for every x of any lattice family. This models the protocols'
+// empty initial Accepted_set/Proposed_set without every family needing an
+// explicit bottom object.
+//
+// Joining elements of different lattice families is a programming error and
+// throws CheckError.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "crypto/sha256.h"
+#include "util/check.h"
+#include "util/codec.h"
+
+namespace bgla::lattice {
+
+/// Interface implemented by each concrete lattice family.
+class ElemModel {
+ public:
+  virtual ~ElemModel() = default;
+
+  /// Identifies the lattice family; leq/join are only defined within one
+  /// family (checked at runtime).
+  virtual const char* kind() const = 0;
+
+  /// this ≤ other (other is guaranteed to be of the same kind).
+  virtual bool leq(const ElemModel& other) const = 0;
+
+  /// this ⊕ other (least upper bound; same-kind guaranteed).
+  virtual std::shared_ptr<const ElemModel> join(
+      const ElemModel& other) const = 0;
+
+  /// Canonical deterministic encoding (containers in sorted order).
+  virtual void encode(Encoder& enc) const = 0;
+
+  virtual std::string to_string() const = 0;
+
+  /// A size measure used only for diagnostics and refinement-bound
+  /// accounting (e.g. the number of base values in a set-lattice element).
+  virtual std::size_t weight() const = 0;
+};
+
+class Elem {
+ public:
+  /// The universal bottom ⊥.
+  Elem() = default;
+
+  explicit Elem(std::shared_ptr<const ElemModel> impl)
+      : impl_(std::move(impl)) {}
+
+  bool is_bottom() const { return impl_ == nullptr; }
+
+  /// this ≤ other.
+  bool leq(const Elem& other) const;
+
+  /// Least upper bound.
+  Elem join(const Elem& other) const;
+
+  /// Structural equality (leq in both directions).
+  bool operator==(const Elem& other) const;
+  bool operator!=(const Elem& other) const { return !(*this == other); }
+
+  /// Canonical encoding; ⊥ encodes as a distinguished tag.
+  void encode(Encoder& enc) const;
+  Bytes encoded() const;
+
+  /// SHA-256 of the canonical encoding — usable as a container key.
+  crypto::Digest digest() const;
+
+  std::string to_string() const;
+  std::size_t weight() const { return impl_ ? impl_->weight() : 0; }
+
+  /// Access to the concrete model (nullptr for ⊥).
+  const ElemModel* model() const { return impl_.get(); }
+
+  /// Downcast helper; throws CheckError on kind mismatch or ⊥.
+  template <typename T>
+  const T& as() const;
+
+ private:
+  std::shared_ptr<const ElemModel> impl_;
+};
+
+/// true iff a ≤ b or b ≤ a.
+bool comparable(const Elem& a, const Elem& b);
+
+/// Join of a range of Elems (⊥ for an empty range).
+template <typename Range>
+Elem join_all(const Range& range) {
+  Elem acc;
+  for (const auto& e : range) acc = acc.join(e);
+  return acc;
+}
+
+/// Orders Elems by digest — a deterministic total order usable as a
+/// container key (NOT the lattice order).
+struct ElemDigestLess {
+  bool operator()(const Elem& a, const Elem& b) const {
+    return a.digest() < b.digest();
+  }
+};
+
+template <typename T>
+const T& Elem::as() const {
+  const T* p = dynamic_cast<const T*>(impl_.get());
+  BGLA_CHECK_MSG(p != nullptr, "Elem::as: wrong lattice family or bottom");
+  return *p;
+}
+
+}  // namespace bgla::lattice

@@ -1,0 +1,34 @@
+#include "lattice/maxint_elem.h"
+
+#include <sstream>
+
+namespace bgla::lattice {
+
+bool MaxIntElem::leq(const ElemModel& other) const {
+  return value_ <= static_cast<const MaxIntElem&>(other).value_;
+}
+
+std::shared_ptr<const ElemModel> MaxIntElem::join(
+    const ElemModel& other) const {
+  const auto& o = static_cast<const MaxIntElem&>(other);
+  return std::make_shared<MaxIntElem>(std::max(value_, o.value_));
+}
+
+void MaxIntElem::encode(Encoder& enc) const { enc.put_u64(value_); }
+
+std::string MaxIntElem::to_string() const {
+  std::ostringstream os;
+  os << "max:" << value_;
+  return os.str();
+}
+
+Elem make_maxint(std::uint64_t value) {
+  return Elem(std::make_shared<MaxIntElem>(value));
+}
+
+std::uint64_t maxint_value(const Elem& e) {
+  if (e.is_bottom()) return 0;
+  return e.as<MaxIntElem>().value();
+}
+
+}  // namespace bgla::lattice

@@ -1,0 +1,33 @@
+// The max-integer lattice: natural numbers under max. A minimal totally
+// ordered lattice, used to exercise the protocols on a non-set family.
+#pragma once
+
+#include <cstdint>
+
+#include "lattice/elem.h"
+
+namespace bgla::lattice {
+
+class MaxIntElem final : public ElemModel {
+ public:
+  explicit MaxIntElem(std::uint64_t value) : value_(value) {}
+
+  const char* kind() const override { return "maxint"; }
+  bool leq(const ElemModel& other) const override;
+  std::shared_ptr<const ElemModel> join(const ElemModel& other) const override;
+  void encode(Encoder& enc) const override;
+  std::string to_string() const override;
+  std::size_t weight() const override { return 1; }
+
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_;
+};
+
+Elem make_maxint(std::uint64_t value);
+
+/// Value of a max-int Elem (⊥ reads as 0).
+std::uint64_t maxint_value(const Elem& e);
+
+}  // namespace bgla::lattice

@@ -1,0 +1,74 @@
+#include "lattice/set_elem.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace bgla::lattice {
+
+std::string Item::to_string() const {
+  std::ostringstream os;
+  os << "(" << a;
+  if (b != 0 || c != 0) os << "," << b;
+  if (c != 0) os << "," << c;
+  os << ")";
+  return os.str();
+}
+
+bool SetElem::leq(const ElemModel& other) const {
+  const auto& o = static_cast<const SetElem&>(other);
+  return std::includes(o.items_.begin(), o.items_.end(), items_.begin(),
+                       items_.end());
+}
+
+std::shared_ptr<const ElemModel> SetElem::join(const ElemModel& other) const {
+  const auto& o = static_cast<const SetElem&>(other);
+  std::set<Item> merged = items_;
+  merged.insert(o.items_.begin(), o.items_.end());
+  return std::make_shared<SetElem>(std::move(merged));
+}
+
+void SetElem::encode(Encoder& enc) const {
+  enc.put_varint(items_.size());
+  for (const Item& it : items_) {  // std::set iterates sorted => canonical
+    enc.put_u64(it.a);
+    enc.put_u64(it.b);
+    enc.put_u64(it.c);
+  }
+}
+
+std::string SetElem::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const Item& it : items_) {
+    if (!first) os << ",";
+    first = false;
+    os << it.to_string();
+  }
+  os << "}";
+  return os.str();
+}
+
+Elem make_set(std::set<Item> items) {
+  return Elem(std::make_shared<SetElem>(std::move(items)));
+}
+
+Elem make_set(std::initializer_list<Item> items) {
+  return Elem(std::make_shared<SetElem>(items));
+}
+
+Elem make_singleton(std::uint64_t value) {
+  return make_set({Item{value, 0, 0}});
+}
+
+Elem make_singleton(Item item) { return make_set({item}); }
+
+const std::set<Item>& set_items(const Elem& e) {
+  static const std::set<Item> kEmpty;
+  if (e.is_bottom()) return kEmpty;
+  return e.as<SetElem>().items();
+}
+
+}  // namespace bgla::lattice

@@ -1,0 +1,71 @@
+// The set lattice: finite sets of Items under union — the paper's WLOG
+// representation of any join semilattice (§3.1) and the lattice the RSM
+// runs on (power set of update commands, §7).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <set>
+#include <string>
+
+#include "lattice/elem.h"
+
+namespace bgla::lattice {
+
+/// A base value of the set lattice. Three 64-bit fields cover every use in
+/// this repository:
+///   - plain test values:          {a = value}
+///   - disclosed proposals:        {a = proposer id, b = value}
+///   - RSM commands:               {a = client id, b = sequence number,
+///                                  c = operand (or nop marker)}
+struct Item {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+
+  auto operator<=>(const Item&) const = default;
+
+  std::string to_string() const;
+};
+
+class SetElem final : public ElemModel {
+ public:
+  SetElem() = default;
+  explicit SetElem(std::set<Item> items) : items_(std::move(items)) {}
+  SetElem(std::initializer_list<Item> items) : items_(items) {}
+
+  const char* kind() const override { return "set"; }
+  bool leq(const ElemModel& other) const override;
+  std::shared_ptr<const ElemModel> join(const ElemModel& other) const override;
+  void encode(Encoder& enc) const override;
+  std::string to_string() const override;
+  std::size_t weight() const override { return items_.size(); }
+
+  const std::set<Item>& items() const { return items_; }
+  bool contains(const Item& item) const { return items_.count(item) > 0; }
+
+ private:
+  std::set<Item> items_;
+};
+
+/// Factory helpers.
+Elem make_set(std::set<Item> items);
+Elem make_set(std::initializer_list<Item> items);
+
+/// Singleton {Item{value}} — convenient for tests/examples.
+Elem make_singleton(std::uint64_t value);
+Elem make_singleton(Item item);
+
+/// The set of items of a set-lattice Elem (⊥ reads as the empty set).
+const std::set<Item>& set_items(const Elem& e);
+
+/// True iff every item of `e` (set lattice, or ⊥) satisfies `pred` —
+/// used for the "value ∈ E" admissibility checks of Algorithms 1/3.
+template <typename Pred>
+bool all_items(const Elem& e, Pred pred) {
+  for (const Item& it : set_items(e))
+    if (!pred(it)) return false;
+  return true;
+}
+
+}  // namespace bgla::lattice

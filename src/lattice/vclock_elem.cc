@@ -1,0 +1,77 @@
+#include "lattice/vclock_elem.h"
+
+#include <sstream>
+
+namespace bgla::lattice {
+
+bool VClockElem::leq(const ElemModel& other) const {
+  const auto& o = static_cast<const VClockElem&>(other);
+  for (const auto& [id, v] : clock_) {
+    if (v == 0) continue;
+    if (o.at(id) < v) return false;
+  }
+  return true;
+}
+
+std::shared_ptr<const ElemModel> VClockElem::join(
+    const ElemModel& other) const {
+  const auto& o = static_cast<const VClockElem&>(other);
+  std::map<ProcessId, std::uint64_t> merged = clock_;
+  for (const auto& [id, v] : o.clock_) {
+    auto& slot = merged[id];
+    slot = std::max(slot, v);
+  }
+  return std::make_shared<VClockElem>(std::move(merged));
+}
+
+void VClockElem::encode(Encoder& enc) const {
+  // Canonical: sorted by id (std::map order), zero entries skipped.
+  std::size_t nonzero = 0;
+  for (const auto& [id, v] : clock_)
+    if (v != 0) ++nonzero;
+  enc.put_varint(nonzero);
+  for (const auto& [id, v] : clock_) {
+    if (v == 0) continue;
+    enc.put_u32(id);
+    enc.put_u64(v);
+  }
+}
+
+std::string VClockElem::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const auto& [id, v] : clock_) {
+    if (v == 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << id << ":" << v;
+  }
+  os << "]";
+  return os.str();
+}
+
+std::size_t VClockElem::weight() const {
+  std::size_t n = 0;
+  for (const auto& [id, v] : clock_)
+    if (v != 0) ++n;
+  return n;
+}
+
+std::uint64_t VClockElem::at(ProcessId id) const {
+  const auto it = clock_.find(id);
+  return it == clock_.end() ? 0 : it->second;
+}
+
+Elem make_vclock(std::map<ProcessId, std::uint64_t> clock) {
+  return Elem(std::make_shared<VClockElem>(std::move(clock)));
+}
+
+std::uint64_t vclock_sum(const Elem& e) {
+  if (e.is_bottom()) return 0;
+  std::uint64_t sum = 0;
+  for (const auto& [id, v] : e.as<VClockElem>().clock()) sum += v;
+  return sum;
+}
+
+}  // namespace bgla::lattice

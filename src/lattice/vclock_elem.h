@@ -1,0 +1,39 @@
+// The vector-clock lattice: maps process id → counter under pointwise max.
+// Isomorphic to the G-Counter CRDT state lattice; exercises a partially
+// ordered non-set family with unbounded chains.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "lattice/elem.h"
+#include "util/ids.h"
+
+namespace bgla::lattice {
+
+class VClockElem final : public ElemModel {
+ public:
+  VClockElem() = default;
+  explicit VClockElem(std::map<ProcessId, std::uint64_t> clock)
+      : clock_(std::move(clock)) {}
+
+  const char* kind() const override { return "vclock"; }
+  bool leq(const ElemModel& other) const override;
+  std::shared_ptr<const ElemModel> join(const ElemModel& other) const override;
+  void encode(Encoder& enc) const override;
+  std::string to_string() const override;
+  std::size_t weight() const override;
+
+  const std::map<ProcessId, std::uint64_t>& clock() const { return clock_; }
+  std::uint64_t at(ProcessId id) const;
+
+ private:
+  std::map<ProcessId, std::uint64_t> clock_;  // zero entries omitted
+};
+
+Elem make_vclock(std::map<ProcessId, std::uint64_t> clock);
+
+/// Sum of all components — the G-Counter read value.
+std::uint64_t vclock_sum(const Elem& e);
+
+}  // namespace bgla::lattice

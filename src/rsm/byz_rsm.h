@@ -1,0 +1,87 @@
+// Byzantine participants specific to the RSM layer (§7 / Lemma 12).
+#pragma once
+
+#include "rsm/msgs.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace bgla::rsm {
+
+/// A replica that never runs GWTS but answers clients with fabricated
+/// decisions (claiming their command decided, plus junk commands) and
+/// confirms everything. The Alg 6 confirmation step must prevent clients
+/// from ever *returning* one of these fabrications.
+class FakeDeciderReplica : public sim::Process {
+ public:
+  FakeDeciderReplica(sim::Network& net, ProcessId id,
+                     ProcessId client_base, std::uint32_t num_clients)
+      : sim::Process(net, id),
+        client_base_(client_base),
+        num_clients_(num_clients) {}
+
+  void on_message(ProcessId, const sim::MessagePtr& msg) override {
+    if (const auto* m = dynamic_cast<const UpdateMsg*>(msg.get())) {
+      // Fabricate a decision: the client's command plus a junk command
+      // nobody issued.
+      const Elem fake = lattice::make_set(
+          {m->cmd, Item{/*client=*/7777, ++junk_seq_, 42}});
+      for (std::uint32_t c = 0; c < num_clients_; ++c) {
+        send(client_base_ + c, std::make_shared<DecideMsg>(fake, id()));
+      }
+      return;
+    }
+    if (const auto* m = dynamic_cast<const ConfReqMsg*>(msg.get())) {
+      // "Confirm" anything — a lone Byzantine confirmation is below the
+      // f+1 threshold unless a correct replica agrees.
+      for (std::uint32_t c = 0; c < num_clients_; ++c) {
+        send(client_base_ + c,
+             std::make_shared<ConfRepMsg>(m->accepted, id()));
+      }
+    }
+  }
+
+ private:
+  ProcessId client_base_;
+  std::uint32_t num_clients_;
+  std::uint64_t junk_seq_ = 0;
+};
+
+/// A Byzantine client (Lemma 12): fires commands at a single replica
+/// without waiting, duplicates sequence numbers, and sends confirmation
+/// requests for sets nobody decided. Its (admissible) commands may appear
+/// in correct clients' reads — which the §3.1 specification allows.
+class ByzClient : public sim::Process {
+ public:
+  ByzClient(sim::Network& net, ProcessId id, std::uint32_t num_replicas,
+            std::uint32_t num_commands)
+      : sim::Process(net, id),
+        num_replicas_(num_replicas),
+        num_commands_(num_commands) {}
+
+  void on_start() override {
+    for (std::uint32_t k = 0; k < num_commands_; ++k) {
+      const Item cmd{id(), k % 3 + 1, 500 + k};  // duplicated seqnos
+      send(k % num_replicas_, std::make_shared<UpdateMsg>(cmd));
+      send(k % num_replicas_,
+           std::make_shared<ConfReqMsg>(lattice::make_set({cmd})));
+    }
+  }
+
+  void on_message(ProcessId, const sim::MessagePtr&) override {}
+
+  /// Commands this client may have gotten into the RSM (for the checker's
+  /// allowed_extra set).
+  std::set<Item> possible_commands() const {
+    std::set<Item> out;
+    for (std::uint32_t k = 0; k < num_commands_; ++k) {
+      out.insert(Item{id(), k % 3 + 1, 500 + k});
+    }
+    return out;
+  }
+
+ private:
+  std::uint32_t num_replicas_;
+  std::uint32_t num_commands_;
+};
+
+}  // namespace bgla::rsm

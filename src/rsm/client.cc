@@ -1,0 +1,124 @@
+#include "rsm/client.h"
+
+#include "util/check.h"
+
+namespace bgla::rsm {
+
+Client::Client(sim::Network& net, ProcessId id, std::uint32_t num_replicas,
+               std::uint32_t f, std::vector<Op> script)
+    : sim::Process(net, id),
+      num_replicas_(num_replicas),
+      f_(f),
+      script_(std::move(script)) {
+  BGLA_CHECK(num_replicas_ >= 3 * f_ + 1);
+}
+
+void Client::on_start() { start_next_op(); }
+
+void Client::append_ops(std::vector<Op> ops) {
+  const bool was_done = done();
+  for (Op& op : ops) script_.push_back(op);
+  if (was_done) start_next_op();
+}
+
+void Client::start_next_op() {
+  if (active_ || next_op_ >= script_.size()) return;
+  const Op op = script_[next_op_];
+
+  OpRecord rec;
+  rec.op = op;
+  rec.invoke_time = net().now();
+  rec.invoke_depth = net().current_depth();
+  const std::uint64_t operand =
+      op.kind == Op::Kind::kRead ? kNopOperand : op.operand;
+  rec.cmd = Item{id(), ++seq_, operand};
+  history_.push_back(rec);
+
+  active_ = true;
+  current_cmd_ = rec.cmd;
+  dec_senders_.clear();
+  confirming_ = false;
+  candidates_.clear();
+  conf_replies_.clear();
+
+  // Alg 5 L3 / Alg 6 L3: new value({cmd}) at f+1 replicas. The offset
+  // rotates the chosen replicas per op; any f+1 distinct replicas contain
+  // at least one correct one.
+  const auto msg = std::make_shared<UpdateMsg>(current_cmd_);
+  if (contact_all_) {
+    for (std::uint32_t r = 0; r < num_replicas_; ++r) send(r, msg);
+  } else {
+    const std::uint32_t base =
+        static_cast<std::uint32_t>((seq_ * (f_ + 1)) % num_replicas_);
+    for (std::uint32_t k = 0; k <= f_; ++k) {
+      send((base + k) % num_replicas_, msg);
+    }
+  }
+}
+
+void Client::on_message(ProcessId from, const sim::MessagePtr& msg) {
+  if (const auto* m = dynamic_cast<const DecideMsg*>(msg.get())) {
+    handle_decide(from, *m);
+  } else if (const auto* m = dynamic_cast<const ConfRepMsg*>(msg.get())) {
+    handle_conf_rep(from, *m);
+  }
+}
+
+void Client::handle_decide(ProcessId from, const DecideMsg& m) {
+  if (!active_) return;
+  if (from >= num_replicas_) return;  // only replicas may decide
+  // Alg 5 L5 / Alg 6 L4: only decisions containing our command count.
+  const auto& items = lattice::set_items(m.accepted);
+  if (items.count(current_cmd_) == 0) return;
+  dec_senders_.insert(from);
+
+  const bool is_read =
+      script_[next_op_].kind == Op::Kind::kRead;
+
+  if (!is_read) {
+    // Alg 5 L4: update completes at f+1 decision reports.
+    if (dec_senders_.size() >= f_ + 1) complete_current(Elem());
+    return;
+  }
+
+  // Read path: collect candidate decision sets; once f+1 decisions are in
+  // (Alg 6 L6-8), confirm each candidate — including candidates arriving
+  // later, since up to f of the early ones may be fabrications.
+  candidates_.emplace(m.accepted.digest(), m.accepted);
+  if (!confirming_ && dec_senders_.size() >= f_ + 1) {
+    confirming_ = true;
+    for (const auto& [digest, set] : candidates_) request_confirmation(set);
+  } else if (confirming_) {
+    request_confirmation(m.accepted);
+  }
+}
+
+void Client::request_confirmation(const Elem& set) {
+  const auto req = std::make_shared<ConfReqMsg>(set);
+  for (std::uint32_t r = 0; r < num_replicas_; ++r) send(r, req);
+}
+
+void Client::handle_conf_rep(ProcessId from, const ConfRepMsg& m) {
+  if (!active_ || !confirming_) return;
+  if (from >= num_replicas_) return;
+  const crypto::Digest d = m.accepted.digest();
+  if (candidates_.count(d) == 0) return;  // unsolicited: ignore
+  auto& repliers = conf_replies_[d];
+  repliers.insert(from);
+  // Alg 6 L11-12: first set confirmed by f+1 replicas is executed.
+  if (repliers.size() >= f_ + 1) complete_current(candidates_.at(d));
+}
+
+void Client::complete_current(const Elem& read_value) {
+  OpRecord& rec = history_.back();
+  rec.completed = true;
+  rec.complete_time = net().now();
+  rec.complete_depth = net().current_depth();
+  rec.read_value = read_value;
+  active_ = false;
+  ++next_op_;
+  if (op_hook_) op_hook_(*this, rec);
+  start_next_op();
+}
+
+}  // namespace bgla::rsm

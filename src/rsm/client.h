@@ -1,0 +1,98 @@
+// RSM client (§7.2, Algorithms 5 and 6).
+//
+// A client executes a script of operations sequentially:
+//   Update(x) — submit command (client, seq, x) to f+1 replicas; complete
+//               when f+1 distinct replicas report a decision containing it.
+//   Read()    — submit a nop command the same way; once f+1 decisions
+//               containing the nop arrive, ask all replicas to confirm the
+//               candidate decision sets; return (execute) the first set
+//               confirmed by f+1 replicas — at least one of them correct,
+//               so the set was genuinely decided in GWTS.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "rsm/msgs.h"
+#include "sim/network.h"
+
+namespace bgla::rsm {
+
+struct Op {
+  enum class Kind { kUpdate, kRead };
+  Kind kind = Kind::kUpdate;
+  std::uint64_t operand = 0;  // update amount; unused for reads
+
+  static Op update(std::uint64_t amount) {
+    return Op{Kind::kUpdate, amount};
+  }
+  static Op read() { return Op{Kind::kRead, 0}; }
+};
+
+struct OpRecord {
+  Op op;
+  Item cmd;  // the unique command this op submitted (nop for reads)
+  sim::Time invoke_time = 0;
+  sim::Time complete_time = 0;
+  std::uint64_t invoke_depth = 0;
+  std::uint64_t complete_depth = 0;
+  bool completed = false;
+  Elem read_value;  // reads only: the executed (confirmed) command set
+};
+
+class Client : public sim::Process {
+ public:
+  Client(sim::Network& net, ProcessId id, std::uint32_t num_replicas,
+         std::uint32_t f, std::vector<Op> script);
+
+  /// Contact all replicas per command instead of the minimal f+1 (Alg 5
+  /// note: f+1 suffices for correctness; contacting all trades messages
+  /// for latency — measured in bench_rsm's contact-policy section).
+  void set_contact_all(bool v) { contact_all_ = v; }
+
+  void on_start() override;
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+
+  bool done() const { return next_op_ >= script_.size() && !active_; }
+
+  /// Appends operations to the script. Callable from an op hook — the
+  /// observed-remove set uses this to issue removes derived from a
+  /// completed read. If the client had finished, it resumes.
+  void append_ops(std::vector<Op> ops);
+  const std::vector<OpRecord>& history() const { return history_; }
+
+  /// Called whenever an operation completes (run controllers).
+  using OpHook = std::function<void(const Client&, const OpRecord&)>;
+  void set_op_hook(OpHook hook) { op_hook_ = std::move(hook); }
+
+ private:
+  void start_next_op();
+  void handle_decide(ProcessId from, const DecideMsg& m);
+  void handle_conf_rep(ProcessId from, const ConfRepMsg& m);
+  void request_confirmation(const Elem& set);
+  void complete_current(const Elem& read_value);
+
+  std::uint32_t num_replicas_;
+  std::uint32_t f_;
+  bool contact_all_ = false;
+  std::vector<Op> script_;
+  std::size_t next_op_ = 0;
+  bool active_ = false;
+  std::uint64_t seq_ = 0;
+
+  // In-flight op state (Alg 5/6).
+  Item current_cmd_{};
+  std::set<ProcessId> dec_senders_;
+  bool confirming_ = false;
+  std::map<crypto::Digest, Elem> candidates_;
+  std::map<crypto::Digest, std::set<ProcessId>> conf_replies_;
+
+  std::vector<OpRecord> history_;
+  OpHook op_hook_;
+};
+
+}  // namespace bgla::rsm

@@ -1,0 +1,149 @@
+// Typed views over the commutative-update RSM: the grow-only counter and
+// grow-only set the paper's introduction motivates, expressed as script
+// builders (operations to hand to rsm::Client) plus interpreters for the
+// command sets that reads return.
+//
+// The state of the RSM is a set of commands; these helpers give it data-
+// type-level meaning:
+//   counter —  add(x) commands; value = Σ operands
+//   g-set   —  add(v) commands; value = { operands }
+#pragma once
+
+#include <set>
+
+#include "rsm/client.h"
+#include "rsm/history.h"
+
+namespace bgla::rsm {
+
+/// Script builder for a grow-only counter client.
+class CounterWorkload {
+ public:
+  CounterWorkload& add(std::uint64_t amount) {
+    ops_.push_back(Op::update(amount));
+    return *this;
+  }
+  CounterWorkload& read() {
+    ops_.push_back(Op::read());
+    return *this;
+  }
+  std::vector<Op> script() const { return ops_; }
+
+  /// Counter value of a completed read (Σ non-nop operands).
+  static std::uint64_t value_of(const OpRecord& read_record) {
+    return counter_value(read_record.read_value);
+  }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+/// Script builder for a grow-only set client. Element values are encoded
+/// in the command operand.
+class GSetWorkload {
+ public:
+  GSetWorkload& add(std::uint64_t element) {
+    ops_.push_back(Op::update(element));
+    return *this;
+  }
+  GSetWorkload& read() {
+    ops_.push_back(Op::read());
+    return *this;
+  }
+  std::vector<Op> script() const { return ops_; }
+
+  /// The set of elements a completed read observed.
+  static std::set<std::uint64_t> elements_of(const OpRecord& read_record) {
+    std::set<std::uint64_t> out;
+    for (const Item& it : lattice::set_items(read_record.read_value)) {
+      if (!is_nop(it)) out.insert(it.c);
+    }
+    return out;
+  }
+
+  static bool contains(const OpRecord& read_record, std::uint64_t element) {
+    return elements_of(read_record).count(element) > 0;
+  }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+/// Observed-remove set (OR-Set) over the commutative RSM.
+///
+/// add(v) is one command whose identity (client, seq) doubles as the
+/// element's unique *tag*. remove(v) is only issued against tags observed
+/// in a completed read, one remove command per observed tag — removes of
+/// distinct tags commute with everything, so the command universe remains
+/// a join semilattice and the unmodified RSM carries it. An element is
+/// present iff some add-tag of it has no matching remove. (Concurrent
+/// add wins over remove that did not observe it — standard OR-Set.)
+class ORSetWorkload {
+ public:
+  /// Operand layout: bit 62 set ⇒ remove command referencing the tag
+  /// (adder_client:20 bits | adder_seq:32 bits); otherwise the operand is
+  /// the added element value (must stay below 2^61).
+  static constexpr std::uint64_t kRemoveFlag = 1ull << 62;
+
+  ORSetWorkload& add(std::uint64_t element) {
+    ops_.push_back(Op::update(element));
+    return *this;
+  }
+  ORSetWorkload& read() {
+    ops_.push_back(Op::read());
+    return *this;
+  }
+  std::vector<Op> script() const { return ops_; }
+
+  static std::uint64_t pack_remove(ClientId adder, std::uint64_t seq) {
+    return kRemoveFlag | (static_cast<std::uint64_t>(adder) << 32) |
+           (seq & 0xffffffffull);
+  }
+  static bool is_remove(const Item& cmd) {
+    return !is_nop(cmd) && (cmd.c & kRemoveFlag) != 0;
+  }
+  static std::pair<ClientId, std::uint64_t> removed_tag(const Item& cmd) {
+    return {static_cast<ClientId>((cmd.c >> 32) & 0x3fffffffull),
+            cmd.c & 0xffffffffull};
+  }
+
+  /// Remove operations for every currently-observed tag of `element` in a
+  /// completed read — feed to Client::append_ops.
+  static std::vector<Op> removes_for(const OpRecord& read_record,
+                                     std::uint64_t element) {
+    std::vector<Op> out;
+    for (const Item& it : lattice::set_items(read_record.read_value)) {
+      if (is_nop(it) || is_remove(it)) continue;
+      if (it.c == element) {
+        out.push_back(Op::update(pack_remove(
+            static_cast<ClientId>(it.a), it.b)));
+      }
+    }
+    return out;
+  }
+
+  /// Elements present in a read value: adds whose tag has no remove.
+  static std::set<std::uint64_t> elements_of(const OpRecord& read_record) {
+    std::set<std::pair<ClientId, std::uint64_t>> removed;
+    for (const Item& it : lattice::set_items(read_record.read_value)) {
+      if (is_remove(it)) removed.insert(removed_tag(it));
+    }
+    std::set<std::uint64_t> out;
+    for (const Item& it : lattice::set_items(read_record.read_value)) {
+      if (is_nop(it) || is_remove(it)) continue;
+      if (removed.count({static_cast<ClientId>(it.a), it.b}) == 0) {
+        out.insert(it.c);
+      }
+    }
+    return out;
+  }
+
+  static bool contains(const OpRecord& read_record, std::uint64_t element) {
+    return elements_of(read_record).count(element) > 0;
+  }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace bgla::rsm

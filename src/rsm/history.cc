@@ -1,0 +1,133 @@
+#include "rsm/history.h"
+
+#include <sstream>
+
+#include "lattice/chain.h"
+
+namespace bgla::rsm {
+
+namespace {
+void append_diag(std::string& diag, const std::string& line) {
+  if (!diag.empty()) diag += "; ";
+  diag += line;
+}
+
+std::string cmd_str(const Item& cmd) { return cmd.to_string(); }
+}  // namespace
+
+std::uint64_t counter_value(const lattice::Elem& read_value) {
+  std::uint64_t sum = 0;
+  for (const Item& it : lattice::set_items(read_value)) {
+    if (!is_nop(it)) sum += it.c;
+  }
+  return sum;
+}
+
+RsmCheckResult check_history(
+    const std::vector<std::vector<OpRecord>>& histories,
+    const std::set<Item>& allowed_extra) {
+  RsmCheckResult res;
+
+  std::vector<const OpRecord*> all;
+  std::set<Item> issued;
+  for (const auto& h : histories) {
+    for (const auto& rec : h) {
+      all.push_back(&rec);
+      issued.insert(rec.cmd);
+    }
+  }
+
+  // Liveness.
+  for (const OpRecord* r : all) {
+    if (!r->completed) {
+      res.liveness = false;
+      std::ostringstream os;
+      os << "liveness: op " << cmd_str(r->cmd) << " did not complete";
+      append_diag(res.diagnostic, os.str());
+    }
+  }
+
+  std::vector<const OpRecord*> reads;
+  std::vector<const OpRecord*> updates;
+  for (const OpRecord* r : all) {
+    if (!r->completed) continue;
+    if (r->op.kind == Op::Kind::kRead) {
+      reads.push_back(r);
+    } else {
+      updates.push_back(r);
+    }
+  }
+
+  // Read Validity: every command in a read value was issued by a correct
+  // client or is explicitly allowed (Byzantine-client commands).
+  for (const OpRecord* r : reads) {
+    for (const Item& it : lattice::set_items(r->read_value)) {
+      if (issued.count(it) == 0 && allowed_extra.count(it) == 0) {
+        res.read_validity = false;
+        std::ostringstream os;
+        os << "validity: read returned unissued command " << cmd_str(it);
+        append_diag(res.diagnostic, os.str());
+      }
+    }
+  }
+
+  // Read Consistency.
+  std::vector<lattice::Elem> values;
+  for (const OpRecord* r : reads) values.push_back(r->read_value);
+  const auto [ci, cj] = lattice::find_incomparable(values);
+  if (ci >= 0) {
+    res.read_consistency = false;
+    append_diag(res.diagnostic, "consistency: incomparable read values");
+  }
+
+  // Read Monotonicity.
+  for (const OpRecord* r1 : reads) {
+    for (const OpRecord* r2 : reads) {
+      if (r1->complete_time < r2->invoke_time &&
+          !r1->read_value.leq(r2->read_value)) {
+        res.read_monotonicity = false;
+        std::ostringstream os;
+        os << "monotonicity: read " << cmd_str(r1->cmd)
+           << " completed before " << cmd_str(r2->cmd)
+           << " started but returned a larger value";
+        append_diag(res.diagnostic, os.str());
+      }
+    }
+  }
+
+  // Update Stability: u1 completes before u2 is triggered ⇒ every read
+  // containing u2's command also contains u1's.
+  for (const OpRecord* u1 : updates) {
+    for (const OpRecord* u2 : updates) {
+      if (!(u1->complete_time < u2->invoke_time)) continue;
+      for (const OpRecord* r : reads) {
+        const auto& items = lattice::set_items(r->read_value);
+        if (items.count(u2->cmd) > 0 && items.count(u1->cmd) == 0) {
+          res.update_stability = false;
+          std::ostringstream os;
+          os << "stability: read sees " << cmd_str(u2->cmd)
+             << " without earlier " << cmd_str(u1->cmd);
+          append_diag(res.diagnostic, os.str());
+        }
+      }
+    }
+  }
+
+  // Update Visibility: u completes before r is triggered ⇒ r sees u.
+  for (const OpRecord* u : updates) {
+    for (const OpRecord* r : reads) {
+      if (u->complete_time < r->invoke_time &&
+          lattice::set_items(r->read_value).count(u->cmd) == 0) {
+        res.update_visibility = false;
+        std::ostringstream os;
+        os << "visibility: read " << cmd_str(r->cmd) << " misses completed "
+           << cmd_str(u->cmd);
+        append_diag(res.diagnostic, os.str());
+      }
+    }
+  }
+
+  return res;
+}
+
+}  // namespace bgla::rsm

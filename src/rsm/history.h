@@ -1,0 +1,43 @@
+// Executable specification of the §7.1 RSM properties over recorded
+// operation histories.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rsm/client.h"
+
+namespace bgla::rsm {
+
+struct RsmCheckResult {
+  bool liveness = true;           ///< every operation completed
+  bool read_validity = true;      ///< reads return issued commands only
+  bool read_consistency = true;   ///< read values pairwise comparable
+  bool read_monotonicity = true;  ///< reads ordered in time grow
+  bool update_stability = true;   ///< earlier updates visible with later
+  bool update_visibility = true;  ///< completed updates visible to reads
+  std::string diagnostic;
+
+  bool ok() const {
+    return liveness && read_validity && read_consistency &&
+           read_monotonicity && update_stability && update_visibility;
+  }
+  bool safe() const {
+    return read_validity && read_consistency && read_monotonicity &&
+           update_stability && update_visibility;
+  }
+};
+
+/// `histories` are the per-client operation records of the *correct*
+/// clients. `allowed_extra` are commands that may legitimately appear in
+/// read values beyond the correct clients' own (e.g. a Byzantine client's
+/// admissible commands, which the paper explicitly allows into decisions).
+RsmCheckResult check_history(
+    const std::vector<std::vector<OpRecord>>& histories,
+    const std::set<Item>& allowed_extra = {});
+
+/// Counter view of a read value: sum of operands of non-nop commands.
+std::uint64_t counter_value(const lattice::Elem& read_value);
+
+}  // namespace bgla::rsm

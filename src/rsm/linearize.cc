@@ -1,0 +1,130 @@
+#include "rsm/linearize.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "lattice/chain.h"
+
+namespace bgla::rsm {
+
+namespace {
+
+struct FlatOp {
+  LinearizationResult::OpRef ref;
+  const OpRecord* rec = nullptr;
+  std::size_t slot = 0;  // chain position before/at which the op lands
+};
+
+}  // namespace
+
+LinearizationResult linearize(
+    const std::vector<std::vector<OpRecord>>& histories,
+    const std::set<Item>& allowed_extra) {
+  LinearizationResult res;
+
+  std::vector<FlatOp> ops;
+  std::set<Item> issued;
+  for (std::size_t c = 0; c < histories.size(); ++c) {
+    for (std::size_t i = 0; i < histories[c].size(); ++i) {
+      const OpRecord& rec = histories[c][i];
+      if (!rec.completed) {
+        // A trailing incomplete op imposes no constraint; a *followed*
+        // incomplete op would mean the client violated well-formedness.
+        if (i + 1 < histories[c].size()) {
+          res.diagnostic = "non-trailing incomplete operation";
+          return res;
+        }
+        continue;
+      }
+      ops.push_back(FlatOp{{c, i}, &rec, 0});
+      issued.insert(rec.cmd);
+    }
+  }
+
+  // Distinct read values must form a chain; sort them ascending.
+  std::vector<lattice::Elem> values;
+  for (const FlatOp& op : ops) {
+    if (op.rec->op.kind == Op::Kind::kRead) {
+      values.push_back(op.rec->read_value);
+    }
+  }
+  if (lattice::find_incomparable(values).first >= 0) {
+    res.diagnostic = "read values are not a chain";
+    return res;
+  }
+  std::sort(values.begin(), values.end(),
+            [](const lattice::Elem& a, const lattice::Elem& b) {
+              return a.leq(b) && !(a == b);
+            });
+  values.erase(std::unique(values.begin(), values.end(),
+                           [](const lattice::Elem& a,
+                              const lattice::Elem& b) { return a == b; }),
+               values.end());
+
+  // Every command inside a read value must be attributable.
+  for (const lattice::Elem& v : values) {
+    for (const Item& it : lattice::set_items(v)) {
+      if (issued.count(it) == 0 && allowed_extra.count(it) == 0) {
+        std::ostringstream os;
+        os << "read value contains unattributed command "
+           << it.to_string();
+        res.diagnostic = os.str();
+        return res;
+      }
+    }
+  }
+
+  // Slot assignment. Reads: position of their value in the chain
+  // (slot 2k+1). Updates: before the first read value containing them
+  // (slot 2k), or after every read (last slot) if never observed.
+  const std::size_t last_slot = 2 * values.size();
+  for (FlatOp& op : ops) {
+    if (op.rec->op.kind == Op::Kind::kRead) {
+      const auto it = std::find(values.begin(), values.end(),
+                                op.rec->read_value);
+      op.slot = 2 * static_cast<std::size_t>(it - values.begin()) + 1;
+    } else {
+      op.slot = last_slot;
+      for (std::size_t k = 0; k < values.size(); ++k) {
+        if (lattice::set_items(values[k]).count(op.rec->cmd) > 0) {
+          op.slot = 2 * k;
+          break;
+        }
+      }
+    }
+  }
+
+  // Witness order: by (slot, invocation time, client) — same-slot ops
+  // commute, so the tiebreak is free and chosen to satisfy real time.
+  std::stable_sort(ops.begin(), ops.end(),
+                   [](const FlatOp& a, const FlatOp& b) {
+                     if (a.slot != b.slot) return a.slot < b.slot;
+                     if (a.rec->invoke_time != b.rec->invoke_time) {
+                       return a.rec->invoke_time < b.rec->invoke_time;
+                     }
+                     return a.ref.client < b.ref.client;
+                   });
+
+  // Real-time validity: no later-ordered op may have completed before an
+  // earlier-ordered op was invoked.
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    for (std::size_t j = i + 1; j < ops.size(); ++j) {
+      if (ops[j].rec->complete_time < ops[i].rec->invoke_time) {
+        std::ostringstream os;
+        os << "real-time violation: " << ops[j].rec->cmd.to_string()
+           << " (completed t=" << ops[j].rec->complete_time
+           << ") must precede " << ops[i].rec->cmd.to_string()
+           << " (invoked t=" << ops[i].rec->invoke_time
+           << ") but the only sequentially-correct orders place it after";
+        res.diagnostic = os.str();
+        return res;
+      }
+    }
+  }
+
+  res.linearizable = true;
+  for (const FlatOp& op : ops) res.order.push_back(op.ref);
+  return res;
+}
+
+}  // namespace bgla::rsm

@@ -1,0 +1,94 @@
+// RSM wire messages (§7, type ids 60..79).
+#pragma once
+
+#include <sstream>
+
+#include "lattice/set_elem.h"
+#include "sim/message.h"
+#include "util/ids.h"
+
+namespace bgla::rsm {
+
+using lattice::Elem;
+using lattice::Item;
+
+/// Commands are Items: a = client id, b = per-client sequence number,
+/// c = operand. The (a, b) pair makes every command unique, as §7 assumes.
+/// Reads use the distinguished nop operand.
+inline constexpr std::uint64_t kNopOperand = 0xffffffffffffffffull;
+
+inline bool is_nop(const Item& cmd) { return cmd.c == kNopOperand; }
+
+/// Client → replica: submit command cmd to the RSM (Alg 5 L3 /Alg 6 L3).
+class UpdateMsg final : public sim::Message {
+ public:
+  explicit UpdateMsg(Item cmd) : cmd(cmd) {}
+
+  std::uint32_t type_id() const override { return 60; }
+  sim::Layer layer() const override { return sim::Layer::kRsm; }
+  void encode_payload(Encoder& enc) const override {
+    enc.put_u64(cmd.a);
+    enc.put_u64(cmd.b);
+    enc.put_u64(cmd.c);
+  }
+  std::string to_string() const override {
+    return "RSM_UPDATE(" + cmd.to_string() + ")";
+  }
+
+  Item cmd;
+};
+
+/// Replica → client: <decide, Accepted_set, replica>.
+class DecideMsg final : public sim::Message {
+ public:
+  DecideMsg(Elem accepted, ProcessId replica)
+      : accepted(std::move(accepted)), replica(replica) {}
+
+  std::uint32_t type_id() const override { return 61; }
+  sim::Layer layer() const override { return sim::Layer::kRsm; }
+  void encode_payload(Encoder& enc) const override {
+    accepted.encode(enc);
+    enc.put_u32(replica);
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "RSM_DECIDE(rep=" << replica << ",|s|=" << accepted.weight() << ")";
+    return os.str();
+  }
+
+  Elem accepted;
+  ProcessId replica;
+};
+
+/// Client → replica: <CnfReq, Accepted_set> (Alg 6 L8).
+class ConfReqMsg final : public sim::Message {
+ public:
+  explicit ConfReqMsg(Elem accepted) : accepted(std::move(accepted)) {}
+
+  std::uint32_t type_id() const override { return 62; }
+  sim::Layer layer() const override { return sim::Layer::kRsm; }
+  void encode_payload(Encoder& enc) const override { accepted.encode(enc); }
+  std::string to_string() const override { return "RSM_CONF_REQ"; }
+
+  Elem accepted;
+};
+
+/// Replica → client: <CnfRep, Accepted_set, replica> (Alg 7 L5).
+class ConfRepMsg final : public sim::Message {
+ public:
+  ConfRepMsg(Elem accepted, ProcessId replica)
+      : accepted(std::move(accepted)), replica(replica) {}
+
+  std::uint32_t type_id() const override { return 63; }
+  sim::Layer layer() const override { return sim::Layer::kRsm; }
+  void encode_payload(Encoder& enc) const override {
+    accepted.encode(enc);
+    enc.put_u32(replica);
+  }
+  std::string to_string() const override { return "RSM_CONF_REP"; }
+
+  Elem accepted;
+  ProcessId replica;
+};
+
+}  // namespace bgla::rsm

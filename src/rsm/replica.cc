@@ -1,0 +1,65 @@
+#include "rsm/replica.h"
+
+namespace bgla::rsm {
+
+Replica::Replica(sim::Network& net, ProcessId id, la::LaConfig cfg,
+                 ProcessId client_base, std::uint32_t num_clients)
+    : la::GwtsProcess(net, id, cfg),
+      client_base_(client_base),
+      num_clients_(num_clients) {
+  set_decide_hook([this](const la::GwtsProcess&,
+                         const la::DecisionRecord& rec) {
+    push_decision(rec);
+    flush_confirmations();
+  });
+}
+
+void Replica::on_message(ProcessId from, const sim::MessagePtr& msg) {
+  if (const auto* m = dynamic_cast<const UpdateMsg*>(msg.get())) {
+    handle_update(*m);
+    return;
+  }
+  if (const auto* m = dynamic_cast<const ConfReqMsg*>(msg.get())) {
+    handle_conf_req(from, *m);
+    return;
+  }
+  la::GwtsProcess::on_message(from, msg);
+  // Quorum knowledge may have advanced: pending confirmations may now be
+  // answerable (Alg 7 L4 is an "upon" guard over Ack_history).
+  flush_confirmations();
+}
+
+void Replica::handle_update(const UpdateMsg& m) {
+  // Deduplicate by (client, seq) — a Byzantine client hammering the same
+  // command only gets it proposed once.
+  if (!seen_cmds_.emplace(m.cmd.a, m.cmd.b).second) return;
+  submit(lattice::make_set({m.cmd}));
+}
+
+void Replica::handle_conf_req(ProcessId from, const ConfReqMsg& m) {
+  pending_conf_.emplace_back(from, m.accepted);  // Alg 7 L2-3
+  flush_confirmations();
+}
+
+void Replica::flush_confirmations() {
+  // Alg 7 L4-6.
+  for (std::size_t i = 0; i < pending_conf_.size();) {
+    const auto& [client, set] = pending_conf_[i];
+    if (confirmed(set)) {
+      send(client, std::make_shared<ConfRepMsg>(set, id()));
+      pending_conf_.erase(pending_conf_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Replica::push_decision(const la::DecisionRecord& rec) {
+  const auto msg = std::make_shared<DecideMsg>(rec.value, id());
+  for (std::uint32_t c = 0; c < num_clients_; ++c) {
+    send(client_base_ + c, msg);
+  }
+}
+
+}  // namespace bgla::rsm

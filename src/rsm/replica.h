@@ -1,0 +1,40 @@
+// RSM replica (§7.2): a GWTS proposer/acceptor that
+//   - feeds client commands into GWTS batches ("new value({cmd})"),
+//   - pushes <decide, Accepted_set, replica> to every client on each GWTS
+//     decision, and
+//   - implements the Algorithm 7 confirmation plug-in: a confirmation
+//     request is answered once the requested set appears with quorum
+//     support in the GWTS Ack_history (i.e. was effectively decided).
+#pragma once
+
+#include <vector>
+
+#include "la/gwts.h"
+#include "rsm/msgs.h"
+
+namespace bgla::rsm {
+
+class Replica : public la::GwtsProcess {
+ public:
+  /// Clients occupy process ids [client_base, client_base + num_clients).
+  Replica(sim::Network& net, ProcessId id, la::LaConfig cfg,
+          ProcessId client_base, std::uint32_t num_clients);
+
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+
+  /// Current local state (the last decided command set).
+  const Elem& state() const { return decided_set(); }
+
+ private:
+  void handle_update(const UpdateMsg& m);
+  void handle_conf_req(ProcessId from, const ConfReqMsg& m);
+  void flush_confirmations();
+  void push_decision(const la::DecisionRecord& rec);
+
+  ProcessId client_base_;
+  std::uint32_t num_clients_;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen_cmds_;
+  std::vector<std::pair<ProcessId, Elem>> pending_conf_;
+};
+
+}  // namespace bgla::rsm

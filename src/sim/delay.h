@@ -1,0 +1,136 @@
+// Link-delay models for the asynchronous network.
+//
+// The paper's model (§3): reliable authenticated links, messages never
+// lost, delays unbounded. A DelayModel picks the in-flight latency of each
+// message; adversarial models stretch chosen links to exercise asynchrony
+// (they may not drop — reliability is enforced by the network layer).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace bgla::sim {
+
+using Time = std::uint64_t;
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  /// Latency (>= 1) of a message from `from` to `to` sent at `now`.
+  virtual Time delay(ProcessId from, ProcessId to, Time now, Rng& rng) = 0;
+};
+
+/// Every message takes exactly `latency` ticks (synchronous-looking runs,
+/// useful for unit tests and depth calibration).
+class FixedDelay final : public DelayModel {
+ public:
+  explicit FixedDelay(Time latency = 1) : latency_(latency) {}
+  Time delay(ProcessId, ProcessId, Time, Rng&) override { return latency_; }
+
+ private:
+  Time latency_;
+};
+
+/// Uniform random latency in [lo, hi].
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(Time lo, Time hi) : lo_(lo), hi_(hi) {}
+  Time delay(ProcessId, ProcessId, Time, Rng& rng) override {
+    return rng.uniform(lo_, hi_);
+  }
+
+ private:
+  Time lo_, hi_;
+};
+
+/// Adversarial: messages between designated "victim" ordered pairs are
+/// stretched by `stretch`; everything else is fast. Models the Theorem 1
+/// style schedule that delays traffic among chosen correct processes.
+class TargetedDelay final : public DelayModel {
+ public:
+  TargetedDelay(std::set<std::pair<ProcessId, ProcessId>> victims,
+                Time fast, Time stretch)
+      : victims_(std::move(victims)), fast_(fast), stretch_(stretch) {}
+
+  Time delay(ProcessId from, ProcessId to, Time, Rng&) override {
+    return victims_.count({from, to}) > 0 ? stretch_ : fast_;
+  }
+
+ private:
+  std::set<std::pair<ProcessId, ProcessId>> victims_;
+  Time fast_, stretch_;
+};
+
+/// Heavy-tailed-ish random latency: mostly fast, occasionally stretched by
+/// a large factor. Stresses SAFE() buffering and round gating.
+class JitterDelay final : public DelayModel {
+ public:
+  JitterDelay(Time base, Time spike, double spike_prob)
+      : base_(base), spike_(spike), spike_prob_(spike_prob) {}
+
+  Time delay(ProcessId, ProcessId, Time, Rng& rng) override {
+    return rng.chance(spike_prob_) ? spike_ : 1 + rng.uniform(0, base_);
+  }
+
+ private:
+  Time base_, spike_;
+  double spike_prob_;
+};
+
+/// Transient partition: until `heal_time`, traffic crossing the cut
+/// between group A = {id < split} and group B = {id >= split} is held
+/// back so it arrives only after the partition heals (reliable links —
+/// messages are delayed, never dropped, exactly the §3 model's
+/// "unbounded delay" made concrete). Within a side, latency is `fast`.
+class PartitionDelay final : public DelayModel {
+ public:
+  PartitionDelay(ProcessId split, Time heal_time, Time fast = 1)
+      : split_(split), heal_time_(heal_time), fast_(fast) {}
+
+  Time delay(ProcessId from, ProcessId to, Time now, Rng& rng) override {
+    const bool crosses = (from < split_) != (to < split_);
+    if (!crosses || now >= heal_time_) {
+      return fast_ + rng.uniform(0, 2);
+    }
+    // Deliver shortly after the heal.
+    return (heal_time_ - now) + 1 + rng.uniform(0, 2);
+  }
+
+ private:
+  ProcessId split_;
+  Time heal_time_;
+  Time fast_;
+};
+
+/// Repeating partition churn: the cut between {id < split} and the rest
+/// opens for `open_for` ticks at the start of every `period`, then heals
+/// for the remainder. Stresses round-based protocols across repeated
+/// asynchrony episodes.
+class ChurnDelay final : public DelayModel {
+ public:
+  ChurnDelay(ProcessId split, Time period, Time open_for, Time fast = 1)
+      : split_(split), period_(period), open_for_(open_for), fast_(fast) {}
+
+  Time delay(ProcessId from, ProcessId to, Time now, Rng& rng) override {
+    const bool crosses = (from < split_) != (to < split_);
+    const Time phase = now % period_;
+    if (!crosses || phase >= open_for_) {
+      return fast_ + rng.uniform(0, 2);
+    }
+    return (open_for_ - phase) + 1 + rng.uniform(0, 2);
+  }
+
+ private:
+  ProcessId split_;
+  Time period_;
+  Time open_for_;
+  Time fast_;
+};
+
+}  // namespace bgla::sim

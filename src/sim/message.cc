@@ -1,0 +1,30 @@
+#include "sim/message.h"
+
+namespace bgla::sim {
+
+const char* layer_name(Layer layer) {
+  switch (layer) {
+    case Layer::kBroadcast:
+      return "broadcast";
+    case Layer::kAgreement:
+      return "agreement";
+    case Layer::kRsm:
+      return "rsm";
+    case Layer::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+Bytes Message::encoded() const {
+  Encoder enc;
+  enc.put_u32(type_id());
+  encode_payload(enc);
+  return enc.take();
+}
+
+crypto::Digest Message::digest() const {
+  return crypto::Sha256::hash(encoded());
+}
+
+}  // namespace bgla::sim

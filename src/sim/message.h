@@ -1,0 +1,52 @@
+// Base class for all protocol messages.
+//
+// Messages are immutable and shared; the network delivers
+// shared_ptr<const Message>. Every message has a canonical encoding (used
+// for digests and signatures) and a layer tag for per-layer metrics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "crypto/sha256.h"
+#include "util/codec.h"
+
+namespace bgla::sim {
+
+/// Protocol layer, for message accounting (DESIGN.md T2/T3/T4/T6).
+enum class Layer : std::uint8_t {
+  kBroadcast = 0,  // reliable-broadcast internals (SEND/ECHO/READY)
+  kAgreement = 1,  // lattice-agreement messages (ack_req/ack/nack/...)
+  kRsm = 2,        // RSM client/replica traffic
+  kOther = 3,
+};
+
+const char* layer_name(Layer layer);
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Globally unique message-type tag (see *_msgs.h headers for ranges).
+  virtual std::uint32_t type_id() const = 0;
+
+  virtual Layer layer() const = 0;
+
+  /// Canonical payload encoding; the digest prepends type_id so distinct
+  /// message types never collide.
+  virtual void encode_payload(Encoder& enc) const = 0;
+
+  virtual std::string to_string() const = 0;
+
+  /// Canonical bytes: varint(type_id) || payload.
+  Bytes encoded() const;
+
+  /// SHA-256 over encoded() — the identity used by Bracha echo-matching
+  /// and by the §8 signature schemes.
+  crypto::Digest digest() const;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+}  // namespace bgla::sim

@@ -1,0 +1,69 @@
+// Per-run metrics: message counts and bytes by (process, layer), event
+// totals, and the causal message-delay depth accounting used to check the
+// paper's delay theorems (Thm 3: ≤ 2f+5; Thm 8: ≤ 4f+5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/message.h"
+#include "util/ids.h"
+
+namespace bgla::sim {
+
+struct LayerCounters {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Metrics {
+ public:
+  explicit Metrics(std::uint32_t expected_processes)
+      : per_process_(expected_processes) {}
+
+  void record_send(ProcessId from, Layer layer, std::size_t bytes) {
+    if (from >= per_process_.size()) per_process_.resize(from + 1);
+    auto& c = per_process_[from][static_cast<std::size_t>(layer)];
+    ++c.messages;
+    c.bytes += bytes;
+    ++total_messages_;
+  }
+
+  std::uint64_t total_messages() const { return total_messages_; }
+
+  std::uint64_t messages_sent(ProcessId p) const {
+    std::uint64_t sum = 0;
+    for (const auto& c : per_process_.at(p)) sum += c.messages;
+    return sum;
+  }
+
+  std::uint64_t messages_sent(ProcessId p, Layer layer) const {
+    return per_process_.at(p)[static_cast<std::size_t>(layer)].messages;
+  }
+
+  std::uint64_t bytes_sent(ProcessId p) const {
+    std::uint64_t sum = 0;
+    for (const auto& c : per_process_.at(p)) sum += c.bytes;
+    return sum;
+  }
+
+  /// Max over processes of messages_sent — the paper's "per process"
+  /// message-complexity measure.
+  std::uint64_t max_messages_per_process() const {
+    std::uint64_t best = 0;
+    for (ProcessId p = 0; p < per_process_.size(); ++p)
+      best = std::max(best, messages_sent(p));
+    return best;
+  }
+
+  std::uint32_t num_processes() const {
+    return static_cast<std::uint32_t>(per_process_.size());
+  }
+
+ private:
+  std::vector<std::array<LayerCounters, 4>> per_process_;
+  std::uint64_t total_messages_ = 0;
+};
+
+}  // namespace bgla::sim

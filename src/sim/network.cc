@@ -1,0 +1,118 @@
+#include "sim/network.h"
+
+namespace bgla::sim {
+
+Process::Process(Network& net, ProcessId id) : net_(&net), id_(id) {
+  const ProcessId assigned = net.attach(*this);
+  BGLA_CHECK_MSG(assigned == id,
+                 "processes must be constructed in id order: expected "
+                     << assigned << ", got " << id);
+}
+
+Process::~Process() { net_->detach(id_); }
+
+void Process::send(ProcessId to, MessagePtr msg) {
+  net_->send(id_, to, std::move(msg));
+}
+
+void Process::send_to_group(std::uint32_t count, const MessagePtr& msg) {
+  for (ProcessId to = 0; to < count; ++to) net_->send(id_, to, msg);
+}
+
+Network::Network(std::unique_ptr<DelayModel> delay, std::uint64_t seed,
+                 std::uint32_t expected_processes)
+    : delay_(std::move(delay)),
+      rng_(seed),
+      metrics_(expected_processes) {
+  BGLA_CHECK(delay_ != nullptr);
+}
+
+ProcessId Network::attach(Process& p) {
+  const ProcessId id = static_cast<ProcessId>(processes_.size());
+  processes_.push_back(&p);
+  return id;
+}
+
+void Network::detach(ProcessId id) {
+  BGLA_CHECK(id < processes_.size());
+  processes_[id] = nullptr;
+}
+
+void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
+  BGLA_CHECK_MSG(to < processes_.size(), "send to unknown process " << to);
+  BGLA_CHECK(msg != nullptr);
+
+  Event ev;
+  ev.from = from;
+  ev.to = to;
+  if (from == to) {
+    // Local step: no network hop, depth-neutral, not metered, delivered at
+    // the current instant (still through the queue for determinism).
+    ev.time = now_;
+    ev.depth = current_depth_;
+  } else {
+    metrics_.record_send(from, msg->layer(), msg->encoded().size());
+    ev.time = now_ + std::max<Time>(1, delay_->delay(from, to, now_, rng_));
+    ev.depth = current_depth_ + 1;
+  }
+  ev.msg = std::move(msg);
+  enqueue(std::move(ev));
+}
+
+void Network::inject(ProcessId from, ProcessId to, MessagePtr msg, Time at) {
+  BGLA_CHECK_MSG(to < processes_.size(), "inject to unknown process " << to);
+  Event ev;
+  ev.from = from;
+  ev.to = to;
+  ev.time = at;
+  ev.depth = 0;
+  ev.msg = std::move(msg);
+  enqueue(std::move(ev));
+}
+
+void Network::enqueue(Event ev) {
+  ev.seq = next_seq_++;
+  queue_.push(std::move(ev));
+}
+
+RunResult Network::run(std::uint64_t max_events) {
+  RunResult result;
+
+  if (!started_) {
+    started_ = true;
+    // on_start hooks run at time 0, depth 0, in id order.
+    for (ProcessId id = 0; id < processes_.size(); ++id) {
+      if (processes_[id] == nullptr) continue;
+      executing_ = id;
+      current_depth_ = 0;
+      processes_[id]->on_start();
+    }
+    executing_ = kNoProcess;
+  }
+
+  while (!queue_.empty() && !stop_ && result.events < max_events) {
+    Event ev = queue_.top();
+    queue_.pop();
+    BGLA_CHECK(ev.time >= now_);
+    now_ = ev.time;
+    ++result.events;
+
+    Process* target = processes_[ev.to];
+    if (target == nullptr) continue;  // detached during the run
+
+    if (observer_) observer_(now_, ev.from, ev.to, ev.depth, ev.msg);
+
+    executing_ = ev.to;
+    current_depth_ = ev.depth;
+    target->on_message(ev.from, ev.msg);
+    executing_ = kNoProcess;
+    current_depth_ = 0;
+  }
+
+  result.quiescent = queue_.empty();
+  result.stopped = stop_;
+  result.end_time = now_;
+  return result;
+}
+
+}  // namespace bgla::sim

@@ -1,0 +1,149 @@
+// Deterministic discrete-event network + process base class.
+//
+// Models the paper's §3 system: asynchronous authenticated reliable
+// point-to-point links over a complete graph. Messages are never lost;
+// per-message latency comes from a pluggable DelayModel (adversarial
+// schedules included). Delivery order is deterministic: events are ordered
+// by (time, sequence number), and all randomness is seeded.
+//
+// Causal message-delay depth: every in-flight message carries
+//   depth = (depth of the message being handled when it was sent) + 1,
+// with self-deliveries depth-neutral (a message to yourself is a local
+// step, not a network delay). The depth observed when a protocol decides is
+// exactly the "number of message delays" of Theorems 3 and 8 — maximal over
+// the causal chain that produced the decision, independent of the schedule.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/delay.h"
+#include "sim/message.h"
+#include "sim/metrics.h"
+#include "util/check.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace bgla::sim {
+
+class Network;
+
+/// Base class for every simulated participant (protocol processes,
+/// Byzantine strategies, RSM clients).
+class Process {
+ public:
+  Process(Network& net, ProcessId id);
+  virtual ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  ProcessId id() const { return id_; }
+
+  /// Called once when the run starts (time 0, depth 0).
+  virtual void on_start() {}
+
+  /// Called for every delivered message; `from` is the authenticated
+  /// sender identity stamped by the network.
+  virtual void on_message(ProcessId from, const MessagePtr& msg) = 0;
+
+ protected:
+  Network& net() { return *net_; }
+  const Network& net() const { return *net_; }
+
+  /// Point-to-point send under this process's own (authenticated) identity.
+  void send(ProcessId to, MessagePtr msg);
+
+  /// Best-effort broadcast: point-to-point send to every attached process
+  /// in [0, count); includes self (depth-neutral, not metered).
+  void send_to_group(std::uint32_t count, const MessagePtr& msg);
+
+ private:
+  Network* net_;
+  ProcessId id_;
+};
+
+struct RunResult {
+  bool quiescent = false;   // event queue drained
+  bool stopped = false;     // a process requested stop
+  std::uint64_t events = 0; // deliveries performed
+  Time end_time = 0;
+};
+
+class Network {
+ public:
+  Network(std::unique_ptr<DelayModel> delay, std::uint64_t seed,
+          std::uint32_t expected_processes);
+
+  /// Registration (done by Process's constructor/destructor).
+  ProcessId attach(Process& p);
+  void detach(ProcessId id);
+
+  std::uint32_t num_attached() const {
+    return static_cast<std::uint32_t>(processes_.size());
+  }
+
+  /// Sends msg from -> to. `from` must be the currently executing process
+  /// (authenticated channels); enforced for deliveries.
+  void send(ProcessId from, ProcessId to, MessagePtr msg);
+
+  /// Schedules an external event (e.g. an RSM client operation arriving
+  /// from outside the replica group) at absolute time `at`, depth 0.
+  void inject(ProcessId from, ProcessId to, MessagePtr msg, Time at);
+
+  /// Runs the event loop until quiescence, stop request, or `max_events`.
+  RunResult run(std::uint64_t max_events = 50'000'000);
+
+  void request_stop() { stop_ = true; }
+
+  Time now() const { return now_; }
+
+  /// Depth of the message currently being handled (0 outside handlers).
+  std::uint64_t current_depth() const { return current_depth_; }
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  Rng& rng() { return rng_; }
+
+  /// Optional per-delivery observer (tracing, failure injection in tests).
+  using Observer =
+      std::function<void(Time, ProcessId from, ProcessId to, std::uint64_t depth,
+                         const MessagePtr&)>;
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+
+ private:
+  struct Event {
+    Time time = 0;
+    std::uint64_t seq = 0;
+    ProcessId from = kNoProcess;
+    ProcessId to = kNoProcess;
+    MessagePtr msg;
+    std::uint64_t depth = 0;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void enqueue(Event ev);
+
+  std::unique_ptr<DelayModel> delay_;
+  Rng rng_;
+  Metrics metrics_;
+  std::vector<Process*> processes_;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::uint64_t next_seq_ = 0;
+  Time now_ = 0;
+  std::uint64_t current_depth_ = 0;
+  ProcessId executing_ = kNoProcess;
+  bool stop_ = false;
+  bool started_ = false;
+  Observer observer_;
+};
+
+}  // namespace bgla::sim

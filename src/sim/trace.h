@@ -1,0 +1,64 @@
+// Human-readable message tracing.
+//
+// Installs itself as the network's delivery observer and renders each
+// delivery as one line:
+//
+//   t=   142 d=5   p1 -> p3   ACK_REQ(ts=2,{(100),(101)})
+//
+// Used by the bgla_run CLI (--trace) and by debugging sessions; the layer
+// filter keeps reliable-broadcast internals out of the way unless asked.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+
+#include "sim/network.h"
+
+namespace bgla::sim {
+
+class Tracer {
+ public:
+  struct Options {
+    /// Include Layer::kBroadcast internals (SEND/ECHO/READY) — noisy.
+    bool include_broadcast = false;
+    /// Stop printing after this many lines (the run continues).
+    std::uint64_t max_lines = 10'000;
+    std::ostream* out = &std::clog;
+  };
+
+  Tracer(Network& net, Options options) : options_(options) {
+    net.set_observer([this](Time t, ProcessId from, ProcessId to,
+                            std::uint64_t depth, const MessagePtr& msg) {
+      observe(t, from, to, depth, msg);
+    });
+  }
+
+  explicit Tracer(Network& net) : Tracer(net, Options()) {}
+
+  std::uint64_t lines() const { return lines_; }
+  std::uint64_t suppressed() const { return suppressed_; }
+
+ private:
+  void observe(Time t, ProcessId from, ProcessId to, std::uint64_t depth,
+               const MessagePtr& msg) {
+    if (!options_.include_broadcast &&
+        msg->layer() == Layer::kBroadcast) {
+      return;
+    }
+    if (lines_ >= options_.max_lines) {
+      ++suppressed_;
+      return;
+    }
+    ++lines_;
+    auto& os = *options_.out;
+    os << "t=" << std::setw(6) << t << " d=" << std::setw(2) << depth
+       << "  p" << from << " -> p" << to << "  " << msg->to_string()
+       << "\n";
+  }
+
+  Options options_;
+  std::uint64_t lines_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace bgla::sim

@@ -1,0 +1,24 @@
+// Byte-buffer alias and hex helpers shared by codec, crypto and digests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bgla {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Lowercase hex encoding of a byte span.
+std::string to_hex(BytesView data);
+
+/// Parses lowercase/uppercase hex; throws CheckError on odd length or
+/// non-hex characters.
+Bytes from_hex(const std::string& hex);
+
+/// Bytes of a std::string literal (for tests and tags).
+Bytes bytes_of(const std::string& s);
+
+}  // namespace bgla

@@ -1,0 +1,45 @@
+// Lightweight precondition / invariant checking.
+//
+// BGLA_CHECK is always on (tests and protocol invariants rely on it); it
+// throws bgla::CheckError so a violated invariant inside a simulated run
+// surfaces as a test failure instead of UB.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bgla {
+
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace bgla
+
+#define BGLA_CHECK(expr)                                                \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::bgla::detail::check_failed(#expr, __FILE__, __LINE__, {});      \
+  } while (false)
+
+#define BGLA_CHECK_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream bgla_os_;                                      \
+      bgla_os_ << msg;                                                  \
+      ::bgla::detail::check_failed(#expr, __FILE__, __LINE__,           \
+                                   bgla_os_.str());                     \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,64 @@
+#include "util/codec.h"
+
+#include "util/check.h"
+
+namespace bgla {
+
+void Encoder::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Encoder::put_bytes(BytesView data) {
+  put_varint(data.size());
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void Encoder::put_string(const std::string& s) {
+  put_varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+std::uint8_t Decoder::get_u8() {
+  BGLA_CHECK_MSG(pos_ < data_.size(), "decoder underrun");
+  return data_[pos_++];
+}
+
+std::uint32_t Decoder::get_u32() {
+  const std::uint64_t v = get_varint();
+  BGLA_CHECK_MSG(v <= 0xffffffffu, "u32 overflow in decode");
+  return static_cast<std::uint32_t>(v);
+}
+
+std::uint64_t Decoder::get_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    BGLA_CHECK_MSG(pos_ < data_.size(), "decoder underrun in varint");
+    const std::uint8_t b = data_[pos_++];
+    BGLA_CHECK_MSG(shift < 64, "varint too long");
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+Bytes Decoder::get_bytes() {
+  const std::uint64_t len = get_varint();
+  BGLA_CHECK_MSG(len <= remaining(), "byte string length exceeds buffer");
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return out;
+}
+
+std::string Decoder::get_string() {
+  const Bytes b = get_bytes();
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace bgla

@@ -1,0 +1,58 @@
+// Canonical binary encoding used for message digests and signatures.
+//
+// Every protocol message and lattice element has a canonical encoding so
+// that (a) Bracha echo-matching can compare payloads by digest and (b) the
+// signature-based algorithms of paper §8 sign well-defined byte strings.
+//
+// Format: unsigned LEB128 varints for integers, length-prefixed byte
+// strings, and explicit list counts. Encoding is deterministic; containers
+// must be iterated in a canonical (sorted) order by the caller.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace bgla {
+
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u32(std::uint32_t v) { put_varint(v); }
+  void put_u64(std::uint64_t v) { put_varint(v); }
+  void put_varint(std::uint64_t v);
+  void put_bool(bool b) { put_u8(b ? 1 : 0); }
+  void put_bytes(BytesView data);
+  void put_string(const std::string& s);
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(BytesView data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64() { return get_varint(); }
+  std::uint64_t get_varint();
+  bool get_bool() { return get_u8() != 0; }
+  Bytes get_bytes();
+  std::string get_string();
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bgla

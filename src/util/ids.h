@@ -1,0 +1,20 @@
+// Shared identifier types.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace bgla {
+
+/// Index of a process in the system (0..n-1). Channels are authenticated:
+/// the network layer stamps the true ProcessId of the sender on every
+/// delivery, so a Byzantine process cannot impersonate another.
+using ProcessId = std::uint32_t;
+
+inline constexpr ProcessId kNoProcess =
+    std::numeric_limits<ProcessId>::max();
+
+/// Client identifier for the RSM layer (distinct space from ProcessId).
+using ClientId = std::uint32_t;
+
+}  // namespace bgla

@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation (SplitMix64).
+//
+// All randomness in the simulator flows from explicitly seeded Rng
+// instances so every run is replayable from (parameters, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace bgla {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits (SplitMix64 step).
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    BGLA_CHECK(lo <= hi);
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return next_u64();  // full range
+    return lo + next_u64() % span;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Derives an independent child generator (for per-link streams).
+  Rng fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ull); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace bgla

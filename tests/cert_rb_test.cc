@@ -1,0 +1,363 @@
+// Certificate-based reliable broadcast tests: the four RB properties,
+// forgery/tamper resistance, equivocation behaviour, and WTS running on
+// top of it (including the message-complexity advantage over Bracha).
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+#include "bcast/cert_rb.h"
+#include "harness/scenario.h"
+#include "la/spec.h"
+#include "la/wts.h"
+#include "lattice/set_elem.h"
+#include "sim/network.h"
+
+namespace bgla::bcast {
+namespace {
+
+class PayloadMsg final : public sim::Message {
+ public:
+  explicit PayloadMsg(std::uint64_t v) : v(v) {}
+  std::uint32_t type_id() const override { return 902; }
+  sim::Layer layer() const override { return sim::Layer::kOther; }
+  void encode_payload(Encoder& enc) const override { enc.put_u64(v); }
+  std::string to_string() const override { return "PAYLOAD"; }
+  std::uint64_t v;
+};
+
+class CrbNode : public sim::Process {
+ public:
+  CrbNode(sim::Network& net, ProcessId id, std::uint32_t n, std::uint32_t f,
+          const crypto::SignatureAuthority& auth)
+      : sim::Process(net, id),
+        rb(id, n, f, auth,
+           [this](ProcessId to, sim::MessagePtr m) {
+             send(to, std::move(m));
+           },
+           [this](ProcessId origin, std::uint64_t tag,
+                  const sim::MessagePtr& inner) {
+             deliveries.push_back({origin, tag, inner});
+           }) {}
+
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override {
+    rb.handle(from, msg);
+  }
+
+  struct Delivery {
+    ProcessId origin;
+    std::uint64_t tag;
+    sim::MessagePtr inner;
+  };
+  CertRbEndpoint rb;
+  std::vector<Delivery> deliveries;
+};
+
+struct Rig {
+  Rig(std::uint32_t n, std::uint32_t f, std::uint32_t correct,
+      std::uint64_t seed)
+      : auth(n, seed ^ 0xce57), net(std::make_unique<sim::UniformDelay>(1, 15),
+                                    seed, n) {
+    for (ProcessId id = 0; id < correct; ++id) {
+      nodes.push_back(std::make_unique<CrbNode>(net, id, n, f, auth));
+    }
+  }
+  crypto::SignatureAuthority auth;
+  sim::Network net;
+  std::vector<std::unique_ptr<CrbNode>> nodes;
+};
+
+TEST(CertRb, ValidityAndTotalityAllCorrect) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    Rig rig(7, 2, 7, seed);
+    rig.net.run();
+    for (auto& node : rig.nodes) {
+      node->rb.broadcast(9, std::make_shared<PayloadMsg>(node->id()));
+    }
+    const auto rr = rig.net.run();
+    EXPECT_TRUE(rr.quiescent);
+    for (auto& node : rig.nodes) {
+      ASSERT_EQ(node->deliveries.size(), 7u);
+      std::set<ProcessId> origins;
+      for (const auto& d : node->deliveries) {
+        origins.insert(d.origin);
+        const auto* pm = dynamic_cast<const PayloadMsg*>(d.inner.get());
+        ASSERT_NE(pm, nullptr);
+        EXPECT_EQ(pm->v, d.origin);  // integrity
+      }
+      EXPECT_EQ(origins.size(), 7u);  // no duplication
+    }
+  }
+}
+
+TEST(CertRb, ValidityWithMuteByzantines) {
+  Rig rig(7, 2, 5, 4);  // ids 5,6 never attach: fully silent
+  class Mute : public sim::Process {
+   public:
+    Mute(sim::Network& net, ProcessId id) : sim::Process(net, id) {}
+    void on_message(ProcessId, const sim::MessagePtr&) override {}
+  };
+  Mute m5(rig.net, 5), m6(rig.net, 6);
+  rig.net.run();
+  rig.nodes[0]->rb.broadcast(1, std::make_shared<PayloadMsg>(5));
+  rig.net.run();
+  for (auto& node : rig.nodes) {
+    ASSERT_EQ(node->deliveries.size(), 1u);
+  }
+}
+
+TEST(CertRb, EquivocationYieldsAtMostOneDelivery) {
+  // Byzantine origin sends SEND(v1)/SEND(v2) to different halves: echo
+  // quorum 3 of n=4 cannot form for both; agreement holds (and with a
+  // 2|1 split, nothing may deliver at all — also fine).
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rig rig(4, 1, 3, seed);
+    class Equivocator : public sim::Process {
+     public:
+      Equivocator(sim::Network& net, ProcessId id,
+                  const crypto::SignatureAuthority& auth)
+          : sim::Process(net, id), auth_(auth) {}
+      void on_start() override {
+        const CrbKey key{id(), 0};
+        net().send(id(), 0,
+                   std::make_shared<CrbSendMsg>(
+                       key, std::make_shared<PayloadMsg>(111)));
+        net().send(id(), 1,
+                   std::make_shared<CrbSendMsg>(
+                       key, std::make_shared<PayloadMsg>(222)));
+        net().send(id(), 2,
+                   std::make_shared<CrbSendMsg>(
+                       key, std::make_shared<PayloadMsg>(111)));
+      }
+      void on_message(ProcessId from, const sim::MessagePtr& msg) override {
+        // Collect echoes and try to build a cert for EACH payload.
+        if (const auto* e = dynamic_cast<const CrbEchoMsg*>(msg.get())) {
+          echoes_[e->digest].push_back(e->sig);
+          for (auto& [digest, sigs] : echoes_) {
+            if (sigs.size() >= 3) {
+              // Can only finalize the payload matching this digest.
+              const auto payload = std::make_shared<PayloadMsg>(
+                  digest == PayloadMsg(111).digest() ? 111 : 222);
+              const auto final = std::make_shared<CrbFinalMsg>(
+                  CrbKey{id(), 0}, payload, sigs);
+              for (ProcessId to = 0; to < 3; ++to) {
+                net().send(id(), to, final);
+              }
+            }
+          }
+        }
+        (void)from;
+      }
+
+     private:
+      const crypto::SignatureAuthority& auth_;
+      std::map<crypto::Digest, std::vector<crypto::Signature>> echoes_;
+    };
+    Equivocator e(rig.net, 3, rig.auth);
+    rig.net.run();
+
+    std::set<std::uint64_t> delivered;
+    for (auto& node : rig.nodes) {
+      for (const auto& d : node->deliveries) {
+        delivered.insert(
+            dynamic_cast<const PayloadMsg*>(d.inner.get())->v);
+      }
+    }
+    EXPECT_LE(delivered.size(), 1u) << "agreement violated, seed " << seed;
+  }
+}
+
+TEST(CertRb, ForgedCertificateRejected) {
+  Rig rig(4, 1, 3, 9);
+  class Forger : public sim::Process {
+   public:
+    Forger(sim::Network& net, ProcessId id,
+           const crypto::SignatureAuthority& auth)
+        : sim::Process(net, id), auth_(auth) {}
+    void on_start() override {
+      const CrbKey key{id(), 0};
+      const auto payload = std::make_shared<PayloadMsg>(66);
+      // Certificate of self-signatures only (can't forge others'): three
+      // entries but one distinct signer.
+      const auto echo = auth_.signer_for(id()).sign(
+          crb_echo_payload(key, payload->digest()));
+      std::vector<crypto::Signature> cert = {echo, echo, echo};
+      const auto final = std::make_shared<CrbFinalMsg>(key, payload, cert);
+      for (ProcessId to = 0; to < 3; ++to) net().send(id(), to, final);
+      // Also: signatures claiming other signers but MAC'd by us.
+      std::vector<crypto::Signature> forged = {echo, echo, echo};
+      forged[1].signer = 0;
+      forged[2].signer = 1;
+      const auto final2 =
+          std::make_shared<CrbFinalMsg>(key, payload, forged);
+      for (ProcessId to = 0; to < 3; ++to) net().send(id(), to, final2);
+    }
+    void on_message(ProcessId, const sim::MessagePtr&) override {}
+
+   private:
+    const crypto::SignatureAuthority& auth_;
+  };
+  Forger fg(rig.net, 3, rig.auth);
+  rig.net.run();
+  for (auto& node : rig.nodes) EXPECT_TRUE(node->deliveries.empty());
+}
+
+TEST(CertRb, WellFormedChecks) {
+  crypto::SignatureAuthority auth(7, 3);
+  const CrbKey key{0, 5};
+  const auto payload = std::make_shared<PayloadMsg>(1);
+  const Bytes echo_bytes = crb_echo_payload(key, payload->digest());
+  std::vector<crypto::Signature> cert;
+  for (ProcessId p = 0; p < 5; ++p) {
+    cert.push_back(auth.signer_for(p).sign(echo_bytes));
+  }
+  EXPECT_TRUE(CrbFinalMsg(key, payload, cert).well_formed(auth, 5));
+  // Sub-quorum.
+  EXPECT_FALSE(CrbFinalMsg(key, payload, cert).well_formed(auth, 6));
+  // Tampered payload.
+  EXPECT_FALSE(CrbFinalMsg(key, std::make_shared<PayloadMsg>(2), cert)
+                   .well_formed(auth, 5));
+  // Duplicate signer.
+  auto dup = cert;
+  dup[1] = dup[0];
+  EXPECT_FALSE(CrbFinalMsg(key, payload, dup).well_formed(auth, 5));
+  // Wrong key (tag).
+  EXPECT_FALSE(
+      CrbFinalMsg(CrbKey{0, 6}, payload, cert).well_formed(auth, 5));
+}
+
+TEST(CertRb, TagReuseRejected) {
+  Rig rig(4, 1, 3, 2);
+  class Mute : public sim::Process {
+   public:
+    Mute(sim::Network& net, ProcessId id) : sim::Process(net, id) {}
+    void on_message(ProcessId, const sim::MessagePtr&) override {}
+  };
+  Mute m3(rig.net, 3);
+  rig.nodes[0]->rb.broadcast(3, std::make_shared<PayloadMsg>(1));
+  EXPECT_THROW(
+      rig.nodes[0]->rb.broadcast(3, std::make_shared<PayloadMsg>(2)),
+      CheckError);
+}
+
+// ---- WTS over CertRb ----
+
+class WtsOverCertRb : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WtsOverCertRb, FullSpecHolds) {
+  la::LaConfig cfg;
+  cfg.n = 7;
+  cfg.f = 2;
+  const crypto::SignatureAuthority auth(cfg.n, GetParam() ^ 0xbeef);
+  cfg.rb_impl = la::LaConfig::RbImpl::kSignedCert;
+  cfg.authority = &auth;
+
+  sim::Network net(std::make_unique<sim::UniformDelay>(1, 15), GetParam(),
+                   cfg.n);
+  std::vector<std::unique_ptr<la::WtsProcess>> correct;
+  for (ProcessId id = 0; id < 5; ++id) {
+    correct.push_back(std::make_unique<la::WtsProcess>(
+        net, id, cfg, lattice::make_set({lattice::Item{id, 100 + id, 0}})));
+  }
+  class Mute : public sim::Process {
+   public:
+    Mute(sim::Network& net, ProcessId id) : sim::Process(net, id) {}
+    void on_message(ProcessId, const sim::MessagePtr&) override {}
+  };
+  Mute m5(net, 5), m6(net, 6);
+  const auto rr = net.run();
+  EXPECT_TRUE(rr.quiescent);
+
+  std::vector<la::LaView> views;
+  for (const auto& p : correct) {
+    ASSERT_TRUE(p->decided());
+    la::LaView v;
+    v.id = p->id();
+    v.proposal = p->proposal();
+    v.decision = p->decision().value;
+    v.svs = p->svs();
+    views.push_back(std::move(v));
+  }
+  const auto res = la::check_la(views, {5, 6}, cfg.f);
+  EXPECT_TRUE(res.ok()) << res.diagnostic;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WtsOverCertRb,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(WtsOverCertRbCost, FewerMessagesThanBracha) {
+  auto run = [](la::LaConfig::RbImpl impl, std::uint64_t seed) {
+    la::LaConfig cfg;
+    cfg.n = 16;
+    cfg.f = 1;
+    static const crypto::SignatureAuthority auth(16, 1);
+    cfg.rb_impl = impl;
+    cfg.authority = &auth;
+    sim::Network net(std::make_unique<sim::UniformDelay>(1, 10), seed, 16);
+    std::vector<std::unique_ptr<la::WtsProcess>> procs;
+    for (ProcessId id = 0; id < 16; ++id) {
+      procs.push_back(std::make_unique<la::WtsProcess>(
+          net, id, cfg,
+          lattice::make_set({lattice::Item{id, 100 + id, 0}})));
+    }
+    net.run();
+    std::uint64_t max_msgs = 0;
+    for (const auto& p : procs) {
+      BGLA_CHECK(p->decided());
+      max_msgs =
+          std::max(max_msgs, net.metrics().messages_sent(p->id()));
+    }
+    return max_msgs;
+  };
+  const auto bracha = run(la::LaConfig::RbImpl::kBracha, 3);
+  const auto cert = run(la::LaConfig::RbImpl::kSignedCert, 3);
+  // Forwarding keeps the total O(n²) (totality!), but the constant is
+  // roughly halved: ~n+2 broadcast-layer sends per process per instance
+  // vs Bracha's ~2n. Measured at n = 16: ≈345 vs ≈555.
+  EXPECT_LT(static_cast<double>(cert) * 1.3,
+            static_cast<double>(bracha))
+      << "certificate RB should beat Bracha clearly at n=16";
+}
+
+}  // namespace
+}  // namespace bgla::bcast
+
+namespace bgla {
+namespace {
+
+class GwtsOverCertRb : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GwtsOverCertRb, GeneralizedSpecHolds) {
+  harness::GwtsScenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.byz_count = 2;
+  sc.adversary = harness::Adversary::kMute;
+  sc.signed_rb = true;
+  sc.seed = GetParam();
+  sc.target_decisions = 3;
+  const auto rep = harness::run_gwts(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GwtsOverCertRb,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(GwtsOverCertRbCost, CheaperPerDecisionThanBracha) {
+  harness::GwtsScenario a;
+  a.n = 10;
+  a.f = 1;
+  a.byz_count = 1;
+  a.adversary = harness::Adversary::kMute;
+  a.target_decisions = 3;
+  a.seed = 2;
+  const auto bracha = harness::run_gwts(a);
+  a.signed_rb = true;
+  const auto cert = harness::run_gwts(a);
+  ASSERT_TRUE(bracha.completed && cert.completed);
+  EXPECT_LT(cert.msgs_per_decision_per_proposer * 1.2,
+            bracha.msgs_per_decision_per_proposer);
+}
+
+}  // namespace
+}  // namespace bgla

@@ -1,0 +1,95 @@
+// Chaos tests: heterogeneous adversary mixes (every Byzantine slot runs a
+// *different* strategy simultaneously) across schedules and seeds — closer
+// to a real adversary than homogeneous fleets.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.h"
+
+namespace bgla {
+namespace {
+
+using harness::Adversary;
+using harness::Sched;
+
+const std::vector<std::vector<Adversary>> kWtsMixes = {
+    {Adversary::kEquivocator, Adversary::kStaleNacker},
+    {Adversary::kEquivocator, Adversary::kLyingAcker},
+    {Adversary::kStaleNacker, Adversary::kFlooder},
+    {Adversary::kInvalidValue, Adversary::kEquivocator},
+    {Adversary::kMute, Adversary::kStaleNacker},
+    {Adversary::kEquivocator, Adversary::kStaleNacker,
+     Adversary::kLyingAcker},
+    {Adversary::kInvalidValue, Adversary::kFlooder, Adversary::kMute},
+    {Adversary::kEquivocator, Adversary::kEquivocator,
+     Adversary::kStaleNacker},
+};
+
+class WtsChaos
+    : public ::testing::TestWithParam<std::tuple<std::size_t,       // mix
+                                                 std::uint64_t>> {  // seed
+};
+
+TEST_P(WtsChaos, MixedAdversariesCannotBreakWts) {
+  const auto [mix_idx, seed] = GetParam();
+  const auto& mix = kWtsMixes[mix_idx];
+  const auto f = static_cast<std::uint32_t>(mix.size());
+
+  harness::WtsScenario sc;
+  sc.n = 3 * f + 1;
+  sc.f = f;
+  sc.mixed = mix;
+  sc.sched = seed % 2 == 0 ? Sched::kUniform : Sched::kJitter;
+  sc.seed = seed;
+  const auto rep = harness::run_wts(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+  EXPECT_LE(rep.max_depth, 3 * f + 5);
+  EXPECT_LE(rep.max_refinements, f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, WtsChaos,
+    ::testing::Combine(::testing::Range<std::size_t>(0, kWtsMixes.size()),
+                       ::testing::Values<std::uint64_t>(1, 2, 3, 4)));
+
+const std::vector<std::vector<Adversary>> kGwtsMixes = {
+    {Adversary::kStaleNacker, Adversary::kRoundRusher},
+    {Adversary::kEquivocator, Adversary::kStaleNacker},
+    {Adversary::kRoundRusher, Adversary::kFlooder},
+    {Adversary::kMute, Adversary::kRoundRusher},
+    {Adversary::kStaleNacker, Adversary::kStaleNacker,
+     Adversary::kRoundRusher},
+    {Adversary::kEquivocator, Adversary::kRoundRusher,
+     Adversary::kFlooder},
+};
+
+class GwtsChaos
+    : public ::testing::TestWithParam<std::tuple<std::size_t,
+                                                 std::uint64_t>> {};
+
+TEST_P(GwtsChaos, MixedAdversariesCannotBreakGwts) {
+  const auto [mix_idx, seed] = GetParam();
+  const auto& mix = kGwtsMixes[mix_idx];
+  const auto f = static_cast<std::uint32_t>(mix.size());
+
+  harness::GwtsScenario sc;
+  sc.n = 3 * f + 1;
+  sc.f = f;
+  sc.mixed = mix;
+  sc.sched = seed % 2 == 0 ? Sched::kUniform : Sched::kJitter;
+  sc.seed = seed;
+  sc.target_decisions = 3;
+  sc.submissions_per_proc = 2;
+  const auto rep = harness::run_gwts(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+  EXPECT_LE(rep.max_round_refinements, f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, GwtsChaos,
+    ::testing::Combine(::testing::Range<std::size_t>(0, kGwtsMixes.size()),
+                       ::testing::Values<std::uint64_t>(5, 6, 7)));
+
+}  // namespace
+}  // namespace bgla

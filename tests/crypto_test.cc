@@ -1,0 +1,213 @@
+// Crypto substrate tests: SHA-256 against FIPS/NIST vectors, HMAC-SHA256
+// against RFC 4231 vectors, and the simulated signature authority.
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/signature.h"
+#include "util/bytes.h"
+
+namespace bgla::crypto {
+namespace {
+
+std::string sha_hex(const std::string& input) {
+  return digest_hex(Sha256::hash(bytes_of(input)));
+}
+
+TEST(Sha256, NistVectorEmpty) {
+  EXPECT_EQ(
+      sha_hex(""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, NistVectorAbc) {
+  EXPECT_EQ(
+      sha_hex("abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, NistVectorTwoBlocks) {
+  EXPECT_EQ(
+      sha_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, NistVectorLong) {
+  // 1,000,000 × 'a'.
+  Bytes data(1000000, 'a');
+  EXPECT_EQ(
+      digest_hex(Sha256::hash(data)),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64-byte input forces the padding into a second block.
+  Bytes data(64, 'x');
+  const Digest one_shot = Sha256::hash(data);
+  Sha256 h;
+  h.update(BytesView(data.data(), 32));
+  h.update(BytesView(data.data() + 32, 32));
+  EXPECT_EQ(h.finish(), one_shot);
+}
+
+TEST(Sha256, FiftyFiveAndFiftySixBytePadEdge) {
+  // 55 bytes: padding fits in one block; 56 bytes: it does not.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u}) {
+    Bytes data(len, 'q');
+    Sha256 h;
+    for (std::size_t i = 0; i < len; ++i) {
+      h.update(BytesView(data.data() + i, 1));
+    }
+    EXPECT_EQ(h.finish(), Sha256::hash(data)) << "len=" << len;
+  }
+}
+
+TEST(Sha256, IncrementalMatchesOneShotRandomSplits) {
+  Bytes data;
+  for (int i = 0; i < 1000; ++i) {
+    data.push_back(static_cast<std::uint8_t>(i * 37));
+  }
+  const Digest expect = Sha256::hash(data);
+  for (std::size_t split = 1; split < data.size(); split += 97) {
+    Sha256 h;
+    h.update(BytesView(data.data(), split));
+    h.update(BytesView(data.data() + split, data.size() - split));
+    EXPECT_EQ(h.finish(), expect);
+  }
+}
+
+TEST(Sha256, ReuseAfterFinishRejected) {
+  Sha256 h;
+  h.update(bytes_of("abc"));
+  h.finish();
+  EXPECT_THROW(h.update(bytes_of("x")), CheckError);
+  EXPECT_THROW(h.finish(), CheckError);
+  h.reset();
+  h.update(bytes_of("abc"));
+  EXPECT_EQ(digest_hex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// RFC 4231 test case 1.
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Digest mac = hmac_sha256(key, bytes_of("Hi There"));
+  EXPECT_EQ(
+      digest_hex(mac),
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(Hmac, Rfc4231Case2) {
+  const Digest mac =
+      hmac_sha256(bytes_of("Jefe"), bytes_of("what do ya want for nothing?"));
+  EXPECT_EQ(
+      digest_hex(mac),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20×0xaa key, 50×0xdd data.
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(
+      digest_hex(hmac_sha256(key, data)),
+      "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 4: 25-byte incrementing key, 50×0xcd data.
+TEST(Hmac, Rfc4231Case4) {
+  Bytes key(25);
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  const Bytes data(50, 0xcd);
+  EXPECT_EQ(
+      digest_hex(hmac_sha256(key, data)),
+      "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+// RFC 4231 test case 7: both key and data larger than one block.
+TEST(Hmac, Rfc4231Case7LongKeyLongData) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      digest_hex(hmac_sha256(
+          key,
+          bytes_of("This is a test using a larger than block-size key and "
+                   "a larger than block-size data. The key needs to be "
+                   "hashed before being used by the HMAC algorithm."))),
+      "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+// RFC 4231 test case 6: 131-byte key (> block size, must be hashed first).
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      digest_hex(hmac_sha256(
+          key, bytes_of("Test Using Larger Than Block-Size Key - Hash Key "
+                        "First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Signature, SignVerifyRoundtrip) {
+  SignatureAuthority auth(4, 99);
+  const Signer s1 = auth.signer_for(1);
+  const Bytes msg = bytes_of("commit {1,2}");
+  const Signature sig = s1.sign(msg);
+  EXPECT_EQ(sig.signer, 1u);
+  EXPECT_TRUE(auth.verify(sig, msg));
+}
+
+TEST(Signature, TamperedMessageRejected) {
+  SignatureAuthority auth(4, 99);
+  const Signature sig = auth.signer_for(2).sign(bytes_of("original"));
+  EXPECT_FALSE(auth.verify(sig, bytes_of("tampered")));
+}
+
+TEST(Signature, SignerFieldForgeryRejected) {
+  // A Byzantine process can flip the claimed signer id, but verification
+  // recomputes under that id's key and fails.
+  SignatureAuthority auth(4, 99);
+  Signature sig = auth.signer_for(3).sign(bytes_of("msg"));
+  sig.signer = 0;
+  EXPECT_FALSE(auth.verify(sig, bytes_of("msg")));
+}
+
+TEST(Signature, UnknownSignerRejected) {
+  SignatureAuthority auth(4, 99);
+  Signature sig = auth.signer_for(0).sign(bytes_of("m"));
+  sig.signer = 77;
+  EXPECT_FALSE(auth.verify(sig, bytes_of("m")));
+}
+
+TEST(Signature, DistinctKeysPerProcess) {
+  SignatureAuthority auth(4, 99);
+  const Bytes msg = bytes_of("same message");
+  const Signature a = auth.signer_for(0).sign(msg);
+  const Signature b = auth.signer_for(1).sign(msg);
+  EXPECT_NE(a.mac, b.mac);
+}
+
+TEST(Signature, DeterministicAcrossInstancesWithSameSeed) {
+  SignatureAuthority auth1(4, 123), auth2(4, 123);
+  const Bytes msg = bytes_of("replay");
+  EXPECT_EQ(auth1.signer_for(2).sign(msg).mac,
+            auth2.signer_for(2).sign(msg).mac);
+}
+
+TEST(Signature, CrossAuthorityRejected) {
+  SignatureAuthority auth1(4, 1), auth2(4, 2);
+  const Bytes msg = bytes_of("m");
+  const Signature sig = auth1.signer_for(0).sign(msg);
+  EXPECT_FALSE(auth2.verify(sig, msg));
+}
+
+TEST(Signature, SignerForUnknownIdThrows) {
+  SignatureAuthority auth(4, 1);
+  EXPECT_THROW(auth.signer_for(9), CheckError);
+}
+
+}  // namespace
+}  // namespace bgla::crypto

@@ -1,0 +1,198 @@
+// Typed data-type layer tests: counter and g-set workload builders and
+// read-value interpreters over full RSM runs.
+#include <gtest/gtest.h>
+
+#include "rsm/byz_rsm.h"
+#include "rsm/client.h"
+#include "rsm/datatypes.h"
+#include "rsm/replica.h"
+#include "sim/network.h"
+
+namespace bgla {
+namespace {
+
+struct RsmRig {
+  explicit RsmRig(std::uint64_t seed, std::uint32_t clients_count) {
+    cfg.n = 4;
+    cfg.f = 1;
+    net = std::make_unique<sim::Network>(
+        std::make_unique<sim::UniformDelay>(1, 10), seed,
+        cfg.n + clients_count);
+    for (ProcessId id = 0; id < cfg.n; ++id) {
+      replicas.push_back(std::make_unique<rsm::Replica>(
+          *net, id, cfg, cfg.n, clients_count));
+    }
+  }
+
+  void add_client(std::vector<rsm::Op> script) {
+    const ProcessId id = cfg.n + static_cast<ProcessId>(clients.size());
+    clients.push_back(std::make_unique<rsm::Client>(
+        *net, id, cfg.n, cfg.f, std::move(script)));
+  }
+
+  void run() {
+    for (auto& c : clients) {
+      c->set_op_hook([this](const rsm::Client&, const rsm::OpRecord&) {
+        for (auto& q : clients) {
+          if (!q->done()) return;
+        }
+        net->request_stop();
+      });
+    }
+    net->run(40'000'000);
+  }
+
+  la::LaConfig cfg;
+  std::unique_ptr<sim::Network> net;
+  std::vector<std::unique_ptr<rsm::Replica>> replicas;
+  std::vector<std::unique_ptr<rsm::Client>> clients;
+};
+
+TEST(Datatypes, CounterWorkloadAccumulates) {
+  RsmRig rig(3, 1);
+  rig.add_client(
+      rsm::CounterWorkload().add(5).read().add(7).read().script());
+  rig.run();
+
+  const auto& hist = rig.clients[0]->history();
+  ASSERT_EQ(hist.size(), 4u);
+  ASSERT_TRUE(hist[1].completed && hist[3].completed);
+  EXPECT_EQ(rsm::CounterWorkload::value_of(hist[1]), 5u);
+  EXPECT_EQ(rsm::CounterWorkload::value_of(hist[3]), 12u);
+}
+
+TEST(Datatypes, CounterMergesAcrossClients) {
+  RsmRig rig(5, 2);
+  rig.add_client(rsm::CounterWorkload().add(10).read().read().script());
+  rig.add_client(rsm::CounterWorkload().add(32).read().read().script());
+  rig.run();
+
+  // The final reads of both clients agree on the total.
+  const auto& a = rig.clients[0]->history().back();
+  const auto& b = rig.clients[1]->history().back();
+  ASSERT_TRUE(a.completed && b.completed);
+  EXPECT_EQ(rsm::CounterWorkload::value_of(a), 42u);
+  EXPECT_EQ(rsm::CounterWorkload::value_of(b), 42u);
+}
+
+TEST(Datatypes, GSetMembership) {
+  RsmRig rig(7, 1);
+  rig.add_client(
+      rsm::GSetWorkload().add(11).add(22).read().script());
+  rig.run();
+
+  const auto& read = rig.clients[0]->history().back();
+  ASSERT_TRUE(read.completed);
+  EXPECT_TRUE(rsm::GSetWorkload::contains(read, 11));
+  EXPECT_TRUE(rsm::GSetWorkload::contains(read, 22));
+  EXPECT_FALSE(rsm::GSetWorkload::contains(read, 33));
+  EXPECT_EQ(rsm::GSetWorkload::elements_of(read),
+            (std::set<std::uint64_t>{11, 22}));
+}
+
+TEST(Datatypes, GSetGrowsMonotonically) {
+  RsmRig rig(9, 2);
+  rig.add_client(rsm::GSetWorkload().add(1).read().add(2).read().script());
+  rig.add_client(rsm::GSetWorkload().add(3).read().read().script());
+  rig.run();
+
+  for (const auto& c : rig.clients) {
+    std::set<std::uint64_t> prev;
+    for (const auto& rec : c->history()) {
+      if (rec.op.kind != rsm::Op::Kind::kRead) continue;
+      ASSERT_TRUE(rec.completed);
+      const auto cur = rsm::GSetWorkload::elements_of(rec);
+      EXPECT_TRUE(std::includes(cur.begin(), cur.end(), prev.begin(),
+                                prev.end()));
+      prev = cur;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bgla
+
+namespace bgla {
+namespace {
+
+TEST(Datatypes, ORSetAddRemoveRoundtrip) {
+  RsmRig rig(11, 1);
+  // add(5), read (observe), then remove via hook, then read again.
+  rig.add_client(rsm::ORSetWorkload().add(5).read().script());
+  bool removed = false;
+  rig.clients[0]->set_op_hook(
+      [&](const rsm::Client& c, const rsm::OpRecord& rec) {
+        if (rec.op.kind == rsm::Op::Kind::kRead && !removed) {
+          removed = true;
+          auto ops = rsm::ORSetWorkload::removes_for(rec, 5);
+          ops.push_back(rsm::Op::read());
+          rig.clients[0]->append_ops(std::move(ops));
+          return;
+        }
+        if (c.done()) rig.net->request_stop();
+      });
+  rig.net->run(40'000'000);
+  ASSERT_TRUE(rig.clients[0]->done());
+
+  const auto& hist = rig.clients[0]->history();
+  // First read observes {5}; final read observes {} (tag removed).
+  std::vector<const rsm::OpRecord*> reads;
+  for (const auto& r : hist) {
+    if (r.op.kind == rsm::Op::Kind::kRead) reads.push_back(&r);
+  }
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_TRUE(rsm::ORSetWorkload::contains(*reads[0], 5));
+  EXPECT_FALSE(rsm::ORSetWorkload::contains(*reads[1], 5));
+}
+
+TEST(Datatypes, ORSetConcurrentAddWinsOverUnobservingRemove) {
+  // Client B removes element 9 based on a read that observed only A's
+  // first add; A's second add(9) (a fresh tag) survives the remove.
+  RsmRig rig(13, 2);
+  rig.add_client(rsm::ORSetWorkload().add(9).read().script());  // A
+  rig.add_client(rsm::ORSetWorkload().read().script());         // B
+
+  auto& A = *rig.clients[0];
+  auto& B = *rig.clients[1];
+  int phase = 0;
+  B.set_op_hook([&](const rsm::Client&, const rsm::OpRecord& rec) {
+    if (rec.op.kind != rsm::Op::Kind::kRead) {
+      if (B.done() && A.done()) rig.net->request_stop();
+      return;
+    }
+    if (phase == 0 && rsm::ORSetWorkload::contains(rec, 9)) {
+      phase = 1;
+      // Remove all observed tags of 9 AND let A concurrently re-add it.
+      auto ops = rsm::ORSetWorkload::removes_for(rec, 9);
+      B.append_ops(std::move(ops));
+      A.append_ops(rsm::ORSetWorkload().add(9).read().script());
+      B.append_ops({rsm::Op::read()});
+      return;
+    }
+    if (B.done() && A.done()) rig.net->request_stop();
+  });
+  A.set_op_hook([&](const rsm::Client&, const rsm::OpRecord&) {
+    if (B.done() && A.done()) rig.net->request_stop();
+  });
+  rig.net->run(60'000'000);
+  ASSERT_TRUE(A.done() && B.done());
+
+  // A's final read must still contain 9 (its re-add has a fresh tag the
+  // remove never referenced).
+  const auto& final_read = A.history().back();
+  ASSERT_EQ(final_read.op.kind, rsm::Op::Kind::kRead);
+  EXPECT_TRUE(rsm::ORSetWorkload::contains(final_read, 9));
+}
+
+TEST(Datatypes, ORSetPackUnpack) {
+  const auto op = rsm::ORSetWorkload::pack_remove(7, 42);
+  const lattice::Item cmd{1, 1, op};
+  EXPECT_TRUE(rsm::ORSetWorkload::is_remove(cmd));
+  const auto [c, s] = rsm::ORSetWorkload::removed_tag(cmd);
+  EXPECT_EQ(c, 7u);
+  EXPECT_EQ(s, 42u);
+  EXPECT_FALSE(rsm::ORSetWorkload::is_remove(lattice::Item{1, 2, 9}));
+}
+
+}  // namespace
+}  // namespace bgla

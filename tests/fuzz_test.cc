@@ -1,0 +1,189 @@
+// Protocol fuzzing: a Byzantine process that sprays structurally valid
+// but randomly-filled protocol messages (all types, random lattice
+// elements including wrong families, random timestamps/rounds/tags/fake
+// origins) at every process. Correct processes must neither crash nor
+// lose safety, and liveness must survive — for every seed.
+#include <gtest/gtest.h>
+
+#include "bcast/bracha.h"
+#include "la/gwts.h"
+#include "la/messages.h"
+#include "la/spec.h"
+#include "la/wts.h"
+#include "lattice/maxint_elem.h"
+#include "lattice/set_elem.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace bgla {
+namespace {
+
+using la::Elem;
+using lattice::Item;
+using lattice::make_set;
+
+/// Generates a random lattice element: usually a small set, sometimes the
+/// wrong family, sometimes bottom.
+Elem random_elem(Rng& rng) {
+  const auto kind = rng.uniform(0, 9);
+  if (kind == 0) return Elem();                          // bottom
+  if (kind == 1) return lattice::make_maxint(rng.next_u64());  // wrong kind
+  std::set<Item> items;
+  const std::size_t k = rng.uniform(0, 4);
+  for (std::size_t i = 0; i < k; ++i) {
+    items.insert(Item{rng.uniform(0, 8), rng.uniform(0, 2000),
+                      rng.uniform(0, 2)});
+  }
+  return make_set(std::move(items));
+}
+
+class FuzzByz : public sim::Process {
+ public:
+  FuzzByz(sim::Network& net, ProcessId id, std::uint32_t n,
+          std::uint64_t seed, std::uint32_t budget)
+      : sim::Process(net, id), n_(n), rng_(seed), budget_(budget) {}
+
+  void on_start() override { spray(8); }
+  void on_message(ProcessId, const sim::MessagePtr&) override { spray(2); }
+
+ private:
+  sim::MessagePtr random_message() {
+    switch (rng_.uniform(0, 9)) {
+      case 0:
+        return std::make_shared<la::DisclosureMsg>(random_elem(rng_));
+      case 1:
+        return std::make_shared<la::AckReqMsg>(random_elem(rng_),
+                                               rng_.uniform(0, 5));
+      case 2:
+        return std::make_shared<la::AckMsg>(random_elem(rng_),
+                                            rng_.uniform(0, 5));
+      case 3:
+        return std::make_shared<la::NackMsg>(random_elem(rng_),
+                                             rng_.uniform(0, 5));
+      case 4:
+        return std::make_shared<la::GAckReqMsg>(
+            random_elem(rng_), rng_.uniform(0, 5), rng_.uniform(0, 6));
+      case 5:
+        return std::make_shared<la::GAckMsg>(
+            random_elem(rng_), static_cast<ProcessId>(rng_.uniform(0, 7)),
+            static_cast<ProcessId>(rng_.uniform(0, 7)), rng_.uniform(0, 5),
+            rng_.uniform(0, 6));
+      case 6:
+        return std::make_shared<la::GNackMsg>(
+            random_elem(rng_), rng_.uniform(0, 5), rng_.uniform(0, 6));
+      case 7: {
+        const bcast::RbKey key{
+            static_cast<ProcessId>(rng_.uniform(0, n_)),
+            rng_.uniform(0, 8)};
+        return std::make_shared<bcast::RbSendMsg>(
+            key, std::make_shared<la::DisclosureMsg>(random_elem(rng_)));
+      }
+      case 8: {
+        const bcast::RbKey key{
+            static_cast<ProcessId>(rng_.uniform(0, n_)),
+            rng_.uniform(0, 8)};
+        return std::make_shared<bcast::RbEchoMsg>(
+            key, std::make_shared<la::GDisclosureMsg>(random_elem(rng_),
+                                                      rng_.uniform(0, 4)));
+      }
+      default: {
+        const bcast::RbKey key{
+            static_cast<ProcessId>(rng_.uniform(0, n_)),
+            rng_.uniform(0, 8)};
+        return std::make_shared<bcast::RbReadyMsg>(
+            key, std::make_shared<la::SubmitMsg>(random_elem(rng_)));
+      }
+    }
+  }
+
+  void spray(std::uint32_t count) {
+    for (std::uint32_t i = 0; i < count && sent_ < budget_; ++i, ++sent_) {
+      send(static_cast<ProcessId>(rng_.uniform(0, n_ - 1)),
+           random_message());
+    }
+  }
+
+  std::uint32_t n_;
+  Rng rng_;
+  std::uint32_t budget_;
+  std::uint32_t sent_ = 0;
+};
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, WtsSurvivesRandomGarbage) {
+  la::LaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  sim::Network net(std::make_unique<sim::UniformDelay>(1, 10), GetParam(),
+                   4);
+  std::vector<std::unique_ptr<la::WtsProcess>> correct;
+  for (ProcessId id = 0; id < 3; ++id) {
+    correct.push_back(std::make_unique<la::WtsProcess>(
+        net, id, cfg, make_set({Item{id, 100 + id, 0}})));
+  }
+  FuzzByz fuzzer(net, 3, 4, GetParam() * 31 + 7, /*budget=*/600);
+  const auto rr = net.run(5'000'000);
+  EXPECT_TRUE(rr.quiescent);
+
+  std::vector<la::LaView> views;
+  for (const auto& p : correct) {
+    ASSERT_TRUE(p->decided()) << "fuzzer blocked liveness, p" << p->id();
+    la::LaView v;
+    v.id = p->id();
+    v.proposal = p->proposal();
+    v.decision = p->decision().value;
+    v.svs = p->svs();
+    views.push_back(std::move(v));
+  }
+  const auto res = la::check_la(views, {3}, cfg.f);
+  EXPECT_TRUE(res.ok()) << res.diagnostic;
+}
+
+TEST_P(FuzzSweep, GwtsSurvivesRandomGarbage) {
+  la::LaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  sim::Network net(std::make_unique<sim::UniformDelay>(1, 10), GetParam(),
+                   4);
+  std::vector<std::unique_ptr<la::GwtsProcess>> correct;
+  for (ProcessId id = 0; id < 3; ++id) {
+    correct.push_back(std::make_unique<la::GwtsProcess>(net, id, cfg));
+  }
+  FuzzByz fuzzer(net, 3, 4, GetParam() * 17 + 3, /*budget=*/600);
+  for (auto& p : correct) {
+    p->set_decide_hook(
+        [&](const la::GwtsProcess&, const la::DecisionRecord&) {
+          for (auto& q : correct) {
+            if (q->decisions().size() < 4) return;
+          }
+          net.request_stop();
+        });
+  }
+  net.inject(0, 0,
+             std::make_shared<la::SubmitMsg>(make_set({Item{0, 1, 0}})),
+             25);
+  const auto rr = net.run(10'000'000);
+  EXPECT_TRUE(rr.stopped) << "fuzzer blocked GWTS liveness";
+
+  std::vector<la::GlaView> views;
+  Elem byz_disclosed;
+  for (const auto& p : correct) {
+    la::GlaView v;
+    v.id = p->id();
+    v.submitted = p->submitted();
+    for (const auto& d : p->decisions()) v.decisions.push_back(d.value);
+    for (const auto& [origin, value] : p->disclosed_by()) {
+      if (origin == 3) byz_disclosed = byz_disclosed.join(value);
+    }
+    views.push_back(std::move(v));
+  }
+  const auto res = la::check_gla(views, byz_disclosed, 4);
+  EXPECT_TRUE(res.ok()) << res.diagnostic;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace bgla

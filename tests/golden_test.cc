@@ -1,0 +1,107 @@
+// Golden regression tests: pin exact, bit-deterministic outcomes of fixed
+// (parameters, seed) runs. Any change to protocol logic, message routing,
+// RNG consumption order, or event scheduling shows up here first — and the
+// pinned values double as documented reference runs.
+//
+// If a deliberate behavioural change breaks these, re-pin the constants in
+// the same commit and say why in the commit message.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.h"
+
+namespace bgla {
+namespace {
+
+using harness::Adversary;
+using harness::Sched;
+
+TEST(Golden, WtsReferenceRun) {
+  harness::WtsScenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.byz_count = 2;
+  sc.adversary = Adversary::kEquivocator;
+  sc.sched = Sched::kUniform;
+  sc.seed = 42;
+  const auto rep = harness::run_wts(sc);
+  ASSERT_TRUE(rep.completed);
+  ASSERT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+
+  const auto again = harness::run_wts(sc);
+  EXPECT_EQ(rep.total_msgs, again.total_msgs);
+  EXPECT_EQ(rep.end_time, again.end_time);
+  EXPECT_EQ(rep.max_depth, again.max_depth);
+
+  // Pinned reference values (seed 42).
+  EXPECT_EQ(rep.total_msgs, 452u);
+  EXPECT_EQ(rep.end_time, 89u);
+  EXPECT_EQ(rep.max_depth, 6u);
+  EXPECT_EQ(rep.max_refinements, 0u);
+}
+
+TEST(Golden, GwtsReferenceRun) {
+  harness::GwtsScenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.adversary = Adversary::kStaleNacker;
+  sc.sched = Sched::kUniform;
+  sc.seed = 7;
+  sc.target_decisions = 3;
+  const auto rep = harness::run_gwts(sc);
+  ASSERT_TRUE(rep.completed);
+  ASSERT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+
+  EXPECT_EQ(rep.total_msgs, 1047u);
+  EXPECT_EQ(rep.end_time, 210u);
+  EXPECT_EQ(rep.total_decisions, 9u);
+}
+
+TEST(Golden, SbsReferenceRun) {
+  harness::SbsScenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.byz_count = 2;
+  sc.adversary = Adversary::kEquivocator;
+  sc.seed = 5;
+  const auto rep = harness::run_sbs(sc);
+  ASSERT_TRUE(rep.completed);
+  ASSERT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+
+  EXPECT_EQ(rep.total_msgs, 212u);
+  EXPECT_EQ(rep.max_depth, 7u);
+}
+
+TEST(Golden, FaleiroViolationReferenceRun) {
+  harness::FaleiroScenario sc;
+  sc.n = 3;
+  sc.f = 1;
+  sc.byz_lying_acker = true;
+  sc.sched = Sched::kTargeted;
+  sc.seed = 1;
+  const auto rep = harness::run_faleiro(sc);
+  EXPECT_FALSE(rep.spec.comparability);  // the pinned T7 violation
+  EXPECT_NE(rep.spec.diagnostic.find("incomparable"), std::string::npos);
+}
+
+TEST(Golden, RsmReferenceRun) {
+  harness::RsmScenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.byz_replicas = 1;
+  sc.with_byz_client = true;
+  sc.num_clients = 2;
+  sc.ops_per_client = 4;
+  sc.seed = 11;
+  const auto rep = harness::run_rsm(sc);
+  ASSERT_TRUE(rep.completed);
+  ASSERT_TRUE(rep.check.ok()) << rep.check.diagnostic;
+  ASSERT_TRUE(rep.linearization.linearizable);
+
+  EXPECT_EQ(rep.ops_completed, 8u);
+  const auto again = harness::run_rsm(sc);
+  EXPECT_EQ(rep.total_msgs, again.total_msgs);
+  EXPECT_EQ(rep.end_time, again.end_time);
+}
+
+}  // namespace
+}  // namespace bgla

@@ -1,0 +1,238 @@
+// GSbS (§8.2) tests: generalised spec sweeps, round-trust via DECIDED
+// certificates, certificate well-formedness against tampering, and the
+// message-complexity advantage over GWTS.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.h"
+#include "la/gsbs.h"
+#include "lattice/set_elem.h"
+
+namespace bgla {
+namespace {
+
+using harness::Adversary;
+using harness::GsbsScenario;
+using harness::Sched;
+using lattice::Item;
+using lattice::make_set;
+
+struct SweepParam {
+  std::uint32_t n;
+  std::uint32_t f;
+  Adversary adversary;
+  Sched sched;
+  std::uint64_t seed;
+};
+
+class GsbsSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(GsbsSweep, GeneralizedSpecHolds) {
+  const SweepParam p = GetParam();
+  GsbsScenario sc;
+  sc.n = p.n;
+  sc.f = p.f;
+  sc.byz_count = p.f;
+  sc.adversary = p.adversary;
+  sc.sched = p.sched;
+  sc.seed = p.seed;
+  sc.target_decisions = 4;
+  const auto rep = harness::run_gsbs(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NoFault, GsbsSweep,
+    ::testing::Values(
+        SweepParam{4, 1, Adversary::kNone, Sched::kUniform, 1},
+        SweepParam{4, 1, Adversary::kNone, Sched::kFixed, 2},
+        SweepParam{4, 1, Adversary::kNone, Sched::kJitter, 3},
+        SweepParam{7, 2, Adversary::kNone, Sched::kUniform, 4},
+        SweepParam{7, 2, Adversary::kNone, Sched::kTargeted, 5},
+        SweepParam{10, 3, Adversary::kNone, Sched::kUniform, 6}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Adversarial, GsbsSweep,
+    ::testing::Values(
+        SweepParam{4, 1, Adversary::kMute, Sched::kUniform, 10},
+        SweepParam{4, 1, Adversary::kEquivocator, Sched::kUniform, 11},
+        SweepParam{4, 1, Adversary::kEquivocator, Sched::kJitter, 12},
+        SweepParam{4, 1, Adversary::kFlooder, Sched::kUniform, 13},
+        SweepParam{7, 2, Adversary::kMute, Sched::kTargeted, 14},
+        SweepParam{7, 2, Adversary::kEquivocator, Sched::kUniform, 15}));
+
+class GsbsSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GsbsSeedSweep, StableUnderSeeds) {
+  GsbsScenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.adversary = Adversary::kEquivocator;
+  sc.seed = GetParam();
+  sc.target_decisions = 3;
+  const auto rep = harness::run_gsbs(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GsbsSeedSweep,
+                         ::testing::Range<std::uint64_t>(400, 408));
+
+TEST(Gsbs, FewerMessagesPerDecisionThanGwts) {
+  // §8.2: replacing reliably broadcast acks with signed point-to-point
+  // acks + one DECIDED certificate broadcast cuts the per-decision
+  // message complexity from O(f·n²) to O(f·n).
+  harness::GwtsScenario g;
+  g.n = 10;
+  g.f = 1;
+  g.byz_count = 1;
+  g.adversary = Adversary::kMute;
+  g.target_decisions = 4;
+  g.seed = 6;
+  const auto gwts = harness::run_gwts(g);
+
+  GsbsScenario s;
+  s.n = 10;
+  s.f = 1;
+  s.byz_count = 1;
+  s.adversary = Adversary::kMute;
+  s.target_decisions = 4;
+  s.seed = 6;
+  const auto gsbs = harness::run_gsbs(s);
+
+  ASSERT_TRUE(gwts.completed && gsbs.completed);
+  EXPECT_TRUE(gwts.spec.ok());
+  EXPECT_TRUE(gsbs.spec.ok());
+  EXPECT_LT(gsbs.msgs_per_decision_per_proposer,
+            gwts.msgs_per_decision_per_proposer / 2.0)
+      << "GSbS should be far cheaper in messages per decision";
+}
+
+TEST(Gsbs, DeterministicReplay) {
+  GsbsScenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.adversary = Adversary::kEquivocator;
+  sc.seed = 33;
+  sc.target_decisions = 3;
+  const auto a = harness::run_gsbs(sc);
+  const auto b = harness::run_gsbs(sc);
+  EXPECT_EQ(a.total_msgs, b.total_msgs);
+  EXPECT_EQ(a.end_time, b.end_time);
+}
+
+// ---- DECIDED certificate validation ----
+
+class CertTest : public ::testing::Test {
+ protected:
+  CertTest() : auth_(8, 13) {
+    cfg_.n = 7;
+    cfg_.f = 2;
+  }
+
+  la::SafeBatchSet make_decided_set(ProcessId signer) {
+    // A singleton proposal with a genuine proof of safety.
+    const auto batch = la::make_signed_batch(
+        auth_.signer_for(signer), make_set({Item{signer, 1, 0}}), 0);
+    la::SignedBatchSet sbset;
+    sbset.insert(batch);
+    std::vector<la::GSafeAckPtr> proof;
+    for (ProcessId a = 0; a < cfg_.quorum(); ++a) {
+      const auto sig = auth_.signer_for(a).sign(
+          la::GSSafeAckMsg::signed_payload(sbset, {}, a, 0));
+      proof.push_back(std::make_shared<la::GSSafeAckMsg>(
+          sbset, std::vector<std::pair<la::SignedBatch, la::SignedBatch>>{},
+          a, 0, sig));
+    }
+    la::SafeBatchSet out;
+    out.insert(la::SafeBatch{batch, proof});
+    return out;
+  }
+
+  std::vector<std::shared_ptr<const la::GSAckMsg>> make_acks(
+      const la::SafeBatchSet& set, ProcessId decider, std::uint64_t ts,
+      std::uint64_t round, std::uint32_t count) {
+    std::vector<std::shared_ptr<const la::GSAckMsg>> acks;
+    const crypto::Digest fp = set.fingerprint();
+    for (ProcessId a = 0; a < count; ++a) {
+      const auto sig = auth_.signer_for(a).sign(
+          la::GSAckMsg::signed_payload(fp, decider, ts, round));
+      acks.push_back(
+          std::make_shared<la::GSAckMsg>(fp, decider, ts, round, sig));
+    }
+    return acks;
+  }
+
+  la::LaConfig cfg_;
+  crypto::SignatureAuthority auth_;
+};
+
+TEST_F(CertTest, GenuineCertificateWellFormed) {
+  const auto set = make_decided_set(0);
+  const auto acks = make_acks(set, /*decider=*/3, 1, 0, cfg_.quorum());
+  la::GSDecidedMsg cert(set, 3, 1, 0, acks);
+  EXPECT_TRUE(cert.well_formed(auth_, cfg_.quorum()));
+}
+
+TEST_F(CertTest, RejectsSubQuorum) {
+  const auto set = make_decided_set(0);
+  const auto acks = make_acks(set, 3, 1, 0, cfg_.quorum() - 1);
+  la::GSDecidedMsg cert(set, 3, 1, 0, acks);
+  EXPECT_FALSE(cert.well_formed(auth_, cfg_.quorum()));
+}
+
+TEST_F(CertTest, RejectsTamperedSet) {
+  const auto set = make_decided_set(0);
+  const auto acks = make_acks(set, 3, 1, 0, cfg_.quorum());
+  const auto other_set = make_decided_set(1);  // different content
+  la::GSDecidedMsg cert(other_set, 3, 1, 0, acks);  // acks don't match set
+  EXPECT_FALSE(cert.well_formed(auth_, cfg_.quorum()));
+}
+
+TEST_F(CertTest, RejectsWrongRoundOrTs) {
+  const auto set = make_decided_set(0);
+  const auto acks = make_acks(set, 3, /*ts=*/1, /*round=*/0, cfg_.quorum());
+  la::GSDecidedMsg wrong_ts(set, 3, /*ts=*/2, 0, acks);
+  EXPECT_FALSE(wrong_ts.well_formed(auth_, cfg_.quorum()));
+  la::GSDecidedMsg wrong_round(set, 3, 1, /*round=*/1, acks);
+  EXPECT_FALSE(wrong_round.well_formed(auth_, cfg_.quorum()));
+}
+
+TEST_F(CertTest, RejectsDuplicateAckSigners) {
+  const auto set = make_decided_set(0);
+  auto acks = make_acks(set, 3, 1, 0, cfg_.quorum() - 1);
+  acks.push_back(acks.front());  // pad with a duplicate
+  la::GSDecidedMsg cert(set, 3, 1, 0, acks);
+  EXPECT_FALSE(cert.well_formed(auth_, cfg_.quorum()));
+}
+
+TEST_F(CertTest, RejectsAcksForAnotherDecider) {
+  const auto set = make_decided_set(0);
+  const auto acks = make_acks(set, /*decider=*/2, 1, 0, cfg_.quorum());
+  la::GSDecidedMsg cert(set, /*decider=*/3, 1, 0, acks);  // stolen cert
+  EXPECT_FALSE(cert.well_formed(auth_, cfg_.quorum()));
+}
+
+TEST_F(CertTest, RoundBoundSignaturePreventsBatchReplay) {
+  // A batch signed for round 0 cannot masquerade as a round-1 batch.
+  const auto batch = la::make_signed_batch(
+      auth_.signer_for(0), make_set({Item{0, 1, 0}}), 0);
+  la::SignedBatch replayed = batch;
+  replayed.round = 1;
+  EXPECT_TRUE(batch.verify(auth_));
+  EXPECT_FALSE(replayed.verify(auth_));
+}
+
+TEST_F(CertTest, BatchConflictRequiresSameRound) {
+  const auto b0 = la::make_signed_batch(auth_.signer_for(0),
+                                        make_set({Item{0, 1, 0}}), 0);
+  const auto b0b = la::make_signed_batch(auth_.signer_for(0),
+                                         make_set({Item{0, 2, 0}}), 0);
+  const auto b1 = la::make_signed_batch(auth_.signer_for(0),
+                                        make_set({Item{0, 2, 0}}), 1);
+  EXPECT_TRUE(la::batches_conflict(b0, b0b, auth_));
+  EXPECT_FALSE(la::batches_conflict(b0, b1, auth_));  // different rounds
+}
+
+}  // namespace
+}  // namespace bgla

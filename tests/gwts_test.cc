@@ -1,0 +1,406 @@
+// GWTS (Algorithms 3-4) tests: the §6.1 generalised spec under sizes,
+// schedules and adversaries; Safe_r round-trust gating against round
+// rushing; per-round refinement bounds (Lemma 10); decide-by-adoption;
+// and streaming inclusivity.
+#include <gtest/gtest.h>
+
+#include "byz/strategies.h"
+#include "harness/scenario.h"
+#include "la/gwts.h"
+#include "lattice/chain.h"
+#include "lattice/set_elem.h"
+#include "lattice/vclock_elem.h"
+
+namespace bgla {
+namespace {
+
+using harness::Adversary;
+using harness::GwtsScenario;
+using harness::Sched;
+using lattice::Item;
+using lattice::make_set;
+
+struct SweepParam {
+  std::uint32_t n;
+  std::uint32_t f;
+  Adversary adversary;
+  Sched sched;
+  std::uint64_t seed;
+};
+
+class GwtsSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(GwtsSweep, GeneralizedSpecHolds) {
+  const SweepParam p = GetParam();
+  GwtsScenario sc;
+  sc.n = p.n;
+  sc.f = p.f;
+  sc.byz_count = p.f;
+  sc.adversary = p.adversary;
+  sc.sched = p.sched;
+  sc.seed = p.seed;
+  sc.target_decisions = 4;
+  sc.submissions_per_proc = 3;
+  const auto rep = harness::run_gwts(sc);
+
+  EXPECT_TRUE(rep.completed) << "run did not reach the decision target";
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+  // Lemma 10: at most f proposal refinements per round.
+  EXPECT_LE(rep.max_round_refinements, p.f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NoFault, GwtsSweep,
+    ::testing::Values(
+        SweepParam{4, 1, Adversary::kNone, Sched::kUniform, 1},
+        SweepParam{4, 1, Adversary::kNone, Sched::kFixed, 2},
+        SweepParam{4, 1, Adversary::kNone, Sched::kJitter, 3},
+        SweepParam{7, 2, Adversary::kNone, Sched::kUniform, 4},
+        SweepParam{7, 2, Adversary::kNone, Sched::kTargeted, 5},
+        SweepParam{10, 3, Adversary::kNone, Sched::kUniform, 6},
+        SweepParam{13, 4, Adversary::kNone, Sched::kUniform, 7}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Adversarial, GwtsSweep,
+    ::testing::Values(
+        SweepParam{4, 1, Adversary::kMute, Sched::kUniform, 10},
+        SweepParam{4, 1, Adversary::kEquivocator, Sched::kUniform, 11},
+        SweepParam{4, 1, Adversary::kInvalidValue, Sched::kUniform, 12},
+        SweepParam{4, 1, Adversary::kStaleNacker, Sched::kUniform, 13},
+        SweepParam{4, 1, Adversary::kRoundRusher, Sched::kUniform, 14},
+        SweepParam{4, 1, Adversary::kFlooder, Sched::kUniform, 15},
+        SweepParam{7, 2, Adversary::kMute, Sched::kJitter, 16},
+        SweepParam{7, 2, Adversary::kStaleNacker, Sched::kTargeted, 17},
+        SweepParam{7, 2, Adversary::kRoundRusher, Sched::kJitter, 18},
+        SweepParam{7, 2, Adversary::kEquivocator, Sched::kUniform, 19},
+        SweepParam{10, 3, Adversary::kStaleNacker, Sched::kUniform, 20},
+        SweepParam{10, 3, Adversary::kRoundRusher, Sched::kUniform, 21}));
+
+class GwtsSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GwtsSeedSweep, RoundRusherCannotRushTrust) {
+  GwtsScenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.adversary = Adversary::kRoundRusher;
+  sc.seed = GetParam();
+  sc.target_decisions = 3;
+  const auto rep = harness::run_gwts(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GwtsSeedSweep,
+                         ::testing::Range<std::uint64_t>(200, 210));
+
+TEST(Gwts, DeterministicReplay) {
+  GwtsScenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.adversary = Adversary::kStaleNacker;
+  sc.seed = 7;
+  sc.target_decisions = 3;
+  const auto a = harness::run_gwts(sc);
+  const auto b = harness::run_gwts(sc);
+  EXPECT_EQ(a.total_msgs, b.total_msgs);
+  EXPECT_EQ(a.total_decisions, b.total_decisions);
+  EXPECT_EQ(a.end_time, b.end_time);
+}
+
+TEST(Gwts, DecisionsPerProcessReachTarget) {
+  GwtsScenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.adversary = Adversary::kNone;
+  sc.target_decisions = 6;
+  sc.seed = 5;
+  const auto rep = harness::run_gwts(sc);
+  EXPECT_TRUE(rep.completed);
+  // 4 correct processes × ≥ 6 decisions each.
+  EXPECT_GE(rep.total_decisions, 4u * 6u);
+}
+
+// Direct process-level tests (no harness).
+
+class GwtsDirect : public ::testing::Test {
+ protected:
+  void build(std::uint32_t n, std::uint32_t f, std::uint64_t seed) {
+    cfg_.n = n;
+    cfg_.f = f;
+    net_ = std::make_unique<sim::Network>(
+        std::make_unique<sim::UniformDelay>(1, 10), seed, n);
+    for (ProcessId id = 0; id < n; ++id) {
+      procs_.push_back(std::make_unique<la::GwtsProcess>(*net_, id, cfg_));
+    }
+  }
+
+  la::LaConfig cfg_;
+  std::unique_ptr<sim::Network> net_;
+  std::vector<std::unique_ptr<la::GwtsProcess>> procs_;
+};
+
+TEST_F(GwtsDirect, SafeRoundNeverExceedsLegitimateRounds) {
+  build(4, 1, 3);
+  // Stop after round 2 everywhere.
+  for (auto& p : procs_) {
+    p->set_decide_hook([this](const la::GwtsProcess& gp,
+                              const la::DecisionRecord&) {
+      if (gp.decisions().size() >= 3) net_->request_stop();
+    });
+  }
+  procs_[0]->submit(make_set({Item{0, 1, 0}}));
+  net_->run();
+  for (auto& p : procs_) {
+    // Safe_r trails the highest legitimately ended round: never beyond
+    // the round currently being executed plus one.
+    EXPECT_LE(p->safe_round(), p->round() + 1);
+  }
+}
+
+TEST_F(GwtsDirect, LocalStabilityOfDecisionSequences) {
+  build(4, 1, 11);
+  for (auto& p : procs_) {
+    p->set_decide_hook([this](const la::GwtsProcess& gp,
+                              const la::DecisionRecord&) {
+      if (gp.decisions().size() >= 4) net_->request_stop();
+    });
+  }
+  for (ProcessId id = 0; id < 4; ++id) {
+    net_->inject(id, id,
+                 std::make_shared<la::SubmitMsg>(make_set({Item{id, 1, 0}})),
+                 30);
+    net_->inject(id, id,
+                 std::make_shared<la::SubmitMsg>(make_set({Item{id, 2, 0}})),
+                 90);
+  }
+  net_->run();
+  for (auto& p : procs_) {
+    const auto& decs = p->decisions();
+    for (std::size_t i = 1; i < decs.size(); ++i) {
+      EXPECT_TRUE(decs[i - 1].value.leq(decs[i].value))
+          << "p" << p->id() << " decision " << i << " shrank";
+    }
+    // Rounds recorded monotonically.
+    for (std::size_t i = 1; i < decs.size(); ++i) {
+      EXPECT_LT(decs[i - 1].round, decs[i].round);
+    }
+  }
+}
+
+TEST_F(GwtsDirect, EmptyBatchesStillDecide) {
+  // No submissions at all: rounds with empty batches must still turn over
+  // (Liveness does not depend on input arrival).
+  build(4, 1, 13);
+  for (auto& p : procs_) {
+    p->set_decide_hook([this](const la::GwtsProcess&,
+                              const la::DecisionRecord&) {
+      for (auto& q : procs_) {
+        if (q->decisions().size() < 3) return;
+      }
+      net_->request_stop();
+    });
+  }
+  const auto rr = net_->run(5'000'000);
+  EXPECT_TRUE(rr.stopped);
+  for (auto& p : procs_) EXPECT_GE(p->decisions().size(), 3u);
+}
+
+TEST_F(GwtsDirect, SubmittedValueReachesEveryProcess) {
+  build(4, 1, 17);
+  const auto target = make_set({Item{2, 77, 0}});
+  for (auto& p : procs_) {
+    p->set_decide_hook([this, target](const la::GwtsProcess&,
+                                      const la::DecisionRecord&) {
+      bool everywhere = true;
+      for (auto& q : procs_) {
+        if (q->decisions().empty() ||
+            !target.leq(q->decisions().back().value)) {
+          everywhere = false;
+          break;
+        }
+      }
+      if (everywhere) net_->request_stop();
+    });
+  }
+  net_->inject(2, 2, std::make_shared<la::SubmitMsg>(target), 25);
+  const auto rr = net_->run(5'000'000);
+  EXPECT_TRUE(rr.stopped) << "value never reached all decisions";
+}
+
+TEST_F(GwtsDirect, DecideByAdoptionKeepsProcessesInLockstep) {
+  // All correct processes make the same number of decisions ±1 — nobody
+  // can fall behind, because committed proposals are adopted (L39-43).
+  build(7, 2, 23);
+  for (auto& p : procs_) {
+    p->set_decide_hook([this](const la::GwtsProcess& gp,
+                              const la::DecisionRecord&) {
+      if (gp.decisions().size() >= 5) net_->request_stop();
+    });
+  }
+  net_->run(10'000'000);
+  std::size_t max_d = 0, min_d = SIZE_MAX;
+  for (auto& p : procs_) {
+    max_d = std::max(max_d, p->decisions().size());
+    min_d = std::min(min_d, p->decisions().size());
+  }
+  EXPECT_GE(min_d + 2, max_d);  // rounds proceed together
+}
+
+TEST_F(GwtsDirect, SubmitRejectsInadmissible) {
+  cfg_.is_admissible = [](const lattice::Elem& e) {
+    return lattice::all_items(
+        e, [](const lattice::Item& it) { return it.b < 10; });
+  };
+  build(4, 1, 29);
+  EXPECT_THROW(procs_[0]->submit(make_set({Item{0, 50, 0}})), CheckError);
+  procs_[0]->submit(make_set({Item{0, 5, 0}}));  // fine
+}
+
+}  // namespace
+}  // namespace bgla
+
+namespace bgla {
+namespace {
+
+TEST(GwtsGc, StateStaysBoundedOverManyRounds) {
+  // GWTS runs an infinite sequence of rounds; per-round SvS maps and
+  // Ack_history must not accumulate without bound (the memory concern the
+  // paper's related work [6] raises for GLA-based RSMs). Run 40+ rounds
+  // and check the retained state after round 10 never grows past a fixed
+  // multiple of its level at round 10.
+  la::LaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  sim::Network net(std::make_unique<sim::UniformDelay>(1, 6), 3, 4);
+  std::vector<std::unique_ptr<la::GwtsProcess>> procs;
+  for (ProcessId id = 0; id < 4; ++id) {
+    procs.push_back(std::make_unique<la::GwtsProcess>(net, id, cfg));
+  }
+  std::map<ProcessId, std::size_t> at_round10;
+  std::size_t max_after = 0;
+  for (auto& p : procs) {
+    p->set_decide_hook([&](const la::GwtsProcess& gp,
+                           const la::DecisionRecord& rec) {
+      if (rec.round == 10) {
+        at_round10[gp.id()] = gp.retained_state();
+      } else if (rec.round > 10) {
+        max_after = std::max(max_after, gp.retained_state());
+      }
+      bool done = true;
+      for (auto& q : procs) done = done && q->decisions().size() >= 45;
+      if (done) net.request_stop();
+    });
+  }
+  // A trickle of submissions so rounds are not all empty.
+  for (std::uint64_t k = 0; k < 12; ++k) {
+    net.inject(k % 4, k % 4,
+               std::make_shared<la::SubmitMsg>(
+                   make_set({Item{k % 4, 500 + k, 0}})),
+               50 * (k + 1));
+  }
+  const auto rr = net.run(80'000'000);
+  ASSERT_TRUE(rr.stopped);
+  std::size_t baseline = 0;
+  for (const auto& [id, v] : at_round10) baseline = std::max(baseline, v);
+  ASSERT_GT(baseline, 0u);
+  EXPECT_LE(max_after, baseline * 3)
+      << "retained state grows with round count — GC regression";
+}
+
+TEST(GwtsGc, DisclosedByExactAfterPruning) {
+  // disclosed_by() must still attribute every disclosure even after the
+  // per-round SvS maps were collected.
+  la::LaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  sim::Network net(std::make_unique<sim::UniformDelay>(1, 6), 5, 4);
+  std::vector<std::unique_ptr<la::GwtsProcess>> procs;
+  for (ProcessId id = 0; id < 4; ++id) {
+    procs.push_back(std::make_unique<la::GwtsProcess>(net, id, cfg));
+  }
+  for (auto& p : procs) {
+    p->set_decide_hook([&](const la::GwtsProcess&,
+                           const la::DecisionRecord&) {
+      bool done = true;
+      for (auto& q : procs) done = done && q->decisions().size() >= 12;
+      if (done) net.request_stop();
+    });
+  }
+  const auto marker = make_set({Item{2, 77, 0}});
+  net.inject(2, 2, std::make_shared<la::SubmitMsg>(marker), 20);
+  const auto rr = net.run(40'000'000);
+  ASSERT_TRUE(rr.stopped);
+  for (auto& p : procs) {
+    const auto by = p->disclosed_by();
+    const auto it = by.find(2);
+    ASSERT_NE(it, by.end());
+    EXPECT_TRUE(marker.leq(it->second))
+        << "p" << p->id() << " lost the attribution after GC";
+  }
+}
+
+}  // namespace
+}  // namespace bgla
+
+namespace bgla {
+namespace {
+
+TEST(GwtsGenerality, RunsOnVectorClockLattice) {
+  // Lattice generality for the generalised protocol: GWTS streaming over
+  // the vector-clock family (G-Counter state lattice) — the identical
+  // protocol code, different Elem family.
+  la::LaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  cfg.expected_kind = "vclock";
+  sim::Network net(std::make_unique<sim::UniformDelay>(1, 8), 9, 4);
+  std::vector<std::unique_ptr<la::GwtsProcess>> procs;
+  for (ProcessId id = 0; id < 4; ++id) {
+    procs.push_back(std::make_unique<la::GwtsProcess>(net, id, cfg));
+  }
+  const auto target =
+      lattice::make_vclock({{0, 2}, {1, 2}, {2, 2}, {3, 2}});
+  for (auto& p : procs) {
+    p->set_decide_hook(
+        [&](const la::GwtsProcess&, const la::DecisionRecord&) {
+          for (auto& q : procs) {
+            if (q->decisions().size() < 4) return;
+            if (!target.leq(q->decisions().back().value)) return;
+          }
+          net.request_stop();
+        });
+  }
+  // Each process increments its own G-Counter component twice.
+  for (ProcessId id = 0; id < 4; ++id) {
+    net.inject(id, id,
+               std::make_shared<la::SubmitMsg>(
+                   lattice::make_vclock({{id, 1}})),
+               20 + 10 * id);
+    net.inject(id, id,
+               std::make_shared<la::SubmitMsg>(
+                   lattice::make_vclock({{id, 2}})),
+               120 + 10 * id);
+  }
+  const auto rr = net.run(20'000'000);
+  ASSERT_TRUE(rr.stopped);
+
+  // Final decisions agree on the pointwise-max clock [0:2,1:2,2:2,3:2],
+  // i.e. the G-Counter reads 8 everywhere, and all decision sequences are
+  // chains in the vclock order.
+  for (auto& p : procs) {
+    const auto& decs = p->decisions();
+    for (std::size_t i = 1; i < decs.size(); ++i) {
+      EXPECT_TRUE(decs[i - 1].value.leq(decs[i].value));
+    }
+    EXPECT_EQ(lattice::vclock_sum(decs.back().value), 8u);
+  }
+  // Cross-process comparability.
+  std::vector<lattice::Elem> all;
+  for (auto& p : procs) {
+    for (const auto& d : p->decisions()) all.push_back(d.value);
+  }
+  EXPECT_TRUE(lattice::is_chain(all));
+}
+
+}  // namespace
+}  // namespace bgla

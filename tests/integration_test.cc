@@ -1,0 +1,223 @@
+// Cross-protocol integration matrix: every protocol × every applicable
+// adversary × schedules × seeds, asserting the full executable spec on
+// each run. This is the widest net in the suite — several hundred
+// end-to-end runs.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.h"
+#include "la/gwts.h"
+#include "la/wts.h"
+#include "lattice/set_elem.h"
+
+namespace bgla {
+namespace {
+
+using harness::Adversary;
+using harness::Sched;
+
+struct MatrixParam {
+  std::uint32_t n;
+  std::uint32_t f;
+  Adversary adversary;
+  Sched sched;
+  std::uint64_t seed;
+};
+
+std::vector<MatrixParam> matrix(std::initializer_list<Adversary> advs) {
+  std::vector<MatrixParam> out;
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> sizes = {
+      {4, 1}, {7, 2}, {10, 3}};
+  const std::vector<Sched> scheds = {Sched::kUniform, Sched::kJitter};
+  std::uint64_t seed = 1000;
+  for (const auto& [n, f] : sizes) {
+    for (Adversary a : advs) {
+      for (Sched s : scheds) {
+        for (int k = 0; k < 2; ++k) {
+          out.push_back(MatrixParam{n, f, a, s, seed++});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+class WtsMatrix : public ::testing::TestWithParam<MatrixParam> {};
+TEST_P(WtsMatrix, Holds) {
+  const auto p = GetParam();
+  harness::WtsScenario sc;
+  sc.n = p.n;
+  sc.f = p.f;
+  sc.byz_count = p.f;
+  sc.adversary = p.adversary;
+  sc.sched = p.sched;
+  sc.seed = p.seed;
+  const auto rep = harness::run_wts(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+}
+INSTANTIATE_TEST_SUITE_P(
+    M, WtsMatrix,
+    ::testing::ValuesIn(matrix({Adversary::kNone, Adversary::kMute,
+                                Adversary::kEquivocator,
+                                Adversary::kInvalidValue,
+                                Adversary::kStaleNacker,
+                                Adversary::kLyingAcker,
+                                Adversary::kFlooder})));
+
+class GwtsMatrix : public ::testing::TestWithParam<MatrixParam> {};
+TEST_P(GwtsMatrix, Holds) {
+  const auto p = GetParam();
+  harness::GwtsScenario sc;
+  sc.n = p.n;
+  sc.f = p.f;
+  sc.byz_count = p.f;
+  sc.adversary = p.adversary;
+  sc.sched = p.sched;
+  sc.seed = p.seed;
+  sc.target_decisions = 3;
+  sc.submissions_per_proc = 2;
+  const auto rep = harness::run_gwts(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+}
+INSTANTIATE_TEST_SUITE_P(
+    M, GwtsMatrix,
+    ::testing::ValuesIn(matrix({Adversary::kNone, Adversary::kMute,
+                                Adversary::kEquivocator,
+                                Adversary::kStaleNacker,
+                                Adversary::kRoundRusher,
+                                Adversary::kFlooder})));
+
+class SbsMatrix : public ::testing::TestWithParam<MatrixParam> {};
+TEST_P(SbsMatrix, Holds) {
+  const auto p = GetParam();
+  harness::SbsScenario sc;
+  sc.n = p.n;
+  sc.f = p.f;
+  sc.byz_count = p.f;
+  sc.adversary = p.adversary;
+  sc.sched = p.sched;
+  sc.seed = p.seed;
+  const auto rep = harness::run_sbs(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+}
+INSTANTIATE_TEST_SUITE_P(
+    M, SbsMatrix,
+    ::testing::ValuesIn(matrix({Adversary::kNone, Adversary::kMute,
+                                Adversary::kEquivocator,
+                                Adversary::kStaleNacker,
+                                Adversary::kFlooder})));
+
+class GsbsMatrix : public ::testing::TestWithParam<MatrixParam> {};
+TEST_P(GsbsMatrix, Holds) {
+  const auto p = GetParam();
+  harness::GsbsScenario sc;
+  sc.n = p.n;
+  sc.f = p.f;
+  sc.byz_count = p.f;
+  sc.adversary = p.adversary;
+  sc.sched = p.sched;
+  sc.seed = p.seed;
+  sc.target_decisions = 3;
+  sc.submissions_per_proc = 2;
+  const auto rep = harness::run_gsbs(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+}
+INSTANTIATE_TEST_SUITE_P(
+    M, GsbsMatrix,
+    ::testing::ValuesIn(matrix({Adversary::kNone, Adversary::kMute,
+                                Adversary::kEquivocator,
+                                Adversary::kFlooder})));
+
+class RsmMatrix : public ::testing::TestWithParam<MatrixParam> {};
+TEST_P(RsmMatrix, Holds) {
+  const auto p = GetParam();
+  harness::RsmScenario sc;
+  sc.n = p.n;
+  sc.f = p.f;
+  // Map the adversary slot onto the RSM fault dimensions.
+  sc.byz_replicas = p.adversary == Adversary::kNone ? 0 : p.f;
+  sc.with_byz_client = p.adversary == Adversary::kFlooder;
+  sc.sched = p.sched;
+  sc.seed = p.seed;
+  sc.num_clients = 2;
+  sc.ops_per_client = 4;
+  const auto rep = harness::run_rsm(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.check.ok()) << rep.check.diagnostic;
+}
+INSTANTIATE_TEST_SUITE_P(
+    M, RsmMatrix,
+    ::testing::ValuesIn(matrix(
+        {Adversary::kNone, Adversary::kMute, Adversary::kFlooder})));
+
+// Ablation-flag regressions: the ablated configurations stay *safe* even
+// where they lose liveness or efficiency.
+TEST(Ablations, PlainDisclosureStillSafeWithoutByz) {
+  la::LaConfig base;
+  base.n = 4;
+  base.f = 1;
+  base.reliable_disclosure = false;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    sim::Network net(std::make_unique<sim::UniformDelay>(1, 10), seed, 4);
+    std::vector<std::unique_ptr<la::WtsProcess>> procs;
+    for (ProcessId id = 0; id < 4; ++id) {
+      procs.push_back(std::make_unique<la::WtsProcess>(
+          net, id, base, lattice::make_singleton(100 + id)));
+    }
+    net.run();
+    std::vector<la::LaView> views;
+    for (const auto& p : procs) {
+      EXPECT_TRUE(p->decided());
+      la::LaView v;
+      v.id = p->id();
+      v.proposal = p->proposal();
+      if (p->decided()) v.decision = p->decision().value;
+      v.svs = p->svs();
+      views.push_back(std::move(v));
+    }
+    const auto res = la::check_la(views, {}, base.f);
+    EXPECT_TRUE(res.ok()) << res.diagnostic;
+  }
+}
+
+TEST(Ablations, NoAdoptionStillMeetsGlaSpec) {
+  la::LaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  cfg.decide_by_adoption = false;
+  sim::Network net(std::make_unique<sim::UniformDelay>(1, 10), 5, 4);
+  std::vector<std::unique_ptr<la::GwtsProcess>> procs;
+  for (ProcessId id = 0; id < 4; ++id) {
+    procs.push_back(std::make_unique<la::GwtsProcess>(net, id, cfg));
+  }
+  for (auto& p : procs) {
+    p->set_decide_hook(
+        [&](const la::GwtsProcess&, const la::DecisionRecord&) {
+          for (auto& q : procs) {
+            if (q->decisions().size() < 3) return;
+          }
+          net.request_stop();
+        });
+  }
+  net.inject(0, 0,
+             std::make_shared<la::SubmitMsg>(lattice::make_singleton(7)),
+             20);
+  const auto rr = net.run(10'000'000);
+  EXPECT_TRUE(rr.stopped);
+  std::vector<la::GlaView> views;
+  for (const auto& p : procs) {
+    la::GlaView v;
+    v.id = p->id();
+    v.submitted = p->submitted();
+    for (const auto& d : p->decisions()) v.decisions.push_back(d.value);
+    views.push_back(std::move(v));
+  }
+  const auto res = la::check_gla(views, lattice::Elem(), 3);
+  EXPECT_TRUE(res.ok()) << res.diagnostic;
+}
+
+}  // namespace
+}  // namespace bgla

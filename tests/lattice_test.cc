@@ -1,0 +1,321 @@
+// Lattice substrate tests: semilattice laws on every concrete family
+// (property-style via parameterized random sweeps), bottom semantics,
+// cross-family robustness, chain utilities, and the CRDT adapters with
+// the §3.1 set-lattice isomorphism.
+#include <gtest/gtest.h>
+
+#include "lattice/chain.h"
+#include "lattice/concepts.h"
+#include "lattice/crdt.h"
+#include "lattice/elem.h"
+#include "lattice/maxint_elem.h"
+#include "lattice/set_elem.h"
+#include "lattice/vclock_elem.h"
+#include "util/rng.h"
+
+namespace bgla::lattice {
+namespace {
+
+Elem random_set(Rng& rng) {
+  std::set<Item> items;
+  const std::size_t k = rng.uniform(0, 5);
+  for (std::size_t i = 0; i < k; ++i) {
+    items.insert(Item{rng.uniform(0, 4), rng.uniform(0, 4), 0});
+  }
+  return make_set(std::move(items));
+}
+
+Elem random_vclock(Rng& rng) {
+  std::map<ProcessId, std::uint64_t> clock;
+  const std::size_t k = rng.uniform(0, 4);
+  for (std::size_t i = 0; i < k; ++i) {
+    clock[static_cast<ProcessId>(rng.uniform(0, 3))] = rng.uniform(0, 6);
+  }
+  return make_vclock(std::move(clock));
+}
+
+Elem random_maxint(Rng& rng) { return make_maxint(rng.uniform(0, 50)); }
+
+using ElemGen = Elem (*)(Rng&);
+
+class LatticeLaws : public ::testing::TestWithParam<
+                        std::tuple<ElemGen, std::uint64_t>> {};
+
+TEST_P(LatticeLaws, JoinSemilatticeAxioms) {
+  auto [gen, seed] = GetParam();
+  Rng rng(seed);
+  for (int round = 0; round < 50; ++round) {
+    const Elem a = gen(rng), b = gen(rng), c = gen(rng);
+
+    // Idempotence, commutativity, associativity.
+    EXPECT_TRUE(a.join(a) == a);
+    EXPECT_TRUE(a.join(b) == b.join(a));
+    EXPECT_TRUE(a.join(b).join(c) == a.join(b.join(c)));
+
+    // Connection between ≤ and ⊕: u ≤ v ⟺ u ⊕ v = v (§3.1).
+    EXPECT_EQ(a.leq(b), a.join(b) == b);
+
+    // Join is an upper bound.
+    EXPECT_TRUE(a.leq(a.join(b)));
+    EXPECT_TRUE(b.leq(a.join(b)));
+
+    // Reflexivity and antisymmetry.
+    EXPECT_TRUE(a.leq(a));
+    if (a.leq(b) && b.leq(a)) {
+      EXPECT_TRUE(a == b);
+    }
+
+    // Transitivity.
+    if (a.leq(b) && b.leq(c)) {
+      EXPECT_TRUE(a.leq(c));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, LatticeLaws,
+    ::testing::Combine(::testing::Values<ElemGen>(&random_set,
+                                                  &random_vclock,
+                                                  &random_maxint),
+                       ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5)));
+
+TEST(Elem, BottomIsUniversalLeast) {
+  const Elem bot;
+  EXPECT_TRUE(bot.is_bottom());
+  for (const Elem& e :
+       {make_set({Item{1, 0, 0}}), make_maxint(3),
+        make_vclock({{0, 2}})}) {
+    EXPECT_TRUE(bot.leq(e));
+    EXPECT_FALSE(e.leq(bot));
+    EXPECT_TRUE(bot.join(e) == e);
+    EXPECT_TRUE(e.join(bot) == e);
+  }
+  EXPECT_TRUE(bot.leq(bot));
+  EXPECT_TRUE(bot == Elem());
+}
+
+TEST(Elem, CrossFamilyIncomparableNotCrash) {
+  const Elem s = make_set({Item{1, 0, 0}});
+  const Elem m = make_maxint(5);
+  EXPECT_FALSE(s.leq(m));
+  EXPECT_FALSE(m.leq(s));
+  EXPECT_FALSE(s == m);
+  EXPECT_FALSE(comparable(s, m));
+}
+
+TEST(Elem, CrossFamilyJoinThrows) {
+  const Elem s = make_set({Item{1, 0, 0}});
+  const Elem m = make_maxint(5);
+  EXPECT_THROW(s.join(m), CheckError);
+}
+
+TEST(Elem, DigestStableAndDiscriminating) {
+  const Elem a = make_set({Item{1, 2, 0}, Item{3, 4, 0}});
+  const Elem b = make_set({Item{3, 4, 0}, Item{1, 2, 0}});  // same set
+  const Elem c = make_set({Item{1, 2, 0}});
+  EXPECT_EQ(a.digest(), b.digest());  // canonical order
+  EXPECT_NE(a.digest(), c.digest());
+  EXPECT_NE(a.digest(), Elem().digest());
+}
+
+TEST(Elem, AsWrongFamilyThrows) {
+  const Elem s = make_set({Item{1, 0, 0}});
+  EXPECT_THROW(s.as<MaxIntElem>(), CheckError);
+  EXPECT_THROW(Elem().as<SetElem>(), CheckError);
+  EXPECT_EQ(s.as<SetElem>().items().size(), 1u);
+}
+
+TEST(SetElem, SubsetOrder) {
+  const Elem small = make_set({Item{1, 0, 0}});
+  const Elem big = make_set({Item{1, 0, 0}, Item{2, 0, 0}});
+  const Elem other = make_set({Item{3, 0, 0}});
+  EXPECT_TRUE(small.leq(big));
+  EXPECT_FALSE(big.leq(small));
+  EXPECT_FALSE(comparable(big, other));
+  EXPECT_EQ(big.weight(), 2u);
+}
+
+TEST(SetElem, AllItemsPredicate) {
+  const Elem e = make_set({Item{1, 10, 0}, Item{2, 20, 0}});
+  EXPECT_TRUE(all_items(e, [](const Item& it) { return it.b < 100; }));
+  EXPECT_FALSE(all_items(e, [](const Item& it) { return it.b < 15; }));
+  EXPECT_TRUE(all_items(Elem(), [](const Item&) { return false; }));
+}
+
+TEST(VClock, PointwiseOrder) {
+  const Elem a = make_vclock({{0, 1}, {1, 2}});
+  const Elem b = make_vclock({{0, 2}, {1, 2}});
+  const Elem c = make_vclock({{0, 0}, {1, 5}});
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+  EXPECT_FALSE(comparable(b, c));
+  EXPECT_EQ(vclock_sum(a.join(c)), 1 + 5);
+}
+
+TEST(VClock, ZeroEntriesCanonical) {
+  // {0:0} must equal {} (zero entries are not observable).
+  const Elem with_zero = make_vclock({{0, 0}});
+  const Elem empty = make_vclock({});
+  EXPECT_TRUE(with_zero == empty);
+  EXPECT_EQ(with_zero.digest(), empty.digest());
+}
+
+TEST(MaxInt, TotalOrder) {
+  const Elem a = make_maxint(3), b = make_maxint(7);
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_TRUE(comparable(a, b));
+  EXPECT_EQ(maxint_value(a.join(b)), 7u);
+}
+
+TEST(Chain, DetectsChainsAndAntichains) {
+  std::vector<Elem> chain = {
+      make_set({}), make_set({Item{1, 0, 0}}),
+      make_set({Item{1, 0, 0}, Item{2, 0, 0}})};
+  EXPECT_TRUE(is_chain(chain));
+  chain.push_back(make_set({Item{9, 0, 0}}));
+  EXPECT_FALSE(is_chain(chain));
+  const auto [i, j] = find_incomparable(chain);
+  EXPECT_GE(i, 0);
+  EXPECT_GT(j, i);
+}
+
+TEST(Chain, SortChainOrdersByLattice) {
+  std::vector<Elem> elems = {
+      make_set({Item{1, 0, 0}, Item{2, 0, 0}}),
+      make_set({}),
+      make_set({Item{1, 0, 0}}),
+  };
+  const auto sorted = sort_chain(elems);
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_TRUE(sorted[i - 1].leq(sorted[i]));
+  }
+}
+
+TEST(Chain, NonDecreasing) {
+  EXPECT_TRUE(is_non_decreasing({make_set({}), make_set({Item{1, 0, 0}}),
+                                 make_set({Item{1, 0, 0}})}));
+  EXPECT_FALSE(is_non_decreasing(
+      {make_set({Item{1, 0, 0}}), make_set({Item{2, 0, 0}})}));
+  EXPECT_TRUE(is_non_decreasing({}));
+}
+
+TEST(Crdt, GCounterAddAndMerge) {
+  GCounter a(0), b(1);
+  a.add(5);
+  b.add(7);
+  b.add(1);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(b.value(), 8u);
+  a.merge(b.state());
+  EXPECT_EQ(a.value(), 13u);
+  // Merge is idempotent.
+  a.merge(b.state());
+  EXPECT_EQ(a.value(), 13u);
+  // Convergence: merging the other way yields the same state.
+  b.merge(a.state());
+  EXPECT_TRUE(a.state() == b.state());
+}
+
+TEST(Crdt, GCounterSetLatticeIsomorphismPreservesOrder) {
+  // §3.1: the embedding into the set lattice preserves ≤ and ⊕.
+  GCounter a(0), b(0), c(1);
+  a.add(2);
+  b.add(3);
+  c.add(1);
+  const Elem ea = a.as_set_lattice();
+  const Elem eb = b.as_set_lattice();
+  const Elem ec = c.as_set_lattice();
+  EXPECT_TRUE(a.state().leq(b.state()));
+  EXPECT_TRUE(ea.leq(eb));  // order preserved
+  EXPECT_FALSE(comparable(a.state(), c.state()));
+  EXPECT_FALSE(comparable(ea, ec));  // incomparability preserved
+  // Join commutes with the embedding.
+  GCounter merged(0);
+  merged.merge(a.state());
+  merged.merge(c.state());
+  EXPECT_TRUE(merged.as_set_lattice() == ea.join(ec));
+}
+
+TEST(Crdt, GSetBasics) {
+  GSet a, b;
+  a.add(1);
+  a.add(2);
+  b.add(2);
+  b.add(9);
+  b.merge(a.state());
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_TRUE(b.contains(1));
+  EXPECT_TRUE(a.state().leq(b.state()));
+}
+
+}  // namespace
+}  // namespace bgla::lattice
+
+namespace bgla::lattice {
+namespace {
+
+// A user-defined static lattice: intervals [lo, hi] under convex hull.
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = -1;  // empty when hi < lo
+
+  bool empty() const { return hi < lo; }
+  Interval join(const Interval& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return Interval{std::min(lo, o.lo), std::max(hi, o.hi)};
+  }
+  bool leq(const Interval& o) const {
+    if (empty()) return true;
+    if (o.empty()) return false;
+    return o.lo <= lo && hi <= o.hi;
+  }
+  bool operator==(const Interval& o) const {
+    // All empty representations denote the same (bottom) element.
+    if (empty() || o.empty()) return empty() && o.empty();
+    return lo == o.lo && hi == o.hi;
+  }
+};
+
+static_assert(JoinSemilattice<Interval>);
+static_assert(JoinSemilattice<Elem>);
+
+TEST(Concepts, GenericAlgorithmsOnUserType) {
+  const Interval a{0, 2}, b{5, 9}, c{1, 3};
+  EXPECT_TRUE(satisfies_semilattice_laws(a, b, c));
+  const Interval hull = join_fold(Interval{}, std::vector{a, b, c});
+  EXPECT_EQ(hull, (Interval{0, 9}));
+  EXPECT_TRUE(comparable_v(a, hull));
+  EXPECT_FALSE(comparable_v(a, b));
+  EXPECT_TRUE(is_chain_v(std::vector{Interval{}, a, Interval{0, 3},
+                                     Interval{-1, 9}}));
+  EXPECT_FALSE(is_chain_v(std::vector{a, b}));
+  EXPECT_TRUE(is_non_decreasing_v(std::vector{Interval{}, a, hull}));
+  EXPECT_FALSE(is_non_decreasing_v(std::vector{hull, a}));
+}
+
+TEST(Concepts, IntervalLawsSweep) {
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    auto gen = [&rng]() {
+      const auto lo = static_cast<std::int64_t>(rng.uniform(0, 10));
+      const auto len = static_cast<std::int64_t>(rng.uniform(0, 5)) - 1;
+      return Interval{lo, lo + len};
+    };
+    EXPECT_TRUE(satisfies_semilattice_laws(gen(), gen(), gen()));
+  }
+}
+
+TEST(Concepts, ElemModelsTheConcept) {
+  // The runtime-erased Elem interoperates with the static algorithms.
+  const Elem a = make_set({Item{1, 0, 0}});
+  const Elem b = make_set({Item{2, 0, 0}});
+  const Elem ab = join_fold(Elem(), std::vector{a, b});
+  EXPECT_TRUE(a.leq(ab));
+  EXPECT_TRUE(satisfies_semilattice_laws(a, b, ab));
+  EXPECT_FALSE(is_chain_v(std::vector{a, b}));
+  EXPECT_TRUE(is_chain_v(std::vector{Elem(), a, ab}));
+}
+
+}  // namespace
+}  // namespace bgla::lattice

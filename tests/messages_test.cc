@@ -1,0 +1,237 @@
+// Wire-format tests: every message type has a deterministic canonical
+// encoding, digests discriminate between payloads and types, and
+// to_string renders (used in traces).
+#include <gtest/gtest.h>
+
+#include "bcast/bracha.h"
+#include "bcast/cert_rb.h"
+#include "la/gsbs_msgs.h"
+#include "la/messages.h"
+#include "la/sbs_msgs.h"
+#include "lattice/set_elem.h"
+#include "rsm/msgs.h"
+
+namespace bgla {
+namespace {
+
+using lattice::Elem;
+using lattice::Item;
+using lattice::make_set;
+
+Elem e1() { return make_set({Item{1, 2, 3}}); }
+Elem e2() { return make_set({Item{4, 5, 6}, Item{7, 8, 9}}); }
+
+void expect_canonical(const sim::Message& m) {
+  EXPECT_EQ(m.encoded(), m.encoded()) << m.to_string();
+  EXPECT_EQ(m.digest(), m.digest());
+  EXPECT_FALSE(m.to_string().empty());
+  EXPECT_FALSE(m.encoded().empty());
+}
+
+TEST(Messages, WtsFamily) {
+  const la::DisclosureMsg d(e1());
+  const la::AckReqMsg req(e1(), 3);
+  const la::AckMsg ack(e1(), 3);
+  const la::NackMsg nack(e2(), 3);
+  for (const sim::Message* m :
+       std::initializer_list<const sim::Message*>{&d, &req, &ack, &nack}) {
+    expect_canonical(*m);
+    EXPECT_EQ(m->layer(), sim::Layer::kAgreement);
+  }
+  // Same content, different types → different digests.
+  EXPECT_NE(ack.digest(), req.digest());
+  // Same type, different ts → different digests.
+  EXPECT_NE(la::AckMsg(e1(), 3).digest(), la::AckMsg(e1(), 4).digest());
+  EXPECT_NE(la::AckMsg(e1(), 3).digest(), la::AckMsg(e2(), 3).digest());
+}
+
+TEST(Messages, GwtsFamily) {
+  const la::GDisclosureMsg d(e1(), 2);
+  const la::GAckReqMsg req(e1(), 3, 2);
+  const la::GAckMsg ack(e1(), 0, 1, 3, 2);
+  const la::GNackMsg nack(e2(), 3, 2);
+  const la::SubmitMsg sub(e1());
+  for (const sim::Message* m : std::initializer_list<const sim::Message*>{
+           &d, &req, &ack, &nack, &sub}) {
+    expect_canonical(*m);
+  }
+  EXPECT_NE(la::GDisclosureMsg(e1(), 2).digest(),
+            la::GDisclosureMsg(e1(), 3).digest());
+  EXPECT_NE(la::GAckMsg(e1(), 0, 1, 3, 2).digest(),
+            la::GAckMsg(e1(), 0, 2, 3, 2).digest());
+}
+
+TEST(Messages, BrachaWrappers) {
+  const bcast::RbKey key{2, 7};
+  const auto inner = std::make_shared<la::DisclosureMsg>(e1());
+  const bcast::RbSendMsg snd(key, inner);
+  const bcast::RbEchoMsg echo(key, inner);
+  const bcast::RbReadyMsg ready(key, inner);
+  expect_canonical(snd);
+  expect_canonical(echo);
+  expect_canonical(ready);
+  EXPECT_EQ(snd.layer(), sim::Layer::kBroadcast);
+  // Send/echo/ready of the same payload must not collide.
+  EXPECT_NE(snd.digest(), echo.digest());
+  EXPECT_NE(echo.digest(), ready.digest());
+  // Different origins/tags must not collide.
+  EXPECT_NE(bcast::RbSendMsg({2, 7}, inner).digest(),
+            bcast::RbSendMsg({2, 8}, inner).digest());
+  EXPECT_NE(bcast::RbSendMsg({2, 7}, inner).digest(),
+            bcast::RbSendMsg({3, 7}, inner).digest());
+}
+
+TEST(Messages, SbsFamily) {
+  crypto::SignatureAuthority auth(4, 1);
+  const auto sv = la::make_signed_value(auth.signer_for(0), e1());
+  la::SignedValueSet set;
+  set.insert(sv);
+
+  const la::SInitMsg init(sv);
+  const la::SSafeReqMsg sreq(set);
+  const auto sig = auth.signer_for(1).sign(
+      la::SSafeAckMsg::signed_payload(set, {}, 1));
+  const la::SSafeAckMsg sack(set, {}, 1, sig);
+
+  la::SafeValueSet prop;
+  prop.insert(la::SafeValue{
+      sv, {std::make_shared<la::SSafeAckMsg>(set, std::vector<la::ConflictPair>{}, 1, sig)}});
+  const la::SAckReqMsg areq(prop, 5);
+  const la::SAckMsg aack(prop, 5);
+  const la::SNackMsg anack(prop, 5);
+
+  for (const sim::Message* m : std::initializer_list<const sim::Message*>{
+           &init, &sreq, &sack, &areq, &aack, &anack}) {
+    expect_canonical(*m);
+  }
+  EXPECT_TRUE(sack.verify(auth));
+}
+
+TEST(Messages, GsbsFamily) {
+  crypto::SignatureAuthority auth(4, 1);
+  const auto sb = la::make_signed_batch(auth.signer_for(0), e1(), 3);
+  la::SignedBatchSet set;
+  set.insert(sb);
+
+  const la::GSInitMsg init(sb);
+  const la::GSSafeReqMsg sreq(set, 3);
+  const auto sig = auth.signer_for(1).sign(
+      la::GSSafeAckMsg::signed_payload(set, {}, 1, 3));
+  const la::GSSafeAckMsg sack(set, {}, 1, 3, sig);
+
+  la::SafeBatchSet prop;
+  prop.insert(la::SafeBatch{
+      sb,
+      {std::make_shared<la::GSSafeAckMsg>(
+          set, std::vector<std::pair<la::SignedBatch, la::SignedBatch>>{},
+          1, 3, sig)}});
+  const la::GSAckReqMsg areq(prop, 5, 3);
+  const crypto::Digest fp = prop.fingerprint();
+  const auto asig =
+      auth.signer_for(2).sign(la::GSAckMsg::signed_payload(fp, 0, 5, 3));
+  const la::GSAckMsg ack(fp, 0, 5, 3, asig);
+  const la::GSNackMsg nack(prop, 5, 3);
+  const la::GSDecidedMsg decided(
+      prop, 0, 5, 3,
+      {std::make_shared<la::GSAckMsg>(fp, 0, 5, 3, asig)});
+
+  for (const sim::Message* m : std::initializer_list<const sim::Message*>{
+           &init, &sreq, &sack, &areq, &ack, &nack, &decided}) {
+    expect_canonical(*m);
+  }
+  EXPECT_TRUE(sack.verify(auth));
+  EXPECT_TRUE(ack.verify(auth));
+}
+
+TEST(Messages, RsmFamily) {
+  const rsm::UpdateMsg upd(Item{1, 2, 3});
+  const rsm::DecideMsg dec(e1(), 0);
+  const rsm::ConfReqMsg creq(e1());
+  const rsm::ConfRepMsg crep(e1(), 0);
+  for (const sim::Message* m : std::initializer_list<const sim::Message*>{
+           &upd, &dec, &creq, &crep}) {
+    expect_canonical(*m);
+    EXPECT_EQ(m->layer(), sim::Layer::kRsm);
+  }
+  EXPECT_NE(dec.digest(), crep.digest());
+}
+
+TEST(Messages, FaleiroFamily) {
+  const la::FAckReqMsg req(e1(), 1);
+  const la::FAckMsg ack(e1(), 1);
+  const la::FNackMsg nack(e1(), 1);
+  for (const sim::Message* m : std::initializer_list<const sim::Message*>{
+           &req, &ack, &nack}) {
+    expect_canonical(*m);
+  }
+}
+
+TEST(Messages, TypeIdsAreUnique) {
+  // Assemble one instance of every concrete message type and assert the
+  // type ids never collide (they partition the digest space).
+  crypto::SignatureAuthority auth(4, 1);
+  const auto sv = la::make_signed_value(auth.signer_for(0), e1());
+  la::SignedValueSet svset;
+  svset.insert(sv);
+  const auto sb = la::make_signed_batch(auth.signer_for(0), e1(), 0);
+  la::SignedBatchSet sbset;
+  sbset.insert(sb);
+  const auto inner = std::make_shared<la::DisclosureMsg>(e1());
+  const auto sig = auth.signer_for(1).sign(Bytes{});
+
+  std::vector<std::shared_ptr<sim::Message>> all = {
+      std::make_shared<bcast::CrbSendMsg>(bcast::CrbKey{0, 0}, inner),
+      std::make_shared<bcast::CrbEchoMsg>(bcast::CrbKey{0, 0},
+                                          crypto::Digest{}, sig),
+      std::make_shared<bcast::CrbFinalMsg>(
+          bcast::CrbKey{0, 0}, inner, std::vector<crypto::Signature>{}),
+      std::make_shared<bcast::RbSendMsg>(bcast::RbKey{0, 0}, inner),
+      std::make_shared<bcast::RbEchoMsg>(bcast::RbKey{0, 0}, inner),
+      std::make_shared<bcast::RbReadyMsg>(bcast::RbKey{0, 0}, inner),
+      std::make_shared<la::DisclosureMsg>(e1()),
+      std::make_shared<la::AckReqMsg>(e1(), 0),
+      std::make_shared<la::AckMsg>(e1(), 0),
+      std::make_shared<la::NackMsg>(e1(), 0),
+      std::make_shared<la::GDisclosureMsg>(e1(), 0),
+      std::make_shared<la::GAckReqMsg>(e1(), 0, 0),
+      std::make_shared<la::GAckMsg>(e1(), 0, 0, 0, 0),
+      std::make_shared<la::GNackMsg>(e1(), 0, 0),
+      std::make_shared<la::SubmitMsg>(e1()),
+      std::make_shared<la::FAckReqMsg>(e1(), 0),
+      std::make_shared<la::FAckMsg>(e1(), 0),
+      std::make_shared<la::FNackMsg>(e1(), 0),
+      std::make_shared<la::SInitMsg>(sv),
+      std::make_shared<la::SSafeReqMsg>(svset),
+      std::make_shared<la::SSafeAckMsg>(svset,
+                                        std::vector<la::ConflictPair>{}, 1,
+                                        sig),
+      std::make_shared<la::SAckReqMsg>(la::SafeValueSet{}, 0),
+      std::make_shared<la::SAckMsg>(la::SafeValueSet{}, 0),
+      std::make_shared<la::SNackMsg>(la::SafeValueSet{}, 0),
+      std::make_shared<la::GSInitMsg>(sb),
+      std::make_shared<la::GSSafeReqMsg>(sbset, 0),
+      std::make_shared<la::GSSafeAckMsg>(
+          sbset,
+          std::vector<std::pair<la::SignedBatch, la::SignedBatch>>{}, 1, 0,
+          sig),
+      std::make_shared<la::GSAckReqMsg>(la::SafeBatchSet{}, 0, 0),
+      std::make_shared<la::GSAckMsg>(crypto::Digest{}, 0, 0, 0, sig),
+      std::make_shared<la::GSNackMsg>(la::SafeBatchSet{}, 0, 0),
+      std::make_shared<la::GSDecidedMsg>(
+          la::SafeBatchSet{}, 0, 0, 0,
+          std::vector<std::shared_ptr<const la::GSAckMsg>>{}),
+      std::make_shared<rsm::UpdateMsg>(Item{0, 0, 0}),
+      std::make_shared<rsm::DecideMsg>(e1(), 0),
+      std::make_shared<rsm::ConfReqMsg>(e1()),
+      std::make_shared<rsm::ConfRepMsg>(e1(), 0),
+  };
+  std::set<std::uint32_t> ids;
+  for (const auto& m : all) {
+    EXPECT_TRUE(ids.insert(m->type_id()).second)
+        << "duplicate type id " << m->type_id() << " (" << m->to_string()
+        << ")";
+  }
+}
+
+}  // namespace
+}  // namespace bgla

@@ -1,0 +1,149 @@
+// Asynchrony-episode tests: the §3 model allows unbounded delays; the
+// partition/churn delay models make that concrete. Every protocol must
+// stay safe during a partition and regain liveness after it heals.
+#include <gtest/gtest.h>
+
+#include "la/gwts.h"
+#include "la/spec.h"
+#include "la/wts.h"
+#include "lattice/set_elem.h"
+#include "rsm/client.h"
+#include "rsm/history.h"
+#include "rsm/replica.h"
+#include "sim/network.h"
+
+namespace bgla {
+namespace {
+
+using lattice::Item;
+using lattice::make_set;
+
+class PartitionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionSweep, WtsDecidesAfterHeal) {
+  la::LaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  // 2|2 split (neither side has the n−f = 3 disclosure threshold): no
+  // decision can happen before the heal at t = 500.
+  sim::Network net(std::make_unique<sim::PartitionDelay>(2, 500),
+                   GetParam(), 4);
+  std::vector<std::unique_ptr<la::WtsProcess>> procs;
+  for (ProcessId id = 0; id < 4; ++id) {
+    procs.push_back(std::make_unique<la::WtsProcess>(
+        net, id, cfg, make_set({Item{id, 100 + id, 0}})));
+  }
+  const auto rr = net.run();
+  EXPECT_TRUE(rr.quiescent);
+
+  std::vector<la::LaView> views;
+  for (const auto& p : procs) {
+    ASSERT_TRUE(p->decided()) << "p" << p->id();
+    EXPECT_GE(p->decision().time, 500u)
+        << "decided across an open partition?!";
+    la::LaView v;
+    v.id = p->id();
+    v.proposal = p->proposal();
+    v.decision = p->decision().value;
+    v.svs = p->svs();
+    views.push_back(std::move(v));
+  }
+  const auto res = la::check_la(views, {}, cfg.f);
+  EXPECT_TRUE(res.ok()) << res.diagnostic;
+}
+
+TEST_P(PartitionSweep, GwtsRoundsSurviveChurn) {
+  la::LaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  // 1|3 split opening for 60 of every 150 ticks: the majority side keeps
+  // meeting quorums; the isolated process must catch up repeatedly.
+  sim::Network net(std::make_unique<sim::ChurnDelay>(1, 150, 60),
+                   GetParam(), 4);
+  std::vector<std::unique_ptr<la::GwtsProcess>> procs;
+  for (ProcessId id = 0; id < 4; ++id) {
+    procs.push_back(std::make_unique<la::GwtsProcess>(net, id, cfg));
+  }
+  for (auto& p : procs) {
+    p->set_decide_hook(
+        [&](const la::GwtsProcess&, const la::DecisionRecord&) {
+          for (auto& q : procs) {
+            if (q->decisions().size() < 4) return;
+            if (q->submitted().empty()) return;  // injection not arrived
+            const auto own = lattice::join_all(q->submitted());
+            if (!own.leq(q->decisions().back().value)) return;
+          }
+          net.request_stop();
+        });
+  }
+  for (ProcessId id = 0; id < 4; ++id) {
+    net.inject(id, id,
+               std::make_shared<la::SubmitMsg>(
+                   make_set({Item{id, 1, 0}})),
+               30 + 40 * id);
+  }
+  const auto rr = net.run(20'000'000);
+  EXPECT_TRUE(rr.stopped) << "GLA stalled under churn";
+
+  std::vector<la::GlaView> views;
+  for (const auto& p : procs) {
+    la::GlaView v;
+    v.id = p->id();
+    v.submitted = p->submitted();
+    for (const auto& d : p->decisions()) v.decisions.push_back(d.value);
+    views.push_back(std::move(v));
+  }
+  const auto res = la::check_gla(views, lattice::Elem(), 4);
+  EXPECT_TRUE(res.ok()) << res.diagnostic;
+}
+
+TEST_P(PartitionSweep, RsmOpsCompleteAfterHeal) {
+  la::LaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  sim::Network net(std::make_unique<sim::PartitionDelay>(2, 400),
+                   GetParam(), 4 + 1);
+  std::vector<std::unique_ptr<rsm::Replica>> replicas;
+  for (ProcessId id = 0; id < 4; ++id) {
+    replicas.push_back(
+        std::make_unique<rsm::Replica>(net, id, cfg, 4, 1));
+  }
+  rsm::Client client(net, 4, 4, 1,
+                     {rsm::Op::update(5), rsm::Op::read()});
+  client.set_op_hook([&](const rsm::Client& c, const rsm::OpRecord&) {
+    if (c.done()) net.request_stop();
+  });
+  const auto rr = net.run(20'000'000);
+  EXPECT_TRUE(rr.stopped) << "client ops stalled";
+  const auto check = rsm::check_history({client.history()});
+  EXPECT_TRUE(check.ok()) << check.diagnostic;
+  EXPECT_EQ(rsm::counter_value(client.history().back().read_value), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionSweep,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5));
+
+TEST(PartitionModel, CrossTrafficHeldUntilHeal) {
+  sim::PartitionDelay d(2, 100);
+  Rng rng(1);
+  // Crossing before the heal: arrival lands after t = 100.
+  EXPECT_GE(50 + d.delay(0, 3, 50, rng), 100u);
+  // Same side: fast.
+  EXPECT_LE(d.delay(0, 1, 50, rng), 3u);
+  // After the heal: fast.
+  EXPECT_LE(d.delay(0, 3, 200, rng), 3u);
+}
+
+TEST(ChurnModel, PeriodicCut) {
+  sim::ChurnDelay d(1, 100, 40);
+  Rng rng(1);
+  // Inside the open window, crossing traffic waits for the close.
+  EXPECT_GE(10 + d.delay(0, 2, 10, rng), 40u);
+  // Outside the window, crossing traffic is fast.
+  EXPECT_LE(d.delay(0, 2, 60, rng), 3u);
+  // Non-crossing always fast.
+  EXPECT_LE(d.delay(2, 3, 10, rng), 3u);
+}
+
+}  // namespace
+}  // namespace bgla

@@ -1,0 +1,366 @@
+// SbS (§8, Algorithms 8-10) tests: spec sweeps, the Theorem 8 delay bound
+// (≤ 4f+5 — no reliable broadcast, so no amplification slack needed), the
+// Lemma 16 refinement bound (≤ 2f), Lemma 13 (at most one safe value per
+// signer), blacklist behaviour, AllSafe proof validation against forged /
+// insufficient / duplicated proofs, and the message-size trade-off.
+#include <gtest/gtest.h>
+
+#include "byz/strategies.h"
+#include "harness/scenario.h"
+#include "la/sbs.h"
+#include "lattice/chain.h"
+#include "lattice/maxint_elem.h"
+#include "lattice/set_elem.h"
+
+namespace bgla {
+namespace {
+
+using harness::Adversary;
+using harness::SbsScenario;
+using harness::Sched;
+using la::SafeValue;
+using la::SafeValueSet;
+using la::SignedValue;
+using la::SignedValueSet;
+using lattice::Item;
+using lattice::make_set;
+
+struct SweepParam {
+  std::uint32_t n;
+  std::uint32_t f;
+  Adversary adversary;
+  Sched sched;
+  std::uint64_t seed;
+};
+
+class SbsSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SbsSweep, SpecAndBounds) {
+  const SweepParam p = GetParam();
+  SbsScenario sc;
+  sc.n = p.n;
+  sc.f = p.f;
+  sc.byz_count = p.f;
+  sc.adversary = p.adversary;
+  sc.sched = p.sched;
+  sc.seed = p.seed;
+  const auto rep = harness::run_sbs(sc);
+
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+  EXPECT_LE(rep.max_depth, 4 * p.f + 5);      // Theorem 8
+  EXPECT_LE(rep.max_refinements, 2 * p.f);    // Lemma 16
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NoFault, SbsSweep,
+    ::testing::Values(
+        SweepParam{4, 1, Adversary::kNone, Sched::kUniform, 1},
+        SweepParam{4, 1, Adversary::kNone, Sched::kFixed, 2},
+        SweepParam{7, 2, Adversary::kNone, Sched::kUniform, 3},
+        SweepParam{7, 2, Adversary::kNone, Sched::kJitter, 4},
+        SweepParam{10, 3, Adversary::kNone, Sched::kUniform, 5},
+        SweepParam{13, 4, Adversary::kNone, Sched::kTargeted, 6},
+        SweepParam{16, 5, Adversary::kNone, Sched::kUniform, 7}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Adversarial, SbsSweep,
+    ::testing::Values(
+        SweepParam{4, 1, Adversary::kMute, Sched::kUniform, 10},
+        SweepParam{4, 1, Adversary::kEquivocator, Sched::kUniform, 11},
+        SweepParam{4, 1, Adversary::kEquivocator, Sched::kJitter, 12},
+        SweepParam{4, 1, Adversary::kStaleNacker, Sched::kUniform, 13},
+        SweepParam{4, 1, Adversary::kFlooder, Sched::kUniform, 14},
+        SweepParam{7, 2, Adversary::kEquivocator, Sched::kUniform, 15},
+        SweepParam{7, 2, Adversary::kStaleNacker, Sched::kTargeted, 16},
+        SweepParam{7, 2, Adversary::kMute, Sched::kJitter, 17},
+        SweepParam{10, 3, Adversary::kEquivocator, Sched::kUniform, 18},
+        SweepParam{10, 3, Adversary::kStaleNacker, Sched::kUniform, 19}));
+
+class SbsSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SbsSeedSweep, DoubleSignerLemma13) {
+  // At most one of the equivocator's two values can ever be decided, and
+  // no two correct processes decide different values of the same signer.
+  SbsScenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.adversary = Adversary::kEquivocator;
+  sc.seed = GetParam();
+  const auto rep = harness::run_sbs(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SbsSeedSweep,
+                         ::testing::Range<std::uint64_t>(300, 312));
+
+TEST(Sbs, FakeConflictAckerGetsBlacklisted) {
+  la::LaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  // Stretch the correct acceptors' links to proposer 0 so the Byzantine
+  // fake-conflict ack is guaranteed to arrive while p0 is still in the
+  // safetying state (otherwise it is simply ignored — also fine, but then
+  // the blacklist path would be untested).
+  auto victims = std::set<std::pair<ProcessId, ProcessId>>{{1, 0}, {2, 0}};
+  sim::Network net(
+      std::make_unique<sim::TargetedDelay>(victims, 1, 80), 8, 4);
+  const crypto::SignatureAuthority auth(4, 5);
+  std::vector<std::unique_ptr<la::SbsProcess>> correct;
+  for (ProcessId id = 0; id < 3; ++id) {
+    correct.push_back(std::make_unique<la::SbsProcess>(
+        net, id, cfg, auth, make_set({Item{id, 1 + id, 0}})));
+  }
+  byz::SbsFakeConflictAcker byzp(net, 3, cfg, auth);
+  net.run();
+  for (auto& p : correct) {
+    ASSERT_TRUE(p->decided());
+    EXPECT_FALSE(p->marked_byz(0));
+    EXPECT_FALSE(p->marked_byz(1));
+    EXPECT_FALSE(p->marked_byz(2));
+  }
+  // Proposer 0 processed the fabricated conflicts while safetying — the
+  // invalid pairs fail VerifyConfPair and the sender is blacklisted
+  // (Alg 8 L23-24).
+  EXPECT_TRUE(correct[0]->marked_byz(3));
+}
+
+TEST(Sbs, DecisionsContainAtMostOneValuePerSigner) {
+  for (std::uint64_t seed : {1, 5, 9, 13}) {
+    SbsScenario sc;
+    sc.n = 7;
+    sc.f = 2;
+    sc.byz_count = 2;
+    sc.adversary = Adversary::kEquivocator;
+    sc.seed = seed;
+    const auto rep = harness::run_sbs(sc);
+    EXPECT_TRUE(rep.completed);
+    EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+  }
+}
+
+TEST(Sbs, MessageSizeTradeoff) {
+  // §8: SbS trades message count for message size. At equal (n, f) the
+  // per-process byte volume of SbS must exceed WTS's while the message
+  // count is lower (for large enough n).
+  harness::WtsScenario wsc;
+  wsc.n = 16;
+  wsc.f = 1;
+  wsc.byz_count = 1;
+  wsc.adversary = Adversary::kMute;
+  wsc.seed = 4;
+  const auto wts = harness::run_wts(wsc);
+
+  SbsScenario ssc;
+  ssc.n = 16;
+  ssc.f = 1;
+  ssc.byz_count = 1;
+  ssc.adversary = Adversary::kMute;
+  ssc.seed = 4;
+  const auto sbs = harness::run_sbs(ssc);
+
+  EXPECT_TRUE(wts.spec.ok());
+  EXPECT_TRUE(sbs.spec.ok());
+  EXPECT_LT(sbs.max_msgs_per_correct, wts.max_msgs_per_correct)
+      << "SbS should send fewer messages at f = O(1)";
+}
+
+// ---- AllSafe proof validation against fabricated evidence ----
+
+class AllSafeTest : public ::testing::Test {
+ protected:
+  AllSafeTest() : auth_(8, 77) {
+    cfg_.n = 7;
+    cfg_.f = 2;
+  }
+
+  SignedValue sv(ProcessId signer, std::uint64_t v) {
+    return la::make_signed_value(auth_.signer_for(signer),
+                                 make_set({Item{signer, v, 0}}));
+  }
+
+  /// A clean safe_ack from `acceptor` echoing `set` with no conflicts.
+  la::SafeAckPtr ack(ProcessId acceptor, const SignedValueSet& set) {
+    const auto sig = auth_.signer_for(acceptor).sign(
+        la::SSafeAckMsg::signed_payload(set, {}, acceptor));
+    return std::make_shared<la::SSafeAckMsg>(
+        set, std::vector<la::ConflictPair>{}, acceptor, sig);
+  }
+
+  la::LaConfig cfg_;
+  crypto::SignatureAuthority auth_;
+};
+
+TEST_F(AllSafeTest, AcceptsGenuineProof) {
+  SignedValueSet set;
+  const SignedValue v = sv(0, 5);
+  set.insert(v);
+  SafeValueSet proposal;
+  std::vector<la::SafeAckPtr> proof;
+  for (ProcessId a = 0; a < cfg_.quorum(); ++a) proof.push_back(ack(a, set));
+  proposal.insert(SafeValue{v, proof});
+  EXPECT_TRUE(la::SbsProcess::all_safe(proposal, cfg_, auth_));
+}
+
+TEST_F(AllSafeTest, RejectsSubQuorumProof) {
+  SignedValueSet set;
+  const SignedValue v = sv(0, 5);
+  set.insert(v);
+  SafeValueSet proposal;
+  std::vector<la::SafeAckPtr> proof;
+  for (ProcessId a = 0; a + 1 < cfg_.quorum(); ++a) {
+    proof.push_back(ack(a, set));
+  }
+  proposal.insert(SafeValue{v, proof});
+  EXPECT_FALSE(la::SbsProcess::all_safe(proposal, cfg_, auth_));
+}
+
+TEST_F(AllSafeTest, RejectsDuplicateAcceptors) {
+  SignedValueSet set;
+  const SignedValue v = sv(0, 5);
+  set.insert(v);
+  SafeValueSet proposal;
+  std::vector<la::SafeAckPtr> proof;
+  const auto same = ack(1, set);
+  for (std::uint32_t k = 0; k < cfg_.quorum(); ++k) proof.push_back(same);
+  proposal.insert(SafeValue{v, proof});
+  EXPECT_FALSE(la::SbsProcess::all_safe(proposal, cfg_, auth_));
+}
+
+TEST_F(AllSafeTest, RejectsAcksNotContainingValue) {
+  SignedValueSet with_v, without_v;
+  const SignedValue v = sv(0, 5);
+  with_v.insert(v);
+  without_v.insert(sv(1, 6));
+  SafeValueSet proposal;
+  std::vector<la::SafeAckPtr> proof;
+  for (ProcessId a = 0; a < cfg_.quorum(); ++a) {
+    proof.push_back(ack(a, without_v));  // echoes a set lacking v
+  }
+  proposal.insert(SafeValue{v, proof});
+  EXPECT_FALSE(la::SbsProcess::all_safe(proposal, cfg_, auth_));
+}
+
+TEST_F(AllSafeTest, RejectsConflictedValue) {
+  SignedValueSet set;
+  const SignedValue v = sv(0, 5);
+  const SignedValue v2 = sv(0, 6);  // same signer, different value
+  set.insert(v);
+  SafeValueSet proposal;
+  std::vector<la::SafeAckPtr> proof;
+  for (ProcessId a = 0; a < cfg_.quorum(); ++a) {
+    if (a == 0) {
+      std::vector<la::ConflictPair> conflicts{{v, v2}};
+      const auto sig = auth_.signer_for(a).sign(
+          la::SSafeAckMsg::signed_payload(set, conflicts, a));
+      proof.push_back(std::make_shared<la::SSafeAckMsg>(
+          set, conflicts, a, sig));
+    } else {
+      proof.push_back(ack(a, set));
+    }
+  }
+  proposal.insert(SafeValue{v, proof});
+  EXPECT_FALSE(la::SbsProcess::all_safe(proposal, cfg_, auth_));
+}
+
+TEST_F(AllSafeTest, RejectsForgedAckSignature) {
+  SignedValueSet set;
+  const SignedValue v = sv(0, 5);
+  set.insert(v);
+  SafeValueSet proposal;
+  std::vector<la::SafeAckPtr> proof;
+  for (ProcessId a = 0; a < cfg_.quorum(); ++a) {
+    if (a == 2) {
+      // Signature produced by process 6 but the ack claims acceptor 2.
+      const auto sig = auth_.signer_for(6).sign(
+          la::SSafeAckMsg::signed_payload(set, {}, a));
+      proof.push_back(std::make_shared<la::SSafeAckMsg>(
+          set, std::vector<la::ConflictPair>{}, a, sig));
+    } else {
+      proof.push_back(ack(a, set));
+    }
+  }
+  proposal.insert(SafeValue{v, proof});
+  EXPECT_FALSE(la::SbsProcess::all_safe(proposal, cfg_, auth_));
+}
+
+TEST_F(AllSafeTest, RejectsInadmissibleValueDespiteProof) {
+  cfg_.is_admissible = [](const lattice::Elem& e) {
+    return lattice::all_items(e,
+                              [](const Item& it) { return it.b < 3; });
+  };
+  SignedValueSet set;
+  const SignedValue v = sv(0, 5);  // b = 5 ≥ 3: not in E
+  set.insert(v);
+  SafeValueSet proposal;
+  std::vector<la::SafeAckPtr> proof;
+  for (ProcessId a = 0; a < cfg_.quorum(); ++a) proof.push_back(ack(a, set));
+  proposal.insert(SafeValue{v, proof});
+  EXPECT_FALSE(la::SbsProcess::all_safe(proposal, cfg_, auth_));
+}
+
+TEST(SbsValueSets, ConflictDetectionAndRemoval) {
+  crypto::SignatureAuthority auth(4, 3);
+  SignedValueSet set;
+  const auto a1 = la::make_signed_value(auth.signer_for(0),
+                                        make_set({Item{0, 1, 0}}));
+  const auto a2 = la::make_signed_value(auth.signer_for(0),
+                                        make_set({Item{0, 2, 0}}));
+  const auto b = la::make_signed_value(auth.signer_for(1),
+                                       make_set({Item{1, 1, 0}}));
+  set.insert(a1);
+  set.insert(a2);
+  set.insert(b);
+  EXPECT_EQ(set.conflicts(auth).size(), 1u);
+  set.remove_conflicts(auth);
+  EXPECT_EQ(set.size(), 1u);  // only b survives
+  EXPECT_TRUE(set.contains(b.key()));
+}
+
+TEST(SbsValueSets, FingerprintIgnoresProofIdentity) {
+  crypto::SignatureAuthority auth(4, 3);
+  const auto v = la::make_signed_value(auth.signer_for(0),
+                                       make_set({Item{0, 1, 0}}));
+  SafeValueSet s1, s2;
+  s1.insert(SafeValue{v, {}});
+  s2.insert(SafeValue{v, {}});
+  EXPECT_TRUE(s1.same_as(s2));
+  EXPECT_TRUE(s1.leq(s2));
+}
+
+}  // namespace
+}  // namespace bgla
+
+namespace bgla {
+namespace {
+
+TEST(Sbs, RunsOnMaxIntLattice) {
+  // Lattice generality of the signature-based algorithm: identical code
+  // on the totally ordered max-int family.
+  la::LaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  cfg.expected_kind = "maxint";
+  const crypto::SignatureAuthority auth(4, 17);
+  sim::Network net(std::make_unique<sim::UniformDelay>(1, 10), 17, 4);
+  std::vector<std::unique_ptr<la::SbsProcess>> procs;
+  for (ProcessId id = 0; id < 4; ++id) {
+    procs.push_back(std::make_unique<la::SbsProcess>(
+        net, id, cfg, auth, lattice::make_maxint(10 * (id + 1))));
+  }
+  const auto rr = net.run();
+  EXPECT_TRUE(rr.quiescent);
+  std::vector<lattice::Elem> decisions;
+  for (const auto& p : procs) {
+    ASSERT_TRUE(p->decided());
+    decisions.push_back(p->decision().value);
+    EXPECT_GE(lattice::maxint_value(p->decision().value),
+              10 * (p->id() + 1));
+    EXPECT_LE(lattice::maxint_value(p->decision().value), 40u);
+  }
+  EXPECT_TRUE(lattice::is_chain(decisions));
+}
+
+}  // namespace
+}  // namespace bgla

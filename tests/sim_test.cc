@@ -1,0 +1,258 @@
+// Simulator tests: deterministic event ordering, causal depth accounting,
+// reliability (no loss), self-delivery semantics, metrics, delay models,
+// injection and stop control.
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+
+namespace bgla::sim {
+namespace {
+
+class PingMsg final : public Message {
+ public:
+  explicit PingMsg(std::uint32_t hops_left) : hops_left(hops_left) {}
+  std::uint32_t type_id() const override { return 900; }
+  Layer layer() const override { return Layer::kOther; }
+  void encode_payload(Encoder& enc) const override {
+    enc.put_u32(hops_left);
+  }
+  std::string to_string() const override { return "PING"; }
+  std::uint32_t hops_left;
+};
+
+/// Forwards a ping to the next process in the ring until hops run out;
+/// records the depth observed at each delivery.
+class RingProcess : public Process {
+ public:
+  RingProcess(Network& net, ProcessId id, std::uint32_t n, bool initiator)
+      : Process(net, id), n_(n), initiator_(initiator) {}
+
+  void on_start() override {
+    if (initiator_) {
+      send((id() + 1) % n_, std::make_shared<PingMsg>(5));
+    }
+  }
+
+  void on_message(ProcessId, const MessagePtr& msg) override {
+    const auto* ping = dynamic_cast<const PingMsg*>(msg.get());
+    ASSERT_NE(ping, nullptr);
+    depths.push_back(net().current_depth());
+    if (ping->hops_left > 0) {
+      send((id() + 1) % n_, std::make_shared<PingMsg>(ping->hops_left - 1));
+    }
+  }
+
+  std::vector<std::uint64_t> depths;
+
+ private:
+  std::uint32_t n_;
+  bool initiator_;
+};
+
+TEST(Sim, DepthCountsCausalChain) {
+  Network net(std::make_unique<FixedDelay>(3), 1, 3);
+  RingProcess p0(net, 0, 3, true), p1(net, 1, 3, false),
+      p2(net, 2, 3, false);
+  const RunResult rr = net.run();
+  EXPECT_TRUE(rr.quiescent);
+  // Hop k arrives with depth k (1-based).
+  std::vector<std::uint64_t> all;
+  for (auto* p : {&p0, &p1, &p2}) {
+    all.insert(all.end(), p->depths.begin(), p->depths.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6}));
+  // Time advanced 3 ticks per hop.
+  EXPECT_EQ(rr.end_time, 6u * 3u);
+}
+
+class SelfEcho : public Process {
+ public:
+  SelfEcho(Network& net, ProcessId id) : Process(net, id) {}
+  void on_start() override { send(id(), std::make_shared<PingMsg>(0)); }
+  void on_message(ProcessId from, const MessagePtr&) override {
+    EXPECT_EQ(from, id());
+    depth_seen = net().current_depth();
+    time_seen = net().now();
+    ++deliveries;
+  }
+  std::uint64_t depth_seen = 99, time_seen = 99;
+  int deliveries = 0;
+};
+
+TEST(Sim, SelfDeliveryIsDepthNeutralInstantAndUnmetered) {
+  Network net(std::make_unique<FixedDelay>(10), 1, 1);
+  SelfEcho p(net, 0);
+  net.run();
+  EXPECT_EQ(p.deliveries, 1);
+  EXPECT_EQ(p.depth_seen, 0u);  // no network hop
+  EXPECT_EQ(p.time_seen, 0u);
+  EXPECT_EQ(net.metrics().total_messages(), 0u);  // not metered
+}
+
+TEST(Sim, DeterministicAcrossRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    Network net(std::make_unique<UniformDelay>(1, 50), seed, 3);
+    RingProcess p0(net, 0, 3, true), p1(net, 1, 3, false),
+        p2(net, 2, 3, false);
+    const RunResult rr = net.run();
+    return std::make_tuple(rr.end_time, rr.events, p1.depths);
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  EXPECT_NE(std::get<0>(run_once(7)), std::get<0>(run_once(8)));
+}
+
+TEST(Sim, ReliableDelivery) {
+  // Every sent message is delivered exactly once (no loss, no dup).
+  Network net(std::make_unique<UniformDelay>(1, 9), 3, 2);
+
+  class Sender : public Process {
+   public:
+    Sender(Network& net, ProcessId id) : Process(net, id) {}
+    void on_start() override {
+      for (int i = 0; i < 100; ++i) {
+        send(1, std::make_shared<PingMsg>(0));
+      }
+    }
+    void on_message(ProcessId, const MessagePtr&) override {}
+  };
+  class Counter : public Process {
+   public:
+    Counter(Network& net, ProcessId id) : Process(net, id) {}
+    void on_message(ProcessId, const MessagePtr&) override { ++count; }
+    int count = 0;
+  };
+
+  Sender s(net, 0);
+  Counter c(net, 1);
+  net.run();
+  EXPECT_EQ(c.count, 100);
+  EXPECT_EQ(net.metrics().total_messages(), 100u);
+  EXPECT_EQ(net.metrics().messages_sent(0), 100u);
+  EXPECT_EQ(net.metrics().messages_sent(0, Layer::kOther), 100u);
+  EXPECT_EQ(net.metrics().messages_sent(0, Layer::kAgreement), 0u);
+  EXPECT_GT(net.metrics().bytes_sent(0), 0u);
+}
+
+TEST(Sim, InjectDeliversAtRequestedTime) {
+  Network net(std::make_unique<FixedDelay>(1), 1, 1);
+  class Recorder : public Process {
+   public:
+    Recorder(Network& net, ProcessId id) : Process(net, id) {}
+    void on_message(ProcessId from, const MessagePtr&) override {
+      times.push_back(net().now());
+      froms.push_back(from);
+    }
+    std::vector<Time> times;
+    std::vector<ProcessId> froms;
+  };
+  Recorder r(net, 0);
+  net.inject(42, 0, std::make_shared<PingMsg>(0), 100);
+  net.inject(43, 0, std::make_shared<PingMsg>(0), 50);
+  net.run();
+  ASSERT_EQ(r.times.size(), 2u);
+  EXPECT_EQ(r.times[0], 50u);   // time order, not insertion order
+  EXPECT_EQ(r.froms[0], 43u);
+  EXPECT_EQ(r.times[1], 100u);
+}
+
+TEST(Sim, RequestStopHaltsRun) {
+  Network net(std::make_unique<FixedDelay>(1), 1, 2);
+  class Chatter : public Process {
+   public:
+    Chatter(Network& net, ProcessId id) : Process(net, id) {}
+    void on_start() override { send(1 - id(), std::make_shared<PingMsg>(0)); }
+    void on_message(ProcessId from, const MessagePtr&) override {
+      ++seen;
+      if (seen == 10 && id() == 0) net().request_stop();
+      send(from, std::make_shared<PingMsg>(0));  // infinite ping-pong
+    }
+    int seen = 0;
+  };
+  Chatter a(net, 0), b(net, 1);
+  const RunResult rr = net.run();
+  EXPECT_TRUE(rr.stopped);
+  EXPECT_FALSE(rr.quiescent);
+  EXPECT_EQ(a.seen, 10);
+}
+
+TEST(Sim, MaxEventsBoundsRunawayRuns) {
+  Network net(std::make_unique<FixedDelay>(1), 1, 2);
+  class Chatter : public Process {
+   public:
+    Chatter(Network& net, ProcessId id) : Process(net, id) {}
+    void on_start() override { send(1 - id(), std::make_shared<PingMsg>(0)); }
+    void on_message(ProcessId from, const MessagePtr&) override {
+      send(from, std::make_shared<PingMsg>(0));
+    }
+  };
+  Chatter a(net, 0), b(net, 1);
+  const RunResult rr = net.run(/*max_events=*/500);
+  EXPECT_FALSE(rr.quiescent);
+  EXPECT_EQ(rr.events, 500u);
+}
+
+TEST(Sim, ObserverSeesEveryDelivery) {
+  Network net(std::make_unique<FixedDelay>(2), 1, 2);
+  int observed = 0;
+  net.set_observer([&](Time, ProcessId, ProcessId, std::uint64_t,
+                       const MessagePtr&) { ++observed; });
+  class OneShot : public Process {
+   public:
+    OneShot(Network& net, ProcessId id) : Process(net, id) {}
+    void on_start() override {
+      if (id() == 0) send(1, std::make_shared<PingMsg>(0));
+    }
+    void on_message(ProcessId, const MessagePtr&) override {}
+  };
+  OneShot a(net, 0), b(net, 1);
+  net.run();
+  EXPECT_EQ(observed, 1);
+}
+
+TEST(Delay, TargetedStretchesVictimPairsOnly) {
+  TargetedDelay d({{0, 1}}, 1, 100);
+  Rng rng(1);
+  EXPECT_EQ(d.delay(0, 1, 0, rng), 100u);
+  EXPECT_EQ(d.delay(1, 0, 0, rng), 1u);  // direction matters
+  EXPECT_EQ(d.delay(0, 2, 0, rng), 1u);
+}
+
+TEST(Delay, UniformWithinBounds) {
+  UniformDelay d(5, 9);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Time t = d.delay(0, 1, 0, rng);
+    EXPECT_GE(t, 5u);
+    EXPECT_LE(t, 9u);
+  }
+}
+
+TEST(Delay, JitterSpikes) {
+  JitterDelay d(5, 1000, 0.5);
+  Rng rng(1);
+  bool saw_spike = false, saw_fast = false;
+  for (int i = 0; i < 100; ++i) {
+    const Time t = d.delay(0, 1, 0, rng);
+    if (t == 1000) saw_spike = true;
+    if (t <= 6) saw_fast = true;
+  }
+  EXPECT_TRUE(saw_spike);
+  EXPECT_TRUE(saw_fast);
+}
+
+TEST(Sim, ProcessesMustAttachInIdOrder) {
+  Network net(std::make_unique<FixedDelay>(1), 1, 2);
+  SelfEcho p0(net, 0);
+  EXPECT_THROW(SelfEcho bad(net, 5), CheckError);
+}
+
+TEST(Message, DigestBindsTypeAndPayload) {
+  const PingMsg a(1), b(2);
+  EXPECT_NE(a.digest(), b.digest());
+  const PingMsg a2(1);
+  EXPECT_EQ(a.digest(), a2.digest());
+}
+
+}  // namespace
+}  // namespace bgla::sim

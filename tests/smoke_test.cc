@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+#include "harness/scenario.h"
+
+using namespace bgla;
+
+TEST(Smoke, WtsNoFault) {
+  harness::WtsScenario sc;
+  sc.n = 4; sc.f = 1; sc.adversary = harness::Adversary::kNone;
+  auto rep = harness::run_wts(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+  EXPECT_LE(rep.max_depth, 2 * sc.f + 5);
+}
+
+TEST(Smoke, WtsEquivocator) {
+  harness::WtsScenario sc;
+  sc.n = 4; sc.f = 1; sc.adversary = harness::Adversary::kEquivocator;
+  auto rep = harness::run_wts(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+}
+
+TEST(Smoke, Gwts) {
+  harness::GwtsScenario sc;
+  sc.n = 4; sc.f = 1; sc.adversary = harness::Adversary::kNone;
+  sc.target_decisions = 4;
+  auto rep = harness::run_gwts(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+}
+
+TEST(Smoke, GwtsStaleNacker) {
+  harness::GwtsScenario sc;
+  sc.n = 7; sc.f = 2; sc.byz_count = 2;
+  sc.adversary = harness::Adversary::kStaleNacker;
+  sc.target_decisions = 3;
+  auto rep = harness::run_gwts(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+}
+
+TEST(Smoke, FaleiroCleanAndViolation) {
+  harness::FaleiroScenario sc;
+  sc.n = 3; sc.f = 1;
+  auto rep = harness::run_faleiro(sc);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+
+  sc.byz_lying_acker = true;
+  sc.sched = harness::Sched::kTargeted;
+  auto rep2 = harness::run_faleiro(sc);
+  EXPECT_FALSE(rep2.spec.comparability);  // the T7 violation
+}
+
+TEST(Smoke, SbsNoFault) {
+  harness::SbsScenario sc;
+  sc.n = 4; sc.f = 1; sc.adversary = harness::Adversary::kNone;
+  auto rep = harness::run_sbs(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+  EXPECT_LE(rep.max_depth, 4 * sc.f + 5);
+}
+
+TEST(Smoke, SbsDoubleSigner) {
+  harness::SbsScenario sc;
+  sc.n = 7; sc.f = 2; sc.byz_count = 2;
+  sc.adversary = harness::Adversary::kEquivocator;
+  auto rep = harness::run_sbs(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+  EXPECT_LE(rep.max_refinements, 2 * sc.f);
+}
+
+TEST(Smoke, SbsFakeConflict) {
+  harness::SbsScenario sc;
+  sc.n = 4; sc.f = 1; sc.adversary = harness::Adversary::kStaleNacker;
+  auto rep = harness::run_sbs(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+}
+
+TEST(Smoke, RsmClean) {
+  harness::RsmScenario sc;
+  sc.n = 4; sc.f = 1; sc.num_clients = 2; sc.ops_per_client = 4;
+  auto rep = harness::run_rsm(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.check.ok()) << rep.check.diagnostic;
+}
+
+TEST(Smoke, RsmByzantine) {
+  harness::RsmScenario sc;
+  sc.n = 4; sc.f = 1; sc.byz_replicas = 1; sc.with_byz_client = true;
+  sc.num_clients = 2; sc.ops_per_client = 4;
+  auto rep = harness::run_rsm(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.check.ok()) << rep.check.diagnostic;
+}
+
+TEST(Smoke, Gsbs) {
+  harness::GsbsScenario sc;
+  sc.n = 4; sc.f = 1; sc.adversary = harness::Adversary::kNone;
+  sc.target_decisions = 4;
+  auto rep = harness::run_gsbs(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+}
+
+TEST(Smoke, GsbsDoubleSigner) {
+  harness::GsbsScenario sc;
+  sc.n = 4; sc.f = 1; sc.adversary = harness::Adversary::kEquivocator;
+  sc.target_decisions = 3;
+  auto rep = harness::run_gsbs(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+}

@@ -1,0 +1,215 @@
+// Tests for the executable specifications themselves: every property of
+// §3.1 / §6.1 must be *detectable* — we hand the checkers synthetic views
+// containing exactly one violation and assert it is flagged with the right
+// bit, and that clean views pass.
+#include <gtest/gtest.h>
+
+#include "la/spec.h"
+#include "lattice/set_elem.h"
+
+namespace bgla::la {
+namespace {
+
+using lattice::Item;
+using lattice::make_set;
+
+Elem s(std::initializer_list<std::uint64_t> xs) {
+  std::set<Item> items;
+  for (auto x : xs) items.insert(Item{x, 0, 0});
+  return make_set(std::move(items));
+}
+
+LaView view(ProcessId id, Elem proposal, Elem decision) {
+  LaView v;
+  v.id = id;
+  v.proposal = std::move(proposal);
+  v.decision = std::move(decision);
+  return v;
+}
+
+TEST(LaSpec, CleanRunPasses) {
+  std::vector<LaView> views = {
+      view(0, s({1}), s({1, 2})),
+      view(1, s({2}), s({1, 2})),
+      view(2, s({3}), s({1, 2, 3})),
+  };
+  const auto res = check_la(views, {}, 0);
+  EXPECT_TRUE(res.ok()) << res.diagnostic;
+}
+
+TEST(LaSpec, DetectsMissingDecision) {
+  std::vector<LaView> views = {view(0, s({1}), s({1}))};
+  views.push_back({});
+  views.back().id = 1;
+  views.back().proposal = s({2});  // no decision
+  const auto res = check_la(views, {}, 0);
+  EXPECT_FALSE(res.liveness);
+  EXPECT_NE(res.diagnostic.find("liveness"), std::string::npos);
+}
+
+TEST(LaSpec, DetectsIncomparableDecisions) {
+  std::vector<LaView> views = {
+      view(0, s({1}), s({1})),
+      view(1, s({2}), s({2})),
+  };
+  const auto res = check_la(views, {}, 0);
+  EXPECT_FALSE(res.comparability);
+  EXPECT_TRUE(res.liveness);
+}
+
+TEST(LaSpec, DetectsInclusivityViolation) {
+  std::vector<LaView> views = {
+      view(0, s({1}), s({2})),  // own proposal missing
+      view(1, s({2}), s({2})),
+  };
+  const auto res = check_la(views, {}, 0);
+  EXPECT_FALSE(res.inclusivity);
+}
+
+TEST(LaSpec, DetectsValueFromNowhere) {
+  std::vector<LaView> views = {
+      view(0, s({1}), s({1, 99})),  // 99 proposed by nobody
+      view(1, s({2}), s({1, 2, 99})),
+  };
+  const auto res = check_la(views, {}, 0);
+  EXPECT_FALSE(res.non_triviality);
+}
+
+TEST(LaSpec, AllowsByzantineValuesUpToF) {
+  // 99 was disclosed by Byzantine process 2 (appears in SvS views).
+  std::vector<LaView> views = {
+      view(0, s({1}), s({1, 99})),
+      view(1, s({2}), s({1, 2, 99})),
+  };
+  views[0].svs[2] = s({99});
+  views[1].svs[2] = s({99});
+  const auto res = check_la(views, {2}, /*f=*/1);
+  EXPECT_TRUE(res.ok()) << res.diagnostic;
+}
+
+TEST(LaSpec, FlagsMoreThanFByzantineValues) {
+  std::vector<LaView> views = {
+      view(0, s({1}), s({1, 98, 99})),
+  };
+  views[0].svs[2] = s({98});
+  views[0].svs[3] = s({99});
+  const auto res = check_la(views, {2, 3}, /*f=*/1);  // |B| = 2 > f = 1
+  EXPECT_FALSE(res.non_triviality);
+}
+
+TEST(LaSpec, FlagsInconsistentByzantineDisclosure) {
+  // Two correct processes attribute different values to the same
+  // Byzantine — reliable broadcast should have made that impossible.
+  std::vector<LaView> views = {
+      view(0, s({1}), s({1})),
+      view(1, s({2}), s({1, 2})),
+  };
+  views[0].svs[3] = s({71});
+  views[1].svs[3] = s({72});
+  const auto res = check_la(views, {3}, 1);
+  EXPECT_FALSE(res.non_triviality);
+}
+
+TEST(LaSpec, FlagsInadmissibleByzantineValue) {
+  std::vector<LaView> views = {
+      view(0, s({1}), s({1, 999})),
+  };
+  views[0].svs[2] = s({999});
+  const auto admissible = [](const Elem& e) {
+    return lattice::all_items(e,
+                              [](const Item& it) { return it.a < 100; });
+  };
+  const auto res = check_la(views, {2}, 1, admissible);
+  EXPECT_FALSE(res.non_triviality);
+}
+
+TEST(LaSpec, BottomProposalNeedsNoInclusion) {
+  std::vector<LaView> views = {
+      view(0, Elem(), s({2})),  // pure acceptor
+      view(1, s({2}), s({2})),
+  };
+  const auto res = check_la(views, {}, 0);
+  EXPECT_TRUE(res.ok()) << res.diagnostic;
+}
+
+// ---- generalised checker ----
+
+GlaView gview(ProcessId id, std::vector<Elem> submitted,
+              std::vector<Elem> decisions) {
+  GlaView v;
+  v.id = id;
+  v.submitted = std::move(submitted);
+  v.decisions = std::move(decisions);
+  return v;
+}
+
+TEST(GlaSpec, CleanRunPasses) {
+  std::vector<GlaView> views = {
+      gview(0, {s({1})}, {s({1}), s({1, 2})}),
+      gview(1, {s({2})}, {s({1, 2})}),
+  };
+  const auto res = check_gla(views, Elem(), 1);
+  EXPECT_TRUE(res.ok()) << res.diagnostic;
+}
+
+TEST(GlaSpec, DetectsTooFewDecisions) {
+  std::vector<GlaView> views = {gview(0, {}, {s({1})})};
+  const auto res = check_gla(views, Elem(), 3);
+  EXPECT_FALSE(res.liveness);
+}
+
+TEST(GlaSpec, DetectsDecreasingSequence) {
+  std::vector<GlaView> views = {
+      gview(0, {}, {s({1, 2}), s({1})}),  // shrank
+  };
+  const auto res = check_gla(views, s({1, 2}), 1);
+  EXPECT_FALSE(res.local_stability);
+}
+
+TEST(GlaSpec, DetectsCrossProcessIncomparability) {
+  std::vector<GlaView> views = {
+      gview(0, {s({1})}, {s({1})}),
+      gview(1, {s({2})}, {s({2})}),
+  };
+  const auto res = check_gla(views, Elem(), 1);
+  EXPECT_FALSE(res.comparability);
+}
+
+TEST(GlaSpec, DetectsMissingSubmission) {
+  std::vector<GlaView> views = {
+      gview(0, {s({1}), s({5})}, {s({1})}),  // 5 never decided
+  };
+  const auto res = check_gla(views, Elem(), 1);
+  EXPECT_FALSE(res.inclusivity);
+}
+
+TEST(GlaSpec, DetectsUnattributedValues) {
+  std::vector<GlaView> views = {
+      gview(0, {s({1})}, {s({1, 50})}),  // 50 from nowhere
+  };
+  const auto res = check_gla(views, Elem(), 1);
+  EXPECT_FALSE(res.non_triviality);
+}
+
+TEST(GlaSpec, ByzantineDisclosureBudgetAccepted) {
+  std::vector<GlaView> views = {
+      gview(0, {s({1})}, {s({1, 50})}),
+  };
+  const auto res = check_gla(views, /*byz_disclosed=*/s({50}), 1);
+  EXPECT_TRUE(res.ok()) << res.diagnostic;
+}
+
+TEST(GlaSpec, EmptyViewsPass) {
+  const auto res = check_gla({}, Elem(), 0);
+  EXPECT_TRUE(res.ok());
+}
+
+TEST(GlaSpec, SafeIgnoresLiveness) {
+  std::vector<GlaView> views = {gview(0, {}, {})};
+  const auto res = check_gla(views, Elem(), 5);
+  EXPECT_FALSE(res.liveness);
+  EXPECT_TRUE(res.safe());
+}
+
+}  // namespace
+}  // namespace bgla::la

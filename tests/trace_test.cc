@@ -1,0 +1,89 @@
+// Tracer tests: format, layer filtering, and line caps.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "la/wts.h"
+#include "lattice/set_elem.h"
+#include "sim/trace.h"
+
+namespace bgla {
+namespace {
+
+using lattice::Item;
+using lattice::make_set;
+
+std::unique_ptr<la::WtsProcess> make_proc(sim::Network& net, ProcessId id,
+                                          const la::LaConfig& cfg) {
+  return std::make_unique<la::WtsProcess>(
+      net, id, cfg, make_set({Item{id, 100 + id, 0}}));
+}
+
+TEST(Trace, RendersAgreementTraffic) {
+  la::LaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  sim::Network net(std::make_unique<sim::FixedDelay>(1), 1, 4);
+  std::ostringstream out;
+  sim::Tracer tracer(net, {.include_broadcast = false,
+                           .max_lines = 100000,
+                           .out = &out});
+  std::vector<std::unique_ptr<la::WtsProcess>> procs;
+  for (ProcessId id = 0; id < 4; ++id) {
+    procs.push_back(make_proc(net, id, cfg));
+  }
+  net.run();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("ACK_REQ"), std::string::npos);
+  EXPECT_NE(text.find("ACK("), std::string::npos);
+  EXPECT_EQ(text.find("RB_ECHO"), std::string::npos);  // filtered
+  EXPECT_NE(text.find("p0 -> p1"), std::string::npos);
+  EXPECT_GT(tracer.lines(), 0u);
+}
+
+TEST(Trace, BroadcastLayerOptIn) {
+  la::LaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  sim::Network net(std::make_unique<sim::FixedDelay>(1), 1, 4);
+  std::ostringstream out;
+  sim::Tracer tracer(net, {.include_broadcast = true,
+                           .max_lines = 100000,
+                           .out = &out});
+  std::vector<std::unique_ptr<la::WtsProcess>> procs;
+  for (ProcessId id = 0; id < 4; ++id) {
+    procs.push_back(make_proc(net, id, cfg));
+  }
+  net.run();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("RB_SEND"), std::string::npos);
+  EXPECT_NE(text.find("RB_ECHO"), std::string::npos);
+  EXPECT_NE(text.find("RB_READY"), std::string::npos);
+}
+
+TEST(Trace, LineCapSuppresses) {
+  la::LaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  sim::Network net(std::make_unique<sim::FixedDelay>(1), 1, 4);
+  std::ostringstream out;
+  sim::Tracer tracer(net, {.include_broadcast = true,
+                           .max_lines = 5,
+                           .out = &out});
+  std::vector<std::unique_ptr<la::WtsProcess>> procs;
+  for (ProcessId id = 0; id < 4; ++id) {
+    procs.push_back(make_proc(net, id, cfg));
+  }
+  net.run();
+  EXPECT_EQ(tracer.lines(), 5u);
+  EXPECT_GT(tracer.suppressed(), 0u);
+  // Exactly five lines of output.
+  std::size_t newlines = 0;
+  for (char c : out.str()) {
+    if (c == '\n') ++newlines;
+  }
+  EXPECT_EQ(newlines, 5u);
+}
+
+}  // namespace
+}  // namespace bgla

@@ -1,0 +1,178 @@
+// Unit tests: byte helpers, canonical codec, deterministic RNG, checks.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/bytes.h"
+#include "util/check.h"
+#include "util/codec.h"
+#include "util/rng.h"
+
+namespace bgla {
+namespace {
+
+TEST(Bytes, HexRoundtrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xcd, 0xef, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abcdefff");
+  EXPECT_EQ(from_hex("0001abcdefff"), data);
+  EXPECT_EQ(from_hex("0001ABCDEFFF"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), CheckError);
+}
+
+TEST(Bytes, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), CheckError);
+}
+
+TEST(Bytes, BytesOfString) {
+  const Bytes b = bytes_of("hi");
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 'h');
+  EXPECT_EQ(b[1], 'i');
+}
+
+TEST(Codec, VarintRoundtripEdges) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 300,
+                                 16383,
+                                 16384,
+                                 0xffffffffull,
+                                 0x100000000ull,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : cases) {
+    Encoder enc;
+    enc.put_varint(v);
+    Decoder dec(enc.bytes());
+    EXPECT_EQ(dec.get_varint(), v) << v;
+    EXPECT_TRUE(dec.done());
+  }
+}
+
+TEST(Codec, VarintIsMinimalLength) {
+  Encoder enc;
+  enc.put_varint(127);
+  EXPECT_EQ(enc.bytes().size(), 1u);
+  Encoder enc2;
+  enc2.put_varint(128);
+  EXPECT_EQ(enc2.bytes().size(), 2u);
+}
+
+TEST(Codec, MixedRoundtrip) {
+  Encoder enc;
+  enc.put_u8(0x7e);
+  enc.put_u32(123456);
+  enc.put_u64(0xdeadbeefcafef00dull);
+  enc.put_bool(true);
+  enc.put_string("hello");
+  enc.put_bytes(Bytes{1, 2, 3});
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u8(), 0x7e);
+  EXPECT_EQ(dec.get_u32(), 123456u);
+  EXPECT_EQ(dec.get_u64(), 0xdeadbeefcafef00dull);
+  EXPECT_TRUE(dec.get_bool());
+  EXPECT_EQ(dec.get_string(), "hello");
+  EXPECT_EQ(dec.get_bytes(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Codec, UnderrunThrows) {
+  Encoder enc;
+  enc.put_u8(1);
+  Decoder dec(enc.bytes());
+  dec.get_u8();
+  EXPECT_THROW(dec.get_u8(), CheckError);
+}
+
+TEST(Codec, ByteStringLengthOverrunThrows) {
+  // A length prefix larger than the remaining buffer must not read OOB.
+  Bytes evil;
+  {
+    Encoder enc;
+    enc.put_varint(1000);
+    evil = enc.take();
+  }
+  evil.push_back(0x42);  // only one byte of payload
+  Decoder dec(evil);
+  EXPECT_THROW(dec.get_bytes(), CheckError);
+}
+
+TEST(Codec, U32OverflowDetected) {
+  Encoder enc;
+  enc.put_varint(0x1ffffffffull);
+  Decoder dec(enc.bytes());
+  EXPECT_THROW(dec.get_u32(), CheckError);
+}
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform(3, 9);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 2000.0, 0.5, 0.05);  // crude mean sanity
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(5);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    BGLA_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  BGLA_CHECK(true);
+  BGLA_CHECK_MSG(2 + 2 == 4, "math broke");
+}
+
+}  // namespace
+}  // namespace bgla

@@ -1,0 +1,315 @@
+// bgla_run — command-line scenario runner.
+//
+// Runs any protocol of the library under any adversary/schedule/seed and
+// prints the executable-spec verdict plus the run's measurements. Useful
+// for exploring configurations beyond what the benches sweep, and for
+// reproducing a failing test case from its (n, f, adversary, sched, seed)
+// coordinates.
+//
+//   bgla_run --protocol wts   --n 7 --f 2 --adversary equivocator --seed 3
+//   bgla_run --protocol gwts --n 10 --f 3 --adversary round-rusher
+//            --decisions 6 --sched jitter
+//   bgla_run --protocol rsm   --n 4 --f 1 --byz-replicas 1 --byz-client
+//   bgla_run --protocol faleiro --n 3 --byz-lying-acker --sched targeted
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "harness/scenario.h"
+
+using namespace bgla;
+using harness::Adversary;
+using harness::Sched;
+
+namespace {
+
+struct Args {
+  std::string protocol = "wts";
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;
+  std::uint32_t byz_count = 0xffffffff;  // default: = f
+  Adversary adversary = Adversary::kNone;
+  Sched sched = Sched::kUniform;
+  std::uint64_t seed = 1;
+  std::uint32_t decisions = 4;
+  std::uint32_t submissions = 3;
+  std::uint32_t clients = 2;
+  std::uint32_t ops = 4;
+  std::uint32_t byz_replicas = 0;
+  bool byz_client = false;
+  bool byz_lying_acker = false;
+  std::uint32_t crashes = 0;
+  bool trace = false;
+  bool trace_rb = false;
+  bool signed_rb = false;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::cerr << "error: " << msg << "\n\n";
+  std::cerr <<
+      "usage: bgla_run [options]\n"
+      "  --protocol P     wts | gwts | sbs | gsbs | faleiro | rsm\n"
+      "  --n N            number of protocol processes (replicas)\n"
+      "  --f F            resilience parameter\n"
+      "  --byz-count K    actual adversaries instantiated (default: f)\n"
+      "  --adversary A    none | mute | equivocator | invalid-value |\n"
+      "                   stale-nacker | lying-acker | round-rusher | "
+      "flooder\n"
+      "  --sched S        fixed | uniform | targeted | jitter\n"
+      "  --seed X         RNG seed (runs are fully deterministic)\n"
+      "  --decisions D    GLA decision target per process (gwts/gsbs)\n"
+      "  --submissions V  input values per process (gwts/gsbs/faleiro)\n"
+      "  --clients C      RSM client count\n"
+      "  --ops O          RSM operations per client\n"
+      "  --byz-replicas R RSM fake-decider replicas\n"
+      "  --byz-client     add a Byzantine RSM client\n"
+      "  --byz-lying-acker  Faleiro: add the T7 lying acceptor\n"
+      "  --crashes K      Faleiro: processes crashed mid-run\n"
+      "  --signed-rb      use the certificate RB (signatures) in gwts\n"
+      "  --trace          print every delivered message (stderr)\n"
+      "  --trace-rb       include reliable-broadcast internals\n";
+  std::exit(2);
+}
+
+Adversary parse_adversary(const std::string& s) {
+  static const std::map<std::string, Adversary> m = {
+      {"none", Adversary::kNone},
+      {"mute", Adversary::kMute},
+      {"equivocator", Adversary::kEquivocator},
+      {"invalid-value", Adversary::kInvalidValue},
+      {"stale-nacker", Adversary::kStaleNacker},
+      {"lying-acker", Adversary::kLyingAcker},
+      {"round-rusher", Adversary::kRoundRusher},
+      {"flooder", Adversary::kFlooder},
+  };
+  const auto it = m.find(s);
+  if (it == m.end()) usage("unknown adversary");
+  return it->second;
+}
+
+Sched parse_sched(const std::string& s) {
+  static const std::map<std::string, Sched> m = {
+      {"fixed", Sched::kFixed},
+      {"uniform", Sched::kUniform},
+      {"targeted", Sched::kTargeted},
+      {"jitter", Sched::kJitter},
+  };
+  const auto it = m.find(s);
+  if (it == m.end()) usage("unknown schedule");
+  return it->second;
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  auto next = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage("missing option value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--protocol") {
+      a.protocol = next(i);
+    } else if (arg == "--n") {
+      a.n = static_cast<std::uint32_t>(std::stoul(next(i)));
+    } else if (arg == "--f") {
+      a.f = static_cast<std::uint32_t>(std::stoul(next(i)));
+    } else if (arg == "--byz-count") {
+      a.byz_count = static_cast<std::uint32_t>(std::stoul(next(i)));
+    } else if (arg == "--adversary") {
+      a.adversary = parse_adversary(next(i));
+    } else if (arg == "--sched") {
+      a.sched = parse_sched(next(i));
+    } else if (arg == "--seed") {
+      a.seed = std::stoull(next(i));
+    } else if (arg == "--decisions") {
+      a.decisions = static_cast<std::uint32_t>(std::stoul(next(i)));
+    } else if (arg == "--submissions") {
+      a.submissions = static_cast<std::uint32_t>(std::stoul(next(i)));
+    } else if (arg == "--clients") {
+      a.clients = static_cast<std::uint32_t>(std::stoul(next(i)));
+    } else if (arg == "--ops") {
+      a.ops = static_cast<std::uint32_t>(std::stoul(next(i)));
+    } else if (arg == "--byz-replicas") {
+      a.byz_replicas = static_cast<std::uint32_t>(std::stoul(next(i)));
+    } else if (arg == "--byz-client") {
+      a.byz_client = true;
+    } else if (arg == "--byz-lying-acker") {
+      a.byz_lying_acker = true;
+    } else if (arg == "--crashes") {
+      a.crashes = static_cast<std::uint32_t>(std::stoul(next(i)));
+    } else if (arg == "--signed-rb") {
+      a.signed_rb = true;
+    } else if (arg == "--trace") {
+      a.trace = true;
+    } else if (arg == "--trace-rb") {
+      a.trace = true;
+      a.trace_rb = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else {
+      usage("unknown option");
+    }
+  }
+  if (a.byz_count == 0xffffffff) a.byz_count = a.f;
+  return a;
+}
+
+void print_header(const Args& a) {
+  std::cout << "protocol=" << a.protocol << " n=" << a.n << " f=" << a.f
+            << " adversary=" << harness::adversary_name(a.adversary)
+            << " sched=" << harness::sched_name(a.sched)
+            << " seed=" << a.seed << "\n\n";
+}
+
+int verdict(bool ok) {
+  std::cout << "\nverdict: " << (ok ? "OK" : "SPEC VIOLATION / INCOMPLETE")
+            << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  print_header(a);
+
+  if (a.protocol == "wts") {
+    harness::WtsScenario sc;
+    sc.n = a.n;
+    sc.f = a.f;
+    sc.byz_count = a.byz_count;
+    sc.adversary = a.adversary;
+    sc.sched = a.sched;
+    sc.seed = a.seed;
+    sc.trace = a.trace;
+    sc.trace_broadcast = a.trace_rb;
+    const auto r = harness::run_wts(sc);
+    std::cout << "completed:        " << (r.completed ? "yes" : "NO")
+              << "\nspec:             "
+              << (r.spec.ok() ? "ok" : r.spec.diagnostic)
+              << "\nmax depth:        " << r.max_depth << " (2f+5 = "
+              << 2 * a.f + 5 << ", 3f+5 = " << 3 * a.f + 5 << ")"
+              << "\nmean depth:       " << r.mean_depth
+              << "\nmax refinements:  " << r.max_refinements << " (f = "
+              << a.f << ")"
+              << "\nmsgs/proc (max):  " << r.max_msgs_per_correct
+              << "\nbytes/proc (max): " << r.max_bytes_per_correct
+              << "\ntotal messages:   " << r.total_msgs
+              << "\nend time:         " << r.end_time << "\n";
+    return verdict(r.completed && r.spec.ok());
+  }
+  if (a.protocol == "gwts" || a.protocol == "gsbs") {
+    auto print = [&](const auto& r) {
+      std::cout << "completed:        " << (r.completed ? "yes" : "NO")
+                << "\nspec:             "
+                << (r.spec.ok() ? "ok" : r.spec.diagnostic)
+                << "\ntotal decisions:  " << r.total_decisions
+                << "\nmsgs/decision:    " << r.msgs_per_decision_per_proposer
+                << "\nmax round refines:" << r.max_round_refinements
+                << "\ntotal messages:   " << r.total_msgs
+                << "\nend time:         " << r.end_time << "\n";
+      return verdict(r.completed && r.spec.ok());
+    };
+    if (a.protocol == "gwts") {
+      harness::GwtsScenario sc;
+      sc.n = a.n;
+      sc.f = a.f;
+      sc.byz_count = a.byz_count;
+      sc.adversary = a.adversary;
+      sc.sched = a.sched;
+      sc.seed = a.seed;
+    sc.trace = a.trace;
+    sc.trace_broadcast = a.trace_rb;
+      sc.target_decisions = a.decisions;
+      sc.submissions_per_proc = a.submissions;
+      sc.signed_rb = a.signed_rb;
+      return print(harness::run_gwts(sc));
+    }
+    harness::GsbsScenario sc;
+    sc.n = a.n;
+    sc.f = a.f;
+    sc.byz_count = a.byz_count;
+    sc.adversary = a.adversary;
+    sc.sched = a.sched;
+    sc.seed = a.seed;
+    sc.trace = a.trace;
+    sc.trace_broadcast = a.trace_rb;
+    sc.target_decisions = a.decisions;
+    sc.submissions_per_proc = a.submissions;
+    return print(harness::run_gsbs(sc));
+  }
+  if (a.protocol == "sbs") {
+    harness::SbsScenario sc;
+    sc.n = a.n;
+    sc.f = a.f;
+    sc.byz_count = a.byz_count;
+    sc.adversary = a.adversary;
+    sc.sched = a.sched;
+    sc.seed = a.seed;
+    sc.trace = a.trace;
+    sc.trace_broadcast = a.trace_rb;
+    const auto r = harness::run_sbs(sc);
+    std::cout << "completed:        " << (r.completed ? "yes" : "NO")
+              << "\nspec:             "
+              << (r.spec.ok() ? "ok" : r.spec.diagnostic)
+              << "\nmax depth:        " << r.max_depth << " (4f+5 = "
+              << 4 * a.f + 5 << ")"
+              << "\nmax refinements:  " << r.max_refinements << " (2f = "
+              << 2 * a.f << ")"
+              << "\nmsgs/proc (max):  " << r.max_msgs_per_correct
+              << "\nbytes/proc (max): " << r.max_bytes_per_correct
+              << "\ntotal messages:   " << r.total_msgs << "\n";
+    return verdict(r.completed && r.spec.ok());
+  }
+  if (a.protocol == "faleiro") {
+    harness::FaleiroScenario sc;
+    sc.n = a.n;
+    sc.f = (a.n - 1) / 2;
+    sc.crash_count = a.crashes;
+    sc.byz_lying_acker = a.byz_lying_acker;
+    sc.sched = a.sched;
+    sc.seed = a.seed;
+    sc.trace = a.trace;
+    sc.trace_broadcast = a.trace_rb;
+    sc.submissions_per_proc = a.submissions;
+    const auto r = harness::run_faleiro(sc);
+    std::cout << "completed:        " << (r.completed ? "yes" : "NO")
+              << "\nspec:             "
+              << (r.spec.ok() ? "ok" : r.spec.diagnostic)
+              << "\ntotal decisions:  " << r.total_decisions
+              << "\nmsgs/decision:    " << r.msgs_per_decision_per_proposer
+              << "\ntotal messages:   " << r.total_msgs << "\n";
+    // For the Byzantine demo the "expected" outcome is the violation.
+    if (a.byz_lying_acker) {
+      std::cout << "\n(byz-lying-acker: a comparability VIOLATION is the "
+                   "expected Theorem 1 outcome)\n";
+      return 0;
+    }
+    return verdict(r.completed && r.spec.ok());
+  }
+  if (a.protocol == "rsm") {
+    harness::RsmScenario sc;
+    sc.n = a.n;
+    sc.f = a.f;
+    sc.byz_replicas = a.byz_replicas;
+    sc.with_byz_client = a.byz_client;
+    sc.num_clients = a.clients;
+    sc.ops_per_client = a.ops;
+    sc.sched = a.sched;
+    sc.seed = a.seed;
+    sc.trace = a.trace;
+    sc.trace_broadcast = a.trace_rb;
+    const auto r = harness::run_rsm(sc);
+    std::cout << "completed:        " << (r.completed ? "yes" : "NO")
+              << "\nproperties:       "
+              << (r.check.ok() ? "all hold" : r.check.diagnostic)
+              << "\nops completed:    " << r.ops_completed
+              << "\nmean upd latency: " << r.mean_update_latency
+              << "\nmean read latency:" << r.mean_read_latency
+              << "\nthroughput:       " << r.ops_per_ktime << " ops/ktime"
+              << "\ntotal messages:   " << r.total_msgs << "\n";
+    return verdict(r.completed && r.check.ok());
+  }
+  usage("unknown protocol");
+}

@@ -1,0 +1,179 @@
+// bgla_sweep — CSV emitter for the paper-reproduction curves.
+//
+// Prints machine-readable sweeps (one row per configuration × seed) so the
+// EXPERIMENTS.md tables can be re-plotted with any tool:
+//
+//   bgla_sweep --experiment t1 --seeds 10 > t1.csv
+//
+// Experiments: t1 (WTS delay depths), t2 (WTS messages vs n),
+// t4 (SbS vs WTS messages/bytes), t6 (protocol comparison per decision).
+#include <iostream>
+#include <string>
+
+#include "harness/scenario.h"
+
+using namespace bgla;
+using harness::Adversary;
+using harness::Sched;
+
+namespace {
+
+int run_t1(int seeds) {
+  std::cout << "experiment,n,f,adversary,sched,seed,max_depth,mean_depth,"
+               "bound_paper,bound_impl,spec_ok\n";
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> sizes = {
+      {4, 1}, {7, 2}, {10, 3}, {13, 4}, {16, 5}, {19, 6}};
+  for (const auto& [n, f] : sizes) {
+    for (Adversary adv :
+         {Adversary::kNone, Adversary::kEquivocator,
+          Adversary::kStaleNacker}) {
+      for (Sched sched : {Sched::kFixed, Sched::kUniform, Sched::kJitter}) {
+        for (int seed = 1; seed <= seeds; ++seed) {
+          harness::WtsScenario sc;
+          sc.n = n;
+          sc.f = f;
+          sc.byz_count = f;
+          sc.adversary = adv;
+          sc.sched = sched;
+          sc.seed = static_cast<std::uint64_t>(seed);
+          const auto rep = harness::run_wts(sc);
+          std::cout << "t1," << n << "," << f << ","
+                    << harness::adversary_name(adv) << ","
+                    << harness::sched_name(sched) << "," << seed << ","
+                    << rep.max_depth << "," << rep.mean_depth << ","
+                    << 2 * f + 5 << "," << 3 * f + 5 << ","
+                    << (rep.completed && rep.spec.ok()) << "\n";
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+int run_t2(int seeds) {
+  std::cout << "experiment,n,f,seed,msgs_per_proc,bytes_per_proc,"
+               "total_msgs,spec_ok\n";
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> sizes = {
+      {4, 1}, {7, 2}, {10, 3}, {13, 4}, {16, 5}, {19, 6}, {25, 8}, {31, 10}};
+  for (const auto& [n, f] : sizes) {
+    for (int seed = 1; seed <= seeds; ++seed) {
+      harness::WtsScenario sc;
+      sc.n = n;
+      sc.f = f;
+      sc.byz_count = f;
+      sc.adversary = Adversary::kStaleNacker;
+      sc.seed = static_cast<std::uint64_t>(seed);
+      const auto rep = harness::run_wts(sc);
+      std::cout << "t2," << n << "," << f << "," << seed << ","
+                << rep.max_msgs_per_correct << ","
+                << rep.max_bytes_per_correct << "," << rep.total_msgs << ","
+                << (rep.completed && rep.spec.ok()) << "\n";
+    }
+  }
+  return 0;
+}
+
+int run_t4(int seeds) {
+  std::cout << "experiment,protocol,n,f,seed,msgs_per_proc,bytes_per_proc,"
+               "max_depth,spec_ok\n";
+  for (std::uint32_t n : {4u, 7u, 10u, 16u, 25u, 31u}) {
+    for (int seed = 1; seed <= seeds; ++seed) {
+      harness::WtsScenario w;
+      w.n = n;
+      w.f = 1;
+      w.byz_count = 1;
+      w.adversary = Adversary::kMute;
+      w.seed = static_cast<std::uint64_t>(seed);
+      const auto wr = harness::run_wts(w);
+      std::cout << "t4,wts," << n << ",1," << seed << ","
+                << wr.max_msgs_per_correct << ","
+                << wr.max_bytes_per_correct << "," << wr.max_depth << ","
+                << (wr.completed && wr.spec.ok()) << "\n";
+
+      harness::SbsScenario s;
+      s.n = n;
+      s.f = 1;
+      s.byz_count = 1;
+      s.adversary = Adversary::kMute;
+      s.seed = static_cast<std::uint64_t>(seed);
+      const auto sr = harness::run_sbs(s);
+      std::cout << "t4,sbs," << n << ",1," << seed << ","
+                << sr.max_msgs_per_correct << ","
+                << sr.max_bytes_per_correct << "," << sr.max_depth << ","
+                << (sr.completed && sr.spec.ok()) << "\n";
+    }
+  }
+  return 0;
+}
+
+int run_t6(int seeds) {
+  std::cout << "experiment,protocol,n,f,seed,msgs_per_decision,spec_ok\n";
+  for (std::uint32_t n : {4u, 7u, 10u, 13u}) {
+    const std::uint32_t f = (n - 1) / 3;
+    for (int seed = 1; seed <= seeds; ++seed) {
+      harness::FaleiroScenario fsc;
+      fsc.n = n;
+      fsc.f = (n - 1) / 2;
+      fsc.submissions_per_proc = 3;
+      fsc.seed = static_cast<std::uint64_t>(seed);
+      const auto fr = harness::run_faleiro(fsc);
+      std::cout << "t6,faleiro," << n << ",0," << seed << ","
+                << fr.msgs_per_decision_per_proposer << ","
+                << fr.spec.ok() << "\n";
+
+      harness::GwtsScenario g;
+      g.n = n;
+      g.f = f;
+      g.target_decisions = 3;
+      g.submissions_per_proc = 3;
+      g.seed = static_cast<std::uint64_t>(seed);
+      const auto gr = harness::run_gwts(g);
+      std::cout << "t6,gwts," << n << "," << f << "," << seed << ","
+                << gr.msgs_per_decision_per_proposer << "," << gr.spec.ok()
+                << "\n";
+
+      g.signed_rb = true;
+      const auto gc = harness::run_gwts(g);
+      std::cout << "t6,gwts-certrb," << n << "," << f << "," << seed << ","
+                << gc.msgs_per_decision_per_proposer << "," << gc.spec.ok()
+                << "\n";
+
+      harness::GsbsScenario s;
+      s.n = n;
+      s.f = f;
+      s.target_decisions = 3;
+      s.submissions_per_proc = 3;
+      s.seed = static_cast<std::uint64_t>(seed);
+      const auto sr = harness::run_gsbs(s);
+      std::cout << "t6,gsbs," << n << "," << f << "," << seed << ","
+                << sr.msgs_per_decision_per_proposer << "," << sr.spec.ok()
+                << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string experiment = "t1";
+  int seeds = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--experiment" && i + 1 < argc) {
+      experiment = argv[++i];
+    } else if (arg == "--seeds" && i + 1 < argc) {
+      seeds = std::stoi(argv[++i]);
+    } else {
+      std::cerr << "usage: bgla_sweep --experiment t1|t2|t4|t6 "
+                   "[--seeds N]\n";
+      return 2;
+    }
+  }
+  if (experiment == "t1") return run_t1(seeds);
+  if (experiment == "t2") return run_t2(seeds);
+  if (experiment == "t4") return run_t4(seeds);
+  if (experiment == "t6") return run_t6(seeds);
+  std::cerr << "unknown experiment " << experiment << "\n";
+  return 2;
+}
