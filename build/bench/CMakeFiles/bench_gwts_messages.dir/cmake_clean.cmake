@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gwts_messages.dir/bench_gwts_messages.cc.o"
+  "CMakeFiles/bench_gwts_messages.dir/bench_gwts_messages.cc.o.d"
+  "bench_gwts_messages"
+  "bench_gwts_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gwts_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

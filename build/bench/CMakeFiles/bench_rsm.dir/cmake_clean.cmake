@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rsm.dir/bench_rsm.cc.o"
+  "CMakeFiles/bench_rsm.dir/bench_rsm.cc.o.d"
+  "bench_rsm"
+  "bench_rsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

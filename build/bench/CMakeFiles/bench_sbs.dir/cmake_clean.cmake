@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sbs.dir/bench_sbs.cc.o"
+  "CMakeFiles/bench_sbs.dir/bench_sbs.cc.o.d"
+  "bench_sbs"
+  "bench_sbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sbs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wts_delays.dir/bench_wts_delays.cc.o"
+  "CMakeFiles/bench_wts_delays.dir/bench_wts_delays.cc.o.d"
+  "bench_wts_delays"
+  "bench_wts_delays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wts_delays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wts_messages.dir/bench_wts_messages.cc.o"
+  "CMakeFiles/bench_wts_messages.dir/bench_wts_messages.cc.o.d"
+  "bench_wts_messages"
+  "bench_wts_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wts_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomic_snapshot.dir/atomic_snapshot.cpp.o"
+  "CMakeFiles/atomic_snapshot.dir/atomic_snapshot.cpp.o.d"
+  "atomic_snapshot"
+  "atomic_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomic_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_hasse.dir/figure1_hasse.cpp.o"
+  "CMakeFiles/figure1_hasse.dir/figure1_hasse.cpp.o.d"
+  "figure1_hasse"
+  "figure1_hasse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_hasse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gla_stream.dir/gla_stream.cpp.o"
+  "CMakeFiles/gla_stream.dir/gla_stream.cpp.o.d"
+  "gla_stream"
+  "gla_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gla_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gset_store.dir/gset_store.cpp.o"
+  "CMakeFiles/gset_store.dir/gset_store.cpp.o.d"
+  "gset_store"
+  "gset_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gset_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsm_counter.dir/rsm_counter.cpp.o"
+  "CMakeFiles/rsm_counter.dir/rsm_counter.cpp.o.d"
+  "rsm_counter"
+  "rsm_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsm_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

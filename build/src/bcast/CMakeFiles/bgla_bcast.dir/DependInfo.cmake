@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bcast/bracha.cc" "src/bcast/CMakeFiles/bgla_bcast.dir/bracha.cc.o" "gcc" "src/bcast/CMakeFiles/bgla_bcast.dir/bracha.cc.o.d"
+  "/root/repo/src/bcast/cert_rb.cc" "src/bcast/CMakeFiles/bgla_bcast.dir/cert_rb.cc.o" "gcc" "src/bcast/CMakeFiles/bgla_bcast.dir/cert_rb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bgla_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgla_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bgla_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

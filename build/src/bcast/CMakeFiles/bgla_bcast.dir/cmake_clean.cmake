@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgla_bcast.dir/bracha.cc.o"
+  "CMakeFiles/bgla_bcast.dir/bracha.cc.o.d"
+  "CMakeFiles/bgla_bcast.dir/cert_rb.cc.o"
+  "CMakeFiles/bgla_bcast.dir/cert_rb.cc.o.d"
+  "libbgla_bcast.a"
+  "libbgla_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgla_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgla_byz.dir/strategies.cc.o"
+  "CMakeFiles/bgla_byz.dir/strategies.cc.o.d"
+  "libbgla_byz.a"
+  "libbgla_byz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgla_byz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgla_crypto.dir/hmac.cc.o"
+  "CMakeFiles/bgla_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/bgla_crypto.dir/sha256.cc.o"
+  "CMakeFiles/bgla_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/bgla_crypto.dir/signature.cc.o"
+  "CMakeFiles/bgla_crypto.dir/signature.cc.o.d"
+  "libbgla_crypto.a"
+  "libbgla_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgla_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgla_harness.dir/scenario.cc.o"
+  "CMakeFiles/bgla_harness.dir/scenario.cc.o.d"
+  "libbgla_harness.a"
+  "libbgla_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgla_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/faleiro_la.cc" "src/la/CMakeFiles/bgla_la.dir/faleiro_la.cc.o" "gcc" "src/la/CMakeFiles/bgla_la.dir/faleiro_la.cc.o.d"
+  "/root/repo/src/la/gsbs.cc" "src/la/CMakeFiles/bgla_la.dir/gsbs.cc.o" "gcc" "src/la/CMakeFiles/bgla_la.dir/gsbs.cc.o.d"
+  "/root/repo/src/la/gsbs_msgs.cc" "src/la/CMakeFiles/bgla_la.dir/gsbs_msgs.cc.o" "gcc" "src/la/CMakeFiles/bgla_la.dir/gsbs_msgs.cc.o.d"
+  "/root/repo/src/la/gwts.cc" "src/la/CMakeFiles/bgla_la.dir/gwts.cc.o" "gcc" "src/la/CMakeFiles/bgla_la.dir/gwts.cc.o.d"
+  "/root/repo/src/la/sbs.cc" "src/la/CMakeFiles/bgla_la.dir/sbs.cc.o" "gcc" "src/la/CMakeFiles/bgla_la.dir/sbs.cc.o.d"
+  "/root/repo/src/la/sbs_msgs.cc" "src/la/CMakeFiles/bgla_la.dir/sbs_msgs.cc.o" "gcc" "src/la/CMakeFiles/bgla_la.dir/sbs_msgs.cc.o.d"
+  "/root/repo/src/la/signed_value.cc" "src/la/CMakeFiles/bgla_la.dir/signed_value.cc.o" "gcc" "src/la/CMakeFiles/bgla_la.dir/signed_value.cc.o.d"
+  "/root/repo/src/la/spec.cc" "src/la/CMakeFiles/bgla_la.dir/spec.cc.o" "gcc" "src/la/CMakeFiles/bgla_la.dir/spec.cc.o.d"
+  "/root/repo/src/la/wts.cc" "src/la/CMakeFiles/bgla_la.dir/wts.cc.o" "gcc" "src/la/CMakeFiles/bgla_la.dir/wts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bcast/CMakeFiles/bgla_bcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/bgla_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bgla_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bgla_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgla_la.dir/faleiro_la.cc.o"
+  "CMakeFiles/bgla_la.dir/faleiro_la.cc.o.d"
+  "CMakeFiles/bgla_la.dir/gsbs.cc.o"
+  "CMakeFiles/bgla_la.dir/gsbs.cc.o.d"
+  "CMakeFiles/bgla_la.dir/gsbs_msgs.cc.o"
+  "CMakeFiles/bgla_la.dir/gsbs_msgs.cc.o.d"
+  "CMakeFiles/bgla_la.dir/gwts.cc.o"
+  "CMakeFiles/bgla_la.dir/gwts.cc.o.d"
+  "CMakeFiles/bgla_la.dir/sbs.cc.o"
+  "CMakeFiles/bgla_la.dir/sbs.cc.o.d"
+  "CMakeFiles/bgla_la.dir/sbs_msgs.cc.o"
+  "CMakeFiles/bgla_la.dir/sbs_msgs.cc.o.d"
+  "CMakeFiles/bgla_la.dir/signed_value.cc.o"
+  "CMakeFiles/bgla_la.dir/signed_value.cc.o.d"
+  "CMakeFiles/bgla_la.dir/spec.cc.o"
+  "CMakeFiles/bgla_la.dir/spec.cc.o.d"
+  "CMakeFiles/bgla_la.dir/wts.cc.o"
+  "CMakeFiles/bgla_la.dir/wts.cc.o.d"
+  "libbgla_la.a"
+  "libbgla_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgla_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lattice/chain.cc" "src/lattice/CMakeFiles/bgla_lattice.dir/chain.cc.o" "gcc" "src/lattice/CMakeFiles/bgla_lattice.dir/chain.cc.o.d"
+  "/root/repo/src/lattice/crdt.cc" "src/lattice/CMakeFiles/bgla_lattice.dir/crdt.cc.o" "gcc" "src/lattice/CMakeFiles/bgla_lattice.dir/crdt.cc.o.d"
+  "/root/repo/src/lattice/elem.cc" "src/lattice/CMakeFiles/bgla_lattice.dir/elem.cc.o" "gcc" "src/lattice/CMakeFiles/bgla_lattice.dir/elem.cc.o.d"
+  "/root/repo/src/lattice/maxint_elem.cc" "src/lattice/CMakeFiles/bgla_lattice.dir/maxint_elem.cc.o" "gcc" "src/lattice/CMakeFiles/bgla_lattice.dir/maxint_elem.cc.o.d"
+  "/root/repo/src/lattice/set_elem.cc" "src/lattice/CMakeFiles/bgla_lattice.dir/set_elem.cc.o" "gcc" "src/lattice/CMakeFiles/bgla_lattice.dir/set_elem.cc.o.d"
+  "/root/repo/src/lattice/vclock_elem.cc" "src/lattice/CMakeFiles/bgla_lattice.dir/vclock_elem.cc.o" "gcc" "src/lattice/CMakeFiles/bgla_lattice.dir/vclock_elem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bgla_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bgla_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgla_lattice.dir/chain.cc.o"
+  "CMakeFiles/bgla_lattice.dir/chain.cc.o.d"
+  "CMakeFiles/bgla_lattice.dir/crdt.cc.o"
+  "CMakeFiles/bgla_lattice.dir/crdt.cc.o.d"
+  "CMakeFiles/bgla_lattice.dir/elem.cc.o"
+  "CMakeFiles/bgla_lattice.dir/elem.cc.o.d"
+  "CMakeFiles/bgla_lattice.dir/maxint_elem.cc.o"
+  "CMakeFiles/bgla_lattice.dir/maxint_elem.cc.o.d"
+  "CMakeFiles/bgla_lattice.dir/set_elem.cc.o"
+  "CMakeFiles/bgla_lattice.dir/set_elem.cc.o.d"
+  "CMakeFiles/bgla_lattice.dir/vclock_elem.cc.o"
+  "CMakeFiles/bgla_lattice.dir/vclock_elem.cc.o.d"
+  "libbgla_lattice.a"
+  "libbgla_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgla_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbgla_lattice.a"
+)

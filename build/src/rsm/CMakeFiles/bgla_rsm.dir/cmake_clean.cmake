@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgla_rsm.dir/client.cc.o"
+  "CMakeFiles/bgla_rsm.dir/client.cc.o.d"
+  "CMakeFiles/bgla_rsm.dir/history.cc.o"
+  "CMakeFiles/bgla_rsm.dir/history.cc.o.d"
+  "CMakeFiles/bgla_rsm.dir/linearize.cc.o"
+  "CMakeFiles/bgla_rsm.dir/linearize.cc.o.d"
+  "CMakeFiles/bgla_rsm.dir/replica.cc.o"
+  "CMakeFiles/bgla_rsm.dir/replica.cc.o.d"
+  "libbgla_rsm.a"
+  "libbgla_rsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgla_rsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgla_sim.dir/message.cc.o"
+  "CMakeFiles/bgla_sim.dir/message.cc.o.d"
+  "CMakeFiles/bgla_sim.dir/network.cc.o"
+  "CMakeFiles/bgla_sim.dir/network.cc.o.d"
+  "libbgla_sim.a"
+  "libbgla_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgla_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgla_util.dir/bytes.cc.o"
+  "CMakeFiles/bgla_util.dir/bytes.cc.o.d"
+  "CMakeFiles/bgla_util.dir/codec.cc.o"
+  "CMakeFiles/bgla_util.dir/codec.cc.o.d"
+  "libbgla_util.a"
+  "libbgla_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgla_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bracha_test.dir/bracha_test.cc.o"
+  "CMakeFiles/bracha_test.dir/bracha_test.cc.o.d"
+  "bracha_test"
+  "bracha_test.pdb"
+  "bracha_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bracha_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cert_rb_test.cc" "tests/CMakeFiles/cert_rb_test.dir/cert_rb_test.cc.o" "gcc" "tests/CMakeFiles/cert_rb_test.dir/cert_rb_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/bgla_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/bgla_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/byz/CMakeFiles/bgla_byz.dir/DependInfo.cmake"
+  "/root/repo/build/src/bcast/CMakeFiles/bgla_bcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/bgla_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bgla_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bgla_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgla_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsm/CMakeFiles/bgla_rsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

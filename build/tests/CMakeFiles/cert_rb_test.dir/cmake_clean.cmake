@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cert_rb_test.dir/cert_rb_test.cc.o"
+  "CMakeFiles/cert_rb_test.dir/cert_rb_test.cc.o.d"
+  "cert_rb_test"
+  "cert_rb_test.pdb"
+  "cert_rb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cert_rb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

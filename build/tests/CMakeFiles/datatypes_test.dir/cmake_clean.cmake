@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datatypes_test.dir/datatypes_test.cc.o"
+  "CMakeFiles/datatypes_test.dir/datatypes_test.cc.o.d"
+  "datatypes_test"
+  "datatypes_test.pdb"
+  "datatypes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datatypes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

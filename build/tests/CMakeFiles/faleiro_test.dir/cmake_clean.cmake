@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faleiro_test.dir/faleiro_test.cc.o"
+  "CMakeFiles/faleiro_test.dir/faleiro_test.cc.o.d"
+  "faleiro_test"
+  "faleiro_test.pdb"
+  "faleiro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faleiro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

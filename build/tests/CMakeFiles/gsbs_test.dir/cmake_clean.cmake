@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsbs_test.dir/gsbs_test.cc.o"
+  "CMakeFiles/gsbs_test.dir/gsbs_test.cc.o.d"
+  "gsbs_test"
+  "gsbs_test.pdb"
+  "gsbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gwts_test.dir/gwts_test.cc.o"
+  "CMakeFiles/gwts_test.dir/gwts_test.cc.o.d"
+  "gwts_test"
+  "gwts_test.pdb"
+  "gwts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gwts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

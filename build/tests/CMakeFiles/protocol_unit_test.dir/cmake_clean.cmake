@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_unit_test.dir/protocol_unit_test.cc.o"
+  "CMakeFiles/protocol_unit_test.dir/protocol_unit_test.cc.o.d"
+  "protocol_unit_test"
+  "protocol_unit_test.pdb"
+  "protocol_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbs_unit_test.dir/sbs_unit_test.cc.o"
+  "CMakeFiles/sbs_unit_test.dir/sbs_unit_test.cc.o.d"
+  "sbs_unit_test"
+  "sbs_unit_test.pdb"
+  "sbs_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbs_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wts_test.dir/wts_test.cc.o"
+  "CMakeFiles/wts_test.dir/wts_test.cc.o.d"
+  "wts_test"
+  "wts_test.pdb"
+  "wts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgla_run.dir/bgla_run.cc.o"
+  "CMakeFiles/bgla_run.dir/bgla_run.cc.o.d"
+  "bgla_run"
+  "bgla_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgla_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgla_sweep.dir/bgla_sweep.cc.o"
+  "CMakeFiles/bgla_sweep.dir/bgla_sweep.cc.o.d"
+  "bgla_sweep"
+  "bgla_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgla_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
