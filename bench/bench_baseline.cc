@@ -6,64 +6,142 @@
 // additional checks": the Byzantine algorithm pays for the disclosure
 // reliable broadcast and the reliably-broadcast acks. The signature
 // variant recovers most of the message cost.
+//
+// Independent (n × seed) simulations fan out across a thread pool
+// (--jobs N, default: hardware concurrency); results are aggregated in
+// submission order, so every printed number is identical to a serial run.
+// The run ends with a wall-clock/crypto summary and BENCH_baseline.json.
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/json.h"
 #include "bench/table.h"
 #include "harness/scenario.h"
+#include "util/thread_pool.h"
 
 using namespace bgla;
 using harness::Adversary;
 
-int main() {
+namespace {
+
+/// Strict digits-only flag-value parser (stoul accepts junk suffixes and
+/// throws on garbage; a bad CLI value should print usage, not terminate).
+bool parse_count(const char* s, std::size_t* out) {
+  if (*s == '\0') return false;
+  std::size_t v = 0;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    v = v * 10 + static_cast<std::size_t>(*p - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t jobs = util::ThreadPool::default_workers();
+  std::string json_path = "BENCH_baseline.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc && parse_count(argv[++i], &jobs)) {
+      // parsed in the condition
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_baseline [--jobs N] [--json PATH]\n";
+      return 2;
+    }
+  }
+
   bench::banner(
       "T6: crash-stop GLA (PODC'12) vs GWTS vs GSbS — messages per "
       "decision per proposer, same workload");
+
+  const std::vector<std::uint32_t> ns = {4, 7, 10, 13};
+  constexpr int kSeeds = 3;
+
+  struct Quad {
+    harness::FaleiroReport fr;
+    harness::GwtsReport gr;
+    harness::GwtsReport gcr;
+    harness::GsbsReport sr;
+  };
+
+  util::ThreadPool pool(jobs);
+  jobs = pool.workers();  // report the clamped count (e.g. --jobs 0 -> 1)
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto quads = util::parallel_for_indexed<Quad>(
+      pool, ns.size() * kSeeds, [&ns](std::size_t i) {
+        const std::uint32_t n = ns[i / kSeeds];
+        const std::uint32_t f = (n - 1) / 3;
+        const int seed = static_cast<int>(i % kSeeds) + 1;
+
+        harness::FaleiroScenario fsc;
+        fsc.n = n;
+        fsc.f = (n - 1) / 2;
+        fsc.submissions_per_proc = 3;
+        fsc.seed = static_cast<std::uint64_t>(seed);
+
+        harness::GwtsScenario gsc;
+        gsc.n = n;
+        gsc.f = f;
+        gsc.adversary = Adversary::kNone;
+        gsc.target_decisions = 3;
+        gsc.submissions_per_proc = 3;
+        gsc.seed = static_cast<std::uint64_t>(seed);
+
+        harness::GsbsScenario ssc;
+        ssc.n = n;
+        ssc.f = f;
+        ssc.adversary = Adversary::kNone;
+        ssc.target_decisions = 3;
+        ssc.submissions_per_proc = 3;
+        ssc.seed = static_cast<std::uint64_t>(seed);
+
+        Quad q;
+        q.fr = harness::run_faleiro(fsc);
+        q.gr = harness::run_gwts(gsc);
+        gsc.signed_rb = true;
+        q.gcr = harness::run_gwts(gsc);
+        q.sr = harness::run_gsbs(ssc);
+        return q;
+      });
 
   bench::Table table({"n", "faleiro msgs/dec", "gwts msgs/dec",
                       "gwts+certRB msgs/dec", "gsbs msgs/dec",
                       "gwts/faleiro", "gsbs/faleiro", "all specs ok"});
 
-  for (std::uint32_t n : {4u, 7u, 10u, 13u}) {
-    const std::uint32_t f = (n - 1) / 3;
+  std::uint64_t total_events = 0;
+  harness::CryptoReport crypto_totals;
+  auto add_crypto = [&crypto_totals](const harness::CryptoReport& c) {
+    crypto_totals.macs_computed += c.macs_computed;
+    crypto_totals.verify_cache_hits += c.verify_cache_hits;
+    crypto_totals.verify_cache_misses += c.verify_cache_misses;
+    crypto_totals.verifies_skipped += c.verifies_skipped;
+  };
+
+  for (std::size_t ni = 0; ni < ns.size(); ++ni) {
     bench::Agg fa, gw, gwc, gs;
     bool ok = true;
-    for (int seed = 1; seed <= 3; ++seed) {
-      harness::FaleiroScenario fsc;
-      fsc.n = n;
-      fsc.f = (n - 1) / 2;
-      fsc.submissions_per_proc = 3;
-      fsc.seed = static_cast<std::uint64_t>(seed);
-      const auto fr = harness::run_faleiro(fsc);
-
-      harness::GwtsScenario gsc;
-      gsc.n = n;
-      gsc.f = f;
-      gsc.adversary = Adversary::kNone;
-      gsc.target_decisions = 3;
-      gsc.submissions_per_proc = 3;
-      gsc.seed = static_cast<std::uint64_t>(seed);
-      const auto gr = harness::run_gwts(gsc);
-
-      gsc.signed_rb = true;
-      const auto gcr = harness::run_gwts(gsc);
-      gsc.signed_rb = false;
-
-      harness::GsbsScenario ssc;
-      ssc.n = n;
-      ssc.f = f;
-      ssc.adversary = Adversary::kNone;
-      ssc.target_decisions = 3;
-      ssc.submissions_per_proc = 3;
-      ssc.seed = static_cast<std::uint64_t>(seed);
-      const auto sr = harness::run_gsbs(ssc);
-
-      ok = ok && fr.spec.ok() && gr.spec.ok() && gcr.spec.ok() &&
-           sr.spec.ok();
-      fa.add(fr.msgs_per_decision_per_proposer);
-      gw.add(gr.msgs_per_decision_per_proposer);
-      gwc.add(gcr.msgs_per_decision_per_proposer);
-      gs.add(sr.msgs_per_decision_per_proposer);
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      const Quad& q = quads[ni * kSeeds + seed];
+      ok = ok && q.fr.spec.ok() && q.gr.spec.ok() && q.gcr.spec.ok() &&
+           q.sr.spec.ok();
+      fa.add(q.fr.msgs_per_decision_per_proposer);
+      gw.add(q.gr.msgs_per_decision_per_proposer);
+      gwc.add(q.gcr.msgs_per_decision_per_proposer);
+      gs.add(q.sr.msgs_per_decision_per_proposer);
+      total_events += q.fr.events + q.gr.events + q.gcr.events + q.sr.events;
+      add_crypto(q.gr.crypto);
+      add_crypto(q.gcr.crypto);
+      add_crypto(q.sr.crypto);
     }
-    table.row() << n << fa.mean() << gw.mean() << gwc.mean() << gs.mean()
-                << gw.mean() / fa.mean() << gs.mean() / fa.mean() << ok;
+    table.row() << ns[ni] << fa.mean() << gw.mean() << gwc.mean()
+                << gs.mean() << gw.mean() / fa.mean()
+                << gs.mean() / fa.mean() << ok;
   }
   table.print();
   bench::note(
@@ -73,5 +151,42 @@ int main() {
       "compresses it to a near-constant factor — the §8\nmotivation. The "
       "baseline, of course, is only safe without Byzantine processes\n"
       "(see T7).");
+
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  const double events_per_sec =
+      wall_seconds > 0 ? static_cast<double>(total_events) / wall_seconds
+                       : 0.0;
+
+  bench::banner("Run summary (wall clock + crypto work)");
+  std::cout << "wall_seconds       " << wall_seconds << "\n"
+            << "jobs               " << jobs << "\n"
+            << "total_events       " << total_events << "\n"
+            << "events_per_sec     " << events_per_sec << "\n"
+            << "macs_computed      " << crypto_totals.macs_computed << "\n"
+            << "verify_cache_hits  " << crypto_totals.verify_cache_hits
+            << "\n"
+            << "verify_cache_miss  " << crypto_totals.verify_cache_misses
+            << "\n"
+            << "verifies_skipped   " << crypto_totals.verifies_skipped
+            << "\n";
+
+  bench::Json crypto;
+  crypto.set("macs_computed", crypto_totals.macs_computed)
+      .set("verify_cache_hits", crypto_totals.verify_cache_hits)
+      .set("verify_cache_misses", crypto_totals.verify_cache_misses)
+      .set("verifies_skipped", crypto_totals.verifies_skipped);
+  bench::Json out;
+  out.set("bench", "baseline")
+      .set("wall_seconds", wall_seconds)
+      .set("jobs", jobs)
+      .set("total_events", total_events)
+      .set("events_per_sec", events_per_sec)
+      .raw("crypto", crypto.str());
+  if (!out.write(json_path)) {
+    std::cerr << "warning: could not write " << json_path << "\n";
+  }
   return 0;
 }

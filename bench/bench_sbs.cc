@@ -5,49 +5,124 @@
 // process when f = O(1), vs WTS's O(n²); it pays with message *size*
 // (proof-carrying proposals up to O(n²) bytes). (b) §8.2: GSbS brings the
 // per-decision message complexity down from GWTS's O(f·n²) to O(f·n).
+//
+// Independent (config × seed) simulations fan out across a thread pool
+// (--jobs N, default: hardware concurrency); each sim owns its Network and
+// SignatureAuthority, and results are aggregated in submission order, so
+// every printed number is identical to a serial run. The run ends with a
+// wall-clock/crypto summary and a machine-readable BENCH_sbs.json.
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/json.h"
 #include "bench/table.h"
 #include "harness/scenario.h"
+#include "util/thread_pool.h"
 
 using namespace bgla;
 using harness::Adversary;
 
-int main() {
+namespace {
+
+/// Totals across every simulation the bench ran.
+struct BenchTotals {
+  std::uint64_t events = 0;
+  harness::CryptoReport crypto;
+
+  void add(std::uint64_t ev, const harness::CryptoReport& c) {
+    events += ev;
+    crypto.macs_computed += c.macs_computed;
+    crypto.verify_cache_hits += c.verify_cache_hits;
+    crypto.verify_cache_misses += c.verify_cache_misses;
+    crypto.verifies_skipped += c.verifies_skipped;
+  }
+};
+
+/// Strict digits-only flag-value parser (stoul accepts junk suffixes and
+/// throws on garbage; a bad CLI value should print usage, not terminate).
+bool parse_count(const char* s, std::size_t* out) {
+  if (*s == '\0') return false;
+  std::size_t v = 0;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    v = v * 10 + static_cast<std::size_t>(*p - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t jobs = util::ThreadPool::default_workers();
+  std::string json_path = "BENCH_sbs.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc && parse_count(argv[++i], &jobs)) {
+      // parsed in the condition
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_sbs [--jobs N] [--json PATH]\n";
+      return 2;
+    }
+  }
+
+  util::ThreadPool pool(jobs);
+  jobs = pool.workers();  // report the clamped count (e.g. --jobs 0 -> 1)
+  BenchTotals totals;
+  const auto wall_start = std::chrono::steady_clock::now();
+
   bench::banner(
       "T4a: one-shot — SbS vs WTS, messages and bytes per process "
       "(f = 1, n sweep)");
 
   {
+    const std::vector<std::uint32_t> ns = {4, 7, 10, 16, 25, 31};
+    constexpr int kSeeds = 5;
+    struct Pair {
+      harness::WtsReport wr;
+      harness::SbsReport sr;
+    };
+    const auto pairs = util::parallel_for_indexed<Pair>(
+        pool, ns.size() * kSeeds, [&ns](std::size_t i) {
+          const std::uint32_t n = ns[i / kSeeds];
+          const int seed = static_cast<int>(i % kSeeds) + 1;
+          harness::WtsScenario w;
+          w.n = n;
+          w.f = 1;
+          w.byz_count = 1;
+          w.adversary = Adversary::kMute;
+          w.seed = static_cast<std::uint64_t>(seed);
+          harness::SbsScenario s;
+          s.n = n;
+          s.f = 1;
+          s.byz_count = 1;
+          s.adversary = Adversary::kMute;
+          s.seed = static_cast<std::uint64_t>(seed);
+          return Pair{harness::run_wts(w), harness::run_sbs(s)};
+        });
+
     bench::Table table({"n", "wts msgs/proc", "sbs msgs/proc", "msg ratio",
                         "wts bytes/proc", "sbs bytes/proc", "sbs depth",
                         "4f+5", "both specs ok"});
-    for (std::uint32_t n : {4u, 7u, 10u, 16u, 25u, 31u}) {
+    for (std::size_t ni = 0; ni < ns.size(); ++ni) {
       bench::Agg wmsgs, smsgs, wbytes, sbytes, sdepth;
       bool ok = true;
-      for (int seed = 1; seed <= 5; ++seed) {
-        harness::WtsScenario w;
-        w.n = n;
-        w.f = 1;
-        w.byz_count = 1;
-        w.adversary = Adversary::kMute;
-        w.seed = static_cast<std::uint64_t>(seed);
-        const auto wr = harness::run_wts(w);
-
-        harness::SbsScenario s;
-        s.n = n;
-        s.f = 1;
-        s.byz_count = 1;
-        s.adversary = Adversary::kMute;
-        s.seed = static_cast<std::uint64_t>(seed);
-        const auto sr = harness::run_sbs(s);
-
-        ok = ok && wr.spec.ok() && sr.spec.ok();
-        wmsgs.add(static_cast<double>(wr.max_msgs_per_correct));
-        smsgs.add(static_cast<double>(sr.max_msgs_per_correct));
-        wbytes.add(static_cast<double>(wr.max_bytes_per_correct));
-        sbytes.add(static_cast<double>(sr.max_bytes_per_correct));
-        sdepth.add(static_cast<double>(sr.max_depth));
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        const Pair& p = pairs[ni * kSeeds + seed];
+        ok = ok && p.wr.spec.ok() && p.sr.spec.ok();
+        wmsgs.add(static_cast<double>(p.wr.max_msgs_per_correct));
+        smsgs.add(static_cast<double>(p.sr.max_msgs_per_correct));
+        wbytes.add(static_cast<double>(p.wr.max_bytes_per_correct));
+        sbytes.add(static_cast<double>(p.sr.max_bytes_per_correct));
+        sdepth.add(static_cast<double>(p.sr.max_depth));
+        totals.add(p.wr.events, {});
+        totals.add(p.sr.events, p.sr.crypto);
       }
-      table.row() << n << wmsgs.mean() << smsgs.mean()
+      table.row() << ns[ni] << wmsgs.mean() << smsgs.mean()
                   << wmsgs.mean() / smsgs.mean() << wbytes.mean()
                   << sbytes.mean()
                   << static_cast<std::uint64_t>(sdepth.max()) << 4 * 1 + 5
@@ -62,27 +137,39 @@ int main() {
 
   bench::banner("T4b: SbS delay bound vs f (Theorem 8: ≤ 4f+5)");
   {
-    bench::Table table(
-        {"n", "f", "adversary", "max_depth", "4f+5", "max_refines", "2f",
-         "spec_ok"});
-    for (std::uint32_t f : {1u, 2u, 3u, 4u}) {
-      const std::uint32_t n = 3 * f + 1;
-      for (Adversary adv :
-           {Adversary::kMute, Adversary::kEquivocator,
-            Adversary::kStaleNacker}) {
-        bench::Agg depth, refines;
-        bool ok = true;
-        for (int seed = 1; seed <= 8; ++seed) {
+    const std::vector<std::uint32_t> fs = {1, 2, 3, 4};
+    const std::vector<Adversary> advs = {
+        Adversary::kMute, Adversary::kEquivocator, Adversary::kStaleNacker};
+    constexpr int kSeeds = 8;
+    const auto reps = util::parallel_for_indexed<harness::SbsReport>(
+        pool, fs.size() * advs.size() * kSeeds, [&](std::size_t i) {
+          const std::uint32_t f = fs[i / (advs.size() * kSeeds)];
+          const Adversary adv = advs[(i / kSeeds) % advs.size()];
+          const int seed = static_cast<int>(i % kSeeds) + 1;
           harness::SbsScenario sc;
-          sc.n = n;
+          sc.n = 3 * f + 1;
           sc.f = f;
           sc.byz_count = f;
           sc.adversary = adv;
           sc.seed = static_cast<std::uint64_t>(seed);
-          const auto rep = harness::run_sbs(sc);
+          return harness::run_sbs(sc);
+        });
+
+    bench::Table table(
+        {"n", "f", "adversary", "max_depth", "4f+5", "max_refines", "2f",
+         "spec_ok"});
+    std::size_t i = 0;
+    for (std::uint32_t f : fs) {
+      const std::uint32_t n = 3 * f + 1;
+      for (Adversary adv : advs) {
+        bench::Agg depth, refines;
+        bool ok = true;
+        for (int seed = 0; seed < kSeeds; ++seed, ++i) {
+          const auto& rep = reps[i];
           ok = ok && rep.completed && rep.spec.ok();
           depth.add(static_cast<double>(rep.max_depth));
           refines.add(static_cast<double>(rep.max_refinements));
+          totals.add(rep.events, rep.crypto);
         }
         table.row() << n << f << harness::adversary_name(adv)
                     << static_cast<std::uint64_t>(depth.max()) << 4 * f + 5
@@ -97,44 +184,92 @@ int main() {
       "T4c: generalised — GSbS vs GWTS, messages per decision per proposer "
       "(§8.2: O(f·n) vs O(f·n²))");
   {
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>> sizes = {
+        {4, 1}, {7, 2}, {10, 3}, {13, 4}};
+    constexpr int kSeeds = 3;
+    struct Pair {
+      harness::GwtsReport gr;
+      harness::GsbsReport sr;
+    };
+    const auto pairs = util::parallel_for_indexed<Pair>(
+        pool, sizes.size() * kSeeds, [&sizes](std::size_t i) {
+          const auto [n, f] = sizes[i / kSeeds];
+          const int seed = static_cast<int>(i % kSeeds) + 1;
+          harness::GwtsScenario gw;
+          gw.n = n;
+          gw.f = f;
+          gw.byz_count = f;
+          gw.adversary = Adversary::kMute;
+          gw.target_decisions = 4;
+          gw.seed = static_cast<std::uint64_t>(seed);
+          harness::GsbsScenario gs;
+          gs.n = n;
+          gs.f = f;
+          gs.byz_count = f;
+          gs.adversary = Adversary::kMute;
+          gs.target_decisions = 4;
+          gs.seed = static_cast<std::uint64_t>(seed);
+          return Pair{harness::run_gwts(gw), harness::run_gsbs(gs)};
+        });
+
     bench::Table table({"n", "f", "gwts msgs/dec", "gsbs msgs/dec", "ratio",
                         "both specs ok"});
-    for (const auto& [n, f] :
-         std::vector<std::pair<std::uint32_t, std::uint32_t>>{
-             {4, 1}, {7, 2}, {10, 3}, {13, 4}}) {
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
       bench::Agg g, s;
       bool ok = true;
-      for (int seed = 1; seed <= 3; ++seed) {
-        harness::GwtsScenario gw;
-        gw.n = n;
-        gw.f = f;
-        gw.byz_count = f;
-        gw.adversary = Adversary::kMute;
-        gw.target_decisions = 4;
-        gw.seed = static_cast<std::uint64_t>(seed);
-        const auto gr = harness::run_gwts(gw);
-
-        harness::GsbsScenario gs;
-        gs.n = n;
-        gs.f = f;
-        gs.byz_count = f;
-        gs.adversary = Adversary::kMute;
-        gs.target_decisions = 4;
-        gs.seed = static_cast<std::uint64_t>(seed);
-        const auto sr = harness::run_gsbs(gs);
-
-        ok = ok && gr.spec.ok() && sr.spec.ok();
-        g.add(gr.msgs_per_decision_per_proposer);
-        s.add(sr.msgs_per_decision_per_proposer);
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        const Pair& p = pairs[si * kSeeds + seed];
+        ok = ok && p.gr.spec.ok() && p.sr.spec.ok();
+        g.add(p.gr.msgs_per_decision_per_proposer);
+        s.add(p.sr.msgs_per_decision_per_proposer);
+        totals.add(p.gr.events, p.gr.crypto);
+        totals.add(p.sr.events, p.sr.crypto);
       }
-      table.row() << n << f << g.mean() << s.mean() << g.mean() / s.mean()
-                  << ok;
+      table.row() << sizes[si].first << sizes[si].second << g.mean()
+                  << s.mean() << g.mean() / s.mean() << ok;
     }
     table.print();
     bench::note(
         "\nShape check: the GWTS/GSbS ratio grows ~linearly in n — one n "
         "factor removed,\nexactly the reliable-broadcast acks the "
         "signatures replace.");
+  }
+
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  const double events_per_sec =
+      wall_seconds > 0 ? static_cast<double>(totals.events) / wall_seconds
+                       : 0.0;
+
+  bench::banner("Run summary (wall clock + crypto work)");
+  std::cout << "wall_seconds       " << wall_seconds << "\n"
+            << "jobs               " << jobs << "\n"
+            << "total_events       " << totals.events << "\n"
+            << "events_per_sec     " << events_per_sec << "\n"
+            << "macs_computed      " << totals.crypto.macs_computed << "\n"
+            << "verify_cache_hits  " << totals.crypto.verify_cache_hits
+            << "\n"
+            << "verify_cache_miss  " << totals.crypto.verify_cache_misses
+            << "\n"
+            << "verifies_skipped   " << totals.crypto.verifies_skipped
+            << "\n";
+
+  bench::Json crypto;
+  crypto.set("macs_computed", totals.crypto.macs_computed)
+      .set("verify_cache_hits", totals.crypto.verify_cache_hits)
+      .set("verify_cache_misses", totals.crypto.verify_cache_misses)
+      .set("verifies_skipped", totals.crypto.verifies_skipped);
+  bench::Json out;
+  out.set("bench", "sbs")
+      .set("wall_seconds", wall_seconds)
+      .set("jobs", jobs)
+      .set("total_events", totals.events)
+      .set("events_per_sec", events_per_sec)
+      .raw("crypto", crypto.str());
+  if (!out.write(json_path)) {
+    std::cerr << "warning: could not write " << json_path << "\n";
   }
   return 0;
 }

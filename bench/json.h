@@ -1,0 +1,76 @@
+// Minimal JSON emitter for the machine-readable BENCH_*.json artifacts.
+// Flat objects with string/number/bool fields plus one level of nesting
+// (raw() splices a pre-rendered value); fields keep insertion order.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bgla::bench {
+
+class Json {
+ public:
+  Json& set(const std::string& key, const std::string& v) {
+    std::string out = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    fields_.emplace_back(key, std::move(out));
+    return *this;
+  }
+  Json& set(const std::string& key, const char* v) {
+    return set(key, std::string(v));
+  }
+  Json& set(const std::string& key, bool v) {
+    fields_.emplace_back(key, v ? "true" : "false");
+    return *this;
+  }
+  Json& set(const std::string& key, double v) {
+    std::ostringstream os;
+    os << v;
+    fields_.emplace_back(key, os.str());
+    return *this;
+  }
+  Json& set(const std::string& key, std::uint64_t v) {
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  Json& set(const std::string& key, int v) {
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  /// Splices an already-rendered JSON value (nested object/array).
+  Json& raw(const std::string& key, const std::string& rendered) {
+    fields_.emplace_back(key, rendered);
+    return *this;
+  }
+
+  std::string str() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + fields_[i].first + "\":" + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+  /// Writes the object (plus trailing newline) to `path`; returns success.
+  bool write(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << str() << "\n";
+    return static_cast<bool>(f);
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace bgla::bench

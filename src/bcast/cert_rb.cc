@@ -150,7 +150,10 @@ void CertRbEndpoint::on_final(const sim::MessagePtr& msg) {
       std::static_pointer_cast<const CrbFinalMsg>(msg);
   ReceiverInstance& inst = received_[final->key];
   if (inst.delivered) return;
-  if (!final->well_formed(auth_, quorum())) return;
+  if (verified_finals_.count(final->digest()) == 0) {
+    if (!final->well_formed(auth_, quorum())) return;
+    verified_finals_.insert(final->digest());
+  }
   inst.delivered = true;
   // Totality: propagate the self-verifying certificate once.
   if (!inst.forwarded) {

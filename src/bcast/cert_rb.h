@@ -134,6 +134,10 @@ class CertRbEndpoint final : public RbEndpoint {
   DeliverFn deliver_;
   std::map<std::uint64_t, OriginInstance> own_;       // by tag
   std::map<CrbKey, ReceiverInstance> received_;
+  // Digests of FINALs whose certificate this endpoint already validated;
+  // re-received copies (totality forwards each FINAL n times) skip the
+  // quorum of signature checks. Sound: the digest covers payload + cert.
+  std::set<crypto::Digest> verified_finals_;
 };
 
 }  // namespace bgla::bcast

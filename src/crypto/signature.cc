@@ -6,7 +6,9 @@
 namespace bgla::crypto {
 
 SignatureAuthority::SignatureAuthority(std::uint32_t num_processes,
-                                       std::uint64_t seed) {
+                                       std::uint64_t seed,
+                                       std::size_t cache_capacity)
+    : cache_capacity_(cache_capacity) {
   Rng rng(seed ^ 0x5167c0de5167c0deull);
   keys_.reserve(num_processes);
   for (std::uint32_t i = 0; i < num_processes; ++i) {
@@ -30,13 +32,50 @@ Signature SignatureAuthority::sign_as(ProcessId id, BytesView message) const {
   Signature sig;
   sig.signer = id;
   sig.mac = hmac_sha256(keys_[id], message);
+  ++counters_.macs_computed;
+  if (cache_capacity_ > 0) {
+    // A freshly produced MAC is by construction genuine — seed the verify
+    // cache so the signer's own (and echoed) artifacts hit immediately.
+    if (verified_.size() >= cache_capacity_) verified_.clear();
+    verified_.emplace(std::make_pair(id, Sha256::hash(message)), sig.mac);
+  }
   return sig;
 }
 
 bool SignatureAuthority::verify(const Signature& sig,
                                 BytesView message) const {
   if (sig.signer >= keys_.size()) return false;
-  return hmac_sha256(keys_[sig.signer], message) == sig.mac;
+  if (cache_capacity_ == 0) {
+    ++counters_.macs_computed;
+    return hmac_sha256(keys_[sig.signer], message) == sig.mac;
+  }
+  return verify_with_digest(sig, Sha256::hash(message), message);
+}
+
+bool SignatureAuthority::verify_with_digest(const Signature& sig,
+                                            const Digest& message_digest,
+                                            BytesView message) const {
+  if (sig.signer >= keys_.size()) return false;
+  if (cache_capacity_ == 0) {
+    ++counters_.macs_computed;
+    return hmac_sha256(keys_[sig.signer], message) == sig.mac;
+  }
+  const auto key = std::make_pair(sig.signer, message_digest);
+  const auto it = verified_.find(key);
+  if (it != verified_.end()) {
+    ++counters_.verify_cache_hits;
+    // Cached MAC is the genuine one for this (signer, payload); anything
+    // else — including a forgery replayed after a genuine verification —
+    // is invalid without recomputation.
+    return it->second == sig.mac;
+  }
+  ++counters_.verify_cache_misses;
+  ++counters_.macs_computed;
+  const Digest mac = hmac_sha256(keys_[sig.signer], message);
+  if (mac != sig.mac) return false;  // never cache failures
+  if (verified_.size() >= cache_capacity_) verified_.clear();
+  verified_.emplace(key, mac);
+  return true;
 }
 
 Signature Signer::sign(BytesView message) const {

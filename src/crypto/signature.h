@@ -8,9 +8,26 @@
 // produce signatures as itself), and verification recomputes the MAC inside
 // the authority. This preserves exactly the unforgeability assumption the
 // §8 proofs rely on while remaining deterministic and dependency-free.
+//
+// Verification cache: the authority memoizes successful verifications
+// keyed by (signer, SHA-256 of the payload) — the classic BFT MAC-cache
+// optimisation (Castro & Liskov). A hit compares the stored MAC against
+// the presented one; forged or tampered signatures therefore still fail
+// even when the same (signer, payload) was verified before, because a
+// different MAC never matches the cached genuine one, and a tampered
+// payload hashes to a different cache key. The cache only ever stores
+// MACs that passed a full HMAC recomputation, so it cannot be poisoned by
+// Byzantine senders. Hit/miss/MAC counters are kept for the benches.
+//
+// Thread safety: one authority serves one (single-threaded) simulation.
+// When independent simulations fan out across a thread pool, each owns
+// its authority, so the mutable cache and counters are never contended.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "crypto/hmac.h"
@@ -24,6 +41,21 @@ struct Signature {
   Digest mac{};
 
   bool operator==(const Signature& other) const = default;
+};
+
+/// Counters for the crypto hot path (MACs actually computed vs. cache
+/// hits); surfaced through the benches so speedups are measured.
+struct CryptoCounters {
+  std::uint64_t macs_computed = 0;     ///< HMAC evaluations (sign + verify)
+  std::uint64_t verify_cache_hits = 0;
+  std::uint64_t verify_cache_misses = 0;
+
+  CryptoCounters& operator+=(const CryptoCounters& o) {
+    macs_computed += o.macs_computed;
+    verify_cache_hits += o.verify_cache_hits;
+    verify_cache_misses += o.verify_cache_misses;
+    return *this;
+  }
 };
 
 class SignatureAuthority;
@@ -49,7 +81,12 @@ class Signer {
 /// Holds all secret keys; the only component able to create or check MACs.
 class SignatureAuthority {
  public:
-  SignatureAuthority(std::uint32_t num_processes, std::uint64_t seed);
+  /// `cache_capacity` bounds the verified-signature cache (entries); 0
+  /// disables caching entirely (every verify recomputes the HMAC).
+  SignatureAuthority(std::uint32_t num_processes, std::uint64_t seed,
+                     std::size_t cache_capacity = kDefaultCacheCapacity);
+
+  static constexpr std::size_t kDefaultCacheCapacity = 1 << 16;
 
   /// Creates the signing capability for process `id`.
   Signer signer_for(ProcessId id) const;
@@ -57,15 +94,28 @@ class SignatureAuthority {
   /// True iff `sig` is a valid signature by `sig.signer` over `message`.
   bool verify(const Signature& sig, BytesView message) const;
 
+  /// Same check, with the caller supplying SHA-256(message) — lets hot
+  /// paths that already hold a memoized payload digest (e.g. Elem) skip
+  /// even the cache-key hash on a hit.
+  bool verify_with_digest(const Signature& sig, const Digest& message_digest,
+                          BytesView message) const;
+
   std::uint32_t num_processes() const {
     return static_cast<std::uint32_t>(keys_.size());
   }
+
+  const CryptoCounters& counters() const { return counters_; }
+  void reset_counters() const { counters_ = CryptoCounters{}; }
 
  private:
   friend class Signer;
   Signature sign_as(ProcessId id, BytesView message) const;
 
   std::vector<Bytes> keys_;
+  std::size_t cache_capacity_;
+  // (signer, payload digest) -> genuine MAC, verified once by full HMAC.
+  mutable std::map<std::pair<ProcessId, Digest>, Digest> verified_;
+  mutable CryptoCounters counters_;
 };
 
 }  // namespace bgla::crypto

@@ -120,6 +120,23 @@ std::unique_ptr<sim::Process> make_gwts_adversary(Adversary a,
 }  // namespace
 
 namespace {
+
+/// Copies the run's crypto counters into the report and the network's
+/// Metrics (so benches reading either see the same numbers).
+CryptoReport gather_crypto(const crypto::SignatureAuthority& auth,
+                           std::uint64_t verifies_skipped,
+                           sim::Network& net) {
+  const crypto::CryptoCounters& c = auth.counters();
+  net.metrics().add_crypto(c);
+  net.metrics().add_verifies_skipped(verifies_skipped);
+  CryptoReport r;
+  r.macs_computed = c.macs_computed;
+  r.verify_cache_hits = c.verify_cache_hits;
+  r.verify_cache_misses = c.verify_cache_misses;
+  r.verifies_skipped = verifies_skipped;
+  return r;
+}
+
 std::optional<sim::Tracer> maybe_trace(sim::Network& net, bool trace,
                                        bool include_broadcast) {
   if (!trace) return std::nullopt;
@@ -209,6 +226,7 @@ WtsReport run_wts(const WtsScenario& sc) {
 
   WtsReport rep;
   rep.end_time = rr.end_time;
+  rep.events = rr.events;
   rep.total_msgs = net.metrics().total_messages();
 
   std::vector<la::LaView> views;
@@ -316,8 +334,12 @@ GwtsReport run_gwts(const GwtsScenario& sc) {
 
   GwtsReport rep;
   rep.end_time = rr.end_time;
+  rep.events = rr.events;
   rep.total_msgs = net.metrics().total_messages();
   rep.completed = rr.stopped || all_done();
+  if (sc.signed_rb) {
+    rep.crypto = gather_crypto(rb_auth, /*verifies_skipped=*/0, net);
+  }
 
   std::vector<la::GlaView> views;
   Elem byz_disclosed;
@@ -418,7 +440,13 @@ SbsReport run_sbs(const SbsScenario& sc) {
 
   SbsReport rep;
   rep.end_time = rr.end_time;
+  rep.events = rr.events;
   rep.total_msgs = net.metrics().total_messages();
+  {
+    std::uint64_t skipped = 0;
+    for (const auto& p : correct) skipped += p->stats().verifies_skipped;
+    rep.crypto = gather_crypto(auth, skipped, net);
+  }
 
   std::vector<la::LaView> views;
   std::set<ProcessId> byz_ids;
@@ -561,8 +589,14 @@ GsbsReport run_gsbs(const GsbsScenario& sc) {
 
   GsbsReport rep;
   rep.end_time = rr.end_time;
+  rep.events = rr.events;
   rep.total_msgs = net.metrics().total_messages();
   rep.completed = rr.stopped || all_done();
+  {
+    std::uint64_t skipped = 0;
+    for (const auto& p : correct) skipped += p->stats().verifies_skipped;
+    rep.crypto = gather_crypto(auth, skipped, net);
+  }
 
   std::vector<la::GlaView> views;
   Elem byz_disclosed;
@@ -642,6 +676,7 @@ FaleiroReport run_faleiro(const FaleiroScenario& sc) {
 
   FaleiroReport rep;
   rep.end_time = rr.end_time;
+  rep.events = rr.events;
   rep.total_msgs = net.metrics().total_messages();
   rep.completed = rr.quiescent;
 

@@ -42,6 +42,17 @@ const char* sched_name(Sched s);
 
 std::unique_ptr<sim::DelayModel> make_delay(Sched sched);
 
+/// Crypto-work accounting for one run: HMAC computations and the two
+/// cache layers that avoid them (the authority-level MAC cache and the
+/// per-process verified-ack digest memo). All zero for protocols that use
+/// no signatures.
+struct CryptoReport {
+  std::uint64_t macs_computed = 0;
+  std::uint64_t verify_cache_hits = 0;
+  std::uint64_t verify_cache_misses = 0;
+  std::uint64_t verifies_skipped = 0;
+};
+
 // ------------------------------------------------------------------ WTS --
 
 struct WtsScenario {
@@ -69,6 +80,7 @@ struct WtsReport {
   std::uint64_t max_msgs_per_correct = 0;
   std::uint64_t max_bytes_per_correct = 0;
   std::uint64_t total_msgs = 0;
+  std::uint64_t events = 0;  ///< deliveries performed
   sim::Time end_time = 0;
 };
 
@@ -107,6 +119,8 @@ struct GwtsReport {
   std::uint64_t max_round_refinements = 0;      ///< ≤ f claim (Lemma 10)
   std::uint64_t max_msgs_per_correct = 0;
   std::uint64_t total_msgs = 0;
+  std::uint64_t events = 0;
+  CryptoReport crypto;  ///< non-zero only with signed_rb
   sim::Time end_time = 0;
 };
 
@@ -137,6 +151,8 @@ struct SbsReport {
   std::uint64_t max_msgs_per_correct = 0;
   std::uint64_t max_bytes_per_correct = 0;
   std::uint64_t total_msgs = 0;
+  std::uint64_t events = 0;
+  CryptoReport crypto;
   sim::Time end_time = 0;
 };
 
@@ -169,6 +185,8 @@ struct GsbsReport {
   std::uint64_t max_msgs_per_correct = 0;
   std::uint64_t max_bytes_per_correct = 0;
   std::uint64_t total_msgs = 0;
+  std::uint64_t events = 0;
+  CryptoReport crypto;
   sim::Time end_time = 0;
 };
 
@@ -197,6 +215,7 @@ struct FaleiroReport {
   double msgs_per_decision_per_proposer = 0.0;
   std::uint64_t max_msgs_per_correct = 0;
   std::uint64_t total_msgs = 0;
+  std::uint64_t events = 0;
   sim::Time end_time = 0;
 };
 

@@ -118,6 +118,7 @@ void GsbsProcess::handle_safe_ack(ProcessId from, const GSSafeAckMsg& m,
   for (const auto& [x, y] : m.conflicts) {
     if (!batches_conflict(x, y, auth_)) return;  // fabricated conflict
   }
+  verified_acks_.insert(m.digest());
   if (safe_ack_senders_.insert(from).second) {
     safe_acks_.push_back(std::static_pointer_cast<const GSSafeAckMsg>(self));
   }
@@ -152,13 +153,22 @@ void GsbsProcess::broadcast_proposal() {
 }
 
 bool GsbsProcess::all_safe(const SafeBatchSet& set, const LaConfig& cfg,
-                           const crypto::SignatureAuthority& auth) {
+                           const crypto::SignatureAuthority& auth,
+                           std::set<crypto::Digest>* verified_acks,
+                           std::uint64_t* skipped) {
   for (const auto& [k, sb] : set.entries()) {
     if (!cfg.admissible(sb.b.value) || !sb.b.verify(auth)) return false;
     if (sb.proof.size() < cfg.quorum()) return false;
     std::set<ProcessId> senders;
     for (const GSafeAckPtr& ack : sb.proof) {
-      if (ack == nullptr || !ack->verify(auth)) return false;
+      if (ack == nullptr) return false;
+      if (verified_acks != nullptr &&
+          verified_acks->count(ack->digest()) > 0) {
+        if (skipped != nullptr) ++*skipped;
+      } else {
+        if (!ack->verify(auth)) return false;
+        if (verified_acks != nullptr) verified_acks->insert(ack->digest());
+      }
       if (ack->round != k.round) return false;
       if (!senders.insert(ack->acceptor).second) return false;
       if (!ack->rcvd.contains(k)) return false;
@@ -169,7 +179,10 @@ bool GsbsProcess::all_safe(const SafeBatchSet& set, const LaConfig& cfg,
 }
 
 void GsbsProcess::handle_ack_req(ProcessId from, const GSAckReqMsg& m) {
-  if (!all_safe(m.proposal, cfg_, auth_)) return;
+  if (!all_safe(m.proposal, cfg_, auth_, &verified_acks_,
+                &stats_.verifies_skipped)) {
+    return;
+  }
   if (accepted_.leq(m.proposal)) {
     accepted_ = m.proposal;
     const crypto::Digest fp = accepted_.fingerprint();
@@ -207,7 +220,10 @@ void GsbsProcess::handle_nack(const GSNackMsg& m) {
   if (state_ != State::kProposing || m.ts != ts_ || m.round != round_) {
     return;
   }
-  if (!all_safe(m.accepted, cfg_, auth_)) return;
+  if (!all_safe(m.accepted, cfg_, auth_, &verified_acks_,
+                &stats_.verifies_skipped)) {
+    return;
+  }
   const SafeBatchSet merged = m.accepted.unioned(proposed_);
   if (merged.same_as(proposed_)) return;
   proposed_ = merged;
@@ -224,7 +240,10 @@ void GsbsProcess::handle_nack(const GSNackMsg& m) {
 void GsbsProcess::handle_cert(const sim::MessagePtr& msg) {
   const auto cert = std::static_pointer_cast<const GSDecidedMsg>(msg);
   if (!cert->well_formed(auth_, cfg_.quorum())) return;
-  if (!all_safe(cert->set, cfg_, auth_)) return;
+  if (!all_safe(cert->set, cfg_, auth_, &verified_acks_,
+                &stats_.verifies_skipped)) {
+    return;
+  }
   certs_.emplace(cert->round, cert);
 
   // Round trust advances sequentially through certificates (§8.2: trust r

@@ -59,8 +59,14 @@ class GsbsProcess : public sim::Process {
                                         const DecisionRecord&)>;
   void set_decide_hook(DecideHook hook) { decide_hook_ = std::move(hook); }
 
+  /// AllSafe over proof-carrying batches. When `verified_acks` is given,
+  /// acks whose message digest is already in the set skip the signature
+  /// check (the digest covers payload and signature; only verified acks
+  /// are inserted); `skipped` counts the checks avoided.
   static bool all_safe(const SafeBatchSet& set, const LaConfig& cfg,
-                       const crypto::SignatureAuthority& auth);
+                       const crypto::SignatureAuthority& auth,
+                       std::set<crypto::Digest>* verified_acks = nullptr,
+                       std::uint64_t* skipped = nullptr);
 
  private:
   void start_round();
@@ -109,6 +115,10 @@ class GsbsProcess : public sim::Process {
   SafeBatchSet accepted_;
   std::uint64_t trusted_ = 0;
   std::map<std::uint64_t, std::shared_ptr<const GSDecidedMsg>> certs_;
+
+  // Digests of safe_acks this process has already verified; proofs are
+  // re-checked on every ack_req/nack/cert, so each ack is MAC-checked once.
+  std::set<crypto::Digest> verified_acks_;
 
   std::deque<std::pair<ProcessId, sim::MessagePtr>> waiting_;
   std::vector<DecisionRecord> decisions_;

@@ -27,6 +27,14 @@ std::string SignedBatch::to_string() const {
   return os.str();
 }
 
+bool SignedBatch::verify(const crypto::SignatureAuthority& auth) const {
+  const Bytes& payload = payload_cache_.encoded(
+      [this] { return signed_payload(value, round); });
+  const crypto::Digest& digest = payload_cache_.digest(
+      [this] { return signed_payload(value, round); });
+  return auth.verify_with_digest(sig, digest, payload);
+}
+
 SignedBatch make_signed_batch(const crypto::Signer& signer, Elem value,
                               std::uint64_t round) {
   SignedBatch sb;
@@ -45,7 +53,9 @@ bool batches_conflict(const SignedBatch& x, const SignedBatch& y,
 // --------------------------------------------------------- SignedBatchSet --
 
 bool SignedBatchSet::insert(const SignedBatch& sb) {
-  return entries_.emplace(sb.key(), sb).second;
+  const bool inserted = entries_.emplace(sb.key(), sb).second;
+  if (inserted) fp_cache_.reset();
+  return inserted;
 }
 
 std::vector<std::pair<SignedBatch, SignedBatch>> SignedBatchSet::conflicts(
@@ -66,18 +76,22 @@ std::vector<std::pair<SignedBatch, SignedBatch>> SignedBatchSet::conflicts(
 void SignedBatchSet::remove_conflicts(
     const crypto::SignatureAuthority& auth) {
   for (const auto& [x, y] : conflicts(auth)) {
-    entries_.erase(x.key());
-    entries_.erase(y.key());
+    if (entries_.erase(x.key()) + entries_.erase(y.key()) > 0) {
+      fp_cache_.reset();
+    }
   }
 }
 
 SignedBatchSet SignedBatchSet::unioned(const SignedBatchSet& other) const {
   SignedBatchSet out = *this;
-  for (const auto& [k, sb] : other.entries_) out.entries_.emplace(k, sb);
+  for (const auto& [k, sb] : other.entries_) {
+    if (out.entries_.emplace(k, sb).second) out.fp_cache_.reset();
+  }
   return out;
 }
 
 crypto::Digest SignedBatchSet::fingerprint() const {
+  if (fp_cache_.has_value()) return *fp_cache_;
   Encoder enc;
   enc.put_varint(entries_.size());
   for (const auto& [k, sb] : entries_) {
@@ -85,7 +99,8 @@ crypto::Digest SignedBatchSet::fingerprint() const {
     enc.put_u64(k.round);
     enc.put_bytes(BytesView(k.value_digest.data(), k.value_digest.size()));
   }
-  return crypto::Sha256::hash(enc.bytes());
+  fp_cache_ = crypto::Sha256::hash(enc.bytes());
+  return *fp_cache_;
 }
 
 void SignedBatchSet::encode(Encoder& enc) const {
@@ -96,7 +111,9 @@ void SignedBatchSet::encode(Encoder& enc) const {
 // ----------------------------------------------------------- SafeBatchSet --
 
 bool SafeBatchSet::insert(const SafeBatch& sb) {
-  return entries_.emplace(sb.b.key(), sb).second;
+  const bool inserted = entries_.emplace(sb.b.key(), sb).second;
+  if (inserted) fp_cache_.reset();
+  return inserted;
 }
 
 bool SafeBatchSet::leq(const SafeBatchSet& o) const {
@@ -108,7 +125,9 @@ bool SafeBatchSet::leq(const SafeBatchSet& o) const {
 
 SafeBatchSet SafeBatchSet::unioned(const SafeBatchSet& o) const {
   SafeBatchSet out = *this;
-  for (const auto& [k, sb] : o.entries_) out.entries_.emplace(k, sb);
+  for (const auto& [k, sb] : o.entries_) {
+    if (out.entries_.emplace(k, sb).second) out.fp_cache_.reset();
+  }
   return out;
 }
 
@@ -119,6 +138,7 @@ Elem SafeBatchSet::join_values() const {
 }
 
 crypto::Digest SafeBatchSet::fingerprint() const {
+  if (fp_cache_.has_value()) return *fp_cache_;
   Encoder enc;
   enc.put_varint(entries_.size());
   for (const auto& [k, sb] : entries_) {
@@ -126,7 +146,8 @@ crypto::Digest SafeBatchSet::fingerprint() const {
     enc.put_u64(k.round);
     enc.put_bytes(BytesView(k.value_digest.data(), k.value_digest.size()));
   }
-  return crypto::Sha256::hash(enc.bytes());
+  fp_cache_ = crypto::Sha256::hash(enc.bytes());
+  return *fp_cache_;
 }
 
 void SafeBatchSet::encode(Encoder& enc) const {
@@ -155,7 +176,8 @@ void SafeBatchSet::encode(Encoder& enc) const {
 // ------------------------------------------------------------ GSSafeAckMsg --
 
 void GSSafeAckMsg::encode_payload(Encoder& enc) const {
-  enc.put_bytes(signed_payload(rcvd, conflicts, acceptor, round));
+  enc.put_bytes(payload_cache_.encoded(
+      [this] { return signed_payload(rcvd, conflicts, acceptor, round); }));
   enc.put_u32(sig.signer);
   enc.put_bytes(BytesView(sig.mac.data(), sig.mac.size()));
 }
@@ -178,7 +200,11 @@ Bytes GSSafeAckMsg::signed_payload(
 
 bool GSSafeAckMsg::verify(const crypto::SignatureAuthority& auth) const {
   if (sig.signer != acceptor) return false;
-  return auth.verify(sig, signed_payload(rcvd, conflicts, acceptor, round));
+  const auto fill = [this] {
+    return signed_payload(rcvd, conflicts, acceptor, round);
+  };
+  return auth.verify_with_digest(sig, payload_cache_.digest(fill),
+                                 payload_cache_.encoded(fill));
 }
 
 bool GSSafeAckMsg::mentions_conflict(const SignedBatch::Key& k) const {
@@ -191,7 +217,8 @@ bool GSSafeAckMsg::mentions_conflict(const SignedBatch::Key& k) const {
 // --------------------------------------------------------------- GSAckMsg --
 
 void GSAckMsg::encode_payload(Encoder& enc) const {
-  enc.put_bytes(signed_payload(fp, destination, ts, round));
+  enc.put_bytes(payload_cache_.encoded(
+      [this] { return signed_payload(fp, destination, ts, round); }));
   enc.put_u32(sig.signer);
   enc.put_bytes(BytesView(sig.mac.data(), sig.mac.size()));
 }
@@ -208,7 +235,11 @@ Bytes GSAckMsg::signed_payload(const crypto::Digest& fp,
 }
 
 bool GSAckMsg::verify(const crypto::SignatureAuthority& auth) const {
-  return auth.verify(sig, signed_payload(fp, destination, ts, round));
+  const auto fill = [this] {
+    return signed_payload(fp, destination, ts, round);
+  };
+  return auth.verify_with_digest(sig, payload_cache_.digest(fill),
+                                 payload_cache_.encoded(fill));
 }
 
 // ----------------------------------------------------------- GSDecidedMsg --

@@ -11,6 +11,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "lattice/elem.h"
 #include "sim/message.h"
 #include "util/ids.h"
+#include "util/memo.h"
 
 namespace bgla::la {
 
@@ -31,9 +33,7 @@ struct SignedBatch {
   crypto::Signature sig;
 
   static Bytes signed_payload(const Elem& value, std::uint64_t round);
-  bool verify(const crypto::SignatureAuthority& auth) const {
-    return auth.verify(sig, signed_payload(value, round));
-  }
+  bool verify(const crypto::SignatureAuthority& auth) const;
   ProcessId sender() const { return sig.signer; }
 
   struct Key {
@@ -46,6 +46,10 @@ struct SignedBatch {
 
   void encode(Encoder& enc) const;
   std::string to_string() const;
+
+ private:
+  // Memoized signed payload (value encoding + round); dropped on copy.
+  util::EncodingCache payload_cache_;
 };
 
 SignedBatch make_signed_batch(const crypto::Signer& signer, Elem value,
@@ -80,6 +84,7 @@ class SignedBatchSet {
 
  private:
   std::map<SignedBatch::Key, SignedBatch> entries_;
+  mutable std::optional<crypto::Digest> fp_cache_;
 };
 
 class GSSafeAckMsg;
@@ -114,6 +119,7 @@ class SafeBatchSet {
 
  private:
   std::map<SignedBatch::Key, SafeBatch> entries_;
+  mutable std::optional<crypto::Digest> fp_cache_;
 };
 
 // --------------------------------------------------------- wire messages --
@@ -185,6 +191,11 @@ class GSSafeAckMsg final : public sim::Message {
   ProcessId acceptor;
   std::uint64_t round;
   crypto::Signature sig;
+
+ private:
+  // Memoized signed payload — acks are re-verified inside every SafeBatch
+  // proof they appear in, so the payload encoding is the hot part.
+  util::EncodingCache payload_cache_;
 };
 
 /// <g_ack_req, proposal, ts, round>.
@@ -237,6 +248,10 @@ class GSAckMsg final : public sim::Message {
   std::uint64_t ts;
   std::uint64_t round;
   crypto::Signature sig;
+
+ private:
+  // Memoized signed payload; DECIDED certificates re-verify the same acks.
+  util::EncodingCache payload_cache_;
 };
 
 /// <g_nack, accepted, ts, round>.

@@ -21,6 +21,11 @@ struct ProposerStats {
   std::uint64_t refinements = 0;       ///< executions of the L31/L33 refine
   std::uint64_t max_round_refinements = 0;  ///< max refinements in one round
   std::uint64_t rounds_joined = 0;
+  /// Signature checks skipped because the same ack (by message digest) was
+  /// already verified by this process — the per-process layer of the
+  /// verified-signature cache (the authority-level MAC cache is counted
+  /// separately in crypto::CryptoCounters).
+  std::uint64_t verifies_skipped = 0;
 };
 
 }  // namespace bgla::la

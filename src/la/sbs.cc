@@ -92,6 +92,7 @@ void SbsProcess::handle_safe_ack(ProcessId from, const SSafeAckMsg& m,
     byz_[from] = true;
     return;
   }
+  verified_acks_.insert(m.digest());
   if (safe_ack_senders_.insert(from).second) {
     safe_acks_.push_back(
         std::static_pointer_cast<const SSafeAckMsg>(self));
@@ -127,14 +128,23 @@ void SbsProcess::broadcast_proposal() {
 }
 
 bool SbsProcess::all_safe(const SafeValueSet& set, const LaConfig& cfg,
-                          const crypto::SignatureAuthority& auth) {
+                          const crypto::SignatureAuthority& auth,
+                          std::set<crypto::Digest>* verified_acks,
+                          std::uint64_t* skipped) {
   // Alg 10 L13-20 (AllSafe).
   for (const auto& [k, sv] : set.entries()) {
     if (!cfg.admissible(sv.v.value) || !sv.v.verify(auth)) return false;
     if (sv.proof.size() < cfg.quorum()) return false;
     std::set<ProcessId> senders;
     for (const SafeAckPtr& ack : sv.proof) {
-      if (ack == nullptr || !ack->verify(auth)) return false;
+      if (ack == nullptr) return false;
+      if (verified_acks != nullptr &&
+          verified_acks->count(ack->digest()) > 0) {
+        if (skipped != nullptr) ++*skipped;
+      } else {
+        if (!ack->verify(auth)) return false;
+        if (verified_acks != nullptr) verified_acks->insert(ack->digest());
+      }
       if (!senders.insert(ack->acceptor).second) return false;  // dup
       if (!ack->rcvd.contains(k)) return false;  // v ∉ echoed proposal
       if (ack->mentions_conflict(k)) return false;
@@ -145,7 +155,10 @@ bool SbsProcess::all_safe(const SafeValueSet& set, const LaConfig& cfg,
 
 void SbsProcess::handle_ack_req(ProcessId from, const SAckReqMsg& m) {
   // Alg 9 L7-14 (acceptor role).
-  if (!all_safe(m.proposal, cfg_, auth_)) return;
+  if (!all_safe(m.proposal, cfg_, auth_, &verified_acks_,
+                &stats_.verifies_skipped)) {
+    return;
+  }
   if (accepted_set_.leq(m.proposal)) {
     accepted_set_ = m.proposal;
     send(from, std::make_shared<SAckMsg>(accepted_set_, m.ts));
@@ -171,7 +184,8 @@ void SbsProcess::handle_nack(ProcessId from, const SNackMsg& m) {
   if (state_ != State::kProposing || m.ts != ts_) return;
   const SafeValueSet merged = m.accepted.unioned(proposed_set_);
   if (!merged.same_as(proposed_set_) && !byz_[from] &&
-      all_safe(m.accepted, cfg_, auth_)) {
+      all_safe(m.accepted, cfg_, auth_, &verified_acks_,
+               &stats_.verifies_skipped)) {
     proposed_set_ = merged;
     ack_set_.clear();
     ++ts_;

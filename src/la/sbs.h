@@ -55,9 +55,15 @@ class SbsProcess : public sim::Process {
   /// Non-Triviality checker's B attribution.
   std::map<ProcessId, Elem> proposed_by() const;
 
-  /// AllSafe (Alg 10 L13-20) as a reusable predicate.
+  /// AllSafe (Alg 10 L13-20) as a reusable predicate. When `verified_acks`
+  /// is given, acks whose message digest is already in the set skip the
+  /// signature check (sound: the digest covers payload and signature, and
+  /// only acks that passed verification are inserted); `skipped` counts
+  /// the checks avoided.
   static bool all_safe(const SafeValueSet& set, const LaConfig& cfg,
-                       const crypto::SignatureAuthority& auth);
+                       const crypto::SignatureAuthority& auth,
+                       std::set<crypto::Digest>* verified_acks = nullptr,
+                       std::uint64_t* skipped = nullptr);
 
  private:
   void handle_init(ProcessId from, const SInitMsg& m);
@@ -95,6 +101,10 @@ class SbsProcess : public sim::Process {
   // Acceptor role.
   SignedValueSet safe_candidates_;
   SafeValueSet accepted_set_;
+
+  // Digests of safe_acks this process has already verified; proofs are
+  // re-checked on every ack_req/nack, so each ack is MAC-checked once.
+  std::set<crypto::Digest> verified_acks_;
 
   std::optional<DecisionRecord> decision_;
   ProposerStats stats_;

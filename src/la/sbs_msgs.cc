@@ -3,7 +3,8 @@
 namespace bgla::la {
 
 void SSafeAckMsg::encode_payload(Encoder& enc) const {
-  enc.put_bytes(signed_payload(rcvd, conflicts, acceptor));
+  enc.put_bytes(payload_cache_.encoded(
+      [this] { return signed_payload(rcvd, conflicts, acceptor); }));
   enc.put_u32(sig.signer);
   enc.put_bytes(BytesView(sig.mac.data(), sig.mac.size()));
 }
@@ -31,7 +32,11 @@ Bytes SSafeAckMsg::signed_payload(
 
 bool SSafeAckMsg::verify(const crypto::SignatureAuthority& auth) const {
   if (sig.signer != acceptor) return false;
-  return auth.verify(sig, signed_payload(rcvd, conflicts, acceptor));
+  const auto fill = [this] {
+    return signed_payload(rcvd, conflicts, acceptor);
+  };
+  return auth.verify_with_digest(sig, payload_cache_.digest(fill),
+                                 payload_cache_.encoded(fill));
 }
 
 bool SSafeAckMsg::mentions_conflict(const SignedValue::Key& k) const {

@@ -7,6 +7,7 @@
 
 #include "la/signed_value.h"
 #include "sim/message.h"
+#include "util/memo.h"
 
 namespace bgla::la {
 
@@ -71,6 +72,11 @@ class SSafeAckMsg final : public sim::Message {
   std::vector<ConflictPair> conflicts;
   ProcessId acceptor;
   crypto::Signature sig;
+
+ private:
+  // Memoized signed payload — acks are re-verified inside every SafeValue
+  // proof they appear in, so the payload encoding is the hot part.
+  util::EncodingCache payload_cache_;
 };
 
 /// <ack_req, Proposed_set, ts> (Alg 8 L32) — proposal with safety proofs.

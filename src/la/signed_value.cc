@@ -37,7 +37,9 @@ bool verify_conflict_pair(const SignedValue& x, const SignedValue& y,
 // ------------------------------------------------------ SignedValueSet --
 
 bool SignedValueSet::insert(const SignedValue& sv) {
-  return entries_.emplace(sv.key(), sv).second;
+  const bool inserted = entries_.emplace(sv.key(), sv).second;
+  if (inserted) fp_cache_.reset();
+  return inserted;
 }
 
 std::vector<ConflictPair> SignedValueSet::conflicts(
@@ -58,14 +60,17 @@ std::vector<ConflictPair> SignedValueSet::conflicts(
 void SignedValueSet::remove_conflicts(
     const crypto::SignatureAuthority& auth) {
   for (const auto& [x, y] : conflicts(auth)) {
-    entries_.erase(x.key());
-    entries_.erase(y.key());
+    if (entries_.erase(x.key()) + entries_.erase(y.key()) > 0) {
+      fp_cache_.reset();
+    }
   }
 }
 
 SignedValueSet SignedValueSet::unioned(const SignedValueSet& other) const {
   SignedValueSet out = *this;
-  for (const auto& [k, sv] : other.entries_) out.entries_.emplace(k, sv);
+  for (const auto& [k, sv] : other.entries_) {
+    if (out.entries_.emplace(k, sv).second) out.fp_cache_.reset();
+  }
   return out;
 }
 
@@ -76,13 +81,15 @@ Elem SignedValueSet::join_values() const {
 }
 
 crypto::Digest SignedValueSet::fingerprint() const {
+  if (fp_cache_.has_value()) return *fp_cache_;
   Encoder enc;
   enc.put_varint(entries_.size());
   for (const auto& [k, sv] : entries_) {
     enc.put_u32(k.signer);
     enc.put_bytes(BytesView(k.value_digest.data(), k.value_digest.size()));
   }
-  return crypto::Sha256::hash(enc.bytes());
+  fp_cache_ = crypto::Sha256::hash(enc.bytes());
+  return *fp_cache_;
 }
 
 void SignedValueSet::encode(Encoder& enc) const {
@@ -115,7 +122,9 @@ void SafeValue::encode(Encoder& enc) const {
 }
 
 bool SafeValueSet::insert(const SafeValue& sv) {
-  return entries_.emplace(sv.v.key(), sv).second;
+  const bool inserted = entries_.emplace(sv.v.key(), sv).second;
+  if (inserted) fp_cache_.reset();
+  return inserted;
 }
 
 bool SafeValueSet::leq(const SafeValueSet& other) const {
@@ -131,7 +140,9 @@ bool SafeValueSet::same_as(const SafeValueSet& other) const {
 
 SafeValueSet SafeValueSet::unioned(const SafeValueSet& other) const {
   SafeValueSet out = *this;
-  for (const auto& [k, sv] : other.entries_) out.entries_.emplace(k, sv);
+  for (const auto& [k, sv] : other.entries_) {
+    if (out.entries_.emplace(k, sv).second) out.fp_cache_.reset();
+  }
   return out;
 }
 
@@ -142,13 +153,15 @@ Elem SafeValueSet::join_values() const {
 }
 
 crypto::Digest SafeValueSet::fingerprint() const {
+  if (fp_cache_.has_value()) return *fp_cache_;
   Encoder enc;
   enc.put_varint(entries_.size());
   for (const auto& [k, sv] : entries_) {
     enc.put_u32(k.signer);
     enc.put_bytes(BytesView(k.value_digest.data(), k.value_digest.size()));
   }
-  return crypto::Sha256::hash(enc.bytes());
+  fp_cache_ = crypto::Sha256::hash(enc.bytes());
+  return *fp_cache_;
 }
 
 void SafeValueSet::encode(Encoder& enc) const {

@@ -10,6 +10,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "crypto/signature.h"
@@ -28,7 +29,10 @@ struct SignedValue {
   ProcessId sender() const { return sig.signer; }
 
   bool verify(const crypto::SignatureAuthority& auth) const {
-    return auth.verify(sig, value.encoded());
+    // The signed payload is the value's canonical encoding, whose SHA-256
+    // is exactly value.digest() — both memoized, so a cached verification
+    // involves no hashing at all.
+    return auth.verify_with_digest(sig, value.digest(), value.encoded());
   }
 
   /// Identity: (signer, value digest). Two SignedValues with the same key
@@ -55,6 +59,7 @@ bool verify_conflict_pair(const SignedValue& x, const SignedValue& y,
 using ConflictPair = std::pair<SignedValue, SignedValue>;
 
 /// An ordered set of SignedValues keyed by (signer, value digest).
+/// fingerprint() is memoized and invalidated on every mutation.
 class SignedValueSet {
  public:
   bool insert(const SignedValue& sv);  // false if already present
@@ -94,6 +99,7 @@ class SignedValueSet {
 
  private:
   std::map<SignedValue::Key, SignedValue> entries_;
+  mutable std::optional<crypto::Digest> fp_cache_;
 };
 
 // Forward declaration — full type in sbs_msgs.h.
@@ -138,6 +144,7 @@ class SafeValueSet {
 
  private:
   std::map<SignedValue::Key, SafeValue> entries_;
+  mutable std::optional<crypto::Digest> fp_cache_;
 };
 
 }  // namespace bgla::la

@@ -28,6 +28,11 @@ Elem Elem::join(const Elem& other) const {
   if (is_bottom()) return other;
   if (other.is_bottom()) return *this;
   check_same_kind(*impl_, *other.impl_);
+  // Absorption fast path: when one operand already dominates, reuse its
+  // shared model (and cached encoding/digest) instead of materialising an
+  // equal copy — the common case in join_all accumulation loops.
+  if (other.impl_->leq(*impl_)) return *this;
+  if (impl_->leq(*other.impl_)) return other;
   return Elem(impl_->join(*other.impl_));
 }
 
@@ -38,25 +43,45 @@ bool Elem::operator==(const Elem& other) const {
   return impl_->leq(*other.impl_) && other.impl_->leq(*impl_);
 }
 
+namespace {
+Bytes encode_model(const ElemModel& m) {
+  Encoder enc;
+  enc.put_u8(1);
+  enc.put_string(m.kind());
+  m.encode(enc);
+  return enc.take();
+}
+
+const Bytes& bottom_encoding() {
+  static const Bytes kBottom{0};  // bottom tag
+  return kBottom;
+}
+
+const crypto::Digest& bottom_digest() {
+  static const crypto::Digest kDigest =
+      crypto::Sha256::hash(bottom_encoding());
+  return kDigest;
+}
+}  // namespace
+
 void Elem::encode(Encoder& enc) const {
   if (is_bottom()) {
     enc.put_u8(0);  // bottom tag
     return;
   }
-  enc.put_u8(1);
-  enc.put_string(impl_->kind());
-  impl_->encode(enc);
+  enc.put_raw(impl_->enc_cache_.encoded([this] {
+    return encode_model(*impl_);
+  }));
 }
 
 Bytes Elem::encoded() const {
-  Encoder enc;
-  encode(enc);
-  return enc.take();
+  if (is_bottom()) return bottom_encoding();
+  return impl_->enc_cache_.encoded([this] { return encode_model(*impl_); });
 }
 
 crypto::Digest Elem::digest() const {
-  const Bytes b = encoded();
-  return crypto::Sha256::hash(b);
+  if (is_bottom()) return bottom_digest();
+  return impl_->enc_cache_.digest([this] { return encode_model(*impl_); });
 }
 
 std::string Elem::to_string() const {

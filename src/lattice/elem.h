@@ -21,6 +21,7 @@
 #include "crypto/sha256.h"
 #include "util/check.h"
 #include "util/codec.h"
+#include "util/memo.h"
 
 namespace bgla::lattice {
 
@@ -48,6 +49,14 @@ class ElemModel {
   /// A size measure used only for diagnostics and refinement-bound
   /// accounting (e.g. the number of base values in a set-lattice element).
   virtual std::size_t weight() const = 0;
+
+ private:
+  friend class Elem;
+  // Lazily filled canonical-encoding/digest cache. Models are immutable
+  // and shared, so the first Elem::encoded()/digest() call pays for the
+  // encoding + SHA-256 and every later call (from any Elem sharing this
+  // model) is a lookup.
+  util::EncodingCache enc_cache_;
 };
 
 class Elem {

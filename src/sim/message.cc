@@ -16,15 +16,22 @@ const char* layer_name(Layer layer) {
   return "?";
 }
 
-Bytes Message::encoded() const {
-  Encoder enc;
-  enc.put_u32(type_id());
-  encode_payload(enc);
-  return enc.take();
+const Bytes& Message::encoded() const {
+  return enc_cache_.encoded([this] {
+    Encoder enc;
+    enc.put_u32(type_id());
+    encode_payload(enc);
+    return enc.take();
+  });
 }
 
-crypto::Digest Message::digest() const {
-  return crypto::Sha256::hash(encoded());
+const crypto::Digest& Message::digest() const {
+  return enc_cache_.digest([this] {
+    Encoder enc;
+    enc.put_u32(type_id());
+    encode_payload(enc);
+    return enc.take();
+  });
 }
 
 }  // namespace bgla::sim

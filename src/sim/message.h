@@ -11,6 +11,7 @@
 
 #include "crypto/sha256.h"
 #include "util/codec.h"
+#include "util/memo.h"
 
 namespace bgla::sim {
 
@@ -39,12 +40,16 @@ class Message {
 
   virtual std::string to_string() const = 0;
 
-  /// Canonical bytes: varint(type_id) || payload.
-  Bytes encoded() const;
+  /// Canonical bytes: varint(type_id) || payload. Memoized — messages are
+  /// immutable, so the encoding is computed once per object.
+  const Bytes& encoded() const;
 
   /// SHA-256 over encoded() — the identity used by Bracha echo-matching
-  /// and by the §8 signature schemes.
-  crypto::Digest digest() const;
+  /// and by the §8 signature schemes. Memoized alongside encoded().
+  const crypto::Digest& digest() const;
+
+ private:
+  util::EncodingCache enc_cache_;
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

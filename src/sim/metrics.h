@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "crypto/signature.h"
 #include "sim/message.h"
 #include "util/ids.h"
 
@@ -61,9 +62,20 @@ class Metrics {
     return static_cast<std::uint32_t>(per_process_.size());
   }
 
+  // ---- crypto-work accounting (filled in by the harness after a run,
+  // from the run's SignatureAuthority and the per-process verified-ack
+  // memo stats; zero for protocols that use no signatures) ----
+
+  void add_crypto(const crypto::CryptoCounters& c) { crypto_ += c; }
+  void add_verifies_skipped(std::uint64_t k) { verifies_skipped_ += k; }
+  const crypto::CryptoCounters& crypto_counters() const { return crypto_; }
+  std::uint64_t verifies_skipped() const { return verifies_skipped_; }
+
  private:
   std::vector<std::array<LayerCounters, 4>> per_process_;
   std::uint64_t total_messages_ = 0;
+  crypto::CryptoCounters crypto_;
+  std::uint64_t verifies_skipped_ = 0;
 };
 
 }  // namespace bgla::sim

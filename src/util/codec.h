@@ -28,6 +28,13 @@ class Encoder {
   void put_bytes(BytesView data);
   void put_string(const std::string& s);
 
+  /// Appends raw bytes with no length prefix — for splicing an already
+  /// canonically encoded fragment (e.g. a cached Elem encoding) into a
+  /// larger encoding byte-identically to encoding it in place.
+  void put_raw(BytesView data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
   const Bytes& bytes() const { return buf_; }
   Bytes take() { return std::move(buf_); }
 

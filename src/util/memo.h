@@ -1,0 +1,61 @@
+// Lazy, thread-safe memoization of a canonical encoding and its SHA-256
+// digest for immutable objects (lattice elements, wire messages).
+//
+// The cached object must be logically immutable: the fill function has to
+// produce the same bytes on every call. The cache is deliberately NOT
+// copied with its owner — a copy re-derives lazily — so adding a cache to
+// a type never changes the semantics of copying it.
+//
+// Thread safety: fill-once is guarded by a per-object mutex so objects
+// shared across threads (e.g. when independent simulations run on a
+// thread pool) never race. After the first fill, readers still take the
+// (uncontended) lock; this keeps the implementation trivially correct
+// under TSan and costs nanoseconds against the hashing it saves.
+#pragma once
+
+#include <mutex>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace bgla::util {
+
+class EncodingCache {
+ public:
+  EncodingCache() = default;
+  // Copies and assignments drop the cache (see header comment).
+  EncodingCache(const EncodingCache&) {}
+  EncodingCache& operator=(const EncodingCache&) { return *this; }
+
+  /// Returns the cached encoding, filling it (and the digest) on first
+  /// use. `fill` must return the canonical bytes.
+  template <typename Fill>
+  const Bytes& encoded(Fill&& fill) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!filled_) {
+      bytes_ = fill();
+      digest_ = crypto::Sha256::hash(bytes_);
+      filled_ = true;
+    }
+    return bytes_;
+  }
+
+  template <typename Fill>
+  const crypto::Digest& digest(Fill&& fill) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!filled_) {
+      bytes_ = fill();
+      digest_ = crypto::Sha256::hash(bytes_);
+      filled_ = true;
+    }
+    return digest_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable bool filled_ = false;
+  mutable Bytes bytes_;
+  mutable crypto::Digest digest_{};
+};
+
+}  // namespace bgla::util

@@ -1,0 +1,67 @@
+// Fixed-size worker pool for fanning independent simulations across cores.
+//
+// The simulator itself is strictly single-threaded and deterministic; the
+// pool parallelises only across *whole* runs (one Network, one
+// SignatureAuthority, one RNG per task), so per-seed results stay
+// bit-identical to a serial sweep. parallel_for_indexed() collects results
+// by index, which lets callers print them in deterministic submission
+// order regardless of completion order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bgla::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (at least 1).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t workers() const { return threads_.size(); }
+
+  /// hardware_concurrency(), with a fallback of 1 when it is unknown.
+  static std::size_t default_workers();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;        // wakes workers
+  std::condition_variable idle_cv_;   // wakes wait_idle
+  std::queue<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs `fn(i)` for i in [0, count) on `pool`, storing each result at
+/// index i; the output order is the input order, independent of which
+/// worker finished first.
+template <typename Result, typename Fn>
+std::vector<Result> parallel_for_indexed(ThreadPool& pool, std::size_t count,
+                                         Fn&& fn) {
+  std::vector<Result> results(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&results, &fn, i] { results[i] = fn(i); });
+  }
+  pool.wait_idle();
+  return results;
+}
+
+}  // namespace bgla::util

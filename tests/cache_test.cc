@@ -1,0 +1,209 @@
+// Soundness of the three caching layers added for the crypto hot path:
+//
+//   (1) Elem / Message encoding+digest memoization — cached bytes must be
+//       byte-identical to a fresh recomputation;
+//   (2) the authority-level verified-MAC cache — tampered payloads and
+//       forged MACs must still be rejected when the (signer, payload) pair
+//       was verified before, and the cache must never change a verdict;
+//   (3) the per-process verified-ack memo in AllSafe — adversarial
+//       scenarios must produce identical decisions and pass the specs.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.h"
+#include "la/sbs.h"
+#include "la/signed_value.h"
+#include "lattice/set_elem.h"
+
+using namespace bgla;
+using crypto::Signature;
+using crypto::SignatureAuthority;
+using harness::Adversary;
+using lattice::Elem;
+using lattice::Item;
+using lattice::make_set;
+
+namespace {
+
+Bytes bytes_of(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+// ------------------------------------------------- encoding memoization --
+
+TEST(EncodingCache, CachedElemEncodingMatchesFreshRecomputation) {
+  const Elem a = make_set({Item{0, 100, 0}, Item{1, 101, 2}});
+  // First call fills the cache, second call serves from it.
+  const Bytes first = a.encoded();
+  const Bytes second = a.encoded();
+  EXPECT_EQ(first, second);
+  // A structurally equal Elem built from scratch encodes identically.
+  const Elem b = make_set({Item{0, 100, 0}, Item{1, 101, 2}});
+  EXPECT_EQ(b.encoded(), first);
+  EXPECT_EQ(b.digest(), a.digest());
+  EXPECT_EQ(a.digest(), crypto::Sha256::hash(first));
+}
+
+TEST(EncodingCache, JoinFastPathPreservesEncoding) {
+  const Elem small = make_set({Item{0, 100, 0}});
+  const Elem big = make_set({Item{0, 100, 0}, Item{1, 101, 0}});
+  // small ≤ big, so join returns (a copy of) big's representation.
+  const Elem joined = small.join(big);
+  EXPECT_TRUE(joined == big);
+  EXPECT_EQ(joined.encoded(), big.encoded());
+  EXPECT_EQ(joined.digest(), big.digest());
+  // And join with bottom / self keeps the value unchanged.
+  EXPECT_EQ(Elem().join(big).encoded(), big.encoded());
+  EXPECT_EQ(big.join(big).encoded(), big.encoded());
+}
+
+TEST(EncodingCache, FingerprintMemoTracksMutation) {
+  SignatureAuthority auth(4, 7);
+  la::SignedValueSet set;
+  set.insert(la::make_signed_value(auth.signer_for(0),
+                                   make_set({Item{0, 100, 0}})));
+  const crypto::Digest fp1 = set.fingerprint();
+  EXPECT_EQ(set.fingerprint(), fp1);  // memoized, stable
+  // Mutation must invalidate the memo.
+  set.insert(la::make_signed_value(auth.signer_for(1),
+                                   make_set({Item{1, 101, 0}})));
+  const crypto::Digest fp2 = set.fingerprint();
+  EXPECT_NE(fp1, fp2);
+  // A fresh set with the same entries fingerprints identically.
+  la::SignedValueSet fresh;
+  fresh.insert(la::make_signed_value(auth.signer_for(0),
+                                     make_set({Item{0, 100, 0}})));
+  fresh.insert(la::make_signed_value(auth.signer_for(1),
+                                     make_set({Item{1, 101, 0}})));
+  EXPECT_EQ(fresh.fingerprint(), fp2);
+}
+
+// ------------------------------------------------------ MAC cache layer --
+
+TEST(VerifyCache, HitServesSameVerdictAndCountsIt) {
+  SignatureAuthority auth(4, 99);
+  const Bytes msg = bytes_of("payload");
+  const Signature sig = auth.signer_for(1).sign(msg);
+  auth.reset_counters();
+  EXPECT_TRUE(auth.verify(sig, msg));  // sign_as seeded the cache
+  EXPECT_TRUE(auth.verify(sig, msg));
+  EXPECT_EQ(auth.counters().verify_cache_hits, 2u);
+  EXPECT_EQ(auth.counters().macs_computed, 0u);
+}
+
+TEST(VerifyCache, TamperedPayloadStillRejectedAfterCaching) {
+  SignatureAuthority auth(4, 99);
+  const Bytes msg = bytes_of("original");
+  const Signature sig = auth.signer_for(2).sign(msg);
+  ASSERT_TRUE(auth.verify(sig, msg));  // cache the genuine pair
+  EXPECT_FALSE(auth.verify(sig, bytes_of("originax")));
+  EXPECT_FALSE(auth.verify(sig, bytes_of("original ")));
+}
+
+TEST(VerifyCache, ForgedMacRejectedOnCacheHit) {
+  SignatureAuthority auth(4, 99);
+  const Bytes msg = bytes_of("message");
+  const Signature genuine = auth.signer_for(1).sign(msg);
+  ASSERT_TRUE(auth.verify(genuine, msg));
+  // Same (signer, payload) cache key, different MAC: the hit path must
+  // compare MACs, not just trust the key.
+  Signature forged = genuine;
+  forged.mac[0] ^= 0xff;
+  auth.reset_counters();
+  EXPECT_FALSE(auth.verify(forged, msg));
+  EXPECT_EQ(auth.counters().verify_cache_hits, 1u);
+}
+
+TEST(VerifyCache, SignerFieldForgeryRejectedWithCacheEnabled) {
+  SignatureAuthority auth(4, 99);
+  const Bytes msg = bytes_of("claim");
+  Signature sig = auth.signer_for(3).sign(msg);
+  ASSERT_TRUE(auth.verify(sig, msg));
+  sig.signer = 2;  // equivocating attribution: same MAC, different signer
+  EXPECT_FALSE(auth.verify(sig, msg));
+}
+
+TEST(VerifyCache, DisabledCacheGivesSameVerdicts) {
+  SignatureAuthority cached(4, 123);
+  SignatureAuthority uncached(4, 123, /*cache_capacity=*/0);
+  const Bytes msg = bytes_of("identical-keys");
+  const Signature a = cached.signer_for(0).sign(msg);
+  const Signature b = uncached.signer_for(0).sign(msg);
+  EXPECT_EQ(a, b);  // same seed -> same keys -> same MAC
+  for (int round = 0; round < 2; ++round) {
+    EXPECT_EQ(cached.verify(a, msg), uncached.verify(a, msg));
+    Signature bad = a;
+    bad.mac[5] ^= 1;
+    EXPECT_EQ(cached.verify(bad, msg), uncached.verify(bad, msg));
+  }
+  EXPECT_EQ(uncached.counters().verify_cache_hits, 0u);
+  EXPECT_GT(uncached.counters().macs_computed, 0u);
+}
+
+TEST(VerifyCache, NeverCachesFailures) {
+  SignatureAuthority auth(4, 5);
+  const Bytes msg = bytes_of("no-poison");
+  Signature bad = auth.signer_for(0).sign(msg);
+  bad.mac[0] ^= 1;
+  EXPECT_FALSE(auth.verify(bad, msg));
+  // The genuine signature must still verify — a failed attempt must not
+  // have poisoned the (signer, digest) slot.
+  EXPECT_TRUE(auth.verify(auth.signer_for(0).sign(msg), msg));
+}
+
+// --------------------------------------- scenario-level cache soundness --
+
+TEST(CachedScenarios, EquivocatorRunsDeterministicAndSpecOk) {
+  harness::SbsScenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.byz_count = 2;
+  sc.adversary = Adversary::kEquivocator;
+  sc.seed = 11;
+  const auto a = harness::run_sbs(sc);
+  const auto b = harness::run_sbs(sc);
+  EXPECT_TRUE(a.completed);
+  EXPECT_TRUE(a.spec.ok()) << a.spec.diagnostic;
+  // Bit-identical re-run: caching must not leak state across runs.
+  EXPECT_EQ(a.total_msgs, b.total_msgs);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.max_msgs_per_correct, b.max_msgs_per_correct);
+  EXPECT_EQ(a.max_bytes_per_correct, b.max_bytes_per_correct);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.crypto.macs_computed, b.crypto.macs_computed);
+  EXPECT_EQ(a.crypto.verify_cache_hits, b.crypto.verify_cache_hits);
+  // The caches were actually exercised on this adversarial workload.
+  EXPECT_GT(a.crypto.verify_cache_hits, 0u);
+  EXPECT_GT(a.crypto.verifies_skipped, 0u);
+}
+
+TEST(CachedScenarios, FakeConflictAckerStillRejectedWithCaches) {
+  harness::SbsScenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.byz_count = 2;
+  sc.adversary = Adversary::kStaleNacker;  // fake-conflict acceptor
+  sc.seed = 3;
+  const auto rep = harness::run_sbs(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+}
+
+TEST(CachedScenarios, GsbsEquivocatorDeterministicAndSpecOk) {
+  harness::GsbsScenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.byz_count = 2;
+  sc.adversary = Adversary::kEquivocator;
+  sc.seed = 21;
+  const auto a = harness::run_gsbs(sc);
+  const auto b = harness::run_gsbs(sc);
+  EXPECT_TRUE(a.spec.ok()) << a.spec.diagnostic;
+  EXPECT_EQ(a.total_msgs, b.total_msgs);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.total_decisions, b.total_decisions);
+  EXPECT_EQ(a.crypto.macs_computed, b.crypto.macs_computed);
+  EXPECT_GT(a.crypto.verify_cache_hits, 0u);
+}
+
+}  // namespace

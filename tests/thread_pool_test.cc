@@ -1,0 +1,113 @@
+// Thread pool used by the sweep tool and benches to fan out independent
+// simulations. The tests pin down the two properties the harness relies
+// on: parallel_for_indexed returns results in index order regardless of
+// execution interleaving, and running whole simulations on worker threads
+// produces bit-identical reports to a serial run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "harness/scenario.h"
+#include "util/thread_pool.h"
+
+using namespace bgla;
+
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  util::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  util::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&count] { ++count; });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 10 * (round + 1));
+  }
+}
+
+TEST(ThreadPool, ZeroWorkersClampsToOne) {
+  util::ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 1u);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForIndexedPreservesIndexOrder) {
+  util::ThreadPool pool(8);
+  const std::size_t kN = 500;
+  const auto results = util::parallel_for_indexed<std::size_t>(
+      pool, kN, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(results.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(ThreadPool, ParallelForIndexedHandlesEmptyRange) {
+  util::ThreadPool pool(2);
+  const auto results =
+      util::parallel_for_indexed<int>(pool, 0, [](std::size_t) { return 1; });
+  EXPECT_TRUE(results.empty());
+}
+
+// The property the sweep harness depends on: a simulation run on a worker
+// thread (each sim owning its Network, RNG and SignatureAuthority) yields
+// the same report as the same scenario run serially.
+TEST(ThreadPool, ParallelSimulationsMatchSerialRuns) {
+  const int kSeeds = 4;
+  std::vector<harness::SbsReport> serial;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    harness::SbsScenario sc;
+    sc.n = 4;
+    sc.f = 1;
+    sc.byz_count = 1;
+    sc.adversary = harness::Adversary::kEquivocator;
+    sc.seed = static_cast<std::uint64_t>(seed);
+    serial.push_back(harness::run_sbs(sc));
+  }
+
+  util::ThreadPool pool(4);
+  const auto parallel = util::parallel_for_indexed<harness::SbsReport>(
+      pool, kSeeds, [](std::size_t i) {
+        harness::SbsScenario sc;
+        sc.n = 4;
+        sc.f = 1;
+        sc.byz_count = 1;
+        sc.adversary = harness::Adversary::kEquivocator;
+        sc.seed = static_cast<std::uint64_t>(i) + 1;
+        return harness::run_sbs(sc);
+      });
+
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (int i = 0; i < kSeeds; ++i) {
+    EXPECT_EQ(parallel[i].spec.ok(), serial[i].spec.ok());
+    EXPECT_EQ(parallel[i].total_msgs, serial[i].total_msgs);
+    EXPECT_EQ(parallel[i].events, serial[i].events);
+    EXPECT_EQ(parallel[i].end_time, serial[i].end_time);
+    EXPECT_EQ(parallel[i].max_depth, serial[i].max_depth);
+    EXPECT_EQ(parallel[i].max_bytes_per_correct,
+              serial[i].max_bytes_per_correct);
+    EXPECT_EQ(parallel[i].crypto.macs_computed,
+              serial[i].crypto.macs_computed);
+    EXPECT_EQ(parallel[i].crypto.verify_cache_hits,
+              serial[i].crypto.verify_cache_hits);
+  }
+}
+
+}  // namespace

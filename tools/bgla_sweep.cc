@@ -7,10 +7,20 @@
 //
 // Experiments: t1 (WTS delay depths), t2 (WTS messages vs n),
 // t4 (SbS vs WTS messages/bytes), t6 (protocol comparison per decision).
+//
+// Independent (config × seed) simulations are fanned across a thread pool
+// (--jobs N, default: hardware concurrency). Each job owns its Network,
+// SignatureAuthority and RNG, so per-seed results are bit-identical to a
+// serial sweep; rows are collected by job index and printed in the same
+// order regardless of completion order.
+#include <functional>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "harness/scenario.h"
+#include "util/thread_pool.h"
 
 using namespace bgla;
 using harness::Adversary;
@@ -18,138 +28,203 @@ using harness::Sched;
 
 namespace {
 
-int run_t1(int seeds) {
+using Job = std::function<std::string()>;
+
+/// Strict digits-only flag-value parser (stoul accepts junk suffixes and
+/// throws on garbage; a bad CLI value should print usage, not terminate).
+bool parse_count(const char* s, std::size_t* out) {
+  if (*s == '\0') return false;
+  std::size_t v = 0;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    v = v * 10 + static_cast<std::size_t>(*p - '0');
+  }
+  *out = v;
+  return true;
+}
+
+/// Runs the jobs on `workers` threads and prints their rows in job order.
+void run_jobs(const std::vector<Job>& jobs, std::size_t workers) {
+  util::ThreadPool pool(workers);
+  const auto rows = util::parallel_for_indexed<std::string>(
+      pool, jobs.size(), [&jobs](std::size_t i) { return jobs[i](); });
+  for (const std::string& row : rows) std::cout << row;
+}
+
+int run_t1(int seeds, std::size_t workers) {
   std::cout << "experiment,n,f,adversary,sched,seed,max_depth,mean_depth,"
                "bound_paper,bound_impl,spec_ok\n";
   const std::vector<std::pair<std::uint32_t, std::uint32_t>> sizes = {
       {4, 1}, {7, 2}, {10, 3}, {13, 4}, {16, 5}, {19, 6}};
+  std::vector<Job> jobs;
   for (const auto& [n, f] : sizes) {
     for (Adversary adv :
          {Adversary::kNone, Adversary::kEquivocator,
           Adversary::kStaleNacker}) {
       for (Sched sched : {Sched::kFixed, Sched::kUniform, Sched::kJitter}) {
         for (int seed = 1; seed <= seeds; ++seed) {
-          harness::WtsScenario sc;
-          sc.n = n;
-          sc.f = f;
-          sc.byz_count = f;
-          sc.adversary = adv;
-          sc.sched = sched;
-          sc.seed = static_cast<std::uint64_t>(seed);
-          const auto rep = harness::run_wts(sc);
-          std::cout << "t1," << n << "," << f << ","
-                    << harness::adversary_name(adv) << ","
-                    << harness::sched_name(sched) << "," << seed << ","
-                    << rep.max_depth << "," << rep.mean_depth << ","
-                    << 2 * f + 5 << "," << 3 * f + 5 << ","
-                    << (rep.completed && rep.spec.ok()) << "\n";
+          jobs.push_back([n = n, f = f, adv, sched, seed] {
+            harness::WtsScenario sc;
+            sc.n = n;
+            sc.f = f;
+            sc.byz_count = f;
+            sc.adversary = adv;
+            sc.sched = sched;
+            sc.seed = static_cast<std::uint64_t>(seed);
+            const auto rep = harness::run_wts(sc);
+            std::ostringstream os;
+            os << "t1," << n << "," << f << ","
+               << harness::adversary_name(adv) << ","
+               << harness::sched_name(sched) << "," << seed << ","
+               << rep.max_depth << "," << rep.mean_depth << ","
+               << 2 * f + 5 << "," << 3 * f + 5 << ","
+               << (rep.completed && rep.spec.ok()) << "\n";
+            return os.str();
+          });
         }
       }
     }
   }
+  run_jobs(jobs, workers);
   return 0;
 }
 
-int run_t2(int seeds) {
+int run_t2(int seeds, std::size_t workers) {
   std::cout << "experiment,n,f,seed,msgs_per_proc,bytes_per_proc,"
                "total_msgs,spec_ok\n";
   const std::vector<std::pair<std::uint32_t, std::uint32_t>> sizes = {
       {4, 1}, {7, 2}, {10, 3}, {13, 4}, {16, 5}, {19, 6}, {25, 8}, {31, 10}};
+  std::vector<Job> jobs;
   for (const auto& [n, f] : sizes) {
     for (int seed = 1; seed <= seeds; ++seed) {
-      harness::WtsScenario sc;
-      sc.n = n;
-      sc.f = f;
-      sc.byz_count = f;
-      sc.adversary = Adversary::kStaleNacker;
-      sc.seed = static_cast<std::uint64_t>(seed);
-      const auto rep = harness::run_wts(sc);
-      std::cout << "t2," << n << "," << f << "," << seed << ","
-                << rep.max_msgs_per_correct << ","
-                << rep.max_bytes_per_correct << "," << rep.total_msgs << ","
-                << (rep.completed && rep.spec.ok()) << "\n";
+      jobs.push_back([n = n, f = f, seed] {
+        harness::WtsScenario sc;
+        sc.n = n;
+        sc.f = f;
+        sc.byz_count = f;
+        sc.adversary = Adversary::kStaleNacker;
+        sc.seed = static_cast<std::uint64_t>(seed);
+        const auto rep = harness::run_wts(sc);
+        std::ostringstream os;
+        os << "t2," << n << "," << f << "," << seed << ","
+           << rep.max_msgs_per_correct << ","
+           << rep.max_bytes_per_correct << "," << rep.total_msgs << ","
+           << (rep.completed && rep.spec.ok()) << "\n";
+        return os.str();
+      });
     }
   }
+  run_jobs(jobs, workers);
   return 0;
 }
 
-int run_t4(int seeds) {
+int run_t4(int seeds, std::size_t workers) {
   std::cout << "experiment,protocol,n,f,seed,msgs_per_proc,bytes_per_proc,"
                "max_depth,spec_ok\n";
+  std::vector<Job> jobs;
   for (std::uint32_t n : {4u, 7u, 10u, 16u, 25u, 31u}) {
     for (int seed = 1; seed <= seeds; ++seed) {
-      harness::WtsScenario w;
-      w.n = n;
-      w.f = 1;
-      w.byz_count = 1;
-      w.adversary = Adversary::kMute;
-      w.seed = static_cast<std::uint64_t>(seed);
-      const auto wr = harness::run_wts(w);
-      std::cout << "t4,wts," << n << ",1," << seed << ","
-                << wr.max_msgs_per_correct << ","
-                << wr.max_bytes_per_correct << "," << wr.max_depth << ","
-                << (wr.completed && wr.spec.ok()) << "\n";
-
-      harness::SbsScenario s;
-      s.n = n;
-      s.f = 1;
-      s.byz_count = 1;
-      s.adversary = Adversary::kMute;
-      s.seed = static_cast<std::uint64_t>(seed);
-      const auto sr = harness::run_sbs(s);
-      std::cout << "t4,sbs," << n << ",1," << seed << ","
-                << sr.max_msgs_per_correct << ","
-                << sr.max_bytes_per_correct << "," << sr.max_depth << ","
-                << (sr.completed && sr.spec.ok()) << "\n";
+      jobs.push_back([n, seed] {
+        harness::WtsScenario w;
+        w.n = n;
+        w.f = 1;
+        w.byz_count = 1;
+        w.adversary = Adversary::kMute;
+        w.seed = static_cast<std::uint64_t>(seed);
+        const auto wr = harness::run_wts(w);
+        std::ostringstream os;
+        os << "t4,wts," << n << ",1," << seed << ","
+           << wr.max_msgs_per_correct << ","
+           << wr.max_bytes_per_correct << "," << wr.max_depth << ","
+           << (wr.completed && wr.spec.ok()) << "\n";
+        return os.str();
+      });
+      jobs.push_back([n, seed] {
+        harness::SbsScenario s;
+        s.n = n;
+        s.f = 1;
+        s.byz_count = 1;
+        s.adversary = Adversary::kMute;
+        s.seed = static_cast<std::uint64_t>(seed);
+        const auto sr = harness::run_sbs(s);
+        std::ostringstream os;
+        os << "t4,sbs," << n << ",1," << seed << ","
+           << sr.max_msgs_per_correct << ","
+           << sr.max_bytes_per_correct << "," << sr.max_depth << ","
+           << (sr.completed && sr.spec.ok()) << "\n";
+        return os.str();
+      });
     }
   }
+  run_jobs(jobs, workers);
   return 0;
 }
 
-int run_t6(int seeds) {
+int run_t6(int seeds, std::size_t workers) {
   std::cout << "experiment,protocol,n,f,seed,msgs_per_decision,spec_ok\n";
+  std::vector<Job> jobs;
   for (std::uint32_t n : {4u, 7u, 10u, 13u}) {
     const std::uint32_t f = (n - 1) / 3;
     for (int seed = 1; seed <= seeds; ++seed) {
-      harness::FaleiroScenario fsc;
-      fsc.n = n;
-      fsc.f = (n - 1) / 2;
-      fsc.submissions_per_proc = 3;
-      fsc.seed = static_cast<std::uint64_t>(seed);
-      const auto fr = harness::run_faleiro(fsc);
-      std::cout << "t6,faleiro," << n << ",0," << seed << ","
-                << fr.msgs_per_decision_per_proposer << ","
-                << fr.spec.ok() << "\n";
-
-      harness::GwtsScenario g;
-      g.n = n;
-      g.f = f;
-      g.target_decisions = 3;
-      g.submissions_per_proc = 3;
-      g.seed = static_cast<std::uint64_t>(seed);
-      const auto gr = harness::run_gwts(g);
-      std::cout << "t6,gwts," << n << "," << f << "," << seed << ","
-                << gr.msgs_per_decision_per_proposer << "," << gr.spec.ok()
-                << "\n";
-
-      g.signed_rb = true;
-      const auto gc = harness::run_gwts(g);
-      std::cout << "t6,gwts-certrb," << n << "," << f << "," << seed << ","
-                << gc.msgs_per_decision_per_proposer << "," << gc.spec.ok()
-                << "\n";
-
-      harness::GsbsScenario s;
-      s.n = n;
-      s.f = f;
-      s.target_decisions = 3;
-      s.submissions_per_proc = 3;
-      s.seed = static_cast<std::uint64_t>(seed);
-      const auto sr = harness::run_gsbs(s);
-      std::cout << "t6,gsbs," << n << "," << f << "," << seed << ","
-                << sr.msgs_per_decision_per_proposer << "," << sr.spec.ok()
-                << "\n";
+      jobs.push_back([n, seed] {
+        harness::FaleiroScenario fsc;
+        fsc.n = n;
+        fsc.f = (n - 1) / 2;
+        fsc.submissions_per_proc = 3;
+        fsc.seed = static_cast<std::uint64_t>(seed);
+        const auto fr = harness::run_faleiro(fsc);
+        std::ostringstream os;
+        os << "t6,faleiro," << n << ",0," << seed << ","
+           << fr.msgs_per_decision_per_proposer << ","
+           << fr.spec.ok() << "\n";
+        return os.str();
+      });
+      jobs.push_back([n, f, seed] {
+        harness::GwtsScenario g;
+        g.n = n;
+        g.f = f;
+        g.target_decisions = 3;
+        g.submissions_per_proc = 3;
+        g.seed = static_cast<std::uint64_t>(seed);
+        const auto gr = harness::run_gwts(g);
+        std::ostringstream os;
+        os << "t6,gwts," << n << "," << f << "," << seed << ","
+           << gr.msgs_per_decision_per_proposer << "," << gr.spec.ok()
+           << "\n";
+        return os.str();
+      });
+      jobs.push_back([n, f, seed] {
+        harness::GwtsScenario g;
+        g.n = n;
+        g.f = f;
+        g.target_decisions = 3;
+        g.submissions_per_proc = 3;
+        g.seed = static_cast<std::uint64_t>(seed);
+        g.signed_rb = true;
+        const auto gc = harness::run_gwts(g);
+        std::ostringstream os;
+        os << "t6,gwts-certrb," << n << "," << f << "," << seed << ","
+           << gc.msgs_per_decision_per_proposer << "," << gc.spec.ok()
+           << "\n";
+        return os.str();
+      });
+      jobs.push_back([n, f, seed] {
+        harness::GsbsScenario s;
+        s.n = n;
+        s.f = f;
+        s.target_decisions = 3;
+        s.submissions_per_proc = 3;
+        s.seed = static_cast<std::uint64_t>(seed);
+        const auto sr = harness::run_gsbs(s);
+        std::ostringstream os;
+        os << "t6,gsbs," << n << "," << f << "," << seed << ","
+           << sr.msgs_per_decision_per_proposer << "," << sr.spec.ok()
+           << "\n";
+        return os.str();
+      });
     }
   }
+  run_jobs(jobs, workers);
   return 0;
 }
 
@@ -158,22 +233,26 @@ int run_t6(int seeds) {
 int main(int argc, char** argv) {
   std::string experiment = "t1";
   int seeds = 5;
+  std::size_t jobs = util::ThreadPool::default_workers();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    std::size_t count = 0;
     if (arg == "--experiment" && i + 1 < argc) {
       experiment = argv[++i];
-    } else if (arg == "--seeds" && i + 1 < argc) {
-      seeds = std::stoi(argv[++i]);
+    } else if (arg == "--seeds" && i + 1 < argc && parse_count(argv[++i], &count)) {
+      seeds = static_cast<int>(count);
+    } else if (arg == "--jobs" && i + 1 < argc && parse_count(argv[++i], &count)) {
+      jobs = count;
     } else {
       std::cerr << "usage: bgla_sweep --experiment t1|t2|t4|t6 "
-                   "[--seeds N]\n";
+                   "[--seeds N] [--jobs N]\n";
       return 2;
     }
   }
-  if (experiment == "t1") return run_t1(seeds);
-  if (experiment == "t2") return run_t2(seeds);
-  if (experiment == "t4") return run_t4(seeds);
-  if (experiment == "t6") return run_t6(seeds);
+  if (experiment == "t1") return run_t1(seeds, jobs);
+  if (experiment == "t2") return run_t2(seeds, jobs);
+  if (experiment == "t4") return run_t4(seeds, jobs);
+  if (experiment == "t6") return run_t6(seeds, jobs);
   std::cerr << "unknown experiment " << experiment << "\n";
   return 2;
 }
