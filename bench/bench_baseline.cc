@@ -19,42 +19,19 @@
 #include "bench/json.h"
 #include "bench/table.h"
 #include "harness/scenario.h"
+#include "util/flags.h"
 #include "util/thread_pool.h"
 
 using namespace bgla;
 using harness::Adversary;
 
-namespace {
-
-/// Strict digits-only flag-value parser (stoul accepts junk suffixes and
-/// throws on garbage; a bad CLI value should print usage, not terminate).
-bool parse_count(const char* s, std::size_t* out) {
-  if (*s == '\0') return false;
-  std::size_t v = 0;
-  for (const char* p = s; *p != '\0'; ++p) {
-    if (*p < '0' || *p > '9') return false;
-    v = v * 10 + static_cast<std::size_t>(*p - '0');
-  }
-  *out = v;
-  return true;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   std::size_t jobs = util::ThreadPool::default_workers();
   std::string json_path = "BENCH_baseline.json";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--jobs" && i + 1 < argc && parse_count(argv[++i], &jobs)) {
-      // parsed in the condition
-    } else if (arg == "--json" && i + 1 < argc) {
-      json_path = argv[++i];
-    } else {
-      std::cerr << "usage: bench_baseline [--jobs N] [--json PATH]\n";
-      return 2;
-    }
-  }
+  util::FlagSet flags("bench_baseline");
+  flags.add_size("jobs", &jobs, "worker threads (default: cores)");
+  flags.add_string("json", &json_path, "output JSON path");
+  flags.parse_or_exit(argc, argv);
 
   bench::banner(
       "T6: crash-stop GLA (PODC'12) vs GWTS vs GSbS — messages per "
@@ -179,7 +156,7 @@ int main(int argc, char** argv) {
       .set("verify_cache_misses", crypto_totals.verify_cache_misses)
       .set("verifies_skipped", crypto_totals.verifies_skipped);
   bench::Json out;
-  out.set("bench", "baseline")
+  bench::add_build_info(out.set("bench", "baseline"))
       .set("wall_seconds", wall_seconds)
       .set("jobs", jobs)
       .set("total_events", total_events)

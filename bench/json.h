@@ -73,4 +73,22 @@ class Json {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
+/// Stamps build provenance on a BENCH_*.json object so artifacts from
+/// different checkouts stay distinguishable. BGLA_VERSION / BGLA_GIT_SHA
+/// come from the build system (see bench/CMakeLists.txt); "unknown" when
+/// built without them.
+inline Json& add_build_info(Json& j) {
+#ifdef BGLA_VERSION
+  j.set("version", BGLA_VERSION);
+#else
+  j.set("version", "unknown");
+#endif
+#ifdef BGLA_GIT_SHA
+  j.set("git_sha", BGLA_GIT_SHA);
+#else
+  j.set("git_sha", "unknown");
+#endif
+  return j;
+}
+
 }  // namespace bgla::bench

@@ -2,7 +2,7 @@
 
 namespace bgla::la {
 
-FaleiroProcess::FaleiroProcess(sim::Network& net, ProcessId id,
+FaleiroProcess::FaleiroProcess(net::Transport& net, ProcessId id,
                                CrashConfig cfg, Elem initial)
     : sim::Process(net, id), cfg_(cfg), pending_(std::move(initial)) {
   cfg_.validate();

@@ -31,7 +31,7 @@ class FaleiroProcess : public sim::Process {
  public:
   enum class State { kIdle, kProposing };
 
-  FaleiroProcess(sim::Network& net, ProcessId id, CrashConfig cfg,
+  FaleiroProcess(net::Transport& net, ProcessId id, CrashConfig cfg,
                  Elem initial = Elem());
 
   /// Buffers a value; proposed with the next batch. Also reachable via an

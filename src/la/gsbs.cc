@@ -2,7 +2,7 @@
 
 namespace bgla::la {
 
-GsbsProcess::GsbsProcess(sim::Network& net, ProcessId id, LaConfig cfg,
+GsbsProcess::GsbsProcess(net::Transport& net, ProcessId id, LaConfig cfg,
                          const crypto::SignatureAuthority& auth)
     : sim::Process(net, id),
       cfg_(cfg),

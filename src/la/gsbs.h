@@ -34,7 +34,7 @@ class GsbsProcess : public sim::Process {
  public:
   enum class State { kInit, kSafetying, kProposing };
 
-  GsbsProcess(sim::Network& net, ProcessId id, LaConfig cfg,
+  GsbsProcess(net::Transport& net, ProcessId id, LaConfig cfg,
               const crypto::SignatureAuthority& auth);
 
   /// "new value(v)": batched into the next round.

@@ -2,7 +2,7 @@
 
 namespace bgla::la {
 
-GwtsProcess::GwtsProcess(sim::Network& net, ProcessId id, LaConfig cfg)
+GwtsProcess::GwtsProcess(net::Transport& net, ProcessId id, LaConfig cfg)
     : sim::Process(net, id), cfg_(cfg) {
   cfg_.validate();
   auto rb_send = [this](ProcessId to, sim::MessagePtr m) {

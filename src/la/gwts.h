@@ -40,7 +40,7 @@ class GwtsProcess : public sim::Process {
  public:
   enum class State { kDisclosing, kProposing };
 
-  GwtsProcess(sim::Network& net, ProcessId id, LaConfig cfg);
+  GwtsProcess(net::Transport& net, ProcessId id, LaConfig cfg);
 
   /// "upon event new value(v)" (Alg 3 L9-10): enqueue an input value; it
   /// will be disclosed in the next round's batch. May be called before the

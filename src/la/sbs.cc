@@ -2,7 +2,7 @@
 
 namespace bgla::la {
 
-SbsProcess::SbsProcess(sim::Network& net, ProcessId id, LaConfig cfg,
+SbsProcess::SbsProcess(net::Transport& net, ProcessId id, LaConfig cfg,
                        const crypto::SignatureAuthority& auth,
                        Elem proposal)
     : sim::Process(net, id),

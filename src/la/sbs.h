@@ -34,7 +34,7 @@ class SbsProcess : public sim::Process {
  public:
   enum class State { kInit, kSafetying, kProposing, kDecided };
 
-  SbsProcess(sim::Network& net, ProcessId id, LaConfig cfg,
+  SbsProcess(net::Transport& net, ProcessId id, LaConfig cfg,
              const crypto::SignatureAuthority& auth, Elem proposal);
 
   void on_start() override;

@@ -2,7 +2,7 @@
 
 namespace bgla::la {
 
-WtsProcess::WtsProcess(sim::Network& net, ProcessId id, LaConfig cfg,
+WtsProcess::WtsProcess(net::Transport& net, ProcessId id, LaConfig cfg,
                        Elem proposal)
     : sim::Process(net, id),
       cfg_(cfg),

@@ -35,7 +35,7 @@ class WtsProcess : public sim::Process {
 
   /// `proposal` is this process's input value pro_i (must be admissible);
   /// pass ⊥ for a process that only acts as an acceptor.
-  WtsProcess(sim::Network& net, ProcessId id, LaConfig cfg, Elem proposal);
+  WtsProcess(net::Transport& net, ProcessId id, LaConfig cfg, Elem proposal);
 
   void on_start() override;
   void on_message(ProcessId from, const sim::MessagePtr& msg) override;

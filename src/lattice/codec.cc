@@ -1,0 +1,62 @@
+#include "lattice/codec.h"
+
+#include <map>
+#include <set>
+
+#include "lattice/maxint_elem.h"
+#include "lattice/set_elem.h"
+#include "lattice/vclock_elem.h"
+#include "util/check.h"
+
+namespace bgla::lattice {
+
+namespace {
+
+// Bound on decoded container sizes: a hostile length prefix must not make
+// the decoder attempt a huge allocation before the underrun check fires.
+// (Every container entry costs >= 2 bytes on the wire, so anything larger
+// than the remaining buffer is malformed anyway.)
+void check_count(std::uint64_t count, const Decoder& dec) {
+  BGLA_CHECK_MSG(count <= dec.remaining(),
+                 "decoded count " << count << " exceeds remaining bytes");
+}
+
+Elem decode_set(Decoder& dec) {
+  const std::uint64_t count = dec.get_varint();
+  check_count(count, dec);
+  std::set<Item> items;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Item it;
+    it.a = dec.get_u64();
+    it.b = dec.get_u64();
+    it.c = dec.get_u64();
+    items.insert(it);
+  }
+  return make_set(std::move(items));
+}
+
+Elem decode_vclock(Decoder& dec) {
+  const std::uint64_t count = dec.get_varint();
+  check_count(count, dec);
+  std::map<ProcessId, std::uint64_t> clock;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const ProcessId id = dec.get_u32();
+    clock[id] = dec.get_u64();
+  }
+  return make_vclock(std::move(clock));
+}
+
+}  // namespace
+
+Elem decode_elem(Decoder& dec) {
+  const std::uint8_t tag = dec.get_u8();
+  if (tag == 0) return Elem();  // bottom
+  BGLA_CHECK_MSG(tag == 1, "bad Elem tag " << static_cast<int>(tag));
+  const std::string kind = dec.get_string();
+  if (kind == "set") return decode_set(dec);
+  if (kind == "maxint") return make_maxint(dec.get_u64());
+  if (kind == "vclock") return decode_vclock(dec);
+  BGLA_CHECK_MSG(false, "unknown lattice family on the wire: " << kind);
+}
+
+}  // namespace bgla::lattice

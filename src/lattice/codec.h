@@ -1,0 +1,21 @@
+// Decoding of canonically encoded lattice elements (the inverse of
+// Elem::encode, for the real-network wire path).
+//
+// The simulator ships shared_ptr<const Message> in-memory and never needs
+// to parse bytes; the socket transport does. Every registered lattice
+// family (set, maxint, vclock) decodes here; an unknown family or a
+// malformed payload throws CheckError, which the frame decoder turns into
+// a rejected frame (a Byzantine peer must not be able to crash a correct
+// process with garbage bytes).
+#pragma once
+
+#include "lattice/elem.h"
+#include "util/codec.h"
+
+namespace bgla::lattice {
+
+/// Decodes one Elem from the decoder position. Throws CheckError on
+/// malformed input or an unregistered lattice family.
+Elem decode_elem(Decoder& dec);
+
+}  // namespace bgla::lattice

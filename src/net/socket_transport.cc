@@ -1,0 +1,590 @@
+#include "net/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "net/wire.h"
+#include "util/check.h"
+#include "util/codec.h"
+
+namespace bgla::net {
+
+namespace {
+
+constexpr std::uint8_t kHello = 0;
+constexpr std::uint8_t kData = 1;
+constexpr std::uint8_t kAck = 2;
+
+// Hard bound on a frame body; anything larger is a corrupt/hostile length
+// prefix, not a protocol message.
+constexpr std::uint32_t kMaxFrame = 1u << 24;
+
+std::uint64_t xorshift(std::uint64_t* state) {
+  std::uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *state = x;
+}
+
+struct ParsedFrame {
+  std::uint8_t kind = 0;
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  std::uint64_t seq = 0;
+  Bytes payload;
+};
+
+}  // namespace
+
+SocketTransport::SocketTransport(SocketConfig cfg)
+    : cfg_(std::move(cfg)),
+      authority_(cfg_.num_processes, cfg_.auth_seed),
+      signer_(authority_.signer_for(cfg_.self)),
+      epoch_(std::chrono::steady_clock::now()) {
+  BGLA_CHECK_MSG(cfg_.self < cfg_.num_processes,
+                 "self id " << cfg_.self << " outside key space");
+  bool self_listed = false;
+  for (const PeerAddr& p : cfg_.peers) {
+    BGLA_CHECK_MSG(p.id < cfg_.num_processes,
+                   "peer id " << p.id << " outside key space");
+    if (p.id == cfg_.self) {
+      self_listed = true;
+    } else {
+      auto ob = std::make_unique<Outbox>();
+      ob->loss_rng = cfg_.loss_seed ^ (0x9e3779b97f4a7c15ull * (p.id + 1)) ^
+                     (0x517cc1b727220a95ull * (cfg_.self + 1));
+      if (ob->loss_rng == 0) ob->loss_rng = 1;
+      outboxes_.emplace(p.id, std::move(ob));
+    }
+  }
+  BGLA_CHECK_MSG(self_listed, "self id missing from peer list");
+}
+
+SocketTransport::~SocketTransport() { stop(); }
+
+const PeerAddr& SocketTransport::peer(ProcessId id) const {
+  for (const PeerAddr& p : cfg_.peers) {
+    if (p.id == id) return p;
+  }
+  BGLA_CHECK_MSG(false, "unknown peer id " << id);
+}
+
+ProcessId SocketTransport::attach(Endpoint& e) {
+  BGLA_CHECK_MSG(endpoint_ == nullptr,
+                 "socket transport hosts exactly one endpoint");
+  endpoint_ = &e;
+  return cfg_.self;
+}
+
+void SocketTransport::detach(ProcessId id) {
+  BGLA_CHECK(id == cfg_.self);
+  endpoint_ = nullptr;
+}
+
+Time SocketTransport::now() const {
+  return static_cast<Time>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void SocketTransport::request_stop() { stop_flag_.store(true); }
+
+Bytes SocketTransport::build_frame(std::uint8_t kind, ProcessId to,
+                                   std::uint64_t seq,
+                                   BytesView payload) const {
+  Encoder core;
+  core.put_u8(kind);
+  core.put_u32(cfg_.self);
+  core.put_u32(to);
+  core.put_u64(seq);
+  core.put_bytes(payload);
+  crypto::Signature sig;
+  {
+    std::lock_guard<std::mutex> lk(crypto_mu_);
+    sig = signer_.sign(core.bytes());
+  }
+  Encoder body;
+  body.put_bytes(core.bytes());
+  body.put_u32(sig.signer);
+  body.put_bytes(BytesView(sig.mac.data(), sig.mac.size()));
+  return body.take();
+}
+
+void SocketTransport::send(ProcessId from, ProcessId to,
+                           sim::MessagePtr msg) {
+  BGLA_CHECK(msg != nullptr);
+  BGLA_CHECK_MSG(from == cfg_.self,
+                 "socket transport sends only as its own identity");
+  if (to == cfg_.self) {  // local step, no network hop
+    enqueue_delivery(cfg_.self, std::move(msg));
+    return;
+  }
+  auto it = outboxes_.find(to);
+  BGLA_CHECK_MSG(it != outboxes_.end(), "send to unknown peer " << to);
+  Outbox& ob = *it->second;
+  {
+    std::lock_guard<std::mutex> lk(ob.mu);
+    const std::uint64_t seq = ob.next_seq++;
+    ob.unacked.emplace(seq, build_frame(kData, to, seq, msg->encoded()));
+  }
+  if (ob.wake_pipe[1] >= 0) {
+    const char b = 1;
+    [[maybe_unused]] ssize_t r = ::write(ob.wake_pipe[1], &b, 1);
+  }
+}
+
+void SocketTransport::enqueue_delivery(ProcessId from, sim::MessagePtr msg) {
+  {
+    std::lock_guard<std::mutex> lk(inbox_mu_);
+    inbox_.push_back(Delivery{from, std::move(msg)});
+  }
+  inbox_cv_.notify_one();
+}
+
+// ------------------------------------------------------------- sockets --
+
+void SocketTransport::bind_and_listen() {
+  BGLA_CHECK(listen_fd_ < 0);
+  const PeerAddr& self = peer(cfg_.self);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  BGLA_CHECK_MSG(listen_fd_ >= 0, "socket(): " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(self.port);
+  BGLA_CHECK_MSG(::inet_pton(AF_INET, self.host.c_str(), &addr.sin_addr) == 1,
+                 "bad listen host " << self.host);
+  BGLA_CHECK_MSG(
+      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+          0,
+      "bind(" << self.host << ":" << self.port
+              << "): " << std::strerror(errno));
+  BGLA_CHECK_MSG(::listen(listen_fd_, 64) == 0,
+                 "listen(): " << std::strerror(errno));
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  BGLA_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                           &len) == 0);
+  listen_port_ = ntohs(bound.sin_port);
+}
+
+void SocketTransport::set_peer_port(ProcessId id, std::uint16_t port) {
+  BGLA_CHECK_MSG(!started_, "set_peer_port after start");
+  for (PeerAddr& p : cfg_.peers) {
+    if (p.id == id) {
+      p.port = port;
+      return;
+    }
+  }
+  BGLA_CHECK_MSG(false, "unknown peer id " << id);
+}
+
+int SocketTransport::dial(const PeerAddr& addr) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) return -1;
+  while (running_.load()) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd >= 0 &&
+        ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (fd >= 0) ::close(fd);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(cfg_.connect_retry_ms));
+  }
+  return -1;
+}
+
+bool SocketTransport::write_frame(int fd, const Bytes& body,
+                                  std::uint64_t* loss_rng, bool lossless) {
+  if (!lossless && cfg_.loss_rate > 0.0 && loss_rng != nullptr) {
+    const double u =
+        static_cast<double>(xorshift(loss_rng) >> 11) / 9007199254740992.0;
+    if (u < cfg_.loss_rate) {
+      frames_dropped_.fetch_add(1);
+      return true;  // "sent" into the void; retransmission recovers it
+    }
+  }
+  std::uint8_t hdr[4] = {
+      static_cast<std::uint8_t>(body.size() >> 24),
+      static_cast<std::uint8_t>(body.size() >> 16),
+      static_cast<std::uint8_t>(body.size() >> 8),
+      static_cast<std::uint8_t>(body.size()),
+  };
+  Bytes buf(hdr, hdr + 4);
+  buf.insert(buf.end(), body.begin(), body.end());
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n =
+        ::send(fd, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<Bytes> SocketTransport::read_frame(int fd) {
+  const auto recv_all = [&](std::uint8_t* out, std::size_t want) -> bool {
+    std::size_t off = 0;
+    while (off < want) {
+      pollfd pfd{fd, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, 200);
+      if (!running_.load()) return false;
+      if (pr < 0 && errno != EINTR) return false;
+      if (pr <= 0) continue;
+      const ssize_t n = ::recv(fd, out + off, want - off, 0);
+      if (n == 0) return false;  // peer closed
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+
+  std::uint8_t hdr[4];
+  if (!recv_all(hdr, 4)) return std::nullopt;
+  const std::uint32_t len = (static_cast<std::uint32_t>(hdr[0]) << 24) |
+                            (static_cast<std::uint32_t>(hdr[1]) << 16) |
+                            (static_cast<std::uint32_t>(hdr[2]) << 8) |
+                            static_cast<std::uint32_t>(hdr[3]);
+  if (len == 0 || len > kMaxFrame) return std::nullopt;
+  Bytes body(len);
+  if (!recv_all(body.data(), len)) return std::nullopt;
+  return body;
+}
+
+// Parses and authenticates a frame body; nullopt = drop it.
+static std::optional<ParsedFrame> parse_frame_body(
+    const Bytes& body, const crypto::SignatureAuthority& auth,
+    std::mutex& crypto_mu, ProcessId self) {
+  try {
+    Decoder dec{BytesView(body)};
+    const Bytes core = dec.get_bytes();
+    crypto::Signature sig;
+    sig.signer = dec.get_u32();
+    const Bytes mac = dec.get_bytes();
+    if (mac.size() != sig.mac.size() || !dec.done()) return std::nullopt;
+    std::copy(mac.begin(), mac.end(), sig.mac.begin());
+
+    ParsedFrame f;
+    Decoder c{BytesView(core)};
+    f.kind = c.get_u8();
+    f.from = c.get_u32();
+    f.to = c.get_u32();
+    f.seq = c.get_u64();
+    f.payload = c.get_bytes();
+    if (!c.done()) return std::nullopt;
+    if (f.kind > kAck) return std::nullopt;
+    if (f.to != self || f.from == self) return std::nullopt;
+    if (sig.signer != f.from) return std::nullopt;
+    {
+      std::lock_guard<std::mutex> lk(crypto_mu);
+      if (!auth.verify(sig, BytesView(core))) return std::nullopt;
+    }
+    return f;
+  } catch (const CheckError&) {
+    return std::nullopt;
+  }
+}
+
+// --------------------------------------------------------------- loops --
+
+void SocketTransport::accept_loop() {
+  while (running_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 200);
+    if (pr <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+      std::lock_guard<std::mutex> lk(inbound_mu_);
+      inbound_fds_.push_back(fd);
+    }
+    pool_->submit([this, fd] {
+      try {
+        inbound_loop(fd);
+      } catch (...) {
+      }
+    });
+  }
+}
+
+void SocketTransport::inbound_loop(int fd) {
+  ProcessId from = kNoProcess;
+  std::uint64_t ack_loss_rng =
+      cfg_.loss_seed ^ (0xd1b54a32d192ed03ull * (cfg_.self + 1)) ^
+      static_cast<std::uint64_t>(fd);
+  if (ack_loss_rng == 0) ack_loss_rng = 1;
+
+  while (running_.load()) {
+    std::optional<Bytes> body = read_frame(fd);
+    if (!body) break;
+    std::optional<ParsedFrame> f =
+        parse_frame_body(*body, authority_, crypto_mu_, cfg_.self);
+    if (!f) continue;  // unauthenticated / malformed: drop
+    if (from == kNoProcess) {
+      // Connection preamble: the dialer identifies itself with a signed
+      // HELLO; everything before that is ignored.
+      if (f->kind == kHello) from = f->from;
+      continue;
+    }
+    if (f->from != from || f->kind != kData) continue;
+
+    bool fresh = false;
+    {
+      std::lock_guard<std::mutex> lk(inbound_mu_);
+      DedupState& d = dedup_[from];
+      if (f->seq >= d.contiguous && d.seen.count(f->seq) == 0) {
+        fresh = true;
+        d.seen.insert(f->seq);
+        while (d.seen.count(d.contiguous) > 0) {
+          d.seen.erase(d.contiguous);
+          ++d.contiguous;
+        }
+      }
+    }
+    if (fresh) {
+      sim::MessagePtr msg = decode_message(BytesView(f->payload));
+      if (msg != nullptr) enqueue_delivery(from, std::move(msg));
+      // Undecodable payload from an authenticated peer: Byzantine or
+      // corrupt — dropped, but still acked so it is not retransmitted.
+    } else {
+      dups_suppressed_.fetch_add(1);
+    }
+    const Bytes ack = build_frame(kAck, from, f->seq, {});
+    if (!write_frame(fd, ack, &ack_loss_rng, /*lossless=*/false)) break;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(inbound_mu_);
+    inbound_fds_.erase(
+        std::remove(inbound_fds_.begin(), inbound_fds_.end(), fd),
+        inbound_fds_.end());
+  }
+  ::close(fd);
+}
+
+void SocketTransport::sender_loop(ProcessId to) {
+  Outbox& ob = *outboxes_.at(to);
+  const PeerAddr addr = peer(to);
+  int fd = -1;
+
+  const auto drop_connection = [&] {
+    {
+      std::lock_guard<std::mutex> lk(ob.mu);
+      ob.fd = -1;
+    }
+    ::close(fd);
+    fd = -1;
+  };
+
+  while (running_.load()) {
+    if (fd < 0) {
+      fd = dial(addr);
+      if (fd < 0) break;  // stopping
+      if (!write_frame(fd, build_frame(kHello, to, 0, {}), nullptr,
+                       /*lossless=*/true)) {
+        ::close(fd);
+        fd = -1;
+        continue;
+      }
+      bool ok = true;
+      {
+        std::lock_guard<std::mutex> lk(ob.mu);
+        ob.fd = fd;
+        // Fresh connection: everything unacknowledged goes out again.
+        for (const auto& [seq, frame] : ob.unacked) {
+          if (!write_frame(fd, frame, &ob.loss_rng, false)) {
+            ok = false;
+            break;
+          }
+        }
+        ob.next_unsent = ob.next_seq;
+      }
+      if (!ok) {
+        drop_connection();
+        continue;
+      }
+    }
+
+    pollfd fds[2] = {{fd, POLLIN, 0}, {ob.wake_pipe[0], POLLIN, 0}};
+    const int pr =
+        ::poll(fds, 2, static_cast<int>(cfg_.retransmit_every_ms));
+    if (!running_.load()) break;
+    if (pr < 0 && errno != EINTR) break;
+
+    bool dead = false;
+    if (pr > 0 && (fds[1].revents & POLLIN) != 0) {
+      std::uint8_t buf[256];
+      while (::read(ob.wake_pipe[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (pr > 0 && (fds[0].revents & POLLIN) != 0) {
+      std::optional<Bytes> body = read_frame(fd);
+      if (!body) {
+        dead = true;
+      } else {
+        std::optional<ParsedFrame> f =
+            parse_frame_body(*body, authority_, crypto_mu_, cfg_.self);
+        if (f && f->kind == kAck && f->from == to) {
+          std::lock_guard<std::mutex> lk(ob.mu);
+          ob.unacked.erase(f->seq);
+        }
+      }
+    } else if (pr > 0 && (fds[0].revents & (POLLHUP | POLLERR)) != 0) {
+      dead = true;
+    }
+
+    if (!dead) {
+      std::lock_guard<std::mutex> lk(ob.mu);
+      // Timeout tick: retransmit everything unacknowledged. Wake: flush
+      // only frames that never hit the wire.
+      auto it = (pr == 0) ? ob.unacked.begin()
+                          : ob.unacked.lower_bound(ob.next_unsent);
+      for (; it != ob.unacked.end(); ++it) {
+        if (!write_frame(fd, it->second, &ob.loss_rng, false)) {
+          dead = true;
+          break;
+        }
+      }
+      ob.next_unsent = ob.next_seq;
+    }
+    if (dead) drop_connection();
+  }
+
+  if (fd >= 0) drop_connection();
+}
+
+void SocketTransport::dispatch_loop() {
+  {
+    std::lock_guard<std::mutex> lk(dispatch_mu_);
+    if (endpoint_ != nullptr) endpoint_->on_start();
+  }
+  while (running_.load()) {
+    Delivery d;
+    {
+      std::unique_lock<std::mutex> lk(inbox_mu_);
+      inbox_cv_.wait_for(lk, std::chrono::milliseconds(100),
+                         [&] { return !inbox_.empty() || !running_.load(); });
+      if (inbox_.empty()) continue;
+      d = std::move(inbox_.front());
+      inbox_.pop_front();
+    }
+    std::lock_guard<std::mutex> lk(dispatch_mu_);
+    if (endpoint_ == nullptr) continue;
+    try {
+      endpoint_->on_message(d.from, d.msg);
+    } catch (const CheckError&) {
+      // A handler invariant tripped by hostile input must not take the
+      // whole node down; the offending delivery is dropped.
+    }
+  }
+}
+
+// ------------------------------------------------------------ lifecycle --
+
+void SocketTransport::start() {
+  BGLA_CHECK_MSG(!started_, "start() called twice");
+  BGLA_CHECK_MSG(listen_fd_ >= 0, "start() before bind_and_listen()");
+  BGLA_CHECK_MSG(endpoint_ != nullptr, "start() with no endpoint attached");
+  started_ = true;
+  running_.store(true);
+
+  for (auto& [id, ob] : outboxes_) {
+    BGLA_CHECK(::pipe(ob->wake_pipe) == 0);
+    ::fcntl(ob->wake_pipe[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(ob->wake_pipe[1], F_SETFL, O_NONBLOCK);
+  }
+
+  // One worker per long-lived loop: acceptor + dispatcher + a sender per
+  // peer + a reader per inbound connection (bounded by the peer count;
+  // slack covers reconnect overlap, where a dying reader's worker is
+  // briefly still draining).
+  const std::size_t peers = cfg_.peers.size() - 1;
+  pool_ = std::make_unique<util::ThreadPool>(2 + 2 * peers + 4);
+  pool_->submit([this] {
+    try {
+      accept_loop();
+    } catch (...) {
+    }
+  });
+  pool_->submit([this] {
+    try {
+      dispatch_loop();
+    } catch (...) {
+    }
+  });
+  for (auto& [id, ob] : outboxes_) {
+    const ProcessId to = id;
+    pool_->submit([this, to] {
+      try {
+        sender_loop(to);
+      } catch (...) {
+      }
+    });
+  }
+}
+
+void SocketTransport::stop() {
+  if (stopped_ || !started_) {
+    // Never started: nothing to join; just release the listen socket.
+    if (!stopped_ && listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    stopped_ = true;
+    return;
+  }
+  stopped_ = true;
+  running_.store(false);
+  inbox_cv_.notify_all();
+  for (auto& [id, ob] : outboxes_) {
+    const char b = 1;
+    [[maybe_unused]] ssize_t r = ::write(ob->wake_pipe[1], &b, 1);
+    std::lock_guard<std::mutex> lk(ob->mu);
+    if (ob->fd >= 0) ::shutdown(ob->fd, SHUT_RDWR);
+  }
+  {
+    std::lock_guard<std::mutex> lk(inbound_mu_);
+    for (int fd : inbound_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  pool_->wait_idle();
+  pool_.reset();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& [id, ob] : outboxes_) {
+    for (int& p : ob->wake_pipe) {
+      if (p >= 0) ::close(p);
+      p = -1;
+    }
+  }
+}
+
+}  // namespace bgla::net

@@ -1,0 +1,206 @@
+// Real-socket implementation of net::Transport: the paper's §3 reliable
+// authenticated point-to-point links between OS processes (or between
+// threads of one process in the loopback tests), over TCP.
+//
+// Wire format, per frame:
+//   4-byte big-endian length || body
+//   body  = put_bytes(core) || u32 signer || put_bytes(hmac)
+//   core  = u8 kind (HELLO=0 | DATA=1 | ACK=2) || u32 from || u32 to
+//           || u64 seq || put_bytes(payload)
+// The HMAC (crypto::SignatureAuthority key material, shared via the
+// deployment seed) covers `core`, so every frame is sender-authenticated:
+// a peer that cannot sign as process p cannot make us deliver a message
+// "from p". DATA payloads are Message::encoded() bytes, reconstructed by
+// net::decode_message; undecodable payloads are dropped, never fatal.
+//
+// Perfect-link layer: TCP already gives in-order lossless bytes per
+// connection, but connections themselves die (peer crash, injected loss).
+// So DATA frames carry app-level sequence numbers per (sender, receiver)
+// pair: the sender retransmits every unacknowledged frame until the
+// receiver's ACK arrives, and the receiver deduplicates by sequence number
+// (contiguous watermark + sparse seen-set) before dispatching. Message
+// loss and duplication are therefore tolerated; delivery order is NOT
+// guaranteed — exactly the asynchronous reliable-link model the protocols
+// assume. A `loss_rate` knob drops outgoing DATA/ACK frames to exercise
+// this machinery in tests.
+//
+// Topology: every ordered pair (a, b) uses one TCP connection, dialed by
+// a. The dialer sends a signed HELLO, then its DATA frames; the acceptor
+// answers ACKs on the same connection. Binding port 0 picks an ephemeral
+// port (read it back with port(), publish it with set_peer_port) so
+// parallel test runs never collide.
+//
+// Threading (all long-lived loops run on a util::ThreadPool sized for
+// them): one acceptor, one sender per outgoing connection (multiplexing
+// new sends, the retransmit timer and ACK reads via poll on a wake pipe),
+// one reader per inbound connection, and ONE dispatch thread that
+// serializes every Endpoint::on_message call. Handler code is thus
+// single-threaded, same as in-sim; external threads (tests, drivers) must
+// hold dispatch_lock() while reading endpoint state.
+//
+// Determinism boundary: now() is wall-clock microseconds and
+// current_depth() is always 0 — causal-depth accounting is a simulator
+// concept. Spec checkers that need depth run in-sim; over sockets the
+// same checkers validate decision values only.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/signature.h"
+#include "net/transport.h"
+#include "sim/message.h"
+#include "util/bytes.h"
+#include "util/ids.h"
+#include "util/thread_pool.h"
+
+namespace bgla::net {
+
+struct PeerAddr {
+  ProcessId id = kNoProcess;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral (fill in via set_peer_port)
+};
+
+struct SocketConfig {
+  ProcessId self = kNoProcess;
+  std::vector<PeerAddr> peers;  // every endpoint in the system, incl. self
+  // Frame-authentication key material: every node of one deployment uses
+  // the same (num_processes, auth_seed), which deterministically derives
+  // identical per-process HMAC keys across OS processes. The transport
+  // owns its authority instance (internally locked — SignatureAuthority
+  // itself is single-threaded by contract); protocol-level authorities
+  // are separate instances from the same seed.
+  std::uint32_t num_processes = 0;
+  std::uint64_t auth_seed = 42;
+  std::uint32_t retransmit_every_ms = 50;  // unacked-frame resend period
+  std::uint32_t connect_retry_ms = 50;     // (re)dial backoff
+  double loss_rate = 0.0;                  // P(drop) per DATA/ACK write
+  std::uint64_t loss_seed = 1;             // deterministic loss stream
+};
+
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(SocketConfig cfg);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  // -- Transport interface (send is thread-safe; callable from handlers
+  //    and from external driver threads alike).
+  ProcessId attach(Endpoint& e) override;
+  void detach(ProcessId id) override;
+  void send(ProcessId from, ProcessId to, sim::MessagePtr msg) override;
+  Time now() const override;
+  std::uint64_t current_depth() const override { return 0; }
+  void request_stop() override;
+
+  // -- Lifecycle. bind_and_listen() → [set_peer_port()…] → start() → stop().
+  /// Binds the listening socket for this node (its configured port; 0
+  /// picks an ephemeral one). port() is valid afterwards.
+  void bind_and_listen();
+  std::uint16_t port() const { return listen_port_; }
+
+  /// Updates a peer's dial port — for clusters that bind ephemeral ports
+  /// first and exchange them before start().
+  void set_peer_port(ProcessId id, std::uint16_t port);
+
+  /// Spawns the network threads, dials every peer and runs the attached
+  /// endpoint's on_start() on the dispatch thread.
+  void start();
+
+  /// Shuts down sockets and joins all threads. Idempotent. After stop()
+  /// endpoint state can be read without dispatch_lock().
+  void stop();
+
+  bool stop_requested() const { return stop_flag_.load(); }
+
+  /// Serializes against the dispatch thread: hold this while reading
+  /// endpoint state from outside message handlers.
+  std::unique_lock<std::mutex> dispatch_lock() {
+    return std::unique_lock<std::mutex>(dispatch_mu_);
+  }
+
+  /// Frames dropped by the injected-loss knob (testing aid).
+  std::uint64_t frames_dropped() const { return frames_dropped_.load(); }
+  /// Duplicate DATA frames suppressed by receive-side dedup.
+  std::uint64_t dups_suppressed() const { return dups_suppressed_.load(); }
+
+ private:
+  struct Outbox {  // per destination peer (one dialed connection)
+    std::mutex mu;
+    std::map<std::uint64_t, Bytes> unacked;  // seq -> DATA frame body
+    std::uint64_t next_seq = 0;
+    std::uint64_t next_unsent = 0;  // frames >= this never hit the wire yet
+    int fd = -1;           // current outgoing socket (sender thread's own)
+    int wake_pipe[2] = {-1, -1};  // send()/stop() poke the sender thread
+    std::uint64_t loss_rng = 0;
+  };
+  struct DedupState {  // per sender
+    std::uint64_t contiguous = 0;  // every seq < contiguous was delivered
+    std::set<std::uint64_t> seen;  // delivered seqs >= contiguous
+  };
+  struct Delivery {
+    ProcessId from = kNoProcess;
+    sim::MessagePtr msg;
+  };
+
+  const PeerAddr& peer(ProcessId id) const;
+  Bytes build_frame(std::uint8_t kind, ProcessId to, std::uint64_t seq,
+                    BytesView payload) const;
+  bool write_frame(int fd, const Bytes& body, std::uint64_t* loss_rng,
+                   bool lossless);
+  std::optional<Bytes> read_frame(int fd);
+  int dial(const PeerAddr& addr);
+
+  void enqueue_delivery(ProcessId from, sim::MessagePtr msg);
+  void accept_loop();
+  void inbound_loop(int fd);
+  void sender_loop(ProcessId to);
+  void dispatch_loop();
+
+  SocketConfig cfg_;
+  crypto::SignatureAuthority authority_;  // frame HMACs only
+  crypto::Signer signer_;
+  mutable std::mutex crypto_mu_;  // authority_ is single-threaded by contract
+  std::chrono::steady_clock::time_point epoch_;
+
+  Endpoint* endpoint_ = nullptr;
+
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+
+  std::map<ProcessId, std::unique_ptr<Outbox>> outboxes_;
+
+  std::mutex inbound_mu_;
+  std::vector<int> inbound_fds_;
+  std::map<ProcessId, DedupState> dedup_;  // guarded by inbound_mu_
+
+  std::mutex inbox_mu_;
+  std::condition_variable inbox_cv_;
+  std::deque<Delivery> inbox_;
+
+  std::mutex dispatch_mu_;  // serializes on_message vs. external readers
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_flag_{false};
+  std::atomic<std::uint64_t> frames_dropped_{0};
+  std::atomic<std::uint64_t> dups_suppressed_{0};
+
+  std::unique_ptr<util::ThreadPool> pool_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace bgla::net

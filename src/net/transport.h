@@ -1,0 +1,114 @@
+// Transport abstraction: the paper's §3 "asynchronous authenticated
+// reliable point-to-point links", decoupled from how they are realised.
+//
+// Two implementations exist:
+//   - sim::Network        — the deterministic discrete-event simulator
+//                           (the correctness oracle; all spec tests run
+//                           here first).
+//   - net::SocketTransport — real sockets between OS processes (or between
+//                           threads of one process in the loopback tests),
+//                           with perfect-link retransmission/dedup and
+//                           HMAC sender authentication layered on top.
+//
+// Every protocol endpoint (WTS/GWTS, SbS/GSbS, Faleiro LA, RSM replicas
+// and clients) is written against this interface, so the same protocol
+// object runs unchanged in-sim or as a standalone networked process.
+//
+// Semantics both implementations provide:
+//   - send(from, to, msg) never loses the message between correct
+//     endpoints (reliability), and the `from` stamped on delivery is the
+//     true sender (authenticated channels — a Byzantine process cannot
+//     impersonate another).
+//   - Delivery may be arbitrarily delayed and reordered (asynchrony).
+//   - A self-send is a local step: delivered without a network hop.
+//   - on_message handlers of one endpoint never run concurrently.
+//
+// now() is simulation time in-sim and wall-clock microseconds on a real
+// transport; current_depth() is the causal message-delay depth in-sim and
+// always 0 on a real transport (depth accounting is a simulator concept —
+// this is the determinism boundary documented in docs/ARCHITECTURE.md).
+#pragma once
+
+#include "sim/message.h"
+#include "util/check.h"
+#include "util/ids.h"
+
+namespace bgla::net {
+
+/// Time in transport units (ticks in-sim, microseconds on sockets).
+using Time = std::uint64_t;
+
+class Endpoint;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Registers an endpoint and returns the id it is reachable under.
+  /// Implementations check the id against their own notion of identity
+  /// (attachment order in-sim, the configured self id on sockets).
+  virtual ProcessId attach(Endpoint& e) = 0;
+  virtual void detach(ProcessId id) = 0;
+
+  /// Sends msg from -> to under the sender's authenticated identity.
+  virtual void send(ProcessId from, ProcessId to, sim::MessagePtr msg) = 0;
+
+  virtual Time now() const = 0;
+
+  /// Causal message-delay depth of the delivery being handled (always 0
+  /// outside handlers and on real transports).
+  virtual std::uint64_t current_depth() const = 0;
+
+  /// Requests the event loop (sim) / dispatch loop (sockets) to stop.
+  virtual void request_stop() = 0;
+};
+
+/// Base class for every protocol participant: protocol processes,
+/// Byzantine strategies, RSM clients. Transport-agnostic — the same
+/// endpoint runs under sim::Network or net::SocketTransport.
+class Endpoint {
+ public:
+  Endpoint(Transport& transport, ProcessId id)
+      : transport_(&transport), id_(id) {
+    const ProcessId assigned = transport_->attach(*this);
+    BGLA_CHECK_MSG(assigned == id,
+                   "endpoint id mismatch: transport assigned "
+                       << assigned << ", got " << id);
+  }
+  virtual ~Endpoint() { transport_->detach(id_); }
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  ProcessId id() const { return id_; }
+
+  /// Called once when the run starts (time 0, depth 0).
+  virtual void on_start() {}
+
+  /// Called for every delivered message; `from` is the authenticated
+  /// sender identity stamped by the transport.
+  virtual void on_message(ProcessId from, const sim::MessagePtr& msg) = 0;
+
+ protected:
+  /// The transport this endpoint is attached to (historically named net()
+  /// when endpoints were bound to the simulator directly).
+  Transport& net() { return *transport_; }
+  const Transport& net() const { return *transport_; }
+
+  /// Point-to-point send under this endpoint's own identity.
+  void send(ProcessId to, sim::MessagePtr msg) {
+    transport_->send(id_, to, std::move(msg));
+  }
+
+  /// Best-effort broadcast: point-to-point send to every process in
+  /// [0, count); includes self (depth-neutral, not metered).
+  void send_to_group(std::uint32_t count, const sim::MessagePtr& msg) {
+    for (ProcessId to = 0; to < count; ++to) transport_->send(id_, to, msg);
+  }
+
+ private:
+  Transport* transport_;
+  ProcessId id_;
+};
+
+}  // namespace bgla::net

@@ -1,0 +1,32 @@
+// Wire decoding of protocol messages — the inverse of Message::encoded().
+//
+// The simulator passes shared_ptr<const Message> by reference and never
+// parses bytes; the socket transport receives byte frames from untrusted
+// peers and must reconstruct typed messages. Every message type in the
+// repository's type-id registry (bcast 1..6, WTS 10..13, GWTS 20..24,
+// Faleiro 30..32, SbS 40..45, GSbS 50..56, RSM 60..63) decodes here.
+//
+// Robustness contract: decode_message never throws and never crashes on
+// arbitrary bytes — truncated frames, unknown type ids, over-long length
+// prefixes, unsorted sets and over-deep nesting all return nullptr. A
+// Byzantine peer can at worst make a frame be dropped.
+//
+// Round-trip contract: for canonical input bytes (anything produced by
+// Message::encoded()), decode_message(bytes)->encoded() == bytes. This is
+// what keeps signatures and Bracha digests valid across the wire:
+// re-encoding a decoded message reproduces the exact signed/hashed bytes.
+// Non-canonical but parseable input (e.g. set entries out of order)
+// re-encodes canonically, so its digest changes and signature checks fail
+// — such forgeries are rejected by protocol logic, not by the decoder.
+#pragma once
+
+#include "sim/message.h"
+#include "util/bytes.h"
+
+namespace bgla::net {
+
+/// Decodes one message from `varint(type_id) || payload` bytes.
+/// Returns nullptr on malformed input, unknown type id, or trailing bytes.
+sim::MessagePtr decode_message(BytesView bytes);
+
+}  // namespace bgla::net

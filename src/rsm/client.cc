@@ -4,7 +4,7 @@
 
 namespace bgla::rsm {
 
-Client::Client(sim::Network& net, ProcessId id, std::uint32_t num_replicas,
+Client::Client(net::Transport& net, ProcessId id, std::uint32_t num_replicas,
                std::uint32_t f, std::vector<Op> script)
     : sim::Process(net, id),
       num_replicas_(num_replicas),

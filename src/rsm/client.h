@@ -46,7 +46,7 @@ struct OpRecord {
 
 class Client : public sim::Process {
  public:
-  Client(sim::Network& net, ProcessId id, std::uint32_t num_replicas,
+  Client(net::Transport& net, ProcessId id, std::uint32_t num_replicas,
          std::uint32_t f, std::vector<Op> script);
 
   /// Contact all replicas per command instead of the minimal f+1 (Alg 5

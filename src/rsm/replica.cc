@@ -2,7 +2,7 @@
 
 namespace bgla::rsm {
 
-Replica::Replica(sim::Network& net, ProcessId id, la::LaConfig cfg,
+Replica::Replica(net::Transport& net, ProcessId id, la::LaConfig cfg,
                  ProcessId client_base, std::uint32_t num_clients)
     : la::GwtsProcess(net, id, cfg),
       client_base_(client_base),

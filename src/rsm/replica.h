@@ -17,7 +17,7 @@ namespace bgla::rsm {
 class Replica : public la::GwtsProcess {
  public:
   /// Clients occupy process ids [client_base, client_base + num_clients).
-  Replica(sim::Network& net, ProcessId id, la::LaConfig cfg,
+  Replica(net::Transport& net, ProcessId id, la::LaConfig cfg,
           ProcessId client_base, std::uint32_t num_clients);
 
   void on_message(ProcessId from, const sim::MessagePtr& msg) override;

@@ -2,23 +2,6 @@
 
 namespace bgla::sim {
 
-Process::Process(Network& net, ProcessId id) : net_(&net), id_(id) {
-  const ProcessId assigned = net.attach(*this);
-  BGLA_CHECK_MSG(assigned == id,
-                 "processes must be constructed in id order: expected "
-                     << assigned << ", got " << id);
-}
-
-Process::~Process() { net_->detach(id_); }
-
-void Process::send(ProcessId to, MessagePtr msg) {
-  net_->send(id_, to, std::move(msg));
-}
-
-void Process::send_to_group(std::uint32_t count, const MessagePtr& msg) {
-  for (ProcessId to = 0; to < count; ++to) net_->send(id_, to, msg);
-}
-
 Network::Network(std::unique_ptr<DelayModel> delay, std::uint64_t seed,
                  std::uint32_t expected_processes)
     : delay_(std::move(delay)),

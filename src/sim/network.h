@@ -19,6 +19,7 @@
 #include <queue>
 #include <vector>
 
+#include "net/transport.h"
 #include "sim/delay.h"
 #include "sim/message.h"
 #include "sim/metrics.h"
@@ -31,39 +32,9 @@ namespace bgla::sim {
 class Network;
 
 /// Base class for every simulated participant (protocol processes,
-/// Byzantine strategies, RSM clients).
-class Process {
- public:
-  Process(Network& net, ProcessId id);
-  virtual ~Process();
-
-  Process(const Process&) = delete;
-  Process& operator=(const Process&) = delete;
-
-  ProcessId id() const { return id_; }
-
-  /// Called once when the run starts (time 0, depth 0).
-  virtual void on_start() {}
-
-  /// Called for every delivered message; `from` is the authenticated
-  /// sender identity stamped by the network.
-  virtual void on_message(ProcessId from, const MessagePtr& msg) = 0;
-
- protected:
-  Network& net() { return *net_; }
-  const Network& net() const { return *net_; }
-
-  /// Point-to-point send under this process's own (authenticated) identity.
-  void send(ProcessId to, MessagePtr msg);
-
-  /// Best-effort broadcast: point-to-point send to every attached process
-  /// in [0, count); includes self (depth-neutral, not metered).
-  void send_to_group(std::uint32_t count, const MessagePtr& msg);
-
- private:
-  Network* net_;
-  ProcessId id_;
-};
+/// Byzantine strategies, RSM clients). Endpoints are transport-agnostic:
+/// the same class runs under the simulator or net::SocketTransport.
+using Process = net::Endpoint;
 
 struct RunResult {
   bool quiescent = false;   // event queue drained
@@ -72,14 +43,15 @@ struct RunResult {
   Time end_time = 0;
 };
 
-class Network {
+class Network final : public net::Transport {
  public:
   Network(std::unique_ptr<DelayModel> delay, std::uint64_t seed,
           std::uint32_t expected_processes);
 
-  /// Registration (done by Process's constructor/destructor).
-  ProcessId attach(Process& p);
-  void detach(ProcessId id);
+  /// Registration (done by Process's constructor/destructor). Ids are
+  /// assigned in attachment order.
+  ProcessId attach(Process& p) override;
+  void detach(ProcessId id) override;
 
   std::uint32_t num_attached() const {
     return static_cast<std::uint32_t>(processes_.size());
@@ -87,7 +59,7 @@ class Network {
 
   /// Sends msg from -> to. `from` must be the currently executing process
   /// (authenticated channels); enforced for deliveries.
-  void send(ProcessId from, ProcessId to, MessagePtr msg);
+  void send(ProcessId from, ProcessId to, MessagePtr msg) override;
 
   /// Schedules an external event (e.g. an RSM client operation arriving
   /// from outside the replica group) at absolute time `at`, depth 0.
@@ -96,12 +68,12 @@ class Network {
   /// Runs the event loop until quiescence, stop request, or `max_events`.
   RunResult run(std::uint64_t max_events = 50'000'000);
 
-  void request_stop() { stop_ = true; }
+  void request_stop() override { stop_ = true; }
 
-  Time now() const { return now_; }
+  Time now() const override { return now_; }
 
   /// Depth of the message currently being handled (0 outside handlers).
-  std::uint64_t current_depth() const { return current_depth_; }
+  std::uint64_t current_depth() const override { return current_depth_; }
 
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }

@@ -1,0 +1,211 @@
+// Strict command-line flag parsing shared by the tools and benches.
+//
+// Every binary in this repository takes `--name value` / `--name` style
+// flags; before this header each re-implemented the loop (and three of
+// them carried identical copies of a digits-only `parse_count`, because
+// std::stoul accepts junk suffixes and throws on garbage — a bad CLI value
+// should print usage, not terminate()). FlagSet centralises that policy:
+//
+//   util::FlagSet flags("bench_sbs");
+//   flags.add_size("jobs", &jobs, "worker threads (default: cores)");
+//   flags.add_string("json", &json_path, "write BENCH JSON to this path");
+//   flags.parse_or_exit(argc, argv);   // handles --help, exits 2 on error
+//
+// Numeric values are digits-only (doubles: digits with one optional dot);
+// anything else — empty strings, trailing junk, overflow — is a usage
+// error. Unknown flags and missing values are usage errors too.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bgla::util {
+
+/// Digits-only unsigned parser; rejects empty input, any non-digit
+/// character, and values that overflow 64 bits.
+inline bool parse_u64_strict(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t d = static_cast<std::uint64_t>(c - '0');
+    if (v > (std::numeric_limits<std::uint64_t>::max() - d) / 10) {
+      return false;
+    }
+    v = v * 10 + d;
+  }
+  *out = v;
+  return true;
+}
+
+/// Strict non-negative decimal: digits with at most one '.', e.g. "0.05".
+inline bool parse_double_strict(const std::string& s, double* out) {
+  if (s.empty() || s == ".") return false;
+  bool seen_dot = false;
+  for (const char c : s) {
+    if (c == '.') {
+      if (seen_dot) return false;
+      seen_dot = true;
+    } else if (c < '0' || c > '9') {
+      return false;
+    }
+  }
+  *out = std::stod(s);
+  return true;
+}
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program, std::string summary = {})
+      : program_(std::move(program)), summary_(std::move(summary)) {}
+
+  void add_string(const std::string& name, std::string* target,
+                  const std::string& help) {
+    add(name, true, help, [target](const std::string& v) {
+      *target = v;
+      return true;
+    });
+  }
+
+  void add_u32(const std::string& name, std::uint32_t* target,
+               const std::string& help) {
+    add(name, true, help, [target](const std::string& v) {
+      std::uint64_t u = 0;
+      if (!parse_u64_strict(v, &u) ||
+          u > std::numeric_limits<std::uint32_t>::max()) {
+        return false;
+      }
+      *target = static_cast<std::uint32_t>(u);
+      return true;
+    });
+  }
+
+  void add_u64(const std::string& name, std::uint64_t* target,
+               const std::string& help) {
+    add(name, true, help,
+        [target](const std::string& v) { return parse_u64_strict(v, target); });
+  }
+
+  void add_size(const std::string& name, std::size_t* target,
+                const std::string& help) {
+    add(name, true, help, [target](const std::string& v) {
+      std::uint64_t u = 0;
+      if (!parse_u64_strict(v, &u) ||
+          u > std::numeric_limits<std::size_t>::max()) {
+        return false;
+      }
+      *target = static_cast<std::size_t>(u);
+      return true;
+    });
+  }
+
+  void add_double(const std::string& name, double* target,
+                  const std::string& help) {
+    add(name, true, help, [target](const std::string& v) {
+      return parse_double_strict(v, target);
+    });
+  }
+
+  /// Presence flag: `--name` sets *target to true, takes no value.
+  void add_bool(const std::string& name, bool* target,
+                const std::string& help) {
+    add(name, false, help, [target](const std::string&) {
+      *target = true;
+      return true;
+    });
+  }
+
+  std::string usage() const {
+    std::ostringstream os;
+    os << "usage: " << program_ << " [options]";
+    if (!summary_.empty()) os << "\n" << summary_;
+    os << "\n";
+    for (const Flag& f : flags_) {
+      std::string head = "  --" + f.name + (f.takes_value ? " V" : "");
+      os << head;
+      for (std::size_t i = head.size(); i < 22; ++i) os << ' ';
+      os << " " << f.help << "\n";
+    }
+    return os.str();
+  }
+
+  /// Parses argv; on any error prints the message and usage to `err` and
+  /// returns false. `--help`/`-h` print usage to stdout and return false
+  /// with *help_requested (if given) set.
+  bool parse(int argc, char** argv, std::ostream& err = std::cerr,
+             bool* help_requested = nullptr) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        if (help_requested != nullptr) *help_requested = true;
+        std::cout << usage();
+        return false;
+      }
+      Flag* flag = nullptr;
+      if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+        for (Flag& f : flags_) {
+          if (arg.compare(2, std::string::npos, f.name) == 0) {
+            flag = &f;
+            break;
+          }
+        }
+      }
+      if (flag == nullptr) {
+        err << "error: unknown option '" << arg << "'\n\n" << usage();
+        return false;
+      }
+      std::string value;
+      if (flag->takes_value) {
+        if (i + 1 >= argc) {
+          err << "error: missing value for --" << flag->name << "\n\n"
+              << usage();
+          return false;
+        }
+        value = argv[++i];
+      }
+      if (!flag->set(value)) {
+        err << "error: bad value '" << value << "' for --" << flag->name
+            << "\n\n"
+            << usage();
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// parse(), exiting 0 on --help and 2 on any parse error.
+  void parse_or_exit(int argc, char** argv) {
+    bool help = false;
+    if (!parse(argc, argv, std::cerr, &help)) std::exit(help ? 0 : 2);
+  }
+
+  /// For post-parse validation (enum values etc.): print and exit 2.
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::cerr << "error: " << msg << "\n\n" << usage();
+    std::exit(2);
+  }
+
+ private:
+  struct Flag {
+    std::string name;
+    bool takes_value = true;
+    std::string help;
+    std::function<bool(const std::string&)> set;
+  };
+
+  void add(const std::string& name, bool takes_value, const std::string& help,
+           std::function<bool(const std::string&)> set) {
+    flags_.push_back(Flag{name, takes_value, help, std::move(set)});
+  }
+
+  std::string program_;
+  std::string summary_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace bgla::util

@@ -12,6 +12,7 @@
 #include "la/wts.h"
 #include "lattice/maxint_elem.h"
 #include "lattice/set_elem.h"
+#include "net/wire.h"
 #include "sim/network.h"
 #include "util/rng.h"
 
@@ -37,6 +38,54 @@ Elem random_elem(Rng& rng) {
   return make_set(std::move(items));
 }
 
+/// A structurally valid protocol message with randomly-filled content —
+/// shared between the in-sim Byzantine sprayer and the wire-decoder fuzz.
+sim::MessagePtr random_message(Rng& rng, std::uint32_t n) {
+  switch (rng.uniform(0, 9)) {
+    case 0:
+      return std::make_shared<la::DisclosureMsg>(random_elem(rng));
+    case 1:
+      return std::make_shared<la::AckReqMsg>(random_elem(rng),
+                                             rng.uniform(0, 5));
+    case 2:
+      return std::make_shared<la::AckMsg>(random_elem(rng),
+                                          rng.uniform(0, 5));
+    case 3:
+      return std::make_shared<la::NackMsg>(random_elem(rng),
+                                           rng.uniform(0, 5));
+    case 4:
+      return std::make_shared<la::GAckReqMsg>(
+          random_elem(rng), rng.uniform(0, 5), rng.uniform(0, 6));
+    case 5:
+      return std::make_shared<la::GAckMsg>(
+          random_elem(rng), static_cast<ProcessId>(rng.uniform(0, 7)),
+          static_cast<ProcessId>(rng.uniform(0, 7)), rng.uniform(0, 5),
+          rng.uniform(0, 6));
+    case 6:
+      return std::make_shared<la::GNackMsg>(
+          random_elem(rng), rng.uniform(0, 5), rng.uniform(0, 6));
+    case 7: {
+      const bcast::RbKey key{static_cast<ProcessId>(rng.uniform(0, n)),
+                             rng.uniform(0, 8)};
+      return std::make_shared<bcast::RbSendMsg>(
+          key, std::make_shared<la::DisclosureMsg>(random_elem(rng)));
+    }
+    case 8: {
+      const bcast::RbKey key{static_cast<ProcessId>(rng.uniform(0, n)),
+                             rng.uniform(0, 8)};
+      return std::make_shared<bcast::RbEchoMsg>(
+          key, std::make_shared<la::GDisclosureMsg>(random_elem(rng),
+                                                    rng.uniform(0, 4)));
+    }
+    default: {
+      const bcast::RbKey key{static_cast<ProcessId>(rng.uniform(0, n)),
+                             rng.uniform(0, 8)};
+      return std::make_shared<bcast::RbReadyMsg>(
+          key, std::make_shared<la::SubmitMsg>(random_elem(rng)));
+    }
+  }
+}
+
 class FuzzByz : public sim::Process {
  public:
   FuzzByz(sim::Network& net, ProcessId id, std::uint32_t n,
@@ -47,59 +96,10 @@ class FuzzByz : public sim::Process {
   void on_message(ProcessId, const sim::MessagePtr&) override { spray(2); }
 
  private:
-  sim::MessagePtr random_message() {
-    switch (rng_.uniform(0, 9)) {
-      case 0:
-        return std::make_shared<la::DisclosureMsg>(random_elem(rng_));
-      case 1:
-        return std::make_shared<la::AckReqMsg>(random_elem(rng_),
-                                               rng_.uniform(0, 5));
-      case 2:
-        return std::make_shared<la::AckMsg>(random_elem(rng_),
-                                            rng_.uniform(0, 5));
-      case 3:
-        return std::make_shared<la::NackMsg>(random_elem(rng_),
-                                             rng_.uniform(0, 5));
-      case 4:
-        return std::make_shared<la::GAckReqMsg>(
-            random_elem(rng_), rng_.uniform(0, 5), rng_.uniform(0, 6));
-      case 5:
-        return std::make_shared<la::GAckMsg>(
-            random_elem(rng_), static_cast<ProcessId>(rng_.uniform(0, 7)),
-            static_cast<ProcessId>(rng_.uniform(0, 7)), rng_.uniform(0, 5),
-            rng_.uniform(0, 6));
-      case 6:
-        return std::make_shared<la::GNackMsg>(
-            random_elem(rng_), rng_.uniform(0, 5), rng_.uniform(0, 6));
-      case 7: {
-        const bcast::RbKey key{
-            static_cast<ProcessId>(rng_.uniform(0, n_)),
-            rng_.uniform(0, 8)};
-        return std::make_shared<bcast::RbSendMsg>(
-            key, std::make_shared<la::DisclosureMsg>(random_elem(rng_)));
-      }
-      case 8: {
-        const bcast::RbKey key{
-            static_cast<ProcessId>(rng_.uniform(0, n_)),
-            rng_.uniform(0, 8)};
-        return std::make_shared<bcast::RbEchoMsg>(
-            key, std::make_shared<la::GDisclosureMsg>(random_elem(rng_),
-                                                      rng_.uniform(0, 4)));
-      }
-      default: {
-        const bcast::RbKey key{
-            static_cast<ProcessId>(rng_.uniform(0, n_)),
-            rng_.uniform(0, 8)};
-        return std::make_shared<bcast::RbReadyMsg>(
-            key, std::make_shared<la::SubmitMsg>(random_elem(rng_)));
-      }
-    }
-  }
-
   void spray(std::uint32_t count) {
     for (std::uint32_t i = 0; i < count && sent_ < budget_; ++i, ++sent_) {
       send(static_cast<ProcessId>(rng_.uniform(0, n_ - 1)),
-           random_message());
+           random_message(rng_, n_));
     }
   }
 
@@ -184,6 +184,36 @@ TEST_P(FuzzSweep, GwtsSurvivesRandomGarbage) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
                          ::testing::Range<std::uint64_t>(1, 21));
+
+// The wire decoder faces the same hostile universe as the protocols: the
+// sprayer's randomly-filled messages (wrong lattice families, bottoms,
+// fake origins) must round-trip canonically, and random byte corruptions
+// of their encodings must be rejected — or re-canonicalized into a stable
+// encoding (set re-sorting etc.; digests then diverge and the protocol
+// layer rejects, see net/wire.h), never accepted in a form the decoder
+// itself would re-encode differently.
+TEST_P(FuzzSweep, WireDecoderSurvivesFuzzedMessages) {
+  Rng rng(GetParam() * 77 + 13);
+  for (int i = 0; i < 400; ++i) {
+    const sim::MessagePtr msg = random_message(rng, 4);
+    const Bytes& bytes = msg->encoded();
+    const sim::MessagePtr d = net::decode_message(bytes);
+    ASSERT_NE(d, nullptr) << msg->to_string();
+    EXPECT_EQ(d->encoded(), bytes) << msg->to_string();
+
+    Bytes mutated = bytes;
+    mutated[rng.uniform(0, mutated.size() - 1)] ^=
+        static_cast<std::uint8_t>(rng.uniform(1, 255));
+    const sim::MessagePtr md = net::decode_message(mutated);
+    if (md != nullptr) {
+      // Canonical fixpoint: whatever the decoder accepted, its own
+      // re-encoding must decode back to the identical byte string.
+      const sim::MessagePtr md2 = net::decode_message(md->encoded());
+      ASSERT_NE(md2, nullptr) << msg->to_string();
+      EXPECT_EQ(md2->encoded(), md->encoded()) << msg->to_string();
+    }
+  }
+}
 
 }  // namespace
 }  // namespace bgla

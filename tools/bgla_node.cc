@@ -1,0 +1,353 @@
+// bgla_node — run ONE protocol endpoint as a real OS process over TCP.
+//
+// The node loads a topology file (one endpoint per line: "<id> <host>
+// <port>", '#' starts a comment), builds a net::SocketTransport for its
+// own id, and runs the selected protocol endpoint against it. Every node
+// of a deployment must use the same topology file, --n, --f and --seed
+// (the seed derives the frame- and protocol-HMAC key material that makes
+// the channels authenticated).
+//
+// Replica modes (--protocol):
+//   wts | sbs          one-shot LA: proposes --value, prints the decision
+//   gwts | gsbs        generalized LA: submits --submissions values, waits
+//                      for --decisions rounds
+//   faleiro-la         crash-stop GLA baseline (n >= 2f+1, no signatures)
+//   rsm-replica        §7.2 RSM replica; serves the client ids that follow
+//                      the n replica ids in the topology
+//
+// Client mode (--client): the node occupies a topology id >= --n and
+// drives the replicas instead of participating:
+//   with rsm-replica   runs the Algorithm 5/6 RSM client for --ops
+//                      alternating update/read operations
+//   with gwts/gsbs/faleiro-la
+//                      injects --submissions SubmitMsg values, then lingers
+//
+// A 7-process SbS cluster on localhost (run each line in its own shell,
+// kill any one replica mid-run — f=1 — and the rest still decide):
+//   for i in $(seq 0 6); do echo "$i 127.0.0.1 $((9100+i))"; done > topo.txt
+//   bgla_node --topology topo.txt --id $I --protocol sbs --n 7 --f 1
+//     (each replica proposes a distinct default value of 100+id)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "la/faleiro_la.h"
+#include "la/gsbs.h"
+#include "la/gwts.h"
+#include "la/sbs.h"
+#include "la/wts.h"
+#include "lattice/set_elem.h"
+#include "net/socket_transport.h"
+#include "rsm/client.h"
+#include "rsm/replica.h"
+#include "util/flags.h"
+
+using namespace bgla;
+using lattice::Item;
+using lattice::make_set;
+
+namespace {
+
+struct Args {
+  std::string topology;
+  std::string protocol = "wts";
+  std::uint32_t id = 0;
+  std::uint32_t n = 0;  // 0 = every topology entry is a replica
+  std::uint32_t f = 1;
+  std::uint64_t seed = 42;
+  std::uint64_t value = 0;  // 0 = 100 + id
+  std::uint32_t submissions = 1;
+  std::uint32_t decisions = 1;
+  std::uint32_t ops = 4;
+  bool client = false;
+  std::uint32_t run_ms = 30000;
+  std::uint32_t linger_ms = 2000;
+  double loss_rate = 0.0;
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  util::FlagSet flags("bgla_node");
+  flags.add_string("topology", &a.topology,
+                   "endpoint file: one '<id> <host> <port>' per line");
+  flags.add_string("protocol", &a.protocol,
+                   "wts | sbs | gwts | gsbs | faleiro-la | rsm-replica");
+  flags.add_u32("id", &a.id, "this node's process id (a topology entry)");
+  flags.add_u32("n", &a.n,
+                "protocol replicas, ids 0..n-1 (default: all entries)");
+  flags.add_u32("f", &a.f, "resilience parameter");
+  flags.add_u64("seed", &a.seed, "deployment key seed (same on all nodes)");
+  flags.add_u64("value", &a.value, "proposal payload (default: 100+id)");
+  flags.add_u32("submissions", &a.submissions,
+                "values submitted (generalized protocols / client)");
+  flags.add_u32("decisions", &a.decisions,
+                "decided rounds to wait for (generalized protocols)");
+  flags.add_u32("ops", &a.ops, "RSM client operations");
+  flags.add_bool("client", &a.client,
+                 "drive the replicas instead of being one (id >= n)");
+  flags.add_u32("run-ms", &a.run_ms, "overall deadline");
+  flags.add_u32("linger-ms", &a.linger_ms,
+                "serve acks/retransmits after finishing, before exit");
+  flags.add_double("loss-rate", &a.loss_rate,
+                   "injected outgoing frame loss (testing)");
+  flags.parse_or_exit(argc, argv);
+  if (a.topology.empty()) flags.fail("--topology is required");
+  return a;
+}
+
+/// Parses the topology file into peer addresses (sorted by id).
+std::vector<net::PeerAddr> load_topology(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open topology file '" << path << "'\n";
+    std::exit(2);
+  }
+  std::vector<net::PeerAddr> peers;
+  std::set<std::uint32_t> ids;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::uint32_t id = 0;
+    std::string host;
+    std::uint32_t port = 0;
+    if (!(ls >> id)) continue;  // blank / comment-only line
+    std::string trailing;
+    if (!(ls >> host >> port) || port > 65535 || (ls >> trailing)) {
+      std::cerr << "error: " << path << ":" << lineno
+                << ": expected '<id> <host> <port>'\n";
+      std::exit(2);
+    }
+    if (!ids.insert(id).second) {
+      std::cerr << "error: " << path << ":" << lineno << ": duplicate id "
+                << id << "\n";
+      std::exit(2);
+    }
+    peers.push_back(net::PeerAddr{id, host,
+                                  static_cast<std::uint16_t>(port)});
+  }
+  if (peers.empty()) {
+    std::cerr << "error: topology file '" << path << "' has no entries\n";
+    std::exit(2);
+  }
+  std::sort(peers.begin(), peers.end(),
+            [](const net::PeerAddr& x, const net::PeerAddr& y) {
+              return x.id < y.id;
+            });
+  return peers;
+}
+
+/// LA client: injects SubmitMsg values into every replica, then idles.
+class SubmitClient : public net::Endpoint {
+ public:
+  SubmitClient(net::Transport& net, ProcessId id, std::uint32_t n,
+               std::uint32_t submissions, std::uint64_t base)
+      : net::Endpoint(net, id), n_(n), submissions_(submissions),
+        base_(base) {}
+
+  void on_start() override {
+    for (std::uint32_t k = 0; k < submissions_; ++k) {
+      for (ProcessId r = 0; r < n_; ++r) {
+        send(r, std::make_shared<la::SubmitMsg>(
+                    make_set({Item{id(), base_ + k, 1}})));
+      }
+    }
+    done_ = true;
+  }
+  void on_message(ProcessId, const sim::MessagePtr&) override {}
+  bool done() const { return done_; }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t submissions_;
+  std::uint64_t base_;
+  bool done_ = false;
+};
+
+void print_decision(const la::DecisionRecord& rec) {
+  std::cout << "decided round=" << rec.round << " value="
+            << rec.value.to_string() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  const std::vector<net::PeerAddr> peers = load_topology(a.topology);
+
+  const std::uint32_t num_endpoints = peers.back().id + 1;
+  const std::uint32_t n =
+      a.n != 0 ? a.n : static_cast<std::uint32_t>(peers.size());
+  const std::uint64_t value = a.value != 0 ? a.value : 100 + a.id;
+
+  net::SocketConfig scfg;
+  scfg.self = a.id;
+  scfg.peers = peers;
+  scfg.num_processes = num_endpoints;
+  scfg.auth_seed = a.seed;
+  scfg.loss_rate = a.loss_rate;
+  net::SocketTransport net(scfg);
+  net.bind_and_listen();
+
+  la::LaConfig cfg;
+  cfg.n = n;
+  cfg.f = a.f;
+
+  // Protocol-level signature keys: same derivation on every node, distinct
+  // from the transport's frame keys.
+  const crypto::SignatureAuthority auth(n, a.seed ^ 0xabcdef);
+
+  // `done` is polled under dispatch_lock(); `report` runs after stop().
+  std::unique_ptr<net::Endpoint> endpoint;
+  std::function<bool()> done;
+  std::function<bool()> report;
+  bool completion_expected = true;
+
+  if (a.client) {
+    if (a.id < n) {
+      std::cerr << "error: --client requires an id >= n (" << n << ")\n";
+      return 2;
+    }
+    if (a.protocol == "rsm-replica") {
+      std::vector<rsm::Op> script;
+      for (std::uint32_t k = 0; k < a.ops; ++k) {
+        script.push_back(k % 2 == 0 ? rsm::Op::update(value + k)
+                                    : rsm::Op::read());
+      }
+      auto* c = new rsm::Client(net, a.id, n, a.f, std::move(script));
+      endpoint.reset(c);
+      done = [c] { return c->done(); };
+      report = [c, &a] {
+        std::uint32_t completed = 0;
+        for (const auto& rec : c->history()) completed += rec.completed;
+        std::cout << "client ops completed: " << completed << "/" << a.ops
+                  << "\n";
+        return completed == a.ops;
+      };
+    } else {
+      auto* c = new SubmitClient(net, a.id, n, a.submissions, value);
+      endpoint.reset(c);
+      done = [c] { return c->done(); };
+      report = [c, &a] {
+        std::cout << "client submitted " << a.submissions
+                  << " value(s) to every replica\n";
+        return c->done();
+      };
+    }
+  } else if (a.protocol == "wts" || a.protocol == "sbs") {
+    const lattice::Elem proposal = make_set({Item{a.id, value, 0}});
+    if (a.protocol == "wts") {
+      auto* p = new la::WtsProcess(net, a.id, cfg, proposal);
+      endpoint.reset(p);
+      done = [p] { return p->decided(); };
+      report = [p] {
+        if (!p->decided()) return false;
+        print_decision(p->decision());
+        return true;
+      };
+    } else {
+      auto* p = new la::SbsProcess(net, a.id, cfg, auth, proposal);
+      endpoint.reset(p);
+      done = [p] { return p->decided(); };
+      report = [p] {
+        if (!p->decided()) return false;
+        print_decision(p->decision());
+        return true;
+      };
+    }
+  } else if (a.protocol == "gwts" || a.protocol == "gsbs" ||
+             a.protocol == "faleiro-la") {
+    const std::vector<la::DecisionRecord>* decs = nullptr;
+    if (a.protocol == "gwts") {
+      auto* p = new la::GwtsProcess(net, a.id, cfg);
+      endpoint.reset(p);
+      for (std::uint32_t k = 0; k < a.submissions; ++k) {
+        p->submit(make_set({Item{a.id, value + k, 1}}));
+      }
+      decs = &p->decisions();
+    } else if (a.protocol == "gsbs") {
+      auto* p = new la::GsbsProcess(net, a.id, cfg, auth);
+      endpoint.reset(p);
+      for (std::uint32_t k = 0; k < a.submissions; ++k) {
+        p->submit(make_set({Item{a.id, value + k, 1}}));
+      }
+      decs = &p->decisions();
+    } else {
+      la::CrashConfig ccfg;
+      ccfg.n = n;
+      ccfg.f = a.f;
+      auto* p = new la::FaleiroProcess(net, a.id, ccfg);
+      endpoint.reset(p);
+      for (std::uint32_t k = 0; k < a.submissions; ++k) {
+        p->submit(make_set({Item{a.id, value + k, 1}}));
+      }
+      decs = &p->decisions();
+    }
+    // A node with nothing to submit is a pure acceptor: it serves the
+    // others until the deadline, and that is success.
+    completion_expected = a.submissions > 0;
+    const std::uint32_t target = a.decisions;
+    done = [decs, target] { return decs->size() >= target; };
+    report = [decs, target] {
+      for (const auto& rec : *decs) print_decision(rec);
+      return decs->size() >= target;
+    };
+  } else if (a.protocol == "rsm-replica") {
+    if (num_endpoints <= n) {
+      std::cerr << "error: rsm-replica needs client ids >= n in the "
+                   "topology\n";
+      return 2;
+    }
+    auto* p = new rsm::Replica(net, a.id, cfg, /*client_base=*/n,
+                               /*num_clients=*/num_endpoints - n);
+    endpoint.reset(p);
+    // A replica serves clients until the deadline; there is no local
+    // notion of "finished".
+    completion_expected = false;
+    done = [] { return false; };
+    report = [p] {
+      std::cout << "replica state: " << p->state().to_string() << "\n";
+      return true;
+    };
+  } else {
+    std::cerr << "error: unknown protocol '" << a.protocol << "'\n";
+    return 2;
+  }
+
+  std::cout << "node " << a.id << " (" << a.protocol
+            << (a.client ? ", client" : "") << ") n=" << n << " f=" << a.f
+            << " listening on port " << net.port() << "\n";
+
+  net.start();
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(a.run_ms);
+  bool finished = false;
+  while (!finished && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    auto lock = net.dispatch_lock();
+    finished = done();
+  }
+
+  // Keep answering acks/retransmits so slower peers can finish too.
+  if (finished || !completion_expected) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(a.linger_ms));
+  }
+  net.stop();
+
+  const bool ok = report() && (finished || !completion_expected);
+  std::cout << (ok ? "node exit: ok" : "node exit: DID NOT FINISH") << "\n";
+  return ok ? 0 : 1;
+}

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "harness/scenario.h"
+#include "util/flags.h"
 
 using namespace bgla;
 using harness::Adversary;
@@ -45,35 +46,50 @@ struct Args {
   bool signed_rb = false;
 };
 
-[[noreturn]] void usage(const char* msg = nullptr) {
-  if (msg != nullptr) std::cerr << "error: " << msg << "\n\n";
-  std::cerr <<
-      "usage: bgla_run [options]\n"
-      "  --protocol P     wts | gwts | sbs | gsbs | faleiro | rsm\n"
-      "  --n N            number of protocol processes (replicas)\n"
-      "  --f F            resilience parameter\n"
-      "  --byz-count K    actual adversaries instantiated (default: f)\n"
-      "  --adversary A    none | mute | equivocator | invalid-value |\n"
-      "                   stale-nacker | lying-acker | round-rusher | "
-      "flooder\n"
-      "  --sched S        fixed | uniform | targeted | jitter\n"
-      "  --seed X         RNG seed (runs are fully deterministic)\n"
-      "  --decisions D    GLA decision target per process (gwts/gsbs)\n"
-      "  --submissions V  input values per process (gwts/gsbs/faleiro)\n"
-      "  --clients C      RSM client count\n"
-      "  --ops O          RSM operations per client\n"
-      "  --byz-replicas R RSM fake-decider replicas\n"
-      "  --byz-client     add a Byzantine RSM client\n"
-      "  --byz-lying-acker  Faleiro: add the T7 lying acceptor\n"
-      "  --crashes K      Faleiro: processes crashed mid-run\n"
-      "  --signed-rb      use the certificate RB (signatures) in gwts\n"
-      "  --trace          print every delivered message (stderr)\n"
-      "  --trace-rb       include reliable-broadcast internals\n";
-  std::exit(2);
+util::FlagSet make_flags(Args& a, std::string& adversary,
+                         std::string& sched) {
+  util::FlagSet flags("bgla_run");
+  flags.add_string("protocol", &a.protocol,
+                   "wts | gwts | sbs | gsbs | faleiro | rsm");
+  flags.add_u32("n", &a.n, "number of protocol processes (replicas)");
+  flags.add_u32("f", &a.f, "resilience parameter");
+  flags.add_u32("byz-count", &a.byz_count,
+                "actual adversaries instantiated (default: f)");
+  flags.add_string("adversary", &adversary,
+                   "none | mute | equivocator | invalid-value | "
+                   "stale-nacker | lying-acker | round-rusher | flooder");
+  flags.add_string("sched", &sched, "fixed | uniform | targeted | jitter");
+  flags.add_u64("seed", &a.seed, "RNG seed (runs are fully deterministic)");
+  flags.add_u32("decisions", &a.decisions,
+                "GLA decision target per process (gwts/gsbs)");
+  flags.add_u32("submissions", &a.submissions,
+                "input values per process (gwts/gsbs/faleiro)");
+  flags.add_u32("clients", &a.clients, "RSM client count");
+  flags.add_u32("ops", &a.ops, "RSM operations per client");
+  flags.add_u32("byz-replicas", &a.byz_replicas,
+                "RSM fake-decider replicas");
+  flags.add_bool("byz-client", &a.byz_client,
+                 "add a Byzantine RSM client");
+  flags.add_bool("byz-lying-acker", &a.byz_lying_acker,
+                 "Faleiro: add the T7 lying acceptor");
+  flags.add_u32("crashes", &a.crashes, "Faleiro: processes crashed mid-run");
+  flags.add_bool("signed-rb", &a.signed_rb,
+                 "use the certificate RB (signatures) in gwts");
+  flags.add_bool("trace", &a.trace,
+                 "print every delivered message (stderr)");
+  flags.add_bool("trace-rb", &a.trace_rb,
+                 "include reliable-broadcast internals");
+  return flags;
 }
 
-Adversary parse_adversary(const std::string& s) {
-  static const std::map<std::string, Adversary> m = {
+Args parse(int argc, char** argv) {
+  Args a;
+  std::string adversary = "none";
+  std::string sched = "uniform";
+  util::FlagSet flags = make_flags(a, adversary, sched);
+  flags.parse_or_exit(argc, argv);
+
+  static const std::map<std::string, Adversary> adversaries = {
       {"none", Adversary::kNone},
       {"mute", Adversary::kMute},
       {"equivocator", Adversary::kEquivocator},
@@ -83,74 +99,21 @@ Adversary parse_adversary(const std::string& s) {
       {"round-rusher", Adversary::kRoundRusher},
       {"flooder", Adversary::kFlooder},
   };
-  const auto it = m.find(s);
-  if (it == m.end()) usage("unknown adversary");
-  return it->second;
-}
+  const auto ait = adversaries.find(adversary);
+  if (ait == adversaries.end()) flags.fail("unknown adversary");
+  a.adversary = ait->second;
 
-Sched parse_sched(const std::string& s) {
-  static const std::map<std::string, Sched> m = {
+  static const std::map<std::string, Sched> scheds = {
       {"fixed", Sched::kFixed},
       {"uniform", Sched::kUniform},
       {"targeted", Sched::kTargeted},
       {"jitter", Sched::kJitter},
   };
-  const auto it = m.find(s);
-  if (it == m.end()) usage("unknown schedule");
-  return it->second;
-}
+  const auto sit = scheds.find(sched);
+  if (sit == scheds.end()) flags.fail("unknown schedule");
+  a.sched = sit->second;
 
-Args parse(int argc, char** argv) {
-  Args a;
-  auto next = [&](int& i) -> std::string {
-    if (i + 1 >= argc) usage("missing option value");
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--protocol") {
-      a.protocol = next(i);
-    } else if (arg == "--n") {
-      a.n = static_cast<std::uint32_t>(std::stoul(next(i)));
-    } else if (arg == "--f") {
-      a.f = static_cast<std::uint32_t>(std::stoul(next(i)));
-    } else if (arg == "--byz-count") {
-      a.byz_count = static_cast<std::uint32_t>(std::stoul(next(i)));
-    } else if (arg == "--adversary") {
-      a.adversary = parse_adversary(next(i));
-    } else if (arg == "--sched") {
-      a.sched = parse_sched(next(i));
-    } else if (arg == "--seed") {
-      a.seed = std::stoull(next(i));
-    } else if (arg == "--decisions") {
-      a.decisions = static_cast<std::uint32_t>(std::stoul(next(i)));
-    } else if (arg == "--submissions") {
-      a.submissions = static_cast<std::uint32_t>(std::stoul(next(i)));
-    } else if (arg == "--clients") {
-      a.clients = static_cast<std::uint32_t>(std::stoul(next(i)));
-    } else if (arg == "--ops") {
-      a.ops = static_cast<std::uint32_t>(std::stoul(next(i)));
-    } else if (arg == "--byz-replicas") {
-      a.byz_replicas = static_cast<std::uint32_t>(std::stoul(next(i)));
-    } else if (arg == "--byz-client") {
-      a.byz_client = true;
-    } else if (arg == "--byz-lying-acker") {
-      a.byz_lying_acker = true;
-    } else if (arg == "--crashes") {
-      a.crashes = static_cast<std::uint32_t>(std::stoul(next(i)));
-    } else if (arg == "--signed-rb") {
-      a.signed_rb = true;
-    } else if (arg == "--trace") {
-      a.trace = true;
-    } else if (arg == "--trace-rb") {
-      a.trace = true;
-      a.trace_rb = true;
-    } else if (arg == "--help" || arg == "-h") {
-      usage();
-    } else {
-      usage("unknown option");
-    }
-  }
+  if (a.trace_rb) a.trace = true;
   if (a.byz_count == 0xffffffff) a.byz_count = a.f;
   return a;
 }
@@ -219,8 +182,8 @@ int main(int argc, char** argv) {
       sc.adversary = a.adversary;
       sc.sched = a.sched;
       sc.seed = a.seed;
-    sc.trace = a.trace;
-    sc.trace_broadcast = a.trace_rb;
+      sc.trace = a.trace;
+      sc.trace_broadcast = a.trace_rb;
       sc.target_decisions = a.decisions;
       sc.submissions_per_proc = a.submissions;
       sc.signed_rb = a.signed_rb;
@@ -311,5 +274,6 @@ int main(int argc, char** argv) {
               << "\ntotal messages:   " << r.total_msgs << "\n";
     return verdict(r.completed && r.check.ok());
   }
-  usage("unknown protocol");
+  std::cerr << "error: unknown protocol '" << a.protocol << "'\n";
+  return 2;
 }

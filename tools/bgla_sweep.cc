@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "harness/scenario.h"
+#include "util/flags.h"
 #include "util/thread_pool.h"
 
 using namespace bgla;
@@ -29,19 +30,6 @@ using harness::Sched;
 namespace {
 
 using Job = std::function<std::string()>;
-
-/// Strict digits-only flag-value parser (stoul accepts junk suffixes and
-/// throws on garbage; a bad CLI value should print usage, not terminate).
-bool parse_count(const char* s, std::size_t* out) {
-  if (*s == '\0') return false;
-  std::size_t v = 0;
-  for (const char* p = s; *p != '\0'; ++p) {
-    if (*p < '0' || *p > '9') return false;
-    v = v * 10 + static_cast<std::size_t>(*p - '0');
-  }
-  *out = v;
-  return true;
-}
 
 /// Runs the jobs on `workers` threads and prints their rows in job order.
 void run_jobs(const std::vector<Job>& jobs, std::size_t workers) {
@@ -232,23 +220,13 @@ int run_t6(int seeds, std::size_t workers) {
 
 int main(int argc, char** argv) {
   std::string experiment = "t1";
-  int seeds = 5;
+  std::uint32_t seeds = 5;
   std::size_t jobs = util::ThreadPool::default_workers();
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    std::size_t count = 0;
-    if (arg == "--experiment" && i + 1 < argc) {
-      experiment = argv[++i];
-    } else if (arg == "--seeds" && i + 1 < argc && parse_count(argv[++i], &count)) {
-      seeds = static_cast<int>(count);
-    } else if (arg == "--jobs" && i + 1 < argc && parse_count(argv[++i], &count)) {
-      jobs = count;
-    } else {
-      std::cerr << "usage: bgla_sweep --experiment t1|t2|t4|t6 "
-                   "[--seeds N] [--jobs N]\n";
-      return 2;
-    }
-  }
+  util::FlagSet flags("bgla_sweep");
+  flags.add_string("experiment", &experiment, "t1 | t2 | t4 | t6");
+  flags.add_u32("seeds", &seeds, "seeds per configuration");
+  flags.add_size("jobs", &jobs, "worker threads (default: cores)");
+  flags.parse_or_exit(argc, argv);
   if (experiment == "t1") return run_t1(seeds, jobs);
   if (experiment == "t2") return run_t2(seeds, jobs);
   if (experiment == "t4") return run_t4(seeds, jobs);
