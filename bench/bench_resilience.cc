@@ -8,14 +8,72 @@
 //       adversary in the library) keeps every property;
 //   (c) the safety × liveness grid across adversaries and actual Byzantine
 //       counts at n = 10, f = 3 (the F2 figure).
+//
+// A fourth section measures the crash-recovery machinery itself (the R1
+// experiment): WAL persist cost per durable transition, reopen/replay
+// cost with and without snapshot compaction, and state import cost. The
+// run ends with BENCH_resilience.json (provenance + grid + recovery rows).
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/json.h"
 #include "bench/table.h"
 #include "harness/scenario.h"
+#include "la/gwts.h"
+#include "la/recovery.h"
+#include "lattice/set_elem.h"
+#include "sim/network.h"
+#include "store/replica_store.h"
+#include "util/flags.h"
 
 using namespace bgla;
 using harness::Adversary;
 using harness::Sched;
 
-int main() {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// A populated GWTS durable-state blob: 4 replicas stream a few values to
+/// quiescence in-sim, then replica 0 exports. This is the record shape a
+/// real deployment logs on every transition.
+Bytes make_state_blob() {
+  la::LaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  sim::Network net(std::make_unique<sim::UniformDelay>(1, 10), 7, 4);
+  std::vector<std::unique_ptr<la::GwtsProcess>> procs;
+  for (ProcessId id = 0; id < 4; ++id) {
+    procs.push_back(std::make_unique<la::GwtsProcess>(net, id, cfg));
+    for (std::uint64_t v = 0; v < 4; ++v) {
+      procs[id]->submit(
+          lattice::make_set({lattice::Item{id, 100 * (id + 1) + v, 0}}));
+    }
+  }
+  net.run(5'000'000);
+  Encoder enc;
+  procs[0]->export_state(enc);
+  return enc.bytes();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_resilience.json";
+  util::FlagSet flags("bench_resilience");
+  flags.add_string("json", &json_path, "output JSON path");
+  flags.parse_or_exit(argc, argv);
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::uint64_t baseline_violations = 0;
+  bool grid_all_safe = true, grid_all_live = true;
+
   bench::banner(
       "T7a: crash-stop baseline at n = 3f under a Byzantine — "
       "Comparability violations (expected!)");
@@ -33,6 +91,7 @@ int main() {
       table.row() << 3 << 2 << "targeted" << seed
                   << (rep.spec.comparability ? "held" : "VIOLATED")
                   << !rep.spec.comparability;
+      if (!rep.spec.comparability) ++baseline_violations;
     }
     table.print();
   }
@@ -90,6 +149,8 @@ int main() {
         }
         cells.push_back(std::string(safe ? "safe" : "UNSAFE") + "+" +
                         (live ? "live" : "STUCK"));
+        grid_all_safe = grid_all_safe && safe;
+        grid_all_live = grid_all_live && live;
       }
       table.row() << harness::adversary_name(adv) << cells[0] << cells[1]
                   << cells[2] << cells[3];
@@ -100,6 +161,85 @@ int main() {
         "both properties\nanywhere within f ≤ (n−1)/3, while the baseline "
         "above breaks at n = 3f with one\nByzantine. This is the Theorem 1 "
         "frontier made executable.");
+  }
+
+  bench::banner(
+      "R1: crash-recovery cost — WAL persist, reopen/replay (with and "
+      "without compaction), state import");
+  std::string recovery_rows = "[";
+  {
+    const Bytes blob = make_state_blob();
+    bench::Table table({"transitions", "state_bytes", "persist_us/rec",
+                        "reopen_ms", "reopen_nocompact_ms", "import_us"});
+    bool first = true;
+    for (const std::uint32_t transitions : {64u, 256u, 1024u}) {
+      // Default store: WAL folds into the snapshot every 64 appends.
+      const std::string dir_c = store::make_temp_dir("bgla-bench-rec-");
+      store::ReplicaStore compacted(dir_c);
+      // No-compaction store: replay cost scales with uptime instead.
+      const std::string dir_n = store::make_temp_dir("bgla-bench-rec-");
+      {
+        store::ReplicaStore nocompact(dir_n, transitions + 1);
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::uint32_t i = 0; i < transitions; ++i) {
+          compacted.persist(BytesView(blob));
+          nocompact.persist(BytesView(blob));
+        }
+        const double persist_us =
+            ms_since(t0) * 1000.0 / (2.0 * transitions);
+        const auto t1 = std::chrono::steady_clock::now();
+        store::ReplicaStore reopened(dir_c);
+        const double reopen_ms = ms_since(t1);
+        const auto t2 = std::chrono::steady_clock::now();
+        store::ReplicaStore reopened_n(dir_n, transitions + 1);
+        const double reopen_nocompact_ms = ms_since(t2);
+
+        la::LaConfig cfg;
+        cfg.n = 4;
+        cfg.f = 1;
+        sim::Network net(std::make_unique<sim::UniformDelay>(1, 10), 7, 4);
+        la::GwtsProcess fresh(net, 0, cfg);
+        const Bytes latest = reopened.wal_records().empty()
+                                 ? reopened.snapshot()
+                                 : reopened.wal_records().back();
+        const auto t3 = std::chrono::steady_clock::now();
+        Decoder dec{BytesView(latest)};
+        fresh.import_state(dec);
+        const double import_us = ms_since(t3) * 1000.0;
+
+        table.row() << transitions << blob.size() << persist_us
+                    << reopen_ms << reopen_nocompact_ms << import_us;
+        bench::Json row;
+        row.set("transitions", static_cast<std::uint64_t>(transitions))
+            .set("state_bytes", static_cast<std::uint64_t>(blob.size()))
+            .set("persist_us_per_record", persist_us)
+            .set("reopen_ms", reopen_ms)
+            .set("reopen_nocompact_ms", reopen_nocompact_ms)
+            .set("import_us", import_us);
+        if (!first) recovery_rows += ",";
+        recovery_rows += row.str();
+        first = false;
+      }
+    }
+    table.print();
+    bench::note(
+        "\nShape check: with the default every-64-appends compaction the "
+        "reopen cost stays\nflat as transitions grow (replay is O(state), "
+        "not O(uptime)); the no-compaction\ncolumn shows the linear cost "
+        "compaction removes. Import is a single decode of\nthe latest "
+        "record.");
+  }
+  recovery_rows += "]";
+
+  bench::Json out;
+  bench::add_build_info(out.set("bench", "resilience"))
+      .set("wall_seconds", ms_since(wall_start) / 1000.0)
+      .set("baseline_comparability_violations", baseline_violations)
+      .set("grid_all_safe", grid_all_safe)
+      .set("grid_all_live", grid_all_live)
+      .raw("recovery", recovery_rows);
+  if (!out.write(json_path)) {
+    std::cerr << "warning: could not write " << json_path << "\n";
   }
   return 0;
 }

@@ -1,0 +1,24 @@
+#include "crypto/codec.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bgla::crypto {
+
+Digest decode_digest(Decoder& dec) {
+  const Bytes b = dec.get_bytes();
+  Digest d{};
+  BGLA_CHECK_MSG(b.size() == d.size(), "bad digest length " << b.size());
+  std::copy(b.begin(), b.end(), d.begin());
+  return d;
+}
+
+Signature decode_signature(Decoder& dec) {
+  Signature sig;
+  sig.signer = dec.get_u32();
+  sig.mac = decode_digest(dec);
+  return sig;
+}
+
+}  // namespace bgla::crypto

@@ -1,0 +1,19 @@
+// Decoders for the crypto primitives' canonical wire encodings (the
+// encode side lives with each user: signatures are written as
+// u32 signer || length-prefixed MAC, digests as length-prefixed bytes).
+// Shared by the network codec (net/wire.cc) and the durable-state import
+// paths. Throws CheckError on malformed input.
+#pragma once
+
+#include "crypto/signature.h"
+#include "util/codec.h"
+
+namespace bgla::crypto {
+
+/// Reads a length-prefixed 32-byte digest.
+Digest decode_digest(Decoder& dec);
+
+/// Reads a signature: u32 signer || length-prefixed 32-byte MAC.
+Signature decode_signature(Decoder& dec);
+
+}  // namespace bgla::crypto

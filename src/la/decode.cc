@@ -1,0 +1,208 @@
+#include "la/decode.h"
+
+#include <utility>
+#include <vector>
+
+#include "crypto/codec.h"
+#include "lattice/codec.h"
+#include "util/check.h"
+
+namespace bgla::la {
+
+namespace {
+
+using crypto::decode_signature;
+using lattice::decode_elem;
+
+void check_count(std::uint64_t count, const Decoder& dec) {
+  BGLA_CHECK_MSG(count <= dec.remaining(),
+                 "decoded count " << count << " exceeds remaining bytes");
+}
+
+template <typename T>
+std::shared_ptr<const T> decode_blob(BytesView bytes,
+                                     std::uint32_t expect_id,
+                                     std::shared_ptr<const T> (*payload_fn)(
+                                         Decoder&)) {
+  Decoder dec{bytes};
+  const std::uint64_t type_id = dec.get_varint();
+  BGLA_CHECK_MSG(type_id == expect_id, "inner message of unexpected type "
+                                           << type_id);
+  std::shared_ptr<const T> msg = payload_fn(dec);
+  BGLA_CHECK_MSG(dec.done(), "trailing bytes after message payload");
+  return msg;
+}
+
+}  // namespace
+
+SignedValue decode_signed_value(Decoder& dec) {
+  SignedValue sv;
+  sv.value = decode_elem(dec);
+  sv.sig = decode_signature(dec);
+  return sv;
+}
+
+SignedValueSet decode_signed_value_set(Decoder& dec) {
+  const std::uint64_t count = dec.get_varint();
+  check_count(count, dec);
+  SignedValueSet set;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    set.insert(decode_signed_value(dec));
+  }
+  return set;
+}
+
+SignedBatch decode_signed_batch(Decoder& dec) {
+  SignedBatch sb;
+  sb.value = decode_elem(dec);
+  sb.round = dec.get_u64();
+  sb.sig = decode_signature(dec);
+  return sb;
+}
+
+SignedBatchSet decode_signed_batch_set(Decoder& dec) {
+  const std::uint64_t count = dec.get_varint();
+  check_count(count, dec);
+  SignedBatchSet set;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    set.insert(decode_signed_batch(dec));
+  }
+  return set;
+}
+
+SafeValueSet decode_safe_value_set(Decoder& dec) {
+  const std::uint64_t num_acks = dec.get_varint();
+  check_count(num_acks, dec);
+  std::vector<SafeAckPtr> acks;
+  acks.reserve(num_acks);
+  for (std::uint64_t i = 0; i < num_acks; ++i) {
+    acks.push_back(decode_safe_ack_blob(dec.get_bytes()));
+  }
+  const std::uint64_t count = dec.get_varint();
+  check_count(count, dec);
+  SafeValueSet set;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    SafeValue sv;
+    sv.v = decode_signed_value(dec);
+    const std::uint64_t proof = dec.get_varint();
+    check_count(proof, dec);
+    for (std::uint64_t j = 0; j < proof; ++j) {
+      const std::uint64_t idx = dec.get_varint();
+      BGLA_CHECK_MSG(idx < acks.size(), "proof ack index out of range");
+      sv.proof.push_back(acks[idx]);
+    }
+    set.insert(sv);
+  }
+  return set;
+}
+
+SafeBatchSet decode_safe_batch_set(Decoder& dec) {
+  const std::uint64_t num_acks = dec.get_varint();
+  check_count(num_acks, dec);
+  std::vector<GSafeAckPtr> acks;
+  acks.reserve(num_acks);
+  for (std::uint64_t i = 0; i < num_acks; ++i) {
+    acks.push_back(decode_g_safe_ack_blob(dec.get_bytes()));
+  }
+  const std::uint64_t count = dec.get_varint();
+  check_count(count, dec);
+  SafeBatchSet set;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    SafeBatch sb;
+    sb.b = decode_signed_batch(dec);
+    const std::uint64_t proof = dec.get_varint();
+    check_count(proof, dec);
+    for (std::uint64_t j = 0; j < proof; ++j) {
+      const std::uint64_t idx = dec.get_varint();
+      BGLA_CHECK_MSG(idx < acks.size(), "proof ack index out of range");
+      sb.proof.push_back(acks[idx]);
+    }
+    set.insert(sb);
+  }
+  return set;
+}
+
+std::shared_ptr<const SSafeAckMsg> decode_s_safe_ack_payload(Decoder& dec) {
+  const Bytes payload = dec.get_bytes();
+  Decoder in{payload};
+  SignedValueSet rcvd = decode_signed_value_set(in);
+  const std::uint64_t nconf = in.get_varint();
+  check_count(nconf, in);
+  std::vector<ConflictPair> conflicts;
+  for (std::uint64_t i = 0; i < nconf; ++i) {
+    SignedValue x = decode_signed_value(in);
+    SignedValue y = decode_signed_value(in);
+    conflicts.emplace_back(std::move(x), std::move(y));
+  }
+  const ProcessId acceptor = in.get_u32();
+  BGLA_CHECK_MSG(in.done(), "trailing bytes in safe_ack payload");
+  const crypto::Signature sig = decode_signature(dec);
+  return std::make_shared<SSafeAckMsg>(std::move(rcvd), std::move(conflicts),
+                                       acceptor, sig);
+}
+
+std::shared_ptr<const GSSafeAckMsg> decode_gs_safe_ack_payload(Decoder& dec) {
+  const Bytes payload = dec.get_bytes();
+  Decoder in{payload};
+  SignedBatchSet rcvd = decode_signed_batch_set(in);
+  const std::uint64_t nconf = in.get_varint();
+  check_count(nconf, in);
+  std::vector<std::pair<SignedBatch, SignedBatch>> conflicts;
+  for (std::uint64_t i = 0; i < nconf; ++i) {
+    SignedBatch x = decode_signed_batch(in);
+    SignedBatch y = decode_signed_batch(in);
+    conflicts.emplace_back(std::move(x), std::move(y));
+  }
+  const ProcessId acceptor = in.get_u32();
+  const std::uint64_t round = in.get_u64();
+  BGLA_CHECK_MSG(in.done(), "trailing bytes in g_safe_ack payload");
+  const crypto::Signature sig = decode_signature(dec);
+  return std::make_shared<GSSafeAckMsg>(std::move(rcvd), std::move(conflicts),
+                                        acceptor, round, sig);
+}
+
+std::shared_ptr<const GSAckMsg> decode_gs_ack_payload(Decoder& dec) {
+  const Bytes payload = dec.get_bytes();
+  Decoder in{payload};
+  const crypto::Digest fp = crypto::decode_digest(in);
+  const ProcessId destination = in.get_u32();
+  const std::uint64_t ts = in.get_u64();
+  const std::uint64_t round = in.get_u64();
+  BGLA_CHECK_MSG(in.done(), "trailing bytes in g_ack payload");
+  const crypto::Signature sig = decode_signature(dec);
+  return std::make_shared<GSAckMsg>(fp, destination, ts, round, sig);
+}
+
+std::shared_ptr<const GSDecidedMsg> decode_gs_decided_payload(Decoder& dec) {
+  SafeBatchSet set = decode_safe_batch_set(dec);
+  const ProcessId decider = dec.get_u32();
+  const std::uint64_t ts = dec.get_u64();
+  const std::uint64_t round = dec.get_u64();
+  const std::uint64_t n = dec.get_varint();
+  check_count(n, dec);
+  std::vector<std::shared_ptr<const GSAckMsg>> acks;
+  acks.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    acks.push_back(decode_gs_ack_blob(dec.get_bytes()));
+  }
+  return std::make_shared<GSDecidedMsg>(std::move(set), decider, ts, round,
+                                        std::move(acks));
+}
+
+SafeAckPtr decode_safe_ack_blob(BytesView bytes) {
+  return decode_blob<SSafeAckMsg>(bytes, 42, &decode_s_safe_ack_payload);
+}
+
+GSafeAckPtr decode_g_safe_ack_blob(BytesView bytes) {
+  return decode_blob<GSSafeAckMsg>(bytes, 52, &decode_gs_safe_ack_payload);
+}
+
+std::shared_ptr<const GSAckMsg> decode_gs_ack_blob(BytesView bytes) {
+  return decode_blob<GSAckMsg>(bytes, 54, &decode_gs_ack_payload);
+}
+
+std::shared_ptr<const GSDecidedMsg> decode_gs_decided_blob(BytesView bytes) {
+  return decode_blob<GSDecidedMsg>(bytes, 56, &decode_gs_decided_payload);
+}
+
+}  // namespace bgla::la

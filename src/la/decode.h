@@ -1,0 +1,55 @@
+// Decoders for signed values/batches, their proof-carrying sets, and the
+// signed ack/certificate messages whose bytes appear *inside* other
+// structures (SafeValueSet proof pools, DECIDED certificates, exported
+// replica state).
+//
+// These live in la/ — not in the network codec — because two independent
+// consumers need them: net/wire.cc when parsing frames, and the protocol
+// export/import hooks when reloading durable state from a replica's data
+// directory. Keeping them here lets the store/recovery path decode without
+// a dependency on the transport layer.
+//
+// Every function throws CheckError on malformed input; the callers at
+// trust boundaries (net::decode_message, import_state) catch it and turn
+// it into a rejected frame / loud recovery failure.
+#pragma once
+
+#include <memory>
+
+#include "la/gsbs_msgs.h"
+#include "la/sbs_msgs.h"
+#include "la/signed_value.h"
+#include "util/codec.h"
+
+namespace bgla::la {
+
+SignedValue decode_signed_value(Decoder& dec);
+SignedValueSet decode_signed_value_set(Decoder& dec);
+SignedBatch decode_signed_batch(Decoder& dec);
+SignedBatchSet decode_signed_batch_set(Decoder& dec);
+
+/// Proof-carrying sets: a pool of distinct acks encoded once, then
+/// entries referencing pool indices (see the encode side).
+SafeValueSet decode_safe_value_set(Decoder& dec);
+SafeBatchSet decode_safe_batch_set(Decoder& dec);
+
+// Payload decoders for the signed ack / certificate messages, with the
+// decoder positioned just past the varint type id. The signed-payload
+// blob must be consumed exactly (trailing bytes would make re-encoding
+// diverge from the wire).
+std::shared_ptr<const SSafeAckMsg> decode_s_safe_ack_payload(Decoder& dec);
+std::shared_ptr<const GSSafeAckMsg> decode_gs_safe_ack_payload(Decoder& dec);
+std::shared_ptr<const GSAckMsg> decode_gs_ack_payload(Decoder& dec);
+std::shared_ptr<const GSDecidedMsg> decode_gs_decided_payload(Decoder& dec);
+
+// Blob decoders: a full canonical message encoding
+// (varint type id || payload), checked against the expected type id and
+// required to consume the blob exactly. Unlike the network registry these
+// never recurse into arbitrary message types, so nesting is structurally
+// bounded: certificates contain only acks, acks contain only values.
+SafeAckPtr decode_safe_ack_blob(BytesView bytes);
+GSafeAckPtr decode_g_safe_ack_blob(BytesView bytes);
+std::shared_ptr<const GSAckMsg> decode_gs_ack_blob(BytesView bytes);
+std::shared_ptr<const GSDecidedMsg> decode_gs_decided_blob(BytesView bytes);
+
+}  // namespace bgla::la

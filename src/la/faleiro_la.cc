@@ -1,5 +1,9 @@
 #include "la/faleiro_la.h"
 
+#include <algorithm>
+
+#include "lattice/codec.h"
+
 namespace bgla::la {
 
 FaleiroProcess::FaleiroProcess(net::Transport& net, ProcessId id,
@@ -12,7 +16,8 @@ FaleiroProcess::FaleiroProcess(net::Transport& net, ProcessId id,
 void FaleiroProcess::submit(Elem value) {
   submitted_.push_back(value);
   pending_ = pending_.join(std::move(value));
-  if (started_ && state_ == State::kIdle && !crashed()) {
+  persist();
+  if (started_ && state_ == State::kIdle && !rejoining_ && !crashed()) {
     begin_proposal();
   }
 }
@@ -23,6 +28,10 @@ bool FaleiroProcess::crashed() const {
 
 void FaleiroProcess::on_start() {
   started_ = true;
+  if (recovered_) {
+    rejoin();
+    return;
+  }
   if (!pending_.is_bottom()) begin_proposal();
 }
 
@@ -32,6 +41,7 @@ void FaleiroProcess::begin_proposal() {
   state_ = State::kProposing;
   ++ts_;
   ack_set_.clear();
+  persist();  // ts_ must never be reused for a different proposal
   broadcast_proposal();
 }
 
@@ -49,16 +59,22 @@ void FaleiroProcess::on_message(ProcessId from, const sim::MessagePtr& msg) {
     handle_ack(from, *m);
   } else if (const auto* m = dynamic_cast<const FNackMsg*>(msg.get())) {
     handle_nack(*m);
+  } else if (const auto* m = dynamic_cast<const CatchupReqMsg*>(msg.get())) {
+    handle_catchup_req(from, *m);
+  } else if (const auto* m = dynamic_cast<const CatchupRepMsg*>(msg.get())) {
+    handle_catchup_rep(from, *m);
   }
 }
 
 void FaleiroProcess::handle_ack_req(ProcessId from, const FAckReqMsg& m) {
   if (accepted_set_.leq(m.proposal)) {
     accepted_set_ = m.proposal;
+    persist();  // the ack below is a promise; it must survive a crash
     send(from, std::make_shared<FAckMsg>(accepted_set_, m.ts));
   } else {
     send(from, std::make_shared<FNackMsg>(accepted_set_, m.ts));
     accepted_set_ = accepted_set_.join(m.proposal);
+    persist();
   }
 }
 
@@ -76,6 +92,7 @@ void FaleiroProcess::handle_nack(const FNackMsg& m) {
     ++ts_;
     ++stats_.refinements;
     ack_set_.clear();
+    persist();
     broadcast_proposal();
   }
 }
@@ -88,8 +105,80 @@ void FaleiroProcess::decide() {
   rec.round = decided_rounds_++;
   decisions_.push_back(rec);
   state_ = State::kIdle;
+  persist();
   if (decide_hook_) decide_hook_(*this, rec);
   if (!pending_.is_bottom() && !crashed()) begin_proposal();
+}
+
+// ------------------------------------------------------ crash recovery ----
+
+void FaleiroProcess::export_state(Encoder& enc) const {
+  put_state_header(enc, StateTag::kFaleiro);
+  pending_.encode(enc);
+  proposed_set_.encode(enc);
+  accepted_set_.encode(enc);
+  enc.put_u64(ts_);
+  enc.put_u64(decided_rounds_);
+  encode_elems(enc, submitted_);
+  encode_decisions(enc, decisions_);
+}
+
+void FaleiroProcess::import_state(Decoder& dec) {
+  BGLA_CHECK_MSG(!started_, "Faleiro: import_state after the run started");
+  check_state_header(dec, StateTag::kFaleiro);
+  pending_ = lattice::decode_elem(dec);
+  proposed_set_ = lattice::decode_elem(dec);
+  accepted_set_ = lattice::decode_elem(dec);
+  ts_ = dec.get_u64();
+  decided_rounds_ = dec.get_u64();
+  submitted_ = decode_elems(dec);
+  decisions_ = decode_decisions(dec);
+  recovered_ = true;
+}
+
+void FaleiroProcess::rejoin() {
+  // Everything ever folded into a proposal is re-proposed: re-deciding an
+  // already-decided join is harmless (decisions are monotone), while an
+  // undecided in-flight value must not be lost.
+  pending_ = pending_.join(proposed_set_);
+  state_ = State::kIdle;
+  rejoining_ = true;
+  catchup_replies_.clear();
+  if (cfg_.n == 1) {
+    finish_rejoin();
+    return;
+  }
+  const auto req = std::make_shared<CatchupReqMsg>(decided_rounds_);
+  for (ProcessId p = 0; p < cfg_.n; ++p) {
+    if (p != id()) send(p, req);
+  }
+}
+
+void FaleiroProcess::finish_rejoin() {
+  rejoining_ = false;
+  persist();
+  if (!pending_.is_bottom() && !crashed()) begin_proposal();
+}
+
+void FaleiroProcess::handle_catchup_req(ProcessId from,
+                                        const CatchupReqMsg& m) {
+  const Elem decided =
+      decisions_.empty() ? Elem() : decisions_.back().value;
+  send(from, std::make_shared<CatchupRepMsg>(m.round, decided_rounds_,
+                                             accepted_set_, Elem(), decided,
+                                             Bytes{}));
+}
+
+void FaleiroProcess::handle_catchup_rep(ProcessId from,
+                                        const CatchupRepMsg& m) {
+  if (!rejoining_) return;
+  if (!catchup_replies_.insert(from).second) return;
+  // Crash-trust adoption: responders are correct, so their accepted and
+  // decided joins contain only values that were actually submitted.
+  pending_ = pending_.join(m.accepted).join(m.decided);
+  accepted_set_ = accepted_set_.join(m.accepted);
+  const std::uint32_t needed = std::min(cfg_.f + 1, cfg_.n - 1);
+  if (catchup_replies_.size() >= needed) finish_rejoin();
 }
 
 }  // namespace bgla::la

@@ -23,6 +23,7 @@
 #include "la/config.h"
 #include "la/messages.h"
 #include "la/record.h"
+#include "la/recovery.h"
 #include "sim/network.h"
 
 namespace bgla::la {
@@ -59,6 +60,21 @@ class FaleiroProcess : public sim::Process {
                                         const DecisionRecord&)>;
   void set_decide_hook(DecideHook hook) { decide_hook_ = std::move(hook); }
 
+  // ---- crash-recovery interface (see la/recovery.h) ----
+
+  /// Serializes everything a restarted replica needs to rejoin.
+  void export_state(Encoder& enc) const;
+  /// Loads an export_state() blob into a freshly constructed process;
+  /// must run before the transport starts. Throws CheckError on a
+  /// malformed blob or a protocol/version mismatch.
+  void import_state(Decoder& dec);
+  /// Invoked after every transition that must survive a crash; the host
+  /// appends export_state() to its WAL from inside the hook.
+  void set_persist_hook(std::function<void()> hook) {
+    persist_hook_ = std::move(hook);
+  }
+  bool recovered() const { return recovered_; }
+
  private:
   void begin_proposal();
   void broadcast_proposal();
@@ -66,6 +82,13 @@ class FaleiroProcess : public sim::Process {
   void handle_ack(ProcessId from, const FAckMsg& m);
   void handle_nack(const FNackMsg& m);
   void decide();
+  void persist() {
+    if (persist_hook_) persist_hook_();
+  }
+  void rejoin();
+  void finish_rejoin();
+  void handle_catchup_req(ProcessId from, const CatchupReqMsg& m);
+  void handle_catchup_rep(ProcessId from, const CatchupRepMsg& m);
 
   CrashConfig cfg_;
   State state_ = State::kIdle;
@@ -81,6 +104,12 @@ class FaleiroProcess : public sim::Process {
   std::uint64_t decided_rounds_ = 0;
   bool started_ = false;
   DecideHook decide_hook_;
+
+  // Crash-recovery state.
+  std::function<void()> persist_hook_;
+  bool recovered_ = false;
+  bool rejoining_ = false;
+  std::set<ProcessId> catchup_replies_;
 };
 
 }  // namespace bgla::la

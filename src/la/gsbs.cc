@@ -1,5 +1,10 @@
 #include "la/gsbs.h"
 
+#include <algorithm>
+
+#include "la/decode.h"
+#include "lattice/codec.h"
+
 namespace bgla::la {
 
 GsbsProcess::GsbsProcess(net::Transport& net, ProcessId id, LaConfig cfg,
@@ -15,11 +20,16 @@ void GsbsProcess::submit(Elem value) {
   BGLA_CHECK_MSG(cfg_.admissible(value), "GSbS: submitted value ∉ E");
   submitted_.push_back(value);
   pending_batch_ = pending_batch_.join(value);
+  persist();
 }
 
 void GsbsProcess::on_start() {
   BGLA_CHECK(!started_);
   started_ = true;
+  if (recovered_) {
+    rejoin();
+    return;
+  }
   start_round();
 }
 
@@ -39,6 +49,10 @@ void GsbsProcess::start_round() {
   init_sets_[round_].insert(own);
   safe_ack_senders_.clear();
   safe_acks_.clear();
+  // The signature below binds (batch, round_); round_ must be durable
+  // before it leaves, or a restart could re-sign a different batch at the
+  // same round — indistinguishable from equivocation to peers.
+  persist();
   send_to_group(cfg_.n, std::make_shared<GSInitMsg>(own));
 
   maybe_start_safetying();  // n−f inits for this round may already be in
@@ -66,6 +80,10 @@ void GsbsProcess::on_message(ProcessId from, const sim::MessagePtr& msg) {
     handle_cert(msg);
   } else if (const auto* m = dynamic_cast<const SubmitMsg*>(msg.get())) {
     if (cfg_.admissible(m->value)) submit(m->value);
+  } else if (const auto* m = dynamic_cast<const CatchupReqMsg*>(msg.get())) {
+    handle_catchup_req(from, *m);
+  } else if (const auto* m = dynamic_cast<const CatchupRepMsg*>(msg.get())) {
+    handle_catchup_rep(from, *m);
   }
 }
 
@@ -79,7 +97,7 @@ void GsbsProcess::handle_init(const GSInitMsg& m) {
 }
 
 void GsbsProcess::maybe_start_safetying() {
-  if (state_ != State::kInit || !started_) return;
+  if (state_ != State::kInit || !started_ || rejoining_) return;
   const auto it = init_sets_.find(round_);
   if (it == init_sets_.end() ||
       it->second.size() < cfg_.disclosure_threshold()) {
@@ -103,11 +121,15 @@ void GsbsProcess::handle_safe_req(ProcessId from, const GSSafeReqMsg& m) {
   auto conflicts = combined.conflicts(auth_);
   const crypto::Signature sig = signer_.sign(
       GSSafeAckMsg::signed_payload(m.set, conflicts, id(), m.round));
-  send(from, std::make_shared<GSSafeAckMsg>(m.set, std::move(conflicts),
-                                            id(), m.round, sig));
   SignedBatchSet cleaned = combined;
   cleaned.remove_conflicts(auth_);
   candidates = candidates.unioned(cleaned);
+  // The signed safe_ack below commits this conflict knowledge: the proof
+  // of safety built on it assumes we keep remembering these batches across
+  // a crash (else two conflicting batches could each gather clean acks).
+  persist();
+  send(from, std::make_shared<GSSafeAckMsg>(m.set, std::move(conflicts),
+                                            id(), m.round, sig));
 }
 
 void GsbsProcess::handle_safe_ack(ProcessId from, const GSSafeAckMsg& m,
@@ -143,6 +165,7 @@ void GsbsProcess::maybe_start_proposing() {
   ack_senders_.clear();
   collected_acks_.clear();
   ++ts_;
+  persist();
   broadcast_proposal();
   check_cert_adoption();  // a certificate for this round may already exist
 }
@@ -188,10 +211,12 @@ void GsbsProcess::handle_ack_req(ProcessId from, const GSAckReqMsg& m) {
     const crypto::Digest fp = accepted_.fingerprint();
     const crypto::Signature sig = signer_.sign(
         GSAckMsg::signed_payload(fp, from, m.ts, m.round));
+    persist();  // the signed ack below is a promise; it must survive a crash
     send(from, std::make_shared<GSAckMsg>(fp, from, m.ts, m.round, sig));
   } else {
     send(from, std::make_shared<GSNackMsg>(accepted_, m.ts, m.round));
     accepted_ = accepted_.unioned(m.proposal);
+    persist();
   }
 }
 
@@ -234,6 +259,7 @@ void GsbsProcess::handle_nack(const GSNackMsg& m) {
   ++refinements_this_round_;
   stats_.max_round_refinements =
       std::max(stats_.max_round_refinements, refinements_this_round_);
+  persist();
   broadcast_proposal();
 }
 
@@ -253,6 +279,7 @@ void GsbsProcess::handle_cert(const sim::MessagePtr& msg) {
     ++trusted_;
     advanced = true;
   }
+  persist();  // trusted_ and the latest certificate are durable state
   if (advanced) drain_waiting();
   check_cert_adoption();
 }
@@ -290,6 +317,7 @@ void GsbsProcess::decide_with(const SafeBatchSet& set) {
   rec.round = round_;
   decisions_.push_back(rec);
   decided_ = set;
+  persist();
   if (decide_hook_) decide_hook_(*this, rec);
   start_round();
 }
@@ -301,6 +329,144 @@ std::map<ProcessId, Elem> GsbsProcess::proposed_by() const {
     slot = slot.join(sb.b.value);
   }
   return out;
+}
+
+// ------------------------------------------------------ crash recovery ----
+
+void GsbsProcess::export_state(Encoder& enc) const {
+  put_state_header(enc, StateTag::kGsbs);
+  enc.put_u8(static_cast<std::uint8_t>(state_));
+  enc.put_u64(round_);
+  enc.put_u64(ts_);
+  enc.put_u64(trusted_);
+  enc.put_bool(in_round_);
+  pending_batch_.encode(enc);
+  encode_elems(enc, submitted_);
+  my_safety_set_.encode(enc);
+  proposed_.encode(enc);
+  decided_.encode(enc);
+  accepted_.encode(enc);
+  // Acceptor conflict memory: the safe_acks we signed assume we keep
+  // remembering the batches they were judged against (Lemma 13's analog
+  // needs acceptors to report conflicts across separate safe_reqs).
+  enc.put_varint(safe_candidates_.size());
+  for (const auto& [r, set] : safe_candidates_) {
+    enc.put_u64(r);
+    set.encode(enc);
+  }
+  encode_decisions(enc, decisions_);
+  const bool has_cert = !certs_.empty();
+  enc.put_bool(has_cert);
+  if (has_cert) {
+    enc.put_bytes(BytesView(certs_.rbegin()->second->encoded()));
+  }
+}
+
+void GsbsProcess::import_state(Decoder& dec) {
+  BGLA_CHECK_MSG(!started_, "GSbS: import_state after start");
+  check_state_header(dec, StateTag::kGsbs);
+  const std::uint8_t st = dec.get_u8();
+  BGLA_CHECK_MSG(st <= static_cast<std::uint8_t>(State::kProposing),
+                 "GSbS: bad persisted state " << static_cast<int>(st));
+  state_ = static_cast<State>(st);
+  round_ = dec.get_u64();
+  ts_ = dec.get_u64();
+  trusted_ = dec.get_u64();
+  in_round_ = dec.get_bool();
+  pending_batch_ = lattice::decode_elem(dec);
+  submitted_ = decode_elems(dec);
+  my_safety_set_ = decode_signed_batch_set(dec);
+  proposed_ = decode_safe_batch_set(dec);
+  decided_ = decode_safe_batch_set(dec);
+  accepted_ = decode_safe_batch_set(dec);
+  const std::uint64_t num_rounds = dec.get_varint();
+  BGLA_CHECK_MSG(num_rounds <= dec.remaining(),
+                 "GSbS: candidate round count exceeds remaining bytes");
+  safe_candidates_.clear();
+  for (std::uint64_t i = 0; i < num_rounds; ++i) {
+    const std::uint64_t r = dec.get_u64();
+    safe_candidates_[r] = decode_signed_batch_set(dec);
+  }
+  decisions_ = decode_decisions(dec);
+  if (dec.get_bool()) {
+    const Bytes blob = dec.get_bytes();
+    const auto cert = decode_gs_decided_blob(BytesView(blob));
+    BGLA_CHECK_MSG(cert->well_formed(auth_, cfg_.quorum()),
+                   "GSbS: persisted certificate fails verification");
+    certs_.emplace(cert->round, cert);
+  }
+  recovered_ = true;
+}
+
+void GsbsProcess::rejoin() {
+  // Re-batch everything this process ever submitted: join is idempotent,
+  // so re-proposing already-decided values is harmless, while a batch that
+  // died with the crashed round would otherwise be lost.
+  for (const Elem& v : submitted_) {
+    pending_batch_ = pending_batch_.join(v);
+  }
+  state_ = State::kInit;
+  rejoining_ = true;
+  catchup_replies_.clear();
+  catchup_frontier_ = round_;
+  if (cfg_.n == 1) {
+    finish_rejoin();
+    return;
+  }
+  for (ProcessId p = 0; p < cfg_.n; ++p) {
+    if (p != id()) send(p, std::make_shared<CatchupReqMsg>(round_));
+  }
+}
+
+void GsbsProcess::finish_rejoin() {
+  rejoining_ = false;
+  // SignedBatch signatures bind the round: re-signing a different batch at
+  // a round we already used would look like equivocation. Jump strictly
+  // above our own disk round and every peer-reported frontier so the next
+  // start_round() signs at a never-used round.
+  const std::uint64_t jump =
+      std::max(round_, std::max(catchup_frontier_, trusted_)) + 1;
+  round_ = jump - 1;  // start_round() advances to `jump` (in_round_ holds)
+  in_round_ = true;
+  start_round();
+}
+
+void GsbsProcess::handle_catchup_req(ProcessId from, const CatchupReqMsg& m) {
+  Bytes cert_blob;
+  if (!certs_.empty()) cert_blob = certs_.rbegin()->second->encoded();
+  send(from, std::make_shared<CatchupRepMsg>(
+                 m.round, round_, accepted_.join_values(), Elem(),
+                 decided_.join_values(), std::move(cert_blob)));
+}
+
+void GsbsProcess::handle_catchup_rep(ProcessId from, const CatchupRepMsg& m) {
+  if (!rejoining_) return;
+  if (!catchup_replies_.insert(from).second) return;
+  catchup_frontier_ = std::max(catchup_frontier_, m.frontier);
+  if (!m.cert.empty()) {
+    try {
+      const auto cert = decode_gs_decided_blob(BytesView(m.cert));
+      if (cert->well_formed(auth_, cfg_.quorum()) &&
+          all_safe(cert->set, cfg_, auth_, &verified_acks_,
+                   &stats_.verifies_skipped)) {
+        certs_.emplace(cert->round, cert);
+        // Crash-recovery trust: the certificate is self-verifying, so it
+        // justifies trusting every round up to it even though the
+        // sequential cert chain died with the crash. Byzantine-hardened
+        // state transfer is a ROADMAP item.
+        trusted_ = std::max(trusted_, cert->round + 1);
+        catchup_frontier_ = std::max(catchup_frontier_, cert->round + 1);
+      }
+    } catch (const CheckError&) {
+      // Malformed certificate from a (possibly Byzantine) peer: ignore.
+    }
+  }
+  const std::uint64_t threshold =
+      std::min<std::uint64_t>(cfg_.f + 1, cfg_.n - 1);
+  if (catchup_replies_.size() >= threshold) {
+    finish_rejoin();
+    drain_waiting();  // newly trusted rounds may unblock queued ack_reqs
+  }
 }
 
 }  // namespace bgla::la

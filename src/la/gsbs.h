@@ -26,6 +26,7 @@
 #include "la/gsbs_msgs.h"
 #include "la/messages.h"
 #include "la/record.h"
+#include "la/recovery.h"
 #include "sim/network.h"
 
 namespace bgla::la {
@@ -68,6 +69,22 @@ class GsbsProcess : public sim::Process {
                        std::set<crypto::Digest>* verified_acks = nullptr,
                        std::uint64_t* skipped = nullptr);
 
+  // ---- crash-recovery interface (see la/recovery.h) ----
+  //
+  // Persists the proof-carrying sets (through the canonical la/decode.h
+  // encodings), the acceptor's per-round conflict memory, and the latest
+  // DECIDED certificate. SignedBatch signatures bind the round number, so
+  // a restarted process must never re-sign a different batch at a round it
+  // already used — rejoin() therefore jumps to a fresh round strictly
+  // above everything on disk and everything reported by catch-up peers,
+  // and the self-verifying certificate advances round trust directly.
+  void export_state(Encoder& enc) const;
+  void import_state(Decoder& dec);
+  void set_persist_hook(std::function<void()> hook) {
+    persist_hook_ = std::move(hook);
+  }
+  bool recovered() const { return recovered_; }
+
  private:
   void start_round();
   void maybe_start_safetying();
@@ -85,6 +102,13 @@ class GsbsProcess : public sim::Process {
   void check_cert_adoption();
   void drain_waiting();
   void decide_with(const SafeBatchSet& set);
+  void persist() {
+    if (persist_hook_) persist_hook_();
+  }
+  void rejoin();
+  void finish_rejoin();
+  void handle_catchup_req(ProcessId from, const CatchupReqMsg& m);
+  void handle_catchup_rep(ProcessId from, const CatchupRepMsg& m);
 
   LaConfig cfg_;
   const crypto::SignatureAuthority& auth_;
@@ -125,6 +149,13 @@ class GsbsProcess : public sim::Process {
   ProposerStats stats_;
   std::uint64_t refinements_this_round_ = 0;
   DecideHook decide_hook_;
+
+  // Crash-recovery state.
+  std::function<void()> persist_hook_;
+  bool recovered_ = false;
+  bool rejoining_ = false;
+  std::set<ProcessId> catchup_replies_;
+  std::uint64_t catchup_frontier_ = 0;
 };
 
 }  // namespace bgla::la

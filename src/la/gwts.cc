@@ -1,5 +1,9 @@
 #include "la/gwts.h"
 
+#include <algorithm>
+
+#include "lattice/codec.h"
+
 namespace bgla::la {
 
 GwtsProcess::GwtsProcess(net::Transport& net, ProcessId id, LaConfig cfg)
@@ -30,17 +34,25 @@ void GwtsProcess::submit(Elem value) {
   // Alg 3 L9-10: goes into the next round's batch.
   submitted_.push_back(value);
   pending_batch_ = pending_batch_.join(value);
+  persist();
 }
 
 void GwtsProcess::on_start() {
   BGLA_CHECK(!started_);
   started_ = true;
+  if (recovered_) {
+    rejoin();
+    return;
+  }
   start_new_round();
 }
 
-void GwtsProcess::start_new_round() {
+void GwtsProcess::start_new_round(std::optional<std::uint64_t> jump_to) {
   // Alg 3 L12-16 (round_ starts at 0 on the first call, like r = -1 + 1).
-  if (in_round_) {
+  if (jump_to.has_value()) {
+    round_ = *jump_to;
+    in_round_ = true;
+  } else if (in_round_) {
     ++round_;
   } else {
     in_round_ = true;
@@ -53,6 +65,7 @@ void GwtsProcess::start_new_round() {
   pending_batch_ = Elem();
   batch_[round_] = b;
   proposed_set_ = proposed_set_.join(b);
+  persist();  // the round number must be durable before its tag hits RB
   rb_->broadcast(disclosure_tag(round_),
                 std::make_shared<GDisclosureMsg>(b, round_));
   maybe_start_proposing();  // n−f disclosures may already have arrived
@@ -60,6 +73,14 @@ void GwtsProcess::start_new_round() {
 }
 
 void GwtsProcess::on_message(ProcessId from, const sim::MessagePtr& msg) {
+  if (const auto* m = dynamic_cast<const CatchupReqMsg*>(msg.get())) {
+    handle_catchup_req(from, *m);
+    return;
+  }
+  if (const auto* m = dynamic_cast<const CatchupRepMsg*>(msg.get())) {
+    handle_catchup_rep(from, *m);
+    return;
+  }
   if (rb_->handle(from, msg)) return;
   // Only nacks and ack_reqs travel point-to-point; acks and disclosures
   // must come through the reliable broadcast (anything else from a
@@ -111,7 +132,7 @@ void GwtsProcess::on_disclosure(ProcessId origin, std::uint64_t tag,
 
 void GwtsProcess::maybe_start_proposing() {
   // Alg 3 L24-27.
-  if (state_ != State::kDisclosing || !started_) return;
+  if (state_ != State::kDisclosing || !started_ || rejoining_) return;
   const auto it = svs_.find(round_);
   if (it == svs_.end() ||
       it->second.size() < cfg_.disclosure_threshold()) {
@@ -119,6 +140,7 @@ void GwtsProcess::maybe_start_proposing() {
   }
   state_ = State::kProposing;
   ++ts_;
+  persist();
   broadcast_proposal();
   // A committed proposal for this round may already be known
   // (decide-by-adoption, Alg 3 L39-43).
@@ -189,12 +211,15 @@ void GwtsProcess::handle_ack_req(ProcessId from, const GAckReqMsg& m) {
   // Alg 4 L8-13.
   if (accepted_set_.leq(m.proposal)) {
     accepted_set_ = m.proposal;
-    rb_->broadcast(next_ack_tag(),
+    const std::uint64_t tag = next_ack_tag();
+    persist();  // tag consumption and the acceptance promise are durable
+    rb_->broadcast(tag,
                   std::make_shared<GAckMsg>(accepted_set_, from, id(),
                                             m.ts, m.round));
   } else {
     send(from, std::make_shared<GNackMsg>(accepted_set_, m.ts, m.round));
     accepted_set_ = accepted_set_.join(m.proposal);
+    persist();
   }
 }
 
@@ -208,6 +233,7 @@ void GwtsProcess::handle_nack(const GNackMsg& m) {
     ++refinements_this_round_;
     stats_.max_round_refinements =
         std::max(stats_.max_round_refinements, refinements_this_round_);
+    persist();
     broadcast_proposal();
   }
 }
@@ -355,6 +381,109 @@ bool GwtsProcess::confirmed(const Elem& value) const {
     if (key.value_digest == d) return true;
   }
   return false;
+}
+
+// ------------------------------------------------------ crash recovery ----
+
+void GwtsProcess::export_state(Encoder& enc) const {
+  put_state_header(enc, StateTag::kGwts);
+  export_core(enc);
+}
+
+void GwtsProcess::import_state(Decoder& dec) {
+  check_state_header(dec, StateTag::kGwts);
+  import_core(dec);
+}
+
+void GwtsProcess::export_core(Encoder& enc) const {
+  enc.put_u64(round_);
+  enc.put_u64(ts_);
+  enc.put_u64(safe_r_);
+  enc.put_u64(ack_tag_counter_);
+  enc.put_bool(in_round_);
+  proposed_set_.encode(enc);
+  decided_set_.encode(enc);
+  pending_batch_.encode(enc);
+  svs_join_.encode(enc);
+  accepted_set_.encode(enc);
+  encode_elems(enc, submitted_);
+  encode_decisions(enc, decisions_);
+  encode_elem_map(enc, disclosed_by());
+}
+
+void GwtsProcess::import_core(Decoder& dec) {
+  BGLA_CHECK_MSG(!started_, "GWTS: import_state after the run started");
+  round_ = dec.get_u64();
+  ts_ = dec.get_u64();
+  safe_r_ = dec.get_u64();
+  ack_tag_counter_ = dec.get_u64();
+  in_round_ = dec.get_bool();
+  proposed_set_ = lattice::decode_elem(dec);
+  decided_set_ = lattice::decode_elem(dec);
+  pending_batch_ = lattice::decode_elem(dec);
+  svs_join_ = lattice::decode_elem(dec);
+  accepted_set_ = lattice::decode_elem(dec);
+  submitted_ = decode_elems(dec);
+  decisions_ = decode_decisions(dec);
+  collected_disclosed_ = decode_elem_map(dec);
+  recovered_ = true;
+}
+
+void GwtsProcess::rejoin() {
+  // Fold every submission back into the pending batch: values decided
+  // before the crash re-decide harmlessly (joins are monotone), while
+  // in-flight ones must be re-disclosed — and in a *fresh* round, because
+  // peers dedupe disclosures per (origin, round) and the RB dedupes per
+  // (origin, tag), so the old round's tag is burned.
+  for (const Elem& v : submitted_) {
+    pending_batch_ = pending_batch_.join(v);
+  }
+  state_ = State::kDisclosing;
+  rejoining_ = true;
+  catchup_replies_.clear();
+  catchup_frontier_ = round_;
+  if (cfg_.n == 1) {
+    finish_rejoin();
+    return;
+  }
+  const auto req = std::make_shared<CatchupReqMsg>(round_);
+  for (ProcessId p = 0; p < cfg_.n; ++p) {
+    if (p != id()) send(p, req);
+  }
+}
+
+void GwtsProcess::finish_rejoin() {
+  rejoining_ = false;
+  // Crash-trust: a responder in round r has seen every round < r end, so
+  // the largest reported frontier bounds the legitimately ended prefix.
+  // (Byzantine-hardened state transfer — justifying the frontier with the
+  // quorumed-ack evidence itself — is a ROADMAP open item.)
+  safe_r_ = std::max(safe_r_, catchup_frontier_);
+  start_new_round(std::max(round_, catchup_frontier_) + 1);
+}
+
+void GwtsProcess::handle_catchup_req(ProcessId from, const CatchupReqMsg& m) {
+  send(from, std::make_shared<CatchupRepMsg>(m.round, round_, accepted_set_,
+                                             svs_join_, decided_set_,
+                                             Bytes{}));
+}
+
+void GwtsProcess::handle_catchup_rep(ProcessId from, const CatchupRepMsg& m) {
+  if (!rejoining_) return;
+  if (!cfg_.admissible(m.disclosed) || !cfg_.admissible(m.accepted)) return;
+  if (!catchup_replies_.insert(from).second) return;
+  // Disclosed values feed SAFE() (cumulative W is monotone); accepted
+  // values were disclosed somewhere, so adopting them into our proposal
+  // keeps it safe while making our next decision cover theirs.
+  svs_join_ = svs_join_.join(m.disclosed);
+  accepted_set_ = accepted_set_.join(m.accepted);
+  proposed_set_ = proposed_set_.join(m.accepted);
+  catchup_frontier_ = std::max(catchup_frontier_, m.frontier);
+  if (catchup_replies_.size() >= std::min(cfg_.f + 1, cfg_.n - 1)) {
+    finish_rejoin();
+  } else {
+    drain_waiting();  // svs_join_ grew: buffered messages may now be safe
+  }
 }
 
 }  // namespace bgla::la

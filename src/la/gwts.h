@@ -32,6 +32,7 @@
 #include "la/config.h"
 #include "la/messages.h"
 #include "la/record.h"
+#include "la/recovery.h"
 #include "sim/network.h"
 
 namespace bgla::la {
@@ -81,6 +82,30 @@ class GwtsProcess : public sim::Process {
   /// was effectively decided in GWTS.
   bool confirmed(const Elem& value) const;
 
+  // ---- crash-recovery interface (see la/recovery.h) ----
+
+  /// Serializes the replica-critical state: round/timestamp counters
+  /// (including the RB ack-tag counter, which must never reuse a tag),
+  /// the monotone joins, submissions and decisions. Per-round scaffolding
+  /// (SvS counters, Ack_history) is intentionally not persisted — a
+  /// restarted process rebuilds its view through the catch-up exchange
+  /// and jumps to a fresh round.
+  virtual void export_state(Encoder& enc) const;
+  /// Loads an export_state() blob into a freshly constructed process;
+  /// must run before the transport starts. Throws CheckError on a
+  /// malformed blob or a protocol/version mismatch.
+  virtual void import_state(Decoder& dec);
+  /// Invoked after every transition that must survive a crash; the host
+  /// appends export_state() to its WAL from inside the hook.
+  void set_persist_hook(std::function<void()> hook) {
+    persist_hook_ = std::move(hook);
+  }
+  bool recovered() const { return recovered_; }
+
+ protected:
+  void export_core(Encoder& enc) const;
+  void import_core(Decoder& dec);
+
  private:
   struct AckKey {
     crypto::Digest value_digest{};
@@ -97,7 +122,10 @@ class GwtsProcess : public sim::Process {
 
   bool safe(const Elem& e) const { return e.leq(svs_join_); }
 
-  void start_new_round();
+  /// Starts the next round, or — on a post-restart rejoin — jumps straight
+  /// to `jump_to` (a round this process never used before, so its RB
+  /// disclosure tag is fresh).
+  void start_new_round(std::optional<std::uint64_t> jump_to = std::nullopt);
   void on_rb_deliver(ProcessId origin, std::uint64_t tag,
                      const sim::MessagePtr& inner);
   void on_disclosure(ProcessId origin, std::uint64_t tag,
@@ -115,6 +143,13 @@ class GwtsProcess : public sim::Process {
   void advance_safe_r();
   void decide(const Elem& value);
   void collect_garbage();
+  void persist() {
+    if (persist_hook_) persist_hook_();
+  }
+  void rejoin();
+  void finish_rejoin();
+  void handle_catchup_req(ProcessId from, const CatchupReqMsg& m);
+  void handle_catchup_rep(ProcessId from, const CatchupRepMsg& m);
 
   static std::uint64_t disclosure_tag(std::uint64_t round) {
     return round << 1;  // even tags: disclosures; odd tags: acks
@@ -159,6 +194,13 @@ class GwtsProcess : public sim::Process {
   bool started_ = false;
   bool in_round_ = false;
   bool draining_ = false;
+
+  // Crash-recovery state.
+  std::function<void()> persist_hook_;
+  bool recovered_ = false;
+  bool rejoining_ = false;
+  std::set<ProcessId> catchup_replies_;
+  std::uint64_t catchup_frontier_ = 0;
 };
 
 }  // namespace bgla::la

@@ -7,7 +7,8 @@
 //   30..39  crash-stop Faleiro LA/GLA (PODC 2012 baseline)
 //   40..49  SbS (Algorithms 8-10)
 //   50..59  GSbS (§8.2)
-//   60..79  RSM client/replica traffic (§7)
+//   60..69  RSM client/replica traffic (§7)
+//   70..79  state transfer / catch-up (crash-recovery rejoin)
 #pragma once
 
 #include <sstream>
@@ -292,6 +293,66 @@ class FNackMsg final : public sim::Message {
 
   Elem accepted;
   std::uint64_t ts;
+};
+
+// ------------------------------------------- state transfer / catch-up ----
+
+/// Broadcast by a restarted replica after reloading its durable state:
+/// "tell me what I missed since round `round`". Answered by protocols
+/// that keep cross-round state (GWTS/GSbS/Faleiro/RSM).
+class CatchupReqMsg final : public sim::Message {
+ public:
+  explicit CatchupReqMsg(std::uint64_t round) : round(round) {}
+
+  std::uint32_t type_id() const override { return 70; }
+  sim::Layer layer() const override { return sim::Layer::kOther; }
+  void encode_payload(Encoder& enc) const override { enc.put_u64(round); }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "CATCHUP_REQ(r=" << round << ")";
+    return os.str();
+  }
+
+  std::uint64_t round;
+};
+
+/// A peer's frontier summary. In the crash-stop protocols the requester
+/// adopts joins once f+1 distinct peers have answered (at least one is
+/// correct and non-stale); in GSbS the attached DECIDED certificate is
+/// self-verifying, so one well-formed cert suffices to advance rounds.
+class CatchupRepMsg final : public sim::Message {
+ public:
+  CatchupRepMsg(std::uint64_t round, std::uint64_t frontier, Elem accepted,
+                Elem disclosed, Elem decided, Bytes cert)
+      : round(round),
+        frontier(frontier),
+        accepted(std::move(accepted)),
+        disclosed(std::move(disclosed)),
+        decided(std::move(decided)),
+        cert(std::move(cert)) {}
+
+  std::uint32_t type_id() const override { return 71; }
+  sim::Layer layer() const override { return sim::Layer::kOther; }
+  void encode_payload(Encoder& enc) const override {
+    enc.put_u64(round);
+    enc.put_u64(frontier);
+    accepted.encode(enc);
+    disclosed.encode(enc);
+    decided.encode(enc);
+    enc.put_bytes(BytesView(cert));
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "CATCHUP_REP(r=" << round << ",frontier=" << frontier << ")";
+    return os.str();
+  }
+
+  std::uint64_t round;     ///< the round the requester asked about
+  std::uint64_t frontier;  ///< responder's current round / safe frontier
+  Elem accepted;           ///< responder's accepted join
+  Elem disclosed;          ///< responder's view of disclosed values
+  Elem decided;            ///< responder's decided join
+  Bytes cert;  ///< latest GSDecidedMsg encoding (GSbS only; else empty)
 };
 
 }  // namespace bgla::la

@@ -1,0 +1,186 @@
+#include "la/recovery.h"
+
+#include "la/decode.h"
+#include "lattice/codec.h"
+#include "util/check.h"
+
+namespace bgla::la {
+
+namespace {
+
+void check_count(std::uint64_t count, const Decoder& dec) {
+  BGLA_CHECK_MSG(count <= dec.remaining(),
+                 "decoded count " << count << " exceeds remaining bytes");
+}
+
+}  // namespace
+
+void put_state_header(Encoder& enc, StateTag tag) {
+  enc.put_u32(kStateFormatVersion);
+  enc.put_u8(static_cast<std::uint8_t>(tag));
+}
+
+void check_state_header(Decoder& dec, StateTag tag) {
+  const std::uint32_t version = dec.get_u32();
+  BGLA_CHECK_MSG(version == kStateFormatVersion,
+                 "unsupported state format version " << version);
+  const std::uint8_t got = dec.get_u8();
+  BGLA_CHECK_MSG(got == static_cast<std::uint8_t>(tag),
+                 "state blob carries protocol tag "
+                     << static_cast<int>(got) << ", expected "
+                     << static_cast<int>(static_cast<std::uint8_t>(tag)));
+}
+
+void encode_elems(Encoder& enc, const std::vector<Elem>& v) {
+  enc.put_varint(v.size());
+  for (const Elem& e : v) e.encode(enc);
+}
+
+std::vector<Elem> decode_elems(Decoder& dec) {
+  const std::uint64_t count = dec.get_varint();
+  check_count(count, dec);
+  std::vector<Elem> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(lattice::decode_elem(dec));
+  }
+  return out;
+}
+
+void encode_elem_map(Encoder& enc, const std::map<ProcessId, Elem>& m) {
+  enc.put_varint(m.size());
+  for (const auto& [p, e] : m) {
+    enc.put_u32(p);
+    e.encode(enc);
+  }
+}
+
+std::map<ProcessId, Elem> decode_elem_map(Decoder& dec) {
+  const std::uint64_t count = dec.get_varint();
+  check_count(count, dec);
+  std::map<ProcessId, Elem> out;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const ProcessId p = dec.get_u32();
+    out.emplace(p, lattice::decode_elem(dec));
+  }
+  return out;
+}
+
+void encode_decisions(Encoder& enc, const std::vector<DecisionRecord>& v) {
+  enc.put_varint(v.size());
+  for (const DecisionRecord& rec : v) {
+    rec.value.encode(enc);
+    enc.put_u64(rec.time);
+    enc.put_u64(rec.depth);
+    enc.put_u64(rec.round);
+  }
+}
+
+std::vector<DecisionRecord> decode_decisions(Decoder& dec) {
+  const std::uint64_t count = dec.get_varint();
+  check_count(count, dec);
+  std::vector<DecisionRecord> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DecisionRecord rec;
+    rec.value = lattice::decode_elem(dec);
+    rec.time = dec.get_u64();
+    rec.depth = dec.get_u64();
+    rec.round = dec.get_u64();
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+StateSummary summarize_state(BytesView blob) {
+  Decoder dec{blob};
+  const std::uint32_t version = dec.get_u32();
+  BGLA_CHECK_MSG(version == kStateFormatVersion,
+                 "unsupported state format version " << version);
+  StateSummary out;
+  out.tag = static_cast<StateTag>(dec.get_u8());
+  switch (out.tag) {
+    case StateTag::kWts: {
+      dec.get_u8();   // state
+      dec.get_u64();  // ts
+      out.proposal = lattice::decode_elem(dec);
+      lattice::decode_elem(dec);  // proposed_set
+      lattice::decode_elem(dec);  // accepted_set
+      lattice::decode_elem(dec);  // svs_join
+      out.svs = decode_elem_map(dec);
+      if (dec.get_bool()) out.decisions = decode_decisions(dec);
+      break;
+    }
+    case StateTag::kSbs: {
+      dec.get_u8();   // state
+      dec.get_u64();  // ts
+      out.proposal = lattice::decode_elem(dec);
+      decode_signed_value_set(dec);  // safety_set
+      decode_signed_value_set(dec);  // safe_candidates
+      decode_safe_value_set(dec);    // proposed_set
+      decode_safe_value_set(dec);    // accepted_set
+      const std::uint64_t num_acks = dec.get_varint();
+      check_count(num_acks, dec);
+      for (std::uint64_t i = 0; i < num_acks; ++i) dec.get_bytes();
+      const std::uint64_t nbyz = dec.get_varint();
+      check_count(nbyz, dec);
+      for (std::uint64_t i = 0; i < nbyz; ++i) dec.get_bool();
+      if (dec.get_bool()) out.decisions = decode_decisions(dec);
+      break;
+    }
+    case StateTag::kGwts:
+    case StateTag::kReplica: {  // Replica wraps the GWTS core
+      dec.get_u64();  // round
+      dec.get_u64();  // ts
+      dec.get_u64();  // safe_r
+      dec.get_u64();  // ack_tag_counter
+      dec.get_bool();              // in_round
+      lattice::decode_elem(dec);   // proposed_set
+      lattice::decode_elem(dec);   // decided_set
+      lattice::decode_elem(dec);   // pending_batch
+      lattice::decode_elem(dec);   // svs_join
+      lattice::decode_elem(dec);   // accepted_set
+      out.submitted = decode_elems(dec);
+      out.decisions = decode_decisions(dec);
+      out.svs = decode_elem_map(dec);
+      break;
+    }
+    case StateTag::kFaleiro: {
+      lattice::decode_elem(dec);  // pending
+      lattice::decode_elem(dec);  // proposed_set
+      lattice::decode_elem(dec);  // accepted_set
+      dec.get_u64();              // ts
+      dec.get_u64();              // decided_rounds
+      out.submitted = decode_elems(dec);
+      out.decisions = decode_decisions(dec);
+      break;
+    }
+    case StateTag::kGsbs: {
+      dec.get_u8();   // state
+      dec.get_u64();  // round
+      dec.get_u64();  // ts
+      dec.get_u64();  // trusted
+      dec.get_bool();             // in_round
+      lattice::decode_elem(dec);  // pending_batch
+      out.submitted = decode_elems(dec);
+      decode_signed_batch_set(dec);  // my_safety_set
+      decode_safe_batch_set(dec);    // proposed
+      decode_safe_batch_set(dec);    // decided
+      decode_safe_batch_set(dec);    // accepted
+      const std::uint64_t num_rounds = dec.get_varint();
+      check_count(num_rounds, dec);
+      for (std::uint64_t i = 0; i < num_rounds; ++i) {
+        dec.get_u64();
+        decode_signed_batch_set(dec);
+      }
+      out.decisions = decode_decisions(dec);
+      break;
+    }
+    default:
+      BGLA_CHECK_MSG(false, "state blob carries unknown protocol tag "
+                                << static_cast<int>(out.tag));
+  }
+  return out;
+}
+
+}  // namespace bgla::la

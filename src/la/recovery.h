@@ -1,0 +1,75 @@
+// Durable-state format shared by the protocol export/import hooks.
+//
+// Crash-recovery path: a host (tools/bgla_node) wires a persist hook that
+// encodes export_state() into a store::ReplicaStore WAL record after every
+// durable transition. On restart the host reloads snapshot+WAL, calls
+// import_state() on a freshly constructed process *before* the transport
+// starts, and the process rejoins the cluster through the type-70/71
+// catch-up exchange (la/messages.h) from on_start().
+//
+// Every exported blob starts with a (version, protocol tag) header so a
+// data directory written by a different protocol or schema version fails
+// loudly at import instead of silently misparsing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "la/record.h"
+#include "lattice/elem.h"
+#include "util/codec.h"
+#include "util/ids.h"
+
+namespace bgla::la {
+
+using lattice::Elem;
+
+inline constexpr std::uint32_t kStateFormatVersion = 1;
+
+/// One tag per protocol with durable state; pointing a replica at a data
+/// directory written by a different protocol is a config error that must
+/// be loud.
+enum class StateTag : std::uint8_t {
+  kWts = 1,
+  kGwts = 2,
+  kFaleiro = 3,
+  kSbs = 4,
+  kGsbs = 5,
+  kReplica = 6,
+};
+
+void put_state_header(Encoder& enc, StateTag tag);
+
+/// Throws CheckError on a version or protocol-tag mismatch.
+void check_state_header(Decoder& dec, StateTag tag);
+
+void encode_elems(Encoder& enc, const std::vector<Elem>& v);
+std::vector<Elem> decode_elems(Decoder& dec);
+
+void encode_elem_map(Encoder& enc, const std::map<ProcessId, Elem>& m);
+std::map<ProcessId, Elem> decode_elem_map(Decoder& dec);
+
+void encode_decisions(Encoder& enc, const std::vector<DecisionRecord>& v);
+std::vector<DecisionRecord> decode_decisions(Decoder& dec);
+
+/// The protocol-agnostic slice of a durable state blob that the spec
+/// checkers need: what the process submitted/proposed, what it decided,
+/// and (where the protocol tracks it) its per-origin disclosure view.
+/// Lets an offline tool (tools/bgla_nemesis) turn surviving data
+/// directories into la::LaView / la::GlaView records without
+/// constructing protocol objects.
+struct StateSummary {
+  StateTag tag{};
+  Elem proposal;                          ///< one-shot protocols: pro_i
+  std::vector<Elem> submitted;            ///< generalized protocols
+  std::vector<DecisionRecord> decisions;  ///< one-shot: zero or one
+  std::map<ProcessId, Elem> svs;          ///< WTS/GWTS disclosure view
+};
+
+/// Structurally decodes any export_state() blob (no signature checks).
+/// Throws CheckError on malformed input — same loudness contract as the
+/// import hooks.
+StateSummary summarize_state(BytesView blob);
+
+}  // namespace bgla::la

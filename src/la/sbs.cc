@@ -1,5 +1,8 @@
 #include "la/sbs.h"
 
+#include "la/decode.h"
+#include "lattice/codec.h"
+
 namespace bgla::la {
 
 SbsProcess::SbsProcess(net::Transport& net, ProcessId id, LaConfig cfg,
@@ -18,9 +21,14 @@ SbsProcess::SbsProcess(net::Transport& net, ProcessId id, LaConfig cfg,
 }
 
 void SbsProcess::on_start() {
+  if (recovered_) {
+    rejoin();
+    return;
+  }
   // Alg 8 L9-12: sign and broadcast the proposed value.
   const SignedValue payload = make_signed_value(signer_, initial_proposal_);
   safety_set_.insert(payload);
+  persist();
   send_to_group(cfg_.n, std::make_shared<SInitMsg>(payload));
 }
 
@@ -47,6 +55,7 @@ void SbsProcess::handle_init(ProcessId, const SInitMsg& m) {
   if (!cfg_.admissible(m.sv.value)) return;  // value ∈ E
   safety_set_.insert(m.sv);
   safety_set_.remove_conflicts(auth_);
+  persist();
   maybe_start_safetying();
 }
 
@@ -55,6 +64,7 @@ void SbsProcess::maybe_start_safetying() {
   if (state_ != State::kInit) return;
   if (safety_set_.size() < cfg_.disclosure_threshold()) return;
   state_ = State::kSafetying;
+  persist();
   send_to_group(cfg_.n, std::make_shared<SSafeReqMsg>(safety_set_));
 }
 
@@ -67,11 +77,12 @@ void SbsProcess::handle_safe_req(ProcessId from, const SSafeReqMsg& m) {
   std::vector<ConflictPair> conflicts = combined.conflicts(auth_);
   const crypto::Signature sig = signer_.sign(
       SSafeAckMsg::signed_payload(m.set, conflicts, id()));
-  send(from, std::make_shared<SSafeAckMsg>(m.set, std::move(conflicts),
-                                           id(), sig));
   SignedValueSet cleaned = combined;
   cleaned.remove_conflicts(auth_);
   safe_candidates_ = safe_candidates_.unioned(cleaned);
+  persist();  // the signed safe_ack below commits this conflict knowledge
+  send(from, std::make_shared<SSafeAckMsg>(m.set, std::move(conflicts),
+                                           id(), sig));
 }
 
 void SbsProcess::handle_safe_ack(ProcessId from, const SSafeAckMsg& m,
@@ -96,6 +107,7 @@ void SbsProcess::handle_safe_ack(ProcessId from, const SSafeAckMsg& m,
   if (safe_ack_senders_.insert(from).second) {
     safe_acks_.push_back(
         std::static_pointer_cast<const SSafeAckMsg>(self));
+    persist();
   }
   maybe_start_proposing();
 }
@@ -120,6 +132,7 @@ void SbsProcess::maybe_start_proposing() {
   state_ = State::kProposing;
   ack_set_.clear();
   ++ts_;
+  persist();
   broadcast_proposal();
 }
 
@@ -161,10 +174,12 @@ void SbsProcess::handle_ack_req(ProcessId from, const SAckReqMsg& m) {
   }
   if (accepted_set_.leq(m.proposal)) {
     accepted_set_ = m.proposal;
+    persist();  // the ack below is a promise; it must survive a crash
     send(from, std::make_shared<SAckMsg>(accepted_set_, m.ts));
   } else {
     send(from, std::make_shared<SNackMsg>(accepted_set_, m.ts));
     accepted_set_ = accepted_set_.unioned(m.proposal);
+    persist();
   }
 }
 
@@ -190,6 +205,7 @@ void SbsProcess::handle_nack(ProcessId from, const SNackMsg& m) {
     ack_set_.clear();
     ++ts_;
     ++stats_.refinements;
+    persist();
     broadcast_proposal();
   } else {
     byz_[from] = true;
@@ -205,6 +221,7 @@ void SbsProcess::decide() {
   rec.time = net().now();
   rec.depth = net().current_depth();
   decision_ = rec;
+  persist();
 }
 
 std::map<ProcessId, Elem> SbsProcess::proposed_by() const {
@@ -219,6 +236,94 @@ std::map<ProcessId, Elem> SbsProcess::proposed_by() const {
 const DecisionRecord& SbsProcess::decision() const {
   BGLA_CHECK_MSG(decision_.has_value(), "SbS process has not decided");
   return *decision_;
+}
+
+// ------------------------------------------------------ crash recovery ----
+
+void SbsProcess::export_state(Encoder& enc) const {
+  put_state_header(enc, StateTag::kSbs);
+  enc.put_u8(static_cast<std::uint8_t>(state_));
+  enc.put_u64(ts_);
+  initial_proposal_.encode(enc);
+  safety_set_.encode(enc);
+  safe_candidates_.encode(enc);
+  proposed_set_.encode(enc);
+  accepted_set_.encode(enc);
+  enc.put_varint(safe_acks_.size());
+  for (const SafeAckPtr& ack : safe_acks_) {
+    enc.put_bytes(BytesView(ack->encoded()));
+  }
+  enc.put_varint(byz_.size());
+  for (const bool b : byz_) enc.put_bool(b);
+  enc.put_bool(decision_.has_value());
+  if (decision_.has_value()) {
+    std::vector<DecisionRecord> one{*decision_};
+    encode_decisions(enc, one);
+  }
+}
+
+void SbsProcess::import_state(Decoder& dec) {
+  check_state_header(dec, StateTag::kSbs);
+  const std::uint8_t st = dec.get_u8();
+  BGLA_CHECK_MSG(st <= static_cast<std::uint8_t>(State::kDecided),
+                 "SbS: bad persisted state " << static_cast<int>(st));
+  state_ = static_cast<State>(st);
+  ts_ = dec.get_u64();
+  initial_proposal_ = lattice::decode_elem(dec);
+  safety_set_ = decode_signed_value_set(dec);
+  safe_candidates_ = decode_signed_value_set(dec);
+  proposed_set_ = decode_safe_value_set(dec);
+  accepted_set_ = decode_safe_value_set(dec);
+  const std::uint64_t num_acks = dec.get_varint();
+  BGLA_CHECK_MSG(num_acks <= dec.remaining(),
+                 "SbS: ack count exceeds remaining bytes");
+  safe_acks_.clear();
+  safe_ack_senders_.clear();
+  for (std::uint64_t i = 0; i < num_acks; ++i) {
+    SafeAckPtr ack = decode_safe_ack_blob(dec.get_bytes());
+    BGLA_CHECK_MSG(ack->verify(auth_),
+                   "SbS: persisted safe_ack fails verification");
+    safe_ack_senders_.insert(ack->acceptor);
+    safe_acks_.push_back(std::move(ack));
+  }
+  const std::uint64_t nbyz = dec.get_varint();
+  BGLA_CHECK_MSG(nbyz == cfg_.n, "SbS: byz vector size mismatch");
+  for (std::uint32_t i = 0; i < cfg_.n; ++i) byz_[i] = dec.get_bool();
+  if (dec.get_bool()) {
+    const std::vector<DecisionRecord> one = decode_decisions(dec);
+    BGLA_CHECK_MSG(one.size() == 1, "SbS: malformed decision record");
+    decision_ = one.front();
+  }
+  recovered_ = true;
+}
+
+void SbsProcess::rejoin() {
+  switch (state_) {
+    case State::kInit: {
+      // Byte-identical re-init (the HMAC signature is deterministic), so
+      // peers that already hold our value just re-insert it.
+      const SignedValue payload =
+          make_signed_value(signer_, initial_proposal_);
+      safety_set_.insert(payload);
+      send_to_group(cfg_.n, std::make_shared<SInitMsg>(payload));
+      maybe_start_safetying();
+      break;
+    }
+    case State::kSafetying:
+      // Re-request safe_acks for the persisted safety set; acceptors
+      // answer idempotently. Acks already persisted keep counting.
+      send_to_group(cfg_.n, std::make_shared<SSafeReqMsg>(safety_set_));
+      maybe_start_proposing();
+      break;
+    case State::kProposing:
+      ++ts_;
+      ack_set_.clear();
+      persist();
+      broadcast_proposal();
+      break;
+    case State::kDecided:
+      break;  // acceptor role continues from the persisted sets
+  }
 }
 
 }  // namespace bgla::la

@@ -25,6 +25,7 @@
 
 #include "la/config.h"
 #include "la/record.h"
+#include "la/recovery.h"
 #include "la/sbs_msgs.h"
 #include "sim/network.h"
 
@@ -65,6 +66,20 @@ class SbsProcess : public sim::Process {
                        std::set<crypto::Digest>* verified_acks = nullptr,
                        std::uint64_t* skipped = nullptr);
 
+  // ---- crash-recovery interface (see la/recovery.h) ----
+  //
+  // Proof-carrying sets round-trip through the same canonical encodings
+  // the wire uses (la/decode.h), so persisted proofs re-verify on import.
+  // On rejoin the process replays its current phase's outbound message:
+  // every SbS handler is an idempotent responder, and a re-sent proposal
+  // gets a fresh timestamp so stale acks cannot count.
+  void export_state(Encoder& enc) const;
+  void import_state(Decoder& dec);
+  void set_persist_hook(std::function<void()> hook) {
+    persist_hook_ = std::move(hook);
+  }
+  bool recovered() const { return recovered_; }
+
  private:
   void handle_init(ProcessId from, const SInitMsg& m);
   void maybe_start_safetying();
@@ -77,6 +92,10 @@ class SbsProcess : public sim::Process {
   void handle_nack(ProcessId from, const SNackMsg& m);
   void broadcast_proposal();
   void decide();
+  void persist() {
+    if (persist_hook_) persist_hook_();
+  }
+  void rejoin();
 
   LaConfig cfg_;
   const crypto::SignatureAuthority& auth_;
@@ -108,6 +127,10 @@ class SbsProcess : public sim::Process {
 
   std::optional<DecisionRecord> decision_;
   ProposerStats stats_;
+
+  // Crash-recovery state.
+  std::function<void()> persist_hook_;
+  bool recovered_ = false;
 };
 
 }  // namespace bgla::la

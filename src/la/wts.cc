@@ -1,5 +1,7 @@
 #include "la/wts.h"
 
+#include "lattice/codec.h"
+
 namespace bgla::la {
 
 WtsProcess::WtsProcess(net::Transport& net, ProcessId id, LaConfig cfg,
@@ -33,6 +35,10 @@ WtsProcess::WtsProcess(net::Transport& net, ProcessId id, LaConfig cfg,
 }
 
 void WtsProcess::on_start() {
+  if (recovered_) {
+    rejoin();
+    return;
+  }
   // Alg 1 L7-9: disclose the proposed value via reliable broadcast — or,
   // in the ablated configuration, by plain point-to-point broadcast
   // (which an equivocator can exploit; see bench_ablation).
@@ -79,6 +85,7 @@ void WtsProcess::on_rb_deliver(ProcessId origin, std::uint64_t tag,
   }
   svs_.emplace(origin, m->value);  // Alg 1 L14
   svs_join_ = svs_join_.join(m->value);
+  persist();
 
   maybe_start_proposing();  // Alg 1 L17 guard
   drain_waiting();          // SvS grew: some waiting messages may be safe
@@ -88,6 +95,7 @@ void WtsProcess::maybe_start_proposing() {
   if (state_ != State::kDisclosing) return;
   if (svs_.size() < cfg_.disclosure_threshold()) return;
   state_ = State::kProposing;  // Alg 1 L18
+  persist();
   broadcast_proposal();        // Alg 1 L19
 }
 
@@ -141,10 +149,12 @@ void WtsProcess::handle_ack_req(ProcessId from, const AckReqMsg& m) {
   // Alg 2 L7-12 (acceptor role).
   if (accepted_set_.leq(m.proposal)) {
     accepted_set_ = m.proposal;
+    persist();  // the ack below is a promise; it must survive a crash
     send(from, std::make_shared<AckMsg>(accepted_set_, m.ts));
   } else {
     send(from, std::make_shared<NackMsg>(accepted_set_, m.ts));
     accepted_set_ = accepted_set_.join(m.proposal);
+    persist();
   }
 }
 
@@ -162,6 +172,7 @@ void WtsProcess::handle_nack(ProcessId, const NackMsg& m) {
     ack_set_.clear();
     ++ts_;
     ++stats_.refinements;
+    persist();
     broadcast_proposal();
   }
 }
@@ -175,12 +186,82 @@ void WtsProcess::decide() {
   rec.time = net().now();
   rec.depth = net().current_depth();
   decision_ = rec;
+  persist();
   if (decide_hook_) decide_hook_(*this);
 }
 
 const DecisionRecord& WtsProcess::decision() const {
   BGLA_CHECK_MSG(decision_.has_value(), "WTS process has not decided");
   return *decision_;
+}
+
+// ------------------------------------------------------ crash recovery ----
+
+void WtsProcess::export_state(Encoder& enc) const {
+  put_state_header(enc, StateTag::kWts);
+  enc.put_u8(static_cast<std::uint8_t>(state_));
+  enc.put_u64(ts_);
+  initial_proposal_.encode(enc);
+  proposed_set_.encode(enc);
+  accepted_set_.encode(enc);
+  svs_join_.encode(enc);
+  encode_elem_map(enc, svs_);
+  enc.put_bool(decision_.has_value());
+  if (decision_.has_value()) {
+    std::vector<DecisionRecord> one{*decision_};
+    encode_decisions(enc, one);
+  }
+}
+
+void WtsProcess::import_state(Decoder& dec) {
+  check_state_header(dec, StateTag::kWts);
+  const std::uint8_t st = dec.get_u8();
+  BGLA_CHECK_MSG(st <= static_cast<std::uint8_t>(State::kDecided),
+                 "WTS: bad persisted state " << static_cast<int>(st));
+  state_ = static_cast<State>(st);
+  ts_ = dec.get_u64();
+  initial_proposal_ = lattice::decode_elem(dec);
+  proposed_set_ = lattice::decode_elem(dec);
+  accepted_set_ = lattice::decode_elem(dec);
+  svs_join_ = lattice::decode_elem(dec);
+  svs_ = decode_elem_map(dec);
+  if (dec.get_bool()) {
+    const std::vector<DecisionRecord> one = decode_decisions(dec);
+    BGLA_CHECK_MSG(one.size() == 1, "WTS: malformed decision record");
+    decision_ = one.front();
+  }
+  recovered_ = true;
+}
+
+void WtsProcess::rejoin() {
+  switch (state_) {
+    case State::kDisclosing:
+      // Re-broadcast the disclosure under its (only) tag: the bytes are
+      // identical to the pre-crash broadcast, so this is idempotent at
+      // peers that delivered it and completes delivery at those that
+      // did not.
+      if (!initial_proposal_.is_bottom()) {
+        if (cfg_.reliable_disclosure) {
+          rb_->broadcast(/*tag=*/0,
+                         std::make_shared<DisclosureMsg>(initial_proposal_));
+        } else {
+          send_to_group(cfg_.n,
+                        std::make_shared<DisclosureMsg>(initial_proposal_));
+        }
+      }
+      maybe_start_proposing();  // the persisted SvS may already suffice
+      break;
+    case State::kProposing:
+      // Fresh timestamp so stale pre-crash acks cannot count toward the
+      // new proposal's quorum.
+      ++ts_;
+      ack_set_.clear();
+      persist();
+      broadcast_proposal();
+      break;
+    case State::kDecided:
+      break;  // acceptor role continues from the persisted sets
+  }
 }
 
 }  // namespace bgla::la

@@ -25,6 +25,7 @@
 #include "la/config.h"
 #include "la/messages.h"
 #include "la/record.h"
+#include "la/recovery.h"
 #include "sim/network.h"
 
 namespace bgla::la {
@@ -61,6 +62,21 @@ class WtsProcess : public sim::Process {
   using DecideHook = std::function<void(const WtsProcess&)>;
   void set_decide_hook(DecideHook hook) { decide_hook_ = std::move(hook); }
 
+  // ---- crash-recovery interface (see la/recovery.h) ----
+  //
+  // WTS recovery is best-effort: the reliable-broadcast endpoint's
+  // partial echo/ready state is not persisted, so a restarted process
+  // re-broadcasts its (byte-identical, hence non-equivocating) disclosure
+  // and relies on RB totality plus the persisted SvS for the rest. The
+  // round-based protocols (GWTS/GSbS) are the ones driven by the restart
+  // harness; WTS is one-shot.
+  void export_state(Encoder& enc) const;
+  void import_state(Decoder& dec);
+  void set_persist_hook(std::function<void()> hook) {
+    persist_hook_ = std::move(hook);
+  }
+  bool recovered() const { return recovered_; }
+
  private:
   // SAFE(m) of Algorithm 1 L36-40: the element is covered by ⊕SvS.
   bool safe(const Elem& e) const { return e.leq(svs_join_); }
@@ -78,6 +94,10 @@ class WtsProcess : public sim::Process {
   void handle_ack(ProcessId from, const AckMsg& m);
   void handle_nack(ProcessId from, const NackMsg& m);
   void decide();
+  void persist() {
+    if (persist_hook_) persist_hook_();
+  }
+  void rejoin();
 
   LaConfig cfg_;
   std::unique_ptr<bcast::RbEndpoint> rb_;
@@ -99,6 +119,10 @@ class WtsProcess : public sim::Process {
   std::optional<DecisionRecord> decision_;
   ProposerStats stats_;
   DecideHook decide_hook_;
+
+  // Crash-recovery state.
+  std::function<void()> persist_hook_;
+  bool recovered_ = false;
 };
 
 }  // namespace bgla::la

@@ -1,0 +1,74 @@
+// Capped exponential backoff with deterministic jitter, for redial and
+// retry loops. A fixed retry period synchronizes every dialer in a
+// cluster: after a node is killed, all n−1 peers hammer its address in
+// lockstep, and on restart they all reconnect in the same instant.
+// Exponential growth bounds the hammering; jitter breaks the lockstep.
+//
+// The jitter stream is a seeded xorshift64, so a given (params, seed)
+// always produces the same schedule — tests assert exact delays.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace bgla::net {
+
+class Backoff {
+ public:
+  struct Params {
+    std::uint32_t initial_ms = 50;  // first delay (pre-jitter)
+    std::uint32_t max_ms = 2000;    // cap on the pre-jitter delay
+    double factor = 2.0;            // growth per attempt
+    double jitter = 0.2;            // delay drawn from [d·(1−j), d·(1+j)]
+    std::uint64_t seed = 1;         // jitter stream; never 0
+  };
+
+  explicit Backoff(Params p) : p_(p), base_ms_(p.initial_ms) {
+    if (p_.seed == 0) p_.seed = 1;
+    rng_ = p_.seed;
+  }
+
+  /// Next delay in the schedule, advancing the exponential state.
+  /// Always returns at least 1ms so callers can sleep unconditionally.
+  std::uint32_t next_ms() {
+    const double u = next_unit();  // in [0, 1)
+    const double jittered =
+        static_cast<double>(base_ms_) * (1.0 + p_.jitter * (2.0 * u - 1.0));
+    base_ms_ = static_cast<std::uint32_t>(
+        std::min<double>(p_.max_ms, static_cast<double>(base_ms_) * p_.factor));
+    base_ms_ = std::max(base_ms_, 1u);
+    ++attempts_;
+    return std::max(1u, static_cast<std::uint32_t>(jittered));
+  }
+
+  /// Back to the initial delay — call after a successful attempt. The
+  /// jitter stream is NOT rewound, so schedules stay distinct across
+  /// connect/disconnect cycles.
+  void reset() {
+    base_ms_ = std::max(p_.initial_ms, 1u);
+    attempts_ = 0;
+  }
+
+  /// Attempts since construction or the last reset().
+  std::uint32_t attempts() const { return attempts_; }
+
+  /// Pre-jitter delay the next next_ms() call will draw around.
+  std::uint32_t current_base_ms() const { return base_ms_; }
+
+ private:
+  double next_unit() {
+    std::uint64_t x = rng_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    rng_ = x;
+    return static_cast<double>(x >> 11) / 9007199254740992.0;  // 2^53
+  }
+
+  Params p_;
+  std::uint32_t base_ms_;
+  std::uint32_t attempts_ = 0;
+  std::uint64_t rng_;
+};
+
+}  // namespace bgla::net

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <thread>
 
+#include "net/backoff.h"
 #include "net/wire.h"
 #include "util/check.h"
 #include "util/codec.h"
@@ -54,6 +55,7 @@ SocketTransport::SocketTransport(SocketConfig cfg)
       epoch_(std::chrono::steady_clock::now()) {
   BGLA_CHECK_MSG(cfg_.self < cfg_.num_processes,
                  "self id " << cfg_.self << " outside key space");
+  loss_rate_.store(cfg_.loss_rate);
   bool self_listed = false;
   for (const PeerAddr& p : cfg_.peers) {
     BGLA_CHECK_MSG(p.id < cfg_.num_processes,
@@ -100,6 +102,24 @@ Time SocketTransport::now() const {
 }
 
 void SocketTransport::request_stop() { stop_flag_.store(true); }
+
+void SocketTransport::set_block_outgoing(ProcessId to, bool blocked) {
+  BGLA_CHECK_MSG(to < 64, "block mask covers process ids < 64");
+  if (blocked) {
+    block_out_mask_.fetch_or(1ull << to);
+  } else {
+    block_out_mask_.fetch_and(~(1ull << to));
+  }
+}
+
+void SocketTransport::set_block_incoming(ProcessId from, bool blocked) {
+  BGLA_CHECK_MSG(from < 64, "block mask covers process ids < 64");
+  if (blocked) {
+    block_in_mask_.fetch_or(1ull << from);
+  } else {
+    block_in_mask_.fetch_and(~(1ull << from));
+  }
+}
 
 Bytes SocketTransport::build_frame(std::uint8_t kind, ProcessId to,
                                    std::uint64_t seq,
@@ -192,7 +212,7 @@ void SocketTransport::set_peer_port(ProcessId id, std::uint16_t port) {
   BGLA_CHECK_MSG(false, "unknown peer id " << id);
 }
 
-int SocketTransport::dial(const PeerAddr& addr) {
+int SocketTransport::dial(const PeerAddr& addr, Backoff& backoff) {
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
   sa.sin_port = htons(addr.port);
@@ -203,24 +223,36 @@ int SocketTransport::dial(const PeerAddr& addr) {
         ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0) {
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      backoff.reset();  // healthy peer: next redial starts cheap again
       return fd;
     }
     if (fd >= 0) ::close(fd);
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(cfg_.connect_retry_ms));
+    // Sleep the backoff delay in short slices so stop() stays responsive
+    // even at the 2s cap.
+    std::uint32_t left = backoff.next_ms();
+    while (left > 0 && running_.load()) {
+      const std::uint32_t slice = std::min(left, 50u);
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+      left -= slice;
+    }
   }
   return -1;
 }
 
 bool SocketTransport::write_frame(int fd, const Bytes& body,
                                   std::uint64_t* loss_rng, bool lossless) {
-  if (!lossless && cfg_.loss_rate > 0.0 && loss_rng != nullptr) {
+  const double loss = loss_rate_.load(std::memory_order_relaxed);
+  if (!lossless && loss > 0.0 && loss_rng != nullptr) {
     const double u =
         static_cast<double>(xorshift(loss_rng) >> 11) / 9007199254740992.0;
-    if (u < cfg_.loss_rate) {
+    if (u < loss) {
       frames_dropped_.fetch_add(1);
       return true;  // "sent" into the void; retransmission recovers it
     }
+  }
+  const std::uint32_t delay = send_delay_ms_.load(std::memory_order_relaxed);
+  if (!lossless && delay > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
   }
   std::uint8_t hdr[4] = {
       static_cast<std::uint8_t>(body.size() >> 24),
@@ -348,11 +380,26 @@ void SocketTransport::inbound_loop(int fd) {
     if (!f) continue;  // unauthenticated / malformed: drop
     if (from == kNoProcess) {
       // Connection preamble: the dialer identifies itself with a signed
-      // HELLO; everything before that is ignored.
-      if (f->kind == kHello) from = f->from;
+      // HELLO; everything before that is ignored. The HELLO's seq field
+      // carries the dialer's incarnation: a higher value means the peer
+      // restarted and its sequence numbers begin again at 0, so the old
+      // dedup watermark would silently swallow every new frame.
+      if (f->kind == kHello) {
+        from = f->from;
+        std::lock_guard<std::mutex> lk(inbound_mu_);
+        DedupState& d = dedup_[from];
+        if (f->seq > d.incarnation) {
+          d.incarnation = f->seq;
+          d.contiguous = 0;
+          d.seen.clear();
+        }
+      }
       continue;
     }
     if (f->from != from || f->kind != kData) continue;
+    if (((block_in_mask_.load(std::memory_order_relaxed) >> from) & 1) != 0) {
+      continue;  // chaos: inbound direction blocked — no delivery, no ack
+    }
 
     bool fresh = false;
     {
@@ -375,6 +422,10 @@ void SocketTransport::inbound_loop(int fd) {
     } else {
       dups_suppressed_.fetch_add(1);
     }
+    if (((block_out_mask_.load(std::memory_order_relaxed) >> from) & 1) !=
+        0) {
+      continue;  // chaos: outbound direction blocked — swallow the ack too
+    }
     const Bytes ack = build_frame(kAck, from, f->seq, {});
     if (!write_frame(fd, ack, &ack_loss_rng, /*lossless=*/false)) break;
   }
@@ -392,6 +443,14 @@ void SocketTransport::sender_loop(ProcessId to) {
   Outbox& ob = *outboxes_.at(to);
   const PeerAddr addr = peer(to);
   int fd = -1;
+  Backoff backoff(Backoff::Params{
+      .initial_ms = cfg_.connect_retry_ms,
+      .max_ms = cfg_.connect_retry_max_ms,
+      .factor = cfg_.connect_retry_factor,
+      .jitter = cfg_.connect_retry_jitter,
+      .seed = cfg_.loss_seed ^ (0xbf58476d1ce4e5b9ull * (to + 1)) ^
+              (0x94d049bb133111ebull * (cfg_.self + 1)),
+  });
 
   const auto drop_connection = [&] {
     {
@@ -404,9 +463,11 @@ void SocketTransport::sender_loop(ProcessId to) {
 
   while (running_.load()) {
     if (fd < 0) {
-      fd = dial(addr);
+      fd = dial(addr, backoff);
       if (fd < 0) break;  // stopping
-      if (!write_frame(fd, build_frame(kHello, to, 0, {}), nullptr,
+      // The HELLO's seq field carries our incarnation (see SocketConfig).
+      if (!write_frame(fd, build_frame(kHello, to, cfg_.incarnation, {}),
+                       nullptr,
                        /*lossless=*/true)) {
         ::close(fd);
         fd = -1;
@@ -416,11 +477,16 @@ void SocketTransport::sender_loop(ProcessId to) {
       {
         std::lock_guard<std::mutex> lk(ob.mu);
         ob.fd = fd;
-        // Fresh connection: everything unacknowledged goes out again.
-        for (const auto& [seq, frame] : ob.unacked) {
-          if (!write_frame(fd, frame, &ob.loss_rng, false)) {
-            ok = false;
-            break;
+        // Fresh connection: everything unacknowledged goes out again
+        // (unless the chaos driver has this direction blocked — then the
+        // frames stay queued and a later retransmit tick sends them).
+        if (((block_out_mask_.load(std::memory_order_relaxed) >> to) & 1) ==
+            0) {
+          for (const auto& [seq, frame] : ob.unacked) {
+            if (!write_frame(fd, frame, &ob.loss_rng, false)) {
+              ok = false;
+              break;
+            }
           }
         }
         ob.next_unsent = ob.next_seq;
@@ -459,7 +525,8 @@ void SocketTransport::sender_loop(ProcessId to) {
       dead = true;
     }
 
-    if (!dead) {
+    if (!dead &&
+        ((block_out_mask_.load(std::memory_order_relaxed) >> to) & 1) == 0) {
       std::lock_guard<std::mutex> lk(ob.mu);
       // Timeout tick: retransmit everything unacknowledged. Wake: flush
       // only frames that never hit the wire.

@@ -84,9 +84,20 @@ struct SocketConfig {
   std::uint32_t num_processes = 0;
   std::uint64_t auth_seed = 42;
   std::uint32_t retransmit_every_ms = 50;  // unacked-frame resend period
-  std::uint32_t connect_retry_ms = 50;     // (re)dial backoff
-  double loss_rate = 0.0;                  // P(drop) per DATA/ACK write
-  std::uint64_t loss_seed = 1;             // deterministic loss stream
+  // (Re)dial schedule: capped exponential backoff with jitter, starting
+  // at connect_retry_ms and growing by connect_retry_factor up to
+  // connect_retry_max_ms; deterministic given loss_seed (see Backoff).
+  std::uint32_t connect_retry_ms = 50;
+  std::uint32_t connect_retry_max_ms = 2000;
+  double connect_retry_factor = 2.0;
+  double connect_retry_jitter = 0.2;
+  double loss_rate = 0.0;      // P(drop) per DATA/ACK write
+  std::uint64_t loss_seed = 1;  // deterministic loss + jitter streams
+  // Monotone per-node restart counter, carried in the HELLO frame. A
+  // receiver seeing a higher incarnation from a peer resets that peer's
+  // dedup state: the restarted sender's sequence numbers begin again at
+  // 0, and stale watermarks would silently suppress every new frame.
+  std::uint64_t incarnation = 0;
 };
 
 class SocketTransport final : public Transport {
@@ -137,6 +148,15 @@ class SocketTransport final : public Transport {
   /// Duplicate DATA frames suppressed by receive-side dedup.
   std::uint64_t dups_suppressed() const { return dups_suppressed_.load(); }
 
+  // -- Runtime chaos knobs (thread-safe; used by the nemesis driver).
+  //    Blocking a peer silences DATA/ACK frames in that direction only —
+  //    the perfect-link retransmission machinery heals once unblocked, so
+  //    these model asymmetric partitions, not crashes.
+  void set_loss_rate(double rate) { loss_rate_.store(rate); }
+  void set_send_delay_ms(std::uint32_t ms) { send_delay_ms_.store(ms); }
+  void set_block_outgoing(ProcessId to, bool blocked);
+  void set_block_incoming(ProcessId from, bool blocked);
+
  private:
   struct Outbox {  // per destination peer (one dialed connection)
     std::mutex mu;
@@ -150,6 +170,7 @@ class SocketTransport final : public Transport {
   struct DedupState {  // per sender
     std::uint64_t contiguous = 0;  // every seq < contiguous was delivered
     std::set<std::uint64_t> seen;  // delivered seqs >= contiguous
+    std::uint64_t incarnation = 0;  // highest HELLO incarnation seen
   };
   struct Delivery {
     ProcessId from = kNoProcess;
@@ -162,7 +183,7 @@ class SocketTransport final : public Transport {
   bool write_frame(int fd, const Bytes& body, std::uint64_t* loss_rng,
                    bool lossless);
   std::optional<Bytes> read_frame(int fd);
-  int dial(const PeerAddr& addr);
+  int dial(const PeerAddr& addr, class Backoff& backoff);
 
   void enqueue_delivery(ProcessId from, sim::MessagePtr msg);
   void accept_loop();
@@ -197,6 +218,13 @@ class SocketTransport final : public Transport {
   std::atomic<bool> stop_flag_{false};
   std::atomic<std::uint64_t> frames_dropped_{0};
   std::atomic<std::uint64_t> dups_suppressed_{0};
+
+  // Chaos knobs (peer-id bitmasks; ids are bounded by the 64-process
+  // deployments the tools drive — enforced in the setters).
+  std::atomic<double> loss_rate_{0.0};
+  std::atomic<std::uint32_t> send_delay_ms_{0};
+  std::atomic<std::uint64_t> block_out_mask_{0};
+  std::atomic<std::uint64_t> block_in_mask_{0};
 
   std::unique_ptr<util::ThreadPool> pool_;
   bool started_ = false;

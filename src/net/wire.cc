@@ -6,6 +6,8 @@
 
 #include "bcast/bracha.h"
 #include "bcast/cert_rb.h"
+#include "crypto/codec.h"
+#include "la/decode.h"
 #include "la/gsbs_msgs.h"
 #include "la/messages.h"
 #include "la/sbs_msgs.h"
@@ -19,41 +21,24 @@ namespace bgla::net {
 
 namespace {
 
-using la::ConflictPair;
-using la::SafeBatch;
+using crypto::decode_digest;
+using crypto::decode_signature;
 using la::SafeBatchSet;
-using la::SafeValue;
 using la::SafeValueSet;
-using la::SignedBatch;
 using la::SignedBatchSet;
-using la::SignedValue;
-using la::SignedValueSet;
 using lattice::Elem;
 using lattice::decode_elem;
 using sim::MessagePtr;
 
-// Nesting bound for messages that embed encoded messages (RB inner
-// payloads, SafeValueSet proof acks, DECIDED certificates). Real traffic
-// nests at most two levels (RB around a protocol message); garbage that
-// nests deeper is rejected before it can exhaust the stack.
+// Nesting bound for messages that embed encoded messages of *arbitrary*
+// type (RB inner payloads). Real traffic nests at most two levels (RB
+// around a protocol message); garbage that nests deeper is rejected
+// before it can exhaust the stack. The signed-ack blobs inside proof sets
+// and certificates don't need this: their decoders (la/decode.h) pin the
+// inner type, so nesting is structurally bounded.
 constexpr int kMaxDepth = 8;
 
 MessagePtr decode_at(BytesView bytes, int depth);
-
-crypto::Digest get_digest(Decoder& dec) {
-  const Bytes b = dec.get_bytes();
-  crypto::Digest d{};
-  BGLA_CHECK_MSG(b.size() == d.size(), "bad digest length " << b.size());
-  std::copy(b.begin(), b.end(), d.begin());
-  return d;
-}
-
-crypto::Signature get_signature(Decoder& dec) {
-  crypto::Signature sig;
-  sig.signer = dec.get_u32();
-  sig.mac = get_digest(dec);
-  return sig;
-}
 
 void check_count(std::uint64_t count, const Decoder& dec) {
   BGLA_CHECK_MSG(count <= dec.remaining(),
@@ -71,147 +56,6 @@ std::shared_ptr<const T> get_inner(Decoder& dec, int depth) {
   BGLA_CHECK_MSG(typed != nullptr, "inner message of unexpected type "
                                        << msg->type_id());
   return typed;
-}
-
-SignedValue get_signed_value(Decoder& dec) {
-  SignedValue sv;
-  sv.value = decode_elem(dec);
-  sv.sig = get_signature(dec);
-  return sv;
-}
-
-SignedValueSet get_signed_value_set(Decoder& dec) {
-  const std::uint64_t count = dec.get_varint();
-  check_count(count, dec);
-  SignedValueSet set;
-  for (std::uint64_t i = 0; i < count; ++i) set.insert(get_signed_value(dec));
-  return set;
-}
-
-SignedBatch get_signed_batch(Decoder& dec) {
-  SignedBatch sb;
-  sb.value = decode_elem(dec);
-  sb.round = dec.get_u64();
-  sb.sig = get_signature(dec);
-  return sb;
-}
-
-SignedBatchSet get_signed_batch_set(Decoder& dec) {
-  const std::uint64_t count = dec.get_varint();
-  check_count(count, dec);
-  SignedBatchSet set;
-  for (std::uint64_t i = 0; i < count; ++i) set.insert(get_signed_batch(dec));
-  return set;
-}
-
-// SafeValueSet / SafeBatchSet wire layout (see the encode side): a pool of
-// distinct proof acks encoded once, then entries referencing acks by index.
-SafeValueSet get_safe_value_set(Decoder& dec, int depth) {
-  const std::uint64_t num_acks = dec.get_varint();
-  check_count(num_acks, dec);
-  std::vector<la::SafeAckPtr> acks;
-  acks.reserve(num_acks);
-  for (std::uint64_t i = 0; i < num_acks; ++i) {
-    acks.push_back(get_inner<la::SSafeAckMsg>(dec, depth));
-  }
-  const std::uint64_t count = dec.get_varint();
-  check_count(count, dec);
-  SafeValueSet set;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    SafeValue sv;
-    sv.v = get_signed_value(dec);
-    const std::uint64_t proof = dec.get_varint();
-    check_count(proof, dec);
-    for (std::uint64_t j = 0; j < proof; ++j) {
-      const std::uint64_t idx = dec.get_varint();
-      BGLA_CHECK_MSG(idx < acks.size(), "proof ack index out of range");
-      sv.proof.push_back(acks[idx]);
-    }
-    set.insert(sv);
-  }
-  return set;
-}
-
-SafeBatchSet get_safe_batch_set(Decoder& dec, int depth) {
-  const std::uint64_t num_acks = dec.get_varint();
-  check_count(num_acks, dec);
-  std::vector<la::GSafeAckPtr> acks;
-  acks.reserve(num_acks);
-  for (std::uint64_t i = 0; i < num_acks; ++i) {
-    acks.push_back(get_inner<la::GSSafeAckMsg>(dec, depth));
-  }
-  const std::uint64_t count = dec.get_varint();
-  check_count(count, dec);
-  SafeBatchSet set;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    SafeBatch sb;
-    sb.b = get_signed_batch(dec);
-    const std::uint64_t proof = dec.get_varint();
-    check_count(proof, dec);
-    for (std::uint64_t j = 0; j < proof; ++j) {
-      const std::uint64_t idx = dec.get_varint();
-      BGLA_CHECK_MSG(idx < acks.size(), "proof ack index out of range");
-      sb.proof.push_back(acks[idx]);
-    }
-    set.insert(sb);
-  }
-  return set;
-}
-
-// SSafeAckMsg / GSAckMsg / GSSafeAckMsg carry their signed payload as a
-// length-prefixed blob; the fields live inside it and must consume it
-// exactly (trailing bytes would make re-encoding diverge from the wire).
-MessagePtr decode_s_safe_ack(Decoder& dec) {
-  const Bytes payload = dec.get_bytes();
-  Decoder in{payload};
-  SignedValueSet rcvd = get_signed_value_set(in);
-  const std::uint64_t nconf = in.get_varint();
-  check_count(nconf, in);
-  std::vector<ConflictPair> conflicts;
-  for (std::uint64_t i = 0; i < nconf; ++i) {
-    SignedValue x = get_signed_value(in);
-    SignedValue y = get_signed_value(in);
-    conflicts.emplace_back(std::move(x), std::move(y));
-  }
-  const ProcessId acceptor = in.get_u32();
-  BGLA_CHECK_MSG(in.done(), "trailing bytes in safe_ack payload");
-  const crypto::Signature sig = get_signature(dec);
-  return std::make_shared<la::SSafeAckMsg>(std::move(rcvd),
-                                           std::move(conflicts), acceptor,
-                                           sig);
-}
-
-MessagePtr decode_gs_safe_ack(Decoder& dec) {
-  const Bytes payload = dec.get_bytes();
-  Decoder in{payload};
-  SignedBatchSet rcvd = get_signed_batch_set(in);
-  const std::uint64_t nconf = in.get_varint();
-  check_count(nconf, in);
-  std::vector<std::pair<SignedBatch, SignedBatch>> conflicts;
-  for (std::uint64_t i = 0; i < nconf; ++i) {
-    SignedBatch x = get_signed_batch(in);
-    SignedBatch y = get_signed_batch(in);
-    conflicts.emplace_back(std::move(x), std::move(y));
-  }
-  const ProcessId acceptor = in.get_u32();
-  const std::uint64_t round = in.get_u64();
-  BGLA_CHECK_MSG(in.done(), "trailing bytes in g_safe_ack payload");
-  const crypto::Signature sig = get_signature(dec);
-  return std::make_shared<la::GSSafeAckMsg>(std::move(rcvd),
-                                            std::move(conflicts), acceptor,
-                                            round, sig);
-}
-
-MessagePtr decode_gs_ack(Decoder& dec) {
-  const Bytes payload = dec.get_bytes();
-  Decoder in{payload};
-  const crypto::Digest fp = get_digest(in);
-  const ProcessId destination = in.get_u32();
-  const std::uint64_t ts = in.get_u64();
-  const std::uint64_t round = in.get_u64();
-  BGLA_CHECK_MSG(in.done(), "trailing bytes in g_ack payload");
-  const crypto::Signature sig = get_signature(dec);
-  return std::make_shared<la::GSAckMsg>(fp, destination, ts, round, sig);
 }
 
 MessagePtr decode_payload(std::uint32_t type_id, Decoder& dec, int depth) {
@@ -240,8 +84,8 @@ MessagePtr decode_payload(std::uint32_t type_id, Decoder& dec, int depth) {
     }
     case 5: {
       bcast::CrbKey key{dec.get_u32(), dec.get_u64()};
-      const crypto::Digest digest = get_digest(dec);
-      const crypto::Signature sig = get_signature(dec);
+      const crypto::Digest digest = decode_digest(dec);
+      const crypto::Signature sig = decode_signature(dec);
       return std::make_shared<bcast::CrbEchoMsg>(key, digest, sig);
     }
     case 6: {
@@ -251,7 +95,9 @@ MessagePtr decode_payload(std::uint32_t type_id, Decoder& dec, int depth) {
       check_count(n, dec);
       std::vector<crypto::Signature> cert;
       cert.reserve(n);
-      for (std::uint64_t i = 0; i < n; ++i) cert.push_back(get_signature(dec));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        cert.push_back(decode_signature(dec));
+      }
       return std::make_shared<bcast::CrbFinalMsg>(key, std::move(inner),
                                                   std::move(cert));
     }
@@ -310,60 +156,48 @@ MessagePtr decode_payload(std::uint32_t type_id, Decoder& dec, int depth) {
     }
     // ---- SbS ----
     case 40:
-      return std::make_shared<la::SInitMsg>(get_signed_value(dec));
+      return std::make_shared<la::SInitMsg>(la::decode_signed_value(dec));
     case 41:
-      return std::make_shared<la::SSafeReqMsg>(get_signed_value_set(dec));
+      return std::make_shared<la::SSafeReqMsg>(
+          la::decode_signed_value_set(dec));
     case 42:
-      return decode_s_safe_ack(dec);
+      return la::decode_s_safe_ack_payload(dec);
     case 43: {
-      SafeValueSet s = get_safe_value_set(dec, depth);
+      SafeValueSet s = la::decode_safe_value_set(dec);
       return std::make_shared<la::SAckReqMsg>(std::move(s), dec.get_u64());
     }
     case 44: {
-      SafeValueSet s = get_safe_value_set(dec, depth);
+      SafeValueSet s = la::decode_safe_value_set(dec);
       return std::make_shared<la::SAckMsg>(std::move(s), dec.get_u64());
     }
     case 45: {
-      SafeValueSet s = get_safe_value_set(dec, depth);
+      SafeValueSet s = la::decode_safe_value_set(dec);
       return std::make_shared<la::SNackMsg>(std::move(s), dec.get_u64());
     }
     // ---- GSbS ----
     case 50:
-      return std::make_shared<la::GSInitMsg>(get_signed_batch(dec));
+      return std::make_shared<la::GSInitMsg>(la::decode_signed_batch(dec));
     case 51: {
-      SignedBatchSet s = get_signed_batch_set(dec);
+      SignedBatchSet s = la::decode_signed_batch_set(dec);
       return std::make_shared<la::GSSafeReqMsg>(std::move(s), dec.get_u64());
     }
     case 52:
-      return decode_gs_safe_ack(dec);
+      return la::decode_gs_safe_ack_payload(dec);
     case 53: {
-      SafeBatchSet s = get_safe_batch_set(dec, depth);
+      SafeBatchSet s = la::decode_safe_batch_set(dec);
       const std::uint64_t ts = dec.get_u64();
       return std::make_shared<la::GSAckReqMsg>(std::move(s), ts,
                                                dec.get_u64());
     }
     case 54:
-      return decode_gs_ack(dec);
+      return la::decode_gs_ack_payload(dec);
     case 55: {
-      SafeBatchSet s = get_safe_batch_set(dec, depth);
+      SafeBatchSet s = la::decode_safe_batch_set(dec);
       const std::uint64_t ts = dec.get_u64();
       return std::make_shared<la::GSNackMsg>(std::move(s), ts, dec.get_u64());
     }
-    case 56: {
-      SafeBatchSet s = get_safe_batch_set(dec, depth);
-      const ProcessId decider = dec.get_u32();
-      const std::uint64_t ts = dec.get_u64();
-      const std::uint64_t round = dec.get_u64();
-      const std::uint64_t n = dec.get_varint();
-      check_count(n, dec);
-      std::vector<std::shared_ptr<const la::GSAckMsg>> acks;
-      acks.reserve(n);
-      for (std::uint64_t i = 0; i < n; ++i) {
-        acks.push_back(get_inner<la::GSAckMsg>(dec, depth));
-      }
-      return std::make_shared<la::GSDecidedMsg>(std::move(s), decider, ts,
-                                                round, std::move(acks));
-    }
+    case 56:
+      return la::decode_gs_decided_payload(dec);
     // ---- RSM ----
     case 60: {
       lattice::Item cmd;
@@ -381,6 +215,25 @@ MessagePtr decode_payload(std::uint32_t type_id, Decoder& dec, int depth) {
     case 63: {
       Elem e = decode_elem(dec);
       return std::make_shared<rsm::ConfRepMsg>(std::move(e), dec.get_u32());
+    }
+    // ---- state-transfer / catch-up ----
+    case 70:
+      return std::make_shared<la::CatchupReqMsg>(dec.get_u64());
+    case 71: {
+      const std::uint64_t round = dec.get_u64();
+      const std::uint64_t frontier = dec.get_u64();
+      Elem accepted = decode_elem(dec);
+      Elem disclosed = decode_elem(dec);
+      Elem decided = decode_elem(dec);
+      Bytes cert = dec.get_bytes();
+      if (!cert.empty()) {
+        // Validate eagerly so a garbage certificate is rejected at the
+        // trust boundary, like any other malformed frame.
+        (void)la::decode_gs_decided_blob(cert);
+      }
+      return std::make_shared<la::CatchupRepMsg>(
+          round, frontier, std::move(accepted), std::move(disclosed),
+          std::move(decided), std::move(cert));
     }
     default:
       BGLA_CHECK_MSG(false, "unknown message type id " << type_id);

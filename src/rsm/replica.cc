@@ -62,4 +62,30 @@ void Replica::push_decision(const la::DecisionRecord& rec) {
   }
 }
 
+// ------------------------------------------------------ crash recovery ----
+
+void Replica::export_state(Encoder& enc) const {
+  la::put_state_header(enc, la::StateTag::kReplica);
+  export_core(enc);
+  enc.put_varint(seen_cmds_.size());
+  for (const auto& [a, b] : seen_cmds_) {
+    enc.put_u64(a);
+    enc.put_u64(b);
+  }
+}
+
+void Replica::import_state(Decoder& dec) {
+  la::check_state_header(dec, la::StateTag::kReplica);
+  import_core(dec);
+  const std::uint64_t count = dec.get_varint();
+  BGLA_CHECK_MSG(count <= dec.remaining(),
+                 "Replica: command count exceeds remaining bytes");
+  seen_cmds_.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t a = dec.get_u64();
+    const std::uint64_t b = dec.get_u64();
+    seen_cmds_.emplace(a, b);
+  }
+}
+
 }  // namespace bgla::rsm

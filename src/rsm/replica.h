@@ -25,6 +25,16 @@ class Replica : public la::GwtsProcess {
   /// Current local state (the last decided command set).
   const Elem& state() const { return decided_set(); }
 
+  // ---- crash-recovery interface (see la/recovery.h) ----
+  //
+  // Wraps the GWTS core state and adds the command dedup set, so a
+  // restarted replica neither re-proposes a command twice nor drops one
+  // that was submitted but undecided at the crash. Pending confirmation
+  // requests are not persisted: clients retry them (Alg 7's guard is an
+  // "upon" over Ack_history, so a retried request is answered normally).
+  void export_state(Encoder& enc) const override;
+  void import_state(Decoder& dec) override;
+
  private:
   void handle_update(const UpdateMsg& m);
   void handle_conf_req(ProcessId from, const ConfReqMsg& m);

@@ -1,0 +1,105 @@
+#include "store/replica_store.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/codec.h"
+
+namespace bgla::store {
+
+namespace {
+
+std::string join(const std::string& dir, const char* name) {
+  return dir + "/" + name;
+}
+
+void ensure_dir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0) return;
+  BGLA_CHECK_MSG(errno == EEXIST,
+                 "mkdir(" << dir << "): " << std::strerror(errno));
+}
+
+}  // namespace
+
+ReplicaStore::ReplicaStore(std::string dir, std::uint32_t compact_every)
+    : dir_(std::move(dir)), compact_every_(compact_every) {
+  BGLA_CHECK_MSG(compact_every_ > 0, "compact_every must be positive");
+  ensure_dir(dir_);
+
+  // Incarnation: read, bump, persist — before anything else, so even a
+  // recovery that aborts later has already burned the number.
+  const std::string meta = join(dir_, "meta");
+  SnapshotRead mr = read_snapshot(meta);
+  if (mr.found && mr.valid) {
+    try {
+      Decoder dec{BytesView(mr.payload)};
+      incarnation_ = dec.get_u64();
+      BGLA_CHECK(dec.done());
+    } catch (const CheckError&) {
+      notes_.push_back("meta " + meta + ": undecodable payload; reset");
+      incarnation_ = 0;
+    }
+  } else if (mr.found) {
+    notes_.push_back(mr.detail);
+    clean_ = false;
+  }
+  ++incarnation_;
+  {
+    Encoder enc;
+    enc.put_u64(incarnation_);
+    write_snapshot(meta, BytesView(enc.bytes()));
+  }
+
+  SnapshotRead sr = read_snapshot(join(dir_, "snapshot.bin"));
+  if (sr.found && sr.valid) {
+    snapshot_ = std::move(sr.payload);
+    found_ = true;
+  } else if (sr.found) {
+    notes_.push_back(sr.detail);
+    clean_ = false;
+  }
+
+  WalRecovery wr = recover_wal(join(dir_, "wal.log"));
+  if (!wr.detail.empty()) notes_.push_back(wr.detail);
+  if (wr.quarantined) clean_ = false;
+  if (!wr.records.empty()) found_ = true;
+  wal_records_ = std::move(wr.records);
+
+  wal_.open(join(dir_, "wal.log"));
+}
+
+void ReplicaStore::persist(BytesView state) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (++appends_since_compact_ >= compact_every_) {
+    write_snapshot(join(dir_, "snapshot.bin"), state);
+    wal_.reset_to_empty();
+    appends_since_compact_ = 0;
+  } else {
+    wal_.append(state);
+  }
+}
+
+void ReplicaStore::compact(BytesView state) {
+  std::lock_guard<std::mutex> lk(mu_);
+  write_snapshot(join(dir_, "snapshot.bin"), state);
+  wal_.reset_to_empty();
+  appends_since_compact_ = 0;
+}
+
+Bytes ReplicaStore::peek_latest_state(const std::string& dir,
+                                      std::vector<std::string>* notes) {
+  WalRecovery wr = recover_wal(join(dir, "wal.log"));
+  if (notes != nullptr && !wr.detail.empty()) notes->push_back(wr.detail);
+  if (!wr.records.empty()) return wr.records.back();
+  SnapshotRead sr = read_snapshot(join(dir, "snapshot.bin"));
+  if (notes != nullptr && sr.found && !sr.valid) {
+    notes->push_back(sr.detail);
+  }
+  if (sr.found && sr.valid) return sr.payload;
+  return {};
+}
+
+}  // namespace bgla::store

@@ -1,0 +1,88 @@
+// Per-replica durable state directory: snapshot + WAL + incarnation.
+//
+// Layout under one data dir (one replica each):
+//   meta          snapshot-format file holding the incarnation counter
+//   snapshot.bin  latest full-state checkpoint (atomic replace)
+//   wal.log       full-state records appended since that checkpoint
+//
+// The protocols in this repository keep *join-monotone* state: every
+// durable transition (submit, accept, decide) only grows it. The store
+// therefore logs one full export per transition and replays by importing
+// records in order — the last intact record wins, and a truncated torn
+// tail costs at most the newest transitions, which the rejoin exchange
+// re-elicits from peers. Every `compact_every` appends the WAL is folded
+// into the snapshot and reset, so disk use tracks state size, not uptime.
+//
+// The incarnation counter bumps on every open. The transport embeds it in
+// its connection HELLOs so peers can tell a restarted sender (reset its
+// dedup watermark — the new process restarts sequence numbers at 0) from
+// a mere reconnect of the old one (keep the watermark).
+//
+// Corruption policy is inherited from wal.h / snapshot.h: torn tails are
+// truncated silently-but-reported, anything else is quarantined loudly.
+// clean() is false iff something was quarantined; callers decide whether
+// to proceed on the surviving prefix or abort.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "store/snapshot.h"
+#include "store/wal.h"
+#include "util/bytes.h"
+
+namespace bgla::store {
+
+class ReplicaStore {
+ public:
+  /// Opens (creating) the data dir, bumps + persists the incarnation,
+  /// reads the snapshot and recovers the WAL. Throws CheckError on I/O
+  /// failure; content corruption is reported, never thrown.
+  explicit ReplicaStore(std::string dir, std::uint32_t compact_every = 64);
+
+  ReplicaStore(const ReplicaStore&) = delete;
+  ReplicaStore& operator=(const ReplicaStore&) = delete;
+
+  // ---- recovered state (fixed at construction) ----
+  /// True iff any prior state survived on disk.
+  bool found() const { return found_; }
+  const Bytes& snapshot() const { return snapshot_; }
+  const std::vector<Bytes>& wal_records() const { return wal_records_; }
+  /// Repair log: torn-tail truncations and quarantine reports.
+  const std::vector<std::string>& notes() const { return notes_; }
+  /// False iff recovery quarantined corrupt data (loud failure).
+  bool clean() const { return clean_; }
+  std::uint64_t incarnation() const { return incarnation_; }
+  const std::string& dir() const { return dir_; }
+
+  // ---- persistence (thread-safe; called from the persist hook) ----
+  /// Logs one full-state record; every `compact_every` appends it folds
+  /// the state into the snapshot and resets the WAL.
+  void persist(BytesView state);
+  /// Forces the fold immediately.
+  void compact(BytesView state);
+
+  /// Reads a data dir without opening it for writing (no incarnation
+  /// bump, no repairs beyond WAL recovery): the latest intact full-state
+  /// record, or empty if none. Used by the nemesis checker pass.
+  static Bytes peek_latest_state(const std::string& dir,
+                                 std::vector<std::string>* notes = nullptr);
+
+ private:
+  std::string dir_;
+  std::uint32_t compact_every_;
+  std::uint64_t incarnation_ = 0;
+  Bytes snapshot_;
+  std::vector<Bytes> wal_records_;
+  std::vector<std::string> notes_;
+  bool clean_ = true;
+  bool found_ = false;
+
+  std::mutex mu_;
+  WalWriter wal_;
+  std::uint32_t appends_since_compact_ = 0;
+};
+
+}  // namespace bgla::store

@@ -1,0 +1,121 @@
+#include "store/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "crypto/sha256.h"
+#include "util/check.h"
+
+namespace bgla::store {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'G', 'L', 'A', 'S', 'N', 'P', '1'};
+constexpr std::size_t kMagicLen = 8;
+constexpr std::size_t kHeaderLen = kMagicLen + 4 + 8;
+
+std::string quarantine(const std::string& path) {
+  std::string qpath = path + ".quarantine";
+  for (int k = 1; ::access(qpath.c_str(), F_OK) == 0; ++k) {
+    qpath = path + ".quarantine." + std::to_string(k);
+  }
+  BGLA_CHECK_MSG(std::rename(path.c_str(), qpath.c_str()) == 0,
+                 "rename(" << path << "): " << std::strerror(errno));
+  return qpath;
+}
+
+}  // namespace
+
+void write_snapshot(const std::string& path, BytesView payload) {
+  Bytes file(kHeaderLen + payload.size());
+  std::memcpy(file.data(), kMagic, kMagicLen);
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  file[kMagicLen + 0] = static_cast<std::uint8_t>(len >> 24);
+  file[kMagicLen + 1] = static_cast<std::uint8_t>(len >> 16);
+  file[kMagicLen + 2] = static_cast<std::uint8_t>(len >> 8);
+  file[kMagicLen + 3] = static_cast<std::uint8_t>(len);
+  const crypto::Digest d = crypto::Sha256::hash(payload);
+  std::memcpy(file.data() + kMagicLen + 4, d.data(), 8);
+  std::memcpy(file.data() + kHeaderLen, payload.data(), payload.size());
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  BGLA_CHECK_MSG(fd >= 0, "open(" << tmp << "): " << std::strerror(errno));
+  std::size_t off = 0;
+  while (off < file.size()) {
+    const ssize_t n = ::write(fd, file.data() + off, file.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      BGLA_CHECK_MSG(false, "write(" << tmp << "): " << std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::fsync(fd);
+  ::close(fd);
+  BGLA_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                 "rename(" << tmp << " -> " << path
+                           << "): " << std::strerror(errno));
+}
+
+SnapshotRead read_snapshot(const std::string& path) {
+  SnapshotRead out;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    BGLA_CHECK_MSG(errno == ENOENT,
+                   "open(" << path << "): " << std::strerror(errno));
+    return out;
+  }
+  out.found = true;
+  Bytes data;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      BGLA_CHECK_MSG(false,
+                     "read(" << path << "): " << std::strerror(errno));
+    }
+    data.insert(data.end(), buf, buf + n);
+  }
+  ::close(fd);
+
+  const auto reject = [&](const std::string& why) {
+    const std::string q = quarantine(path);
+    std::ostringstream os;
+    os << "snapshot " << path << ": " << why << "; moved to " << q;
+    out.detail = os.str();
+    return out;
+  };
+
+  if (data.size() < kHeaderLen ||
+      std::memcmp(data.data(), kMagic, kMagicLen) != 0) {
+    return reject("bad magic or truncated header");
+  }
+  const std::uint32_t len =
+      (static_cast<std::uint32_t>(data[kMagicLen]) << 24) |
+      (static_cast<std::uint32_t>(data[kMagicLen + 1]) << 16) |
+      (static_cast<std::uint32_t>(data[kMagicLen + 2]) << 8) |
+      static_cast<std::uint32_t>(data[kMagicLen + 3]);
+  if (data.size() - kHeaderLen != len) {
+    return reject("length field does not match file size");
+  }
+  const crypto::Digest d =
+      crypto::Sha256::hash(BytesView(data.data() + kHeaderLen, len));
+  if (std::memcmp(d.data(), data.data() + kMagicLen + 4, 8) != 0) {
+    return reject("checksum mismatch");
+  }
+  out.valid = true;
+  out.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(kHeaderLen),
+                     data.end());
+  return out;
+}
+
+}  // namespace bgla::store

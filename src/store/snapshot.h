@@ -1,0 +1,36 @@
+// Atomic, checksummed snapshot files (the checkpoint half of the store:
+// a snapshot folds a WAL prefix into one full-state record).
+//
+// Layout: 8-byte magic "BGLASNP1" || u32 big-endian payload length ||
+// 8-byte checksum (first 8 bytes of SHA-256(payload)) || payload.
+//
+// Writes are crash-atomic: the bytes go to `<path>.tmp`, are fsynced,
+// and the tmp file is renamed over the target — a reader sees either the
+// old snapshot or the new one, never a mix. A snapshot that fails its
+// checksum (or magic, or length) on read is moved to `<path>.quarantine`
+// and reported; callers then fall back to the WAL alone.
+#pragma once
+
+#include <string>
+
+#include "util/bytes.h"
+
+namespace bgla::store {
+
+struct SnapshotRead {
+  bool found = false;   ///< a snapshot file existed
+  bool valid = false;   ///< ...and passed magic + length + checksum
+  Bytes payload;
+  std::string detail;   ///< set when found && !valid (quarantine report)
+};
+
+/// Atomically replaces the snapshot at `path`. Throws CheckError on I/O
+/// failure.
+void write_snapshot(const std::string& path, BytesView payload);
+
+/// Reads and verifies the snapshot; a corrupt file is quarantined in
+/// place (renamed aside) and reported via `detail`. Throws CheckError
+/// only on I/O errors.
+SnapshotRead read_snapshot(const std::string& path);
+
+}  // namespace bgla::store

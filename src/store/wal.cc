@@ -1,0 +1,235 @@
+#include "store/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "crypto/sha256.h"
+#include "util/check.h"
+
+namespace bgla::store {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'G', 'L', 'A', 'W', 'A', 'L', '1'};
+constexpr std::size_t kMagicLen = 8;
+constexpr std::size_t kHeaderLen = 4 + 8;  // u32 length + 8-byte checksum
+
+void checksum8(BytesView payload, std::uint8_t out[8]) {
+  const crypto::Digest d = crypto::Sha256::hash(payload);
+  std::memcpy(out, d.data(), 8);
+}
+
+Bytes read_whole_file(const std::string& path, bool* exists) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    BGLA_CHECK_MSG(errno == ENOENT,
+                   "wal open(" << path << "): " << std::strerror(errno));
+    *exists = false;
+    return {};
+  }
+  *exists = true;
+  Bytes data;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      BGLA_CHECK_MSG(false,
+                     "wal read(" << path << "): " << std::strerror(errno));
+    }
+    data.insert(data.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return data;
+}
+
+void write_whole_file(const std::string& path, BytesView data) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  BGLA_CHECK_MSG(fd >= 0,
+                 "open(" << path << "): " << std::strerror(errno));
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      BGLA_CHECK_MSG(false,
+                     "write(" << path << "): " << std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::fsync(fd);
+  ::close(fd);
+}
+
+void truncate_file(const std::string& path, std::uint64_t size) {
+  BGLA_CHECK_MSG(::truncate(path.c_str(), static_cast<off_t>(size)) == 0,
+                 "truncate(" << path << "): " << std::strerror(errno));
+}
+
+/// Moves the byte suffix [from, end) of `path` into a fresh quarantine
+/// file next to it and truncates the original. Returns the quarantine
+/// path.
+std::string quarantine_suffix(const std::string& path, const Bytes& data,
+                              std::size_t from) {
+  // Never clobber evidence from an earlier incident.
+  std::string qpath = path + ".quarantine";
+  for (int k = 1; ::access(qpath.c_str(), F_OK) == 0; ++k) {
+    qpath = path + ".quarantine." + std::to_string(k);
+  }
+  write_whole_file(
+      qpath, BytesView(data.data() + from, data.size() - from));
+  truncate_file(path, from);
+  return qpath;
+}
+
+}  // namespace
+
+WalRecovery recover_wal(const std::string& path) {
+  WalRecovery out;
+  bool exists = false;
+  const Bytes data = read_whole_file(path, &exists);
+  if (!exists || data.empty()) return out;  // no log yet: clean and empty
+
+  if (data.size() < kMagicLen ||
+      std::memcmp(data.data(), kMagic, kMagicLen) != 0) {
+    const std::string q = quarantine_suffix(path, data, 0);
+    out.quarantined = true;
+    out.truncated_bytes = data.size();
+    out.detail = "wal " + path + ": bad magic; whole file moved to " + q;
+    return out;
+  }
+
+  std::size_t pos = kMagicLen;
+  while (pos < data.size()) {
+    if (data.size() - pos < kHeaderLen) break;  // torn mid-header
+    const std::uint32_t len = (static_cast<std::uint32_t>(data[pos]) << 24) |
+                              (static_cast<std::uint32_t>(data[pos + 1]) << 16) |
+                              (static_cast<std::uint32_t>(data[pos + 2]) << 8) |
+                              static_cast<std::uint32_t>(data[pos + 3]);
+    if (len > kMaxWalRecord) {
+      // Length bomb: a complete header asking for an absurd payload.
+      const std::string q = quarantine_suffix(path, data, pos);
+      out.quarantined = true;
+      out.truncated_bytes = data.size() - pos;
+      std::ostringstream os;
+      os << "wal " << path << ": record at offset " << pos
+         << " claims length " << len << " > " << kMaxWalRecord
+         << "; suffix moved to " << q;
+      out.detail = os.str();
+      return out;
+    }
+    if (data.size() - pos - kHeaderLen < len) break;  // torn mid-payload
+    const std::uint8_t* payload = data.data() + pos + kHeaderLen;
+    std::uint8_t want[8];
+    checksum8(BytesView(payload, len), want);
+    if (std::memcmp(want, data.data() + pos + 4, 8) != 0) {
+      const std::string q = quarantine_suffix(path, data, pos);
+      out.quarantined = true;
+      out.truncated_bytes = data.size() - pos;
+      std::ostringstream os;
+      os << "wal " << path << ": checksum mismatch at offset " << pos
+         << "; suffix moved to " << q;
+      out.detail = os.str();
+      return out;
+    }
+    out.records.emplace_back(payload, payload + len);
+    pos += kHeaderLen + len;
+  }
+
+  if (pos < data.size()) {
+    // Torn tail: normal crash debris — truncate and report.
+    out.torn_tail = true;
+    out.truncated_bytes = data.size() - pos;
+    truncate_file(path, pos);
+    std::ostringstream os;
+    os << "wal " << path << ": torn tail of " << out.truncated_bytes
+       << " byte(s) truncated at offset " << pos;
+    out.detail = os.str();
+  }
+  return out;
+}
+
+WalWriter::~WalWriter() { close(); }
+
+void WalWriter::open(const std::string& path) {
+  BGLA_CHECK(fd_ < 0);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  BGLA_CHECK_MSG(fd_ >= 0,
+                 "wal open(" << path << "): " << std::strerror(errno));
+  path_ = path;
+  struct stat st{};
+  BGLA_CHECK(::fstat(fd_, &st) == 0);
+  if (st.st_size == 0) {
+    [[maybe_unused]] ssize_t r = ::write(fd_, kMagic, kMagicLen);
+    BGLA_CHECK_MSG(r == static_cast<ssize_t>(kMagicLen),
+                   "wal magic write failed: " << std::strerror(errno));
+  }
+}
+
+void WalWriter::append(BytesView payload, bool sync) {
+  BGLA_CHECK(fd_ >= 0);
+  BGLA_CHECK_MSG(payload.size() <= kMaxWalRecord,
+                 "wal record too large: " << payload.size());
+  Bytes rec(kHeaderLen + payload.size());
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  rec[0] = static_cast<std::uint8_t>(len >> 24);
+  rec[1] = static_cast<std::uint8_t>(len >> 16);
+  rec[2] = static_cast<std::uint8_t>(len >> 8);
+  rec[3] = static_cast<std::uint8_t>(len);
+  checksum8(payload, rec.data() + 4);
+  std::memcpy(rec.data() + kHeaderLen, payload.data(), payload.size());
+  std::size_t off = 0;
+  while (off < rec.size()) {
+    const ssize_t n = ::write(fd_, rec.data() + off, rec.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      BGLA_CHECK_MSG(false,
+                     "wal append(" << path_
+                                   << "): " << std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (sync) ::fsync(fd_);
+}
+
+void WalWriter::reset_to_empty() {
+  BGLA_CHECK(fd_ >= 0);
+  BGLA_CHECK_MSG(::ftruncate(fd_, 0) == 0,
+                 "wal truncate(" << path_ << "): " << std::strerror(errno));
+  [[maybe_unused]] ssize_t r = ::write(fd_, kMagic, kMagicLen);
+  BGLA_CHECK_MSG(r == static_cast<ssize_t>(kMagicLen),
+                 "wal magic rewrite failed: " << std::strerror(errno));
+  ::fsync(fd_);
+}
+
+void WalWriter::close() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string make_temp_dir(const std::string& prefix) {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = (base != nullptr && *base != '\0') ? base : "/tmp";
+  if (tmpl.back() != '/') tmpl += '/';
+  tmpl += prefix + "XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  BGLA_CHECK_MSG(::mkdtemp(buf.data()) != nullptr,
+                 "mkdtemp(" << tmpl << "): " << std::strerror(errno));
+  return std::string(buf.data());
+}
+
+}  // namespace bgla::store

@@ -1,0 +1,88 @@
+// Append-only, checksummed write-ahead log for replica-critical state.
+//
+// File layout: an 8-byte magic ("BGLAWAL1"), then records back to back:
+//   u32 big-endian payload length || 8-byte checksum || payload
+// The checksum is the first 8 bytes of SHA-256(payload) — strong enough to
+// catch torn writes and bit rot, cheap enough to pay on every append.
+//
+// Corruption policy (the contract every caller and fuzz test relies on):
+//   - A *torn tail* — the file ends mid-header or mid-payload, the normal
+//     result of a crash during append — is truncated away. Every complete,
+//     checksummed record before it is recovered; the loss is reported in
+//     WalRecovery::truncated_bytes, never silent.
+//   - A *corrupt record* — complete on disk but failing its checksum, or
+//     carrying an absurd length (a record-length bomb) — poisons everything
+//     after it: the suffix from the bad record on is moved to
+//     `<path>.quarantine` for post-mortem, the good prefix is kept, and
+//     WalRecovery::quarantined + detail report the loud failure.
+//   - A wrong or missing magic on a non-empty file quarantines the whole
+//     file.
+// Recovery never throws on file *content* (only on I/O failures like an
+// unwritable directory) and never crashes: arbitrary bytes in the log must
+// yield clean errors, not UB.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace bgla::store {
+
+/// Records larger than this are treated as corruption (length bomb), not
+/// as data — no legitimate replica state record approaches it.
+constexpr std::uint32_t kMaxWalRecord = 1u << 26;
+
+struct WalRecovery {
+  std::vector<Bytes> records;  ///< every intact record, in append order
+  bool torn_tail = false;      ///< an incomplete tail was truncated
+  bool quarantined = false;    ///< a corrupt suffix was moved aside
+  std::uint64_t truncated_bytes = 0;  ///< bytes dropped from the tail
+  std::string detail;          ///< human-readable account of any repair
+
+  /// True iff nothing needed quarantining (torn tails are normal
+  /// crash debris and do not fail recovery).
+  bool clean() const { return !quarantined; }
+};
+
+/// Scans `path`, applies the corruption policy above (truncating /
+/// quarantining in place), and returns the surviving records. A missing
+/// file is an empty, clean log. Throws CheckError only on I/O errors.
+WalRecovery recover_wal(const std::string& path);
+
+/// Appender. Open an existing log only after recover_wal() has repaired
+/// it — the writer trusts the file to end on a record boundary.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens (creating if needed) the log and seeks to its end. Throws
+  /// CheckError on I/O failure.
+  void open(const std::string& path);
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Appends one record and flushes it to the OS; with `sync`, also
+  /// fsyncs so the record survives power loss, not just process death.
+  void append(BytesView payload, bool sync = false);
+
+  /// Truncates the log to empty (after its contents were folded into a
+  /// snapshot).
+  void reset_to_empty();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Creates a unique temporary directory ("<prefix>XXXXXX" under $TMPDIR
+/// or /tmp) — shared by tests, benches and the nemesis driver.
+std::string make_temp_dir(const std::string& prefix);
+
+}  // namespace bgla::store

@@ -12,11 +12,14 @@
 #include <thread>
 #include <vector>
 
+#include "la/gwts.h"
 #include "la/sbs.h"
 #include "la/spec.h"
 #include "la/wts.h"
 #include "lattice/set_elem.h"
 #include "net/socket_transport.h"
+#include "store/replica_store.h"
+#include "util/codec.h"
 
 namespace bgla {
 namespace {
@@ -217,6 +220,201 @@ TEST(NetCluster, LossyLinksRetransmitUntilDecision) {
     views.push_back(std::move(v));
   }
   const auto res = la::check_la(views, {}, cfg.f);
+  EXPECT_TRUE(res.ok()) << res.diagnostic;
+}
+
+/// Builds the peer table of an existing cluster (bound ports included) so
+/// a replacement transport can take over a crashed node's identity: it
+/// rebinds the same port and carries a bumped incarnation so peers reset
+/// their dedup state for it.
+std::unique_ptr<net::SocketTransport> make_restarted_transport(
+    Cluster& c, std::uint32_t self, std::uint64_t incarnation) {
+  const std::uint32_t n = static_cast<std::uint32_t>(c.nodes.size());
+  net::SocketConfig cfg;
+  cfg.self = self;
+  cfg.num_processes = n;
+  cfg.auth_seed = 42;
+  cfg.retransmit_every_ms = 10;
+  cfg.incarnation = incarnation;
+  for (std::uint32_t id = 0; id < n; ++id) {
+    cfg.peers.push_back(net::PeerAddr{id, "127.0.0.1", c[id].port()});
+  }
+  auto t = std::make_unique<net::SocketTransport>(cfg);
+  t->bind_and_listen();
+  return t;
+}
+
+Bytes latest_state(store::ReplicaStore& st) {
+  return st.wal_records().empty() ? st.snapshot() : st.wal_records().back();
+}
+
+// Crash-recovery acceptance, in-process edition: an SbS replica's
+// transport dies mid-run, and a replacement process is rebuilt from its
+// durable store (snapshot+WAL), imports the state, and rejoins over the
+// catch-up exchange until it too decides. All four final views — three
+// survivors plus the restarted replica — must satisfy the one-shot spec.
+TEST(NetCluster, SbsReplicaRestartsFromDiskAndRejoins) {
+  constexpr std::uint32_t kN = 4;
+  constexpr std::uint32_t kVictim = 3;
+  la::LaConfig cfg;
+  cfg.n = kN;
+  cfg.f = 1;
+  std::vector<std::unique_ptr<crypto::SignatureAuthority>> auths;
+  for (std::uint32_t id = 0; id < kN; ++id) {
+    auths.push_back(
+        std::make_unique<crypto::SignatureAuthority>(kN, 42 ^ 0xabcdef));
+  }
+  const std::string dir = store::make_temp_dir("bgla-rejoin-");
+
+  Cluster c(kN);
+  std::vector<std::unique_ptr<la::SbsProcess>> procs;
+  for (std::uint32_t id = 0; id < kN; ++id) {
+    procs.push_back(std::make_unique<la::SbsProcess>(
+        c[id], id, cfg, *auths[id], make_set({Item{id, 100 + id, 0}})));
+  }
+  auto st = std::make_unique<store::ReplicaStore>(dir);
+  procs[kVictim]->set_persist_hook([&procs, &st] {
+    Encoder enc;
+    procs[kVictim]->export_state(enc);
+    st->persist(BytesView(enc.bytes()));
+  });
+  c.start_all();  // on_start persists, so the store is never empty
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  c[kVictim].stop();  // kill the victim's "process"
+
+  for (std::uint32_t id = 0; id < kN - 1; ++id) {
+    EXPECT_TRUE(wait_until(c[id], [&] { return procs[id]->decided(); }))
+        << "survivor p" << id << " did not decide";
+  }
+
+  // Restart: reopen the store (bumps the incarnation), rebuild the
+  // replica, import, and rejoin on a fresh transport on the same port.
+  st = std::make_unique<store::ReplicaStore>(dir);
+  const Bytes blob = latest_state(*st);
+  ASSERT_FALSE(blob.empty());
+  auto t2 = make_restarted_transport(c, kVictim, st->incarnation());
+  auto p2 = std::make_unique<la::SbsProcess>(
+      *t2, kVictim, cfg, *auths[kVictim],
+      make_set({Item{kVictim, 100 + kVictim, 0}}));
+  {
+    Decoder dec{BytesView(blob)};
+    p2->import_state(dec);
+  }
+  EXPECT_TRUE(p2->recovered());
+  t2->start();
+  EXPECT_TRUE(wait_until(*t2, [&] { return p2->decided(); }))
+      << "restarted replica did not decide";
+  c.stop_all();
+  t2->stop();
+
+  std::vector<la::LaView> views;
+  for (std::uint32_t id = 0; id < kN - 1; ++id) {
+    la::LaView v;
+    v.id = id;
+    v.proposal = procs[id]->proposal();
+    v.decision = procs[id]->decision().value;
+    v.svs = procs[id]->proposed_by();
+    views.push_back(std::move(v));
+  }
+  la::LaView v;
+  v.id = kVictim;
+  v.proposal = p2->proposal();
+  v.decision = p2->decision().value;
+  v.svs = p2->proposed_by();
+  views.push_back(std::move(v));
+  const auto res = la::check_la(views, {}, cfg.f);
+  EXPECT_TRUE(res.ok()) << res.diagnostic;
+}
+
+// Generalized edition: a GWTS replica crashes after the first decided
+// round, restarts from disk, rejoins, and then still serves *new*
+// submissions — its post-restart value and the survivors' second wave all
+// reach everyone's final decision (GLA inclusivity over the merged run).
+TEST(NetCluster, GwtsReplicaRestartsFromDiskAndServesNewSubmissions) {
+  constexpr std::uint32_t kN = 4;
+  constexpr std::uint32_t kVictim = 3;
+  la::LaConfig cfg;
+  cfg.n = kN;
+  cfg.f = 1;
+  const std::string dir = store::make_temp_dir("bgla-rejoin-");
+
+  Cluster c(kN);
+  std::vector<std::unique_ptr<la::GwtsProcess>> procs;
+  for (std::uint32_t id = 0; id < kN; ++id) {
+    procs.push_back(std::make_unique<la::GwtsProcess>(c[id], id, cfg));
+    procs[id]->submit(make_set({Item{id, 300 + id, 0}}));
+  }
+  auto st = std::make_unique<store::ReplicaStore>(dir);
+  procs[kVictim]->set_persist_hook([&procs, &st] {
+    Encoder enc;
+    procs[kVictim]->export_state(enc);
+    st->persist(BytesView(enc.bytes()));
+  });
+  c.start_all();
+
+  for (std::uint32_t id = 0; id < kN; ++id) {
+    EXPECT_TRUE(
+        wait_until(c[id], [&] { return !procs[id]->decisions().empty(); }))
+        << "p" << id << " did not decide round 1";
+  }
+  c[kVictim].stop();
+
+  st = std::make_unique<store::ReplicaStore>(dir);
+  const Bytes blob = latest_state(*st);
+  ASSERT_FALSE(blob.empty());
+  auto t2 = make_restarted_transport(c, kVictim, st->incarnation());
+  auto p2 = std::make_unique<la::GwtsProcess>(*t2, kVictim, cfg);
+  {
+    Decoder dec{BytesView(blob)};
+    p2->import_state(dec);
+  }
+  EXPECT_TRUE(p2->recovered());
+  EXPECT_FALSE(p2->submitted().empty());  // pre-crash submissions recovered
+
+  // A fresh value submitted to the *recovered* replica before it rejoins.
+  const auto fresh = make_set({Item{kVictim, 900, 0}});
+  p2->submit(fresh);
+  t2->start();
+
+  // Survivors submit a second wave while the victim is rejoining.
+  std::vector<lattice::Elem> second(kN);
+  for (std::uint32_t id = 0; id < kN - 1; ++id) {
+    second[id] = make_set({Item{id, 400 + id, 0}});
+    auto lock = c[id].dispatch_lock();
+    procs[id]->submit(second[id]);
+  }
+
+  for (std::uint32_t id = 0; id < kN - 1; ++id) {
+    EXPECT_TRUE(wait_until(c[id], [&] {
+      return !procs[id]->decisions().empty() &&
+             second[id].leq(procs[id]->decisions().back().value);
+    })) << "survivor p"
+        << id << "'s second submission never decided";
+  }
+  EXPECT_TRUE(wait_until(*t2, [&] {
+    return !p2->decisions().empty() &&
+           fresh.leq(p2->decisions().back().value);
+  })) << "recovered replica's fresh submission never decided";
+  c.stop_all();
+  t2->stop();
+
+  std::vector<la::GlaView> views;
+  for (std::uint32_t id = 0; id < kN - 1; ++id) {
+    la::GlaView v;
+    v.id = id;
+    v.submitted = procs[id]->submitted();
+    for (const auto& rec : procs[id]->decisions()) {
+      v.decisions.push_back(rec.value);
+    }
+    views.push_back(std::move(v));
+  }
+  la::GlaView v;
+  v.id = kVictim;
+  v.submitted = p2->submitted();
+  for (const auto& rec : p2->decisions()) v.decisions.push_back(rec.value);
+  views.push_back(std::move(v));
+  const auto res = la::check_gla(views, lattice::Elem(), 1);
   EXPECT_TRUE(res.ok()) << res.diagnostic;
 }
 

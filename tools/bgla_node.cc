@@ -27,7 +27,24 @@
 //   for i in $(seq 0 6); do echo "$i 127.0.0.1 $((9100+i))"; done > topo.txt
 //   bgla_node --topology topo.txt --id $I --protocol sbs --n 7 --f 1
 //     (each replica proposes a distinct default value of 100+id)
+//
+// Crash recovery (--data-dir): the node opens a store::ReplicaStore in the
+// given directory, re-imports any surviving state before the transport
+// starts (the process then rejoins via the catch-up exchange), and logs a
+// full state export after every durable protocol transition. kill -9 at
+// any point is recoverable: restart the same command line and the replica
+// resumes from disk. A data dir with quarantined corruption exits loudly
+// with status 3.
+//
+// Chaos control (--chaos-stdin): a driver (tools/bgla_nemesis) can steer
+// fault injection at runtime by writing lines to stdin:
+//   loss <rate> | delay <ms> | block-to <id> | unblock-to <id>
+//   block-from <id> | unblock-from <id> | heal
+#include <poll.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -49,6 +66,7 @@
 #include "net/socket_transport.h"
 #include "rsm/client.h"
 #include "rsm/replica.h"
+#include "store/replica_store.h"
 #include "util/flags.h"
 
 using namespace bgla;
@@ -72,6 +90,8 @@ struct Args {
   std::uint32_t run_ms = 30000;
   std::uint32_t linger_ms = 2000;
   double loss_rate = 0.0;
+  std::string data_dir;
+  bool chaos_stdin = false;
 };
 
 Args parse(int argc, char** argv) {
@@ -99,8 +119,15 @@ Args parse(int argc, char** argv) {
                 "serve acks/retransmits after finishing, before exit");
   flags.add_double("loss-rate", &a.loss_rate,
                    "injected outgoing frame loss (testing)");
+  flags.add_string("data-dir", &a.data_dir,
+                   "durable state directory (enables crash recovery)");
+  flags.add_bool("chaos-stdin", &a.chaos_stdin,
+                 "accept fault-injection commands on stdin");
   flags.parse_or_exit(argc, argv);
   if (a.topology.empty()) flags.fail("--topology is required");
+  if (!a.data_dir.empty() && a.client) {
+    flags.fail("--data-dir applies to replicas, not --client mode");
+  }
   return a;
 }
 
@@ -181,6 +208,60 @@ void print_decision(const la::DecisionRecord& rec) {
             << rec.value.to_string() << "\n";
 }
 
+/// Applies one chaos command line; unknown commands are reported, never
+/// fatal (the driver may be newer than the node).
+void apply_chaos_line(net::SocketTransport& net, const std::string& line) {
+  std::istringstream ls(line);
+  std::string cmd;
+  if (!(ls >> cmd) || cmd.empty() || cmd[0] == '#') return;
+  std::uint32_t id = 0;
+  double rate = 0.0;
+  std::uint32_t ms = 0;
+  if (cmd == "loss" && ls >> rate) {
+    net.set_loss_rate(rate);
+  } else if (cmd == "delay" && ls >> ms) {
+    net.set_send_delay_ms(ms);
+  } else if (cmd == "block-to" && ls >> id) {
+    net.set_block_outgoing(id, true);
+  } else if (cmd == "unblock-to" && ls >> id) {
+    net.set_block_outgoing(id, false);
+  } else if (cmd == "block-from" && ls >> id) {
+    net.set_block_incoming(id, true);
+  } else if (cmd == "unblock-from" && ls >> id) {
+    net.set_block_incoming(id, false);
+  } else if (cmd == "heal") {
+    net.set_loss_rate(0.0);
+    net.set_send_delay_ms(0);
+    for (std::uint32_t p = 0; p < 64; ++p) {
+      net.set_block_outgoing(p, false);
+      net.set_block_incoming(p, false);
+    }
+  } else {
+    std::cerr << "chaos: ignoring '" << line << "'\n";
+  }
+}
+
+/// Reads chaos commands from stdin until EOF or shutdown. Polls so the
+/// thread can be joined even if the driver never closes the pipe.
+void chaos_stdin_loop(net::SocketTransport& net,
+                      const std::atomic<bool>& alive) {
+  std::string buf;
+  char tmp[256];
+  while (alive.load()) {
+    pollfd pfd{0, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr <= 0) continue;
+    const ssize_t n = ::read(0, tmp, sizeof(tmp));
+    if (n <= 0) break;  // EOF: the driver closed our stdin
+    buf.append(tmp, static_cast<std::size_t>(n));
+    std::size_t nl = 0;
+    while ((nl = buf.find('\n')) != std::string::npos) {
+      apply_chaos_line(net, buf.substr(0, nl));
+      buf.erase(0, nl + 1);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -192,12 +273,34 @@ int main(int argc, char** argv) {
       a.n != 0 ? a.n : static_cast<std::uint32_t>(peers.size());
   const std::uint64_t value = a.value != 0 ? a.value : 100 + a.id;
 
+  // Durable state: open (and repair) the data dir before the transport
+  // exists, so the bumped incarnation can ride in connection HELLOs.
+  std::unique_ptr<store::ReplicaStore> store;
+  if (!a.data_dir.empty()) {
+    try {
+      store = std::make_unique<store::ReplicaStore>(a.data_dir);
+    } catch (const CheckError& e) {
+      std::cerr << "error: cannot open data dir '" << a.data_dir
+                << "': " << e.what() << "\n";
+      return 3;
+    }
+    for (const std::string& note : store->notes()) {
+      std::cerr << "store: " << note << "\n";
+    }
+    if (!store->clean()) {
+      std::cerr << "error: data dir '" << a.data_dir
+                << "' has quarantined corruption; refusing to run\n";
+      return 3;
+    }
+  }
+
   net::SocketConfig scfg;
   scfg.self = a.id;
   scfg.peers = peers;
   scfg.num_processes = num_endpoints;
   scfg.auth_seed = a.seed;
   scfg.loss_rate = a.loss_rate;
+  if (store != nullptr) scfg.incarnation = store->incarnation();
   net::SocketTransport net(scfg);
   net.bind_and_listen();
 
@@ -214,6 +317,38 @@ int main(int argc, char** argv) {
   std::function<bool()> done;
   std::function<bool()> report;
   bool completion_expected = true;
+
+  // Recovery wiring, shared by every replica protocol: import the latest
+  // intact durable record (full-state WAL: last record wins, falling back
+  // to the snapshot), then hook persistence for all later transitions.
+  // Must run before any submit() call and before net.start().
+  const auto wire_store = [&store](auto* p) -> bool {
+    if (store == nullptr) return true;
+    if (store->found()) {
+      const Bytes& latest = store->wal_records().empty()
+                                ? store->snapshot()
+                                : store->wal_records().back();
+      if (!latest.empty()) {
+        try {
+          Decoder dec{BytesView(latest)};
+          p->import_state(dec);
+        } catch (const CheckError& e) {
+          std::cerr << "error: corrupt durable state in '" << store->dir()
+                    << "': " << e.what() << "\n";
+          return false;
+        }
+        std::cout << "recovered state from " << store->dir()
+                  << " (incarnation " << store->incarnation() << ")\n";
+      }
+    }
+    store::ReplicaStore* sp = store.get();
+    p->set_persist_hook([p, sp] {
+      Encoder e;
+      p->export_state(e);
+      sp->persist(BytesView(e.bytes()));
+    });
+    return true;
+  };
 
   if (a.client) {
     if (a.id < n) {
@@ -251,6 +386,7 @@ int main(int argc, char** argv) {
     if (a.protocol == "wts") {
       auto* p = new la::WtsProcess(net, a.id, cfg, proposal);
       endpoint.reset(p);
+      if (!wire_store(p)) return 3;
       done = [p] { return p->decided(); };
       report = [p] {
         if (!p->decided()) return false;
@@ -260,6 +396,7 @@ int main(int argc, char** argv) {
     } else {
       auto* p = new la::SbsProcess(net, a.id, cfg, auth, proposal);
       endpoint.reset(p);
+      if (!wire_store(p)) return 3;
       done = [p] { return p->decided(); };
       report = [p] {
         if (!p->decided()) return false;
@@ -273,6 +410,7 @@ int main(int argc, char** argv) {
     if (a.protocol == "gwts") {
       auto* p = new la::GwtsProcess(net, a.id, cfg);
       endpoint.reset(p);
+      if (!wire_store(p)) return 3;
       for (std::uint32_t k = 0; k < a.submissions; ++k) {
         p->submit(make_set({Item{a.id, value + k, 1}}));
       }
@@ -280,6 +418,7 @@ int main(int argc, char** argv) {
     } else if (a.protocol == "gsbs") {
       auto* p = new la::GsbsProcess(net, a.id, cfg, auth);
       endpoint.reset(p);
+      if (!wire_store(p)) return 3;
       for (std::uint32_t k = 0; k < a.submissions; ++k) {
         p->submit(make_set({Item{a.id, value + k, 1}}));
       }
@@ -290,6 +429,7 @@ int main(int argc, char** argv) {
       ccfg.f = a.f;
       auto* p = new la::FaleiroProcess(net, a.id, ccfg);
       endpoint.reset(p);
+      if (!wire_store(p)) return 3;
       for (std::uint32_t k = 0; k < a.submissions; ++k) {
         p->submit(make_set({Item{a.id, value + k, 1}}));
       }
@@ -313,6 +453,7 @@ int main(int argc, char** argv) {
     auto* p = new rsm::Replica(net, a.id, cfg, /*client_base=*/n,
                                /*num_clients=*/num_endpoints - n);
     endpoint.reset(p);
+    if (!wire_store(p)) return 3;
     // A replica serves clients until the deadline; there is no local
     // notion of "finished".
     completion_expected = false;
@@ -332,6 +473,13 @@ int main(int argc, char** argv) {
 
   net.start();
 
+  std::atomic<bool> chaos_alive{true};
+  std::thread chaos_thread;
+  if (a.chaos_stdin) {
+    chaos_thread = std::thread(
+        [&net, &chaos_alive] { chaos_stdin_loop(net, chaos_alive); });
+  }
+
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(a.run_ms);
   bool finished = false;
@@ -345,6 +493,8 @@ int main(int argc, char** argv) {
   if (finished || !completion_expected) {
     std::this_thread::sleep_for(std::chrono::milliseconds(a.linger_ms));
   }
+  chaos_alive.store(false);
+  if (chaos_thread.joinable()) chaos_thread.join();
   net.stop();
 
   const bool ok = report() && (finished || !completion_expected);
