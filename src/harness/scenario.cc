@@ -137,12 +137,28 @@ CryptoReport gather_crypto(const crypto::SignatureAuthority& auth,
   return r;
 }
 
-std::optional<sim::Tracer> maybe_trace(sim::Network& net, bool trace,
-                                       bool include_broadcast) {
+/// Owns the run's Tracer and, on destruction (end of the run function),
+/// reports both suppression totals — the line-cap drops AND the
+/// broadcast-layer drops — so a filtered trace never reads as complete.
+struct TraceGuard {
+  sim::Tracer tracer;
+  TraceGuard(sim::Network& net, sim::Tracer::Options opt)
+      : tracer(net, opt) {}
+  ~TraceGuard() {
+    std::clog << "[trace] " << tracer.lines() << " line(s), "
+              << tracer.suppressed() << " suppressed past the line cap, "
+              << tracer.suppressed_broadcast()
+              << " broadcast-layer line(s) filtered (rerun with "
+                 "--trace-broadcast to see them)\n";
+  }
+};
+
+std::optional<TraceGuard> maybe_trace(sim::Network& net, bool trace,
+                                      bool include_broadcast) {
   if (!trace) return std::nullopt;
   sim::Tracer::Options opt;
   opt.include_broadcast = include_broadcast;
-  return std::make_optional<sim::Tracer>(net, opt);
+  return std::make_optional<TraceGuard>(net, opt);
 }
 }  // namespace
 
@@ -212,6 +228,7 @@ WtsReport run_wts(const WtsScenario& sc) {
   for (ProcessId id = 0; id < correct_count; ++id) {
     correct.push_back(std::make_unique<la::WtsProcess>(
         net, id, cfg, correct_proposal(id)));
+    correct.back()->set_instrument(sc.instrument);
   }
   for (ProcessId id = correct_count; id < sc.n; ++id) {
     const Adversary a = !sc.mixed.empty()
@@ -290,6 +307,7 @@ GwtsReport run_gwts(const GwtsScenario& sc) {
 
   for (ProcessId id = 0; id < correct_count; ++id) {
     correct.push_back(std::make_unique<la::GwtsProcess>(net, id, cfg));
+    correct.back()->set_instrument(sc.instrument);
   }
   for (ProcessId id = correct_count; id < sc.n; ++id) {
     const Adversary a = !sc.mixed.empty()
@@ -412,6 +430,7 @@ SbsReport run_sbs(const SbsScenario& sc) {
   for (ProcessId id = 0; id < correct_count; ++id) {
     correct.push_back(std::make_unique<la::SbsProcess>(
         net, id, cfg, auth, correct_proposal(id)));
+    correct.back()->set_instrument(sc.instrument);
   }
   for (ProcessId id = correct_count; id < sc.n; ++id) {
     switch (sc.adversary) {
@@ -541,6 +560,7 @@ GsbsReport run_gsbs(const GsbsScenario& sc) {
   for (ProcessId id = 0; id < correct_count; ++id) {
     correct.push_back(
         std::make_unique<la::GsbsProcess>(net, id, cfg, auth));
+    correct.back()->set_instrument(sc.instrument);
   }
   for (ProcessId id = correct_count; id < sc.n; ++id) {
     switch (sc.adversary) {
@@ -653,6 +673,7 @@ FaleiroReport run_faleiro(const FaleiroScenario& sc) {
   for (ProcessId id = 0; id < sc.n - byz; ++id) {
     procs.push_back(std::make_unique<la::FaleiroProcess>(
         net, id, cfg, correct_proposal(id)));
+    procs.back()->set_instrument(sc.instrument);
     if (id >= live_count) {
       procs.back()->crash_at(/*t=*/150);  // mid-run crash
     }
@@ -733,6 +754,7 @@ RsmReport run_rsm(const RsmScenario& sc) {
   for (ProcessId id = 0; id < correct_replicas; ++id) {
     replicas.push_back(std::make_unique<rsm::Replica>(
         net, id, cfg, client_base, total_clients));
+    replicas.back()->set_instrument(sc.instrument);
   }
   for (ProcessId id = correct_replicas; id < sc.n; ++id) {
     byz_procs.push_back(std::make_unique<rsm::FakeDeciderReplica>(

@@ -16,6 +16,10 @@
 #include "sim/delay.h"
 #include "sim/metrics.h"
 
+namespace bgla::obs {
+class Instrument;  // obs/instrument.h — optional metrics/trace sink
+}
+
 namespace bgla::harness {
 
 /// Byzantine strategy selector (see byz/strategies.h for semantics).
@@ -69,6 +73,7 @@ struct WtsScenario {
   std::uint64_t max_events = 20'000'000;
   bool trace = false;            ///< print each delivery (sim::Tracer)
   bool trace_broadcast = false;  ///< include RB internals in the trace
+  obs::Instrument* instrument = nullptr;  ///< hooks for correct processes
 };
 
 struct WtsReport {
@@ -105,6 +110,7 @@ struct GwtsScenario {
   std::uint64_t max_events = 50'000'000;
   bool trace = false;
   bool trace_broadcast = false;
+  obs::Instrument* instrument = nullptr;  ///< hooks for correct processes
 };
 
 struct GwtsReport {
@@ -140,6 +146,7 @@ struct SbsScenario {
   std::uint64_t max_events = 20'000'000;
   bool trace = false;
   bool trace_broadcast = false;
+  obs::Instrument* instrument = nullptr;  ///< hooks for correct processes
 };
 
 struct SbsReport {
@@ -174,6 +181,7 @@ struct GsbsScenario {
   std::uint64_t max_events = 50'000'000;
   bool trace = false;
   bool trace_broadcast = false;
+  obs::Instrument* instrument = nullptr;  ///< hooks for correct processes
 };
 
 struct GsbsReport {
@@ -206,6 +214,7 @@ struct FaleiroScenario {
   std::uint64_t max_events = 20'000'000;
   bool trace = false;
   bool trace_broadcast = false;
+  obs::Instrument* instrument = nullptr;  ///< hooks for correct processes
 };
 
 struct FaleiroReport {
@@ -236,6 +245,7 @@ struct RsmScenario {
   std::uint64_t max_events = 80'000'000;
   bool trace = false;
   bool trace_broadcast = false;
+  obs::Instrument* instrument = nullptr;  ///< hooks for correct processes
 };
 
 struct RsmReport {

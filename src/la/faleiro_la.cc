@@ -16,6 +16,7 @@ FaleiroProcess::FaleiroProcess(net::Transport& net, ProcessId id,
 void FaleiroProcess::submit(Elem value) {
   submitted_.push_back(value);
   pending_ = pending_.join(std::move(value));
+  obs_submit(1);
   persist();
   if (started_ && state_ == State::kIdle && !rejoining_ && !crashed()) {
     begin_proposal();
@@ -46,6 +47,7 @@ void FaleiroProcess::begin_proposal() {
 }
 
 void FaleiroProcess::broadcast_proposal() {
+  obs_propose(/*proposal=*/decided_rounds_, /*round=*/ts_);
   send_to_group(cfg_.n, std::make_shared<FAckReqMsg>(proposed_set_, ts_));
 }
 
@@ -58,6 +60,7 @@ void FaleiroProcess::on_message(ProcessId from, const sim::MessagePtr& msg) {
   } else if (const auto* m = dynamic_cast<const FAckMsg*>(msg.get())) {
     handle_ack(from, *m);
   } else if (const auto* m = dynamic_cast<const FNackMsg*>(msg.get())) {
+    if (state_ == State::kProposing && m->ts == ts_) obs_nack(from);
     handle_nack(*m);
   } else if (const auto* m = dynamic_cast<const CatchupReqMsg*>(msg.get())) {
     handle_catchup_req(from, *m);
@@ -80,6 +83,7 @@ void FaleiroProcess::handle_ack_req(ProcessId from, const FAckReqMsg& m) {
 
 void FaleiroProcess::handle_ack(ProcessId from, const FAckMsg& m) {
   if (state_ != State::kProposing || m.ts != ts_) return;
+  obs_ack(from);
   ack_set_.insert(from);
   if (ack_set_.size() >= cfg_.quorum()) decide();
 }
@@ -92,6 +96,7 @@ void FaleiroProcess::handle_nack(const FNackMsg& m) {
     ++ts_;
     ++stats_.refinements;
     ack_set_.clear();
+    obs_refine(/*proposal=*/decided_rounds_, stats_.refinements);
     persist();
     broadcast_proposal();
   }
@@ -105,6 +110,7 @@ void FaleiroProcess::decide() {
   rec.round = decided_rounds_++;
   decisions_.push_back(rec);
   state_ = State::kIdle;
+  obs_decide(/*proposal=*/rec.round, rec.round, stats_.refinements);
   persist();
   if (decide_hook_) decide_hook_(*this, rec);
   if (!pending_.is_bottom() && !crashed()) begin_proposal();
@@ -143,6 +149,7 @@ void FaleiroProcess::rejoin() {
   pending_ = pending_.join(proposed_set_);
   state_ = State::kIdle;
   rejoining_ = true;
+  obs_rejoin_start();
   catchup_replies_.clear();
   if (cfg_.n == 1) {
     finish_rejoin();
@@ -156,6 +163,7 @@ void FaleiroProcess::rejoin() {
 
 void FaleiroProcess::finish_rejoin() {
   rejoining_ = false;
+  obs_rejoin_done();
   persist();
   if (!pending_.is_bottom() && !crashed()) begin_proposal();
 }

@@ -20,6 +20,7 @@ void GsbsProcess::submit(Elem value) {
   BGLA_CHECK_MSG(cfg_.admissible(value), "GSbS: submitted value ∉ E");
   submitted_.push_back(value);
   pending_batch_ = pending_batch_.join(value);
+  obs_submit(1);
   persist();
 }
 
@@ -42,6 +43,7 @@ void GsbsProcess::start_round() {
   state_ = State::kInit;
   refinements_this_round_ = 0;
   ++stats_.rounds_joined;
+  obs_round_advance(round_);
 
   Elem b = pending_batch_;
   pending_batch_ = Elem();
@@ -75,6 +77,9 @@ void GsbsProcess::on_message(ProcessId from, const sim::MessagePtr& msg) {
   } else if (const auto* m = dynamic_cast<const GSAckMsg*>(msg.get())) {
     handle_ack(from, *m, msg);
   } else if (const auto* m = dynamic_cast<const GSNackMsg*>(msg.get())) {
+    if (state_ == State::kProposing && m->ts == ts_ && m->round == round_) {
+      obs_nack(from);
+    }
     handle_nack(*m);
   } else if (dynamic_cast<const GSDecidedMsg*>(msg.get()) != nullptr) {
     handle_cert(msg);
@@ -171,6 +176,7 @@ void GsbsProcess::maybe_start_proposing() {
 }
 
 void GsbsProcess::broadcast_proposal() {
+  obs_propose(/*proposal=*/round_, round_);
   send_to_group(cfg_.n,
                 std::make_shared<GSAckReqMsg>(proposed_, ts_, round_));
 }
@@ -229,6 +235,7 @@ void GsbsProcess::handle_ack(ProcessId from, const GSAckMsg& m,
   if (m.fp != proposed_.fingerprint()) return;
   if (!m.verify(auth_)) return;
   if (!ack_senders_.insert(from).second) return;
+  obs_ack(from);
   collected_acks_.push_back(std::static_pointer_cast<const GSAckMsg>(self));
   if (collected_acks_.size() < cfg_.quorum()) return;
 
@@ -259,6 +266,7 @@ void GsbsProcess::handle_nack(const GSNackMsg& m) {
   ++refinements_this_round_;
   stats_.max_round_refinements =
       std::max(stats_.max_round_refinements, refinements_this_round_);
+  obs_refine(/*proposal=*/round_, refinements_this_round_);
   persist();
   broadcast_proposal();
 }
@@ -317,6 +325,7 @@ void GsbsProcess::decide_with(const SafeBatchSet& set) {
   rec.round = round_;
   decisions_.push_back(rec);
   decided_ = set;
+  obs_decide(/*proposal=*/round_, round_, refinements_this_round_);
   persist();
   if (decide_hook_) decide_hook_(*this, rec);
   start_round();
@@ -407,6 +416,7 @@ void GsbsProcess::rejoin() {
   }
   state_ = State::kInit;
   rejoining_ = true;
+  obs_rejoin_start();
   catchup_replies_.clear();
   catchup_frontier_ = round_;
   if (cfg_.n == 1) {
@@ -420,6 +430,7 @@ void GsbsProcess::rejoin() {
 
 void GsbsProcess::finish_rejoin() {
   rejoining_ = false;
+  obs_rejoin_done();
   // SignedBatch signatures bind the round: re-signing a different batch at
   // a round we already used would look like equivocation. Jump strictly
   // above our own disk round and every peer-reported frontier so the next

@@ -34,6 +34,7 @@ void GwtsProcess::submit(Elem value) {
   // Alg 3 L9-10: goes into the next round's batch.
   submitted_.push_back(value);
   pending_batch_ = pending_batch_.join(value);
+  obs_submit(1);
   persist();
 }
 
@@ -60,6 +61,7 @@ void GwtsProcess::start_new_round(std::optional<std::uint64_t> jump_to) {
   state_ = State::kDisclosing;
   refinements_this_round_ = 0;
   ++stats_.rounds_joined;
+  obs_round_advance(round_);
 
   Elem b = pending_batch_;
   pending_batch_ = Elem();
@@ -148,6 +150,7 @@ void GwtsProcess::maybe_start_proposing() {
 }
 
 void GwtsProcess::broadcast_proposal() {
+  obs_propose(/*proposal=*/round_, round_);
   send_to_group(cfg_.n,
                 std::make_shared<GAckReqMsg>(proposed_set_, ts_, round_));
 }
@@ -188,6 +191,7 @@ bool GwtsProcess::try_process(ProcessId from, const sim::MessagePtr& msg) {
       return false;
     }
     if (!safe(m->accepted)) return false;
+    obs_nack(from);
     handle_nack(*m);
     return true;
   }
@@ -233,6 +237,7 @@ void GwtsProcess::handle_nack(const GNackMsg& m) {
     ++refinements_this_round_;
     stats_.max_round_refinements =
         std::max(stats_.max_round_refinements, refinements_this_round_);
+    obs_refine(/*proposal=*/round_, refinements_this_round_);
     persist();
     broadcast_proposal();
   }
@@ -240,6 +245,7 @@ void GwtsProcess::handle_nack(const GNackMsg& m) {
 
 void GwtsProcess::record_ack(ProcessId origin, const GAckMsg& m) {
   // Alg 3 L37-38 / Alg 4 L15-16 (shared Ack_history).
+  if (m.destination == id()) obs_ack(origin);
   AckKey key;
   key.value_digest = m.accepted.digest();
   key.destination = m.destination;
@@ -290,6 +296,7 @@ void GwtsProcess::decide(const Elem& value) {
   rec.round = round_;
   decisions_.push_back(rec);
   decided_set_ = value;
+  obs_decide(/*proposal=*/round_, round_, refinements_this_round_);
   if (decide_hook_) decide_hook_(*this, rec);
   collect_garbage();
   start_new_round();
@@ -440,6 +447,7 @@ void GwtsProcess::rejoin() {
   }
   state_ = State::kDisclosing;
   rejoining_ = true;
+  obs_rejoin_start();
   catchup_replies_.clear();
   catchup_frontier_ = round_;
   if (cfg_.n == 1) {
@@ -454,6 +462,7 @@ void GwtsProcess::rejoin() {
 
 void GwtsProcess::finish_rejoin() {
   rejoining_ = false;
+  obs_rejoin_done();
   // Crash-trust: a responder in round r has seen every round < r end, so
   // the largest reported frontier bounds the legitimately ended prefix.
   // (Byzantine-hardened state transfer — justifying the frontier with the

@@ -137,6 +137,7 @@ void SbsProcess::maybe_start_proposing() {
 }
 
 void SbsProcess::broadcast_proposal() {
+  obs_propose(/*proposal=*/0, /*round=*/ts_);
   send_to_group(cfg_.n, std::make_shared<SAckReqMsg>(proposed_set_, ts_));
 }
 
@@ -187,6 +188,7 @@ void SbsProcess::handle_ack(ProcessId from, const SAckMsg& m) {
   // Alg 8 L33-38.
   if (state_ != State::kProposing || m.ts != ts_) return;
   if (m.accepted.same_as(proposed_set_) && !byz_[from]) {
+    obs_ack(from);
     ack_set_.insert(from);
     if (ack_set_.size() >= cfg_.quorum()) decide();
   } else {
@@ -197,6 +199,7 @@ void SbsProcess::handle_ack(ProcessId from, const SAckMsg& m) {
 void SbsProcess::handle_nack(ProcessId from, const SNackMsg& m) {
   // Alg 8 L39-47.
   if (state_ != State::kProposing || m.ts != ts_) return;
+  obs_nack(from);
   const SafeValueSet merged = m.accepted.unioned(proposed_set_);
   if (!merged.same_as(proposed_set_) && !byz_[from] &&
       all_safe(m.accepted, cfg_, auth_, &verified_acks_,
@@ -205,6 +208,7 @@ void SbsProcess::handle_nack(ProcessId from, const SNackMsg& m) {
     ack_set_.clear();
     ++ts_;
     ++stats_.refinements;
+    obs_refine(/*proposal=*/0, stats_.refinements);
     persist();
     broadcast_proposal();
   } else {
@@ -221,6 +225,7 @@ void SbsProcess::decide() {
   rec.time = net().now();
   rec.depth = net().current_depth();
   decision_ = rec;
+  obs_decide(/*proposal=*/0, /*round=*/0, stats_.refinements);
   persist();
 }
 
@@ -298,6 +303,7 @@ void SbsProcess::import_state(Decoder& dec) {
 }
 
 void SbsProcess::rejoin() {
+  obs_rejoin_start();
   switch (state_) {
     case State::kInit: {
       // Byte-identical re-init (the HMAC signature is deterministic), so
@@ -324,6 +330,7 @@ void SbsProcess::rejoin() {
     case State::kDecided:
       break;  // acceptor role continues from the persisted sets
   }
+  obs_rejoin_done();
 }
 
 }  // namespace bgla::la

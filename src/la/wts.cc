@@ -100,6 +100,7 @@ void WtsProcess::maybe_start_proposing() {
 }
 
 void WtsProcess::broadcast_proposal() {
+  obs_propose(/*proposal=*/0, /*round=*/ts_);
   send_to_group(cfg_.n,
                 std::make_shared<AckReqMsg>(proposed_set_, ts_));
 }
@@ -160,18 +161,21 @@ void WtsProcess::handle_ack_req(ProcessId from, const AckReqMsg& m) {
 
 void WtsProcess::handle_ack(ProcessId from, const AckMsg&) {
   // Alg 1 L22-24.
+  obs_ack(from);
   ack_set_.insert(from);
   if (ack_set_.size() >= cfg_.quorum()) decide();  // Alg 1 L32 guard
 }
 
-void WtsProcess::handle_nack(ProcessId, const NackMsg& m) {
+void WtsProcess::handle_nack(ProcessId from, const NackMsg& m) {
   // Alg 1 L25-31.
+  obs_nack(from);
   const Elem merged = proposed_set_.join(m.accepted);
   if (merged != proposed_set_) {
     proposed_set_ = merged;
     ack_set_.clear();
     ++ts_;
     ++stats_.refinements;
+    obs_refine(/*proposal=*/0, stats_.refinements);
     persist();
     broadcast_proposal();
   }
@@ -186,6 +190,7 @@ void WtsProcess::decide() {
   rec.time = net().now();
   rec.depth = net().current_depth();
   decision_ = rec;
+  obs_decide(/*proposal=*/0, /*round=*/0, stats_.refinements);
   persist();
   if (decide_hook_) decide_hook_(*this);
 }
@@ -234,6 +239,7 @@ void WtsProcess::import_state(Decoder& dec) {
 }
 
 void WtsProcess::rejoin() {
+  obs_rejoin_start();
   switch (state_) {
     case State::kDisclosing:
       // Re-broadcast the disclosure under its (only) tag: the bytes are
@@ -262,6 +268,7 @@ void WtsProcess::rejoin() {
     case State::kDecided:
       break;  // acceptor role continues from the persisted sets
   }
+  obs_rejoin_done();
 }
 
 }  // namespace bgla::la

@@ -103,6 +103,33 @@ Time SocketTransport::now() const {
 
 void SocketTransport::request_stop() { stop_flag_.store(true); }
 
+void SocketTransport::set_observability(obs::Registry* registry,
+                                        obs::TraceWriter* trace) {
+  BGLA_CHECK_MSG(!started_, "set_observability after start");
+  trace_ = trace;
+  if (registry == nullptr) return;
+  obs_frames_dropped_ = &registry->counter("bgla_net_frames_dropped_total");
+  obs_reconnects_ = &registry->counter("bgla_net_reconnects_total");
+  for (const auto& [id, ob] : outboxes_) {
+    const std::string peer_label =
+        "{peer=\"" + std::to_string(id) + "\"}";
+    PeerObs po;
+    po.frames_sent =
+        &registry->counter("bgla_net_frames_sent_total" + peer_label);
+    po.frames_recv =
+        &registry->counter("bgla_net_frames_recv_total" + peer_label);
+    po.retransmits =
+        &registry->counter("bgla_net_frames_retransmitted_total" +
+                           peer_label);
+    po.dups =
+        &registry->counter("bgla_net_dups_suppressed_total" + peer_label);
+    po.rtt_us = &registry->histogram("bgla_net_frame_rtt_us" + peer_label);
+    po.backoff_attempts = &registry->gauge(
+        "bgla_net_reconnect_backoff_attempts_total" + peer_label);
+    peer_obs_.emplace(id, po);
+  }
+}
+
 void SocketTransport::set_block_outgoing(ProcessId to, bool blocked) {
   BGLA_CHECK_MSG(to < 64, "block mask covers process ids < 64");
   if (blocked) {
@@ -155,9 +182,15 @@ void SocketTransport::send(ProcessId from, ProcessId to,
   BGLA_CHECK_MSG(it != outboxes_.end(), "send to unknown peer " << to);
   Outbox& ob = *it->second;
   {
+    auto po = peer_obs_.find(to);
+    if (po != peer_obs_.end()) po->second.frames_sent->inc();
+  }
+  {
     std::lock_guard<std::mutex> lk(ob.mu);
     const std::uint64_t seq = ob.next_seq++;
-    ob.unacked.emplace(seq, build_frame(kData, to, seq, msg->encoded()));
+    ob.unacked.emplace(
+        seq, UnackedFrame{build_frame(kData, to, seq, msg->encoded()),
+                          now()});
   }
   if (ob.wake_pipe[1] >= 0) {
     const char b = 1;
@@ -212,7 +245,8 @@ void SocketTransport::set_peer_port(ProcessId id, std::uint16_t port) {
   BGLA_CHECK_MSG(false, "unknown peer id " << id);
 }
 
-int SocketTransport::dial(const PeerAddr& addr, Backoff& backoff) {
+int SocketTransport::dial(const PeerAddr& addr, Backoff& backoff,
+                          obs::Gauge* attempts_gauge) {
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
   sa.sin_port = htons(addr.port);
@@ -227,6 +261,7 @@ int SocketTransport::dial(const PeerAddr& addr, Backoff& backoff) {
       return fd;
     }
     if (fd >= 0) ::close(fd);
+    if (attempts_gauge != nullptr) attempts_gauge->add(1);
     // Sleep the backoff delay in short slices so stop() stays responsive
     // even at the 2s cap.
     std::uint32_t left = backoff.next_ms();
@@ -415,12 +450,16 @@ void SocketTransport::inbound_loop(int fd) {
       }
     }
     if (fresh) {
+      auto po = peer_obs_.find(from);
+      if (po != peer_obs_.end()) po->second.frames_recv->inc();
       sim::MessagePtr msg = decode_message(BytesView(f->payload));
       if (msg != nullptr) enqueue_delivery(from, std::move(msg));
       // Undecodable payload from an authenticated peer: Byzantine or
       // corrupt — dropped, but still acked so it is not retransmitted.
     } else {
       dups_suppressed_.fetch_add(1);
+      auto po = peer_obs_.find(from);
+      if (po != peer_obs_.end()) po->second.dups->inc();
     }
     if (((block_out_mask_.load(std::memory_order_relaxed) >> from) & 1) !=
         0) {
@@ -442,7 +481,10 @@ void SocketTransport::inbound_loop(int fd) {
 void SocketTransport::sender_loop(ProcessId to) {
   Outbox& ob = *outboxes_.at(to);
   const PeerAddr addr = peer(to);
+  const auto po_it = peer_obs_.find(to);
+  PeerObs* po = po_it == peer_obs_.end() ? nullptr : &po_it->second;
   int fd = -1;
+  bool connected_before = false;
   Backoff backoff(Backoff::Params{
       .initial_ms = cfg_.connect_retry_ms,
       .max_ms = cfg_.connect_retry_max_ms,
@@ -463,8 +505,12 @@ void SocketTransport::sender_loop(ProcessId to) {
 
   while (running_.load()) {
     if (fd < 0) {
-      fd = dial(addr, backoff);
+      fd = dial(addr, backoff, po == nullptr ? nullptr : po->backoff_attempts);
       if (fd < 0) break;  // stopping
+      if (connected_before && obs_reconnects_ != nullptr) {
+        obs_reconnects_->inc();
+      }
+      connected_before = true;
       // The HELLO's seq field carries our incarnation (see SocketConfig).
       if (!write_frame(fd, build_frame(kHello, to, cfg_.incarnation, {}),
                        nullptr,
@@ -482,12 +528,15 @@ void SocketTransport::sender_loop(ProcessId to) {
         // frames stay queued and a later retransmit tick sends them).
         if (((block_out_mask_.load(std::memory_order_relaxed) >> to) & 1) ==
             0) {
+          std::uint64_t resent = 0;
           for (const auto& [seq, frame] : ob.unacked) {
-            if (!write_frame(fd, frame, &ob.loss_rng, false)) {
+            if (!write_frame(fd, frame.body, &ob.loss_rng, false)) {
               ok = false;
               break;
             }
+            if (seq < ob.next_unsent) ++resent;
           }
+          if (po != nullptr && resent > 0) po->retransmits->inc(resent);
         }
         ob.next_unsent = ob.next_seq;
       }
@@ -518,7 +567,13 @@ void SocketTransport::sender_loop(ProcessId to) {
             parse_frame_body(*body, authority_, crypto_mu_, cfg_.self);
         if (f && f->kind == kAck && f->from == to) {
           std::lock_guard<std::mutex> lk(ob.mu);
-          ob.unacked.erase(f->seq);
+          const auto acked = ob.unacked.find(f->seq);
+          if (acked != ob.unacked.end()) {
+            if (po != nullptr) {
+              po->rtt_us->observe(now() - acked->second.enqueued_us);
+            }
+            ob.unacked.erase(acked);
+          }
         }
       }
     } else if (pr > 0 && (fds[0].revents & (POLLHUP | POLLERR)) != 0) {
@@ -527,18 +582,32 @@ void SocketTransport::sender_loop(ProcessId to) {
 
     if (!dead &&
         ((block_out_mask_.load(std::memory_order_relaxed) >> to) & 1) == 0) {
-      std::lock_guard<std::mutex> lk(ob.mu);
-      // Timeout tick: retransmit everything unacknowledged. Wake: flush
-      // only frames that never hit the wire.
-      auto it = (pr == 0) ? ob.unacked.begin()
-                          : ob.unacked.lower_bound(ob.next_unsent);
-      for (; it != ob.unacked.end(); ++it) {
-        if (!write_frame(fd, it->second, &ob.loss_rng, false)) {
-          dead = true;
-          break;
+      std::uint64_t resent = 0;
+      {
+        std::lock_guard<std::mutex> lk(ob.mu);
+        // Timeout tick: retransmit everything unacknowledged. Wake: flush
+        // only frames that never hit the wire.
+        auto it = (pr == 0) ? ob.unacked.begin()
+                            : ob.unacked.lower_bound(ob.next_unsent);
+        for (; it != ob.unacked.end(); ++it) {
+          if (!write_frame(fd, it->second.body, &ob.loss_rng, false)) {
+            dead = true;
+            break;
+          }
+          if (it->first < ob.next_unsent) ++resent;
+        }
+        ob.next_unsent = ob.next_seq;
+      }
+      if (resent > 0) {
+        if (po != nullptr) po->retransmits->inc(resent);
+        if (trace_ != nullptr) {
+          obs::TraceEvent ev;
+          ev.kind = obs::EventKind::kRetransmit;
+          ev.node = cfg_.self;
+          trace_->record(std::move(
+              ev.with("peer", to).with("frames", resent)));
         }
       }
-      ob.next_unsent = ob.next_seq;
     }
     if (dead) drop_connection();
   }

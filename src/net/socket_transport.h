@@ -148,6 +148,12 @@ class SocketTransport final : public Transport {
   /// Duplicate DATA frames suppressed by receive-side dedup.
   std::uint64_t dups_suppressed() const { return dups_suppressed_.load(); }
 
+  /// Attaches the observability sinks (both optional; call before start()).
+  /// With a registry the transport records per-peer send/recv/retransmit/
+  /// dedup counters, frame-RTT histograms and reconnect-backoff attempt
+  /// gauges; with a trace writer each retransmit tick emits one event.
+  void set_observability(obs::Registry* registry, obs::TraceWriter* trace);
+
   // -- Runtime chaos knobs (thread-safe; used by the nemesis driver).
   //    Blocking a peer silences DATA/ACK frames in that direction only —
   //    the perfect-link retransmission machinery heals once unblocked, so
@@ -158,9 +164,14 @@ class SocketTransport final : public Transport {
   void set_block_incoming(ProcessId from, bool blocked);
 
  private:
+  struct UnackedFrame {
+    Bytes body;
+    std::uint64_t enqueued_us = 0;  // now() at send(); RTT is measured
+                                    // enqueue -> ACK, spanning retransmits
+  };
   struct Outbox {  // per destination peer (one dialed connection)
     std::mutex mu;
-    std::map<std::uint64_t, Bytes> unacked;  // seq -> DATA frame body
+    std::map<std::uint64_t, UnackedFrame> unacked;  // seq -> DATA frame
     std::uint64_t next_seq = 0;
     std::uint64_t next_unsent = 0;  // frames >= this never hit the wire yet
     int fd = -1;           // current outgoing socket (sender thread's own)
@@ -176,6 +187,14 @@ class SocketTransport final : public Transport {
     ProcessId from = kNoProcess;
     sim::MessagePtr msg;
   };
+  struct PeerObs {  // cached registry handles, resolved once per peer
+    obs::Counter* frames_sent = nullptr;
+    obs::Counter* frames_recv = nullptr;
+    obs::Counter* retransmits = nullptr;
+    obs::Counter* dups = nullptr;
+    obs::Histogram* rtt_us = nullptr;
+    obs::Gauge* backoff_attempts = nullptr;
+  };
 
   const PeerAddr& peer(ProcessId id) const;
   Bytes build_frame(std::uint8_t kind, ProcessId to, std::uint64_t seq,
@@ -183,7 +202,8 @@ class SocketTransport final : public Transport {
   bool write_frame(int fd, const Bytes& body, std::uint64_t* loss_rng,
                    bool lossless);
   std::optional<Bytes> read_frame(int fd);
-  int dial(const PeerAddr& addr, class Backoff& backoff);
+  int dial(const PeerAddr& addr, class Backoff& backoff,
+           obs::Gauge* attempts_gauge);
 
   void enqueue_delivery(ProcessId from, sim::MessagePtr msg);
   void accept_loop();
@@ -218,6 +238,13 @@ class SocketTransport final : public Transport {
   std::atomic<bool> stop_flag_{false};
   std::atomic<std::uint64_t> frames_dropped_{0};
   std::atomic<std::uint64_t> dups_suppressed_{0};
+
+  // Observability (optional; peer_obs_ is immutable after
+  // set_observability, its handles are internally atomic).
+  obs::TraceWriter* trace_ = nullptr;
+  std::map<ProcessId, PeerObs> peer_obs_;
+  obs::Counter* obs_frames_dropped_ = nullptr;
+  obs::Counter* obs_reconnects_ = nullptr;
 
   // Chaos knobs (peer-id bitmasks; ids are bounded by the 64-process
   // deployments the tools drive — enforced in the setters).

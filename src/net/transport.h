@@ -29,6 +29,9 @@
 // this is the determinism boundary documented in docs/ARCHITECTURE.md).
 #pragma once
 
+#include <chrono>
+
+#include "obs/instrument.h"
 #include "sim/message.h"
 #include "util/check.h"
 #include "util/ids.h"
@@ -82,6 +85,13 @@ class Endpoint {
 
   ProcessId id() const { return id_; }
 
+  /// Attaches the shared observability hook (metrics registry + optional
+  /// trace writer). May be null (the default): every obs_* helper below
+  /// is then a single-branch no-op, which is what keeps tracing-off
+  /// overhead near zero. One Instrument can serve many endpoints — the
+  /// node id travels with each call.
+  void set_instrument(obs::Instrument* instrument) { obs_ = instrument; }
+
   /// Called once when the run starts (time 0, depth 0).
   virtual void on_start() {}
 
@@ -97,18 +107,87 @@ class Endpoint {
 
   /// Point-to-point send under this endpoint's own identity.
   void send(ProcessId to, sim::MessagePtr msg) {
+    if (obs_ != nullptr && to != id_) obs_->on_send(id_);
     transport_->send(id_, to, std::move(msg));
   }
 
   /// Best-effort broadcast: point-to-point send to every process in
   /// [0, count); includes self (depth-neutral, not metered).
   void send_to_group(std::uint32_t count, const sim::MessagePtr& msg) {
+    if (obs_ != nullptr && count > 0) {
+      obs_->on_send(id_, id_ < count ? count - 1 : count);
+    }
     for (ProcessId to = 0; to < count; ++to) transport_->send(id_, to, msg);
+  }
+
+  // ---- observability helpers (no-ops without an attached Instrument;
+  // protocols call these at their transition points) ----
+
+  obs::Instrument* obs() { return obs_; }
+
+  void obs_propose(std::uint64_t proposal, std::uint64_t round) {
+    if (obs_ != nullptr) {
+      if (obs_active_since_us_ == 0) obs_active_since_us_ = obs_steady_us();
+      obs_->on_propose(id_, proposal, round);
+    }
+  }
+  void obs_submit(std::uint64_t count) {
+    if (obs_ != nullptr) obs_->on_submit(id_, count);
+  }
+  void obs_ack(ProcessId from) {
+    if (obs_ != nullptr) obs_->on_ack(id_, from);
+  }
+  void obs_nack(ProcessId from) {
+    if (obs_ != nullptr) obs_->on_nack(id_, from);
+  }
+  void obs_refine(std::uint64_t proposal, std::uint64_t refinements) {
+    if (obs_ != nullptr) obs_->on_refine(id_, proposal, refinements);
+  }
+  void obs_round_advance(std::uint64_t round) {
+    if (obs_ != nullptr) obs_->on_round_advance(id_, round);
+  }
+  /// Decide latency is measured from the first obs_propose of the current
+  /// proposal (the stamp resets here, so round-based protocols measure
+  /// per-decision, not since process start).
+  void obs_decide(std::uint64_t proposal, std::uint64_t round,
+                  std::uint64_t refinements) {
+    if (obs_ != nullptr) {
+      const std::uint64_t now = obs_steady_us();
+      const std::uint64_t latency =
+          obs_active_since_us_ == 0 ? 0 : now - obs_active_since_us_;
+      obs_active_since_us_ = 0;
+      obs_->on_decide(id_, proposal, round, refinements, latency);
+    }
+  }
+  void obs_rejoin_start() {
+    if (obs_ != nullptr) {
+      obs_rejoin_since_us_ = obs_steady_us();
+      obs_->on_rejoin_start(id_);
+    }
+  }
+  void obs_rejoin_done() {
+    if (obs_ != nullptr) {
+      const std::uint64_t now = obs_steady_us();
+      const std::uint64_t latency =
+          obs_rejoin_since_us_ == 0 ? 0 : now - obs_rejoin_since_us_;
+      obs_rejoin_since_us_ = 0;
+      obs_->on_rejoin_done(id_, latency);
+    }
+  }
+
+  static std::uint64_t obs_steady_us() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
   }
 
  private:
   Transport* transport_;
   ProcessId id_;
+  obs::Instrument* obs_ = nullptr;
+  std::uint64_t obs_active_since_us_ = 0;
+  std::uint64_t obs_rejoin_since_us_ = 0;
 };
 
 }  // namespace bgla::net

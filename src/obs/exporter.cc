@@ -1,0 +1,80 @@
+#include "obs/exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace bgla::obs {
+
+MetricsHttpServer::MetricsHttpServer(const Registry* registry,
+                                     std::uint16_t port)
+    : reg_(registry) {
+  BGLA_CHECK(reg_ != nullptr);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  BGLA_CHECK_MSG(listen_fd_ >= 0, "metrics server: socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  BGLA_CHECK_MSG(
+      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+          0,
+      "metrics server: cannot bind 127.0.0.1:" << port << " — "
+                                               << std::strerror(errno));
+  BGLA_CHECK_MSG(::listen(listen_fd_, 8) == 0,
+                 "metrics server: listen() failed");
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  server_ = std::thread([this] { serve_loop(); });
+}
+
+MetricsHttpServer::~MetricsHttpServer() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (server_.joinable()) server_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void MetricsHttpServer::serve_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 200);
+    if (pr <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Drain whatever request line arrived; the response is the same for
+    // every path, so we only need to consume before we write.
+    char buf[1024];
+    ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    const std::string body = reg_->snapshot().to_prometheus();
+    std::ostringstream resp;
+    resp << "HTTP/1.1 200 OK\r\n"
+         << "Content-Type: text/plain; version=0.0.4\r\n"
+         << "Content-Length: " << body.size() << "\r\n"
+         << "Connection: close\r\n\r\n"
+         << body;
+    const std::string out = resp.str();
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t w = ::send(fd, out.data() + off, out.size() - off,
+                               MSG_NOSIGNAL);
+      if (w <= 0) break;
+      off += static_cast<std::size_t>(w);
+    }
+    ::close(fd);
+  }
+}
+
+}  // namespace bgla::obs

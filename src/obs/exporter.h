@@ -1,0 +1,40 @@
+// Prometheus text exposition over a loopback health port.
+//
+// MetricsHttpServer answers every HTTP GET on 127.0.0.1:<port> with the
+// current registry snapshot in text format (one accept thread, one
+// request per connection — a scrape endpoint, not a web server). Port 0
+// binds an ephemeral port; port() reports the bound one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/registry.h"
+
+namespace bgla::obs {
+
+class MetricsHttpServer {
+ public:
+  /// Binds and starts serving immediately. Throws CheckError if the port
+  /// cannot be bound.
+  MetricsHttpServer(const Registry* registry, std::uint16_t port);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve_loop();
+
+  const Registry* reg_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread server_;
+};
+
+}  // namespace bgla::obs

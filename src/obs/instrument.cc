@@ -1,0 +1,162 @@
+#include "obs/instrument.h"
+
+#include <sstream>
+
+namespace bgla::obs {
+
+Instrument::Instrument(Registry* registry, TraceWriter* trace)
+    : reg_(registry), trace_(trace) {
+  if (reg_ == nullptr) return;
+  sends_ = &reg_->counter("bgla_proto_msgs_sent_total");
+  proposals_ = &reg_->counter("bgla_proto_proposals_total");
+  submits_ = &reg_->counter("bgla_proto_submitted_values_total");
+  acks_ = &reg_->counter("bgla_proto_acks_total");
+  nacks_ = &reg_->counter("bgla_proto_nacks_total");
+  refinements_ = &reg_->counter("bgla_proto_refinements_total");
+  round_advances_ = &reg_->counter("bgla_proto_round_advances_total");
+  decides_ = &reg_->counter("bgla_proto_decides_total");
+  rejoins_ = &reg_->counter("bgla_proto_rejoins_total");
+  decide_latency_us_ = &reg_->histogram("bgla_proto_decide_latency_us");
+  persist_latency_us_ = &reg_->histogram("bgla_store_persist_latency_us");
+  rejoin_latency_us_ = &reg_->histogram("bgla_proto_rejoin_latency_us");
+}
+
+void Instrument::on_send(ProcessId node, std::uint64_t count) {
+  (void)node;
+  if (sends_ != nullptr) sends_->inc(count);
+}
+
+void Instrument::on_propose(ProcessId node, std::uint64_t proposal,
+                            std::uint64_t round) {
+  if (proposals_ != nullptr) proposals_->inc();
+  if (trace_ != nullptr) {
+    TraceEvent ev;
+    ev.kind = EventKind::kPropose;
+    ev.node = node;
+    trace_->record(
+        std::move(ev.with("proposal", proposal).with("round", round)));
+  }
+}
+
+void Instrument::on_submit(ProcessId node, std::uint64_t count) {
+  if (submits_ != nullptr) submits_->inc(count);
+  if (trace_ != nullptr) {
+    TraceEvent ev;
+    ev.kind = EventKind::kSubmit;
+    ev.node = node;
+    trace_->record(std::move(ev.with("count", count)));
+  }
+}
+
+void Instrument::on_ack(ProcessId node, ProcessId from) {
+  if (acks_ != nullptr) acks_->inc();
+  if (trace_ != nullptr) {
+    TraceEvent ev;
+    ev.kind = EventKind::kAck;
+    ev.node = node;
+    trace_->record(std::move(ev.with("from", from)));
+  }
+}
+
+void Instrument::on_nack(ProcessId node, ProcessId from) {
+  if (nacks_ != nullptr) nacks_->inc();
+  if (trace_ != nullptr) {
+    TraceEvent ev;
+    ev.kind = EventKind::kNack;
+    ev.node = node;
+    trace_->record(std::move(ev.with("from", from)));
+  }
+}
+
+void Instrument::on_refine(ProcessId node, std::uint64_t proposal,
+                           std::uint64_t refinements) {
+  if (refinements_ != nullptr) refinements_->inc();
+  if (trace_ != nullptr) {
+    TraceEvent ev;
+    ev.kind = EventKind::kRefine;
+    ev.node = node;
+    trace_->record(std::move(
+        ev.with("proposal", proposal).with("refinements", refinements)));
+  }
+}
+
+void Instrument::on_round_advance(ProcessId node, std::uint64_t round) {
+  if (round_advances_ != nullptr) round_advances_->inc();
+  if (trace_ != nullptr) {
+    TraceEvent ev;
+    ev.kind = EventKind::kRoundAdvance;
+    ev.node = node;
+    trace_->record(std::move(ev.with("round", round)));
+  }
+}
+
+void Instrument::on_decide(ProcessId node, std::uint64_t proposal,
+                           std::uint64_t round, std::uint64_t refinements,
+                           std::uint64_t latency_us) {
+  if (decides_ != nullptr) decides_->inc();
+  if (decide_latency_us_ != nullptr) decide_latency_us_->observe(latency_us);
+  if (trace_ != nullptr) {
+    TraceEvent ev;
+    ev.kind = EventKind::kDecide;
+    ev.node = node;
+    trace_->record(std::move(ev.with("proposal", proposal)
+                                 .with("round", round)
+                                 .with("refinements", refinements)
+                                 .with("latency_us", latency_us)));
+  }
+}
+
+void Instrument::on_persist(ProcessId node, std::uint64_t bytes,
+                            std::uint64_t latency_us) {
+  if (persist_latency_us_ != nullptr) {
+    persist_latency_us_->observe(latency_us);
+  }
+  if (trace_ != nullptr) {
+    TraceEvent ev;
+    ev.kind = EventKind::kPersist;
+    ev.node = node;
+    trace_->record(
+        std::move(ev.with("bytes", bytes).with("latency_us", latency_us)));
+  }
+}
+
+void Instrument::on_rejoin_start(ProcessId node) {
+  if (trace_ != nullptr) {
+    TraceEvent ev;
+    ev.kind = EventKind::kRejoinStart;
+    ev.node = node;
+    trace_->record(std::move(ev));
+  }
+}
+
+void Instrument::on_rejoin_done(ProcessId node, std::uint64_t latency_us) {
+  if (rejoins_ != nullptr) rejoins_->inc();
+  if (rejoin_latency_us_ != nullptr) rejoin_latency_us_->observe(latency_us);
+  if (trace_ != nullptr) {
+    TraceEvent ev;
+    ev.kind = EventKind::kRejoinDone;
+    ev.node = node;
+    trace_->record(std::move(ev.with("latency_us", latency_us)));
+  }
+}
+
+void publish_crypto(Registry& reg, std::uint64_t macs_computed,
+                    std::uint64_t verify_cache_hits,
+                    std::uint64_t verify_cache_misses) {
+  reg.gauge("bgla_crypto_macs_computed_total")
+      .set(static_cast<std::int64_t>(macs_computed));
+  reg.gauge("bgla_crypto_verify_cache_hits_total")
+      .set(static_cast<std::int64_t>(verify_cache_hits));
+  reg.gauge("bgla_crypto_verify_cache_misses_total")
+      .set(static_cast<std::int64_t>(verify_cache_misses));
+}
+
+void publish_backoff_retries(Registry& reg, ProcessId peer,
+                             std::uint64_t attempts) {
+  std::ostringstream name;
+  name << "bgla_net_reconnect_backoff_attempts_total{peer=\"" << peer
+       << "\"}";
+  reg.gauge(name.str()).set(static_cast<std::int64_t>(attempts));
+}
+
+}  // namespace bgla::obs

@@ -1,0 +1,82 @@
+// obs::Instrument — the shared instrumentation hook between the protocol
+// stack and the observability layer (registry + trace writer).
+//
+// One Instrument serves a whole process: in bgla_node it carries that
+// node's Registry and optional TraceWriter; in the simulator one shared
+// Instrument can serve all in-process endpoints (the node id travels with
+// every call). Either pointer may be null — every hook degrades to a no-op
+// branch, which is what keeps tracing-off overhead near zero.
+//
+// Counter handles are resolved once at construction, so protocol hot paths
+// never take the registry lock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "util/ids.h"
+
+namespace bgla::obs {
+
+class Instrument {
+ public:
+  Instrument(Registry* registry, TraceWriter* trace);
+
+  Registry* registry() const { return reg_; }
+  TraceWriter* trace() const { return trace_; }
+
+  /// Raw trace emission (no metric side); no-op without a writer.
+  void event(TraceEvent ev) {
+    if (trace_ != nullptr) trace_->record(std::move(ev));
+  }
+
+  // Protocol transitions. Counter + (where listed in the schema) one trace
+  // event each. All are safe to call with either sink missing.
+  void on_send(ProcessId node, std::uint64_t count = 1);
+  void on_propose(ProcessId node, std::uint64_t proposal,
+                  std::uint64_t round);
+  void on_submit(ProcessId node, std::uint64_t count);
+  void on_ack(ProcessId node, ProcessId from);
+  void on_nack(ProcessId node, ProcessId from);
+  void on_refine(ProcessId node, std::uint64_t proposal,
+                 std::uint64_t refinements);
+  void on_round_advance(ProcessId node, std::uint64_t round);
+  void on_decide(ProcessId node, std::uint64_t proposal, std::uint64_t round,
+                 std::uint64_t refinements, std::uint64_t latency_us);
+  void on_persist(ProcessId node, std::uint64_t bytes,
+                  std::uint64_t latency_us);
+  void on_rejoin_start(ProcessId node);
+  void on_rejoin_done(ProcessId node, std::uint64_t latency_us);
+
+ private:
+  Registry* reg_;
+  TraceWriter* trace_;
+
+  // Cached handles (null iff reg_ is null).
+  Counter* sends_ = nullptr;
+  Counter* proposals_ = nullptr;
+  Counter* submits_ = nullptr;
+  Counter* acks_ = nullptr;
+  Counter* nacks_ = nullptr;
+  Counter* refinements_ = nullptr;
+  Counter* round_advances_ = nullptr;
+  Counter* decides_ = nullptr;
+  Counter* rejoins_ = nullptr;
+  Histogram* decide_latency_us_ = nullptr;
+  Histogram* persist_latency_us_ = nullptr;
+  Histogram* rejoin_latency_us_ = nullptr;
+};
+
+/// Publishes the crypto authority's cache counters (PR 1) under the
+/// registry names one scrape expects.
+void publish_crypto(Registry& reg, std::uint64_t macs_computed,
+                    std::uint64_t verify_cache_hits,
+                    std::uint64_t verify_cache_misses);
+
+/// Publishes reconnect-backoff retry totals (PR 3) for one peer.
+void publish_backoff_retries(Registry& reg, ProcessId peer,
+                             std::uint64_t attempts);
+
+}  // namespace bgla::obs

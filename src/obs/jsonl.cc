@@ -1,0 +1,120 @@
+#include "obs/jsonl.h"
+
+#include <cctype>
+
+namespace bgla::obs {
+
+namespace {
+
+void skip_ws(const std::string& s, std::size_t* i) {
+  while (*i < s.size() && std::isspace(static_cast<unsigned char>(s[*i]))) {
+    ++*i;
+  }
+}
+
+bool parse_string(const std::string& s, std::size_t* i, std::string* out,
+                  std::string* err) {
+  if (*i >= s.size() || s[*i] != '"') {
+    *err = "expected '\"'";
+    return false;
+  }
+  ++*i;
+  out->clear();
+  while (*i < s.size()) {
+    const char c = s[*i];
+    if (c == '"') {
+      ++*i;
+      return true;
+    }
+    if (c == '\\') {
+      ++*i;
+      if (*i >= s.size()) break;
+      const char e = s[*i];
+      if (e == '"' || e == '\\' || e == '/') {
+        out->push_back(e);
+      } else if (e == 'n') {
+        out->push_back('\n');
+      } else if (e == 't') {
+        out->push_back('\t');
+      } else {
+        // Escapes the writer never emits; keep the raw char.
+        out->push_back(e);
+      }
+      ++*i;
+      continue;
+    }
+    out->push_back(c);
+    ++*i;
+  }
+  *err = "unterminated string";
+  return false;
+}
+
+}  // namespace
+
+bool parse_flat_json(const std::string& line, FlatJson* out,
+                     std::string* err) {
+  out->clear();
+  err->clear();
+  std::size_t i = 0;
+  skip_ws(line, &i);
+  if (i >= line.size() || line[i] != '{') {
+    *err = "expected '{'";
+    return false;
+  }
+  ++i;
+  skip_ws(line, &i);
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    for (;;) {
+      skip_ws(line, &i);
+      std::string key;
+      if (!parse_string(line, &i, &key, err)) return false;
+      skip_ws(line, &i);
+      if (i >= line.size() || line[i] != ':') {
+        *err = "expected ':' after key \"" + key + "\"";
+        return false;
+      }
+      ++i;
+      skip_ws(line, &i);
+      JsonField f;
+      if (i < line.size() && line[i] == '"') {
+        f.is_str = true;
+        if (!parse_string(line, &i, &f.str, err)) return false;
+      } else if (i < line.size() &&
+                 std::isdigit(static_cast<unsigned char>(line[i]))) {
+        std::uint64_t v = 0;
+        while (i < line.size() &&
+               std::isdigit(static_cast<unsigned char>(line[i]))) {
+          v = v * 10 + static_cast<std::uint64_t>(line[i] - '0');
+          ++i;
+        }
+        f.u64 = v;
+      } else {
+        *err = "value of \"" + key + "\" is not a string or unsigned int";
+        return false;
+      }
+      (*out)[key] = std::move(f);
+      skip_ws(line, &i);
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < line.size() && line[i] == '}') {
+        ++i;
+        break;
+      }
+      *err = "expected ',' or '}'";
+      return false;
+    }
+  }
+  skip_ws(line, &i);
+  if (i != line.size()) {
+    *err = "trailing content after object";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace bgla::obs

@@ -1,0 +1,28 @@
+// Minimal flat-JSON-object parser for trace lines.
+//
+// The trace schema (obs/trace.h) only ever emits one-level objects whose
+// values are unsigned integers or plain strings, so the analyzer and the
+// schema tests don't need a JSON library: parse_flat_json handles exactly
+// that shape (and rejects nesting), keeping bgla_trace dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace bgla::obs {
+
+struct JsonField {
+  bool is_str = false;
+  std::uint64_t u64 = 0;  // valid iff !is_str
+  std::string str;        // valid iff is_str
+};
+
+using FlatJson = std::map<std::string, JsonField>;
+
+/// Parses one `{"k":1,"s":"x",...}` line. Returns false (and sets *err)
+/// on malformed input, nesting, or non-(uint|string) values.
+bool parse_flat_json(const std::string& line, FlatJson* out,
+                     std::string* err);
+
+}  // namespace bgla::obs

@@ -1,0 +1,202 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bgla::obs {
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  counter_storage_.emplace_back();
+  Counter* c = &counter_storage_.back();
+  counters_.emplace(name, c);
+  return *c;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  gauge_storage_.emplace_back();
+  Gauge* g = &gauge_storage_.back();
+  gauges_.emplace(name, g);
+  return *g;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  histogram_storage_.emplace_back();
+  Histogram* h = &histogram_storage_.back();
+  histograms_.emplace(name, h);
+  return *h;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.buckets.resize(Histogram::kBuckets);
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      hs.buckets[b] = h->buckets_[b].load(std::memory_order_relaxed);
+    }
+    hs.count = h->count();
+    hs.sum = h->sum();
+    s.histograms[name] = std::move(hs);
+  }
+  return s;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the target observation (1-based, ceil so q=1 is the max).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    if (seen + buckets[b] >= rank) {
+      const double lo =
+          b == 0 ? 0.0
+                 : static_cast<double>(Histogram::bucket_upper(b - 1)) + 1.0;
+      const double hi = static_cast<double>(Histogram::bucket_upper(b));
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(buckets[b]);
+      return lo + (hi - lo) * frac;
+    }
+    seen += buckets[b];
+  }
+  return static_cast<double>(Histogram::bucket_upper(buckets.size() - 1));
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& o) {
+  if (buckets.size() < o.buckets.size()) buckets.resize(o.buckets.size());
+  for (std::size_t b = 0; b < o.buckets.size(); ++b) {
+    buckets[b] += o.buckets[b];
+  }
+  count += o.count;
+  sum += o.sum;
+}
+
+void Snapshot::merge(const Snapshot& o) {
+  for (const auto& [name, v] : o.counters) counters[name] += v;
+  for (const auto& [name, v] : o.gauges) {
+    auto it = gauges.find(name);
+    if (it == gauges.end()) {
+      gauges[name] = v;
+    } else {
+      it->second = std::max(it->second, v);
+    }
+  }
+  for (const auto& [name, h] : o.histograms) {
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms[name] = h;
+    } else {
+      it->second.merge(h);
+    }
+  }
+}
+
+namespace {
+
+/// Splits "name{label="x"}" into base name and label part; Prometheus
+/// suffixes (_count/_sum) must go on the base name, before the labels.
+void split_labels(const std::string& name, std::string* base,
+                  std::string* labels) {
+  const auto brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+  } else {
+    *base = name.substr(0, brace);
+    *labels = name.substr(brace);
+  }
+}
+
+std::string with_extra_label(const std::string& labels,
+                             const std::string& extra) {
+  if (labels.empty()) return "{" + extra + "}";
+  return labels.substr(0, labels.size() - 1) + "," + extra + "}";
+}
+
+/// JSON string escaping for metric names (labels embed '"').
+std::string jesc(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void append_number(std::ostringstream& os, double v) {
+  if (v == static_cast<double>(static_cast<std::uint64_t>(v)) &&
+      v >= 0.0 && v < 1e18) {
+    os << static_cast<std::uint64_t>(v);
+  } else {
+    os << v;
+  }
+}
+
+}  // namespace
+
+std::string Snapshot::to_prometheus() const {
+  std::ostringstream os;
+  for (const auto& [name, v] : counters) os << name << " " << v << "\n";
+  for (const auto& [name, v] : gauges) os << name << " " << v << "\n";
+  for (const auto& [name, h] : histograms) {
+    std::string base, labels;
+    split_labels(name, &base, &labels);
+    os << base << "_count" << labels << " " << h.count << "\n";
+    os << base << "_sum" << labels << " " << h.sum << "\n";
+    for (const double q : {0.5, 0.9, 0.99}) {
+      std::ostringstream qs;
+      qs << "quantile=\"" << q << "\"";
+      os << base << with_extra_label(labels, qs.str()) << " ";
+      append_number(os, h.quantile(q));
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string Snapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << jesc(name) << "\":" << v;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << jesc(name) << "\":" << v;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << jesc(name) << "\":{\"count\":" << h.count
+       << ",\"sum\":" << h.sum << ",\"mean\":" << h.mean()
+       << ",\"p50\":" << h.quantile(0.5) << ",\"p90\":" << h.quantile(0.9)
+       << ",\"p99\":" << h.quantile(0.99)
+       << ",\"max\":" << h.quantile(1.0) << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace bgla::obs

@@ -1,0 +1,160 @@
+// Thread-safe metrics registry: counters, gauges and log-bucketed latency
+// histograms with quantile readout.
+//
+// This is the one sink every layer feeds — sim::Metrics publishes its
+// per-layer totals here, net::SocketTransport its per-peer frame counters
+// and RTT histograms, store::ReplicaStore its persist/replay latencies and
+// the protocols their proposal/ack/decide accounting (via obs::Instrument).
+// One scrape (Prometheus text format) or one snapshot JSON therefore sees
+// the whole node.
+//
+// Design:
+//   - registry.counter("name") returns a stable Counter& (deque storage;
+//     references never invalidate). Lookup takes a mutex; hot paths resolve
+//     their handles once and then touch only relaxed atomics.
+//   - Histograms are log-bucketed: observation v lands in bucket
+//     bit_width(v) (bucket b covers [2^(b-1), 2^b)), so the full uint64
+//     range needs only 65 buckets and recording is a single atomic add.
+//     Quantiles interpolate linearly inside the winning bucket — exact
+//     enough for latency reporting (within a factor-2 bucket), and
+//     mergeable across nodes by plain bucket addition.
+//   - Snapshot is a plain-data copy (maps of values), mergeable and
+//     renderable as Prometheus text or JSON without holding any lock.
+//
+// Metric names follow Prometheus conventions (bgla_<layer>_<what>_<unit>);
+// per-peer/per-node breakdowns use a {key="value"} label suffix embedded
+// in the name — the registry treats the whole string as the key.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bgla::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t d = 1) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log-bucketed histogram: bucket b holds observations in [2^(b-1), 2^b),
+/// bucket 0 holds the value 0. 65 buckets cover all of uint64.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void observe(std::uint64_t v) {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  static std::size_t bucket_of(std::uint64_t v) {
+    std::size_t b = 0;
+    while (v != 0) {
+      ++b;
+      v >>= 1;
+    }
+    return b;  // bit width: 0 for v=0, 64 for the top bit
+  }
+
+  /// Inclusive upper bound of bucket b (the largest value it can hold).
+  static std::uint64_t bucket_upper(std::size_t b) {
+    if (b == 0) return 0;
+    if (b >= 64) return ~0ull;
+    return (1ull << b) - 1;
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Plain-data copy of a histogram, mergeable and quantile-readable.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> buckets;  // kBuckets entries
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  /// Quantile estimate (q in [0,1]) with linear interpolation inside the
+  /// winning log bucket; exact for q=1 up to bucket granularity.
+  double quantile(double q) const;
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  void merge(const HistogramSnapshot& o);
+};
+
+/// Point-in-time copy of a whole registry. Mergeable across nodes (counter
+/// and bucket addition; gauges keep the maximum, which is the useful
+/// convention for high-water gauges merged across a cluster).
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  void merge(const Snapshot& o);
+
+  /// Prometheus text exposition (one line per sample; histograms emit
+  /// _count, _sum and quantile gauges).
+  std::string to_prometheus() const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":
+  /// {name:{count,sum,mean,p50,p90,p99,max}}}.
+  std::string to_json() const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the metric with this name, creating it on first use. The
+  /// reference stays valid for the registry's lifetime. Thread-safe;
+  /// resolve once and cache the handle on hot paths.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Counter> counter_storage_;
+  std::deque<Gauge> gauge_storage_;
+  std::deque<Histogram> histogram_storage_;
+  std::map<std::string, Counter*> counters_;
+  std::map<std::string, Gauge*> gauges_;
+  std::map<std::string, Histogram*> histograms_;
+};
+
+}  // namespace bgla::obs

@@ -1,0 +1,125 @@
+#include "obs/schema.h"
+
+#include <sstream>
+
+namespace bgla::obs {
+
+namespace {
+
+constexpr FieldSpec kProposeFields[] = {{"proposal", false},
+                                        {"round", false}};
+constexpr FieldSpec kSubmitFields[] = {{"count", false}};
+constexpr FieldSpec kAckFields[] = {{"from", false}};
+constexpr FieldSpec kNackFields[] = {{"from", false}};
+constexpr FieldSpec kRefineFields[] = {{"proposal", false},
+                                       {"refinements", false}};
+constexpr FieldSpec kRoundAdvanceFields[] = {{"round", false}};
+constexpr FieldSpec kDecideFields[] = {{"proposal", false},
+                                       {"round", false},
+                                       {"refinements", false},
+                                       {"latency_us", false}};
+constexpr FieldSpec kPersistFields[] = {{"bytes", false},
+                                        {"latency_us", false}};
+constexpr FieldSpec kRetransmitFields[] = {{"peer", false},
+                                           {"frames", false}};
+constexpr FieldSpec kRejoinDoneFields[] = {{"latency_us", false}};
+constexpr FieldSpec kDeliverFields[] = {{"from", false}};
+constexpr FieldSpec kNodeStartFields[] = {{"protocol", true},
+                                          {"n", false},
+                                          {"f", false}};
+constexpr FieldSpec kNodeFinalFields[] = {{"decided", false},
+                                          {"msgs_sent", false},
+                                          {"refinements", false}};
+constexpr FieldSpec kFaultFields[] = {{"fault", true}};
+
+constexpr KindSpec kKindSpecs[kNumEventKinds] = {
+    /*propose*/ {kProposeFields, 2},
+    /*submit*/ {kSubmitFields, 1},
+    /*ack*/ {kAckFields, 1},
+    /*nack*/ {kNackFields, 1},
+    /*refine*/ {kRefineFields, 2},
+    /*round_advance*/ {kRoundAdvanceFields, 1},
+    /*decide*/ {kDecideFields, 4},
+    /*persist*/ {kPersistFields, 2},
+    /*retransmit*/ {kRetransmitFields, 2},
+    /*rejoin_start*/ {nullptr, 0},
+    /*rejoin_done*/ {kRejoinDoneFields, 1},
+    /*deliver*/ {kDeliverFields, 1},
+    /*node_start*/ {kNodeStartFields, 3},
+    /*node_final*/ {kNodeFinalFields, 3},
+    /*fault*/ {kFaultFields, 1},
+};
+
+constexpr const char* kEnvelopeU64[] = {"node", "inc", "seq", "wall_us",
+                                        "steady_us"};
+
+}  // namespace
+
+const KindSpec& kind_spec(std::size_t kind_index) {
+  static constexpr KindSpec kEmpty{nullptr, 0};
+  return kind_index < kNumEventKinds ? kKindSpecs[kind_index] : kEmpty;
+}
+
+bool validate_trace_line(const FlatJson& obj, std::string* err) {
+  auto require = [&](const char* key, bool is_str) {
+    auto it = obj.find(key);
+    if (it == obj.end()) {
+      *err = std::string("missing required field \"") + key + "\"";
+      return false;
+    }
+    if (it->second.is_str != is_str) {
+      *err = std::string("field \"") + key + "\" has the wrong type";
+      return false;
+    }
+    return true;
+  };
+
+  auto v = obj.find("v");
+  if (v == obj.end() || v->second.is_str) {
+    *err = "missing schema version \"v\"";
+    return false;
+  }
+  if (v->second.u64 != kTraceSchemaVersion) {
+    std::ostringstream os;
+    os << "unsupported schema version " << v->second.u64 << " (want "
+       << kTraceSchemaVersion << ")";
+    *err = os.str();
+    return false;
+  }
+  auto kind = obj.find("kind");
+  if (kind == obj.end() || !kind->second.is_str) {
+    *err = "missing event \"kind\"";
+    return false;
+  }
+  const std::size_t ki = kind_index_from_name(kind->second.str);
+  if (ki >= kNumEventKinds) {
+    *err = "unknown event kind \"" + kind->second.str + "\"";
+    return false;
+  }
+  for (const char* key : kEnvelopeU64) {
+    if (!require(key, false)) return false;
+  }
+  const KindSpec& spec = kKindSpecs[ki];
+  for (std::size_t i = 0; i < spec.num_fields; ++i) {
+    if (!require(spec.fields[i].key, spec.fields[i].is_str)) {
+      *err += " (kind \"" + kind->second.str + "\")";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool validate_trace_jsonl(const std::string& line, std::size_t line_no,
+                          FlatJson* out, std::string* err) {
+  std::string reason;
+  if (!parse_flat_json(line, out, &reason) ||
+      !validate_trace_line(*out, &reason)) {
+    std::ostringstream os;
+    os << "line " << line_no << ": " << reason;
+    *err = os.str();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace bgla::obs

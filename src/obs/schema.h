@@ -1,0 +1,42 @@
+// Versioned trace schema: the authoritative per-kind field requirements.
+//
+// Every JSONL line must carry the envelope
+//   v (must equal kTraceSchemaVersion), kind (known name), node, inc, seq,
+//   wall_us, steady_us
+// plus the required fields of its kind listed in kKindFields below. Extra
+// fields are allowed (forward compatibility); missing or mistyped required
+// fields are schema violations. bgla_trace validates every line and the
+// round-trip test validates every emitter against this table.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/jsonl.h"
+#include "obs/trace.h"
+
+namespace bgla::obs {
+
+struct FieldSpec {
+  const char* key;
+  bool is_str;  // required type: string vs unsigned int
+};
+
+/// Required fields (beyond the envelope) for one event kind.
+struct KindSpec {
+  const FieldSpec* fields;
+  std::size_t num_fields;
+};
+
+/// Indexed by EventKind value.
+const KindSpec& kind_spec(std::size_t kind_index);
+
+/// Validates one parsed line against the schema. Returns true if valid;
+/// otherwise sets *err to a human-readable reason.
+bool validate_trace_line(const FlatJson& obj, std::string* err);
+
+/// Convenience: parse + validate. line_no is only used in *err.
+bool validate_trace_jsonl(const std::string& line, std::size_t line_no,
+                          FlatJson* out, std::string* err);
+
+}  // namespace bgla::obs

@@ -1,0 +1,155 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace bgla::obs {
+
+namespace {
+
+const char* const kKindNames[kNumEventKinds] = {
+    "propose",       "submit",      "ack",         "nack",
+    "refine",        "round_advance", "decide",    "persist",
+    "retransmit",    "rejoin_start", "rejoin_done", "deliver",
+    "node_start",    "node_final",  "fault",
+};
+
+}  // namespace
+
+const char* kind_name(EventKind k) {
+  const std::size_t i = static_cast<std::size_t>(k);
+  return i < kNumEventKinds ? kKindNames[i] : "?";
+}
+
+std::size_t kind_index_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < kNumEventKinds; ++i) {
+    if (name == kKindNames[i]) return i;
+  }
+  return kNumEventKinds;
+}
+
+std::uint64_t wall_time_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string TraceWriter::to_jsonl(const TraceEvent& ev, std::uint64_t inc,
+                                  std::uint64_t seq, std::uint64_t wall_us,
+                                  std::uint64_t steady_us) {
+  std::ostringstream os;
+  os << "{\"v\":" << kTraceSchemaVersion << ",\"kind\":\""
+     << kind_name(ev.kind) << "\",\"node\":" << ev.node
+     << ",\"inc\":" << inc << ",\"seq\":" << seq
+     << ",\"wall_us\":" << wall_us << ",\"steady_us\":" << steady_us;
+  for (std::size_t i = 0; i < ev.num_fields; ++i) {
+    const TraceEvent::Field& f = ev.fields[i];
+    os << ",\"" << f.key << "\":";
+    if (f.is_str) {
+      os << "\"";
+      for (char c : f.str) {
+        if (c == '"' || c == '\\') os << '\\';
+        if (static_cast<unsigned char>(c) < 0x20) continue;  // control: drop
+        os << c;
+      }
+      os << "\"";
+    } else {
+      os << f.u64;
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+TraceWriter::TraceWriter(Options opt)
+    : opt_(std::move(opt)), epoch_(std::chrono::steady_clock::now()) {
+  BGLA_CHECK_MSG(!opt_.path.empty(), "TraceWriter needs an output path");
+  BGLA_CHECK_MSG(opt_.ring_capacity > 0, "TraceWriter ring must be > 0");
+  ring_.reserve(opt_.ring_capacity);
+  writer_ = std::thread([this] { writer_loop(); });
+}
+
+TraceWriter::~TraceWriter() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+void TraceWriter::record(TraceEvent ev) {
+  const std::uint64_t wall = wall_time_us();
+  const std::uint64_t steady = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (ring_.size() >= opt_.ring_capacity) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Stamped s;
+    s.ev = std::move(ev);
+    s.seq = next_seq_++;
+    s.wall_us = wall;
+    s.steady_us = steady;
+    ring_.push_back(std::move(s));
+    recorded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  cv_.notify_one();
+}
+
+void TraceWriter::flush() {
+  std::unique_lock<std::mutex> lk(mu_);
+  const std::uint64_t target = next_seq_;
+  cv_.notify_all();
+  flush_cv_.wait(lk, [&] { return flushed_seq_ >= target || stop_; });
+}
+
+void TraceWriter::writer_loop() {
+  std::FILE* f = std::fopen(opt_.path.c_str(), "w");
+  // An unopenable path degrades to dropping everything (still counted);
+  // tracing must never take the node down.
+  std::vector<Stamped> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return !ring_.empty() || stop_; });
+      batch.swap(ring_);
+      if (batch.empty() && stop_) break;
+    }
+    std::uint64_t last_seq = 0;
+    for (const Stamped& s : batch) {
+      last_seq = s.seq + 1;
+      if (f == nullptr) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const std::string line = to_jsonl(s.ev, opt_.incarnation, s.seq,
+                                        s.wall_us, s.steady_us);
+      std::fwrite(line.data(), 1, line.size(), f);
+      std::fputc('\n', f);
+    }
+    if (f != nullptr) std::fflush(f);
+    batch.clear();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (last_seq > flushed_seq_) flushed_seq_ = last_seq;
+    }
+    flush_cv_.notify_all();
+  }
+  if (f != nullptr) std::fclose(f);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    flushed_seq_ = next_seq_;
+  }
+  flush_cv_.notify_all();
+}
+
+}  // namespace bgla::obs

@@ -1,0 +1,166 @@
+// Structured JSONL event tracing: one schema-versioned event per protocol
+// transition (propose/ack/refine/round-advance/decide/persist/retransmit/
+// rejoin/...), each stamped with node id, incarnation, a per-writer
+// monotonic sequence number and wall + steady timestamps.
+//
+// The writer is built so tracing-off overhead is near zero: callers hold a
+// TraceWriter* that is simply nullptr when tracing is disabled (one branch
+// per call site). With tracing on, record() formats nothing — it pushes a
+// small fixed-size Event into a bounded ring and a background thread does
+// the JSONL serialization and file I/O. When the ring is full the event is
+// dropped and counted (dropped()), never blocking protocol code.
+//
+// Schema (version 1) — every line is one flat JSON object:
+//   {"v":1,"kind":"decide","node":3,"inc":2,"seq":17,
+//    "wall_us":1722890000123456,"steady_us":482913,
+//    "round":4,"refinements":1,"latency_us":1834}
+// Field names beyond the six required ones are per-kind (see obs/schema.h
+// for the authoritative per-kind requirements used by the validator and
+// the bgla_trace analyzer).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace bgla::obs {
+
+/// Every event kind the system emits. Keep in sync with kind_name() /
+/// kind_from_name() and the per-kind field table in obs/schema.cc.
+enum class EventKind : std::uint8_t {
+  kPropose = 0,      // proposer (re)broadcasts a proposal / joins a round
+  kSubmit,           // a value entered a generalized protocol's batch
+  kAck,              // acceptor answered positively
+  kNack,             // acceptor answered with a refinement trigger
+  kRefine,           // proposer executed a refine step
+  kRoundAdvance,     // generalized protocol moved to a new round
+  kDecide,           // a decision was reached
+  kPersist,          // durable state written
+  kRetransmit,       // transport resent unacked frames to a peer
+  kRejoinStart,      // restarted replica began the catch-up exchange
+  kRejoinDone,       // catch-up finished; replica active again
+  kDeliver,          // simulator delivery (bgla_run --trace-file)
+  kNodeStart,        // process came up (tools)
+  kNodeFinal,        // process final report: totals for the analyzer
+  kFault,            // nemesis fault timeline (kill/restart/partition/...)
+};
+inline constexpr std::size_t kNumEventKinds =
+    static_cast<std::size_t>(EventKind::kFault) + 1;
+
+const char* kind_name(EventKind k);
+/// Returns kNumEventKinds for an unknown name.
+std::size_t kind_index_from_name(const std::string& name);
+
+/// One trace event: the required envelope plus up to kMaxFields typed
+/// key/value details. Values are either u64 or a short string; keys are
+/// static strings (the call sites use literals).
+struct TraceEvent {
+  static constexpr std::size_t kMaxFields = 6;
+
+  EventKind kind = EventKind::kDeliver;
+  ProcessId node = kNoProcess;
+
+  struct Field {
+    const char* key = nullptr;
+    std::uint64_t u64 = 0;
+    std::string str;  // used iff is_str
+    bool is_str = false;
+  };
+  Field fields[kMaxFields];
+  std::size_t num_fields = 0;
+
+  TraceEvent& with(const char* key, std::uint64_t v) {
+    if (num_fields < kMaxFields) {
+      fields[num_fields].key = key;
+      fields[num_fields].u64 = v;
+      fields[num_fields].is_str = false;
+      ++num_fields;
+    }
+    return *this;
+  }
+  TraceEvent& with(const char* key, std::string v) {
+    if (num_fields < kMaxFields) {
+      fields[num_fields].key = key;
+      fields[num_fields].str = std::move(v);
+      fields[num_fields].is_str = true;
+      ++num_fields;
+    }
+    return *this;
+  }
+};
+
+inline constexpr std::uint32_t kTraceSchemaVersion = 1;
+
+class TraceWriter {
+ public:
+  struct Options {
+    std::string path;
+    std::size_t ring_capacity = 1 << 14;  // events buffered before drop
+    std::uint64_t incarnation = 0;        // stamped on every event
+  };
+
+  explicit TraceWriter(Options opt);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Enqueues one event (timestamps and seq are assigned here). Never
+  /// blocks: a full ring drops the event and bumps dropped().
+  void record(TraceEvent ev);
+
+  /// Events dropped because the ring was full.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks until everything recorded so far is on disk.
+  void flush();
+
+  const std::string& path() const { return opt_.path; }
+
+  /// Renders one event to its JSONL line (exposed for tests and for
+  /// single-threaded writers like the nemesis fault log).
+  static std::string to_jsonl(const TraceEvent& ev, std::uint64_t inc,
+                              std::uint64_t seq, std::uint64_t wall_us,
+                              std::uint64_t steady_us);
+
+ private:
+  struct Stamped {
+    TraceEvent ev;
+    std::uint64_t seq = 0;
+    std::uint64_t wall_us = 0;
+    std::uint64_t steady_us = 0;
+  };
+
+  void writer_loop();
+
+  Options opt_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Stamped> ring_;   // bounded queue guarded by mu_
+  bool stop_ = false;
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> recorded_{0};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t flushed_seq_ = 0;  // all seq < this are on disk
+  std::condition_variable flush_cv_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::thread writer_;
+};
+
+/// Microseconds since the Unix epoch (wall clock; comparable across the
+/// processes of one machine, which is what the trace analyzer merges).
+std::uint64_t wall_time_us();
+
+}  // namespace bgla::obs

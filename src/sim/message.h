@@ -23,6 +23,11 @@ enum class Layer : std::uint8_t {
   kOther = 3,
 };
 
+/// Number of Layer values; per-layer accounting arrays derive their size
+/// from this so adding a layer can't silently truncate accounting.
+inline constexpr std::size_t kNumLayers =
+    static_cast<std::size_t>(Layer::kOther) + 1;
+
 const char* layer_name(Layer layer);
 
 class Message {

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "crypto/signature.h"
+#include "obs/instrument.h"
+#include "obs/registry.h"
 #include "sim/message.h"
 #include "util/ids.h"
 
@@ -71,8 +73,38 @@ class Metrics {
   const crypto::CryptoCounters& crypto_counters() const { return crypto_; }
   std::uint64_t verifies_skipped() const { return verifies_skipped_; }
 
+  /// Adapter to the unified registry: publishes per-layer totals, the
+  /// per-process message-complexity measure and the crypto counters under
+  /// the same names the real-network stack uses, so sim runs and TCP runs
+  /// read through one scrape. record_send stays on plain counters — the
+  /// hot path pays nothing for the registry.
+  void publish(obs::Registry& reg) const {
+    for (std::size_t l = 0; l < kNumLayers; ++l) {
+      std::uint64_t msgs = 0;
+      std::uint64_t bytes = 0;
+      for (const auto& per_layer : per_process_) {
+        msgs += per_layer[l].messages;
+        bytes += per_layer[l].bytes;
+      }
+      const std::string suffix =
+          std::string("{layer=\"") + layer_name(static_cast<Layer>(l)) +
+          "\"}";
+      reg.gauge("bgla_sim_messages_total" + suffix)
+          .set(static_cast<std::int64_t>(msgs));
+      reg.gauge("bgla_sim_bytes_total" + suffix)
+          .set(static_cast<std::int64_t>(bytes));
+    }
+    reg.gauge("bgla_sim_max_messages_per_process")
+        .set(static_cast<std::int64_t>(max_messages_per_process()));
+    obs::publish_crypto(reg, crypto_.macs_computed,
+                        crypto_.verify_cache_hits,
+                        crypto_.verify_cache_misses);
+    reg.gauge("bgla_crypto_verifies_skipped_total")
+        .set(static_cast<std::int64_t>(verifies_skipped_));
+  }
+
  private:
-  std::vector<std::array<LayerCounters, 4>> per_process_;
+  std::vector<std::array<LayerCounters, kNumLayers>> per_process_;
   std::uint64_t total_messages_ = 0;
   crypto::CryptoCounters crypto_;
   std::uint64_t verifies_skipped_ = 0;

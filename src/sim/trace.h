@@ -36,13 +36,21 @@ class Tracer {
   explicit Tracer(Network& net) : Tracer(net, Options()) {}
 
   std::uint64_t lines() const { return lines_; }
+  /// Lines dropped because max_lines was reached.
   std::uint64_t suppressed() const { return suppressed_; }
+  /// Broadcast-layer lines dropped by the layer filter — counted
+  /// separately so a filtered run doesn't report "nothing suppressed"
+  /// while broadcast traffic was being dropped.
+  std::uint64_t suppressed_broadcast() const {
+    return suppressed_broadcast_;
+  }
 
  private:
   void observe(Time t, ProcessId from, ProcessId to, std::uint64_t depth,
                const MessagePtr& msg) {
     if (!options_.include_broadcast &&
         msg->layer() == Layer::kBroadcast) {
+      ++suppressed_broadcast_;
       return;
     }
     if (lines_ >= options_.max_lines) {
@@ -59,6 +67,7 @@ class Tracer {
   Options options_;
   std::uint64_t lines_ = 0;
   std::uint64_t suppressed_ = 0;
+  std::uint64_t suppressed_broadcast_ = 0;
 };
 
 }  // namespace bgla::sim

@@ -72,6 +72,16 @@ class FlagSet {
     });
   }
 
+  /// Repeatable: every `--name V` occurrence appends to *target.
+  void add_string_list(const std::string& name,
+                       std::vector<std::string>* target,
+                       const std::string& help) {
+    add(name, true, help, [target](const std::string& v) {
+      target->push_back(v);
+      return true;
+    });
+  }
+
   void add_u32(const std::string& name, std::uint32_t* target,
                const std::string& help) {
     add(name, true, help, [target](const std::string& v) {

@@ -1,0 +1,287 @@
+// Tests for the metrics registry (obs/registry.h) and the instrumentation
+// facade (obs/instrument.h): counter/gauge semantics under concurrency,
+// log-bucket histogram quantiles, snapshot merge, and the Prometheus/JSON
+// renderings. Labelled "obs;concurrency" so the TSan CI slice exercises
+// the concurrent paths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/instrument.h"
+#include "obs/registry.h"
+
+namespace bgla::obs {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Registry reg;
+  Counter& c = reg.counter("bgla_test_events_total");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIters; ++i) c.inc();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(RegistryTest, HandlesAreStableAcrossCreation) {
+  Registry reg;
+  Counter& a = reg.counter("a");
+  Histogram& h = reg.histogram("h");
+  // Grow the registry far past any small-buffer threshold; deque-backed
+  // storage must keep earlier references valid.
+  for (int i = 0; i < 1000; ++i) {
+    reg.counter("c" + std::to_string(i)).inc();
+    reg.histogram("h" + std::to_string(i)).observe(1);
+  }
+  EXPECT_EQ(&a, &reg.counter("a"));
+  EXPECT_EQ(&h, &reg.histogram("h"));
+  a.inc(7);
+  EXPECT_EQ(reg.counter("a").value(), 7u);
+}
+
+TEST(RegistryTest, ConcurrentLookupOfSameNameYieldsOneMetric) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 1000; ++i) reg.counter("shared").inc();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.counter("shared").value(), 8000u);
+  EXPECT_EQ(reg.snapshot().counters.size(), 1u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Registry reg;
+  Gauge& g = reg.gauge("g");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.add(5);
+  EXPECT_EQ(g.value(), 12);
+}
+
+TEST(HistogramTest, BucketOfIsBitWidth) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_of(~0ull), 64u);
+
+  EXPECT_EQ(Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper(3), 7u);
+  EXPECT_EQ(Histogram::bucket_upper(10), 1023u);
+  EXPECT_EQ(Histogram::bucket_upper(64), ~0ull);
+}
+
+TEST(HistogramTest, CountSumMeanAndQuantileBrackets) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat_us");
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.observe(v);
+  const Snapshot snap = reg.snapshot();
+  const HistogramSnapshot& hs = snap.histograms.at("lat_us");
+  EXPECT_EQ(hs.count, 1000u);
+  EXPECT_EQ(hs.sum, 500500u);
+  EXPECT_DOUBLE_EQ(hs.mean(), 500.5);
+  // Log buckets give factor-2 precision: p50 of 1..1000 lies in the bucket
+  // covering 500 ([256,511]); p99 and the max land in [512,1023].
+  EXPECT_GE(hs.quantile(0.5), 256.0);
+  EXPECT_LE(hs.quantile(0.5), 512.0);
+  EXPECT_GE(hs.quantile(0.99), 512.0);
+  EXPECT_LE(hs.quantile(0.99), 1023.0);
+  EXPECT_GE(hs.quantile(1.0), 1000.0);
+  EXPECT_LE(hs.quantile(1.0), 1023.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(hs.quantile(0.5), hs.quantile(0.9));
+  EXPECT_LE(hs.quantile(0.9), hs.quantile(0.99));
+  EXPECT_LE(hs.quantile(0.99), hs.quantile(1.0));
+}
+
+TEST(HistogramTest, EmptyAndSingleObservation) {
+  HistogramSnapshot empty;
+  empty.buckets.assign(Histogram::kBuckets, 0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+
+  Registry reg;
+  reg.histogram("one").observe(100);
+  const HistogramSnapshot hs = reg.snapshot().histograms.at("one");
+  EXPECT_EQ(hs.count, 1u);
+  EXPECT_EQ(hs.sum, 100u);
+  // A single sample answers every quantile from its bucket [64,127].
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(hs.quantile(q), 64.0);
+    EXPECT_LE(hs.quantile(q), 127.0);
+  }
+}
+
+TEST(HistogramTest, ConcurrentObserveKeepsExactTotals) {
+  Registry reg;
+  Histogram& h = reg.histogram("h");
+  constexpr int kThreads = 4;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kIters; ++i) {
+        h.observe(static_cast<std::uint64_t>(t) + 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(h.sum(), (1ull + 2 + 3 + 4) * kIters);
+}
+
+TEST(SnapshotTest, MergeAddsCountersMaxesGaugesAddsBuckets) {
+  Registry a;
+  a.counter("x").inc(5);
+  a.gauge("g").set(3);
+  a.gauge("only_a").set(-2);
+  a.histogram("h").observe(10);
+  a.histogram("h").observe(10);
+
+  Registry b;
+  b.counter("x").inc(7);
+  b.counter("y").inc(1);
+  b.gauge("g").set(9);
+  b.histogram("h").observe(1000);
+  b.histogram("only_b").observe(4);
+
+  Snapshot m = a.snapshot();
+  m.merge(b.snapshot());
+
+  EXPECT_EQ(m.counters.at("x"), 12u);
+  EXPECT_EQ(m.counters.at("y"), 1u);
+  EXPECT_EQ(m.gauges.at("g"), 9);  // max across nodes
+  EXPECT_EQ(m.gauges.at("only_a"), -2);
+  const HistogramSnapshot& h = m.histograms.at("h");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.sum, 1020u);
+  EXPECT_EQ(h.buckets[Histogram::bucket_of(10)], 2u);
+  EXPECT_EQ(h.buckets[Histogram::bucket_of(1000)], 1u);
+  EXPECT_EQ(m.histograms.at("only_b").count, 1u);
+
+  // Merging the lower gauge back does not regress the maximum.
+  Registry c;
+  c.gauge("g").set(2);
+  m.merge(c.snapshot());
+  EXPECT_EQ(m.gauges.at("g"), 9);
+}
+
+TEST(SnapshotTest, PrometheusRenderingPutsSuffixBeforeLabels) {
+  Registry reg;
+  reg.counter("bgla_test_total").inc(3);
+  reg.gauge("bgla_test_depth").set(-1);
+  reg.histogram("bgla_test_rtt_us{peer=\"2\"}").observe(8);
+  const std::string text = reg.snapshot().to_prometheus();
+
+  EXPECT_NE(text.find("bgla_test_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("bgla_test_depth -1\n"), std::string::npos);
+  // _count/_sum go on the base name, before the label block.
+  EXPECT_NE(text.find("bgla_test_rtt_us_count{peer=\"2\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("bgla_test_rtt_us_sum{peer=\"2\"} 8\n"),
+            std::string::npos);
+  // Quantile samples append to the existing label block.
+  EXPECT_NE(text.find("bgla_test_rtt_us{peer=\"2\",quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_EQ(text.find("_count{peer=\"2\"}_count"), std::string::npos);
+}
+
+TEST(SnapshotTest, JsonRenderingEscapesLabelQuotes) {
+  Registry reg;
+  reg.counter("plain_total").inc(2);
+  publish_backoff_retries(reg, /*peer=*/4, /*attempts=*/9);
+  reg.histogram("h").observe(16);
+  const std::string json = reg.snapshot().to_json();
+
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"plain_total\":2"), std::string::npos);
+  // The embedded label quotes must be JSON-escaped.
+  EXPECT_NE(json.find("bgla_net_reconnect_backoff_attempts_total"
+                      "{peer=\\\"4\\\"}\":9"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"h\":{\"count\":1,\"sum\":16"), std::string::npos);
+}
+
+TEST(InstrumentTest, NullSinksAreSafeNoOps) {
+  Instrument instr(nullptr, nullptr);
+  instr.on_send(0, 3);
+  instr.on_propose(0, 1, 0);
+  instr.on_submit(0, 2);
+  instr.on_ack(0, 1);
+  instr.on_nack(0, 2);
+  instr.on_refine(0, 1, 1);
+  instr.on_round_advance(0, 1);
+  instr.on_decide(0, 1, 1, 0, 42);
+  instr.on_persist(0, 128, 5);
+  instr.on_rejoin_start(0);
+  instr.on_rejoin_done(0, 1000);
+  TraceEvent ev;
+  instr.event(std::move(ev));  // must not crash without a writer
+}
+
+TEST(InstrumentTest, HooksFeedTheExpectedRegistryNames) {
+  Registry reg;
+  Instrument instr(&reg, nullptr);
+  instr.on_send(1, 10);
+  instr.on_propose(1, 7, 0);
+  instr.on_submit(1, 3);
+  instr.on_ack(1, 2);
+  instr.on_ack(1, 3);
+  instr.on_nack(1, 4);
+  instr.on_refine(1, 7, 1);
+  instr.on_round_advance(1, 1);
+  instr.on_decide(1, 7, 1, 1, 42);
+  instr.on_persist(1, 256, 9);
+  instr.on_rejoin_start(1);
+  instr.on_rejoin_done(1, 1234);
+
+  const Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.counters.at("bgla_proto_msgs_sent_total"), 10u);
+  EXPECT_EQ(s.counters.at("bgla_proto_proposals_total"), 1u);
+  EXPECT_EQ(s.counters.at("bgla_proto_submitted_values_total"), 3u);
+  EXPECT_EQ(s.counters.at("bgla_proto_acks_total"), 2u);
+  EXPECT_EQ(s.counters.at("bgla_proto_nacks_total"), 1u);
+  EXPECT_EQ(s.counters.at("bgla_proto_refinements_total"), 1u);
+  EXPECT_EQ(s.counters.at("bgla_proto_round_advances_total"), 1u);
+  EXPECT_EQ(s.counters.at("bgla_proto_decides_total"), 1u);
+  EXPECT_EQ(s.counters.at("bgla_proto_rejoins_total"), 1u);
+  EXPECT_EQ(s.histograms.at("bgla_proto_decide_latency_us").count, 1u);
+  EXPECT_EQ(s.histograms.at("bgla_proto_decide_latency_us").sum, 42u);
+  EXPECT_EQ(s.histograms.at("bgla_store_persist_latency_us").sum, 9u);
+  EXPECT_EQ(s.histograms.at("bgla_proto_rejoin_latency_us").sum, 1234u);
+}
+
+TEST(InstrumentTest, PublishCryptoExportsCacheCounters) {
+  Registry reg;
+  publish_crypto(reg, /*macs_computed=*/100, /*verify_cache_hits=*/80,
+                 /*verify_cache_misses=*/20);
+  const Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.gauges.at("bgla_crypto_macs_computed_total"), 100);
+  EXPECT_EQ(s.gauges.at("bgla_crypto_verify_cache_hits_total"), 80);
+  EXPECT_EQ(s.gauges.at("bgla_crypto_verify_cache_misses_total"), 20);
+}
+
+}  // namespace
+}  // namespace bgla::obs

@@ -1,0 +1,240 @@
+// Round-trips every trace event kind through the JSONL writer and the
+// schema validator (obs/trace.h, obs/schema.h, obs/jsonl.h): every emitter
+// in the tree goes through TraceWriter::to_jsonl, so if each kind's
+// required-field table round-trips here, bgla_trace can parse anything the
+// cluster writes. Also covers the validator's rejection paths and the flat
+// JSON parser's edge cases.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/instrument.h"
+#include "obs/jsonl.h"
+#include "obs/schema.h"
+#include "obs/trace.h"
+
+namespace bgla::obs {
+namespace {
+
+/// Builds an event of the given kind carrying exactly its required fields
+/// (values are arbitrary; the schema checks presence and type).
+TraceEvent make_event(std::size_t kind_index) {
+  TraceEvent ev;
+  ev.kind = static_cast<EventKind>(kind_index);
+  ev.node = 3;
+  const KindSpec& spec = kind_spec(kind_index);
+  for (std::size_t i = 0; i < spec.num_fields; ++i) {
+    if (spec.fields[i].is_str) {
+      ev.with(spec.fields[i].key, std::string("x"));
+    } else {
+      ev.with(spec.fields[i].key, std::uint64_t{42});
+    }
+  }
+  return ev;
+}
+
+TEST(TraceSchemaTest, EveryKindRoundTripsThroughToJsonl) {
+  for (std::size_t ki = 0; ki < kNumEventKinds; ++ki) {
+    const std::string line =
+        TraceWriter::to_jsonl(make_event(ki), /*inc=*/2, /*seq=*/7,
+                              /*wall_us=*/1722890000123456ull,
+                              /*steady_us=*/500);
+    FlatJson obj;
+    std::string err;
+    ASSERT_TRUE(validate_trace_jsonl(line, ki + 1, &obj, &err))
+        << "kind " << kind_name(static_cast<EventKind>(ki)) << ": " << err
+        << "\n  line: " << line;
+    EXPECT_EQ(obj.at("kind").str, kind_name(static_cast<EventKind>(ki)));
+    EXPECT_EQ(obj.at("v").u64, kTraceSchemaVersion);
+    EXPECT_EQ(obj.at("node").u64, 3u);
+    EXPECT_EQ(obj.at("inc").u64, 2u);
+    EXPECT_EQ(obj.at("seq").u64, 7u);
+    EXPECT_EQ(obj.at("wall_us").u64, 1722890000123456ull);
+  }
+}
+
+TEST(TraceSchemaTest, KindNamesRoundTripThroughIndexLookup) {
+  for (std::size_t ki = 0; ki < kNumEventKinds; ++ki) {
+    EXPECT_EQ(kind_index_from_name(kind_name(static_cast<EventKind>(ki))),
+              ki);
+  }
+  EXPECT_EQ(kind_index_from_name("bogus"), kNumEventKinds);
+}
+
+TEST(TraceSchemaTest, WriterPersistsEveryKindWithMonotonicSeq) {
+  const std::string path =
+      testing::TempDir() + "/bgla_trace_schema_test.jsonl";
+  {
+    TraceWriter::Options opt;
+    opt.path = path;
+    opt.incarnation = 5;
+    TraceWriter w(opt);
+    for (std::size_t ki = 0; ki < kNumEventKinds; ++ki) {
+      w.record(make_event(ki));
+    }
+    w.flush();
+    EXPECT_EQ(w.recorded(), kNumEventKinds);
+    EXPECT_EQ(w.dropped(), 0u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  std::uint64_t prev_seq = 0;
+  while (std::getline(in, line)) {
+    FlatJson obj;
+    std::string err;
+    ASSERT_TRUE(validate_trace_jsonl(line, lines + 1, &obj, &err)) << err;
+    EXPECT_EQ(obj.at("inc").u64, 5u);
+    EXPECT_EQ(obj.at("kind").str,
+              kind_name(static_cast<EventKind>(lines)));
+    if (lines > 0) {
+      EXPECT_GT(obj.at("seq").u64, prev_seq);
+    }
+    prev_seq = obj.at("seq").u64;
+    ++lines;
+  }
+  EXPECT_EQ(lines, kNumEventKinds);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSchemaTest, InstrumentHooksEmitSchemaValidEvents) {
+  const std::string path =
+      testing::TempDir() + "/bgla_trace_instrument_test.jsonl";
+  {
+    TraceWriter::Options opt;
+    opt.path = path;
+    TraceWriter w(opt);
+    Instrument instr(nullptr, &w);  // trace-only: metrics sink absent
+    instr.on_propose(1, 7, 0);
+    instr.on_submit(1, 2);
+    instr.on_ack(1, 2);
+    instr.on_nack(1, 3);
+    instr.on_refine(1, 7, 1);
+    instr.on_round_advance(1, 1);
+    instr.on_decide(1, 7, 1, 1, 42);
+    instr.on_persist(1, 256, 9);
+    instr.on_rejoin_start(1);
+    instr.on_rejoin_done(1, 1234);
+    w.flush();
+    EXPECT_EQ(w.dropped(), 0u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    FlatJson obj;
+    std::string err;
+    ASSERT_TRUE(validate_trace_jsonl(line, lines + 1, &obj, &err)) << err;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 10u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSchemaTest, UnopenablePathDropsEverythingButNeverBlocks) {
+  TraceWriter::Options opt;
+  opt.path = "/nonexistent-bgla-dir/trace.jsonl";
+  TraceWriter w(opt);
+  for (int i = 0; i < 3; ++i) w.record(make_event(0));
+  w.flush();  // must return even though nothing reached disk
+  EXPECT_EQ(w.recorded(), 3u);
+  EXPECT_EQ(w.dropped(), 3u);
+}
+
+TEST(TraceSchemaTest, StringFieldsEscapeQuotesAndDropControlChars) {
+  TraceEvent ev;
+  ev.kind = EventKind::kFault;
+  ev.node = 0;
+  ev.with("fault", std::string("kill \"3\" \\ partition\nrest"));
+  const std::string line = TraceWriter::to_jsonl(ev, 0, 0, 1, 1);
+  // The line must stay a single line.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  FlatJson obj;
+  std::string err;
+  ASSERT_TRUE(validate_trace_jsonl(line, 1, &obj, &err)) << err;
+  // Quotes and backslashes survive the round trip; the control char is
+  // dropped by the writer.
+  EXPECT_EQ(obj.at("fault").str, "kill \"3\" \\ partitionrest");
+}
+
+TEST(TraceSchemaTest, RejectsWrongVersionUnknownKindAndMissingFields) {
+  FlatJson obj;
+  std::string err;
+
+  const std::string envelope =
+      "\"node\":1,\"inc\":0,\"seq\":0,\"wall_us\":1,\"steady_us\":1";
+
+  // Wrong schema version.
+  EXPECT_FALSE(validate_trace_jsonl(
+      "{\"v\":2,\"kind\":\"rejoin_start\"," + envelope + "}", 1, &obj,
+      &err));
+  EXPECT_NE(err.find("unsupported schema version"), std::string::npos);
+
+  // Unknown kind.
+  EXPECT_FALSE(validate_trace_jsonl(
+      "{\"v\":1,\"kind\":\"bogus\"," + envelope + "}", 1, &obj, &err));
+  EXPECT_NE(err.find("unknown event kind"), std::string::npos);
+
+  // Missing envelope field (no seq).
+  EXPECT_FALSE(validate_trace_jsonl(
+      "{\"v\":1,\"kind\":\"rejoin_start\",\"node\":1,\"inc\":0,"
+      "\"wall_us\":1,\"steady_us\":1}",
+      1, &obj, &err));
+  EXPECT_NE(err.find("\"seq\""), std::string::npos);
+
+  // Missing kind-required field: decide without latency_us.
+  EXPECT_FALSE(validate_trace_jsonl(
+      "{\"v\":1,\"kind\":\"decide\"," + envelope +
+          ",\"proposal\":1,\"round\":1,\"refinements\":0}",
+      1, &obj, &err));
+  EXPECT_NE(err.find("latency_us"), std::string::npos);
+
+  // Mistyped required field: node_start's protocol must be a string.
+  EXPECT_FALSE(validate_trace_jsonl(
+      "{\"v\":1,\"kind\":\"node_start\"," + envelope +
+          ",\"protocol\":3,\"n\":4,\"f\":1}",
+      1, &obj, &err));
+  EXPECT_NE(err.find("wrong type"), std::string::npos);
+
+  // Extra fields are allowed (forward compatibility).
+  EXPECT_TRUE(validate_trace_jsonl(
+      "{\"v\":1,\"kind\":\"rejoin_start\"," + envelope +
+          ",\"future_field\":\"ok\"}",
+      1, &obj, &err))
+      << err;
+}
+
+TEST(FlatJsonTest, ParsesWhitespaceAndEmptyObjects) {
+  FlatJson obj;
+  std::string err;
+  EXPECT_TRUE(parse_flat_json("{}", &obj, &err)) << err;
+  EXPECT_TRUE(obj.empty());
+  EXPECT_TRUE(
+      parse_flat_json("  { \"a\" : 1 , \"b\" : \"x y\" }  ", &obj, &err))
+      << err;
+  EXPECT_EQ(obj.at("a").u64, 1u);
+  EXPECT_FALSE(obj.at("a").is_str);
+  EXPECT_EQ(obj.at("b").str, "x y");
+  EXPECT_TRUE(obj.at("b").is_str);
+}
+
+TEST(FlatJsonTest, RejectsNestingNegativesAndTrailingJunk) {
+  FlatJson obj;
+  std::string err;
+  EXPECT_FALSE(parse_flat_json("{\"a\":{\"b\":1}}", &obj, &err));
+  EXPECT_FALSE(parse_flat_json("{\"a\":[1]}", &obj, &err));
+  EXPECT_FALSE(parse_flat_json("{\"a\":-1}", &obj, &err));
+  EXPECT_FALSE(parse_flat_json("{\"a\":1} tail", &obj, &err));
+  EXPECT_FALSE(parse_flat_json("{\"a\":\"unterminated}", &obj, &err));
+  EXPECT_FALSE(parse_flat_json("not json", &obj, &err));
+  EXPECT_FALSE(parse_flat_json("{\"a\":1", &obj, &err));
+}
+
+}  // namespace
+}  // namespace bgla::obs

@@ -13,6 +13,7 @@
 //                                       inclusion check
 //
 // Fault repertoire (--campaign):
+//   none           fault-free baseline (observability/bound-table runs)
 //   kill-restart   kill -9 up to f replicas, restart them from disk after
 //                  a delay — restarted replicas must rejoin and recover
 //   partition      asymmetric partitions: victim cannot reach (or hear) a
@@ -20,6 +21,12 @@
 //   loss           cluster-wide loss bursts
 //   delay          cluster-wide delay spikes
 //   mixed          all of the above, interleaved (default)
+//
+// --trace gives every node incarnation its own JSONL trace file
+// (node<i>.inc<k>.trace.jsonl — per-incarnation so a restart never
+// truncates pre-crash evidence) and writes the driver's fault timeline
+// to <workdir>/faults.jsonl; feed all of it to tools/bgla_trace for
+// per-fault analysis and the paper's bound verdicts.
 //
 // Example (the ISSUE acceptance campaigns):
 //   bgla_nemesis --node-bin ./bgla_node --protocol sbs  --n 7  --f 1
@@ -39,6 +46,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -47,6 +55,7 @@
 
 #include "la/recovery.h"
 #include "la/spec.h"
+#include "obs/trace.h"
 #include "store/replica_store.h"
 #include "util/check.h"
 #include "util/flags.h"
@@ -72,6 +81,7 @@ struct Args {
   std::uint32_t node_run_ms = 60000;     // per-node deadline
   std::uint32_t node_linger_ms = 5000;   // post-finish serving window
   std::uint32_t drain_ms = 45000;        // wait for nodes after healing
+  bool trace = false;  // per-node JSONL traces + the faults.jsonl timeline
 };
 
 Args parse(int argc, char** argv) {
@@ -83,7 +93,7 @@ Args parse(int argc, char** argv) {
   flags.add_string("workdir", &a.workdir,
                    "scratch dir for topology, logs and data dirs");
   flags.add_string("campaign", &a.campaign,
-                   "kill-restart | partition | loss | delay | mixed");
+                   "none | kill-restart | partition | loss | delay | mixed");
   flags.add_u32("n", &a.n, "replicas");
   flags.add_u32("f", &a.f, "resilience parameter (also max concurrent kills)");
   flags.add_u64("seed", &a.seed, "deployment key seed");
@@ -101,6 +111,9 @@ Args parse(int argc, char** argv) {
                 "how long finished nodes keep serving peers");
   flags.add_u32("drain-ms", &a.drain_ms,
                 "post-heal wait for all nodes to finish");
+  flags.add_bool("trace", &a.trace,
+                 "write per-node JSONL traces and a faults.jsonl fault "
+                 "timeline into --workdir (feed both to tools/bgla_trace)");
   flags.parse_or_exit(argc, argv);
   if (a.protocol != "sbs" && a.protocol != "gwts" && a.protocol != "gsbs" &&
       a.protocol != "faleiro-la") {
@@ -213,6 +226,14 @@ class Cluster {
         "--data-dir", nd.data_dir,
         "--chaos-stdin",
     };
+    if (a_.trace) {
+      // One trace file per incarnation: the writer truncates on open, so
+      // reusing the name across a kill -9/restart would erase the
+      // pre-crash events the analyzer needs.
+      argv.push_back("--trace-file");
+      argv.push_back(a_.workdir + "/node" + std::to_string(id) + ".inc" +
+                     std::to_string(nd.restarts) + ".trace.jsonl");
+    }
 
     const pid_t pid = ::fork();
     BGLA_CHECK_MSG(pid >= 0, "fork(): " << std::strerror(errno));
@@ -307,7 +328,20 @@ class Cluster {
 
 // ------------------------------------------------------------ campaigns --
 
-void run_kill_restart(const Args& a, Cluster& c, std::uint32_t cycles) {
+/// Appends one kFault event ("<verb> [operand...]") to the driver's fault
+/// timeline; the analyzer correlates these wall-clock windows with the
+/// nodes' decide/rejoin events. No-op without --trace.
+void record_fault(obs::TraceWriter* faults, std::uint32_t driver_id,
+                  const std::string& desc) {
+  if (faults == nullptr) return;
+  obs::TraceEvent ev;
+  ev.kind = obs::EventKind::kFault;
+  ev.node = driver_id;
+  faults->record(std::move(ev.with("fault", desc)));
+}
+
+void run_kill_restart(const Args& a, Cluster& c, std::uint32_t cycles,
+                      obs::TraceWriter* faults) {
   for (std::uint32_t k = 0; k < cycles; ++k) {
     // Up to f victims per cycle, rotating so different replicas get hit.
     const std::uint32_t victims = 1 + k % a.f;
@@ -315,14 +349,20 @@ void run_kill_restart(const Args& a, Cluster& c, std::uint32_t cycles) {
     for (std::uint32_t v = 0; v < victims; ++v) {
       hit.push_back((k + v) % a.n);
     }
-    for (const std::uint32_t id : hit) c.kill9(id);
+    for (const std::uint32_t id : hit) {
+      c.kill9(id);
+      record_fault(faults, a.n, "kill " + std::to_string(id));
+    }
     sleep_ms(a.restart_after_ms);
-    for (const std::uint32_t id : hit) c.restart(id);
+    for (const std::uint32_t id : hit) {
+      c.restart(id);
+      record_fault(faults, a.n, "restart " + std::to_string(id));
+    }
     sleep_ms(a.fault_ms);
   }
 }
 
-void run_partition(const Args& a, Cluster& c) {
+void run_partition(const Args& a, Cluster& c, obs::TraceWriter* faults) {
   // Asymmetric partition: the victim can talk to everyone, but cannot
   // hear f of its peers (and they cannot hear it on the reverse run).
   const std::uint32_t victim = 1 % a.n;
@@ -333,23 +373,29 @@ void run_partition(const Args& a, Cluster& c) {
   }
   std::cout << "[nemesis] asymmetric partition around node " << victim
             << " for " << a.fault_ms << "ms\n";
+  record_fault(faults, a.n, "partition_start " + std::to_string(victim));
   sleep_ms(a.fault_ms);
   c.chaos_all("heal");
+  record_fault(faults, a.n, "partition_end " + std::to_string(victim));
 }
 
-void run_loss_burst(const Args& a, Cluster& c) {
+void run_loss_burst(const Args& a, Cluster& c, obs::TraceWriter* faults) {
   std::cout << "[nemesis] loss burst (25%) for " << a.fault_ms << "ms\n";
   c.chaos_all("loss 0.25");
+  record_fault(faults, a.n, "loss_start 0.25");
   sleep_ms(a.fault_ms);
   c.chaos_all("loss 0");
+  record_fault(faults, a.n, "loss_end");
 }
 
-void run_delay_spike(const Args& a, Cluster& c) {
+void run_delay_spike(const Args& a, Cluster& c, obs::TraceWriter* faults) {
   std::cout << "[nemesis] delay spike (15ms/frame) for " << a.fault_ms
             << "ms\n";
   c.chaos_all("delay 15");
+  record_fault(faults, a.n, "delay_start 15");
   sleep_ms(a.fault_ms);
   c.chaos_all("delay 0");
+  record_fault(faults, a.n, "delay_end");
 }
 
 // -------------------------------------------------------------- checking --
@@ -433,22 +479,35 @@ int main(int argc, char** argv) {
   std::cout << "[nemesis] starting " << a.n << "-node " << a.protocol
             << " cluster (f=" << a.f << ", campaign=" << a.campaign
             << ") in " << a.workdir << "\n";
+
+  // Fault timeline (node id = n marks the driver as the emitter).
+  std::unique_ptr<obs::TraceWriter> faults_writer;
+  if (a.trace) {
+    obs::TraceWriter::Options topt;
+    topt.path = a.workdir + "/faults.jsonl";
+    faults_writer = std::make_unique<obs::TraceWriter>(topt);
+  }
+  obs::TraceWriter* const faults = faults_writer.get();
+
   for (std::uint32_t i = 0; i < a.n; ++i) cluster.spawn(i);
   sleep_ms(a.settle_ms);
 
-  if (a.campaign == "kill-restart") {
-    run_kill_restart(a, cluster, a.kills);
+  if (a.campaign == "none") {
+    // Fault-free baseline: useful for observability runs that want clean
+    // bound tables from a real cluster.
+  } else if (a.campaign == "kill-restart") {
+    run_kill_restart(a, cluster, a.kills, faults);
   } else if (a.campaign == "partition") {
-    run_partition(a, cluster);
+    run_partition(a, cluster, faults);
   } else if (a.campaign == "loss") {
-    run_loss_burst(a, cluster);
+    run_loss_burst(a, cluster, faults);
   } else if (a.campaign == "delay") {
-    run_delay_spike(a, cluster);
+    run_delay_spike(a, cluster, faults);
   } else if (a.campaign == "mixed") {
-    run_loss_burst(a, cluster);
-    run_kill_restart(a, cluster, a.kills);
-    run_partition(a, cluster);
-    run_delay_spike(a, cluster);
+    run_loss_burst(a, cluster, faults);
+    run_kill_restart(a, cluster, a.kills, faults);
+    run_partition(a, cluster, faults);
+    run_delay_spike(a, cluster, faults);
   } else {
     std::cerr << "error: unknown campaign '" << a.campaign << "'\n";
     return 2;
@@ -456,6 +515,8 @@ int main(int argc, char** argv) {
 
   // Heal everything and let the cluster drain to completion.
   cluster.chaos_all("heal");
+  record_fault(faults, a.n, "heal");
+  if (faults != nullptr) faults->flush();
   std::cout << "[nemesis] healed; draining\n";
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(a.drain_ms);

@@ -40,8 +40,16 @@
 // fault injection at runtime by writing lines to stdin:
 //   loss <rate> | delay <ms> | block-to <id> | unblock-to <id>
 //   block-from <id> | unblock-from <id> | heal
+//
+// Observability: --trace-file writes the schema-v1 JSONL protocol trace
+// (one file per node; merge them with tools/bgla_trace), --metrics-json
+// writes a final metrics snapshot, --metrics-port serves the live
+// Prometheus text format on 127.0.0.1, and SIGUSR1 dumps the same text to
+// stderr at any point.
 #include <poll.h>
 #include <unistd.h>
+
+#include <csignal>
 
 #include <algorithm>
 #include <atomic>
@@ -64,6 +72,10 @@
 #include "la/wts.h"
 #include "lattice/set_elem.h"
 #include "net/socket_transport.h"
+#include "obs/exporter.h"
+#include "obs/instrument.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "rsm/client.h"
 #include "rsm/replica.h"
 #include "store/replica_store.h"
@@ -92,6 +104,9 @@ struct Args {
   double loss_rate = 0.0;
   std::string data_dir;
   bool chaos_stdin = false;
+  std::string trace_file;
+  std::string metrics_json;
+  std::uint32_t metrics_port = 0;
 };
 
 Args parse(int argc, char** argv) {
@@ -123,6 +138,12 @@ Args parse(int argc, char** argv) {
                    "durable state directory (enables crash recovery)");
   flags.add_bool("chaos-stdin", &a.chaos_stdin,
                  "accept fault-injection commands on stdin");
+  flags.add_string("trace-file", &a.trace_file,
+                   "write the JSONL protocol trace to this file");
+  flags.add_string("metrics-json", &a.metrics_json,
+                   "write a final metrics snapshot (JSON) to this file");
+  flags.add_u32("metrics-port", &a.metrics_port,
+                "serve Prometheus text on 127.0.0.1:<port> (0 = off)");
   flags.parse_or_exit(argc, argv);
   if (a.topology.empty()) flags.fail("--topology is required");
   if (!a.data_dir.empty() && a.client) {
@@ -262,6 +283,9 @@ void chaos_stdin_loop(net::SocketTransport& net,
   }
 }
 
+volatile std::sig_atomic_t g_dump_metrics = 0;
+void on_sigusr1(int) { g_dump_metrics = 1; }
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -294,6 +318,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Observability sinks. The registry always exists (its cost without a
+  // reader is a few cached atomics); the trace writer only with a file.
+  obs::Registry registry;
+  std::unique_ptr<obs::TraceWriter> trace;
+  if (!a.trace_file.empty()) {
+    obs::TraceWriter::Options topt;
+    topt.path = a.trace_file;
+    if (store != nullptr) topt.incarnation = store->incarnation();
+    trace = std::make_unique<obs::TraceWriter>(topt);
+  }
+  obs::Instrument instr(&registry, trace.get());
+  std::signal(SIGUSR1, &on_sigusr1);
+
   net::SocketConfig scfg;
   scfg.self = a.id;
   scfg.peers = peers;
@@ -302,6 +339,7 @@ int main(int argc, char** argv) {
   scfg.loss_rate = a.loss_rate;
   if (store != nullptr) scfg.incarnation = store->incarnation();
   net::SocketTransport net(scfg);
+  net.set_observability(&registry, trace.get());
   net.bind_and_listen();
 
   la::LaConfig cfg;
@@ -322,13 +360,22 @@ int main(int argc, char** argv) {
   // intact durable record (full-state WAL: last record wins, falling back
   // to the snapshot), then hook persistence for all later transitions.
   // Must run before any submit() call and before net.start().
-  const auto wire_store = [&store](auto* p) -> bool {
+  const auto steady_us = [] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  };
+  const auto wire_store = [&store, &instr, &registry, &a,
+                           &steady_us](auto* p) -> bool {
+    p->set_instrument(&instr);
     if (store == nullptr) return true;
     if (store->found()) {
       const Bytes& latest = store->wal_records().empty()
                                 ? store->snapshot()
                                 : store->wal_records().back();
       if (!latest.empty()) {
+        const std::uint64_t t0 = steady_us();
         try {
           Decoder dec{BytesView(latest)};
           p->import_state(dec);
@@ -337,15 +384,19 @@ int main(int argc, char** argv) {
                     << "': " << e.what() << "\n";
           return false;
         }
+        registry.histogram("bgla_store_replay_latency_us")
+            .observe(steady_us() - t0);
         std::cout << "recovered state from " << store->dir()
                   << " (incarnation " << store->incarnation() << ")\n";
       }
     }
     store::ReplicaStore* sp = store.get();
-    p->set_persist_hook([p, sp] {
+    p->set_persist_hook([p, sp, &instr, &a, &steady_us] {
       Encoder e;
       p->export_state(e);
+      const std::uint64_t t0 = steady_us();
       sp->persist(BytesView(e.bytes()));
+      instr.on_persist(a.id, e.bytes().size(), steady_us() - t0);
     });
     return true;
   };
@@ -467,9 +518,28 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  endpoint->set_instrument(&instr);  // clients too (replicas: re-set, same)
+
+  std::unique_ptr<obs::MetricsHttpServer> metrics_server;
+  if (a.metrics_port != 0) {
+    metrics_server = std::make_unique<obs::MetricsHttpServer>(
+        &registry, static_cast<std::uint16_t>(a.metrics_port));
+    std::cout << "metrics on http://127.0.0.1:" << metrics_server->port()
+              << "/metrics\n";
+  }
+
   std::cout << "node " << a.id << " (" << a.protocol
             << (a.client ? ", client" : "") << ") n=" << n << " f=" << a.f
             << " listening on port " << net.port() << "\n";
+
+  if (trace != nullptr) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kNodeStart;
+    ev.node = a.id;
+    trace->record(std::move(ev.with("protocol", a.protocol)
+                                .with("n", n)
+                                .with("f", a.f)));
+  }
 
   net.start();
 
@@ -485,6 +555,10 @@ int main(int argc, char** argv) {
   bool finished = false;
   while (!finished && std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    if (g_dump_metrics != 0) {
+      g_dump_metrics = 0;
+      std::cerr << registry.snapshot().to_prometheus();
+    }
     auto lock = net.dispatch_lock();
     finished = done();
   }
@@ -498,6 +572,41 @@ int main(int argc, char** argv) {
   net.stop();
 
   const bool ok = report() && (finished || !completion_expected);
+
+  // Final observability drain: PR 1 crypto counters, the summary event,
+  // the JSON snapshot and the trace flush, in that order (the snapshot
+  // must see the crypto gauges; the trace must see node_final).
+  const crypto::CryptoCounters& cc = auth.counters();
+  obs::publish_crypto(registry, cc.macs_computed, cc.verify_cache_hits,
+                      cc.verify_cache_misses);
+  if (trace != nullptr) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kNodeFinal;
+    ev.node = a.id;
+    trace->record(std::move(
+        ev.with("decided",
+                registry.counter("bgla_proto_decides_total").value())
+            .with("msgs_sent",
+                  registry.counter("bgla_proto_msgs_sent_total").value())
+            .with("refinements",
+                  registry.counter("bgla_proto_refinements_total")
+                      .value())));
+    trace->flush();
+    if (trace->dropped() > 0) {
+      std::cerr << "trace: ring overflow dropped " << trace->dropped()
+                << " event(s)\n";
+    }
+  }
+  if (!a.metrics_json.empty()) {
+    std::ofstream out(a.metrics_json);
+    if (!out) {
+      std::cerr << "error: cannot write metrics to '" << a.metrics_json
+                << "'\n";
+    } else {
+      out << registry.snapshot().to_json() << "\n";
+    }
+  }
+
   std::cout << (ok ? "node exit: ok" : "node exit: DID NOT FINISH") << "\n";
   return ok ? 0 : 1;
 }

@@ -12,11 +12,16 @@
 //   bgla_run --protocol rsm   --n 4 --f 1 --byz-replicas 1 --byz-client
 //   bgla_run --protocol faleiro --n 3 --byz-lying-acker --sched targeted
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "harness/scenario.h"
+#include "obs/instrument.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 
 using namespace bgla;
@@ -44,6 +49,8 @@ struct Args {
   bool trace = false;
   bool trace_rb = false;
   bool signed_rb = false;
+  std::string trace_file;
+  std::string metrics_json;
 };
 
 util::FlagSet make_flags(Args& a, std::string& adversary,
@@ -79,6 +86,11 @@ util::FlagSet make_flags(Args& a, std::string& adversary,
                  "print every delivered message (stderr)");
   flags.add_bool("trace-rb", &a.trace_rb,
                  "include reliable-broadcast internals");
+  flags.add_string("trace-file", &a.trace_file,
+                   "write the JSONL protocol trace (tools/bgla_trace reads "
+                   "it) to this file");
+  flags.add_string("metrics-json", &a.metrics_json,
+                   "write a final metrics snapshot (JSON) to this file");
   return flags;
 }
 
@@ -131,11 +143,63 @@ int verdict(bool ok) {
   return ok ? 0 : 1;
 }
 
+/// Observability sinks for the run, drained on scope exit (every protocol
+/// branch returns directly, so the destructor is the single exit path).
+struct ObsSinks {
+  obs::Registry registry;
+  std::unique_ptr<obs::TraceWriter> trace;
+  std::unique_ptr<obs::Instrument> instrument;
+  std::string metrics_json;
+
+  explicit ObsSinks(const Args& a) : metrics_json(a.metrics_json) {
+    if (!a.trace_file.empty()) {
+      obs::TraceWriter::Options topt;
+      topt.path = a.trace_file;
+      trace = std::make_unique<obs::TraceWriter>(topt);
+    }
+    if (trace != nullptr || !metrics_json.empty()) {
+      instrument = std::make_unique<obs::Instrument>(&registry, trace.get());
+      if (trace != nullptr) {
+        // One synthetic node_start carries the deployment coordinates so
+        // the analyzer can check bounds without extra flags.
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::kNodeStart;
+        ev.node = 0;
+        trace->record(std::move(ev.with("protocol", a.protocol)
+                                    .with("n", a.n)
+                                    .with("f", a.f)));
+      }
+    }
+  }
+
+  ~ObsSinks() {
+    if (trace != nullptr) {
+      trace->flush();
+      if (trace->dropped() > 0) {
+        std::cerr << "trace: ring overflow dropped " << trace->dropped()
+                  << " event(s)\n";
+      }
+    }
+    if (!metrics_json.empty()) {
+      std::ofstream out(metrics_json);
+      if (!out) {
+        std::cerr << "error: cannot write metrics to '" << metrics_json
+                  << "'\n";
+      } else {
+        out << registry.snapshot().to_json() << "\n";
+      }
+    }
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args a = parse(argc, argv);
   print_header(a);
+
+  ObsSinks obs_sinks(a);
+  obs::Instrument* const instr = obs_sinks.instrument.get();
 
   if (a.protocol == "wts") {
     harness::WtsScenario sc;
@@ -147,6 +211,7 @@ int main(int argc, char** argv) {
     sc.seed = a.seed;
     sc.trace = a.trace;
     sc.trace_broadcast = a.trace_rb;
+    sc.instrument = instr;
     const auto r = harness::run_wts(sc);
     std::cout << "completed:        " << (r.completed ? "yes" : "NO")
               << "\nspec:             "
@@ -184,6 +249,7 @@ int main(int argc, char** argv) {
       sc.seed = a.seed;
       sc.trace = a.trace;
       sc.trace_broadcast = a.trace_rb;
+    sc.instrument = instr;
       sc.target_decisions = a.decisions;
       sc.submissions_per_proc = a.submissions;
       sc.signed_rb = a.signed_rb;
@@ -198,6 +264,7 @@ int main(int argc, char** argv) {
     sc.seed = a.seed;
     sc.trace = a.trace;
     sc.trace_broadcast = a.trace_rb;
+    sc.instrument = instr;
     sc.target_decisions = a.decisions;
     sc.submissions_per_proc = a.submissions;
     return print(harness::run_gsbs(sc));
@@ -212,6 +279,7 @@ int main(int argc, char** argv) {
     sc.seed = a.seed;
     sc.trace = a.trace;
     sc.trace_broadcast = a.trace_rb;
+    sc.instrument = instr;
     const auto r = harness::run_sbs(sc);
     std::cout << "completed:        " << (r.completed ? "yes" : "NO")
               << "\nspec:             "
@@ -235,6 +303,7 @@ int main(int argc, char** argv) {
     sc.seed = a.seed;
     sc.trace = a.trace;
     sc.trace_broadcast = a.trace_rb;
+    sc.instrument = instr;
     sc.submissions_per_proc = a.submissions;
     const auto r = harness::run_faleiro(sc);
     std::cout << "completed:        " << (r.completed ? "yes" : "NO")
@@ -263,6 +332,7 @@ int main(int argc, char** argv) {
     sc.seed = a.seed;
     sc.trace = a.trace;
     sc.trace_broadcast = a.trace_rb;
+    sc.instrument = instr;
     const auto r = harness::run_rsm(sc);
     std::cout << "completed:        " << (r.completed ? "yes" : "NO")
               << "\nproperties:       "

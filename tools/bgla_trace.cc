@@ -1,0 +1,546 @@
+// bgla_trace — offline analyzer for the schema-v1 JSONL protocol traces
+// written by bgla_node / bgla_run (--trace-file) and the fault timeline
+// written by bgla_nemesis (--trace).
+//
+// The analyzer merges the per-node files into one wall-clock-ordered
+// event stream, reconstructs per-proposal timelines, and prints:
+//   - a per-node activity table (proposals, acks, nacks, refinements,
+//     round advances, decides, rejoins, messages sent)
+//   - rounds-to-decision and messages-per-decision tables
+//   - decide-latency quantiles (p50 / p90 / p99 / max)
+//   - explicit PASS/FAIL verdicts for the paper's bounds, checked on the
+//     live run: Theorem 3 (WTS decides within 2f+5 message delays, i.e.
+//     every decision's refinement count r satisfies r <= f) and Theorem 8
+//     (SbS within 4f+5, i.e. r <= 2f), plus the O(N)-messages-per-decision
+//     claim (per-node messages per decision bounded linearly in n).
+//   - with --faults: decisions-during-partition and recovery-latency
+//     sections for nemesis campaigns.
+//
+// Over sockets there is no causal-depth instrumentation (that is a
+// simulator concept), so the delay bounds are checked through the
+// refinement counts the proofs bound them by: a decision with r
+// refinements takes 2r+5 delays in WTS/GWTS (Thm 3) and 4f+5 total in SbS
+// with r <= 2f (Thm 8). A refinement count past the bound is exactly a
+// delay-bound violation.
+//
+// Any schema violation or bound failure makes the exit status non-zero,
+// which is what the CI observability job keys on.
+//
+//   bgla_trace --input n0.trace.jsonl --input n1.trace.jsonl ...
+//   bgla_trace --input 'run/*.trace.jsonl' --faults run/faults.jsonl
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <glob.h>
+
+#include "obs/jsonl.h"
+#include "obs/schema.h"
+#include "obs/trace.h"
+#include "util/flags.h"
+
+using namespace bgla;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> inputs;  // node trace files (globs allowed)
+  std::string faults;               // nemesis faults.jsonl
+  std::string protocol;             // override (default: from node_start)
+  std::uint32_t n = 0;              // override
+  std::uint32_t f = 0xffffffff;     // override
+  std::string json;                 // machine-readable summary
+  bool timelines = false;           // print every per-proposal timeline
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  util::FlagSet flags(
+      "bgla_trace",
+      "merge JSONL protocol traces and check the paper's bounds");
+  flags.add_string_list("input", &a.inputs,
+                        "node trace file (repeatable; globs allowed)");
+  flags.add_string("faults", &a.faults,
+                   "bgla_nemesis faults.jsonl fault timeline");
+  flags.add_string("protocol", &a.protocol,
+                   "override the protocol recorded in node_start");
+  flags.add_u32("n", &a.n, "override the cluster size");
+  flags.add_u32("f", &a.f, "override the resilience parameter");
+  flags.add_string("json", &a.json, "write a JSON summary to this file");
+  flags.add_bool("timelines", &a.timelines,
+                 "print every reconstructed per-proposal timeline");
+  flags.parse_or_exit(argc, argv);
+  if (a.inputs.empty()) flags.fail("at least one --input is required");
+  return a;
+}
+
+/// Expands shell-style globs so `--input 'run/*.jsonl'` works even when
+/// the shell passed the pattern through unexpanded.
+std::vector<std::string> expand_inputs(const std::vector<std::string>& in) {
+  std::vector<std::string> out;
+  for (const std::string& pattern : in) {
+    if (pattern.find_first_of("*?[") == std::string::npos) {
+      out.push_back(pattern);
+      continue;
+    }
+    glob_t g{};
+    if (::glob(pattern.c_str(), 0, nullptr, &g) == 0) {
+      for (std::size_t i = 0; i < g.gl_pathc; ++i) {
+        out.emplace_back(g.gl_pathv[i]);
+      }
+    }
+    ::globfree(&g);
+  }
+  return out;
+}
+
+struct Ev {
+  obs::EventKind kind = obs::EventKind::kNodeStart;
+  std::uint64_t node = 0;
+  std::uint64_t inc = 0;
+  std::uint64_t wall_us = 0;
+  obs::FlatJson fields;
+
+  std::uint64_t u(const char* key) const {
+    const auto it = fields.find(key);
+    return it == fields.end() ? 0 : it->second.u64;
+  }
+  std::string s(const char* key) const {
+    const auto it = fields.find(key);
+    return it == fields.end() ? std::string() : it->second.str;
+  }
+};
+
+/// Reads and validates one JSONL file; schema violations are printed and
+/// counted, valid lines become events.
+std::size_t load_file(const std::string& path, std::vector<Ev>* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open '" << path << "'\n";
+    return 1;
+  }
+  std::size_t violations = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    obs::FlatJson obj;
+    std::string err;
+    if (!obs::validate_trace_jsonl(line, line_no, &obj, &err)) {
+      std::cerr << "schema violation: " << path << ":" << line_no << ": "
+                << err << "\n";
+      ++violations;
+      continue;
+    }
+    Ev ev;
+    ev.kind = static_cast<obs::EventKind>(
+        obs::kind_index_from_name(obj.at("kind").str));
+    ev.node = obj.at("node").u64;
+    ev.inc = obj.at("inc").u64;
+    ev.wall_us = obj.at("wall_us").u64;
+    ev.fields = std::move(obj);
+    out->push_back(std::move(ev));
+  }
+  return violations;
+}
+
+struct Quantiles {
+  std::uint64_t p50 = 0, p90 = 0, p99 = 0, max = 0;
+  std::size_t count = 0;
+};
+
+Quantiles quantiles(std::vector<std::uint64_t> v) {
+  Quantiles q;
+  q.count = v.size();
+  if (v.empty()) return q;
+  std::sort(v.begin(), v.end());
+  const auto at = [&v](double p) {
+    const std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(v.size() - 1) + 0.5);
+    return v[std::min(idx, v.size() - 1)];
+  };
+  q.p50 = at(0.50);
+  q.p90 = at(0.90);
+  q.p99 = at(0.99);
+  q.max = v.back();
+  return q;
+}
+
+struct PerNode {
+  std::uint64_t proposals = 0, acks = 0, nacks = 0, refines = 0;
+  std::uint64_t round_advances = 0, decides = 0, rejoins = 0;
+  std::uint64_t retransmits = 0;
+  // From node_final (the registry totals, authoritative for msg counts).
+  bool has_final = false;
+  std::uint64_t final_decided = 0, final_msgs = 0, final_refinements = 0;
+};
+
+struct Decide {
+  std::uint64_t node = 0, proposal = 0, round = 0, refinements = 0;
+  std::uint64_t latency_us = 0, wall_us = 0;
+};
+
+struct Verdict {
+  std::string name;
+  bool pass = false;
+  std::string detail;
+};
+
+void print_verdict(const Verdict& v) {
+  std::cout << "  [" << (v.pass ? "PASS" : "FAIL") << "] " << v.name
+            << ": " << v.detail << "\n";
+}
+
+std::string fmt_us(std::uint64_t us) {
+  std::ostringstream os;
+  if (us >= 1000000) {
+    os << std::fixed << std::setprecision(2)
+       << static_cast<double>(us) / 1e6 << "s";
+  } else if (us >= 1000) {
+    os << std::fixed << std::setprecision(2)
+       << static_cast<double>(us) / 1e3 << "ms";
+  } else {
+    os << us << "us";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  const std::vector<std::string> files = expand_inputs(a.inputs);
+  if (files.empty()) {
+    std::cerr << "error: no input files matched\n";
+    return 2;
+  }
+
+  std::vector<Ev> events;
+  std::size_t violations = 0;
+  for (const std::string& path : files) {
+    violations += load_file(path, &events);
+  }
+  if (!a.faults.empty()) violations += load_file(a.faults, &events);
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Ev& x, const Ev& y) {
+                     return x.wall_us < y.wall_us;
+                   });
+
+  // ---- deployment coordinates: node_start events, overridable ----------
+  std::string protocol = a.protocol;
+  std::uint32_t n = a.n;
+  std::uint32_t f = a.f;
+  std::set<std::uint64_t> nodes_seen;
+  for (const Ev& ev : events) {
+    if (ev.kind == obs::EventKind::kFault) continue;  // driver pseudo-node
+    nodes_seen.insert(ev.node);
+    if (ev.kind != obs::EventKind::kNodeStart) continue;
+    if (protocol.empty()) protocol = ev.s("protocol");
+    if (n == 0) n = static_cast<std::uint32_t>(ev.u("n"));
+    if (f == 0xffffffff) f = static_cast<std::uint32_t>(ev.u("f"));
+  }
+  if (f == 0xffffffff) f = 1;
+  if (n == 0) n = static_cast<std::uint32_t>(nodes_seen.size());
+  const bool sbs_family = protocol == "sbs" || protocol == "gsbs";
+  const bool crash_family =
+      protocol == "faleiro-la" || protocol == "faleiro";
+
+  std::cout << "bgla_trace: " << events.size() << " event(s) from "
+            << files.size() << " file(s), " << nodes_seen.size()
+            << " node(s); protocol=" << (protocol.empty() ? "?" : protocol)
+            << " n=" << n << " f=" << f << "\n\n";
+
+  // ---- per-node accumulation -------------------------------------------
+  std::map<std::uint64_t, PerNode> per_node;
+  std::vector<Decide> decides;
+  std::vector<std::uint64_t> rejoin_latencies;
+  // (node, proposal) -> ordered event refs for --timelines.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<const Ev*>>
+      timelines;
+
+  for (const Ev& ev : events) {
+    PerNode& pn = per_node[ev.node];
+    switch (ev.kind) {
+      case obs::EventKind::kPropose:
+        ++pn.proposals;
+        timelines[{ev.node, ev.u("proposal")}].push_back(&ev);
+        break;
+      case obs::EventKind::kAck: ++pn.acks; break;
+      case obs::EventKind::kNack: ++pn.nacks; break;
+      case obs::EventKind::kRefine:
+        ++pn.refines;
+        timelines[{ev.node, ev.u("proposal")}].push_back(&ev);
+        break;
+      case obs::EventKind::kRoundAdvance: ++pn.round_advances; break;
+      case obs::EventKind::kDecide: {
+        ++pn.decides;
+        Decide d;
+        d.node = ev.node;
+        d.proposal = ev.u("proposal");
+        d.round = ev.u("round");
+        d.refinements = ev.u("refinements");
+        d.latency_us = ev.u("latency_us");
+        d.wall_us = ev.wall_us;
+        decides.push_back(d);
+        timelines[{ev.node, d.proposal}].push_back(&ev);
+        break;
+      }
+      case obs::EventKind::kRejoinStart: ++pn.rejoins; break;
+      case obs::EventKind::kRejoinDone:
+        rejoin_latencies.push_back(ev.u("latency_us"));
+        break;
+      case obs::EventKind::kRetransmit:
+        pn.retransmits += ev.u("frames");
+        break;
+      case obs::EventKind::kNodeFinal:
+        pn.has_final = true;
+        pn.final_decided = ev.u("decided");
+        pn.final_msgs = ev.u("msgs_sent");
+        pn.final_refinements = ev.u("refinements");
+        break;
+      default: break;
+    }
+  }
+
+  std::cout << "per-node activity:\n"
+            << "  node  propose    ack   nack refine  round decide rejoin"
+               "  retx   msgs\n";
+  for (const auto& [id, pn] : per_node) {
+    std::cout << "  " << std::setw(4) << id << std::setw(9) << pn.proposals
+              << std::setw(7) << pn.acks << std::setw(7) << pn.nacks
+              << std::setw(7) << pn.refines << std::setw(7)
+              << pn.round_advances << std::setw(7) << pn.decides
+              << std::setw(7) << pn.rejoins << std::setw(6)
+              << pn.retransmits << std::setw(7)
+              << (pn.has_final ? std::to_string(pn.final_msgs) : "?")
+              << "\n";
+  }
+
+  // ---- rounds-to-decision / refinements / latency ----------------------
+  std::vector<std::uint64_t> latencies, refinement_counts;
+  std::map<std::uint64_t, std::uint64_t> refinement_histo;
+  for (const Decide& d : decides) {
+    latencies.push_back(d.latency_us);
+    refinement_counts.push_back(d.refinements);
+    ++refinement_histo[d.refinements];
+  }
+  std::cout << "\ndecisions: " << decides.size() << "\n";
+  if (!decides.empty()) {
+    std::cout << "  refinements per decision (r -> count):";
+    for (const auto& [r, c] : refinement_histo) {
+      std::cout << "  " << r << "->" << c;
+    }
+    const Quantiles lq = quantiles(latencies);
+    std::cout << "\n  decide latency: p50=" << fmt_us(lq.p50)
+              << " p90=" << fmt_us(lq.p90) << " p99=" << fmt_us(lq.p99)
+              << " max=" << fmt_us(lq.max) << "\n";
+  }
+
+  if (a.timelines) {
+    std::cout << "\nper-proposal timelines (node/proposal):\n";
+    for (const auto& [key, evs] : timelines) {
+      std::cout << "  n" << key.first << "/p" << key.second << ":";
+      const std::uint64_t t0 = evs.front()->wall_us;
+      for (const Ev* ev : evs) {
+        std::cout << " +" << fmt_us(ev->wall_us - t0) << " "
+                  << obs::kind_name(ev->kind);
+      }
+      std::cout << "\n";
+    }
+  }
+
+  // ---- bound verdicts ---------------------------------------------------
+  std::vector<Verdict> verdicts;
+
+  {
+    // Refinement bound <=> delay bound. Thm 3: a WTS decision with r
+    // refinements takes 2r+5 delays, and r <= f, so 2f+5 bounds it.
+    // Thm 8 (SbS): r <= 2f and the decision fits in 4f+5 delays. The
+    // crash-stop baseline has no Byzantine bound; its lattice height
+    // bounds r by the number of submitting processes, i.e. r < n.
+    const std::uint64_t bound = sbs_family ? 2ull * f
+                                : crash_family ? (n > 0 ? n - 1 : 0)
+                                               : f;
+    const char* label = sbs_family
+                            ? "Thm 8: refinements <= 2f (decides in <= "
+                              "4f+5 delays)"
+                        : crash_family
+                            ? "crash GLA: refinements < n"
+                            : "Thm 3: refinements <= f (decides in <= "
+                              "2f+5 delays)";
+    std::uint64_t worst = 0;
+    std::uint64_t over = 0;
+    for (const Decide& d : decides) {
+      worst = std::max(worst, d.refinements);
+      if (d.refinements > bound) ++over;
+    }
+    Verdict v;
+    v.name = label;
+    v.pass = over == 0;
+    std::ostringstream os;
+    os << "max refinements " << worst << " vs bound " << bound << " over "
+       << decides.size() << " decision(s)";
+    if (over > 0) os << "; " << over << " VIOLATION(S)";
+    v.detail = os.str();
+    verdicts.push_back(std::move(v));
+  }
+
+  {
+    // Message complexity. SbS/GSbS replace reliable broadcast with
+    // signatures, so a proposal round costs O(n) messages per node and a
+    // decision (1 + r rounds) stays within O(n*(1+r)) — the §8.2 claim.
+    // WTS/GWTS disclose through Bracha RB, whose echo/ready phases cost
+    // O(n^2) per round (the §6.4 claim is O(f*n^2) per decision). The
+    // crash-stop baseline sends plain point-to-point rounds: O(n). The
+    // factor absorbs acceptor-side replies to the other proposers,
+    // round-advance traffic, and each rejoin's catch-up re-proposal.
+    constexpr std::uint64_t kFactor = 16;
+    const bool quadratic = protocol == "wts" || protocol == "gwts";
+    bool any = false;
+    bool pass = true;
+    std::uint64_t worst = 0, worst_node = 0, worst_allowed = 0;
+    for (const auto& [id, pn] : per_node) {
+      if (!pn.has_final || pn.final_decided == 0) continue;
+      any = true;
+      const std::uint64_t per_decision = pn.final_msgs / pn.final_decided;
+      const std::uint64_t base =
+          quadratic ? static_cast<std::uint64_t>(n) * n : n;
+      const std::uint64_t allowed =
+          kFactor * base * (1 + pn.final_refinements) * (1 + pn.rejoins);
+      if (per_decision > allowed) pass = false;
+      if (per_decision > worst) {
+        worst = per_decision;
+        worst_node = id;
+        worst_allowed = allowed;
+      }
+    }
+    Verdict v;
+    v.name = quadratic ? "O(N^2) messages per decision per node (RB)"
+                       : "O(N) messages per decision per node";
+    v.pass = !any || pass;
+    std::ostringstream os;
+    if (!any) {
+      os << "no node_final totals in the trace (skipped)";
+    } else {
+      os << "worst " << worst << " msgs/decision (node " << worst_node
+         << ") vs allowance " << worst_allowed << " = " << kFactor << "*"
+         << (quadratic ? "n^2" : "n") << "*(1+r)*(1+rejoins)";
+    }
+    v.detail = os.str();
+    verdicts.push_back(std::move(v));
+  }
+
+  // ---- nemesis sections -------------------------------------------------
+  std::size_t decisions_in_partition = 0;
+  bool have_partition = false;
+  if (!a.faults.empty()) {
+    std::cout << "\nfault timeline:\n";
+    std::uint64_t part_start = 0;
+    std::map<std::uint64_t, std::uint64_t> restart_wall;  // node -> wall
+    std::vector<std::uint64_t> restart_recovery_us;
+    for (const Ev& ev : events) {
+      if (ev.kind != obs::EventKind::kFault) continue;
+      const std::string desc = ev.s("fault");
+      std::cout << "  +" << fmt_us(ev.wall_us - events.front().wall_us)
+                << "  " << desc << "\n";
+      std::istringstream ds(desc);
+      std::string verb;
+      std::uint64_t operand = 0;
+      ds >> verb >> operand;
+      if (verb == "partition_start") {
+        have_partition = true;
+        part_start = ev.wall_us;
+      } else if (verb == "partition_end") {
+        for (const Decide& d : decides) {
+          if (d.wall_us >= part_start && d.wall_us <= ev.wall_us) {
+            ++decisions_in_partition;
+          }
+        }
+        part_start = 0;
+      } else if (verb == "restart") {
+        restart_wall[operand] = ev.wall_us;
+      }
+    }
+    // Recovery latency per restart: fault wall time -> the node's next
+    // rejoin_done (preferred) or first decide afterwards.
+    for (const auto& [node, t0] : restart_wall) {
+      std::uint64_t best = 0;
+      for (const Ev& ev : events) {
+        if (ev.node != node || ev.wall_us < t0) continue;
+        if (ev.kind == obs::EventKind::kRejoinDone ||
+            ev.kind == obs::EventKind::kDecide) {
+          best = ev.wall_us - t0;
+          break;
+        }
+      }
+      if (best > 0) restart_recovery_us.push_back(best);
+    }
+    if (have_partition) {
+      std::cout << "\ndecisions during partition window(s): "
+                << decisions_in_partition << "\n";
+    }
+    if (!rejoin_latencies.empty()) {
+      const Quantiles rq = quantiles(rejoin_latencies);
+      std::cout << "rejoin catch-up latency: p50=" << fmt_us(rq.p50)
+                << " p99=" << fmt_us(rq.p99) << " max=" << fmt_us(rq.max)
+                << " (" << rq.count << " rejoin(s))\n";
+    }
+    if (!restart_recovery_us.empty()) {
+      const Quantiles kq = quantiles(restart_recovery_us);
+      std::cout << "restart -> recovered (rejoin_done/first decide): p50="
+                << fmt_us(kq.p50) << " max=" << fmt_us(kq.max) << " ("
+                << kq.count << " restart(s))\n";
+    }
+  }
+
+  // ---- verdicts + exit --------------------------------------------------
+  std::cout << "\nbound checks:\n";
+  for (const Verdict& v : verdicts) print_verdict(v);
+  if (violations > 0) {
+    std::cout << "  [FAIL] schema: " << violations << " violation(s)\n";
+  } else {
+    std::cout << "  [PASS] schema: all " << events.size()
+              << " line(s) valid\n";
+  }
+
+  bool ok = violations == 0;
+  for (const Verdict& v : verdicts) ok = ok && v.pass;
+
+  if (!a.json.empty()) {
+    std::ofstream out(a.json);
+    const Quantiles lq = quantiles(latencies);
+    out << "{\"events\":" << events.size()
+        << ",\"nodes\":" << nodes_seen.size()
+        << ",\"protocol\":\"" << protocol << "\",\"n\":" << n
+        << ",\"f\":" << f << ",\"decisions\":" << decides.size()
+        << ",\"schema_violations\":" << violations
+        << ",\"decide_latency_us\":{\"p50\":" << lq.p50
+        << ",\"p90\":" << lq.p90 << ",\"p99\":" << lq.p99
+        << ",\"max\":" << lq.max << "}"
+        << ",\"max_refinements\":"
+        << (refinement_counts.empty()
+                ? 0
+                : *std::max_element(refinement_counts.begin(),
+                                    refinement_counts.end()))
+        << ",\"decisions_in_partition\":" << decisions_in_partition
+        << ",\"bounds\":[";
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"name\":\"" << verdicts[i].name << "\",\"pass\":"
+          << (verdicts[i].pass ? "true" : "false") << "}";
+    }
+    out << "],\"ok\":" << (ok ? "true" : "false") << "}\n";
+  }
+
+  std::cout << "\n" << (ok ? "bgla_trace: OK" : "bgla_trace: FAILED")
+            << "\n";
+  return ok ? 0 : 1;
+}

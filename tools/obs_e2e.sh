@@ -1,0 +1,24 @@
+#!/bin/sh
+# Observability end-to-end check: run a real loopback TCP cluster with
+# JSONL tracing on (fault-free nemesis campaign), then feed the merged
+# traces to bgla_trace, which exits non-zero if any schema line or any of
+# the paper's bounds (Thm 3 / Thm 8 refinement caps, message complexity)
+# is violated.
+#
+# usage: obs_e2e.sh NEMESIS_BIN TRACE_BIN NODE_BIN WORKDIR [nemesis args...]
+set -eu
+
+NEMESIS=$1
+TRACE=$2
+NODE=$3
+WORKDIR=$4
+shift 4
+
+rm -rf "$WORKDIR"
+
+"$NEMESIS" --node-bin "$NODE" --workdir "$WORKDIR" \
+  --campaign none --trace "$@"
+
+# bgla_trace expands the glob itself; keep it quoted.
+"$TRACE" --input "$WORKDIR/node*.trace.jsonl" \
+  --faults "$WORKDIR/faults.jsonl"
