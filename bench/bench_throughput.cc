@@ -1,0 +1,194 @@
+// T-throughput — proposal batching across the generalized protocols.
+//
+// Claim under test: coalescing pending submissions into one lattice join
+// per round (the PODC'12 "buffered values" scheme, here with explicit
+// size/byte/time release policies) multiplies end-to-end command
+// throughput, because a round's cost is (nearly) independent of how many
+// values ride in its batch. Measured on the closed-loop harness: commands
+// per 1000 sim ticks and p50/p99 submit→decide latency, for
+// faleiro-la/gwts/gsbs × batch ∈ {1, 4, 16, 64} at n = 7, plus pipelined
+// variants for the round-based protocols.
+//
+// Machine artifact: BENCH_throughput.json. gate_ok asserts the headline
+// acceptance: gwts n=7 at batch=64 sustains ≥ 3× the commands/sec of
+// batch=1, and every cell's la/spec safety verdict holds.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/json.h"
+#include "bench/table.h"
+#include "harness/throughput.h"
+#include "util/flags.h"
+
+using namespace bgla;
+using harness::ThroughputProtocol;
+
+namespace {
+
+struct Cell {
+  ThroughputProtocol protocol;
+  std::uint32_t batch;  // max_batch knob (values per round batch)
+  bool pipeline;
+};
+
+struct CellResult {
+  double cmds_per_ktick = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double mean_batch = 0.0;
+  std::uint64_t backpressure = 0;
+  bool spec_ok = true;
+  bool completed = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_throughput.json";
+  bool smoke = false;
+  std::uint64_t seeds = 3;
+  std::uint32_t n = 7;
+  std::uint32_t commands = 96;
+  util::FlagSet flags("bench_throughput");
+  flags.add_string("json", &json_path, "output JSON path");
+  flags.add_bool("smoke", &smoke,
+                 "CI mode: 1 seed, short feeds, batch {1,64} only");
+  flags.add_u64("seeds", &seeds, "seeds per cell");
+  flags.add_u32("n", &n, "cluster size");
+  flags.add_u32("commands", &commands, "commands per process");
+  flags.parse_or_exit(argc, argv);
+  if (smoke) {
+    seeds = 1;
+    commands = 16;
+  }
+
+  bench::banner(
+      "T-throughput: ingress batching + pipelined rounds — commands/ktick "
+      "and decide latency vs batch size (closed loop, n=" +
+      std::to_string(n) + ")");
+
+  const std::vector<std::uint32_t> batches =
+      smoke ? std::vector<std::uint32_t>{1, 64}
+            : std::vector<std::uint32_t>{1, 4, 16, 64};
+  std::vector<Cell> cells;
+  for (const ThroughputProtocol p :
+       {ThroughputProtocol::kFaleiro, ThroughputProtocol::kGwts,
+        ThroughputProtocol::kGsbs}) {
+    for (const std::uint32_t b : batches) {
+      cells.push_back({p, b, false});
+      // Pipelining applies to the round-based protocols; measure it on the
+      // largest batch, where the disclosure/init phase it hides is widest.
+      if (p != ThroughputProtocol::kFaleiro && b == batches.back()) {
+        cells.push_back({p, b, true});
+      }
+    }
+  }
+
+  bench::Table table({"protocol", "n", "f", "batch", "pipeline",
+                      "cmds/ktick", "p50_lat", "p99_lat", "mean_batch",
+                      "backpressure", "spec_ok"});
+  std::vector<std::string> rows_json;
+  bool all_spec_ok = true;
+  bool all_completed = true;
+  double gwts_batch1 = 0.0;
+  double gwts_batch64 = 0.0;
+
+  for (const Cell& c : cells) {
+    const bool crash = c.protocol == ThroughputProtocol::kFaleiro;
+    const std::uint32_t f = crash ? (n - 1) / 2 : (n - 1) / 3;
+    bench::Agg thr, p50, p99, mb;
+    CellResult res;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      harness::ThroughputScenario sc;
+      sc.protocol = c.protocol;
+      sc.n = n;
+      sc.f = f;
+      sc.batch.max_batch = c.batch;
+      sc.batch.pipeline = c.pipeline;
+      sc.commands_per_proc = commands;
+      // Keep the offered load constant across batch sizes: the window
+      // must cover the largest batch or big batches starve.
+      sc.window = std::max<std::uint32_t>(commands, 64);
+      sc.seed = seed;
+      const harness::ThroughputReport rep = harness::run_throughput(sc);
+      thr.add(rep.commands_per_ktick);
+      p50.add(rep.p50_latency);
+      p99.add(rep.p99_latency);
+      mb.add(rep.mean_batch_size);
+      res.backpressure += rep.backpressure_rejections;
+      res.spec_ok = res.spec_ok && rep.spec.ok();
+      res.completed = res.completed && rep.completed;
+    }
+    res.cmds_per_ktick = thr.mean();
+    res.p50 = p50.mean();
+    res.p99 = p99.mean();
+    res.mean_batch = mb.mean();
+    all_spec_ok = all_spec_ok && res.spec_ok;
+    all_completed = all_completed && res.completed;
+
+    const char* pname = harness::throughput_protocol_name(c.protocol);
+    if (c.protocol == ThroughputProtocol::kGwts && !c.pipeline) {
+      if (c.batch == 1) gwts_batch1 = res.cmds_per_ktick;
+      if (c.batch == 64) gwts_batch64 = res.cmds_per_ktick;
+    }
+
+    table.row() << pname << n << f << c.batch
+                << (c.pipeline ? "on" : "off") << res.cmds_per_ktick
+                << res.p50 << res.p99 << res.mean_batch << res.backpressure
+                << (res.spec_ok ? "yes" : "NO");
+
+    bench::Json row;
+    row.set("protocol", pname)
+        .set("n", static_cast<std::uint64_t>(n))
+        .set("f", static_cast<std::uint64_t>(f))
+        .set("batch", static_cast<std::uint64_t>(c.batch))
+        .set("pipeline", c.pipeline)
+        .set("commands_per_ktick", res.cmds_per_ktick)
+        .set("p50_latency", res.p50)
+        .set("p99_latency", res.p99)
+        .set("mean_batch_size", res.mean_batch)
+        .set("backpressure_rejections", res.backpressure)
+        .set("spec_ok", res.spec_ok)
+        .set("completed", res.completed);
+    rows_json.push_back(row.str());
+  }
+
+  table.print();
+
+  const double speedup =
+      gwts_batch1 > 0.0 ? gwts_batch64 / gwts_batch1 : 0.0;
+  // The smoke feeds are too short for the asymptotic speedup; the smoke
+  // gate only asserts safety + completion, the full gate also the ≥3×.
+  const bool gate_ok =
+      all_spec_ok && all_completed && (smoke || speedup >= 3.0);
+  bench::note("");
+  std::ostringstream sp;
+  sp << "gwts n=" << n << " batch=64 vs batch=1 speedup: " << speedup
+     << "x (gate: >= 3x" << (smoke ? ", waived in --smoke" : "") << ")";
+  bench::note(sp.str());
+  bench::note(gate_ok ? "GATE ok" : "GATE FAILED");
+
+  bench::Json out;
+  bench::add_build_info(out);
+  out.set("bench", "throughput")
+      .set("smoke", smoke)
+      .set("n", static_cast<std::uint64_t>(n))
+      .set("commands_per_proc", static_cast<std::uint64_t>(commands))
+      .set("seeds", seeds)
+      .set("gwts_batch64_speedup", speedup)
+      .set("all_spec_ok", all_spec_ok)
+      .set("all_completed", all_completed)
+      .set("gate_ok", gate_ok);
+  std::string rows = "[";
+  for (std::size_t i = 0; i < rows_json.size(); ++i) {
+    if (i > 0) rows += ",";
+    rows += rows_json[i];
+  }
+  rows += "]";
+  out.raw("rows", rows);
+  if (!out.write(json_path)) {
+    std::cerr << "warning: could not write " << json_path << "\n";
+  }
+  return gate_ok ? 0 : 1;
+}

@@ -287,6 +287,7 @@ GwtsReport run_gwts(const GwtsScenario& sc) {
   la::LaConfig cfg;
   cfg.n = sc.n;
   cfg.f = sc.f;
+  cfg.batch = sc.batch;
   cfg.is_admissible = scenario_admissible;
   const crypto::SignatureAuthority rb_auth(sc.n, sc.seed ^ 0xcafe);
   if (sc.signed_rb) {
@@ -545,6 +546,7 @@ GsbsReport run_gsbs(const GsbsScenario& sc) {
   la::LaConfig cfg;
   cfg.n = sc.n;
   cfg.f = sc.f;
+  cfg.batch = sc.batch;
   cfg.is_admissible = scenario_admissible;
   cfg.validate();
 
@@ -660,6 +662,7 @@ FaleiroReport run_faleiro(const FaleiroScenario& sc) {
   la::CrashConfig cfg;
   cfg.n = sc.n;
   cfg.f = sc.f;
+  cfg.batch = sc.batch;
   cfg.validate();
 
   const std::uint32_t byz = sc.byz_lying_acker ? 1 : 0;
@@ -739,6 +742,7 @@ RsmReport run_rsm(const RsmScenario& sc) {
   la::LaConfig cfg;
   cfg.n = sc.n;
   cfg.f = sc.f;
+  cfg.batch = sc.batch;
   cfg.validate();
 
   const std::uint32_t correct_replicas = sc.n - sc.byz_replicas;
@@ -809,6 +813,7 @@ RsmReport run_rsm(const RsmScenario& sc) {
   std::uint64_t upd_n = 0, read_n = 0;
   for (const auto& c : clients) {
     rep.histories.push_back(c->history());
+    rep.backpressure_retries += c->backpressure_retries();
     for (const auto& rec : c->history()) {
       if (!rec.completed) continue;
       ++rep.ops_completed;

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "la/config.h"
 #include "la/spec.h"
 #include "rsm/history.h"
 #include "rsm/linearize.h"
@@ -107,6 +108,8 @@ struct GwtsScenario {
   std::uint32_t target_decisions = 5;    ///< per correct process
   std::uint32_t submissions_per_proc = 3;
   sim::Time submission_spacing = 40;     ///< injection interval
+  /// Ingress batching/pipelining knobs (default = historical behaviour).
+  la::BatchConfig batch;
   std::uint64_t max_events = 50'000'000;
   bool trace = false;
   bool trace_broadcast = false;
@@ -178,6 +181,8 @@ struct GsbsScenario {
   std::uint32_t target_decisions = 5;
   std::uint32_t submissions_per_proc = 3;
   sim::Time submission_spacing = 40;
+  /// Ingress batching/pipelining knobs (default = historical behaviour).
+  la::BatchConfig batch;
   std::uint64_t max_events = 50'000'000;
   bool trace = false;
   bool trace_broadcast = false;
@@ -211,6 +216,8 @@ struct FaleiroScenario {
   std::uint64_t seed = 1;
   std::uint32_t submissions_per_proc = 1;
   sim::Time submission_spacing = 40;
+  /// Ingress batching knobs (default = historical behaviour).
+  la::BatchConfig batch;
   std::uint64_t max_events = 20'000'000;
   bool trace = false;
   bool trace_broadcast = false;
@@ -240,6 +247,9 @@ struct RsmScenario {
   std::uint32_t ops_per_client = 4;  ///< alternating update/read script
   bool with_byz_client = false;
   bool contact_all_replicas = false;  ///< Alg 5 contact-policy ablation
+  /// Replica-side ingress batching knobs (default = historical behaviour;
+  /// a bounded queue makes replicas nack clients under overload).
+  la::BatchConfig batch;
   Sched sched = Sched::kUniform;
   std::uint64_t seed = 1;
   std::uint64_t max_events = 80'000'000;
@@ -258,6 +268,8 @@ struct RsmReport {
   double ops_per_ktime = 0.0;        ///< throughput: ops per 1000 ticks
   std::uint64_t total_msgs = 0;
   sim::Time end_time = 0;
+  /// Total queue-full nack→resend cycles across correct clients.
+  std::uint64_t backpressure_retries = 0;
   std::vector<std::vector<rsm::OpRecord>> histories;  ///< correct clients
 };
 

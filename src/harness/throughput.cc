@@ -1,0 +1,242 @@
+#include "harness/throughput.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+#include "la/faleiro_la.h"
+#include "la/gsbs.h"
+#include "la/gwts.h"
+#include "lattice/set_elem.h"
+#include "sim/trace.h"
+
+namespace bgla::harness {
+
+using lattice::Elem;
+using lattice::Item;
+using lattice::make_set;
+
+const char* throughput_protocol_name(ThroughputProtocol p) {
+  switch (p) {
+    case ThroughputProtocol::kFaleiro: return "faleiro-la";
+    case ThroughputProtocol::kGwts: return "gwts";
+    case ThroughputProtocol::kGsbs: return "gsbs";
+  }
+  return "?";
+}
+
+bool throughput_protocol_from_name(const std::string& name,
+                                   ThroughputProtocol* out) {
+  if (name == "faleiro-la") { *out = ThroughputProtocol::kFaleiro; return true; }
+  if (name == "gwts") { *out = ThroughputProtocol::kGwts; return true; }
+  if (name == "gsbs") { *out = ThroughputProtocol::kGsbs; return true; }
+  return false;
+}
+
+namespace {
+
+/// Protocol-agnostic view of one process for the closed loop.
+struct ProcHandle {
+  std::function<bool(const Elem&)> try_submit;
+  std::function<const std::vector<Elem>&()> submitted;
+  std::function<const std::vector<la::DecisionRecord>&()> decisions;
+  std::function<const la::Batcher&()> batcher;
+};
+
+/// Per-process closed-loop state. Commands are retired strictly in feed
+/// order: the batcher is FIFO and decided sets are monotone, so command k
+/// is always covered no later than command k+1.
+struct Feed {
+  std::uint32_t next = 0;     ///< next feed index to submit
+  std::uint32_t retired = 0;  ///< commands covered by a local decision
+  std::vector<sim::Time> submit_time;
+};
+
+}  // namespace
+
+ThroughputReport run_throughput(const ThroughputScenario& sc) {
+  BGLA_CHECK_MSG(sc.window >= 1, "throughput: window must be >= 1");
+  BGLA_CHECK_MSG(sc.commands_per_proc >= 1,
+                 "throughput: need at least one command per process");
+
+  sim::Network net(make_delay(sc.sched), sc.seed, sc.n);
+  const crypto::SignatureAuthority auth(sc.n, sc.seed ^ 0x5eed5eed);
+
+  // Owning storage (one vector per protocol; only one is populated).
+  std::vector<std::unique_ptr<la::FaleiroProcess>> faleiro;
+  std::vector<std::unique_ptr<la::GwtsProcess>> gwts;
+  std::vector<std::unique_ptr<la::GsbsProcess>> gsbs;
+  std::vector<ProcHandle> procs(sc.n);
+  std::vector<Feed> feeds(sc.n);
+
+  ThroughputReport rep;
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(sc.n) * sc.commands_per_proc);
+
+  const auto feed_value = [](ProcessId id, std::uint32_t k) {
+    return make_set({Item{id, 100 + k, 1}});
+  };
+
+  // Retire everything the new decision covers, then refill the window.
+  // Runs inside the deciding process's decide hook, so try_submit is an
+  // ordinary local step and the run stays deterministic per seed.
+  const auto on_decide = [&](ProcessId id, const la::DecisionRecord& rec) {
+    Feed& fd = feeds[id];
+    while (fd.retired < fd.next &&
+           feed_value(id, fd.retired).leq(rec.value)) {
+      latencies.push_back(
+          static_cast<double>(rec.time - fd.submit_time[fd.retired]));
+      ++fd.retired;
+    }
+    while (fd.next - fd.retired < sc.window &&
+           fd.next < sc.commands_per_proc) {
+      if (!procs[id].try_submit(feed_value(id, fd.next))) break;
+      fd.submit_time.push_back(net.now());
+      ++fd.next;
+    }
+    for (const Feed& f : feeds) {
+      if (f.retired < sc.commands_per_proc) return;
+    }
+    net.request_stop();
+  };
+
+  la::LaConfig lcfg;
+  lcfg.n = sc.n;
+  lcfg.f = sc.f;
+  lcfg.batch = sc.batch;
+  la::CrashConfig ccfg;
+  ccfg.n = sc.n;
+  ccfg.f = sc.f;
+  ccfg.batch = sc.batch;
+
+  for (ProcessId id = 0; id < sc.n; ++id) {
+    switch (sc.protocol) {
+      case ThroughputProtocol::kFaleiro: {
+        if (id == 0) ccfg.validate();
+        auto p = std::make_unique<la::FaleiroProcess>(net, id, ccfg);
+        p->set_instrument(sc.instrument);
+        p->set_decide_hook([&, id](const la::FaleiroProcess&,
+                                   const la::DecisionRecord& rec) {
+          on_decide(id, rec);
+        });
+        la::FaleiroProcess* raw = p.get();
+        procs[id] = ProcHandle{
+            [raw](const Elem& v) { return raw->try_submit(v); },
+            [raw]() -> const std::vector<Elem>& { return raw->submitted(); },
+            [raw]() -> const std::vector<la::DecisionRecord>& {
+              return raw->decisions();
+            },
+            [raw]() -> const la::Batcher& { return raw->batcher(); }};
+        faleiro.push_back(std::move(p));
+        break;
+      }
+      case ThroughputProtocol::kGwts: {
+        if (id == 0) lcfg.validate();
+        auto p = std::make_unique<la::GwtsProcess>(net, id, lcfg);
+        p->set_instrument(sc.instrument);
+        p->set_decide_hook([&, id](const la::GwtsProcess&,
+                                   const la::DecisionRecord& rec) {
+          on_decide(id, rec);
+        });
+        la::GwtsProcess* raw = p.get();
+        procs[id] = ProcHandle{
+            [raw](const Elem& v) { return raw->try_submit(v); },
+            [raw]() -> const std::vector<Elem>& { return raw->submitted(); },
+            [raw]() -> const std::vector<la::DecisionRecord>& {
+              return raw->decisions();
+            },
+            [raw]() -> const la::Batcher& { return raw->batcher(); }};
+        gwts.push_back(std::move(p));
+        break;
+      }
+      case ThroughputProtocol::kGsbs: {
+        if (id == 0) lcfg.validate();
+        auto p = std::make_unique<la::GsbsProcess>(net, id, lcfg, auth);
+        p->set_instrument(sc.instrument);
+        p->set_decide_hook([&, id](const la::GsbsProcess&,
+                                   const la::DecisionRecord& rec) {
+          on_decide(id, rec);
+        });
+        la::GsbsProcess* raw = p.get();
+        procs[id] = ProcHandle{
+            [raw](const Elem& v) { return raw->try_submit(v); },
+            [raw]() -> const std::vector<Elem>& { return raw->submitted(); },
+            [raw]() -> const std::vector<la::DecisionRecord>& {
+              return raw->decisions();
+            },
+            [raw]() -> const la::Batcher& { return raw->batcher(); }};
+        gsbs.push_back(std::move(p));
+        break;
+      }
+    }
+  }
+
+  // Prime every window before the run; submit time 0.
+  for (ProcessId id = 0; id < sc.n; ++id) {
+    Feed& fd = feeds[id];
+    while (fd.next < sc.window && fd.next < sc.commands_per_proc) {
+      if (!procs[id].try_submit(feed_value(id, fd.next))) break;
+      fd.submit_time.push_back(0);
+      ++fd.next;
+    }
+  }
+
+  std::optional<sim::Tracer> tracer;
+  if (sc.trace) tracer.emplace(net);
+
+  const sim::RunResult rr = net.run(sc.max_events);
+
+  rep.end_time = rr.end_time;
+  rep.total_msgs = net.metrics().total_messages();
+
+  rep.completed = true;
+  for (const Feed& fd : feeds) {
+    rep.commands += fd.retired;
+    if (fd.retired < sc.commands_per_proc) rep.completed = false;
+  }
+  rep.commands_per_ktick =
+      rr.end_time == 0 ? 0.0
+                       : static_cast<double>(rep.commands) * 1000.0 /
+                             static_cast<double>(rr.end_time);
+
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&](double q) {
+    if (latencies.empty()) return 0.0;
+    const std::size_t i = std::min(
+        latencies.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(latencies.size())));
+    return latencies[i];
+  };
+  rep.p50_latency = pct(0.50);
+  rep.p99_latency = pct(0.99);
+
+  std::uint64_t batches = 0;
+  std::uint64_t flushed = 0;
+  std::vector<la::GlaView> views;
+  for (ProcessId id = 0; id < sc.n; ++id) {
+    const la::Batcher& b = procs[id].batcher();
+    batches += b.stats().batches;
+    flushed += b.stats().values_flushed;
+    rep.backpressure_rejections += b.stats().rejected;
+    la::GlaView v;
+    v.id = id;
+    v.submitted = procs[id].submitted();
+    for (const auto& d : procs[id].decisions()) {
+      v.decisions.push_back(d.value);
+    }
+    rep.total_decisions += procs[id].decisions().size();
+    views.push_back(std::move(v));
+  }
+  rep.mean_batch_size =
+      batches == 0 ? 0.0
+                   : static_cast<double>(flushed) /
+                         static_cast<double>(batches);
+
+  // Every la/spec verdict must hold on batched runs exactly as on
+  // unbatched ones — batching only changes WHEN values enter rounds.
+  rep.spec = la::check_gla(views, /*byz_disclosed=*/Elem(),
+                           /*min_decisions=*/1);
+  return rep;
+}
+
+}  // namespace bgla::harness

@@ -1,0 +1,59 @@
+// Closed-loop throughput harness: drives a generalized-LA cluster (Faleiro
+// crash-stop, GWTS or GSbS) with a per-process command feed and a bounded
+// in-flight window, the way an RSM client population would. Each process
+// starts with `window` submitted commands; every decision that covers an
+// outstanding command retires it (recording submit→decide latency) and
+// tops the window back up, so the offered load tracks the cluster's actual
+// decision rate — the right way to measure batching, since an open loop
+// either starves the batcher or overflows it.
+//
+// Used by tools/bgla_load (sim mode) and bench/bench_throughput (the
+// commands/sec vs batch-size × n study). Deterministic per seed: the feed
+// is fixed up front and all top-ups happen inside decide hooks.
+#pragma once
+
+#include "harness/scenario.h"
+
+namespace bgla::harness {
+
+enum class ThroughputProtocol { kFaleiro, kGwts, kGsbs };
+const char* throughput_protocol_name(ThroughputProtocol p);
+/// Returns true and sets `out` iff `name` is one of faleiro-la|gwts|gsbs.
+bool throughput_protocol_from_name(const std::string& name,
+                                   ThroughputProtocol* out);
+
+struct ThroughputScenario {
+  ThroughputProtocol protocol = ThroughputProtocol::kGwts;
+  std::uint32_t n = 7;
+  std::uint32_t f = 1;
+  /// Ingress batching / pipelining under test.
+  la::BatchConfig batch;
+  /// Commands each process must get decided (feed length; < 700 so the
+  /// scenario admissibility predicate holds).
+  std::uint32_t commands_per_proc = 64;
+  /// In-flight commands per process (closed-loop window).
+  std::uint32_t window = 16;
+  Sched sched = Sched::kUniform;
+  std::uint64_t seed = 1;
+  std::uint64_t max_events = 200'000'000;
+  bool trace = false;
+  obs::Instrument* instrument = nullptr;
+};
+
+struct ThroughputReport {
+  la::GlaSpecResult spec;       ///< full GLA safety checkers on the run
+  bool completed = false;       ///< every feed drained and decided
+  std::uint64_t commands = 0;   ///< commands decided at their submitter
+  std::uint64_t total_decisions = 0;
+  std::uint64_t total_msgs = 0;
+  sim::Time end_time = 0;
+  double commands_per_ktick = 0.0;  ///< throughput: commands / 1000 ticks
+  double p50_latency = 0.0;     ///< submit→covering-decision, sim ticks
+  double p99_latency = 0.0;
+  double mean_batch_size = 0.0; ///< values per released batch, run-wide
+  std::uint64_t backpressure_rejections = 0;  ///< try_submit refusals
+};
+
+ThroughputReport run_throughput(const ThroughputScenario& sc);
+
+}  // namespace bgla::harness

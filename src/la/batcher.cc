@@ -1,0 +1,88 @@
+#include "la/batcher.h"
+
+#include <algorithm>
+
+#include "util/codec.h"
+
+namespace bgla::la {
+
+std::uint64_t elem_encoded_bytes(const lattice::Elem& e) {
+  Encoder enc;
+  e.encode(enc);
+  return enc.bytes().size();
+}
+
+bool Batcher::offer(const lattice::Elem& v, std::uint64_t now) {
+  if (cfg_.max_queue != 0 && queue_.size() >= cfg_.max_queue) {
+    ++stats_.rejected;
+    return false;
+  }
+  queue_.push_back(Pending{v, now});
+  ++stats_.offered;
+  stats_.max_depth = std::max<std::uint64_t>(stats_.max_depth, queue_.size());
+  return true;
+}
+
+void Batcher::requeue(const lattice::Elem& v) {
+  if (v.is_bottom()) return;  // nothing to recover
+  queue_.push_front(Pending{v, 0});
+  ++stats_.offered;
+  stats_.max_depth = std::max<std::uint64_t>(stats_.max_depth, queue_.size());
+}
+
+bool Batcher::release_ready(std::uint64_t now) const {
+  if (queue_.empty()) return false;
+  if (cfg_.flush_age == 0) return true;  // release on every round boundary
+  if (cfg_.max_batch != 0 && queue_.size() >= cfg_.max_batch) return true;
+  if (cfg_.max_bytes != 0) {
+    std::uint64_t bytes = 0;
+    for (const Pending& p : queue_) {
+      bytes += elem_encoded_bytes(p.value);
+      if (bytes >= cfg_.max_bytes) return true;
+    }
+  }
+  const std::uint64_t oldest = queue_.front().enqueued_at;
+  return now >= oldest && now - oldest >= cfg_.flush_age;
+}
+
+lattice::Elem Batcher::take(std::uint64_t now) {
+  lattice::Elem batch;
+  if (!release_ready(now)) return batch;
+
+  std::uint64_t taken = 0;
+  std::uint64_t bytes = 0;
+  while (!queue_.empty()) {
+    if (cfg_.max_batch != 0 && taken >= cfg_.max_batch) break;
+    if (cfg_.max_bytes != 0 && taken > 0) {
+      // A batch always carries >= 1 value, so a single value larger than
+      // the budget still progresses instead of wedging the queue.
+      if (bytes + elem_encoded_bytes(queue_.front().value) > cfg_.max_bytes) {
+        break;
+      }
+    }
+    bytes += elem_encoded_bytes(queue_.front().value);
+    batch = batch.join(queue_.front().value);
+    queue_.pop_front();
+    ++taken;
+  }
+  if (taken > 0) {
+    ++stats_.batches;
+    stats_.values_flushed += taken;
+    stats_.last_batch_size = taken;
+  }
+  return batch;
+}
+
+lattice::Elem Batcher::drain_all() {
+  lattice::Elem all = pending_join();
+  queue_.clear();
+  return all;
+}
+
+lattice::Elem Batcher::pending_join() const {
+  lattice::Elem all;
+  for (const Pending& p : queue_) all = all.join(p.value);
+  return all;
+}
+
+}  // namespace bgla::la

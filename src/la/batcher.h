@@ -1,0 +1,97 @@
+// la::Batcher — bounded ingress queue between submit() and the round
+// machinery of the generalized protocols (GWTS, GSbS, Faleiro LA).
+//
+// Submitted values queue individually; each round start calls take(),
+// which coalesces pending values into one lattice element (a single join
+// per round — the batching that makes an LA-based RSM competitive on
+// throughput, cf. Zheng & Garg's generalized-LA RSM and the PODC'12
+// "buffered values" scheme).
+//
+// Release policy (BatchConfig):
+//   - size-triggered:  a batch carries at most max_batch values;
+//   - byte-triggered:  a batch stops growing once its encoded size would
+//                      exceed max_bytes (always carries >= 1 value);
+//   - time-triggered:  Nagle-style hold — take() releases nothing until
+//                      max_batch/max_bytes worth of values are queued OR
+//                      the oldest value has waited flush_age time units;
+//   - backpressure:    offer() rejects once max_queue values are pending
+//                      (the caller surfaces the nack, e.g. the RSM
+//                      replica's queue-full BusyMsg).
+//
+// The zero-initialized BatchConfig makes every trigger vacuous: offer()
+// always accepts and take() joins everything pending — exactly the
+// historical pending_batch_ accumulator, so default-config sim transcripts
+// stay byte-identical per seed. The Batcher itself is deterministic: its
+// behaviour depends only on the offer/take call sequence and the caller's
+// transport clock, never on wall time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "la/config.h"
+#include "lattice/elem.h"
+
+namespace bgla::la {
+
+class Batcher {
+ public:
+  Batcher() = default;
+  explicit Batcher(BatchConfig cfg) : cfg_(cfg) {}
+
+  const BatchConfig& config() const { return cfg_; }
+
+  /// Queues one value. Returns false (and counts the rejection) iff the
+  /// queue is full — the value is NOT retained and the caller owns the
+  /// backpressure response. `now` is the caller's transport clock,
+  /// recorded for the flush_age trigger.
+  bool offer(const lattice::Elem& v, std::uint64_t now);
+
+  /// Joins and removes the next batch per the release policy; bottom when
+  /// nothing is pending or the hold timer has not fired.
+  lattice::Elem take(std::uint64_t now);
+
+  /// Re-queues a recovered value at the front, bypassing max_queue — used
+  /// by rejoin paths, where dropping a pre-crash submission would violate
+  /// inclusivity. Ages as if offered at time 0 so it flushes immediately.
+  void requeue(const lattice::Elem& v);
+
+  /// Join of everything pending (state export; diagnostics).
+  lattice::Elem pending_join() const;
+
+  /// Joins and removes EVERYTHING pending, ignoring the release policy —
+  /// rejoin paths fold the queue into one recovered value.
+  lattice::Elem drain_all();
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t depth() const { return queue_.size(); }
+
+  struct Stats {
+    std::uint64_t offered = 0;       ///< values accepted
+    std::uint64_t rejected = 0;      ///< offers refused (queue full)
+    std::uint64_t batches = 0;       ///< non-empty batches taken
+    std::uint64_t values_flushed = 0;
+    std::uint64_t last_batch_size = 0;
+    std::uint64_t max_depth = 0;     ///< high-water queue depth
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    lattice::Elem value;
+    std::uint64_t enqueued_at = 0;
+  };
+
+  bool release_ready(std::uint64_t now) const;
+
+  BatchConfig cfg_;
+  std::deque<Pending> queue_;
+  Stats stats_;
+};
+
+/// Encoded size of one element (bytes the value contributes to a
+/// disclosure); encoding is memoized on the Elem, so this is cheap on the
+/// hot path.
+std::uint64_t elem_encoded_bytes(const lattice::Elem& e);
+
+}  // namespace bgla::la

@@ -17,9 +17,48 @@ namespace bgla::la {
 /// (Algorithm 1 line 11 / Algorithm 3 line 18).
 using Admissible = std::function<bool(const lattice::Elem&)>;
 
+/// Ingress batching policy for the generalized protocols (GWTS, GSbS,
+/// Faleiro LA) and the RSM replica built on them. Submitted values queue
+/// in an la::Batcher; each round start takes one batch (a single lattice
+/// join) from the queue.
+///
+/// The zero-initialized default is EXACTLY the historical behaviour —
+/// every pending value joins into the next round's batch, unbounded queue,
+/// no hold time, no pipelining — so per-seed sim transcripts are
+/// byte-identical to pre-batching builds unless a knob is set.
+struct BatchConfig {
+  /// Values joined per batch; 0 = all pending (historical behaviour).
+  std::uint32_t max_batch = 0;
+  /// Ingress queue bound; 0 = unbounded. A full queue rejects the submit
+  /// (backpressure: the RSM replica nacks the client with retry-after).
+  std::uint32_t max_queue = 0;
+  /// Encoded-byte budget per batch; 0 = unbounded. A batch always carries
+  /// at least one value, so an oversized single value still progresses.
+  std::uint64_t max_bytes = 0;
+  /// Nagle-style hold: a batch is released only once max_batch values (or
+  /// max_bytes) are queued OR the oldest value has waited this many
+  /// transport time units. 0 = release on every round boundary.
+  std::uint64_t flush_age = 0;
+  /// Pipelined rounds (GWTS/GSbS): once round r reaches its proposing
+  /// phase, pre-disclose round r+1's batch so the next disclosure phase
+  /// overlaps the current deciding phase. Off by default (the pre-sent
+  /// disclosure changes the per-seed transcript).
+  bool pipeline = false;
+
+  /// True iff every knob is at its neutral default.
+  bool neutral() const {
+    return max_batch == 0 && max_queue == 0 && max_bytes == 0 &&
+           flush_age == 0 && !pipeline;
+  }
+};
+
 struct LaConfig {
   std::uint32_t n = 0;  ///< processes running the protocol (ids 0..n-1)
   std::uint32_t f = 0;  ///< resilience bound: tolerated Byzantine count
+
+  /// Ingress batching / pipelining policy (defaults = historical
+  /// one-join-of-everything-pending behaviour).
+  BatchConfig batch;
 
   /// Optional extra admissibility condition on top of the lattice-family
   /// check below; defaults to "any value of the right family".
@@ -86,6 +125,10 @@ struct LaConfig {
 struct CrashConfig {
   std::uint32_t n = 0;
   std::uint32_t f = 0;
+
+  /// Ingress batching policy for the buffered-values scheme (defaults =
+  /// historical join-everything-pending behaviour).
+  BatchConfig batch;
 
   std::uint32_t quorum() const { return n / 2 + 1; }
 

@@ -8,19 +8,26 @@ namespace bgla::la {
 
 FaleiroProcess::FaleiroProcess(net::Transport& net, ProcessId id,
                                CrashConfig cfg, Elem initial)
-    : sim::Process(net, id), cfg_(cfg), pending_(std::move(initial)) {
+    : sim::Process(net, id), cfg_(cfg), batcher_(cfg.batch) {
   cfg_.validate();
-  if (!pending_.is_bottom()) submitted_.push_back(pending_);
+  if (!initial.is_bottom()) {
+    submitted_.push_back(initial);
+    batcher_.requeue(initial);  // constructor values bypass the bound
+  }
 }
 
-void FaleiroProcess::submit(Elem value) {
-  submitted_.push_back(value);
-  pending_ = pending_.join(std::move(value));
+void FaleiroProcess::submit(Elem value) { (void)try_submit(std::move(value)); }
+
+bool FaleiroProcess::try_submit(Elem value) {
+  if (!batcher_.offer(value, net().now())) {
+    obs_backpressure();
+    return false;
+  }
+  submitted_.push_back(std::move(value));
   obs_submit(1);
   persist();
-  if (started_ && state_ == State::kIdle && !rejoining_ && !crashed()) {
-    begin_proposal();
-  }
+  maybe_begin_proposal();
+  return true;
 }
 
 bool FaleiroProcess::crashed() const {
@@ -33,12 +40,15 @@ void FaleiroProcess::on_start() {
     rejoin();
     return;
   }
-  if (!pending_.is_bottom()) begin_proposal();
+  maybe_begin_proposal();
 }
 
-void FaleiroProcess::begin_proposal() {
-  proposed_set_ = proposed_set_.join(pending_);
-  pending_ = Elem();
+void FaleiroProcess::maybe_begin_proposal() {
+  if (!started_ || state_ != State::kIdle || rejoining_ || crashed()) return;
+  const Elem b = batcher_.take(net().now());
+  if (b.is_bottom()) return;
+  obs_batch_flush(batcher_.stats().last_batch_size, batcher_.depth());
+  proposed_set_ = proposed_set_.join(b);
   state_ = State::kProposing;
   ++ts_;
   ack_set_.clear();
@@ -54,7 +64,10 @@ void FaleiroProcess::broadcast_proposal() {
 void FaleiroProcess::on_message(ProcessId from, const sim::MessagePtr& msg) {
   if (crashed()) return;
   if (const auto* m = dynamic_cast<const SubmitMsg*>(msg.get())) {
-    submit(m->value);
+    if (!try_submit(m->value) && from != id()) {
+      send(from, std::make_shared<SubmitNackMsg>(
+                     m->value, /*retry_after=*/batcher_.depth(), id()));
+    }
   } else if (const auto* m = dynamic_cast<const FAckReqMsg*>(msg.get())) {
     handle_ack_req(from, *m);
   } else if (const auto* m = dynamic_cast<const FAckMsg*>(msg.get())) {
@@ -113,14 +126,14 @@ void FaleiroProcess::decide() {
   obs_decide(/*proposal=*/rec.round, rec.round, stats_.refinements);
   persist();
   if (decide_hook_) decide_hook_(*this, rec);
-  if (!pending_.is_bottom() && !crashed()) begin_proposal();
+  maybe_begin_proposal();
 }
 
 // ------------------------------------------------------ crash recovery ----
 
 void FaleiroProcess::export_state(Encoder& enc) const {
   put_state_header(enc, StateTag::kFaleiro);
-  pending_.encode(enc);
+  batcher_.pending_join().encode(enc);
   proposed_set_.encode(enc);
   accepted_set_.encode(enc);
   enc.put_u64(ts_);
@@ -132,7 +145,8 @@ void FaleiroProcess::export_state(Encoder& enc) const {
 void FaleiroProcess::import_state(Decoder& dec) {
   BGLA_CHECK_MSG(!started_, "Faleiro: import_state after the run started");
   check_state_header(dec, StateTag::kFaleiro);
-  pending_ = lattice::decode_elem(dec);
+  const Elem pending = lattice::decode_elem(dec);
+  if (!pending.is_bottom()) batcher_.requeue(pending);
   proposed_set_ = lattice::decode_elem(dec);
   accepted_set_ = lattice::decode_elem(dec);
   ts_ = dec.get_u64();
@@ -145,8 +159,8 @@ void FaleiroProcess::import_state(Decoder& dec) {
 void FaleiroProcess::rejoin() {
   // Everything ever folded into a proposal is re-proposed: re-deciding an
   // already-decided join is harmless (decisions are monotone), while an
-  // undecided in-flight value must not be lost.
-  pending_ = pending_.join(proposed_set_);
+  // undecided in-flight value must not be lost. Bypasses the queue bound.
+  batcher_.requeue(batcher_.drain_all().join(proposed_set_));
   state_ = State::kIdle;
   rejoining_ = true;
   obs_rejoin_start();
@@ -165,7 +179,7 @@ void FaleiroProcess::finish_rejoin() {
   rejoining_ = false;
   obs_rejoin_done();
   persist();
-  if (!pending_.is_bottom() && !crashed()) begin_proposal();
+  if (!crashed()) maybe_begin_proposal();
 }
 
 void FaleiroProcess::handle_catchup_req(ProcessId from,
@@ -183,7 +197,7 @@ void FaleiroProcess::handle_catchup_rep(ProcessId from,
   if (!catchup_replies_.insert(from).second) return;
   // Crash-trust adoption: responders are correct, so their accepted and
   // decided joins contain only values that were actually submitted.
-  pending_ = pending_.join(m.accepted).join(m.decided);
+  batcher_.requeue(m.accepted.join(m.decided));
   accepted_set_ = accepted_set_.join(m.accepted);
   const std::uint32_t needed = std::min(cfg_.f + 1, cfg_.n - 1);
   if (catchup_replies_.size() >= needed) finish_rejoin();

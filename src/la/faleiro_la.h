@@ -20,6 +20,7 @@
 #include <set>
 #include <vector>
 
+#include "la/batcher.h"
 #include "la/config.h"
 #include "la/messages.h"
 #include "la/record.h"
@@ -36,10 +37,17 @@ class FaleiroProcess : public sim::Process {
                  Elem initial = Elem());
 
   /// Buffers a value; proposed with the next batch. Also reachable via an
-  /// injected SubmitMsg (harness / client feed).
+  /// injected SubmitMsg (harness / client feed). A full ingress queue
+  /// (cfg.batch.max_queue) drops the value silently; try_submit() reports
+  /// the rejection instead.
   void submit(Elem value);
 
+  /// Like submit(), but returns false iff the ingress queue is full (the
+  /// value is NOT retained; retry later).
+  bool try_submit(Elem value);
+
   const std::vector<Elem>& submitted() const { return submitted_; }
+  const Batcher& batcher() const { return batcher_; }
 
   /// Crash-stop fault injection: the process ignores everything and sends
   /// nothing from simulation time `t` on.
@@ -76,7 +84,10 @@ class FaleiroProcess : public sim::Process {
   bool recovered() const { return recovered_; }
 
  private:
-  void begin_proposal();
+  /// Starts a proposal iff idle and the batcher releases a batch (the
+  /// PODC'12 buffered-values scheme: the next batch goes out as soon as
+  /// the previous proposal decided).
+  void maybe_begin_proposal();
   void broadcast_proposal();
   void handle_ack_req(ProcessId from, const FAckReqMsg& m);
   void handle_ack(ProcessId from, const FAckMsg& m);
@@ -92,7 +103,7 @@ class FaleiroProcess : public sim::Process {
 
   CrashConfig cfg_;
   State state_ = State::kIdle;
-  Elem pending_;
+  Batcher batcher_;
   std::vector<Elem> submitted_;
   Elem proposed_set_;
   Elem accepted_set_;

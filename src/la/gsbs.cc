@@ -12,16 +12,24 @@ GsbsProcess::GsbsProcess(net::Transport& net, ProcessId id, LaConfig cfg,
     : sim::Process(net, id),
       cfg_(cfg),
       auth_(auth),
-      signer_(auth.signer_for(id)) {
+      signer_(auth.signer_for(id)),
+      batcher_(cfg.batch) {
   cfg_.validate();
 }
 
-void GsbsProcess::submit(Elem value) {
+void GsbsProcess::submit(Elem value) { (void)try_submit(std::move(value)); }
+
+bool GsbsProcess::try_submit(Elem value) {
   BGLA_CHECK_MSG(cfg_.admissible(value), "GSbS: submitted value ∉ E");
-  submitted_.push_back(value);
-  pending_batch_ = pending_batch_.join(value);
+  if (!batcher_.offer(value, net().now())) {
+    obs_backpressure();
+    return false;
+  }
+  submitted_.push_back(std::move(value));
   obs_submit(1);
   persist();
+  maybe_preinit();  // pipelining: mid-round arrivals pre-send their init
+  return true;
 }
 
 void GsbsProcess::on_start() {
@@ -45,17 +53,31 @@ void GsbsProcess::start_round() {
   ++stats_.rounds_joined;
   obs_round_advance(round_);
 
-  Elem b = pending_batch_;
-  pending_batch_ = Elem();
-  const SignedBatch own = make_signed_batch(signer_, b, round_);
+  // A pipelined pre-init for this round already went out with its signed
+  // batch; reuse it verbatim (the signature binds batch and round — a
+  // fresh signature over a different batch would look like equivocation).
+  SignedBatch own;
+  bool already_sent = false;
+  if (const auto it = presigned_.find(round_); it != presigned_.end()) {
+    own = it->second;
+    presigned_.erase(it);
+    already_sent = true;
+  } else {
+    Elem b = batcher_.take(net().now());
+    if (!b.is_bottom()) {
+      obs_batch_flush(batcher_.stats().last_batch_size, batcher_.depth());
+    }
+    own = make_signed_batch(signer_, b, round_);
+  }
   init_sets_[round_].insert(own);
+  init_high_ = std::max(init_high_, round_);
   safe_ack_senders_.clear();
   safe_acks_.clear();
-  // The signature below binds (batch, round_); round_ must be durable
+  // The signature above binds (batch, round_); round_ must be durable
   // before it leaves, or a restart could re-sign a different batch at the
   // same round — indistinguishable from equivocation to peers.
   persist();
-  send_to_group(cfg_.n, std::make_shared<GSInitMsg>(own));
+  if (!already_sent) send_to_group(cfg_.n, std::make_shared<GSInitMsg>(own));
 
   maybe_start_safetying();  // n−f inits for this round may already be in
   drain_waiting();
@@ -84,7 +106,10 @@ void GsbsProcess::on_message(ProcessId from, const sim::MessagePtr& msg) {
   } else if (dynamic_cast<const GSDecidedMsg*>(msg.get()) != nullptr) {
     handle_cert(msg);
   } else if (const auto* m = dynamic_cast<const SubmitMsg*>(msg.get())) {
-    if (cfg_.admissible(m->value)) submit(m->value);
+    if (cfg_.admissible(m->value) && !try_submit(m->value) && from != id()) {
+      send(from, std::make_shared<SubmitNackMsg>(
+                     m->value, /*retry_after=*/batcher_.depth(), id()));
+    }
   } else if (const auto* m = dynamic_cast<const CatchupReqMsg*>(msg.get())) {
     handle_catchup_req(from, *m);
   } else if (const auto* m = dynamic_cast<const CatchupRepMsg*>(msg.get())) {
@@ -172,7 +197,30 @@ void GsbsProcess::maybe_start_proposing() {
   ++ts_;
   persist();
   broadcast_proposal();
+  maybe_preinit();
   check_cert_adoption();  // a certificate for this round may already exist
+}
+
+void GsbsProcess::maybe_preinit() {
+  // Pre-sending an init is safe: receivers just file it under
+  // init_sets_[r+1] until they enter round r+1 — the overlap saves them a
+  // round trip before reaching their n−f init threshold.
+  if (!cfg_.batch.pipeline || state_ != State::kProposing || !started_ ||
+      rejoining_) {
+    return;
+  }
+  const std::uint64_t next = round_ + 1;
+  if (presigned_.count(next) > 0) return;  // round already signed
+  const Elem b = batcher_.take(net().now());
+  if (b.is_bottom()) return;
+  obs_batch_flush(batcher_.stats().last_batch_size, batcher_.depth());
+  const SignedBatch own = make_signed_batch(signer_, b, next);
+  presigned_[next] = own;
+  init_high_ = std::max(init_high_, next);
+  // init_high_ must be durable before the init leaves: a restart may
+  // never re-sign at a round whose signature is already in the network.
+  persist();
+  send_to_group(cfg_.n, std::make_shared<GSInitMsg>(own));
 }
 
 void GsbsProcess::broadcast_proposal() {
@@ -349,7 +397,7 @@ void GsbsProcess::export_state(Encoder& enc) const {
   enc.put_u64(ts_);
   enc.put_u64(trusted_);
   enc.put_bool(in_round_);
-  pending_batch_.encode(enc);
+  batcher_.pending_join().encode(enc);
   encode_elems(enc, submitted_);
   my_safety_set_.encode(enc);
   proposed_.encode(enc);
@@ -369,6 +417,7 @@ void GsbsProcess::export_state(Encoder& enc) const {
   if (has_cert) {
     enc.put_bytes(BytesView(certs_.rbegin()->second->encoded()));
   }
+  enc.put_u64(init_high_);
 }
 
 void GsbsProcess::import_state(Decoder& dec) {
@@ -382,7 +431,8 @@ void GsbsProcess::import_state(Decoder& dec) {
   ts_ = dec.get_u64();
   trusted_ = dec.get_u64();
   in_round_ = dec.get_bool();
-  pending_batch_ = lattice::decode_elem(dec);
+  const Elem pending = lattice::decode_elem(dec);
+  if (!pending.is_bottom()) batcher_.requeue(pending);
   submitted_ = decode_elems(dec);
   my_safety_set_ = decode_signed_batch_set(dec);
   proposed_ = decode_safe_batch_set(dec);
@@ -404,16 +454,21 @@ void GsbsProcess::import_state(Decoder& dec) {
                    "GSbS: persisted certificate fails verification");
     certs_.emplace(cert->round, cert);
   }
+  init_high_ = dec.get_u64();
   recovered_ = true;
 }
 
 void GsbsProcess::rejoin() {
   // Re-batch everything this process ever submitted: join is idempotent,
   // so re-proposing already-decided values is harmless, while a batch that
-  // died with the crashed round would otherwise be lost.
+  // died with the crashed round would otherwise be lost. The refold
+  // bypasses the queue bound (dropping a pre-crash submission breaks
+  // inclusivity).
+  Elem refold = batcher_.drain_all();
   for (const Elem& v : submitted_) {
-    pending_batch_ = pending_batch_.join(v);
+    refold = refold.join(v);
   }
+  if (!refold.is_bottom()) batcher_.requeue(refold);
   state_ = State::kInit;
   rejoining_ = true;
   obs_rejoin_start();
@@ -436,7 +491,7 @@ void GsbsProcess::finish_rejoin() {
   // above our own disk round and every peer-reported frontier so the next
   // start_round() signs at a never-used round.
   const std::uint64_t jump =
-      std::max(round_, std::max(catchup_frontier_, trusted_)) + 1;
+      std::max({round_, catchup_frontier_, trusted_, init_high_}) + 1;
   round_ = jump - 1;  // start_round() advances to `jump` (in_round_ holds)
   in_round_ = true;
   start_round();

@@ -22,6 +22,7 @@
 #include <set>
 #include <vector>
 
+#include "la/batcher.h"
 #include "la/config.h"
 #include "la/gsbs_msgs.h"
 #include "la/messages.h"
@@ -38,8 +39,14 @@ class GsbsProcess : public sim::Process {
   GsbsProcess(net::Transport& net, ProcessId id, LaConfig cfg,
               const crypto::SignatureAuthority& auth);
 
-  /// "new value(v)": batched into the next round.
+  /// "new value(v)": batched into the next round. A full ingress queue
+  /// (cfg.batch.max_queue) drops the value silently; try_submit() reports
+  /// the rejection instead.
   void submit(Elem value);
+
+  /// Like submit(), but returns false iff the ingress queue is full (the
+  /// value is NOT retained; retry later).
+  bool try_submit(Elem value);
 
   void on_start() override;
   void on_message(ProcessId from, const sim::MessagePtr& msg) override;
@@ -51,6 +58,7 @@ class GsbsProcess : public sim::Process {
   const std::vector<DecisionRecord>& decisions() const { return decisions_; }
   const std::vector<Elem>& submitted() const { return submitted_; }
   const ProposerStats& stats() const { return stats_; }
+  const Batcher& batcher() const { return batcher_; }
 
   /// Per-signer union of everything that made it into this process's
   /// proposals (proof-backed), for Non-Triviality attribution.
@@ -93,6 +101,12 @@ class GsbsProcess : public sim::Process {
   void handle_safe_ack(ProcessId from, const GSSafeAckMsg& m,
                        const sim::MessagePtr& self);
   void maybe_start_proposing();
+  /// Pipelining (cfg.batch.pipeline): once this round is proposing,
+  /// pre-sign and pre-send the next round's init so its init phase
+  /// overlaps the current deciding phase. The signature binds (batch,
+  /// round), so the pre-signed batch is recorded and reused verbatim when
+  /// the round actually starts.
+  void maybe_preinit();
   void broadcast_proposal();
   void handle_ack_req(ProcessId from, const GSAckReqMsg& m);
   void handle_ack(ProcessId from, const GSAckMsg& m,
@@ -120,11 +134,18 @@ class GsbsProcess : public sim::Process {
   bool in_round_ = false;
   bool started_ = false;
 
-  Elem pending_batch_;
+  Batcher batcher_;
   std::vector<Elem> submitted_;
 
   std::map<std::uint64_t, SignedBatchSet> init_sets_;  // per round
   SignedBatchSet my_safety_set_;                       // current round
+  // Pipelined inits already signed+sent for future rounds; the round start
+  // reuses the entry verbatim (re-signing a different batch at the same
+  // round would look like equivocation).
+  std::map<std::uint64_t, SignedBatch> presigned_;
+  // Highest round this process ever signed an init at; a rejoin must jump
+  // strictly above it.
+  std::uint64_t init_high_ = 0;
 
   std::set<ProcessId> safe_ack_senders_;
   std::vector<GSafeAckPtr> safe_acks_;

@@ -7,7 +7,7 @@
 namespace bgla::la {
 
 GwtsProcess::GwtsProcess(net::Transport& net, ProcessId id, LaConfig cfg)
-    : sim::Process(net, id), cfg_(cfg) {
+    : sim::Process(net, id), cfg_(cfg), batcher_(cfg.batch) {
   cfg_.validate();
   auto rb_send = [this](ProcessId to, sim::MessagePtr m) {
     send(to, std::move(m));
@@ -29,13 +29,20 @@ GwtsProcess::GwtsProcess(net::Transport& net, ProcessId id, LaConfig cfg)
   }
 }
 
-void GwtsProcess::submit(Elem value) {
+void GwtsProcess::submit(Elem value) { (void)try_submit(std::move(value)); }
+
+bool GwtsProcess::try_submit(Elem value) {
   BGLA_CHECK_MSG(cfg_.admissible(value), "GWTS: submitted value ∉ E");
-  // Alg 3 L9-10: goes into the next round's batch.
-  submitted_.push_back(value);
-  pending_batch_ = pending_batch_.join(value);
+  // Alg 3 L9-10: goes into the next round's batch (via the ingress queue).
+  if (!batcher_.offer(value, net().now())) {
+    obs_backpressure();
+    return false;
+  }
+  submitted_.push_back(std::move(value));
   obs_submit(1);
   persist();
+  maybe_predisclose();  // pipelining: mid-round arrivals pre-disclose
+  return true;
 }
 
 void GwtsProcess::on_start() {
@@ -63,13 +70,28 @@ void GwtsProcess::start_new_round(std::optional<std::uint64_t> jump_to) {
   ++stats_.rounds_joined;
   obs_round_advance(round_);
 
-  Elem b = pending_batch_;
-  pending_batch_ = Elem();
+  // A pipelined pre-disclosure for this round already went out with its
+  // batch; consume it instead of re-burning the single-use RB tag.
+  Elem b;
+  bool already_disclosed = false;
+  if (const auto it = predisclosed_.find(round_); it != predisclosed_.end()) {
+    b = it->second;
+    predisclosed_.erase(it);
+    already_disclosed = true;
+  } else {
+    b = batcher_.take(net().now());
+    if (!b.is_bottom()) {
+      obs_batch_flush(batcher_.stats().last_batch_size, batcher_.depth());
+    }
+  }
   batch_[round_] = b;
   proposed_set_ = proposed_set_.join(b);
+  disclosed_high_ = std::max(disclosed_high_, round_);
   persist();  // the round number must be durable before its tag hits RB
-  rb_->broadcast(disclosure_tag(round_),
-                std::make_shared<GDisclosureMsg>(b, round_));
+  if (!already_disclosed) {
+    rb_->broadcast(disclosure_tag(round_),
+                   std::make_shared<GDisclosureMsg>(b, round_));
+  }
   maybe_start_proposing();  // n−f disclosures may already have arrived
   drain_waiting();
 }
@@ -144,9 +166,32 @@ void GwtsProcess::maybe_start_proposing() {
   ++ts_;
   persist();
   broadcast_proposal();
+  maybe_predisclose();
   // A committed proposal for this round may already be known
   // (decide-by-adoption, Alg 3 L39-43).
   check_quorumed_for_decision();
+}
+
+void GwtsProcess::maybe_predisclose() {
+  // Disclosing early is safe: a disclosure only feeds the receivers'
+  // SvS/W (both monotone) and their round-(r+1) counters; our own
+  // proposed_set_ adopts the batch when round r+1 actually starts. What it
+  // buys is overlap — peers entering r+1 count our disclosure toward n−f
+  // without waiting a round trip.
+  if (!cfg_.batch.pipeline || state_ != State::kProposing || !started_ ||
+      rejoining_) {
+    return;
+  }
+  const std::uint64_t next = round_ + 1;
+  if (predisclosed_.count(next) > 0) return;  // tag already burned
+  const Elem b = batcher_.take(net().now());
+  if (b.is_bottom()) return;
+  obs_batch_flush(batcher_.stats().last_batch_size, batcher_.depth());
+  predisclosed_[next] = b;
+  disclosed_high_ = std::max(disclosed_high_, next);
+  persist();  // the burned tag and its batch must survive a crash
+  rb_->broadcast(disclosure_tag(next),
+                 std::make_shared<GDisclosureMsg>(b, next));
 }
 
 void GwtsProcess::broadcast_proposal() {
@@ -196,7 +241,10 @@ bool GwtsProcess::try_process(ProcessId from, const sim::MessagePtr& msg) {
     return true;
   }
   if (const auto* m = dynamic_cast<const SubmitMsg*>(msg.get())) {
-    if (cfg_.admissible(m->value)) submit(m->value);
+    if (cfg_.admissible(m->value) && !try_submit(m->value) && from != id()) {
+      send(from, std::make_shared<SubmitNackMsg>(
+                     m->value, /*retry_after=*/batcher_.depth(), id()));
+    }
     return true;
   }
   if (const auto* m = dynamic_cast<const GAckMsg*>(msg.get())) {
@@ -410,12 +458,15 @@ void GwtsProcess::export_core(Encoder& enc) const {
   enc.put_bool(in_round_);
   proposed_set_.encode(enc);
   decided_set_.encode(enc);
-  pending_batch_.encode(enc);
+  // Pending values are persisted as their join: a recovered replica
+  // re-batches them as one unit (individual queue slots are scaffolding).
+  batcher_.pending_join().encode(enc);
   svs_join_.encode(enc);
   accepted_set_.encode(enc);
   encode_elems(enc, submitted_);
   encode_decisions(enc, decisions_);
   encode_elem_map(enc, disclosed_by());
+  enc.put_u64(disclosed_high_);
 }
 
 void GwtsProcess::import_core(Decoder& dec) {
@@ -427,12 +478,14 @@ void GwtsProcess::import_core(Decoder& dec) {
   in_round_ = dec.get_bool();
   proposed_set_ = lattice::decode_elem(dec);
   decided_set_ = lattice::decode_elem(dec);
-  pending_batch_ = lattice::decode_elem(dec);
+  const Elem pending = lattice::decode_elem(dec);
+  if (!pending.is_bottom()) batcher_.requeue(pending);
   svs_join_ = lattice::decode_elem(dec);
   accepted_set_ = lattice::decode_elem(dec);
   submitted_ = decode_elems(dec);
   decisions_ = decode_decisions(dec);
   collected_disclosed_ = decode_elem_map(dec);
+  disclosed_high_ = dec.get_u64();
   recovered_ = true;
 }
 
@@ -441,10 +494,13 @@ void GwtsProcess::rejoin() {
   // before the crash re-decide harmlessly (joins are monotone), while
   // in-flight ones must be re-disclosed — and in a *fresh* round, because
   // peers dedupe disclosures per (origin, round) and the RB dedupes per
-  // (origin, tag), so the old round's tag is burned.
+  // (origin, tag), so the old round's tag is burned. The refold bypasses
+  // the queue bound (dropping a pre-crash submission breaks inclusivity).
+  Elem refold = batcher_.drain_all();
   for (const Elem& v : submitted_) {
-    pending_batch_ = pending_batch_.join(v);
+    refold = refold.join(v);
   }
+  if (!refold.is_bottom()) batcher_.requeue(refold);
   state_ = State::kDisclosing;
   rejoining_ = true;
   obs_rejoin_start();
@@ -468,7 +524,10 @@ void GwtsProcess::finish_rejoin() {
   // (Byzantine-hardened state transfer — justifying the frontier with the
   // quorumed-ack evidence itself — is a ROADMAP open item.)
   safe_r_ = std::max(safe_r_, catchup_frontier_);
-  start_new_round(std::max(round_, catchup_frontier_) + 1);
+  // disclosed_high_ covers pipelined pre-disclosures: their tags are
+  // burned even though the rounds never started here.
+  start_new_round(
+      std::max({round_, catchup_frontier_, disclosed_high_}) + 1);
 }
 
 void GwtsProcess::handle_catchup_req(ProcessId from, const CatchupReqMsg& m) {

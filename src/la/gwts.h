@@ -29,6 +29,7 @@
 
 #include "bcast/bracha.h"
 #include "bcast/cert_rb.h"
+#include "la/batcher.h"
 #include "la/config.h"
 #include "la/messages.h"
 #include "la/record.h"
@@ -46,8 +47,14 @@ class GwtsProcess : public sim::Process {
   /// "upon event new value(v)" (Alg 3 L9-10): enqueue an input value; it
   /// will be disclosed in the next round's batch. May be called before the
   /// run starts or from any handler (e.g. the RSM replica receiving a
-  /// client command).
+  /// client command). With a bounded ingress queue (cfg.batch.max_queue)
+  /// a full queue drops the value silently — callers that must surface
+  /// backpressure use try_submit().
   void submit(Elem value);
+
+  /// Like submit(), but reports backpressure: returns false iff the
+  /// ingress queue is full (the value is NOT retained; retry later).
+  bool try_submit(Elem value);
 
   void on_start() override;
   void on_message(ProcessId from, const sim::MessagePtr& msg) override;
@@ -61,6 +68,7 @@ class GwtsProcess : public sim::Process {
   const Elem& decided_set() const { return decided_set_; }
   const Elem& proposed_set() const { return proposed_set_; }
   const ProposerStats& stats() const { return stats_; }
+  const Batcher& batcher() const { return batcher_; }
 
   /// Decide hook: called at every decide event, before the next round
   /// starts. Used by the RSM replica and by run controllers.
@@ -131,6 +139,11 @@ class GwtsProcess : public sim::Process {
   void on_disclosure(ProcessId origin, std::uint64_t tag,
                      const GDisclosureMsg& m);
   void maybe_start_proposing();
+  /// Pipelining (cfg.batch.pipeline): once this round is proposing,
+  /// pre-disclose the next round's batch so its disclosure phase overlaps
+  /// the current deciding phase. At most one pre-disclosure per round (the
+  /// RB tag is single-use).
+  void maybe_predisclose();
   void broadcast_proposal();
   void drain_waiting();
   bool try_process(ProcessId from, const sim::MessagePtr& msg);
@@ -165,9 +178,16 @@ class GwtsProcess : public sim::Process {
   std::uint64_t ts_ = 0;
   Elem proposed_set_;
   Elem decided_set_;
-  Elem pending_batch_;                   // Batch[r+1] accumulator
+  Batcher batcher_;                      // Batch[r+1..] ingress queue
   std::vector<Elem> submitted_;          // all values fed via submit()
   std::map<std::uint64_t, Elem> batch_;  // Batch[r] snapshots (diagnostics)
+  // Pipelined disclosures already broadcast for future rounds; the round
+  // start consumes the entry instead of re-burning the RB tag.
+  std::map<std::uint64_t, Elem> predisclosed_;
+  // Highest round this process ever disclosed at (>= round_ only while a
+  // pre-disclosure is outstanding); a rejoin must jump above it so the
+  // fresh disclosure never collides with a burned tag.
+  std::uint64_t disclosed_high_ = 0;
   std::vector<DecisionRecord> decisions_;
 
   // Values disclosure: per round, per origin.

@@ -229,6 +229,37 @@ class SubmitMsg final : public sim::Message {
   Elem value;
 };
 
+/// Backpressure nack for a rejected submission: the replica's bounded
+/// ingress queue (la::Batcher, cfg.batch.max_queue) was full, so the
+/// value was dropped. `rejected` echoes the dropped value so the client
+/// can retry exactly it; `retry_after` is an advisory hold, in transport
+/// time units, scaled to the rejecting queue's depth.
+class SubmitNackMsg final : public sim::Message {
+ public:
+  SubmitNackMsg(Elem rejected, std::uint64_t retry_after, ProcessId replica)
+      : rejected(std::move(rejected)),
+        retry_after(retry_after),
+        replica(replica) {}
+
+  std::uint32_t type_id() const override { return 25; }
+  sim::Layer layer() const override { return sim::Layer::kOther; }
+  void encode_payload(Encoder& enc) const override {
+    rejected.encode(enc);
+    enc.put_u64(retry_after);
+    enc.put_u32(replica);
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "SUBMIT_NACK(rep=" << replica << ",retry_after=" << retry_after
+       << ")";
+    return os.str();
+  }
+
+  Elem rejected;
+  std::uint64_t retry_after;
+  ProcessId replica;
+};
+
 // ------------------------------------------- crash-stop baseline (PODC) ----
 
 /// <propose, Proposed_set, ts> of Faleiro et al.'s crash-stop protocol.

@@ -25,7 +25,10 @@ namespace bgla::la {
 
 using lattice::Elem;
 
-inline constexpr std::uint32_t kStateFormatVersion = 1;
+// v2: ingress-batcher pending queue persisted as its join in the old
+// pending-batch slot; GWTS/GSbS blobs gained a trailing pipelining
+// watermark (highest round disclosed/signed ahead).
+inline constexpr std::uint32_t kStateFormatVersion = 2;
 
 /// One tag per protocol with durable state; pointing a replica at a data
 /// directory written by a different protocol is a config error that must

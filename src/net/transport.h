@@ -159,6 +159,15 @@ class Endpoint {
       obs_->on_decide(id_, proposal, round, refinements, latency);
     }
   }
+  /// One ingress batch released into a round: its value count and the
+  /// queue depth left behind.
+  void obs_batch_flush(std::uint64_t batch_size, std::uint64_t queue_depth) {
+    if (obs_ != nullptr) obs_->on_batch_flush(id_, batch_size, queue_depth);
+  }
+  /// A submit was refused because the ingress queue is full.
+  void obs_backpressure() {
+    if (obs_ != nullptr) obs_->on_backpressure(id_);
+  }
   void obs_rejoin_start() {
     if (obs_ != nullptr) {
       obs_rejoin_since_us_ = obs_steady_us();

@@ -141,6 +141,12 @@ MessagePtr decode_payload(std::uint32_t type_id, Decoder& dec, int depth) {
     }
     case 24:
       return std::make_shared<la::SubmitMsg>(decode_elem(dec));
+    case 25: {
+      Elem rejected = decode_elem(dec);
+      const std::uint64_t retry_after = dec.get_u64();
+      return std::make_shared<la::SubmitNackMsg>(std::move(rejected),
+                                                 retry_after, dec.get_u32());
+    }
     // ---- crash-stop Faleiro baseline ----
     case 30: {
       Elem e = decode_elem(dec);
@@ -209,6 +215,21 @@ MessagePtr decode_payload(std::uint32_t type_id, Decoder& dec, int depth) {
     case 61: {
       Elem e = decode_elem(dec);
       return std::make_shared<rsm::DecideMsg>(std::move(e), dec.get_u32());
+    }
+    case 64: {
+      const std::uint64_t count = dec.get_varint();
+      BGLA_CHECK_MSG(count <= dec.remaining(),
+                     "batch update count exceeds remaining bytes");
+      std::vector<lattice::Item> cmds;
+      cmds.reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        lattice::Item cmd;
+        cmd.a = dec.get_u64();
+        cmd.b = dec.get_u64();
+        cmd.c = dec.get_u64();
+        cmds.push_back(cmd);
+      }
+      return std::make_shared<rsm::BatchUpdateMsg>(std::move(cmds));
     }
     case 62:
       return std::make_shared<rsm::ConfReqMsg>(decode_elem(dec));

@@ -16,6 +16,9 @@ Instrument::Instrument(Registry* registry, TraceWriter* trace)
   round_advances_ = &reg_->counter("bgla_proto_round_advances_total");
   decides_ = &reg_->counter("bgla_proto_decides_total");
   rejoins_ = &reg_->counter("bgla_proto_rejoins_total");
+  backpressure_ = &reg_->counter("bgla_proto_backpressure_total");
+  batch_queue_depth_ = &reg_->gauge("bgla_proto_batch_queue_depth");
+  batch_size_ = &reg_->histogram("bgla_proto_batch_size");
   decide_latency_us_ = &reg_->histogram("bgla_proto_decide_latency_us");
   persist_latency_us_ = &reg_->histogram("bgla_store_persist_latency_us");
   rejoin_latency_us_ = &reg_->histogram("bgla_proto_rejoin_latency_us");
@@ -138,6 +141,26 @@ void Instrument::on_rejoin_done(ProcessId node, std::uint64_t latency_us) {
     ev.node = node;
     trace_->record(std::move(ev.with("latency_us", latency_us)));
   }
+}
+
+void Instrument::on_batch_flush(ProcessId node, std::uint64_t batch_size,
+                                std::uint64_t queue_depth) {
+  if (batch_size_ != nullptr) batch_size_->observe(batch_size);
+  if (batch_queue_depth_ != nullptr) {
+    batch_queue_depth_->set(static_cast<std::int64_t>(queue_depth));
+  }
+  if (trace_ != nullptr) {
+    TraceEvent ev;
+    ev.kind = EventKind::kBatchFlush;
+    ev.node = node;
+    trace_->record(std::move(
+        ev.with("batch_size", batch_size).with("queue_depth", queue_depth)));
+  }
+}
+
+void Instrument::on_backpressure(ProcessId node) {
+  (void)node;
+  if (backpressure_ != nullptr) backpressure_->inc();
 }
 
 void publish_crypto(Registry& reg, std::uint64_t macs_computed,

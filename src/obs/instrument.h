@@ -49,6 +49,9 @@ class Instrument {
                   std::uint64_t latency_us);
   void on_rejoin_start(ProcessId node);
   void on_rejoin_done(ProcessId node, std::uint64_t latency_us);
+  void on_batch_flush(ProcessId node, std::uint64_t batch_size,
+                      std::uint64_t queue_depth);
+  void on_backpressure(ProcessId node);
 
  private:
   Registry* reg_;
@@ -64,6 +67,9 @@ class Instrument {
   Counter* round_advances_ = nullptr;
   Counter* decides_ = nullptr;
   Counter* rejoins_ = nullptr;
+  Counter* backpressure_ = nullptr;
+  Gauge* batch_queue_depth_ = nullptr;
+  Histogram* batch_size_ = nullptr;
   Histogram* decide_latency_us_ = nullptr;
   Histogram* persist_latency_us_ = nullptr;
   Histogram* rejoin_latency_us_ = nullptr;

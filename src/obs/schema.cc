@@ -31,6 +31,8 @@ constexpr FieldSpec kNodeFinalFields[] = {{"decided", false},
                                           {"msgs_sent", false},
                                           {"refinements", false}};
 constexpr FieldSpec kFaultFields[] = {{"fault", true}};
+constexpr FieldSpec kBatchFlushFields[] = {{"batch_size", false},
+                                           {"queue_depth", false}};
 
 constexpr KindSpec kKindSpecs[kNumEventKinds] = {
     /*propose*/ {kProposeFields, 2},
@@ -48,6 +50,7 @@ constexpr KindSpec kKindSpecs[kNumEventKinds] = {
     /*node_start*/ {kNodeStartFields, 3},
     /*node_final*/ {kNodeFinalFields, 3},
     /*fault*/ {kFaultFields, 1},
+    /*batch_flush*/ {kBatchFlushFields, 2},
 };
 
 constexpr const char* kEnvelopeU64[] = {"node", "inc", "seq", "wall_us",

@@ -14,7 +14,7 @@ const char* const kKindNames[kNumEventKinds] = {
     "propose",       "submit",      "ack",         "nack",
     "refine",        "round_advance", "decide",    "persist",
     "retransmit",    "rejoin_start", "rejoin_done", "deliver",
-    "node_start",    "node_final",  "fault",
+    "node_start",    "node_final",  "fault",       "batch_flush",
 };
 
 }  // namespace

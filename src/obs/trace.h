@@ -50,9 +50,10 @@ enum class EventKind : std::uint8_t {
   kNodeStart,        // process came up (tools)
   kNodeFinal,        // process final report: totals for the analyzer
   kFault,            // nemesis fault timeline (kill/restart/partition/...)
+  kBatchFlush,       // ingress batcher released a batch into a round
 };
 inline constexpr std::size_t kNumEventKinds =
-    static_cast<std::size_t>(EventKind::kFault) + 1;
+    static_cast<std::size_t>(EventKind::kBatchFlush) + 1;
 
 const char* kind_name(EventKind k);
 /// Returns kNumEventKinds for an unknown name.

@@ -1,5 +1,7 @@
 #include "rsm/client.h"
 
+#include "la/messages.h"
+#include "lattice/set_elem.h"
 #include "util/check.h"
 
 namespace bgla::rsm {
@@ -61,6 +63,16 @@ void Client::on_message(ProcessId from, const sim::MessagePtr& msg) {
     handle_decide(from, *m);
   } else if (const auto* m = dynamic_cast<const ConfRepMsg*>(msg.get())) {
     handle_conf_rep(from, *m);
+  } else if (const auto* m = dynamic_cast<const la::SubmitNackMsg*>(
+                 msg.get())) {
+    // Backpressure: the replica's ingress queue was full when our command
+    // arrived. Resend to that replica — its queue drains by one whole
+    // batch per round, so the retry lands eventually.
+    if (!active_ || from >= num_replicas_) return;
+    const auto& items = lattice::set_items(m->rejected);
+    if (items.count(current_cmd_) == 0) return;  // not our in-flight cmd
+    ++backpressure_retries_;
+    send(from, std::make_shared<UpdateMsg>(current_cmd_));
   }
 }
 

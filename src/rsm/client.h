@@ -69,6 +69,10 @@ class Client : public sim::Process {
   using OpHook = std::function<void(const Client&, const OpRecord&)>;
   void set_op_hook(OpHook hook) { op_hook_ = std::move(hook); }
 
+  /// Times a replica nacked this client's in-flight command because its
+  /// ingress queue was full (each nack triggers one resend).
+  std::uint64_t backpressure_retries() const { return backpressure_retries_; }
+
  private:
   void start_next_op();
   void handle_decide(ProcessId from, const DecideMsg& m);
@@ -93,6 +97,7 @@ class Client : public sim::Process {
 
   std::vector<OpRecord> history_;
   OpHook op_hook_;
+  std::uint64_t backpressure_retries_ = 0;
 };
 
 }  // namespace bgla::rsm

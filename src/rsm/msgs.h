@@ -2,6 +2,7 @@
 #pragma once
 
 #include <sstream>
+#include <vector>
 
 #include "lattice/set_elem.h"
 #include "sim/message.h"
@@ -71,6 +72,32 @@ class ConfReqMsg final : public sim::Message {
   std::string to_string() const override { return "RSM_CONF_REQ"; }
 
   Elem accepted;
+};
+
+/// Client → replica: several commands in one frame. Semantically identical
+/// to one UpdateMsg per command; the load generator's open-loop mode uses
+/// it to amortize frame overhead when driving the ingress batcher hard.
+class BatchUpdateMsg final : public sim::Message {
+ public:
+  explicit BatchUpdateMsg(std::vector<Item> cmds) : cmds(std::move(cmds)) {}
+
+  std::uint32_t type_id() const override { return 64; }
+  sim::Layer layer() const override { return sim::Layer::kRsm; }
+  void encode_payload(Encoder& enc) const override {
+    enc.put_varint(cmds.size());
+    for (const Item& c : cmds) {
+      enc.put_u64(c.a);
+      enc.put_u64(c.b);
+      enc.put_u64(c.c);
+    }
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "RSM_BATCH_UPDATE(|cmds|=" << cmds.size() << ")";
+    return os.str();
+  }
+
+  std::vector<Item> cmds;
 };
 
 /// Replica → client: <CnfRep, Accepted_set, replica> (Alg 7 L5).

@@ -16,7 +16,11 @@ Replica::Replica(net::Transport& net, ProcessId id, la::LaConfig cfg,
 
 void Replica::on_message(ProcessId from, const sim::MessagePtr& msg) {
   if (const auto* m = dynamic_cast<const UpdateMsg*>(msg.get())) {
-    handle_update(*m);
+    handle_update(from, m->cmd);
+    return;
+  }
+  if (const auto* m = dynamic_cast<const BatchUpdateMsg*>(msg.get())) {
+    for (const Item& cmd : m->cmds) handle_update(from, cmd);
     return;
   }
   if (const auto* m = dynamic_cast<const ConfReqMsg*>(msg.get())) {
@@ -29,11 +33,22 @@ void Replica::on_message(ProcessId from, const sim::MessagePtr& msg) {
   flush_confirmations();
 }
 
-void Replica::handle_update(const UpdateMsg& m) {
+void Replica::handle_update(ProcessId from, const Item& cmd) {
   // Deduplicate by (client, seq) — a Byzantine client hammering the same
   // command only gets it proposed once.
-  if (!seen_cmds_.emplace(m.cmd.a, m.cmd.b).second) return;
-  submit(lattice::make_set({m.cmd}));
+  const auto [it, fresh] = seen_cmds_.emplace(cmd.a, cmd.b);
+  if (!fresh) return;
+  const Elem value = lattice::make_set({cmd});
+  if (!try_submit(value)) {
+    // Full ingress queue: backpressure. The command is un-marked so the
+    // client's retry goes through once the queue drains. (try_submit only
+    // persists on success, so the durable dedup set stays consistent.)
+    seen_cmds_.erase(it);
+    if (from != id()) {
+      send(from, std::make_shared<la::SubmitNackMsg>(
+                     value, /*retry_after=*/batcher().depth(), id()));
+    }
+  }
 }
 
 void Replica::handle_conf_req(ProcessId from, const ConfReqMsg& m) {

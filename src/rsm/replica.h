@@ -36,7 +36,12 @@ class Replica : public la::GwtsProcess {
   void import_state(Decoder& dec) override;
 
  private:
-  void handle_update(const UpdateMsg& m);
+  /// Feeds one client command into the GWTS ingress batcher. Dedup by
+  /// (client, seq) happens first, so a nacked command is NOT marked seen
+  /// and a client retry is proposed normally once the queue drains. A full
+  /// queue answers with la::SubmitNackMsg carrying the queue depth as an
+  /// advisory retry hint.
+  void handle_update(ProcessId from, const Item& cmd);
   void handle_conf_req(ProcessId from, const ConfReqMsg& m);
   void flush_confirmations();
   void push_decision(const la::DecisionRecord& rec);

@@ -16,6 +16,7 @@
 #include "lattice/maxint_elem.h"
 #include "lattice/set_elem.h"
 #include "net/wire.h"
+#include "rsm/msgs.h"
 #include "sim/network.h"
 #include "store/replica_store.h"
 #include "util/check.h"
@@ -46,7 +47,7 @@ Elem random_elem(Rng& rng) {
 /// A structurally valid protocol message with randomly-filled content —
 /// shared between the in-sim Byzantine sprayer and the wire-decoder fuzz.
 sim::MessagePtr random_message(Rng& rng, std::uint32_t n) {
-  switch (rng.uniform(0, 9)) {
+  switch (rng.uniform(0, 11)) {
     case 0:
       return std::make_shared<la::DisclosureMsg>(random_elem(rng));
     case 1:
@@ -81,6 +82,22 @@ sim::MessagePtr random_message(Rng& rng, std::uint32_t n) {
       return std::make_shared<bcast::RbEchoMsg>(
           key, std::make_shared<la::GDisclosureMsg>(random_elem(rng),
                                                     rng.uniform(0, 4)));
+    }
+    case 9:
+      // Backpressure nack (25): a hostile nack for a value never
+      // submitted, or from a fake replica id, must be ignored cleanly.
+      return std::make_shared<la::SubmitNackMsg>(
+          random_elem(rng), rng.uniform(0, 100),
+          static_cast<ProcessId>(rng.uniform(0, 7)));
+    case 10: {
+      // Batched client updates (64), random length including empty.
+      std::vector<Item> cmds;
+      const std::size_t k = rng.uniform(0, 5);
+      for (std::size_t i = 0; i < k; ++i) {
+        cmds.push_back(Item{rng.uniform(0, 8), rng.uniform(0, 2000),
+                            rng.uniform(0, 2)});
+      }
+      return std::make_shared<rsm::BatchUpdateMsg>(std::move(cmds));
     }
     default: {
       const bcast::RbKey key{static_cast<ProcessId>(rng.uniform(0, n)),

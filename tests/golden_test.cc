@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "harness/scenario.h"
+#include "harness/throughput.h"
 
 namespace bgla {
 namespace {
@@ -81,6 +82,99 @@ TEST(Golden, FaleiroViolationReferenceRun) {
   const auto rep = harness::run_faleiro(sc);
   EXPECT_FALSE(rep.spec.comparability);  // the pinned T7 violation
   EXPECT_NE(rep.spec.diagnostic.find("incomparable"), std::string::npos);
+}
+
+// Batch size 1 must be indistinguishable from the neutral (historical)
+// config whenever at most one value is pending per round start — here
+// submissions are spaced wider than a round, so the batcher never has two
+// values to coalesce and the transcripts must match tick for tick. (The
+// neutral config itself reproducing the pre-batching goldens is what the
+// untouched pins in the reference runs above verify.)
+TEST(Golden, GwtsBatchSizeOneMatchesNeutralWhenSpaced) {
+  harness::GwtsScenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.adversary = harness::Adversary::kStaleNacker;
+  sc.sched = Sched::kUniform;
+  sc.seed = 7;
+  sc.target_decisions = 3;
+  sc.submission_spacing = 100;  // wider than any round at n=4
+  const auto neutral = harness::run_gwts(sc);
+  ASSERT_TRUE(neutral.completed);
+  ASSERT_TRUE(neutral.spec.ok()) << neutral.spec.diagnostic;
+
+  sc.batch.max_batch = 1;
+  const auto batch1 = harness::run_gwts(sc);
+  ASSERT_TRUE(batch1.completed);
+  ASSERT_TRUE(batch1.spec.ok()) << batch1.spec.diagnostic;
+
+  EXPECT_EQ(batch1.total_msgs, neutral.total_msgs);
+  EXPECT_EQ(batch1.end_time, neutral.end_time);
+  EXPECT_EQ(batch1.total_decisions, neutral.total_decisions);
+
+  // Pinned reference values (seed 7, spacing 100), shared by both runs.
+  EXPECT_EQ(neutral.total_msgs, 2040u);
+  EXPECT_EQ(neutral.end_time, 426u);
+  EXPECT_EQ(neutral.total_decisions, 18u);
+}
+
+// Batched reference run: submissions arrive faster than rounds complete,
+// so the batcher genuinely coalesces; same seed + same batch config must
+// be byte-identical run to run, and these pins document the reference.
+TEST(Golden, GwtsBatchedReferenceRun) {
+  harness::GwtsScenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.adversary = harness::Adversary::kNone;
+  sc.byz_count = 0;
+  sc.sched = Sched::kUniform;
+  sc.seed = 7;
+  sc.target_decisions = 3;
+  sc.submissions_per_proc = 8;
+  sc.submission_spacing = 2;  // flood: several values pending per round
+  sc.batch.max_batch = 4;
+  sc.batch.max_queue = 16;
+  const auto rep = harness::run_gwts(sc);
+  ASSERT_TRUE(rep.completed);
+  ASSERT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+
+  const auto again = harness::run_gwts(sc);
+  EXPECT_EQ(rep.total_msgs, again.total_msgs);
+  EXPECT_EQ(rep.end_time, again.end_time);
+  EXPECT_EQ(rep.total_decisions, again.total_decisions);
+
+  // Pinned reference values (seed 7, batch=4/queue=16).
+  EXPECT_EQ(rep.total_msgs, 1952u);
+  EXPECT_EQ(rep.end_time, 232u);
+  EXPECT_EQ(rep.total_decisions, 12u);
+}
+
+// Pipelined batched run through the closed-loop throughput harness: the
+// pre-disclosure path consumes RNG and schedules messages differently from
+// the unpipelined path, so its determinism needs its own golden.
+TEST(Golden, ThroughputPipelinedReferenceRun) {
+  harness::ThroughputScenario sc;
+  sc.protocol = harness::ThroughputProtocol::kGwts;
+  sc.n = 4;
+  sc.f = 1;
+  sc.batch.max_batch = 8;
+  sc.batch.pipeline = true;
+  sc.commands_per_proc = 24;
+  sc.window = 16;
+  sc.seed = 3;
+  const auto rep = harness::run_throughput(sc);
+  ASSERT_TRUE(rep.completed);
+  ASSERT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+
+  const auto again = harness::run_throughput(sc);
+  EXPECT_EQ(rep.total_msgs, again.total_msgs);
+  EXPECT_EQ(rep.end_time, again.end_time);
+  EXPECT_EQ(rep.total_decisions, again.total_decisions);
+
+  // Pinned reference values (seed 3, batch=8, pipeline on).
+  EXPECT_EQ(rep.commands, 96u);
+  EXPECT_EQ(rep.total_msgs, 2072u);
+  EXPECT_EQ(rep.end_time, 168u);
 }
 
 TEST(Golden, RsmReferenceRun) {

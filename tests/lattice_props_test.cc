@@ -1,0 +1,550 @@
+// Randomized property tests (ctest label `props`) for the join-semilattice
+// laws and the ingress-batching path built on them.
+//
+// Unlike lattice_test's fixed sweeps, these run a seeded generate → check →
+// SHRINK loop: when a law fails, the failing tuple is greedily minimized
+// (dropping set items / vclock entries, decrementing counters) before it is
+// reported, so the failure message carries a near-minimal counterexample
+// and the seed that reproduces it. The batcher properties drive a random
+// offer/take/requeue/advance op sequence against a plain reference model
+// and shrink the op log the same way.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "la/batcher.h"
+#include "lattice/elem.h"
+#include "lattice/maxint_elem.h"
+#include "lattice/set_elem.h"
+#include "lattice/vclock_elem.h"
+#include "util/rng.h"
+
+namespace bgla::lattice {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Generators: one per lattice family, plus a mixed-size "batch" generator.
+
+Elem gen_set(Rng& rng) {
+  std::set<Item> items;
+  const std::size_t k = rng.uniform(0, 6);
+  for (std::size_t i = 0; i < k; ++i) {
+    items.insert(Item{static_cast<ProcessId>(rng.uniform(0, 4)),
+                      rng.uniform(0, 6), rng.uniform(0, 2)});
+  }
+  return make_set(std::move(items));
+}
+
+Elem gen_maxint(Rng& rng) { return make_maxint(rng.uniform(0, 64)); }
+
+Elem gen_vclock(Rng& rng) {
+  std::map<ProcessId, std::uint64_t> clock;
+  const std::size_t k = rng.uniform(0, 4);
+  for (std::size_t i = 0; i < k; ++i) {
+    clock[static_cast<ProcessId>(rng.uniform(0, 4))] = rng.uniform(1, 8);
+  }
+  return make_vclock(std::move(clock));
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking: immediate simpler variants of one element. Every candidate is
+// strictly smaller (fewer items / entries, or a smaller counter), so the
+// greedy descent below terminates.
+
+std::vector<Elem> shrink_elem(const Elem& e) {
+  std::vector<Elem> out;
+  if (e.is_bottom()) return out;
+  out.push_back(Elem());  // bottom first: the biggest simplification
+  const std::string kind = e.model()->kind();
+  if (kind == "set") {
+    const std::set<Item>& items = set_items(e);
+    for (const Item& drop : items) {
+      std::set<Item> fewer = items;
+      fewer.erase(drop);
+      out.push_back(make_set(std::move(fewer)));
+    }
+  } else if (kind == "maxint") {
+    const std::uint64_t v = maxint_value(e);
+    if (v > 0) out.push_back(make_maxint(v / 2));
+    if (v > 1) out.push_back(make_maxint(v - 1));
+  } else if (kind == "vclock") {
+    const auto* m = dynamic_cast<const VClockElem*>(e.model());
+    if (m != nullptr) {
+      for (const auto& [id, c] : m->clock()) {
+        std::map<ProcessId, std::uint64_t> fewer = m->clock();
+        fewer.erase(id);
+        out.push_back(make_vclock(std::move(fewer)));
+        if (c > 1) {
+          std::map<ProcessId, std::uint64_t> dec = m->clock();
+          dec[id] = c - 1;
+          out.push_back(make_vclock(std::move(dec)));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+using Tuple = std::vector<Elem>;
+using Property = std::function<bool(const Tuple&)>;
+
+/// Greedily shrinks one failing tuple: keep replacing any position with a
+/// simpler variant while the property still fails.
+Tuple shrink_tuple(Tuple failing, const Property& prop) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < failing.size() && !progress; ++i) {
+      for (const Elem& simpler : shrink_elem(failing[i])) {
+        Tuple candidate = failing;
+        candidate[i] = simpler;
+        if (!prop(candidate)) {
+          failing = std::move(candidate);
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+  return failing;
+}
+
+std::string tuple_str(const Tuple& t) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << static_cast<char>('a' + i) << "="
+       << t[i].to_string();
+  }
+  return os.str();
+}
+
+/// Runs `rounds` random tuples through `prop`; the first failure is shrunk
+/// and reported with the seed.
+void check_property(const char* name, Elem (*gen)(Rng&), std::size_t arity,
+                    std::uint64_t seed, const Property& prop,
+                    int rounds = 200) {
+  Rng rng(seed);
+  for (int round = 0; round < rounds; ++round) {
+    Tuple t;
+    for (std::size_t i = 0; i < arity; ++i) t.push_back(gen(rng));
+    if (prop(t)) continue;
+    const Tuple minimal = shrink_tuple(t, prop);
+    FAIL() << name << " failed (seed " << seed << ", round " << round
+           << ")\n  original: " << tuple_str(t)
+           << "\n  shrunk:   " << tuple_str(minimal);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Join-semilattice laws, one property each so a violation names the law.
+
+struct Family {
+  const char* name;
+  Elem (*gen)(Rng&);
+};
+
+class SemilatticeProps
+    : public ::testing::TestWithParam<std::tuple<Family, std::uint64_t>> {};
+
+TEST_P(SemilatticeProps, Associativity) {
+  const auto [fam, seed] = GetParam();
+  check_property("associativity", fam.gen, 3, seed, [](const Tuple& t) {
+    return t[0].join(t[1]).join(t[2]) == t[0].join(t[1].join(t[2]));
+  });
+}
+
+TEST_P(SemilatticeProps, Commutativity) {
+  const auto [fam, seed] = GetParam();
+  check_property("commutativity", fam.gen, 2, seed, [](const Tuple& t) {
+    return t[0].join(t[1]) == t[1].join(t[0]);
+  });
+}
+
+TEST_P(SemilatticeProps, Idempotence) {
+  const auto [fam, seed] = GetParam();
+  check_property("idempotence", fam.gen, 1, seed, [](const Tuple& t) {
+    return t[0].join(t[0]) == t[0];
+  });
+}
+
+TEST_P(SemilatticeProps, JoinIsLeastUpperBound) {
+  const auto [fam, seed] = GetParam();
+  check_property("least-upper-bound", fam.gen, 3, seed, [](const Tuple& t) {
+    const Elem j = t[0].join(t[1]);
+    if (!t[0].leq(j) || !t[1].leq(j)) return false;  // upper bound
+    // Least: any other upper bound dominates the join.
+    if (t[0].leq(t[2]) && t[1].leq(t[2]) && !j.leq(t[2])) return false;
+    return true;
+  });
+}
+
+TEST_P(SemilatticeProps, JoinMonotone) {
+  const auto [fam, seed] = GetParam();
+  check_property("monotonicity", fam.gen, 3, seed, [](const Tuple& t) {
+    if (!t[0].leq(t[1])) return true;  // vacuous
+    return t[0].join(t[2]).leq(t[1].join(t[2]));
+  });
+}
+
+TEST_P(SemilatticeProps, LeqJoinCompatible) {
+  const auto [fam, seed] = GetParam();
+  check_property("leq-join compatibility", fam.gen, 2, seed,
+                 [](const Tuple& t) {
+                   return t[0].leq(t[1]) == (t[0].join(t[1]) == t[1]);
+                 });
+}
+
+TEST_P(SemilatticeProps, BottomIsIdentity) {
+  const auto [fam, seed] = GetParam();
+  check_property("bottom identity", fam.gen, 1, seed, [](const Tuple& t) {
+    return Elem().join(t[0]) == t[0] && t[0].join(Elem()) == t[0] &&
+           Elem().leq(t[0]);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, SemilatticeProps,
+    ::testing::Combine(
+        ::testing::Values(Family{"set", &gen_set},
+                          Family{"maxint", &gen_maxint},
+                          Family{"vclock", &gen_vclock}),
+        ::testing::Values<std::uint64_t>(0xb0b1, 0xb0b2, 0xb0b3)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).name) + "_seed" +
+             std::to_string(std::get<1>(info.param) & 0xf);
+    });
+
+// ---------------------------------------------------------------------------
+// Batch-join path: a batch's single join must be indistinguishable (as a
+// lattice element) from submitting its values one at a time — the property
+// that makes ingress batching transparent to every la/spec checker.
+
+TEST(BatchJoinProps, BatchJoinEqualsFoldOfSingletons) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    check_property(
+        "batch join = fold join", &gen_set, 5, seed, [](const Tuple& t) {
+          Elem fold;
+          for (const Elem& v : t) fold = fold.join(v);
+          // Any grouping into sub-batches joins to the same element.
+          const Elem grouped =
+              t[0].join(t[1]).join(t[2].join(t[3]).join(t[4]));
+          return fold == grouped;
+        });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// la::Batcher vs a reference model, over random op sequences, with op-log
+// shrinking. The model is the spec in the batcher.h header restated in the
+// simplest possible code.
+
+struct BatchOp {
+  enum class Kind { kOffer, kTake, kRequeue, kAdvance } kind = Kind::kOffer;
+  Elem value;        // offer / requeue payload
+  std::uint64_t dt = 0;  // advance amount
+};
+
+struct RefModel {
+  la::BatchConfig cfg;
+  std::deque<std::pair<Elem, std::uint64_t>> queue;  // value, enqueued_at
+
+  bool offer(const Elem& v, std::uint64_t now) {
+    if (cfg.max_queue != 0 && queue.size() >= cfg.max_queue) return false;
+    queue.emplace_back(v, now);
+    return true;
+  }
+  void requeue(const Elem& v) {
+    if (!v.is_bottom()) queue.emplace_front(v, 0);
+  }
+  bool release_ready(std::uint64_t now) const {
+    if (queue.empty()) return false;
+    if (cfg.flush_age == 0) return true;
+    if (cfg.max_batch != 0 && queue.size() >= cfg.max_batch) return true;
+    return now - queue.front().second >= cfg.flush_age;
+  }
+  Elem take(std::uint64_t now) {
+    Elem batch;
+    if (!release_ready(now)) return batch;
+    std::uint64_t taken = 0;
+    while (!queue.empty() &&
+           (cfg.max_batch == 0 || taken < cfg.max_batch)) {
+      batch = batch.join(queue.front().first);
+      queue.pop_front();
+      ++taken;
+    }
+    return batch;
+  }
+  Elem pending_join() const {
+    Elem all;
+    for (const auto& [v, t] : queue) all = all.join(v);
+    return all;
+  }
+};
+
+std::string op_str(const BatchOp& op) {
+  switch (op.kind) {
+    case BatchOp::Kind::kOffer: return "offer(" + op.value.to_string() + ")";
+    case BatchOp::Kind::kTake: return "take";
+    case BatchOp::Kind::kRequeue:
+      return "requeue(" + op.value.to_string() + ")";
+    case BatchOp::Kind::kAdvance:
+      return "advance(+" + std::to_string(op.dt) + ")";
+  }
+  return "?";
+}
+
+/// Replays `ops` against both implementations; returns the index of the
+/// first divergence, or npos when they agree everywhere.
+std::size_t first_divergence(const la::BatchConfig& cfg,
+                             const std::vector<BatchOp>& ops,
+                             std::string* why) {
+  la::Batcher real(cfg);
+  RefModel ref{cfg, {}};
+  std::uint64_t now = 0;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const BatchOp& op = ops[i];
+    switch (op.kind) {
+      case BatchOp::Kind::kOffer: {
+        const bool a = real.offer(op.value, now);
+        const bool b = ref.offer(op.value, now);
+        if (a != b) {
+          *why = "offer accepted=" + std::to_string(a) + " vs ref " +
+                 std::to_string(b);
+          return i;
+        }
+        break;
+      }
+      case BatchOp::Kind::kTake: {
+        const Elem a = real.take(now);
+        const Elem b = ref.take(now);
+        if (!(a == b)) {
+          *why = "take " + a.to_string() + " vs ref " + b.to_string();
+          return i;
+        }
+        break;
+      }
+      case BatchOp::Kind::kRequeue:
+        real.requeue(op.value);
+        ref.requeue(op.value);
+        break;
+      case BatchOp::Kind::kAdvance:
+        now += op.dt;
+        break;
+    }
+    if (real.depth() != ref.queue.size()) {
+      *why = "depth " + std::to_string(real.depth()) + " vs ref " +
+             std::to_string(ref.queue.size());
+      return i;
+    }
+    if (!(real.pending_join() == ref.pending_join())) {
+      *why = "pending_join " + real.pending_join().to_string() + " vs ref " +
+             ref.pending_join().to_string();
+      return i;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+/// Drops ops one at a time while the divergence persists.
+std::vector<BatchOp> shrink_ops(const la::BatchConfig& cfg,
+                                std::vector<BatchOp> ops) {
+  std::string why;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      std::vector<BatchOp> fewer = ops;
+      fewer.erase(fewer.begin() + static_cast<std::ptrdiff_t>(i));
+      if (first_divergence(cfg, fewer, &why) != static_cast<std::size_t>(-1)) {
+        ops = std::move(fewer);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return ops;
+}
+
+class BatcherModelProps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatcherModelProps, MatchesReferenceModel) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  // Random config per seed, biased toward small bounds so every trigger
+  // actually fires. max_bytes stays 0: the reference model mirrors the
+  // size/time triggers, and the byte trigger is covered separately below.
+  la::BatchConfig cfg;
+  cfg.max_batch = static_cast<std::uint32_t>(rng.uniform(0, 4));
+  cfg.max_queue = static_cast<std::uint32_t>(rng.uniform(0, 6));
+  cfg.flush_age = rng.uniform(0, 3);
+
+  std::vector<BatchOp> ops;
+  for (int i = 0; i < 300; ++i) {
+    BatchOp op;
+    const std::uint64_t pick = rng.uniform(0, 9);
+    if (pick < 4) {
+      op.kind = BatchOp::Kind::kOffer;
+      op.value = gen_set(rng);
+    } else if (pick < 7) {
+      op.kind = BatchOp::Kind::kTake;
+    } else if (pick < 8) {
+      op.kind = BatchOp::Kind::kRequeue;
+      op.value = gen_set(rng);
+    } else {
+      op.kind = BatchOp::Kind::kAdvance;
+      op.dt = rng.uniform(1, 3);
+    }
+    ops.push_back(std::move(op));
+  }
+
+  std::string why;
+  const std::size_t bad = first_divergence(cfg, ops, &why);
+  if (bad == static_cast<std::size_t>(-1)) return;
+  const std::vector<BatchOp> minimal = shrink_ops(cfg, ops);
+  std::ostringstream os;
+  for (const BatchOp& op : minimal) os << "\n    " << op_str(op);
+  FAIL() << "batcher diverged from the reference model (seed " << seed
+         << ", op " << bad << ": " << why << ")\n  minimal op log ("
+         << minimal.size() << " op(s)):" << os.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatcherModelProps,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ---------------------------------------------------------------------------
+// Direct batcher invariants the model comparison cannot express.
+
+TEST(BatcherProps, NeutralConfigJoinsEverythingPending) {
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    la::Batcher b;  // neutral: the historical accumulator
+    Elem all;
+    const std::size_t k = rng.uniform(1, 8);
+    for (std::size_t i = 0; i < k; ++i) {
+      const Elem v = gen_set(rng);
+      ASSERT_TRUE(b.offer(v, i));  // unbounded queue never rejects
+      all = all.join(v);
+    }
+    EXPECT_TRUE(b.pending_join() == all);
+    EXPECT_TRUE(b.take(k) == all);  // one batch, everything pending
+    EXPECT_TRUE(b.empty());
+    EXPECT_TRUE(b.take(k + 1).is_bottom());
+  }
+}
+
+TEST(BatcherProps, CoverageIsLossless) {
+  // Join of all released batches + the residue == join of all offers that
+  // were accepted: batching never drops or invents values.
+  Rng rng(11);
+  for (int round = 0; round < 50; ++round) {
+    la::BatchConfig cfg;
+    cfg.max_batch = static_cast<std::uint32_t>(rng.uniform(1, 4));
+    cfg.max_queue = static_cast<std::uint32_t>(rng.uniform(4, 10));
+    la::Batcher b(cfg);
+    Elem accepted, released;
+    for (int i = 0; i < 40; ++i) {
+      const Elem v = gen_set(rng);
+      if (b.offer(v, static_cast<std::uint64_t>(i))) {
+        accepted = accepted.join(v);
+      }
+      if (rng.chance(0.5)) {
+        released = released.join(b.take(static_cast<std::uint64_t>(i)));
+      }
+    }
+    EXPECT_TRUE(released.join(b.pending_join()) == accepted);
+  }
+}
+
+TEST(BatcherProps, FifoOrderWithinBatches) {
+  la::BatchConfig cfg;
+  cfg.max_batch = 2;
+  la::Batcher b(cfg);
+  const Elem v1 = make_singleton(1), v2 = make_singleton(2),
+             v3 = make_singleton(3);
+  ASSERT_TRUE(b.offer(v1, 0));
+  ASSERT_TRUE(b.offer(v2, 0));
+  ASSERT_TRUE(b.offer(v3, 0));
+  EXPECT_TRUE(b.take(0) == v1.join(v2));  // strictly the two oldest
+  EXPECT_TRUE(b.take(0) == v3);
+  EXPECT_TRUE(b.take(0).is_bottom());
+}
+
+TEST(BatcherProps, RequeueBypassesBoundsAndGoesFirst) {
+  la::BatchConfig cfg;
+  cfg.max_queue = 1;
+  cfg.max_batch = 1;
+  la::Batcher b(cfg);
+  ASSERT_TRUE(b.offer(make_singleton(1), 0));
+  EXPECT_FALSE(b.offer(make_singleton(2), 0));  // full: backpressure
+  EXPECT_EQ(b.stats().rejected, 1u);
+  b.requeue(make_singleton(3));  // recovery path ignores the bound
+  EXPECT_EQ(b.depth(), 2u);
+  EXPECT_TRUE(b.take(0) == make_singleton(3));  // recovered value first
+  b.requeue(Elem());  // bottom is a no-op, not a queue entry
+  EXPECT_EQ(b.depth(), 1u);
+}
+
+TEST(BatcherProps, FlushAgeHoldsShortBatches) {
+  la::BatchConfig cfg;
+  cfg.max_batch = 4;
+  cfg.flush_age = 10;
+  la::Batcher b(cfg);
+  ASSERT_TRUE(b.offer(make_singleton(1), 100));
+  EXPECT_TRUE(b.take(105).is_bottom());  // young and short: held
+  EXPECT_TRUE(b.take(110) == make_singleton(1));  // age trigger fires
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(b.offer(make_singleton(10 + i), 200));
+  }
+  EXPECT_FALSE(b.take(200).is_bottom());  // size trigger: no hold at full
+}
+
+TEST(BatcherProps, ByteBudgetSplitsBatches) {
+  const Elem v = make_singleton(1);
+  la::BatchConfig cfg;
+  cfg.max_bytes = la::elem_encoded_bytes(v);  // one value per batch
+  cfg.flush_age = 0;
+  la::Batcher b(cfg);
+  ASSERT_TRUE(b.offer(make_singleton(1), 0));
+  ASSERT_TRUE(b.offer(make_singleton(2), 0));
+  EXPECT_TRUE(b.take(0) == make_singleton(1));
+  EXPECT_TRUE(b.take(0) == make_singleton(2));
+  // A single value over budget still progresses (no wedge).
+  la::BatchConfig tiny;
+  tiny.max_bytes = 1;
+  la::Batcher t(tiny);
+  ASSERT_TRUE(t.offer(make_set({Item{0, 1, 0}, Item{0, 2, 0}}), 0));
+  EXPECT_FALSE(t.take(0).is_bottom());
+}
+
+TEST(BatcherProps, StatsAccount) {
+  Rng rng(13);
+  la::BatchConfig cfg;
+  cfg.max_queue = 3;
+  cfg.max_batch = 2;
+  la::Batcher b(cfg);
+  std::uint64_t accepted = 0, rejected = 0, flushed = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (rng.chance(0.6)) {
+      if (b.offer(gen_set(rng), 0)) ++accepted; else ++rejected;
+    } else {
+      const std::size_t before = b.depth();
+      b.take(0);
+      flushed += before - b.depth();
+    }
+  }
+  EXPECT_EQ(b.stats().offered, accepted);
+  EXPECT_EQ(b.stats().rejected, rejected);
+  EXPECT_EQ(b.stats().values_flushed, flushed);
+  EXPECT_EQ(b.stats().offered, b.stats().values_flushed + b.depth());
+  EXPECT_LE(b.stats().max_depth, 3u);
+}
+
+}  // namespace
+}  // namespace bgla::lattice

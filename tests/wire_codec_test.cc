@@ -84,12 +84,14 @@ std::vector<sim::MessagePtr> sample_messages() {
   all.push_back(std::make_shared<la::AckMsg>(set_a, 3));
   all.push_back(std::make_shared<la::NackMsg>(set_b, 4));
 
-  // GWTS (20-24).
+  // GWTS + submission path (20-25).
   all.push_back(std::make_shared<la::GDisclosureMsg>(set_a, 2));
   all.push_back(std::make_shared<la::GAckReqMsg>(set_a, 5, 2));
   all.push_back(std::make_shared<la::GAckMsg>(set_a, 1, 3, 5, 2));
   all.push_back(std::make_shared<la::GNackMsg>(set_b, 5, 2));
   all.push_back(std::make_shared<la::SubmitMsg>(set_b));
+  all.push_back(std::make_shared<la::SubmitNackMsg>(set_b,
+                                                    /*retry_after=*/17, 2));
 
   // Faleiro crash-stop baseline (30-32).
   all.push_back(std::make_shared<la::FAckReqMsg>(set_a, 9));
@@ -147,11 +149,20 @@ std::vector<sim::MessagePtr> sample_messages() {
       sfbset, 1, 8, 4,
       std::vector<std::shared_ptr<const la::GSAckMsg>>{gack2, gack3}));
 
-  // RSM (60-63).
+  // RSM (60-64).
   all.push_back(std::make_shared<rsm::UpdateMsg>(Item{6, 11, 2}));
   all.push_back(std::make_shared<rsm::DecideMsg>(set_a, 2));
   all.push_back(std::make_shared<rsm::ConfReqMsg>(set_a));
   all.push_back(std::make_shared<rsm::ConfRepMsg>(set_a, 2));
+  all.push_back(std::make_shared<rsm::BatchUpdateMsg>(
+      std::vector<Item>{Item{6, 11, 2}, Item{7, 12, 1}}));
+
+  // Rejoin catch-up (70-71).
+  all.push_back(std::make_shared<la::CatchupReqMsg>(3));
+  // Empty cert = the non-GSbS reply; a non-empty cert must be a valid
+  // GSDecidedMsg blob or the decoder rejects the whole frame.
+  all.push_back(std::make_shared<la::CatchupRepMsg>(3, 5, set_a, set_b,
+                                                    set_a, Bytes{}));
 
   return all;
 }
@@ -186,11 +197,12 @@ TEST(WireCodec, RoundTripsEveryMessageType) {
   const std::set<std::uint32_t> registry = {
       1,  2,  3,  4,  5,  6,           // Bracha + certificate RB
       10, 11, 12, 13,                  // WTS
-      20, 21, 22, 23, 24,              // GWTS
+      20, 21, 22, 23, 24, 25,          // GWTS + submit/backpressure
       30, 31, 32,                      // Faleiro baseline
       40, 41, 42, 43, 44, 45,          // SbS
       50, 51, 52, 53, 54, 55, 56,      // GSbS
-      60, 61, 62, 63,                  // RSM
+      60, 61, 62, 63, 64,              // RSM (64 = batched updates)
+      70, 71,                          // rejoin catch-up
   };
   EXPECT_EQ(covered, registry);
 }

@@ -1,0 +1,317 @@
+// bgla_load — closed-loop multi-client load generator for the generalized
+// protocols and the RSM.
+//
+// Sim mode (default): one deterministic closed-loop run on the throughput
+// harness (src/harness/throughput.h — the same engine bench_throughput
+// sweeps), for a single (protocol, batch config, n) cell:
+//   bgla_load --protocol gwts --n 7 --f 2 --batch 64 --pipeline
+//             --commands 96 --window 64 --seed 1 --json load.json
+// Reports commands per 1000 sim ticks, p50/p99 submit→decide latency in
+// ticks, effective batch size and backpressure rejections, plus the full
+// la/spec safety verdict. Byte-deterministic per seed.
+//
+// Live mode (--topology): joins a RUNNING bgla_node rsm-replica cluster
+// over TCP as --clients closed-loop Algorithm 5/6 RSM clients (topology
+// ids --client-base, --client-base+1, ...), each executing --ops update
+// operations back to back:
+//   for i in $(seq 0 5); do echo "$i 127.0.0.1 $((9200+i))"; done > topo.txt
+//   bgla_node --topology topo.txt --id $I --protocol rsm-replica
+//             --n 4 --f 1 --batch 16 --queue 64 &   # for I in 0 1 2 3
+//   bgla_load --topology topo.txt --n 4 --f 1 --clients 2 --ops 32
+// (the RSM needs n >= 3f+1 replicas; clients occupy topology ids n, n+1...)
+// Reports wall-clock operations/sec, p50/p99 op latency in microseconds,
+// and backpressure retries (replica queue-full nacks each client absorbed).
+// Every process of a deployment must share --seed (channel HMAC keys).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/json.h"
+#include "harness/throughput.h"
+#include "net/socket_transport.h"
+#include "rsm/client.h"
+#include "util/flags.h"
+
+using namespace bgla;
+
+namespace {
+
+struct Args {
+  std::string protocol = "gwts";
+  std::uint32_t n = 7;
+  std::uint32_t f = 0;  // 0 = derived: (n-1)/2 crash, (n-1)/3 Byzantine
+  std::uint64_t seed = 42;
+  std::uint32_t batch = 0;
+  std::uint32_t queue = 0;
+  std::uint64_t flush_age = 0;
+  bool pipeline = false;
+  std::uint32_t commands = 96;
+  std::uint32_t window = 64;
+  std::string json_path;
+  // Live mode.
+  std::string topology;
+  std::uint32_t clients = 1;
+  std::uint32_t client_base = 0;  // 0 = n (first id after the replicas)
+  std::uint32_t ops = 32;
+  std::uint32_t run_ms = 30000;
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  util::FlagSet flags("bgla_load");
+  flags.add_string("protocol", &a.protocol,
+                   "faleiro-la | gwts | gsbs (sim mode only)");
+  flags.add_u32("n", &a.n, "cluster size");
+  flags.add_u32("f", &a.f, "resilience (0 = max for the failure model)");
+  flags.add_u64("seed", &a.seed, "sim seed / deployment key seed");
+  flags.add_u32("batch", &a.batch, "values per round batch (0 = all)");
+  flags.add_u32("queue", &a.queue, "ingress queue bound (0 = unbounded)");
+  flags.add_u64("flush-age", &a.flush_age, "batch hold time (sim ticks)");
+  flags.add_bool("pipeline", &a.pipeline, "pre-disclose next round's batch");
+  flags.add_u32("commands", &a.commands, "sim: commands per process");
+  flags.add_u32("window", &a.window, "sim: in-flight commands per process");
+  flags.add_string("json", &a.json_path, "write the report as JSON here");
+  flags.add_string("topology", &a.topology,
+                   "live mode: topology file of a running rsm cluster");
+  flags.add_u32("clients", &a.clients, "live: concurrent closed-loop clients");
+  flags.add_u32("client-base", &a.client_base,
+                "live: first client topology id (default n)");
+  flags.add_u32("ops", &a.ops, "live: update operations per client");
+  flags.add_u32("run-ms", &a.run_ms, "live: overall deadline");
+  flags.parse_or_exit(argc, argv);
+  return a;
+}
+
+/// Parses "<id> <host> <port>" lines; duplicates/garbage are fatal.
+std::vector<net::PeerAddr> load_topology(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open topology file '" << path << "'\n";
+    std::exit(2);
+  }
+  std::vector<net::PeerAddr> peers;
+  std::set<std::uint32_t> ids;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::uint32_t id = 0;
+    std::string host;
+    std::uint32_t port = 0;
+    if (!(ls >> id)) continue;
+    if (!(ls >> host >> port) || port > 65535 || !ids.insert(id).second) {
+      std::cerr << "error: bad topology line: '" << line << "'\n";
+      std::exit(2);
+    }
+    peers.push_back(net::PeerAddr{id, host,
+                                  static_cast<std::uint16_t>(port)});
+  }
+  if (peers.empty()) {
+    std::cerr << "error: topology '" << path << "' has no entries\n";
+    std::exit(2);
+  }
+  std::sort(peers.begin(), peers.end(),
+            [](const net::PeerAddr& x, const net::PeerAddr& y) {
+              return x.id < y.id;
+            });
+  return peers;
+}
+
+double percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t i = std::min(
+      v.size() - 1, static_cast<std::size_t>(q * static_cast<double>(v.size())));
+  return v[i];
+}
+
+int run_sim(const Args& a) {
+  harness::ThroughputScenario sc;
+  if (!harness::throughput_protocol_from_name(a.protocol, &sc.protocol)) {
+    std::cerr << "error: unknown protocol '" << a.protocol
+              << "' (sim mode: faleiro-la | gwts | gsbs)\n";
+    return 2;
+  }
+  const bool crash = sc.protocol == harness::ThroughputProtocol::kFaleiro;
+  sc.n = a.n;
+  sc.f = a.f != 0 ? a.f : (crash ? (a.n - 1) / 2 : (a.n - 1) / 3);
+  sc.batch.max_batch = a.batch;
+  sc.batch.max_queue = a.queue;
+  sc.batch.flush_age = a.flush_age;
+  sc.batch.pipeline = a.pipeline;
+  sc.commands_per_proc = a.commands;
+  sc.window = a.window;
+  sc.seed = a.seed;
+
+  const harness::ThroughputReport rep = harness::run_throughput(sc);
+
+  std::cout << "protocol=" << a.protocol << " n=" << sc.n << " f=" << sc.f
+            << " batch=" << a.batch << " queue=" << a.queue
+            << " pipeline=" << (a.pipeline ? "on" : "off") << " seed="
+            << a.seed << "\n"
+            << "  commands decided:  " << rep.commands << " ("
+            << (rep.completed ? "all feeds drained" : "INCOMPLETE") << ")\n"
+            << "  throughput:        " << rep.commands_per_ktick
+            << " commands/ktick over " << rep.end_time << " ticks\n"
+            << "  decide latency:    p50=" << rep.p50_latency
+            << " p99=" << rep.p99_latency << " ticks\n"
+            << "  mean batch size:   " << rep.mean_batch_size << "\n"
+            << "  backpressure:      " << rep.backpressure_rejections
+            << " rejected submits\n"
+            << "  messages:          " << rep.total_msgs << "\n"
+            << "  safety (la/spec):  " << (rep.spec.ok() ? "ok" : "FAILED")
+            << "\n";
+  if (!rep.spec.ok()) std::cout << rep.spec.diagnostic << "\n";
+
+  if (!a.json_path.empty()) {
+    bench::Json j;
+    bench::add_build_info(j);
+    j.set("mode", "sim")
+        .set("protocol", a.protocol)
+        .set("n", static_cast<std::uint64_t>(sc.n))
+        .set("f", static_cast<std::uint64_t>(sc.f))
+        .set("batch", static_cast<std::uint64_t>(a.batch))
+        .set("queue", static_cast<std::uint64_t>(a.queue))
+        .set("pipeline", a.pipeline)
+        .set("seed", a.seed)
+        .set("commands", rep.commands)
+        .set("completed", rep.completed)
+        .set("commands_per_ktick", rep.commands_per_ktick)
+        .set("p50_latency", rep.p50_latency)
+        .set("p99_latency", rep.p99_latency)
+        .set("mean_batch_size", rep.mean_batch_size)
+        .set("backpressure_rejections", rep.backpressure_rejections)
+        .set("total_msgs", rep.total_msgs)
+        .set("spec_ok", rep.spec.ok());
+    if (!j.write(a.json_path)) {
+      std::cerr << "warning: could not write " << a.json_path << "\n";
+    }
+  }
+  return rep.completed && rep.spec.ok() ? 0 : 1;
+}
+
+int run_live(const Args& a) {
+  const std::vector<net::PeerAddr> peers = load_topology(a.topology);
+  const std::uint32_t num_endpoints = peers.back().id + 1;
+  const std::uint32_t f = a.f != 0 ? a.f : (a.n - 1) / 3;
+  const std::uint32_t base = a.client_base != 0 ? a.client_base : a.n;
+  if (base < a.n || base + a.clients > num_endpoints) {
+    std::cerr << "error: client ids " << base << ".." << base + a.clients - 1
+              << " must be topology entries >= n (" << a.n << ")\n";
+    return 2;
+  }
+
+  // One transport + one Algorithm 5/6 client per topology id. Each client
+  // is closed-loop by construction: ops run strictly one at a time.
+  struct LiveClient {
+    std::unique_ptr<net::SocketTransport> net;
+    std::unique_ptr<rsm::Client> client;
+  };
+  std::vector<LiveClient> live;
+  std::vector<double> latencies_us;  // op hooks run under dispatch locks,
+  std::mutex lat_mu;                 // one per transport -> guard merges
+
+  for (std::uint32_t k = 0; k < a.clients; ++k) {
+    const ProcessId cid = base + k;
+    net::SocketConfig scfg;
+    scfg.self = cid;
+    scfg.peers = peers;
+    scfg.num_processes = num_endpoints;
+    scfg.auth_seed = a.seed;
+    LiveClient lc;
+    lc.net = std::make_unique<net::SocketTransport>(scfg);
+    lc.net->bind_and_listen();
+    std::vector<rsm::Op> script;
+    for (std::uint32_t op = 0; op < a.ops; ++op) {
+      script.push_back(rsm::Op::update(1000 + 100 * k + op));
+    }
+    lc.client = std::make_unique<rsm::Client>(*lc.net, cid, a.n, f,
+                                              std::move(script));
+    lc.client->set_op_hook(
+        [&lat_mu, &latencies_us](const rsm::Client&, const rsm::OpRecord& r) {
+          const std::lock_guard<std::mutex> g(lat_mu);
+          latencies_us.push_back(
+              static_cast<double>(r.complete_time - r.invoke_time));
+        });
+    live.push_back(std::move(lc));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (LiveClient& lc : live) lc.net->start();
+
+  const auto deadline = t0 + std::chrono::milliseconds(a.run_ms);
+  bool all_done = false;
+  while (!all_done && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    all_done = true;
+    for (LiveClient& lc : live) {
+      auto lock = lc.net->dispatch_lock();
+      all_done = all_done && lc.client->done();
+    }
+  }
+  const double wall_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  for (LiveClient& lc : live) lc.net->stop();
+
+  std::uint64_t completed = 0;
+  std::uint64_t retries = 0;
+  for (const LiveClient& lc : live) {
+    for (const auto& rec : lc.client->history()) completed += rec.completed;
+    retries += lc.client->backpressure_retries();
+  }
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(a.clients) * a.ops;
+  const double ops_per_sec =
+      wall_s > 0.0 ? static_cast<double>(completed) / wall_s : 0.0;
+  const double p50 = percentile(latencies_us, 0.50);
+  const double p99 = percentile(latencies_us, 0.99);
+
+  std::cout << "live rsm load: " << a.clients << " client(s) x " << a.ops
+            << " update op(s), n=" << a.n << " f=" << f << "\n"
+            << "  completed:           " << completed << "/" << target
+            << (all_done ? "" : "  (DEADLINE HIT)") << "\n"
+            << "  throughput:          " << ops_per_sec << " ops/sec over "
+            << wall_s << " s\n"
+            << "  op latency:          p50=" << p50 << " p99=" << p99
+            << " us\n"
+            << "  backpressure retries " << retries << "\n";
+
+  if (!a.json_path.empty()) {
+    bench::Json j;
+    bench::add_build_info(j);
+    j.set("mode", "live")
+        .set("clients", static_cast<std::uint64_t>(a.clients))
+        .set("ops_per_client", static_cast<std::uint64_t>(a.ops))
+        .set("n", static_cast<std::uint64_t>(a.n))
+        .set("f", static_cast<std::uint64_t>(f))
+        .set("completed", completed)
+        .set("target", target)
+        .set("ops_per_sec", ops_per_sec)
+        .set("p50_latency_us", p50)
+        .set("p99_latency_us", p99)
+        .set("backpressure_retries", retries);
+    if (!j.write(a.json_path)) {
+      std::cerr << "warning: could not write " << a.json_path << "\n";
+    }
+  }
+  return completed == target ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  return a.topology.empty() ? run_sim(a) : run_live(a);
+}

@@ -44,6 +44,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -82,6 +83,10 @@ struct Args {
   std::uint32_t node_linger_ms = 5000;   // post-finish serving window
   std::uint32_t drain_ms = 45000;        // wait for nodes after healing
   bool trace = false;  // per-node JSONL traces + the faults.jsonl timeline
+  // Ingress batching knobs, forwarded verbatim to every spawned node.
+  std::uint32_t batch = 0;
+  std::uint32_t queue = 0;
+  bool pipeline = false;
 };
 
 Args parse(int argc, char** argv) {
@@ -114,6 +119,12 @@ Args parse(int argc, char** argv) {
   flags.add_bool("trace", &a.trace,
                  "write per-node JSONL traces and a faults.jsonl fault "
                  "timeline into --workdir (feed both to tools/bgla_trace)");
+  flags.add_u32("batch", &a.batch,
+                "forward --batch to every node (values per round batch)");
+  flags.add_u32("queue", &a.queue,
+                "forward --queue to every node (ingress queue bound)");
+  flags.add_bool("pipeline", &a.pipeline,
+                 "forward --pipeline to every node (gwts/gsbs)");
   flags.parse_or_exit(argc, argv);
   if (a.protocol != "sbs" && a.protocol != "gwts" && a.protocol != "gsbs" &&
       a.protocol != "faleiro-la") {
@@ -176,6 +187,12 @@ class Cluster {
       nodes_[i].id = i;
       nodes_[i].data_dir = a_.workdir + "/node" + std::to_string(i);
       nodes_[i].log_path = a_.workdir + "/node" + std::to_string(i) + ".log";
+      // Each campaign starts from a clean slate: a reused workdir would
+      // otherwise seed every node with the terminal state (and possibly a
+      // different state-format) of the previous campaign.
+      std::error_code ec;
+      std::filesystem::remove_all(nodes_[i].data_dir, ec);
+      std::filesystem::remove(nodes_[i].log_path, ec);
     }
   }
 
@@ -226,6 +243,15 @@ class Cluster {
         "--data-dir", nd.data_dir,
         "--chaos-stdin",
     };
+    if (a_.batch != 0) {
+      argv.push_back("--batch");
+      argv.push_back(std::to_string(a_.batch));
+    }
+    if (a_.queue != 0) {
+      argv.push_back("--queue");
+      argv.push_back(std::to_string(a_.queue));
+    }
+    if (a_.pipeline) argv.push_back("--pipeline");
     if (a_.trace) {
       // One trace file per incarnation: the writer truncates on open, so
       // reusing the name across a kill -9/restart would erase the

@@ -102,6 +102,10 @@ struct Args {
   std::uint32_t run_ms = 30000;
   std::uint32_t linger_ms = 2000;
   double loss_rate = 0.0;
+  std::uint32_t batch = 0;
+  std::uint32_t queue = 0;
+  std::uint64_t flush_age = 0;
+  bool pipeline = false;
   std::string data_dir;
   bool chaos_stdin = false;
   std::string trace_file;
@@ -134,6 +138,14 @@ Args parse(int argc, char** argv) {
                 "serve acks/retransmits after finishing, before exit");
   flags.add_double("loss-rate", &a.loss_rate,
                    "injected outgoing frame loss (testing)");
+  flags.add_u32("batch", &a.batch,
+                "values per round batch (0 = all pending)");
+  flags.add_u32("queue", &a.queue,
+                "ingress queue bound; full queues nack (0 = unbounded)");
+  flags.add_u64("flush-age", &a.flush_age,
+                "hold a short batch until its oldest value is this old");
+  flags.add_bool("pipeline", &a.pipeline,
+                 "pre-disclose the next round's batch (gwts/gsbs)");
   flags.add_string("data-dir", &a.data_dir,
                    "durable state directory (enables crash recovery)");
   flags.add_bool("chaos-stdin", &a.chaos_stdin,
@@ -345,6 +357,10 @@ int main(int argc, char** argv) {
   la::LaConfig cfg;
   cfg.n = n;
   cfg.f = a.f;
+  cfg.batch.max_batch = a.batch;
+  cfg.batch.max_queue = a.queue;
+  cfg.batch.flush_age = a.flush_age;
+  cfg.batch.pipeline = a.pipeline;
 
   // Protocol-level signature keys: same derivation on every node, distinct
   // from the transport's frame keys.
@@ -478,6 +494,7 @@ int main(int argc, char** argv) {
       la::CrashConfig ccfg;
       ccfg.n = n;
       ccfg.f = a.f;
+      ccfg.batch = cfg.batch;
       auto* p = new la::FaleiroProcess(net, a.id, ccfg);
       endpoint.reset(p);
       if (!wire_store(p)) return 3;

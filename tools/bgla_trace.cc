@@ -178,6 +178,9 @@ struct PerNode {
   std::uint64_t proposals = 0, acks = 0, nacks = 0, refines = 0;
   std::uint64_t round_advances = 0, decides = 0, rejoins = 0;
   std::uint64_t retransmits = 0;
+  // Ingress batching (batch_flush events).
+  std::uint64_t batch_flushes = 0, batch_values = 0;
+  std::uint64_t batch_max = 0, queue_depth_max = 0;
   // From node_final (the registry totals, authoritative for msg counts).
   bool has_final = false;
   std::uint64_t final_decided = 0, final_msgs = 0, final_refinements = 0;
@@ -300,6 +303,13 @@ int main(int argc, char** argv) {
       case obs::EventKind::kRetransmit:
         pn.retransmits += ev.u("frames");
         break;
+      case obs::EventKind::kBatchFlush:
+        ++pn.batch_flushes;
+        pn.batch_values += ev.u("batch_size");
+        pn.batch_max = std::max(pn.batch_max, ev.u("batch_size"));
+        pn.queue_depth_max =
+            std::max(pn.queue_depth_max, ev.u("queue_depth"));
+        break;
       case obs::EventKind::kNodeFinal:
         pn.has_final = true;
         pn.final_decided = ev.u("decided");
@@ -342,6 +352,29 @@ int main(int argc, char** argv) {
     std::cout << "\n  decide latency: p50=" << fmt_us(lq.p50)
               << " p90=" << fmt_us(lq.p90) << " p99=" << fmt_us(lq.p99)
               << " max=" << fmt_us(lq.max) << "\n";
+  }
+
+  // ---- effective batch sizes (ingress batching, if enabled) ------------
+  std::uint64_t total_flushes = 0, total_batched = 0;
+  for (const auto& [id, pn] : per_node) {
+    total_flushes += pn.batch_flushes;
+    total_batched += pn.batch_values;
+  }
+  if (total_flushes > 0) {
+    std::cout << "\ningress batching (" << total_flushes
+              << " batch flush(es), " << total_batched << " value(s)):\n"
+              << "  node  flushes  values  max_batch  max_queue  mean\n";
+    for (const auto& [id, pn] : per_node) {
+      if (pn.batch_flushes == 0) continue;
+      std::cout << "  " << std::setw(4) << id << std::setw(9)
+                << pn.batch_flushes << std::setw(8) << pn.batch_values
+                << std::setw(11) << pn.batch_max << std::setw(11)
+                << pn.queue_depth_max << std::setw(8) << std::fixed
+                << std::setprecision(1)
+                << static_cast<double>(pn.batch_values) /
+                       static_cast<double>(pn.batch_flushes)
+                << "\n";
+    }
   }
 
   if (a.timelines) {
@@ -531,6 +564,12 @@ int main(int argc, char** argv) {
                 : *std::max_element(refinement_counts.begin(),
                                     refinement_counts.end()))
         << ",\"decisions_in_partition\":" << decisions_in_partition
+        << ",\"batch_flushes\":" << total_flushes
+        << ",\"mean_batch_size\":"
+        << (total_flushes == 0
+                ? 0.0
+                : static_cast<double>(total_batched) /
+                      static_cast<double>(total_flushes))
         << ",\"bounds\":[";
     for (std::size_t i = 0; i < verdicts.size(); ++i) {
       if (i > 0) out << ",";
