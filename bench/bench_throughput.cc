@@ -9,15 +9,24 @@
 // faleiro-la/gwts/gsbs × batch ∈ {1, 4, 16, 64} at n = 7, plus pipelined
 // variants for the round-based protocols.
 //
+// Shard axis (T-shard): the same global command feed split across
+// S ∈ {1, 2, 4} product-lattice GLA instances (src/shard/), at fixed
+// protocol and batch size. Scaling on one core is algorithmic — per-shard
+// frontiers of size C/S cut the quadratic join/encode cost to C²/S — so
+// the measure is wall-clock commands/sec, not sim ticks.
+//
 // Machine artifact: BENCH_throughput.json. gate_ok asserts the headline
 // acceptance: gwts n=7 at batch=64 sustains ≥ 3× the commands/sec of
-// batch=1, and every cell's la/spec safety verdict holds.
+// batch=1, S=4 sustains ≥ 2× the commands/sec of S=1 at the same batch,
+// and every cell's la/spec safety verdict holds (per shard on the shard
+// axis).
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench/json.h"
 #include "bench/table.h"
+#include "harness/sharded.h"
 #include "harness/throughput.h"
 #include "util/flags.h"
 
@@ -156,17 +165,92 @@ int main(int argc, char** argv) {
 
   table.print();
 
+  // ---- shard axis: S instances, same global feed, same batch size ----
+  const std::uint32_t shard_batch = 16;
+  // The quadratic frontier cost must dominate per-event constants for the
+  // algorithmic S× win to show; the full run uses a longer feed.
+  const std::uint32_t shard_commands = smoke ? 24 : 224;
+  const std::vector<std::uint32_t> shard_counts =
+      smoke ? std::vector<std::uint32_t>{1, 4}
+            : std::vector<std::uint32_t>{1, 2, 4};
+
+  bench::banner("T-shard: product-lattice scale-out — wall-clock cmds/sec "
+                "vs shard count (gwts, batch=" +
+                std::to_string(shard_batch) +
+                ", global feed fixed across S)");
+  bench::Table stable({"shards", "cmds/sec", "wall_s", "cmds", "merged",
+                       "spec_ok", "merge_ok"});
+  std::vector<std::string> shard_rows_json;
+  double shards1_rate = 0.0;
+  double shards4_rate = 0.0;
+  bool shard_cells_ok = true;
+
+  for (const std::uint32_t S : shard_counts) {
+    bench::Agg rate, wall;
+    std::uint64_t cmds = 0, merged_weight = 0;
+    bool ok = true, merge_ok = true;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      harness::ShardedScenario sc;
+      sc.base.protocol = ThroughputProtocol::kGwts;
+      sc.base.n = n;
+      sc.base.f = (n - 1) / 3;
+      sc.base.batch.max_batch = shard_batch;
+      sc.base.commands_per_proc = shard_commands;
+      sc.base.window = std::max<std::uint32_t>(shard_commands, 64);
+      sc.base.seed = seed;
+      sc.shards = S;
+      const harness::ShardedReport rep = harness::run_sharded_throughput(sc);
+      rate.add(rep.commands_per_sec);
+      wall.add(rep.wall_seconds);
+      cmds = rep.commands;
+      merged_weight = rep.merged_weight;
+      ok = ok && rep.completed && rep.all_spec_ok;
+      merge_ok = merge_ok && rep.merge_complete && rep.merge_monotone;
+    }
+    shard_cells_ok = shard_cells_ok && ok && merge_ok;
+    if (S == 1) shards1_rate = rate.mean();
+    if (S == 4) shards4_rate = rate.mean();
+
+    stable.row() << S << rate.mean() << wall.mean() << cmds << merged_weight
+                 << (ok ? "yes" : "NO") << (merge_ok ? "yes" : "NO");
+
+    bench::Json row;
+    row.set("shards", static_cast<std::uint64_t>(S))
+        .set("protocol", "gwts")
+        .set("batch", static_cast<std::uint64_t>(shard_batch))
+        .set("commands_per_proc",
+             static_cast<std::uint64_t>(shard_commands))
+        .set("commands_per_sec", rate.mean())
+        .set("wall_seconds", wall.mean())
+        .set("commands", cmds)
+        .set("merged_weight", merged_weight)
+        .set("spec_ok", ok)
+        .set("merge_ok", merge_ok);
+    shard_rows_json.push_back(row.str());
+  }
+  stable.print();
+
+  const double shard_speedup =
+      shards1_rate > 0.0 ? shards4_rate / shards1_rate : 0.0;
+
   const double speedup =
       gwts_batch1 > 0.0 ? gwts_batch64 / gwts_batch1 : 0.0;
-  // The smoke feeds are too short for the asymptotic speedup; the smoke
-  // gate only asserts safety + completion, the full gate also the ≥3×.
-  const bool gate_ok =
-      all_spec_ok && all_completed && (smoke || speedup >= 3.0);
+  // The smoke feeds are too short for the asymptotic speedups; the smoke
+  // gate only asserts safety + completion + merge correctness, the full
+  // gate also the ≥3× batching and ≥2× sharding ratios. Per-shard spec
+  // verdicts are never waived.
+  const bool gate_ok = all_spec_ok && all_completed && shard_cells_ok &&
+                       (smoke || (speedup >= 3.0 && shard_speedup >= 2.0));
   bench::note("");
   std::ostringstream sp;
   sp << "gwts n=" << n << " batch=64 vs batch=1 speedup: " << speedup
      << "x (gate: >= 3x" << (smoke ? ", waived in --smoke" : "") << ")";
   bench::note(sp.str());
+  std::ostringstream shp;
+  shp << "gwts n=" << n << " shards=4 vs shards=1 wall-clock speedup: "
+      << shard_speedup << "x (gate: >= 2x"
+      << (smoke ? ", waived in --smoke" : "") << ")";
+  bench::note(shp.str());
   bench::note(gate_ok ? "GATE ok" : "GATE FAILED");
 
   bench::Json out;
@@ -177,8 +261,10 @@ int main(int argc, char** argv) {
       .set("commands_per_proc", static_cast<std::uint64_t>(commands))
       .set("seeds", seeds)
       .set("gwts_batch64_speedup", speedup)
+      .set("shard_speedup_s4", shard_speedup)
       .set("all_spec_ok", all_spec_ok)
       .set("all_completed", all_completed)
+      .set("shard_cells_ok", shard_cells_ok)
       .set("gate_ok", gate_ok);
   std::string rows = "[";
   for (std::size_t i = 0; i < rows_json.size(); ++i) {
@@ -187,6 +273,13 @@ int main(int argc, char** argv) {
   }
   rows += "]";
   out.raw("rows", rows);
+  std::string srows = "[";
+  for (std::size_t i = 0; i < shard_rows_json.size(); ++i) {
+    if (i > 0) srows += ",";
+    srows += shard_rows_json[i];
+  }
+  srows += "]";
+  out.raw("shard_rows", srows);
   if (!out.write(json_path)) {
     std::cerr << "warning: could not write " << json_path << "\n";
   }

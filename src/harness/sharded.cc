@@ -1,0 +1,83 @@
+#include "harness/sharded.h"
+
+#include <chrono>
+#include <set>
+
+#include "shard/frontier.h"
+#include "shard/shard_map.h"
+
+namespace bgla::harness {
+
+using lattice::Elem;
+using lattice::Item;
+
+ShardedReport run_sharded_throughput(const ShardedScenario& sc) {
+  BGLA_CHECK_MSG(sc.shards >= 1, "sharded: need at least one shard");
+  BGLA_CHECK_MSG(sc.base.feed_items.empty(),
+                 "sharded: the harness owns the feed partition");
+
+  const shard::ShardMap map(sc.shards);
+
+  // The global feed — identical for every S, so cells of the shard axis
+  // are comparable command-for-command. Matches run_throughput's generated
+  // feed exactly (that is what makes S = 1 transcript-neutral).
+  std::set<Item> global_feed;
+  for (ProcessId id = 0; id < sc.base.n; ++id) {
+    for (std::uint32_t k = 0; k < sc.base.commands_per_proc; ++k) {
+      global_feed.insert(Item{id, 100 + k, 1});
+    }
+  }
+
+  ShardedReport rep;
+  rep.shards = sc.shards;
+  rep.per_shard.reserve(sc.shards);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (sc.shards == 1) {
+    rep.per_shard.push_back(run_throughput(sc.base));
+  } else {
+    for (std::uint32_t s = 0; s < sc.shards; ++s) {
+      ThroughputScenario shard_sc = sc.base;
+      shard_sc.seed = sc.base.seed + s;
+      shard_sc.feed_items.assign(sc.base.n, {});
+      for (ProcessId id = 0; id < sc.base.n; ++id) {
+        for (std::uint32_t k = 0; k < sc.base.commands_per_proc; ++k) {
+          const Item it{id, 100 + k, 1};
+          if (map.shard_of(it) == s) shard_sc.feed_items[id].push_back(it);
+        }
+      }
+      rep.per_shard.push_back(run_throughput(shard_sc));
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  rep.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  rep.completed = true;
+  rep.all_spec_ok = true;
+  for (const ThroughputReport& r : rep.per_shard) {
+    rep.commands += r.commands;
+    if (!r.completed) rep.completed = false;
+    if (!r.spec.ok()) rep.all_spec_ok = false;
+  }
+  rep.commands_per_sec =
+      rep.wall_seconds <= 0.0
+          ? 0.0
+          : static_cast<double>(rep.commands) / rep.wall_seconds;
+
+  // Merge the per-shard decided frontiers and check the two cross-shard
+  // read guarantees end to end: monotonicity while merging, completeness
+  // against the global feed afterwards.
+  shard::FrontierMerger merger(sc.shards);
+  rep.merge_monotone = true;
+  for (std::uint32_t s = 0; s < sc.shards; ++s) {
+    const Elem before = merger.merged();
+    merger.update(s, rep.per_shard[s].decided_frontier);
+    if (!before.leq(merger.merged())) rep.merge_monotone = false;
+  }
+  rep.merged_weight = merger.merged().weight();
+  rep.merge_complete =
+      rep.completed && merger.merged() == lattice::make_set(global_feed);
+  return rep;
+}
+
+}  // namespace bgla::harness

@@ -1,0 +1,48 @@
+// Sharded throughput harness: the product-lattice scale-out experiment.
+//
+// Takes the closed-loop throughput scenario and a shard count S, splits
+// the same global command feed across S independent GLA instances by
+// ShardMap hash, runs each instance to completion and merges the decided
+// frontiers through a FrontierMerger. Measures wall-clock commands/sec:
+// with one core the win is algorithmic, not parallel — each message
+// handler joins/encodes frontiers of size C/S instead of C, so the
+// quadratic per-instance cost sums to C²/S instead of C².
+//
+// S = 1 runs the unmodified generated-feed path of run_throughput, so the
+// neutral configuration reproduces historical seeded transcripts
+// byte-identically; S > 1 uses the explicit feed override with the exact
+// same global command set.
+#pragma once
+
+#include "harness/throughput.h"
+
+namespace bgla::harness {
+
+struct ShardedScenario {
+  /// Per-shard sim parameters. commands_per_proc is the GLOBAL per-process
+  /// feed length — shards divide it. feed_items must be empty (the harness
+  /// owns the partition).
+  ThroughputScenario base;
+  std::uint32_t shards = 1;
+};
+
+struct ShardedReport {
+  std::uint32_t shards = 1;
+  std::vector<ThroughputReport> per_shard;
+  bool completed = false;    ///< every shard drained its feed
+  bool all_spec_ok = false;  ///< every per-shard la/spec checker green
+  std::uint64_t commands = 0;
+  double wall_seconds = 0.0;  ///< wall clock over all shard sims
+  double commands_per_sec = 0.0;
+  std::uint64_t merged_weight = 0;  ///< |merged frontier|
+  /// Merged frontier equals the join of the whole global feed — nothing
+  /// was lost in the split or the merge.
+  bool merge_complete = false;
+  /// The merged frontier only ever grew while shard decisions were fed in
+  /// (the FrontierMerger monotone-read guarantee, checked explicitly).
+  bool merge_monotone = false;
+};
+
+ShardedReport run_sharded_throughput(const ShardedScenario& sc);
+
+}  // namespace bgla::harness

@@ -13,6 +13,7 @@
 #pragma once
 
 #include "harness/scenario.h"
+#include "lattice/set_elem.h"
 
 namespace bgla::harness {
 
@@ -38,6 +39,13 @@ struct ThroughputScenario {
   std::uint64_t max_events = 200'000'000;
   bool trace = false;
   obs::Instrument* instrument = nullptr;
+  /// Optional explicit feed (sharded runs): entry id is the ordered list
+  /// of items process id submits, each as a singleton set. When non-empty
+  /// (size must be n) it replaces the generated feed; commands_per_proc is
+  /// ignored and a process with an empty list submits nothing. Kept empty
+  /// by every pre-shard caller, so the generated path — and its seeded
+  /// transcripts — is untouched.
+  std::vector<std::vector<lattice::Item>> feed_items;
 };
 
 struct ThroughputReport {
@@ -52,6 +60,9 @@ struct ThroughputReport {
   double p99_latency = 0.0;
   double mean_batch_size = 0.0; ///< values per released batch, run-wide
   std::uint64_t backpressure_rejections = 0;  ///< try_submit refusals
+  /// Join of every process's decided join — the run's decided frontier
+  /// (what a shard contributes to a cross-shard FrontierMerger).
+  lattice::Elem decided_frontier;
 };
 
 ThroughputReport run_throughput(const ThroughputScenario& sc);

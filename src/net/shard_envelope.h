@@ -1,0 +1,49 @@
+// Shard-carrying wire envelope (type id 80).
+//
+// A sharded node (tools/bgla_node --shards=S) runs S independent protocol
+// stacks behind one transport identity. Peer-to-peer protocol traffic is
+// wrapped in this envelope so the receiving Router can demultiplex the
+// frame to the right shard's stack; client-facing traffic (submit /
+// update / decide / confirmation) stays unwrapped — clients are
+// shard-oblivious and the Router translates for them (src/shard/router.h).
+//
+// The envelope is part of bgla_net, not bgla_shard, because the wire
+// codec must decode it (wire.cc case 80) and src/shard/ layers on top of
+// src/net/ — defining it here keeps the dependency graph acyclic.
+#pragma once
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "sim/message.h"
+
+namespace bgla::net {
+
+/// `varint(80) || u32(shard) || bytes(inner->encoded())`. The inner
+/// message may be any registered type (protocols nest RB envelopes etc.
+/// inside); wire.cc bounds the recursion with its usual depth limit.
+class ShardEnvelopeMsg final : public sim::Message {
+ public:
+  ShardEnvelopeMsg(std::uint32_t shard, sim::MessagePtr inner)
+      : shard(shard), inner(std::move(inner)) {}
+
+  std::uint32_t type_id() const override { return 80; }
+  /// Accounted under the wrapped message's layer: the envelope is framing,
+  /// not traffic of its own.
+  sim::Layer layer() const override { return inner->layer(); }
+  void encode_payload(Encoder& enc) const override {
+    enc.put_u32(shard);
+    enc.put_bytes(BytesView(inner->encoded()));
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "SHARD(" << shard << "," << inner->to_string() << ")";
+    return os.str();
+  }
+
+  std::uint32_t shard;
+  sim::MessagePtr inner;
+};
+
+}  // namespace bgla::net

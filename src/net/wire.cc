@@ -1,5 +1,7 @@
 #include "net/wire.h"
 
+#include "net/shard_envelope.h"
+
 #include <memory>
 #include <utility>
 #include <vector>
@@ -236,6 +238,12 @@ MessagePtr decode_payload(std::uint32_t type_id, Decoder& dec, int depth) {
     case 63: {
       Elem e = decode_elem(dec);
       return std::make_shared<rsm::ConfRepMsg>(std::move(e), dec.get_u32());
+    }
+    // ---- shard routing ----
+    case 80: {
+      const std::uint32_t shard = dec.get_u32();
+      return std::make_shared<ShardEnvelopeMsg>(
+          shard, get_inner<sim::Message>(dec, depth));
     }
     // ---- state-transfer / catch-up ----
     case 70:

@@ -3,8 +3,9 @@
 // The simulator passes shared_ptr<const Message> by reference and never
 // parses bytes; the socket transport receives byte frames from untrusted
 // peers and must reconstruct typed messages. Every message type in the
-// repository's type-id registry (bcast 1..6, WTS 10..13, GWTS 20..24,
-// Faleiro 30..32, SbS 40..45, GSbS 50..56, RSM 60..63) decodes here.
+// repository's type-id registry (bcast 1..6, WTS 10..13, GWTS 20..25,
+// Faleiro 30..32, SbS 40..45, GSbS 50..56, RSM 60..64, catch-up 70..71,
+// shard envelope 80) decodes here.
 //
 // Robustness contract: decode_message never throws and never crashes on
 // arbitrary bytes — truncated frames, unknown type ids, over-long length

@@ -72,6 +72,7 @@ void Client::on_message(ProcessId from, const sim::MessagePtr& msg) {
     const auto& items = lattice::set_items(m->rejected);
     if (items.count(current_cmd_) == 0) return;  // not our in-flight cmd
     ++backpressure_retries_;
+    ++history_.back().retries;
     send(from, std::make_shared<UpdateMsg>(current_cmd_));
   }
 }

@@ -40,6 +40,7 @@ struct OpRecord {
   sim::Time complete_time = 0;
   std::uint64_t invoke_depth = 0;
   std::uint64_t complete_depth = 0;
+  std::uint64_t retries = 0;  // backpressure nacks this op absorbed
   bool completed = false;
   Elem read_value;  // reads only: the executed (confirmed) command set
 };

@@ -1,0 +1,33 @@
+#include "shard/frontier.h"
+
+#include "util/check.h"
+
+namespace bgla::shard {
+
+using lattice::Elem;
+
+FrontierMerger::FrontierMerger(std::uint32_t num_shards)
+    : per_shard_(num_shards) {
+  BGLA_CHECK_MSG(num_shards >= 1, "FrontierMerger: need at least one shard");
+}
+
+bool FrontierMerger::update(std::uint32_t shard, const Elem& decided) {
+  BGLA_CHECK_MSG(shard < per_shard_.size(),
+                 "FrontierMerger: shard " << shard << " out of range");
+  ++updates_;
+  if (decided.leq(per_shard_[shard])) return false;  // stale or duplicate
+  per_shard_[shard] = per_shard_[shard].join(decided);
+  const Elem grown = merged_.join(per_shard_[shard]);
+  if (grown == merged_) return false;
+  merged_ = grown;
+  ++advances_;
+  return true;
+}
+
+const Elem& FrontierMerger::shard_frontier(std::uint32_t shard) const {
+  BGLA_CHECK_MSG(shard < per_shard_.size(),
+                 "FrontierMerger: shard " << shard << " out of range");
+  return per_shard_[shard];
+}
+
+}  // namespace bgla::shard

@@ -1,0 +1,51 @@
+// Cross-shard read frontier: the join of per-shard decided values.
+//
+// Each shard's GLA decides a monotone chain of per-shard frontiers; the
+// merger keeps the latest frontier per shard and their join. Because it
+// only ever joins, the merged frontier is monotone: a reader that was
+// served frontier F is later served only F' ≥ F (the monotone read
+// guarantee cross-shard reads need). By the product-lattice argument
+// (shard_map.h) every merged frontier is a decided value of the product
+// lattice, so serving reads from it is as safe as serving from a single
+// global instance's decided set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/elem.h"
+
+namespace bgla::shard {
+
+class FrontierMerger {
+ public:
+  explicit FrontierMerger(std::uint32_t num_shards);
+
+  std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(per_shard_.size());
+  }
+
+  /// Joins `decided` into shard s's frontier. Returns true iff the merged
+  /// frontier grew (callers re-check pending reads exactly then).
+  bool update(std::uint32_t shard, const lattice::Elem& decided);
+
+  /// The join of all per-shard frontiers; never shrinks.
+  const lattice::Elem& merged() const { return merged_; }
+
+  const lattice::Elem& shard_frontier(std::uint32_t shard) const;
+
+  /// A read for `e` can be served iff e ≤ merged().
+  bool covers(const lattice::Elem& e) const { return e.leq(merged_); }
+
+  std::uint64_t updates() const { return updates_; }
+  /// Updates that actually grew the merged frontier.
+  std::uint64_t advances() const { return advances_; }
+
+ private:
+  std::vector<lattice::Elem> per_shard_;
+  lattice::Elem merged_;
+  std::uint64_t updates_ = 0;
+  std::uint64_t advances_ = 0;
+};
+
+}  // namespace bgla::shard

@@ -1,0 +1,199 @@
+#include "shard/router.h"
+
+#include <string>
+
+#include "la/messages.h"
+#include "util/check.h"
+
+namespace bgla::shard {
+
+using lattice::Elem;
+using lattice::Item;
+using sim::MessagePtr;
+
+// ----------------------------------------------------------- ShardChannel --
+
+ProcessId ShardChannel::attach(net::Endpoint& e) {
+  BGLA_CHECK_MSG(endpoint_ == nullptr,
+                 "ShardChannel: shard " << shard_ << " already has a stack");
+  endpoint_ = &e;
+  return router_->id();
+}
+
+void ShardChannel::detach(ProcessId id) {
+  BGLA_CHECK_MSG(id == router_->id(), "ShardChannel: detach of foreign id");
+  endpoint_ = nullptr;
+}
+
+void ShardChannel::send(ProcessId from, ProcessId to, MessagePtr msg) {
+  BGLA_CHECK_MSG(from == router_->id(),
+                 "ShardChannel: send under foreign identity " << from);
+  router_->route_outgoing(shard_, to, std::move(msg));
+}
+
+net::Time ShardChannel::now() const { return router_->underlying().now(); }
+
+std::uint64_t ShardChannel::current_depth() const {
+  return router_->underlying().current_depth();
+}
+
+void ShardChannel::request_stop() { router_->underlying().request_stop(); }
+
+// ----------------------------------------------------------------- Router --
+
+Router::Router(net::Transport& transport, ProcessId id, Config cfg)
+    : net::Endpoint(transport, id),
+      cfg_(cfg),
+      map_(cfg.num_shards),
+      frontier_(cfg.num_shards) {
+  BGLA_CHECK_MSG(cfg_.num_replicas >= 1, "Router: need num_replicas >= 1");
+  channels_.reserve(cfg_.num_shards);
+  for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
+    channels_.push_back(std::make_unique<ShardChannel>(*this, s));
+  }
+  if (cfg_.registry != nullptr) {
+    obs::Registry& reg = *cfg_.registry;
+    m_unknown_shard_ =
+        &reg.counter("bgla_shard_router_unknown_shard_rejected_total");
+    m_unroutable_ = &reg.counter("bgla_shard_router_unroutable_dropped_total");
+    m_reads_served_ = &reg.counter("bgla_shard_router_reads_served_total");
+    m_reads_pending_ = &reg.gauge("bgla_shard_router_reads_pending");
+    for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
+      const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
+      m_shard_in_.push_back(
+          &reg.counter("bgla_shard_router_deliveries_total" + label));
+      m_shard_out_.push_back(
+          &reg.counter("bgla_shard_router_enveloped_sends_total" + label));
+      m_shard_frontier_.push_back(
+          &reg.gauge("bgla_shard_frontier_weight" + label));
+    }
+  }
+}
+
+net::Transport& Router::shard_transport(std::uint32_t shard) {
+  BGLA_CHECK_MSG(shard < channels_.size(),
+                 "Router: shard " << shard << " out of range");
+  return *channels_[shard];
+}
+
+void Router::on_start() {
+  for (auto& ch : channels_) {
+    if (ch->endpoint_ != nullptr) ch->endpoint_->on_start();
+  }
+}
+
+void Router::route_outgoing(std::uint32_t shard, ProcessId to,
+                            MessagePtr msg) {
+  if (to < cfg_.num_replicas) {
+    // Peer replica (or self): protocol traffic travels enveloped so the
+    // receiving Router can demultiplex it.
+    if (!m_shard_out_.empty()) m_shard_out_[shard]->inc();
+    underlying().send(id(), to,
+                      std::make_shared<net::ShardEnvelopeMsg>(shard, msg));
+    return;
+  }
+  // Client-bound: translate so the client keeps speaking single-RSM.
+  if (const auto* d = dynamic_cast<const rsm::DecideMsg*>(msg.get())) {
+    if (frontier_.update(shard, d->accepted)) flush_pending_reads();
+    if (!m_shard_frontier_.empty()) {
+      m_shard_frontier_[shard]->set(static_cast<std::int64_t>(
+          frontier_.shard_frontier(shard).weight()));
+    }
+    underlying().send(
+        id(), to,
+        std::make_shared<rsm::DecideMsg>(frontier_.merged(), d->replica));
+    return;
+  }
+  // Backpressure nacks (and anything else client-bound) pass through
+  // untranslated: the nacked value is the per-shard sub-value the client
+  // actually needs to resend.
+  underlying().send(id(), to, std::move(msg));
+}
+
+void Router::deliver_to_shard(std::uint32_t shard, ProcessId from,
+                              const MessagePtr& msg) {
+  ShardChannel& ch = *channels_[shard];
+  if (ch.endpoint_ == nullptr) return;  // stack not (yet) mounted
+  if (!m_shard_in_.empty()) m_shard_in_[shard]->inc();
+  ch.endpoint_->on_message(from, msg);
+}
+
+void Router::on_message(ProcessId from, const MessagePtr& msg) {
+  if (const auto env =
+          std::dynamic_pointer_cast<const net::ShardEnvelopeMsg>(msg)) {
+    if (env->shard >= cfg_.num_shards) {
+      ++rejected_unknown_shard_;
+      if (m_unknown_shard_ != nullptr) m_unknown_shard_->inc();
+      return;
+    }
+    deliver_to_shard(env->shard, from, env->inner);
+    return;
+  }
+  if (const auto* u = dynamic_cast<const rsm::UpdateMsg*>(msg.get())) {
+    deliver_to_shard(map_.shard_of(u->cmd), from, msg);
+    return;
+  }
+  if (const auto* b = dynamic_cast<const rsm::BatchUpdateMsg*>(msg.get())) {
+    std::vector<std::vector<Item>> parts(cfg_.num_shards);
+    for (const Item& cmd : b->cmds) parts[map_.shard_of(cmd)].push_back(cmd);
+    for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
+      if (parts[s].empty()) continue;
+      deliver_to_shard(
+          s, from, std::make_shared<rsm::BatchUpdateMsg>(std::move(parts[s])));
+    }
+    return;
+  }
+  if (const auto* sub = dynamic_cast<const la::SubmitMsg*>(msg.get())) {
+    const std::vector<Elem> parts = map_.split(sub->value);
+    for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
+      if (parts[s].is_bottom()) continue;
+      deliver_to_shard(s, from, std::make_shared<la::SubmitMsg>(parts[s]));
+    }
+    return;
+  }
+  if (const auto* c = dynamic_cast<const rsm::ConfReqMsg*>(msg.get())) {
+    handle_conf_req(from, *c);
+    return;
+  }
+  // Unwrapped protocol traffic has no shard to belong to — e.g. a frame
+  // from a non-sharded node. Refuse rather than guess.
+  ++dropped_unroutable_;
+  if (m_unroutable_ != nullptr) m_unroutable_->inc();
+}
+
+void Router::handle_conf_req(ProcessId from, const rsm::ConfReqMsg& m) {
+  if (frontier_.covers(m.accepted)) {
+    serve_read(from, m.accepted);
+    return;
+  }
+  pending_reads_.emplace_back(from, m.accepted);
+  if (m_reads_pending_ != nullptr) {
+    m_reads_pending_->set(static_cast<std::int64_t>(pending_reads_.size()));
+  }
+}
+
+void Router::serve_read(ProcessId to, const Elem& accepted) {
+  ++reads_served_;
+  if (m_reads_served_ != nullptr) m_reads_served_->inc();
+  // Echo the requested set (the client matches replies to candidates by
+  // digest, Alg 6 L11); this node vouches for it because the merged
+  // frontier — monotone, and decided in the product lattice — covers it.
+  underlying().send(id(), to, std::make_shared<rsm::ConfRepMsg>(accepted, id()));
+}
+
+void Router::flush_pending_reads() {
+  std::vector<std::pair<ProcessId, Elem>> still_pending;
+  for (auto& [reader, accepted] : pending_reads_) {
+    if (frontier_.covers(accepted)) {
+      serve_read(reader, accepted);
+    } else {
+      still_pending.emplace_back(reader, std::move(accepted));
+    }
+  }
+  pending_reads_ = std::move(still_pending);
+  if (m_reads_pending_ != nullptr) {
+    m_reads_pending_->set(static_cast<std::int64_t>(pending_reads_.size()));
+  }
+}
+
+}  // namespace bgla::shard

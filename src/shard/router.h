@@ -1,0 +1,129 @@
+// Router: one transport identity, S protocol stacks.
+//
+// A sharded node keeps a single authenticated transport endpoint (its
+// process id) and multiplexes S independent replica stacks behind it.
+// Each stack is attached to a ShardChannel — a virtual net::Transport
+// that wraps replica-bound traffic in a ShardEnvelopeMsg (type 80, the
+// shard id in the wire header) and hands it to the real transport, so
+// peers' Routers can demultiplex to the right shard.
+//
+// Clients stay shard-oblivious; the Router translates at the boundary:
+//   - inbound UpdateMsg/BatchUpdateMsg route by ShardMap command hash,
+//     SubmitMsg values are split item-by-item across shards;
+//   - outbound DecideMsg from a shard replica feeds the FrontierMerger
+//     and is rewritten to carry the merged cross-shard frontier, so a
+//     client sees exactly the single-RSM protocol it already speaks;
+//   - ConfReqMsg (the Alg 6/7 read-confirmation) is answered at the
+//     Router from the merged frontier — immediately if the requested set
+//     is already covered, else parked until some shard's decision grows
+//     the frontier over it. Merged frontiers only grow, so confirmed
+//     reads are monotone.
+//
+// Envelopes with an out-of-range shard id and frames that are neither
+// envelopes nor client traffic are counted and dropped — the same
+// drop-don't-crash posture as the wire decoder.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/shard_envelope.h"
+#include "net/transport.h"
+#include "obs/registry.h"
+#include "rsm/msgs.h"
+#include "shard/frontier.h"
+#include "shard/shard_map.h"
+
+namespace bgla::shard {
+
+class Router;
+
+/// The virtual transport one shard's stack runs on. attach() hands back
+/// the Router's own process id — the stack believes it IS the node — and
+/// send() defers to the Router's routing rules.
+class ShardChannel final : public net::Transport {
+ public:
+  ShardChannel(Router& router, std::uint32_t shard)
+      : router_(&router), shard_(shard) {}
+
+  ProcessId attach(net::Endpoint& e) override;
+  void detach(ProcessId id) override;
+  void send(ProcessId from, ProcessId to, sim::MessagePtr msg) override;
+  net::Time now() const override;
+  std::uint64_t current_depth() const override;
+  void request_stop() override;
+
+ private:
+  friend class Router;
+  Router* router_;
+  std::uint32_t shard_;
+  net::Endpoint* endpoint_ = nullptr;
+};
+
+class Router final : public net::Endpoint {
+ public:
+  struct Config {
+    std::uint32_t num_shards = 1;
+    /// Cluster size n: ids < n are replica nodes (peer traffic, enveloped),
+    /// ids >= n are clients (translated, never enveloped).
+    std::uint32_t num_replicas = 0;
+    /// Optional metrics sink for per-shard counters (may be null).
+    obs::Registry* registry = nullptr;
+  };
+
+  Router(net::Transport& transport, ProcessId id, Config cfg);
+
+  /// The transport shard s's protocol stack must be constructed on (with
+  /// this Router's process id).
+  net::Transport& shard_transport(std::uint32_t shard);
+
+  const ShardMap& map() const { return map_; }
+  const FrontierMerger& frontier() const { return frontier_; }
+
+  void on_start() override;
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+
+  // ---- drop/serve accounting (mirrored into the registry if present) ----
+  std::uint64_t rejected_unknown_shard() const {
+    return rejected_unknown_shard_;
+  }
+  std::uint64_t dropped_unroutable() const { return dropped_unroutable_; }
+  std::uint64_t reads_served() const { return reads_served_; }
+  std::uint64_t reads_pending() const { return pending_reads_.size(); }
+
+ private:
+  friend class ShardChannel;
+
+  net::Transport& underlying() { return net(); }
+  const net::Transport& underlying() const { return net(); }
+
+  /// Outbound leg: a shard stack sent `msg` to `to`.
+  void route_outgoing(std::uint32_t shard, ProcessId to, sim::MessagePtr msg);
+  void deliver_to_shard(std::uint32_t shard, ProcessId from,
+                        const sim::MessagePtr& msg);
+  void handle_conf_req(ProcessId from, const rsm::ConfReqMsg& m);
+  void serve_read(ProcessId to, const lattice::Elem& accepted);
+  void flush_pending_reads();
+
+  Config cfg_;
+  ShardMap map_;
+  FrontierMerger frontier_;
+  std::vector<std::unique_ptr<ShardChannel>> channels_;
+  /// Parked (reader, requested set) confirmations awaiting frontier growth.
+  std::vector<std::pair<ProcessId, lattice::Elem>> pending_reads_;
+  std::uint64_t rejected_unknown_shard_ = 0;
+  std::uint64_t dropped_unroutable_ = 0;
+  std::uint64_t reads_served_ = 0;
+
+  // Registry handles resolved once at construction (null without registry).
+  obs::Counter* m_unknown_shard_ = nullptr;
+  obs::Counter* m_unroutable_ = nullptr;
+  obs::Counter* m_reads_served_ = nullptr;
+  obs::Gauge* m_reads_pending_ = nullptr;
+  std::vector<obs::Counter*> m_shard_in_;    ///< deliveries into shard s
+  std::vector<obs::Counter*> m_shard_out_;   ///< enveloped sends from s
+  std::vector<obs::Gauge*> m_shard_frontier_;  ///< per-shard frontier weight
+};
+
+}  // namespace bgla::shard

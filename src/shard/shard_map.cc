@@ -1,0 +1,50 @@
+#include "shard/shard_map.h"
+
+#include <set>
+#include <utility>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace bgla::shard {
+
+using lattice::Elem;
+using lattice::Item;
+
+ShardMap::ShardMap(std::uint32_t num_shards) : num_shards_(num_shards) {
+  BGLA_CHECK_MSG(num_shards >= 1, "ShardMap: need at least one shard");
+}
+
+std::uint32_t ShardMap::shard_of(const Item& cmd) const {
+  if (num_shards_ == 1) return 0;
+  std::uint64_t h = util::fnv1a64_u64(cmd.a);
+  h = util::fnv1a64_u64(cmd.b, h);
+  h = util::fnv1a64_u64(cmd.c, h);
+  // FNV-1a's low-order bits disperse poorly when most input bytes are
+  // constant (our items' high bytes are usually zero) — h % S would leave
+  // shards empty. Xor-folding the top half in is the FNV-recommended
+  // remedy for small output ranges.
+  h ^= h >> 32;
+  return static_cast<std::uint32_t>(h % num_shards_);
+}
+
+std::vector<Elem> ShardMap::split(const Elem& e) const {
+  std::vector<Elem> parts(num_shards_);
+  if (e.is_bottom()) return parts;
+  if (num_shards_ == 1) {
+    parts[0] = e;
+    return parts;
+  }
+  std::vector<std::set<Item>> buckets(num_shards_);
+  for (const Item& it : lattice::set_items(e)) {
+    buckets[shard_of(it)].insert(it);
+  }
+  for (std::uint32_t s = 0; s < num_shards_; ++s) {
+    if (!buckets[s].empty()) {
+      parts[s] = lattice::make_set(std::move(buckets[s]));
+    }
+  }
+  return parts;
+}
+
+}  // namespace bgla::shard

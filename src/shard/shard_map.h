@@ -1,0 +1,44 @@
+// Static S-way partition of the command space.
+//
+// The sharded RSM runs S independent GLA instances side by side; commands
+// are assigned to instances by a deterministic hash of the command item.
+// Zheng & Garg's product-lattice construction (arXiv:1810.05871) is what
+// makes this sound: the product of S set lattices is itself a lattice, a
+// decision of the product is the tuple of per-component decisions, and
+// the join of per-shard decided frontiers is a decided value of the
+// product — so per-shard agreement plus a FrontierMerger read path gives
+// the same guarantees as one global instance.
+//
+// Routing uses the FNV-1a helper from util/hash.h, never std::hash: the
+// partition must agree across every replica of a deployment and across
+// platforms replaying golden transcripts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/set_elem.h"
+
+namespace bgla::shard {
+
+class ShardMap {
+ public:
+  /// num_shards >= 1; shard ids are [0, num_shards).
+  explicit ShardMap(std::uint32_t num_shards);
+
+  std::uint32_t num_shards() const { return num_shards_; }
+
+  /// Shard owning this command: FNV-1a over the item's (a, b, c) fields in
+  /// little-endian byte order, mod S. Stable across platforms and runs.
+  std::uint32_t shard_of(const lattice::Item& cmd) const;
+
+  /// Splits a set-lattice element (or ⊥) into its per-shard components;
+  /// entry s is ⊥ when no item routes to shard s. The join of the parts
+  /// is the input — splitting loses nothing.
+  std::vector<lattice::Elem> split(const lattice::Elem& e) const;
+
+ private:
+  std::uint32_t num_shards_;
+};
+
+}  // namespace bgla::shard

@@ -1,0 +1,52 @@
+// Deterministic, platform-stable hashing for routing decisions.
+//
+// Shard routing (src/shard/) must map the same key to the same shard on
+// every node of a deployment AND on every platform a transcript is
+// replayed on — std::hash makes no such promise (its values legitimately
+// differ across standard libraries and even process runs), which would
+// break the byte-identical golden/seeded transcripts the test suite pins.
+// FNV-1a is the classic fast, dependency-free choice with published test
+// vectors; collisions only cost load skew, never correctness, so a
+// non-cryptographic hash is exactly right here.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace bgla::util {
+
+inline constexpr std::uint64_t kFnv1a64OffsetBasis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv1a64Prime = 1099511628211ull;
+
+/// Folds one byte into a running FNV-1a state.
+constexpr std::uint64_t fnv1a64_step(std::uint64_t state, std::uint8_t b) {
+  return (state ^ b) * kFnv1a64Prime;
+}
+
+/// FNV-1a over a byte range (the published 64-bit variant; matches the
+/// official test vectors, e.g. fnv1a64("") == kFnv1a64OffsetBasis).
+constexpr std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t len,
+                                std::uint64_t seed = kFnv1a64OffsetBasis) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) h = fnv1a64_step(h, data[i]);
+  return h;
+}
+
+inline std::uint64_t fnv1a64(BytesView bytes,
+                             std::uint64_t seed = kFnv1a64OffsetBasis) {
+  return fnv1a64(bytes.data(), bytes.size(), seed);
+}
+
+/// Hashes a u64 by its 8 little-endian bytes (explicit byte order keeps
+/// the value identical on every platform).
+constexpr std::uint64_t fnv1a64_u64(std::uint64_t v,
+                                    std::uint64_t seed = kFnv1a64OffsetBasis) {
+  std::uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h = fnv1a64_step(h, static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  return h;
+}
+
+}  // namespace bgla::util

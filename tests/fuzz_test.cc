@@ -15,6 +15,7 @@
 #include "la/wts.h"
 #include "lattice/maxint_elem.h"
 #include "lattice/set_elem.h"
+#include "net/shard_envelope.h"
 #include "net/wire.h"
 #include "rsm/msgs.h"
 #include "sim/network.h"
@@ -47,7 +48,7 @@ Elem random_elem(Rng& rng) {
 /// A structurally valid protocol message with randomly-filled content —
 /// shared between the in-sim Byzantine sprayer and the wire-decoder fuzz.
 sim::MessagePtr random_message(Rng& rng, std::uint32_t n) {
-  switch (rng.uniform(0, 11)) {
+  switch (rng.uniform(0, 12)) {
     case 0:
       return std::make_shared<la::DisclosureMsg>(random_elem(rng));
     case 1:
@@ -89,6 +90,13 @@ sim::MessagePtr random_message(Rng& rng, std::uint32_t n) {
       return std::make_shared<la::SubmitNackMsg>(
           random_elem(rng), rng.uniform(0, 100),
           static_cast<ProcessId>(rng.uniform(0, 7)));
+    case 11:
+      // Shard envelope (80): random shard ids — usually out of range of
+      // any real deployment — around a recursively random inner message.
+      // Sharded and unsharded endpoints alike must shrug these off.
+      return std::make_shared<net::ShardEnvelopeMsg>(
+          static_cast<std::uint32_t>(rng.uniform(0, 12)),
+          random_message(rng, n));
     case 10: {
       // Batched client updates (64), random length including empty.
       std::vector<Item> cmds;

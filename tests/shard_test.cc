@@ -1,0 +1,343 @@
+// The sharded multi-lattice subsystem: FNV-1a routing hash (fixed
+// vectors), ShardMap partitioning, FrontierMerger monotone merging, the
+// Router end to end in-sim (S replica stacks behind each node identity,
+// shard-oblivious clients), unknown-shard-id rejection, and the sharded
+// throughput harness's split/merge/spec guarantees.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/sharded.h"
+#include "la/config.h"
+#include "la/messages.h"
+#include "lattice/set_elem.h"
+#include "net/shard_envelope.h"
+#include "rsm/client.h"
+#include "rsm/replica.h"
+#include "shard/frontier.h"
+#include "shard/router.h"
+#include "shard/shard_map.h"
+#include "sim/network.h"
+#include "util/hash.h"
+
+namespace bgla {
+namespace {
+
+using lattice::Elem;
+using lattice::Item;
+using lattice::make_set;
+using lattice::set_items;
+
+// ------------------------------------------------------------ FNV-1a ----
+
+std::uint64_t h(const std::string& s) {
+  return util::fnv1a64(reinterpret_cast<const std::uint8_t*>(s.data()),
+                       s.size());
+}
+
+// The published 64-bit FNV-1a vectors (Fowler/Noll/Vo reference). If these
+// move, every golden transcript of a sharded run is invalid.
+TEST(Fnv1a, MatchesPublishedVectors) {
+  EXPECT_EQ(h(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(h("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(h("foobar"), 0x85944171f73967e8ull);
+  EXPECT_EQ(h("hello"), 0xa430d84680aabd0bull);
+}
+
+TEST(Fnv1a, U64VariantHashesLittleEndianBytes) {
+  // fnv1a64_u64 must agree with hashing the 8 LE bytes — that equivalence
+  // is what pins shard routing across platforms.
+  EXPECT_EQ(util::fnv1a64_u64(0), 0xa8c7f832281a39c5ull);
+  EXPECT_EQ(util::fnv1a64_u64(0xdeadbeefull), 0x7513fc78a110e05bull);
+  const std::uint8_t le[8] = {0xef, 0xbe, 0xad, 0xde, 0, 0, 0, 0};
+  EXPECT_EQ(util::fnv1a64(le, 8), util::fnv1a64_u64(0xdeadbeefull));
+}
+
+TEST(Fnv1a, SeedChainingComposes) {
+  // Hashing "ab" equals hashing "b" seeded with the state after "a" —
+  // the property ShardMap relies on to hash multi-field keys field by
+  // field without materializing a buffer.
+  EXPECT_EQ(h("ab"),
+            util::fnv1a64(reinterpret_cast<const std::uint8_t*>("b"), 1,
+                          h("a")));
+  static_assert(util::fnv1a64_u64(1) != util::fnv1a64_u64(2),
+                "constexpr evaluation must work for compile-time tables");
+}
+
+// ----------------------------------------------------------- ShardMap ----
+
+TEST(ShardMap, RoutesDeterministicallyInRange) {
+  const shard::ShardMap map(4);
+  const shard::ShardMap map2(4);
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 100; b < 140; ++b) {
+      const Item it{a, b, 1};
+      const std::uint32_t s = map.shard_of(it);
+      EXPECT_LT(s, 4u);
+      EXPECT_EQ(s, map2.shard_of(it));  // a pure function of the item
+    }
+  }
+  // Single shard: everything routes to 0.
+  const shard::ShardMap one(1);
+  EXPECT_EQ(one.shard_of(Item{7, 7, 7}), 0u);
+}
+
+TEST(ShardMap, ShardsAreAllPopulatedUnderUniformKeys) {
+  // Not a distribution-quality proof, just a tripwire: 256 consecutive
+  // command keys must hit every one of 4 shards.
+  const shard::ShardMap map(4);
+  std::vector<std::uint32_t> hits(4, 0);
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    ++hits[map.shard_of(Item{k % 8, 100 + k, 1})];
+  }
+  for (std::uint32_t s = 0; s < 4; ++s) EXPECT_GT(hits[s], 0u) << s;
+}
+
+TEST(ShardMap, SplitPartitionsWithoutLoss) {
+  const shard::ShardMap map(3);
+  std::set<Item> items;
+  for (std::uint64_t k = 0; k < 40; ++k) items.insert(Item{k, 100 + k, 1});
+  const Elem whole = make_set(items);
+  const std::vector<Elem> parts = map.split(whole);
+  ASSERT_EQ(parts.size(), 3u);
+  Elem rejoined;
+  std::size_t total = 0;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    for (const Item& it : set_items(parts[s])) {
+      EXPECT_EQ(map.shard_of(it), s);  // each part is pure
+    }
+    total += parts[s].weight();
+    rejoined = rejoined.join(parts[s]);
+  }
+  EXPECT_EQ(total, items.size());  // parts are disjoint
+  EXPECT_EQ(rejoined, whole);      // and lose nothing
+}
+
+TEST(ShardMap, SplitOfBottomIsAllBottom) {
+  const shard::ShardMap map(2);
+  for (const Elem& part : map.split(Elem())) {
+    EXPECT_TRUE(part.is_bottom());
+  }
+}
+
+// ----------------------------------------------------- FrontierMerger ----
+
+TEST(FrontierMerger, MergedFrontierOnlyGrows) {
+  shard::FrontierMerger m(2);
+  const Elem a = make_set({Item{1, 101, 1}});
+  const Elem b = make_set({Item{2, 102, 1}});
+  const Elem ab = a.join(b);
+
+  EXPECT_TRUE(m.update(0, a));
+  EXPECT_EQ(m.merged(), a);
+  EXPECT_FALSE(m.update(0, a));  // duplicate: no growth
+  EXPECT_TRUE(m.update(1, b));
+  EXPECT_EQ(m.merged(), ab);
+  // A stale (smaller) shard frontier must not shrink anything.
+  EXPECT_FALSE(m.update(1, Elem()));
+  EXPECT_EQ(m.merged(), ab);
+  EXPECT_EQ(m.updates(), 4u);
+  EXPECT_EQ(m.advances(), 2u);
+
+  EXPECT_TRUE(m.covers(a));
+  EXPECT_TRUE(m.covers(ab));
+  EXPECT_FALSE(m.covers(make_set({Item{3, 103, 1}})));
+  EXPECT_EQ(m.shard_frontier(0), a);
+  EXPECT_EQ(m.shard_frontier(1), b);
+}
+
+// ------------------------------------------------------------- Router ----
+
+/// Assembles a sharded RSM cluster in-sim: n node identities, each one a
+/// Router fronting S replica stacks, plus shard-oblivious rsm::Clients.
+struct ShardedCluster {
+  static constexpr std::uint32_t kN = 4, kF = 1, kClients = 2;
+
+  explicit ShardedCluster(std::uint32_t shards, std::uint64_t seed = 7)
+      : net(std::make_unique<sim::UniformDelay>(1, 10), seed,
+            kN + kClients) {
+    la::LaConfig cfg;
+    cfg.n = kN;
+    cfg.f = kF;
+    cfg.validate();
+    for (ProcessId id = 0; id < kN; ++id) {
+      shard::Router::Config rc;
+      rc.num_shards = shards;
+      rc.num_replicas = kN;
+      routers.push_back(std::make_unique<shard::Router>(net, id, rc));
+      for (std::uint32_t s = 0; s < shards; ++s) {
+        replicas.push_back(std::make_unique<rsm::Replica>(
+            routers.back()->shard_transport(s), id, cfg, kN, kClients));
+      }
+    }
+  }
+
+  void add_clients(std::uint32_t ops_per_client) {
+    for (std::uint32_t c = 0; c < kClients; ++c) {
+      std::vector<rsm::Op> script;
+      for (std::uint32_t k = 0; k < ops_per_client; ++k) {
+        if (k % 2 == 0) {
+          script.push_back(rsm::Op::update(10 * (c + 1) + k));
+        } else {
+          script.push_back(rsm::Op::read());
+        }
+      }
+      clients.push_back(std::make_unique<rsm::Client>(
+          net, kN + c, kN, kF, std::move(script)));
+      clients.back()->set_contact_all(true);
+      clients.back()->set_op_hook(
+          [this](const rsm::Client&, const rsm::OpRecord&) {
+            for (const auto& cl : clients) {
+              if (!cl->done()) return;
+            }
+            net.request_stop();
+          });
+    }
+  }
+
+  sim::Network net;
+  std::vector<std::unique_ptr<shard::Router>> routers;
+  std::vector<std::unique_ptr<rsm::Replica>> replicas;
+  std::vector<std::unique_ptr<rsm::Client>> clients;
+};
+
+TEST(ShardRouter, ShardedRsmClusterCompletesClientOps) {
+  ShardedCluster cluster(/*shards=*/4);
+  cluster.add_clients(/*ops_per_client=*/6);
+  const auto rr = cluster.net.run(40'000'000);
+  EXPECT_TRUE(rr.stopped) << "sharded cluster did not finish client ops";
+
+  Elem all_updates;
+  for (const auto& c : cluster.clients) {
+    ASSERT_TRUE(c->done());
+    for (const auto& rec : c->history()) {
+      EXPECT_TRUE(rec.completed);
+      if (rec.op.kind == rsm::Op::Kind::kUpdate) {
+        all_updates = all_updates.join(make_set({rec.cmd}));
+      } else {
+        // A confirmed read is a decided product-lattice value: it must
+        // contain the reader's own preceding updates (session order).
+        EXPECT_FALSE(rec.read_value.is_bottom());
+      }
+    }
+  }
+
+  for (const auto& r : cluster.routers) {
+    // No frame was refused: the whole run spoke the sharded dialect.
+    EXPECT_EQ(r->rejected_unknown_shard(), 0u);
+    EXPECT_EQ(r->dropped_unroutable(), 0u);
+    EXPECT_EQ(r->reads_pending(), 0u);
+    // Every per-shard frontier holds only commands hashed to that shard.
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      for (const Item& it : set_items(r->frontier().shard_frontier(s))) {
+        EXPECT_EQ(r->map().shard_of(it), s);
+      }
+    }
+  }
+  // All routers converge on a merged frontier covering every update.
+  for (const auto& r : cluster.routers) {
+    EXPECT_TRUE(all_updates.leq(r->frontier().merged()));
+  }
+}
+
+TEST(ShardRouter, ReadsAreMonotonePerClient) {
+  ShardedCluster cluster(/*shards=*/2, /*seed=*/11);
+  cluster.add_clients(/*ops_per_client=*/8);
+  const auto rr = cluster.net.run(40'000'000);
+  ASSERT_TRUE(rr.stopped);
+  for (const auto& c : cluster.clients) {
+    Elem prev;
+    for (const auto& rec : c->history()) {
+      if (rec.op.kind != rsm::Op::Kind::kRead) continue;
+      EXPECT_TRUE(prev.leq(rec.read_value))
+          << "read went backwards at client " << c->history().size();
+      prev = rec.read_value;
+    }
+  }
+}
+
+/// Hostile peer for the rejection paths: sprays envelopes with
+/// out-of-range shard ids and bare (shard-less) protocol frames.
+class BadShardPeer : public sim::Process {
+ public:
+  BadShardPeer(sim::Network& net, ProcessId id) : sim::Process(net, id) {}
+  void on_start() override {
+    const Elem v = make_set({Item{9, 900, 1}});
+    // Unknown shard ids: must be counted and dropped, not crash.
+    for (std::uint32_t s = 2; s < 7; ++s) {
+      send(0, std::make_shared<net::ShardEnvelopeMsg>(
+                  s, std::make_shared<la::SubmitMsg>(v)));
+    }
+    // A bare agreement frame has no shard to belong to: unroutable.
+    send(0, std::make_shared<la::GAckReqMsg>(v, 1, 0));
+  }
+  void on_message(ProcessId, const sim::MessagePtr&) override {}
+};
+
+TEST(ShardRouter, RejectsUnknownShardIdsAndUnroutableFrames) {
+  obs::Registry registry;
+  sim::Network net(std::make_unique<sim::UniformDelay>(1, 4), 3, 2);
+  shard::Router::Config rc;
+  rc.num_shards = 2;
+  rc.num_replicas = 2;
+  rc.registry = &registry;
+  shard::Router router(net, 0, rc);
+  BadShardPeer peer(net, 1);
+  net.run(100'000);
+
+  EXPECT_EQ(router.rejected_unknown_shard(), 5u);
+  EXPECT_EQ(router.dropped_unroutable(), 1u);
+  const obs::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(
+      snap.counters.at("bgla_shard_router_unknown_shard_rejected_total"),
+      5u);
+  EXPECT_EQ(
+      snap.counters.at("bgla_shard_router_unroutable_dropped_total"), 1u);
+}
+
+// ----------------------------------------------------- sharded harness ----
+
+TEST(ShardedHarness, SplitsMergesAndPassesSpecsAtFourShards) {
+  harness::ShardedScenario sc;
+  sc.base.protocol = harness::ThroughputProtocol::kGwts;
+  sc.base.n = 4;
+  sc.base.f = 1;
+  sc.base.commands_per_proc = 12;
+  sc.base.window = 4;
+  sc.base.seed = 5;
+  sc.shards = 4;
+  const auto rep = harness::run_sharded_throughput(sc);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.all_spec_ok);
+  EXPECT_TRUE(rep.merge_complete);
+  EXPECT_TRUE(rep.merge_monotone);
+  EXPECT_EQ(rep.commands, 4u * 12u);
+  EXPECT_EQ(rep.merged_weight, 4u * 12u);
+  ASSERT_EQ(rep.per_shard.size(), 4u);
+}
+
+TEST(ShardedHarness, SingleShardIsTheUnshardedRun) {
+  // S = 1 must take the untouched generated-feed path: the same scenario
+  // through run_throughput directly yields the identical simulation.
+  harness::ShardedScenario sc;
+  sc.base.protocol = harness::ThroughputProtocol::kGwts;
+  sc.base.n = 4;
+  sc.base.f = 1;
+  sc.base.commands_per_proc = 10;
+  sc.base.window = 4;
+  sc.base.seed = 9;
+  sc.shards = 1;
+  const auto sharded = harness::run_sharded_throughput(sc);
+  const auto plain = harness::run_throughput(sc.base);
+  ASSERT_EQ(sharded.per_shard.size(), 1u);
+  EXPECT_EQ(sharded.per_shard[0].commands, plain.commands);
+  EXPECT_EQ(sharded.per_shard[0].end_time, plain.end_time);
+  EXPECT_EQ(sharded.per_shard[0].total_msgs, plain.total_msgs);
+  EXPECT_EQ(sharded.per_shard[0].decided_frontier, plain.decided_frontier);
+  EXPECT_TRUE(sharded.merge_complete);
+}
+
+}  // namespace
+}  // namespace bgla

@@ -26,6 +26,7 @@
 #include "lattice/maxint_elem.h"
 #include "lattice/set_elem.h"
 #include "lattice/vclock_elem.h"
+#include "net/shard_envelope.h"
 #include "net/wire.h"
 #include "rsm/msgs.h"
 #include "sim/message.h"
@@ -157,6 +158,15 @@ std::vector<sim::MessagePtr> sample_messages() {
   all.push_back(std::make_shared<rsm::BatchUpdateMsg>(
       std::vector<Item>{Item{6, 11, 2}, Item{7, 12, 1}}));
 
+  // Shard envelope (80) — wraps arbitrary inner messages; sample both a
+  // replica-peer protocol message and an RB-nested one so the recursive
+  // decode path is exercised through the envelope.
+  all.push_back(std::make_shared<net::ShardEnvelopeMsg>(
+      3, std::make_shared<la::GAckReqMsg>(set_a, 5, 2)));
+  all.push_back(std::make_shared<net::ShardEnvelopeMsg>(
+      0, std::make_shared<bcast::RbSendMsg>(
+             rbk, std::make_shared<la::GDisclosureMsg>(set_b, 1))));
+
   // Rejoin catch-up (70-71).
   all.push_back(std::make_shared<la::CatchupReqMsg>(3));
   // Empty cert = the non-GSbS reply; a non-empty cert must be a valid
@@ -203,6 +213,7 @@ TEST(WireCodec, RoundTripsEveryMessageType) {
       50, 51, 52, 53, 54, 55, 56,      // GSbS
       60, 61, 62, 63, 64,              // RSM (64 = batched updates)
       70, 71,                          // rejoin catch-up
+      80,                              // shard envelope
   };
   EXPECT_EQ(covered, registry);
 }
@@ -264,6 +275,17 @@ TEST(WireCodec, NestingDepthIsBounded) {
       make_set({Item{1, 1, 1}}));
   for (int depth = 0; depth < 32; ++depth) {
     inner = std::make_shared<bcast::RbSendMsg>(bcast::RbKey{1, 0}, inner);
+  }
+  EXPECT_EQ(net::decode_message(inner->encoded()), nullptr);
+}
+
+// The shard envelope nests like RB does, so a tower of envelopes — which
+// no correct Router ever produces — must also die at the recursion bound.
+TEST(WireCodec, NestedShardEnvelopesAreBounded) {
+  sim::MessagePtr inner =
+      std::make_shared<la::SubmitMsg>(make_set({Item{1, 1, 1}}));
+  for (std::uint32_t depth = 0; depth < 32; ++depth) {
+    inner = std::make_shared<net::ShardEnvelopeMsg>(depth % 4, inner);
   }
   EXPECT_EQ(net::decode_message(inner->encoded()), nullptr);
 }

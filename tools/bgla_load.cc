@@ -20,7 +20,11 @@
 //   bgla_load --topology topo.txt --n 4 --f 1 --clients 2 --ops 32
 // (the RSM needs n >= 3f+1 replicas; clients occupy topology ids n, n+1...)
 // Reports wall-clock operations/sec, p50/p99 op latency in microseconds,
-// and backpressure retries (replica queue-full nacks each client absorbed).
+// and backpressure retries (replica queue-full nacks each client absorbed)
+// broken down per target shard: with --shards S each op is attributed to
+// the shard its command hashes to (the same FNV routing the cluster's
+// Routers apply), so a hot or wedged shard is visible as its own
+// retry/incomplete column rather than smeared into one aggregate.
 // Every process of a deployment must share --seed (channel HMAC keys).
 #include <algorithm>
 #include <chrono>
@@ -39,6 +43,7 @@
 #include "harness/throughput.h"
 #include "net/socket_transport.h"
 #include "rsm/client.h"
+#include "shard/shard_map.h"
 #include "util/flags.h"
 
 using namespace bgla;
@@ -63,6 +68,7 @@ struct Args {
   std::uint32_t client_base = 0;  // 0 = n (first id after the replicas)
   std::uint32_t ops = 32;
   std::uint32_t run_ms = 30000;
+  std::uint32_t shards = 1;
 };
 
 Args parse(int argc, char** argv) {
@@ -87,7 +93,10 @@ Args parse(int argc, char** argv) {
                 "live: first client topology id (default n)");
   flags.add_u32("ops", &a.ops, "live: update operations per client");
   flags.add_u32("run-ms", &a.run_ms, "live: overall deadline");
+  flags.add_u32("shards", &a.shards,
+                "live: cluster shard count, for per-shard op attribution");
   flags.parse_or_exit(argc, argv);
+  if (a.shards == 0) flags.fail("--shards must be at least 1");
   return a;
 }
 
@@ -265,10 +274,28 @@ int run_live(const Args& a) {
           .count();
   for (LiveClient& lc : live) lc.net->stop();
 
+  // Attribute each op to the shard its command hashes to (the same FNV
+  // routing the cluster's Routers use), so the counters below are per
+  // TARGET SHARD, not one aggregate — a hot or wedged shard shows up as
+  // its own retry/incomplete column. With --shards 1 everything lands in
+  // shard 0, which is exactly the old aggregate.
+  const shard::ShardMap smap(a.shards);
+  struct ShardStats {
+    std::uint64_t ops = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t retries = 0;  // backpressure nacks absorbed
+  };
+  std::vector<ShardStats> per_shard(a.shards);
   std::uint64_t completed = 0;
   std::uint64_t retries = 0;
   for (const LiveClient& lc : live) {
-    for (const auto& rec : lc.client->history()) completed += rec.completed;
+    for (const auto& rec : lc.client->history()) {
+      ShardStats& ss = per_shard[smap.shard_of(rec.cmd)];
+      ++ss.ops;
+      ss.completed += rec.completed;
+      ss.retries += rec.retries;
+      completed += rec.completed;
+    }
     retries += lc.client->backpressure_retries();
   }
   const std::uint64_t target =
@@ -287,6 +314,11 @@ int run_live(const Args& a) {
             << "  op latency:          p50=" << p50 << " p99=" << p99
             << " us\n"
             << "  backpressure retries " << retries << "\n";
+  for (std::uint32_t s = 0; s < a.shards; ++s) {
+    std::cout << "  shard " << s << ": ops=" << per_shard[s].ops
+              << " completed=" << per_shard[s].completed
+              << " retries=" << per_shard[s].retries << "\n";
+  }
 
   if (!a.json_path.empty()) {
     bench::Json j;
@@ -301,7 +333,20 @@ int run_live(const Args& a) {
         .set("ops_per_sec", ops_per_sec)
         .set("p50_latency_us", p50)
         .set("p99_latency_us", p99)
-        .set("backpressure_retries", retries);
+        .set("backpressure_retries", retries)
+        .set("shards", static_cast<std::uint64_t>(a.shards));
+    std::string srows = "[";
+    for (std::uint32_t s = 0; s < a.shards; ++s) {
+      bench::Json row;
+      row.set("shard", static_cast<std::uint64_t>(s))
+          .set("ops", per_shard[s].ops)
+          .set("completed", per_shard[s].completed)
+          .set("retries", per_shard[s].retries);
+      if (s > 0) srows += ",";
+      srows += row.str();
+    }
+    srows += "]";
+    j.raw("shard_stats", srows);
     if (!j.write(a.json_path)) {
       std::cerr << "warning: could not write " << a.json_path << "\n";
     }

@@ -11,6 +11,12 @@
 //   generalized protocols (gwts, gsbs,  la::check_gla + a global
 //   faleiro-la)                         "every submitted value decided"
 //                                       inclusion check
+//   sharded RSM (rsm-replica,           one la::check_gla verdict PER
+//   --shards S, --clients C drivers)    SHARD over the per-shard
+//                                       WAL/snapshot subdirs
+//                                       (node<i>/shard-<k>), plus the
+//                                       per-shard submitted⊆decided
+//                                       inclusion check
 //
 // Fault repertoire (--campaign):
 //   none           fault-free baseline (observability/bound-table runs)
@@ -87,6 +93,12 @@ struct Args {
   std::uint32_t batch = 0;
   std::uint32_t queue = 0;
   bool pipeline = false;
+  // Sharded RSM campaigns (--protocol rsm-replica): every replica runs
+  // --shards GLA instances behind its Router; --clients driver processes
+  // (topology ids n..n+clients-1) each run --ops update/read operations.
+  std::uint32_t shards = 1;
+  std::uint32_t clients = 1;
+  std::uint32_t ops = 4;
 };
 
 Args parse(int argc, char** argv) {
@@ -125,12 +137,25 @@ Args parse(int argc, char** argv) {
                 "forward --queue to every node (ingress queue bound)");
   flags.add_bool("pipeline", &a.pipeline,
                  "forward --pipeline to every node (gwts/gsbs)");
+  flags.add_u32("shards", &a.shards,
+                "rsm-replica: GLA shards per replica (forwarded --shards)");
+  flags.add_u32("clients", &a.clients,
+                "rsm-replica: closed-loop client processes");
+  flags.add_u32("ops", &a.ops, "rsm-replica: operations per client");
   flags.parse_or_exit(argc, argv);
   if (a.protocol != "sbs" && a.protocol != "gwts" && a.protocol != "gsbs" &&
-      a.protocol != "faleiro-la") {
-    flags.fail("--protocol must be sbs | gwts | gsbs | faleiro-la");
+      a.protocol != "faleiro-la" && a.protocol != "rsm-replica") {
+    flags.fail(
+        "--protocol must be sbs | gwts | gsbs | faleiro-la | rsm-replica");
   }
   if (a.n < 2) flags.fail("--n must be at least 2");
+  if (a.shards == 0) flags.fail("--shards must be at least 1");
+  if (a.shards > 1 && a.protocol != "rsm-replica") {
+    flags.fail("--shards > 1 requires --protocol rsm-replica");
+  }
+  if (a.protocol == "rsm-replica" && a.clients == 0) {
+    flags.fail("rsm-replica needs at least one --clients driver");
+  }
   return a;
 }
 
@@ -175,23 +200,31 @@ class Cluster {
  public:
   Cluster(const Args& a, std::vector<std::uint16_t> ports)
       : a_(a), ports_(std::move(ports)) {
+    // The topology covers every spawned process: n replicas, plus (rsm
+    // only) the closed-loop client drivers at ids n..n+clients-1.
+    const std::uint32_t total = static_cast<std::uint32_t>(ports_.size());
     topo_path_ = a_.workdir + "/topology.txt";
     std::ofstream topo(topo_path_, std::ios::trunc);
-    for (std::uint32_t i = 0; i < a_.n; ++i) {
+    for (std::uint32_t i = 0; i < total; ++i) {
       topo << i << " 127.0.0.1 " << ports_[i] << "\n";
     }
     BGLA_CHECK_MSG(topo.good(), "cannot write " << topo_path_);
     topo.close();
-    nodes_.resize(a_.n);
-    for (std::uint32_t i = 0; i < a_.n; ++i) {
+    nodes_.resize(total);
+    for (std::uint32_t i = 0; i < total; ++i) {
       nodes_[i].id = i;
-      nodes_[i].data_dir = a_.workdir + "/node" + std::to_string(i);
+      // Clients are stateless drivers: no durable directory.
+      if (i < a_.n) {
+        nodes_[i].data_dir = a_.workdir + "/node" + std::to_string(i);
+      }
       nodes_[i].log_path = a_.workdir + "/node" + std::to_string(i) + ".log";
       // Each campaign starts from a clean slate: a reused workdir would
       // otherwise seed every node with the terminal state (and possibly a
       // different state-format) of the previous campaign.
       std::error_code ec;
-      std::filesystem::remove_all(nodes_[i].data_dir, ec);
+      if (!nodes_[i].data_dir.empty()) {
+        std::filesystem::remove_all(nodes_[i].data_dir, ec);
+      }
       std::filesystem::remove(nodes_[i].log_path, ec);
     }
   }
@@ -228,6 +261,7 @@ class Cluster {
     const std::uint32_t target =
         (a_.protocol == "faleiro-la" || nd.restarts > 0) ? 1
                                                          : a_.decisions;
+    const bool is_client = id >= a_.n;
     std::vector<std::string> argv = {
         a_.node_bin,
         "--topology", topo_path_,
@@ -236,13 +270,26 @@ class Cluster {
         "--n", std::to_string(a_.n),
         "--f", std::to_string(a_.f),
         "--seed", std::to_string(a_.seed),
-        "--submissions", std::to_string(a_.submissions),
-        "--decisions", std::to_string(target),
         "--run-ms", std::to_string(a_.node_run_ms),
         "--linger-ms", std::to_string(a_.node_linger_ms),
-        "--data-dir", nd.data_dir,
         "--chaos-stdin",
     };
+    if (is_client) {
+      argv.push_back("--client");
+      argv.push_back("--ops");
+      argv.push_back(std::to_string(a_.ops));
+    } else {
+      argv.push_back("--submissions");
+      argv.push_back(std::to_string(a_.submissions));
+      argv.push_back("--decisions");
+      argv.push_back(std::to_string(target));
+      argv.push_back("--data-dir");
+      argv.push_back(nd.data_dir);
+      if (a_.shards > 1) {
+        argv.push_back("--shards");
+        argv.push_back(std::to_string(a_.shards));
+      }
+    }
     if (a_.batch != 0) {
       argv.push_back("--batch");
       argv.push_back(std::to_string(a_.batch));
@@ -488,6 +535,81 @@ bool check_generalized(const Args& a, const CheckInput& in) {
   return ok;
 }
 
+/// Sharded RSM campaigns: every shard is its own GLA instance with its own
+/// WAL/snapshot subdirectory (node<i>/shard-<k>), so the spec runs once
+/// per shard over that shard's surviving state. A shard the client
+/// commands never hashed to may legitimately have decided nothing
+/// (min_decisions = 0); what every shard must satisfy is comparability of
+/// decisions and the inclusion of everything submitted to it in its
+/// merged decided join.
+bool check_sharded_rsm(const Args& a, Cluster& c) {
+  bool all_ok = true;
+  for (std::uint32_t s = 0; s < a.shards; ++s) {
+    std::vector<la::GlaView> views;
+    lattice::Elem all_submitted;
+    lattice::Elem all_decided;
+    bool ok = true;
+    for (std::uint32_t i = 0; i < a.n; ++i) {
+      const std::string dir =
+          a.shards > 1
+              ? c.node(i).data_dir + "/shard-" + std::to_string(s)
+              : c.node(i).data_dir;
+      std::vector<std::string> notes;
+      const Bytes blob = store::ReplicaStore::peek_latest_state(dir, &notes);
+      for (const std::string& note : notes) {
+        std::cout << "[nemesis] node " << i << " shard " << s
+                  << " store: " << note << "\n";
+      }
+      la::GlaView v;
+      v.id = i;
+      if (blob.empty()) {
+        std::cout << "[nemesis] node " << i << " shard " << s
+                  << " left no durable state\n";
+        ok = false;
+      } else {
+        try {
+          const la::StateSummary sum = la::summarize_state(BytesView(blob));
+          v.submitted = sum.submitted;
+          for (const la::DecisionRecord& rec : sum.decisions) {
+            v.decisions.push_back(rec.value);
+          }
+          for (const lattice::Elem& e : sum.submitted) {
+            all_submitted = all_submitted.join(e);
+          }
+          if (!v.decisions.empty()) {
+            all_decided = all_decided.join(v.decisions.back());
+          }
+        } catch (const CheckError& e) {
+          std::cout << "[nemesis] node " << i << " shard " << s
+                    << " durable state unreadable: " << e.what() << "\n";
+          ok = false;
+        }
+      }
+      views.push_back(std::move(v));
+    }
+    const la::GlaSpecResult res =
+        la::check_gla(views, /*byz_disclosed=*/lattice::Elem(),
+                      /*min_decisions=*/0);
+    if (!res.ok()) {
+      std::cout << "[nemesis] shard " << s
+                << " spec FAILED: " << res.diagnostic << "\n";
+      ok = false;
+    }
+    if (!all_submitted.leq(all_decided)) {
+      std::cout << "[nemesis] shard " << s
+                << " FAILED: submitted values missing from the merged "
+                   "decided join\n  submitted: "
+                << all_submitted.to_string()
+                << "\n  decided:   " << all_decided.to_string() << "\n";
+      ok = false;
+    }
+    std::cout << "[nemesis] shard " << s << " spec verdict: "
+              << (ok ? "ok" : "FAILED") << "\n";
+    all_ok = all_ok && ok;
+  }
+  return all_ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -498,13 +620,18 @@ int main(int argc, char** argv) {
 
   ::mkdir(a.workdir.c_str(), 0755);
 
+  const std::uint32_t total_nodes =
+      a.n + (a.protocol == "rsm-replica" ? a.clients : 0);
   std::vector<std::uint16_t> ports;
-  for (std::uint32_t i = 0; i < a.n; ++i) ports.push_back(pick_free_port());
+  for (std::uint32_t i = 0; i < total_nodes; ++i) {
+    ports.push_back(pick_free_port());
+  }
 
   Cluster cluster(a, std::move(ports));
   std::cout << "[nemesis] starting " << a.n << "-node " << a.protocol
-            << " cluster (f=" << a.f << ", campaign=" << a.campaign
-            << ") in " << a.workdir << "\n";
+            << " cluster (f=" << a.f << ", campaign=" << a.campaign;
+  if (a.shards > 1) std::cout << ", shards=" << a.shards;
+  std::cout << ") in " << a.workdir << "\n";
 
   // Fault timeline (node id = n marks the driver as the emitter).
   std::unique_ptr<obs::TraceWriter> faults_writer;
@@ -515,7 +642,7 @@ int main(int argc, char** argv) {
   }
   obs::TraceWriter* const faults = faults_writer.get();
 
-  for (std::uint32_t i = 0; i < a.n; ++i) cluster.spawn(i);
+  for (std::uint32_t i = 0; i < total_nodes; ++i) cluster.spawn(i);
   sleep_ms(a.settle_ms);
 
   if (a.campaign == "none") {
@@ -561,33 +688,38 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Read the surviving durable state and run the spec checkers.
-  CheckInput in;
-  in.summaries.resize(a.n);
-  for (std::uint32_t i = 0; i < a.n; ++i) {
-    std::vector<std::string> notes;
-    const Bytes blob = store::ReplicaStore::peek_latest_state(
-        cluster.node(i).data_dir, &notes);
-    for (const std::string& note : notes) {
-      std::cout << "[nemesis] node " << i << " store: " << note << "\n";
+  // Read the surviving durable state and run the spec checkers. The
+  // sharded RSM path reads per-shard subdirectories and runs one GLA spec
+  // verdict per shard.
+  if (a.protocol == "rsm-replica") {
+    all_ok = check_sharded_rsm(a, cluster) && all_ok;
+  } else {
+    CheckInput in;
+    in.summaries.resize(a.n);
+    for (std::uint32_t i = 0; i < a.n; ++i) {
+      std::vector<std::string> notes;
+      const Bytes blob = store::ReplicaStore::peek_latest_state(
+          cluster.node(i).data_dir, &notes);
+      for (const std::string& note : notes) {
+        std::cout << "[nemesis] node " << i << " store: " << note << "\n";
+      }
+      if (blob.empty()) {
+        std::cout << "[nemesis] node " << i << " left no durable state\n";
+        all_ok = false;
+        continue;
+      }
+      try {
+        in.summaries[i] = la::summarize_state(BytesView(blob));
+      } catch (const CheckError& e) {
+        std::cout << "[nemesis] node " << i
+                  << " durable state unreadable: " << e.what() << "\n";
+        all_ok = false;
+      }
     }
-    if (blob.empty()) {
-      std::cout << "[nemesis] node " << i << " left no durable state\n";
-      all_ok = false;
-      continue;
+    if (all_ok) {
+      all_ok = (a.protocol == "sbs") ? check_one_shot(a, in)
+                                     : check_generalized(a, in);
     }
-    try {
-      in.summaries[i] = la::summarize_state(BytesView(blob));
-    } catch (const CheckError& e) {
-      std::cout << "[nemesis] node " << i
-                << " durable state unreadable: " << e.what() << "\n";
-      all_ok = false;
-    }
-  }
-
-  if (all_ok) {
-    all_ok = (a.protocol == "sbs") ? check_one_shot(a, in)
-                                   : check_generalized(a, in);
   }
 
   std::cout << (all_ok ? "[nemesis] campaign PASSED"

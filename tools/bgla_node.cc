@@ -46,9 +46,21 @@
 // writes a final metrics snapshot, --metrics-port serves the live
 // Prometheus text format on 127.0.0.1, and SIGUSR1 dumps the same text to
 // stderr at any point.
+//
+// Sharding (--shards S, rsm-replica only): the node keeps ONE transport
+// identity but mounts S independent replica stacks behind a shard::Router.
+// Replica-to-replica frames ride in ShardEnvelopeMsg (shard id in the wire
+// header); clients stay shard-oblivious — the Router hashes their commands
+// to shards and answers reads from the merged cross-shard frontier. Every
+// replica of a deployment must use the same --shards. Durable state lives
+// in per-shard subdirectories <data-dir>/shard-<k>, and --trace-file adds
+// per-shard files <trace-file>.shard<k> next to the node's own. --shards 1
+// is the unsharded node, byte-identical behavior.
 #include <poll.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <csignal>
 
 #include <algorithm>
@@ -78,6 +90,7 @@
 #include "obs/trace.h"
 #include "rsm/client.h"
 #include "rsm/replica.h"
+#include "shard/router.h"
 #include "store/replica_store.h"
 #include "util/flags.h"
 
@@ -107,6 +120,7 @@ struct Args {
   std::uint64_t flush_age = 0;
   bool pipeline = false;
   std::string data_dir;
+  std::uint32_t shards = 1;
   bool chaos_stdin = false;
   std::string trace_file;
   std::string metrics_json;
@@ -148,6 +162,8 @@ Args parse(int argc, char** argv) {
                  "pre-disclose the next round's batch (gwts/gsbs)");
   flags.add_string("data-dir", &a.data_dir,
                    "durable state directory (enables crash recovery)");
+  flags.add_u32("shards", &a.shards,
+                "concurrent GLA shards per rsm-replica (1 = unsharded)");
   flags.add_bool("chaos-stdin", &a.chaos_stdin,
                  "accept fault-injection commands on stdin");
   flags.add_string("trace-file", &a.trace_file,
@@ -160,6 +176,10 @@ Args parse(int argc, char** argv) {
   if (a.topology.empty()) flags.fail("--topology is required");
   if (!a.data_dir.empty() && a.client) {
     flags.fail("--data-dir applies to replicas, not --client mode");
+  }
+  if (a.shards == 0) flags.fail("--shards must be at least 1");
+  if (a.shards > 1 && (a.client || a.protocol != "rsm-replica")) {
+    flags.fail("--shards > 1 applies to rsm-replica replicas only");
   }
   return a;
 }
@@ -310,23 +330,50 @@ int main(int argc, char** argv) {
   const std::uint64_t value = a.value != 0 ? a.value : 100 + a.id;
 
   // Durable state: open (and repair) the data dir before the transport
-  // exists, so the bumped incarnation can ride in connection HELLOs.
+  // exists, so the bumped incarnation can ride in connection HELLOs. A
+  // sharded node keeps one store per shard under <data-dir>/shard-<k>; its
+  // transport incarnation is the max over them, so any shard's restart
+  // bumps the HELLO.
   std::unique_ptr<store::ReplicaStore> store;
+  std::vector<std::unique_ptr<store::ReplicaStore>> shard_stores;
+  std::uint64_t incarnation = 0;
   if (!a.data_dir.empty()) {
-    try {
-      store = std::make_unique<store::ReplicaStore>(a.data_dir);
-    } catch (const CheckError& e) {
-      std::cerr << "error: cannot open data dir '" << a.data_dir
-                << "': " << e.what() << "\n";
-      return 3;
-    }
-    for (const std::string& note : store->notes()) {
-      std::cerr << "store: " << note << "\n";
-    }
-    if (!store->clean()) {
-      std::cerr << "error: data dir '" << a.data_dir
-                << "' has quarantined corruption; refusing to run\n";
-      return 3;
+    const auto open_store =
+        [](const std::string& dir) -> std::unique_ptr<store::ReplicaStore> {
+      std::unique_ptr<store::ReplicaStore> s;
+      try {
+        s = std::make_unique<store::ReplicaStore>(dir);
+      } catch (const CheckError& e) {
+        std::cerr << "error: cannot open data dir '" << dir
+                  << "': " << e.what() << "\n";
+        return nullptr;
+      }
+      for (const std::string& note : s->notes()) {
+        std::cerr << "store: " << note << "\n";
+      }
+      if (!s->clean()) {
+        std::cerr << "error: data dir '" << dir
+                  << "' has quarantined corruption; refusing to run\n";
+        return nullptr;
+      }
+      return s;
+    };
+    if (a.shards > 1) {
+      if (::mkdir(a.data_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        std::cerr << "error: cannot create data dir '" << a.data_dir
+                  << "'\n";
+        return 3;
+      }
+      for (std::uint32_t s = 0; s < a.shards; ++s) {
+        auto sub = open_store(a.data_dir + "/shard-" + std::to_string(s));
+        if (sub == nullptr) return 3;
+        incarnation = std::max(incarnation, sub->incarnation());
+        shard_stores.push_back(std::move(sub));
+      }
+    } else {
+      store = open_store(a.data_dir);
+      if (store == nullptr) return 3;
+      incarnation = store->incarnation();
     }
   }
 
@@ -337,10 +384,27 @@ int main(int argc, char** argv) {
   if (!a.trace_file.empty()) {
     obs::TraceWriter::Options topt;
     topt.path = a.trace_file;
-    if (store != nullptr) topt.incarnation = store->incarnation();
+    topt.incarnation = incarnation;
     trace = std::make_unique<obs::TraceWriter>(topt);
   }
   obs::Instrument instr(&registry, trace.get());
+  // Sharded nodes get one trace file and instrument per shard, so the
+  // offline checker (tools/bgla_trace) can verify each shard's GLA spec
+  // independently — the shard index rides in the ".shard<k>" file suffix.
+  std::vector<std::unique_ptr<obs::TraceWriter>> shard_traces;
+  std::vector<std::unique_ptr<obs::Instrument>> shard_instrs;
+  for (std::uint32_t s = 0; s < a.shards && a.shards > 1; ++s) {
+    obs::TraceWriter* st = nullptr;
+    if (!a.trace_file.empty()) {
+      obs::TraceWriter::Options topt;
+      topt.path = a.trace_file + ".shard" + std::to_string(s);
+      topt.incarnation =
+          s < shard_stores.size() ? shard_stores[s]->incarnation() : 0;
+      shard_traces.push_back(std::make_unique<obs::TraceWriter>(topt));
+      st = shard_traces.back().get();
+    }
+    shard_instrs.push_back(std::make_unique<obs::Instrument>(&registry, st));
+  }
   std::signal(SIGUSR1, &on_sigusr1);
 
   net::SocketConfig scfg;
@@ -349,7 +413,7 @@ int main(int argc, char** argv) {
   scfg.num_processes = num_endpoints;
   scfg.auth_seed = a.seed;
   scfg.loss_rate = a.loss_rate;
-  if (store != nullptr) scfg.incarnation = store->incarnation();
+  scfg.incarnation = incarnation;
   net::SocketTransport net(scfg);
   net.set_observability(&registry, trace.get());
   net.bind_and_listen();
@@ -367,7 +431,11 @@ int main(int argc, char** argv) {
   const crypto::SignatureAuthority auth(n, a.seed ^ 0xabcdef);
 
   // `done` is polled under dispatch_lock(); `report` runs after stop().
+  // The shard replicas are declared after `endpoint` on purpose: they are
+  // attached to ShardChannels the Router owns, so they must detach (destruct)
+  // before the Router does.
   std::unique_ptr<net::Endpoint> endpoint;
+  std::vector<std::unique_ptr<rsm::Replica>> shard_replicas;
   std::function<bool()> done;
   std::function<bool()> report;
   bool completion_expected = true;
@@ -382,39 +450,42 @@ int main(int argc, char** argv) {
             std::chrono::steady_clock::now().time_since_epoch())
             .count());
   };
-  const auto wire_store = [&store, &instr, &registry, &a,
-                           &steady_us](auto* p) -> bool {
-    p->set_instrument(&instr);
-    if (store == nullptr) return true;
-    if (store->found()) {
-      const Bytes& latest = store->wal_records().empty()
-                                ? store->snapshot()
-                                : store->wal_records().back();
+  const auto wire_store_at = [&registry, &a, &steady_us](
+                                 auto* p, store::ReplicaStore* sp,
+                                 obs::Instrument* ip) -> bool {
+    p->set_instrument(ip);
+    if (sp == nullptr) return true;
+    if (sp->found()) {
+      const Bytes& latest = sp->wal_records().empty()
+                                ? sp->snapshot()
+                                : sp->wal_records().back();
       if (!latest.empty()) {
         const std::uint64_t t0 = steady_us();
         try {
           Decoder dec{BytesView(latest)};
           p->import_state(dec);
         } catch (const CheckError& e) {
-          std::cerr << "error: corrupt durable state in '" << store->dir()
+          std::cerr << "error: corrupt durable state in '" << sp->dir()
                     << "': " << e.what() << "\n";
           return false;
         }
         registry.histogram("bgla_store_replay_latency_us")
             .observe(steady_us() - t0);
-        std::cout << "recovered state from " << store->dir()
-                  << " (incarnation " << store->incarnation() << ")\n";
+        std::cout << "recovered state from " << sp->dir()
+                  << " (incarnation " << sp->incarnation() << ")\n";
       }
     }
-    store::ReplicaStore* sp = store.get();
-    p->set_persist_hook([p, sp, &instr, &a, &steady_us] {
+    p->set_persist_hook([p, sp, ip, &a, &steady_us] {
       Encoder e;
       p->export_state(e);
       const std::uint64_t t0 = steady_us();
       sp->persist(BytesView(e.bytes()));
-      instr.on_persist(a.id, e.bytes().size(), steady_us() - t0);
+      ip->on_persist(a.id, e.bytes().size(), steady_us() - t0);
     });
     return true;
+  };
+  const auto wire_store = [&](auto* p) -> bool {
+    return wire_store_at(p, store.get(), &instr);
   };
 
   if (a.client) {
@@ -518,18 +589,47 @@ int main(int argc, char** argv) {
                    "topology\n";
       return 2;
     }
-    auto* p = new rsm::Replica(net, a.id, cfg, /*client_base=*/n,
-                               /*num_clients=*/num_endpoints - n);
-    endpoint.reset(p);
-    if (!wire_store(p)) return 3;
-    // A replica serves clients until the deadline; there is no local
-    // notion of "finished".
-    completion_expected = false;
-    done = [] { return false; };
-    report = [p] {
-      std::cout << "replica state: " << p->state().to_string() << "\n";
-      return true;
-    };
+    if (a.shards > 1) {
+      shard::Router::Config rcfg;
+      rcfg.num_shards = a.shards;
+      rcfg.num_replicas = n;
+      rcfg.registry = &registry;
+      auto* r = new shard::Router(net, a.id, rcfg);
+      endpoint.reset(r);
+      for (std::uint32_t s = 0; s < a.shards; ++s) {
+        auto p = std::make_unique<rsm::Replica>(
+            r->shard_transport(s), a.id, cfg, /*client_base=*/n,
+            /*num_clients=*/num_endpoints - n);
+        store::ReplicaStore* sp =
+            s < shard_stores.size() ? shard_stores[s].get() : nullptr;
+        if (!wire_store_at(p.get(), sp, shard_instrs[s].get())) return 3;
+        shard_replicas.push_back(std::move(p));
+      }
+      completion_expected = false;
+      done = [] { return false; };
+      report = [&shard_replicas, r] {
+        for (std::size_t s = 0; s < shard_replicas.size(); ++s) {
+          std::cout << "shard " << s << " replica state: "
+                    << shard_replicas[s]->state().to_string() << "\n";
+        }
+        std::cout << "merged frontier: "
+                  << r->frontier().merged().to_string() << "\n";
+        return true;
+      };
+    } else {
+      auto* p = new rsm::Replica(net, a.id, cfg, /*client_base=*/n,
+                                 /*num_clients=*/num_endpoints - n);
+      endpoint.reset(p);
+      if (!wire_store(p)) return 3;
+      // A replica serves clients until the deadline; there is no local
+      // notion of "finished".
+      completion_expected = false;
+      done = [] { return false; };
+      report = [p] {
+        std::cout << "replica state: " << p->state().to_string() << "\n";
+        return true;
+      };
+    }
   } else {
     std::cerr << "error: unknown protocol '" << a.protocol << "'\n";
     return 2;
@@ -546,8 +646,9 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "node " << a.id << " (" << a.protocol
-            << (a.client ? ", client" : "") << ") n=" << n << " f=" << a.f
-            << " listening on port " << net.port() << "\n";
+            << (a.client ? ", client" : "") << ") n=" << n << " f=" << a.f;
+  if (a.shards > 1) std::cout << " shards=" << a.shards;
+  std::cout << " listening on port " << net.port() << "\n";
 
   if (trace != nullptr) {
     obs::TraceEvent ev;
@@ -612,6 +713,16 @@ int main(int argc, char** argv) {
     if (trace->dropped() > 0) {
       std::cerr << "trace: ring overflow dropped " << trace->dropped()
                 << " event(s)\n";
+    }
+  }
+  // Per-shard traces carry protocol events only (no node_final: the
+  // registry totals it would report are node-wide, and the shard id
+  // already rides in the filename the analyzer groups by).
+  for (std::size_t s = 0; s < shard_traces.size(); ++s) {
+    shard_traces[s]->flush();
+    if (shard_traces[s]->dropped() > 0) {
+      std::cerr << "trace: shard " << s << " ring overflow dropped "
+                << shard_traces[s]->dropped() << " event(s)\n";
     }
   }
   if (!a.metrics_json.empty()) {

@@ -15,6 +15,10 @@
 //     claim (per-node messages per decision bounded linearly in n).
 //   - with --faults: decisions-during-partition and recovery-latency
 //     sections for nemesis campaigns.
+//   - sharded runs: files carrying a ".shard<k>" name token (bgla_node
+//     --shards writes one per shard) are grouped by shard, and the
+//     refinement bound is re-verified PER SHARD — each shard is its own
+//     GLA instance, so the bound must hold in every one of them.
 //
 // Over sockets there is no causal-depth instrumentation (that is a
 // simulator concept), so the delay bounds are checked through the
@@ -29,6 +33,7 @@
 //   bgla_trace --input n0.trace.jsonl --input n1.trace.jsonl ...
 //   bgla_trace --input 'run/*.trace.jsonl' --faults run/faults.jsonl
 #include <algorithm>
+#include <cctype>
 #include <cstdint>
 #include <fstream>
 #include <iomanip>
@@ -106,6 +111,7 @@ struct Ev {
   std::uint64_t node = 0;
   std::uint64_t inc = 0;
   std::uint64_t wall_us = 0;
+  std::int32_t shard = -1;  // from the file's .shard<k> token; -1 = none
   obs::FlatJson fields;
 
   std::uint64_t u(const char* key) const {
@@ -118,9 +124,25 @@ struct Ev {
   }
 };
 
+/// Sharded bgla_node runs write one trace file per shard next to the
+/// node's own, tagged with a ".shard<k>" filename token — that token is
+/// the shard id, and it groups the per-shard spec verdicts below.
+std::int32_t shard_from_path(const std::string& path) {
+  const std::size_t pos = path.rfind(".shard");
+  if (pos == std::string::npos) return -1;
+  std::size_t i = pos + 6;
+  if (i >= path.size() || !std::isdigit(path[i])) return -1;
+  std::int32_t shard = 0;
+  for (; i < path.size() && std::isdigit(path[i]); ++i) {
+    shard = shard * 10 + (path[i] - '0');
+  }
+  return shard;
+}
+
 /// Reads and validates one JSONL file; schema violations are printed and
 /// counted, valid lines become events.
 std::size_t load_file(const std::string& path, std::vector<Ev>* out) {
+  const std::int32_t shard = shard_from_path(path);
   std::ifstream in(path);
   if (!in) {
     std::cerr << "error: cannot open '" << path << "'\n";
@@ -146,6 +168,7 @@ std::size_t load_file(const std::string& path, std::vector<Ev>* out) {
     ev.node = obj.at("node").u64;
     ev.inc = obj.at("inc").u64;
     ev.wall_us = obj.at("wall_us").u64;
+    ev.shard = shard;
     ev.fields = std::move(obj);
     out->push_back(std::move(ev));
   }
@@ -189,6 +212,7 @@ struct PerNode {
 struct Decide {
   std::uint64_t node = 0, proposal = 0, round = 0, refinements = 0;
   std::uint64_t latency_us = 0, wall_us = 0;
+  std::int32_t shard = -1;
 };
 
 struct Verdict {
@@ -292,6 +316,7 @@ int main(int argc, char** argv) {
         d.refinements = ev.u("refinements");
         d.latency_us = ev.u("latency_us");
         d.wall_us = ev.wall_us;
+        d.shard = ev.shard;
         decides.push_back(d);
         timelines[{ev.node, d.proposal}].push_back(&ev);
         break;
@@ -436,7 +461,10 @@ int main(int argc, char** argv) {
     // factor absorbs acceptor-side replies to the other proposers,
     // round-advance traffic, and each rejoin's catch-up re-proposal.
     constexpr std::uint64_t kFactor = 16;
-    const bool quadratic = protocol == "wts" || protocol == "gwts";
+    // The RSM replica runs GWTS underneath, so it inherits the reliable-
+    // broadcast O(n^2)-per-round message cost.
+    const bool quadratic = protocol == "wts" || protocol == "gwts" ||
+                           protocol == "rsm-replica";
     bool any = false;
     bool pass = true;
     std::uint64_t worst = 0, worst_node = 0, worst_allowed = 0;
@@ -469,6 +497,41 @@ int main(int argc, char** argv) {
     }
     v.detail = os.str();
     verdicts.push_back(std::move(v));
+  }
+
+  // ---- per-shard verdicts (sharded RSM: .shard<k> trace files) ---------
+  // Each shard is an independent GLA instance, so the refinement bound
+  // holds per shard, not just in aggregate — a wedged shard must not hide
+  // behind its healthy siblings' decisions.
+  std::set<std::int32_t> shards_present;
+  for (const Ev& ev : events) {
+    if (ev.shard >= 0) shards_present.insert(ev.shard);
+  }
+  if (!shards_present.empty()) {
+    std::cout << "\nper-shard activity (" << shards_present.size()
+              << " shard(s)):\n"
+              << "  shard  decide  worst_r\n";
+    for (const std::int32_t s : shards_present) {
+      const std::uint64_t bound = f;  // per-shard GWTS: Thm 3, r <= f
+      std::uint64_t dec = 0, worst = 0, over = 0;
+      for (const Decide& d : decides) {
+        if (d.shard != s) continue;
+        ++dec;
+        worst = std::max(worst, d.refinements);
+        if (d.refinements > bound) ++over;
+      }
+      std::cout << "  " << std::setw(5) << s << std::setw(8) << dec
+                << std::setw(9) << worst << "\n";
+      Verdict v;
+      v.name = "shard " + std::to_string(s) + ": refinements <= f";
+      v.pass = over == 0;
+      std::ostringstream os;
+      os << "max refinements " << worst << " vs bound " << bound << " over "
+         << dec << " decision(s)";
+      if (over > 0) os << "; " << over << " VIOLATION(S)";
+      v.detail = os.str();
+      verdicts.push_back(std::move(v));
+    }
   }
 
   // ---- nemesis sections -------------------------------------------------
@@ -563,6 +626,7 @@ int main(int argc, char** argv) {
                 ? 0
                 : *std::max_element(refinement_counts.begin(),
                                     refinement_counts.end()))
+        << ",\"shards\":" << shards_present.size()
         << ",\"decisions_in_partition\":" << decisions_in_partition
         << ",\"batch_flushes\":" << total_flushes
         << ",\"mean_batch_size\":"

@@ -1,0 +1,62 @@
+#!/bin/sh
+# Sharded RSM end-to-end smoke: a loopback TCP cluster of bgla_node
+# rsm-replica processes, each multiplexing --shards GLA instances behind
+# its Router, driven by bgla_load closed-loop clients. Checked two ways:
+#   - bgla_load exits non-zero unless every client op completed; its JSON
+#     report carries the per-target-shard op/retry counters;
+#   - bgla_trace re-verifies the refinement bound PER SHARD over the
+#     .shard<k> trace files every node wrote next to its own.
+#
+# usage: shard_e2e.sh NODE_BIN LOAD_BIN TRACE_BIN WORKDIR N F SHARDS CLIENTS OPS
+set -eu
+
+NODE=$1
+LOAD=$2
+TRACE=$3
+WORKDIR=$4
+N=$5
+F=$6
+SHARDS=$7
+CLIENTS=$8
+OPS=$9
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+
+# Loopback topology: replica ids 0..N-1, client ids N..N+CLIENTS-1. The
+# PID-derived base port is cheap collision avoidance between CI runners.
+BASE=$(( 9500 + $$ % 400 ))
+TOTAL=$(( N + CLIENTS ))
+: > "$WORKDIR/topology.txt"
+i=0
+while [ "$i" -lt "$TOTAL" ]; do
+  echo "$i 127.0.0.1 $(( BASE + i ))" >> "$WORKDIR/topology.txt"
+  i=$(( i + 1 ))
+done
+
+PIDS=""
+i=0
+while [ "$i" -lt "$N" ]; do
+  "$NODE" --topology "$WORKDIR/topology.txt" --id "$i" \
+    --protocol rsm-replica --n "$N" --f "$F" --shards "$SHARDS" \
+    --data-dir "$WORKDIR/node$i" \
+    --trace-file "$WORKDIR/node$i.trace.jsonl" \
+    --run-ms 12000 --linger-ms 1000 > "$WORKDIR/node$i.log" 2>&1 &
+  PIDS="$PIDS $!"
+  i=$(( i + 1 ))
+done
+
+sleep 1
+"$LOAD" --topology "$WORKDIR/topology.txt" --n "$N" --f "$F" \
+  --clients "$CLIENTS" --ops "$OPS" --shards "$SHARDS" \
+  --run-ms 10000 --json "$WORKDIR/load.json"
+
+# Replicas serve until their deadline, then exit 0; any other status (or a
+# crash) fails the script here.
+for pid in $PIDS; do
+  wait "$pid"
+done
+
+# Per-node traces plus the per-shard .shard<k> files; bgla_trace groups by
+# the filename token and emits one refinement-bound verdict per shard.
+"$TRACE" --input "$WORKDIR/node*.trace.jsonl*"
