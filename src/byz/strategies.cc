@@ -1,5 +1,7 @@
 #include "byz/strategies.h"
 
+#include "lattice/set_elem.h"
+
 namespace bgla::byz {
 
 namespace {
@@ -197,6 +199,126 @@ void SbsDoubleSigner::on_message(ProcessId from, const sim::MessagePtr& msg) {
         la::SSafeAckMsg::signed_payload(m->set, conflicts, id()));
     send(from, std::make_shared<la::SSafeAckMsg>(m->set, conflicts, id(),
                                                  sig));
+  }
+}
+
+// ----------------------------------------- GsbsPartitionEquivocator --
+
+GsbsPartitionEquivocator::GsbsPartitionEquivocator(
+    net::Transport& net, ProcessId id, la::LaConfig cfg,
+    const crypto::SignatureAuthority& auth, std::uint64_t value_base,
+    std::uint64_t max_rounds)
+    : sim::Process(net, id),
+      cfg_(cfg),
+      auth_(auth),
+      signer_(auth.signer_for(id)),
+      value_base_(value_base),
+      max_rounds_(max_rounds) {}
+
+la::Elem GsbsPartitionEquivocator::value_for(ProcessId id,
+                                             std::uint64_t value_base,
+                                             std::uint64_t round,
+                                             bool second) {
+  return lattice::make_set(
+      {lattice::Item{id, value_base + 2 * round + (second ? 1 : 0), 1}});
+}
+
+la::Elem GsbsPartitionEquivocator::disclosed_join(ProcessId id,
+                                                  std::uint64_t value_base,
+                                                  std::uint64_t max_rounds) {
+  la::Elem acc;
+  for (std::uint64_t r = 0; r < max_rounds; ++r) {
+    acc = acc.join(value_for(id, value_base, r, false));
+    acc = acc.join(value_for(id, value_base, r, true));
+  }
+  return acc;
+}
+
+void GsbsPartitionEquivocator::equivocate(std::uint64_t round) {
+  if (round >= max_rounds_ || !done_rounds_.insert(round).second) return;
+  const auto m1 = std::make_shared<la::GSInitMsg>(la::make_signed_batch(
+      signer_, value_for(id(), value_base_, round, false), round));
+  const auto m2 = std::make_shared<la::GSInitMsg>(la::make_signed_batch(
+      signer_, value_for(id(), value_base_, round, true), round));
+  for (ProcessId to = 0; to < cfg_.n; ++to) {
+    if (to == id()) continue;
+    send(to, to < cfg_.n / 2 ? sim::MessagePtr(m1) : sim::MessagePtr(m2));
+  }
+}
+
+void GsbsPartitionEquivocator::on_start() { equivocate(0); }
+
+void GsbsPartitionEquivocator::on_message(ProcessId from,
+                                          const sim::MessagePtr& msg) {
+  if (const auto* m = dynamic_cast<const la::GSSafeReqMsg*>(msg.get())) {
+    equivocate(m->round);
+    const auto conflicts = m->set.conflicts(auth_);
+    const crypto::Signature sig = signer_.sign(la::GSSafeAckMsg::signed_payload(
+        m->set, conflicts, id(), m->round));
+    send(from, std::make_shared<la::GSSafeAckMsg>(m->set, conflicts, id(),
+                                                  m->round, sig));
+  } else if (const auto* m =
+                 dynamic_cast<const la::GSAckReqMsg*>(msg.get())) {
+    // Content-free yes: sign whatever was proposed, instantly. The quorum
+    // arithmetic (⌊(n+f)/2⌋+1) already budgets f such signatures.
+    equivocate(m->round);
+    const crypto::Digest fp = m->proposal.fingerprint();
+    const crypto::Signature sig = signer_.sign(
+        la::GSAckMsg::signed_payload(fp, from, m->ts, m->round));
+    send(from, std::make_shared<la::GSAckMsg>(fp, from, m->ts, m->round,
+                                              sig));
+  } else if (const auto* m =
+                 dynamic_cast<const la::GSDecidedMsg*>(msg.get())) {
+    equivocate(m->round + 1);  // chase the frontier into the next round
+  }
+}
+
+// -------------------------------------------- GsbsStaleCertReplayer --
+
+GsbsStaleCertReplayer::GsbsStaleCertReplayer(
+    net::Transport& net, ProcessId id, la::LaConfig cfg,
+    const crypto::SignatureAuthority& auth)
+    : sim::Process(net, id),
+      cfg_(cfg),
+      auth_(auth),
+      signer_(auth.signer_for(id)) {}
+
+void GsbsStaleCertReplayer::on_message(ProcessId from,
+                                       const sim::MessagePtr& msg) {
+  if (const auto* m = dynamic_cast<const la::GSDecidedMsg*>(msg.get())) {
+    // Hoard the OLDEST genuine certificate (a forged one would be
+    // discarded by the victim's well_formed check before doing any harm —
+    // replay is the attack, not forgery).
+    if ((!stale_round_ || m->round < *stale_round_) &&
+        m->well_formed(auth_, cfg_.quorum())) {
+      stale_round_ = m->round;
+      stale_cert_ = msg->encoded();
+    }
+  } else if (const auto* m =
+                 dynamic_cast<const la::CatchupReqMsg*>(msg.get())) {
+    // Race the honest repliers: an instant, duplicated answer carrying
+    // the stalest certificate we own and a rock-bottom frontier. The
+    // rejoiner must dedup us by sender and fold frontiers with max().
+    for (int copy = 0; copy < 3; ++copy) {
+      send(from, std::make_shared<la::CatchupRepMsg>(
+                     m->round, /*frontier=*/0, la::Elem(), la::Elem(),
+                     la::Elem(), stale_cert_));
+    }
+  } else if (const auto* m =
+                 dynamic_cast<const la::GSSafeReqMsg*>(msg.get())) {
+    // Honest-but-lazy acceptor: keep the cluster minting certificates.
+    const auto conflicts = m->set.conflicts(auth_);
+    const crypto::Signature sig = signer_.sign(la::GSSafeAckMsg::signed_payload(
+        m->set, conflicts, id(), m->round));
+    send(from, std::make_shared<la::GSSafeAckMsg>(m->set, conflicts, id(),
+                                                  m->round, sig));
+  } else if (const auto* m =
+                 dynamic_cast<const la::GSAckReqMsg*>(msg.get())) {
+    const crypto::Digest fp = m->proposal.fingerprint();
+    const crypto::Signature sig = signer_.sign(
+        la::GSAckMsg::signed_payload(fp, from, m->ts, m->round));
+    send(from, std::make_shared<la::GSAckMsg>(fp, from, m->ts, m->round,
+                                              sig));
   }
 }
 

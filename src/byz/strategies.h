@@ -30,10 +30,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <set>
 #include <vector>
 
 #include "bcast/bracha.h"
 #include "la/config.h"
+#include "la/gsbs_msgs.h"
 #include "la/messages.h"
 #include "la/sbs_msgs.h"
 #include "sim/network.h"
@@ -205,6 +208,82 @@ class SbsDoubleSigner : public sim::Process {
   const crypto::SignatureAuthority& auth_;
   crypto::Signer signer_;
   la::Elem v1_, v2_;
+};
+
+/// GSbS equivocate-under-partition: for every round it observes (up to
+/// `max_rounds`) it signs TWO conflicting round-bound batches and sends
+/// one to each half of the group — the WAN-partition attack where each
+/// side of a region split sees a different "disclosure" from the same
+/// signer. It otherwise plays a maximally helpful acceptor (honest
+/// safe-acks, instant yes-acks), so its conflicting batches actually
+/// reach conflict detection instead of being starved. Defense under test:
+/// batches_conflict / remove_conflicts plus the ⌊(n+f)/2⌋+1 certificate
+/// quorum (two certs for one round must share an honest acceptor).
+///
+/// Every value it ever sends is a deterministic function of
+/// (id, value_base, round), so a driver in another OS process can
+/// reconstruct the full byz-disclosed join offline (spec Non-Triviality:
+/// decisions ≤ ⊕(submissions ∪ B)) without any side channel.
+/// Default round cap for GsbsPartitionEquivocator. The cap is part of the
+/// strategy's deterministic contract: a driver reconstructing the
+/// byz-disclosed join in another OS process must use the same bound.
+inline constexpr std::uint64_t kGsbsEquivocatorRounds = 8;
+
+class GsbsPartitionEquivocator : public sim::Process {
+ public:
+  GsbsPartitionEquivocator(net::Transport& net, ProcessId id,
+                           la::LaConfig cfg,
+                           const crypto::SignatureAuthority& auth,
+                           std::uint64_t value_base,
+                           std::uint64_t max_rounds);
+
+  void on_start() override;
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+
+  /// The k-th (k ∈ {0,1}) equivocated value for `round`.
+  static la::Elem value_for(ProcessId id, std::uint64_t value_base,
+                            std::uint64_t round, bool second);
+  /// Join of every value the strategy can ever disclose — the offline
+  /// reconstruction of B for the spec checker.
+  static la::Elem disclosed_join(ProcessId id, std::uint64_t value_base,
+                                 std::uint64_t max_rounds);
+
+ private:
+  void equivocate(std::uint64_t round);
+
+  la::LaConfig cfg_;
+  const crypto::SignatureAuthority& auth_;
+  crypto::Signer signer_;
+  std::uint64_t value_base_;
+  std::uint64_t max_rounds_;
+  std::set<std::uint64_t> done_rounds_;
+};
+
+/// GSbS stale-certificate replayer targeting the type-70/71 rejoin: it
+/// remembers the OLDEST well-formed DECIDED certificate it ever saw and
+/// answers every CatchupReq instantly — duplicated — with that stale cert
+/// and a frontier of 0, racing ahead of honest repliers to drag the
+/// rejoiner's round back in time. Defenses under test: per-sender reply
+/// dedup, monotone max-folding of frontier/trusted_, and the fact that a
+/// round-bound certificate can never testify above its own round.
+/// It answers safe/ack requests like an honest-but-lazy acceptor so the
+/// cluster keeps producing the certificates it wants to replay.
+class GsbsStaleCertReplayer : public sim::Process {
+ public:
+  GsbsStaleCertReplayer(net::Transport& net, ProcessId id, la::LaConfig cfg,
+                        const crypto::SignatureAuthority& auth);
+
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+
+  bool has_stale_cert() const { return stale_round_.has_value(); }
+  std::uint64_t stale_round() const { return stale_round_.value_or(0); }
+
+ private:
+  la::LaConfig cfg_;
+  const crypto::SignatureAuthority& auth_;
+  crypto::Signer signer_;
+  std::optional<std::uint64_t> stale_round_;
+  Bytes stale_cert_;
 };
 
 /// SbS acceptor that reports fabricated conflicts in its safe_acks

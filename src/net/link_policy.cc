@@ -1,0 +1,280 @@
+#include "net/link_policy.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace bgla::net {
+
+namespace {
+
+std::uint64_t xorshift(std::uint64_t* state) {
+  std::uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *state = x;
+}
+
+double unit_double(std::uint64_t* state) {
+  return static_cast<double>(xorshift(state) >> 11) / 9007199254740992.0;
+}
+
+bool parse_u32(const std::string& s, std::uint32_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || v > 0xffffffffull) return false;
+  *out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool parse_prob(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0' || v < 0.0 || v > 1.0) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool parse_link_policy(const std::string& spec, LinkPolicy* out) {
+  LinkPolicy p;
+  if (spec == "off" || spec == "none" || spec.empty()) {
+    *out = p;
+    return true;
+  }
+  std::istringstream ss(spec);
+  std::string field;
+  while (std::getline(ss, field, ',')) {
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = field.substr(0, eq);
+    const std::string val = field.substr(eq + 1);
+    if (key == "lat" || key == "latency") {
+      if (!parse_u32(val, &p.latency_ms)) return false;
+    } else if (key == "jitter") {
+      if (!parse_u32(val, &p.jitter_ms)) return false;
+    } else if (key == "loss") {
+      if (!parse_prob(val, &p.loss_rate)) return false;
+    } else if (key == "bw" || key == "bandwidth") {
+      if (!parse_u32(val, &p.bandwidth_kbps)) return false;
+    } else if (key == "reorder") {
+      if (!parse_u32(val, &p.reorder_window)) return false;
+    } else if (key == "reorder_rate") {
+      if (!parse_prob(val, &p.reorder_rate)) return false;
+    } else {
+      return false;
+    }
+  }
+  // A reorder probability without a window (or vice versa) is a spec
+  // mistake the caller should hear about, not a silent no-op.
+  if ((p.reorder_rate > 0.0) != (p.reorder_window > 0)) return false;
+  *out = p;
+  return true;
+}
+
+std::string link_policy_to_string(const LinkPolicy& p) {
+  if (p.neutral()) return "off";
+  std::ostringstream os;
+  const char* sep = "";
+  const auto emit = [&](const std::string& kv) {
+    os << sep << kv;
+    sep = ",";
+  };
+  if (p.latency_ms != 0) emit("lat=" + std::to_string(p.latency_ms));
+  if (p.jitter_ms != 0) emit("jitter=" + std::to_string(p.jitter_ms));
+  if (p.loss_rate != 0.0) {
+    std::ostringstream lv;
+    lv << "loss=" << p.loss_rate;
+    emit(lv.str());
+  }
+  if (p.bandwidth_kbps != 0) emit("bw=" + std::to_string(p.bandwidth_kbps));
+  if (p.reorder_window != 0) {
+    emit("reorder=" + std::to_string(p.reorder_window));
+  }
+  if (p.reorder_rate != 0.0) {
+    std::ostringstream rv;
+    rv << "reorder_rate=" << p.reorder_rate;
+    emit(rv.str());
+  }
+  return os.str();
+}
+
+LinkPolicy LinkMatrix::policy_for(ProcessId from, ProcessId to) const {
+  LinkPolicy p;
+  for (const Rule& r : rules) {
+    if ((r.any_from || r.from == from) && (r.any_to || r.to == to)) {
+      p = r.policy;
+    }
+  }
+  return p;
+}
+
+bool parse_link_matrix(const std::string& text, LinkMatrix* out,
+                       std::string* err) {
+  LinkMatrix m;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string from_tok, to_tok, spec;
+    if (!(ls >> from_tok)) continue;  // blank / comment-only line
+    std::string trailing;
+    if (!(ls >> to_tok >> spec) || (ls >> trailing)) {
+      if (err != nullptr) {
+        *err = "line " + std::to_string(lineno) +
+               ": expected '<from> <to> <spec>'";
+      }
+      return false;
+    }
+    LinkMatrix::Rule r;
+    if (from_tok == "*") {
+      r.any_from = true;
+    } else if (!parse_u32(from_tok, &r.from)) {
+      if (err != nullptr) {
+        *err = "line " + std::to_string(lineno) + ": bad from id '" +
+               from_tok + "'";
+      }
+      return false;
+    }
+    if (to_tok == "*") {
+      r.any_to = true;
+    } else if (!parse_u32(to_tok, &r.to)) {
+      if (err != nullptr) {
+        *err = "line " + std::to_string(lineno) + ": bad to id '" + to_tok +
+               "'";
+      }
+      return false;
+    }
+    if (!parse_link_policy(spec, &r.policy)) {
+      if (err != nullptr) {
+        *err = "line " + std::to_string(lineno) + ": bad link spec '" +
+               spec + "'";
+      }
+      return false;
+    }
+    m.rules.push_back(std::move(r));
+  }
+  *out = std::move(m);
+  return true;
+}
+
+bool load_link_matrix(const std::string& path, LinkMatrix* out,
+                      std::string* err) {
+  std::ifstream in(path);
+  if (!in) {
+    if (err != nullptr) *err = "cannot open '" + path + "'";
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_link_matrix(text.str(), out, err);
+}
+
+// -------------------------------------------------------------- shaper --
+
+LinkShaper::LinkShaper(LinkPolicy base, std::uint64_t seed)
+    : base_(base), cur_(base), rng_(seed == 0 ? 1 : seed) {}
+
+LinkShaper::Decision LinkShaper::shape(std::size_t frame_bytes,
+                                       std::uint64_t now_us,
+                                       bool reorderable) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Decision d;
+  if (cur_.loss_rate > 0.0 && unit_double(&rng_) < cur_.loss_rate) {
+    d.drop = true;
+    ++drops_;
+    return d;
+  }
+  if (reorderable && cur_.reorder_window > 0 && cur_.reorder_rate > 0.0 &&
+      unit_double(&rng_) < cur_.reorder_rate) {
+    d.hold = true;
+    ++holds_;
+    return d;
+  }
+  std::uint64_t delay_us =
+      static_cast<std::uint64_t>(cur_.latency_ms) * 1000;
+  if (cur_.jitter_ms > 0) {
+    delay_us += xorshift(&rng_) %
+                (static_cast<std::uint64_t>(cur_.jitter_ms) * 1000 + 1);
+  }
+  if (cur_.bandwidth_kbps > 0) {
+    // Serialization onto the virtual wire: bits / (kbit/s) = ms. The
+    // busy-until clock makes back-to-back frames queue behind each other
+    // even when each is individually small.
+    const std::uint64_t ser_us =
+        static_cast<std::uint64_t>(frame_bytes) * 8 * 1000 /
+        cur_.bandwidth_kbps;
+    const std::uint64_t start = std::max(busy_until_us_, now_us);
+    busy_until_us_ = start + ser_us;
+    delay_us += (start - now_us) + ser_us;
+  }
+  if (delay_us > 0) {
+    ++delayed_frames_;
+    delay_us_total_ += delay_us;
+    d.delay_us = delay_us;
+  }
+  return d;
+}
+
+void LinkShaper::set_policy(const LinkPolicy& p) {
+  std::lock_guard<std::mutex> lk(mu_);
+  cur_ = p;
+}
+
+LinkPolicy LinkShaper::policy() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cur_;
+}
+
+LinkPolicy LinkShaper::base() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return base_;
+}
+
+void LinkShaper::heal() {
+  std::lock_guard<std::mutex> lk(mu_);
+  cur_ = base_;
+}
+
+std::uint64_t LinkShaper::drops() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return drops_;
+}
+std::uint64_t LinkShaper::holds() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return holds_;
+}
+std::uint64_t LinkShaper::delayed_frames() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return delayed_frames_;
+}
+std::uint64_t LinkShaper::delay_us_total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return delay_us_total_;
+}
+
+// ------------------------------------------------------- reorder buffer --
+
+bool ReorderBuffer::hold(Bytes frame) {
+  if (held_.size() >= window_) return false;
+  held_.push_back(std::move(frame));
+  return true;
+}
+
+std::vector<Bytes> ReorderBuffer::drain() {
+  std::vector<Bytes> out(held_.begin(), held_.end());
+  held_.clear();
+  return out;
+}
+
+}  // namespace bgla::net

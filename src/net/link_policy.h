@@ -1,0 +1,154 @@
+// Per-link network shaping for net::SocketTransport.
+//
+// A LinkPolicy describes one DIRECTED link (self -> peer): base latency,
+// uniform jitter, an independent per-frame loss probability, a bandwidth
+// cap that serializes frames onto a virtual wire, and a bounded reorder
+// window. Policies are loadable from a link-matrix file (one "<from> <to>
+// <spec>" rule per line, '*' wildcards, later rules win), so a loopback
+// cluster can emulate a multi-region WAN deployment deterministically:
+// every stream of shaping decisions is driven by a seeded xorshift
+// generator, never by wall-clock entropy or the OS scheduler.
+//
+// The shaping seam is LinkShaper::shape(): the transport asks it, per
+// outgoing frame, for a Decision {drop, hold, delay_us} and then executes
+// that decision in the writer thread (sleep + skip/write). Each link keeps
+// a BASE policy (the deployment's configured WAN matrix) and a CURRENT
+// policy (mutated at runtime by the chaos driver); heal() restores base,
+// not a neutral link — a WAN brownout heals back to being a WAN link.
+//
+// ReorderBuffer is the holdback queue behind the reorder window: a held
+// frame is written only after at least one later frame hit the wire, which
+// is genuine wire reordering (the receive-side dedup layer tolerates it —
+// delivery order is already unspecified in the §3 link model).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/ids.h"
+
+namespace bgla::net {
+
+struct LinkPolicy {
+  std::uint32_t latency_ms = 0;      // base one-way latency per frame
+  std::uint32_t jitter_ms = 0;       // extra uniform [0, jitter_ms]
+  double loss_rate = 0.0;            // P(drop) per frame
+  std::uint32_t bandwidth_kbps = 0;  // serialization cap; 0 = unlimited
+  std::uint32_t reorder_window = 0;  // max frames held back at once
+  double reorder_rate = 0.0;         // P(hold) per frame (needs window > 0)
+
+  bool neutral() const {
+    return latency_ms == 0 && jitter_ms == 0 && loss_rate == 0.0 &&
+           bandwidth_kbps == 0 && reorder_window == 0 &&
+           reorder_rate == 0.0;
+  }
+  bool operator==(const LinkPolicy&) const = default;
+};
+
+/// Parses "lat=25,jitter=10,loss=0.02,bw=256,reorder=4,reorder_rate=0.1"
+/// (any subset, any order; unset fields stay at their neutral defaults).
+/// "off" / "none" parse as the neutral policy. Returns false on garbage.
+bool parse_link_policy(const std::string& spec, LinkPolicy* out);
+
+/// Round-trips a policy back into parse_link_policy() syntax (logging).
+std::string link_policy_to_string(const LinkPolicy& p);
+
+/// Ordered rule list from a link-matrix file. Lines:
+///   <from> <to> <spec>     # '*' matches any id; later rules override
+/// Blank lines and '#' comments are skipped.
+struct LinkMatrix {
+  struct Rule {
+    bool any_from = false;
+    ProcessId from = kNoProcess;
+    bool any_to = false;
+    ProcessId to = kNoProcess;
+    LinkPolicy policy;
+  };
+  std::vector<Rule> rules;
+
+  /// Policy of the directed link from -> to (last matching rule; neutral
+  /// when nothing matches).
+  LinkPolicy policy_for(ProcessId from, ProcessId to) const;
+  bool empty() const { return rules.empty(); }
+};
+
+/// Parses a link-matrix file; on failure returns false and sets *err.
+bool load_link_matrix(const std::string& path, LinkMatrix* out,
+                      std::string* err);
+
+/// Parses link-matrix rules from an in-memory string (same grammar).
+bool parse_link_matrix(const std::string& text, LinkMatrix* out,
+                       std::string* err);
+
+/// Deterministic per-link decision stream. Thread-safe: the transport
+/// consults one shaper from its sender thread (DATA/HELLO) and its
+/// inbound threads (ACKs) concurrently.
+class LinkShaper {
+ public:
+  struct Decision {
+    bool drop = false;          // frame vanishes (retransmission recovers)
+    bool hold = false;          // absorb into the reorder holdback instead
+    std::uint64_t delay_us = 0; // sleep before the write
+  };
+
+  LinkShaper(LinkPolicy base, std::uint64_t seed);
+
+  /// One decision per frame. `now_us` drives the bandwidth virtual clock
+  /// (monotone per caller; the transport passes its now()). `reorderable`
+  /// marks frames eligible for holdback (DATA only — holding a HELLO or
+  /// an ACK would just stall the connection preamble).
+  Decision shape(std::size_t frame_bytes, std::uint64_t now_us,
+                 bool reorderable);
+
+  void set_policy(const LinkPolicy& p);
+  LinkPolicy policy() const;
+  LinkPolicy base() const;
+  /// Restores the base policy (the configured matrix, not a neutral link).
+  void heal();
+
+  // Shaping counters (exported via the transport's per-peer obs).
+  std::uint64_t drops() const;
+  std::uint64_t holds() const;
+  std::uint64_t delayed_frames() const;
+  std::uint64_t delay_us_total() const;
+
+ private:
+  mutable std::mutex mu_;
+  LinkPolicy base_;
+  LinkPolicy cur_;
+  std::uint64_t rng_;
+  std::uint64_t busy_until_us_ = 0;  // bandwidth serialization clock
+  std::uint64_t drops_ = 0;
+  std::uint64_t holds_ = 0;
+  std::uint64_t delayed_frames_ = 0;
+  std::uint64_t delay_us_total_ = 0;
+};
+
+/// Bounded FIFO of held frame bodies (the reorder window). Single-threaded
+/// by contract: only the owning sender thread touches it.
+class ReorderBuffer {
+ public:
+  explicit ReorderBuffer(std::uint32_t window) : window_(window) {}
+
+  /// Absorbs a frame; false = buffer full (caller must write it instead).
+  bool hold(Bytes frame);
+
+  /// Hands back every held frame in held order and clears the buffer —
+  /// called after a later frame hit the wire (that is the reordering), on
+  /// every retransmit tick, and on reconnect, so no frame starves.
+  std::vector<Bytes> drain();
+
+  std::size_t size() const { return held_.size(); }
+  std::uint32_t window() const { return window_; }
+  void set_window(std::uint32_t w) { window_ = w; }
+
+ private:
+  std::uint32_t window_;
+  std::deque<Bytes> held_;
+};
+
+}  // namespace bgla::net

@@ -30,14 +30,6 @@ constexpr std::uint8_t kAck = 2;
 // prefix, not a protocol message.
 constexpr std::uint32_t kMaxFrame = 1u << 24;
 
-std::uint64_t xorshift(std::uint64_t* state) {
-  std::uint64_t x = *state;
-  x ^= x << 13;
-  x ^= x >> 7;
-  x ^= x << 17;
-  return *state = x;
-}
-
 struct ParsedFrame {
   std::uint8_t kind = 0;
   ProcessId from = kNoProcess;
@@ -55,7 +47,6 @@ SocketTransport::SocketTransport(SocketConfig cfg)
       epoch_(std::chrono::steady_clock::now()) {
   BGLA_CHECK_MSG(cfg_.self < cfg_.num_processes,
                  "self id " << cfg_.self << " outside key space");
-  loss_rate_.store(cfg_.loss_rate);
   bool self_listed = false;
   for (const PeerAddr& p : cfg_.peers) {
     BGLA_CHECK_MSG(p.id < cfg_.num_processes,
@@ -64,9 +55,13 @@ SocketTransport::SocketTransport(SocketConfig cfg)
       self_listed = true;
     } else {
       auto ob = std::make_unique<Outbox>();
-      ob->loss_rng = cfg_.loss_seed ^ (0x9e3779b97f4a7c15ull * (p.id + 1)) ^
-                     (0x517cc1b727220a95ull * (cfg_.self + 1));
-      if (ob->loss_rng == 0) ob->loss_rng = 1;
+      LinkPolicy base = cfg_.link_matrix.policy_for(cfg_.self, p.id);
+      base.loss_rate = std::max(base.loss_rate, cfg_.loss_rate);
+      const std::uint64_t seed =
+          cfg_.loss_seed ^ (0x9e3779b97f4a7c15ull * (p.id + 1)) ^
+          (0x517cc1b727220a95ull * (cfg_.self + 1));
+      ob->shaper = std::make_unique<LinkShaper>(base, seed);
+      ob->holdback.set_window(base.reorder_window);
       outboxes_.emplace(p.id, std::move(ob));
     }
   }
@@ -126,6 +121,12 @@ void SocketTransport::set_observability(obs::Registry* registry,
     po.rtt_us = &registry->histogram("bgla_net_frame_rtt_us" + peer_label);
     po.backoff_attempts = &registry->gauge(
         "bgla_net_reconnect_backoff_attempts_total" + peer_label);
+    po.shaped_drops =
+        &registry->counter("bgla_net_shaped_drops_total" + peer_label);
+    po.shaped_delay_us =
+        &registry->counter("bgla_net_shaped_delay_us_total" + peer_label);
+    po.reorder_held =
+        &registry->counter("bgla_net_reorder_held_total" + peer_label);
     peer_obs_.emplace(id, po);
   }
 }
@@ -145,6 +146,47 @@ void SocketTransport::set_block_incoming(ProcessId from, bool blocked) {
     block_in_mask_.fetch_or(1ull << from);
   } else {
     block_in_mask_.fetch_and(~(1ull << from));
+  }
+}
+
+bool SocketTransport::blocked_out(ProcessId to) const {
+  return ((block_out_mask_.load(std::memory_order_relaxed) >> to) & 1) != 0;
+}
+
+void SocketTransport::set_link_policy(ProcessId to, const LinkPolicy& p) {
+  auto it = outboxes_.find(to);
+  BGLA_CHECK_MSG(it != outboxes_.end(), "set_link_policy: unknown peer "
+                                            << to);
+  it->second->shaper->set_policy(p);
+}
+
+void SocketTransport::set_all_links(const LinkPolicy& p) {
+  for (auto& [id, ob] : outboxes_) ob->shaper->set_policy(p);
+}
+
+void SocketTransport::heal_links() {
+  for (auto& [id, ob] : outboxes_) ob->shaper->heal();
+}
+
+LinkPolicy SocketTransport::link_policy(ProcessId to) const {
+  auto it = outboxes_.find(to);
+  BGLA_CHECK_MSG(it != outboxes_.end(), "link_policy: unknown peer " << to);
+  return it->second->shaper->policy();
+}
+
+void SocketTransport::set_loss_rate(double rate) {
+  for (auto& [id, ob] : outboxes_) {
+    LinkPolicy p = ob->shaper->policy();
+    p.loss_rate = rate;
+    ob->shaper->set_policy(p);
+  }
+}
+
+void SocketTransport::set_send_delay_ms(std::uint32_t ms) {
+  for (auto& [id, ob] : outboxes_) {
+    LinkPolicy p = ob->shaper->policy();
+    p.latency_ms = ms;
+    ob->shaper->set_policy(p);
   }
 }
 
@@ -274,21 +316,44 @@ int SocketTransport::dial(const PeerAddr& addr, Backoff& backoff,
   return -1;
 }
 
-bool SocketTransport::write_frame(int fd, const Bytes& body,
-                                  std::uint64_t* loss_rng, bool lossless) {
-  const double loss = loss_rate_.load(std::memory_order_relaxed);
-  if (!lossless && loss > 0.0 && loss_rng != nullptr) {
-    const double u =
-        static_cast<double>(xorshift(loss_rng) >> 11) / 9007199254740992.0;
-    if (u < loss) {
+bool SocketTransport::shaped_sleep(std::uint64_t delay_us) {
+  // Shaped delays sleep in short slices so stop() stays responsive even
+  // under second-scale WAN policies.
+  while (delay_us > 0 && running_.load()) {
+    const std::uint64_t slice = std::min<std::uint64_t>(delay_us, 50000);
+    std::this_thread::sleep_for(std::chrono::microseconds(slice));
+    delay_us -= slice;
+  }
+  return running_.load();
+}
+
+SocketTransport::WriteStatus SocketTransport::write_frame(int fd,
+                                                          const Bytes& body,
+                                                          ProcessId to,
+                                                          bool reorderable) {
+  auto ob_it = outboxes_.find(to);
+  LinkShaper* shaper =
+      ob_it == outboxes_.end() ? nullptr : ob_it->second->shaper.get();
+  if (shaper != nullptr) {
+    const LinkShaper::Decision d =
+        shaper->shape(body.size() + 4, now(), reorderable);
+    if (d.drop) {
       frames_dropped_.fetch_add(1);
-      return true;  // "sent" into the void; retransmission recovers it
+      auto po = peer_obs_.find(to);
+      if (po != peer_obs_.end()) po->second.shaped_drops->inc();
+      return WriteStatus::kShapedDrop;
+    }
+    if (d.hold) return WriteStatus::kHeld;
+    if (d.delay_us > 0) {
+      auto po = peer_obs_.find(to);
+      if (po != peer_obs_.end()) po->second.shaped_delay_us->inc(d.delay_us);
+      if (!shaped_sleep(d.delay_us)) return WriteStatus::kError;  // stopping
     }
   }
-  const std::uint32_t delay = send_delay_ms_.load(std::memory_order_relaxed);
-  if (!lossless && delay > 0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
-  }
+  return write_raw(fd, body) ? WriteStatus::kOk : WriteStatus::kError;
+}
+
+bool SocketTransport::write_raw(int fd, const Bytes& body) {
   std::uint8_t hdr[4] = {
       static_cast<std::uint8_t>(body.size() >> 24),
       static_cast<std::uint8_t>(body.size() >> 16),
@@ -306,6 +371,32 @@ bool SocketTransport::write_frame(int fd, const Bytes& body,
       return false;
     }
     off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool SocketTransport::send_shaped_data(int fd, Outbox& ob, ProcessId to,
+                                       const Bytes& body, bool* wrote) {
+  WriteStatus st = write_frame(fd, body, to, /*reorderable=*/true);
+  if (st == WriteStatus::kHeld) {
+    ob.holdback.set_window(ob.shaper->policy().reorder_window);
+    if (ob.holdback.hold(body)) {
+      auto po = peer_obs_.find(to);
+      if (po != peer_obs_.end()) po->second.reorder_held->inc();
+      return true;  // absorbed; a later write (or tick) drains it
+    }
+    // Window full: the frame goes out now, after everything already held
+    // was decided before it — still a reordering, just a bounded one.
+    st = write_frame(fd, body, to, /*reorderable=*/false);
+  }
+  if (st == WriteStatus::kOk) *wrote = true;
+  return st != WriteStatus::kError;
+}
+
+bool SocketTransport::flush_holdback(int fd, Outbox& ob, ProcessId to) {
+  for (Bytes& body : ob.holdback.drain()) {
+    const WriteStatus st = write_frame(fd, body, to, /*reorderable=*/false);
+    if (st == WriteStatus::kError) return false;
   }
   return true;
 }
@@ -402,10 +493,6 @@ void SocketTransport::accept_loop() {
 
 void SocketTransport::inbound_loop(int fd) {
   ProcessId from = kNoProcess;
-  std::uint64_t ack_loss_rng =
-      cfg_.loss_seed ^ (0xd1b54a32d192ed03ull * (cfg_.self + 1)) ^
-      static_cast<std::uint64_t>(fd);
-  if (ack_loss_rng == 0) ack_loss_rng = 1;
 
   while (running_.load()) {
     std::optional<Bytes> body = read_frame(fd);
@@ -465,8 +552,14 @@ void SocketTransport::inbound_loop(int fd) {
         0) {
       continue;  // chaos: outbound direction blocked — swallow the ack too
     }
+    // The ACK travels the self -> from link, so it shares that link's
+    // shaper (loss, latency, bandwidth) with our DATA stream to the same
+    // peer; a shaped-away ACK is recovered by the peer's retransmit.
     const Bytes ack = build_frame(kAck, from, f->seq, {});
-    if (!write_frame(fd, ack, &ack_loss_rng, /*lossless=*/false)) break;
+    if (write_frame(fd, ack, from, /*reorderable=*/false) ==
+        WriteStatus::kError) {
+      break;
+    }
   }
 
   {
@@ -499,12 +592,21 @@ void SocketTransport::sender_loop(ProcessId to) {
       std::lock_guard<std::mutex> lk(ob.mu);
       ob.fd = -1;
     }
+    // Held frames are still in unacked; they go out on reconnect.
+    ob.holdback.drain();
     ::close(fd);
     fd = -1;
   };
 
   while (running_.load()) {
     if (fd < 0) {
+      // A blocked direction also blocks dialing: otherwise a partition
+      // injected while the connection happened to be down would be healed
+      // by the reconnect race (the old global-knob bug).
+      if (blocked_out(to)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
       fd = dial(addr, backoff, po == nullptr ? nullptr : po->backoff_attempts);
       if (fd < 0) break;  // stopping
       if (connected_before && obs_reconnects_ != nullptr) {
@@ -512,38 +614,52 @@ void SocketTransport::sender_loop(ProcessId to) {
       }
       connected_before = true;
       // The HELLO's seq field carries our incarnation (see SocketConfig).
-      if (!write_frame(fd, build_frame(kHello, to, cfg_.incarnation, {}),
-                       nullptr,
-                       /*lossless=*/true)) {
+      // It is shaped like every other frame on the link: a lossy link can
+      // eat it, and then THIS side tears the connection down and redials —
+      // a reconnect never slips frames past the link policy.
+      const WriteStatus hs = write_frame(
+          fd, build_frame(kHello, to, cfg_.incarnation, {}), to,
+          /*reorderable=*/false);
+      if (hs != WriteStatus::kOk) {
         ::close(fd);
         fd = -1;
+        if (hs == WriteStatus::kShapedDrop) {
+          shaped_sleep(std::uint64_t{cfg_.retransmit_every_ms} * 1000);
+        }
         continue;
       }
-      bool ok = true;
+      // Fresh connection: everything unacknowledged goes out again
+      // (unless the chaos driver has this direction blocked — then the
+      // frames stay queued and a later retransmit tick sends them).
+      // Bodies are copied out so shaped writes (which may sleep for the
+      // link latency) never happen under the outbox lock.
+      std::vector<Bytes> resend;
+      std::uint64_t resent = 0;
       {
         std::lock_guard<std::mutex> lk(ob.mu);
         ob.fd = fd;
-        // Fresh connection: everything unacknowledged goes out again
-        // (unless the chaos driver has this direction blocked — then the
-        // frames stay queued and a later retransmit tick sends them).
-        if (((block_out_mask_.load(std::memory_order_relaxed) >> to) & 1) ==
-            0) {
-          std::uint64_t resent = 0;
+        if (!blocked_out(to)) {
           for (const auto& [seq, frame] : ob.unacked) {
-            if (!write_frame(fd, frame.body, &ob.loss_rng, false)) {
-              ok = false;
-              break;
-            }
+            resend.push_back(frame.body);
             if (seq < ob.next_unsent) ++resent;
           }
-          if (po != nullptr && resent > 0) po->retransmits->inc(resent);
         }
         ob.next_unsent = ob.next_seq;
       }
+      bool ok = true;
+      bool wrote = false;
+      for (const Bytes& body : resend) {
+        if (!send_shaped_data(fd, ob, to, body, &wrote)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && wrote) ok = flush_holdback(fd, ob, to);
       if (!ok) {
         drop_connection();
         continue;
       }
+      if (po != nullptr && resent > 0) po->retransmits->inc(resent);
     }
 
     pollfd fds[2] = {{fd, POLLIN, 0}, {ob.wake_pipe[0], POLLIN, 0}};
@@ -580,23 +696,34 @@ void SocketTransport::sender_loop(ProcessId to) {
       dead = true;
     }
 
-    if (!dead &&
-        ((block_out_mask_.load(std::memory_order_relaxed) >> to) & 1) == 0) {
+    if (!dead && !blocked_out(to)) {
       std::uint64_t resent = 0;
+      std::vector<Bytes> to_write;
       {
         std::lock_guard<std::mutex> lk(ob.mu);
         // Timeout tick: retransmit everything unacknowledged. Wake: flush
-        // only frames that never hit the wire.
+        // only frames that never hit the wire. Bodies are copied out so
+        // shaped writes never sleep under the outbox lock (send() callers
+        // would stall for the link latency otherwise).
         auto it = (pr == 0) ? ob.unacked.begin()
                             : ob.unacked.lower_bound(ob.next_unsent);
         for (; it != ob.unacked.end(); ++it) {
-          if (!write_frame(fd, it->second.body, &ob.loss_rng, false)) {
-            dead = true;
-            break;
-          }
+          to_write.push_back(it->second.body);
           if (it->first < ob.next_unsent) ++resent;
         }
         ob.next_unsent = ob.next_seq;
+      }
+      bool wrote = false;
+      for (const Bytes& body : to_write) {
+        if (!send_shaped_data(fd, ob, to, body, &wrote)) {
+          dead = true;
+          break;
+        }
+      }
+      // The holdback drains once a later frame hit the wire (that IS the
+      // reordering) and on every retransmit tick, so no frame starves.
+      if (!dead && (wrote || pr == 0) && !flush_holdback(fd, ob, to)) {
+        dead = true;
       }
       if (resent > 0) {
         if (po != nullptr) po->retransmits->inc(resent);

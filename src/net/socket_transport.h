@@ -21,8 +21,18 @@
 // (contiguous watermark + sparse seen-set) before dispatching. Message
 // loss and duplication are therefore tolerated; delivery order is NOT
 // guaranteed — exactly the asynchronous reliable-link model the protocols
-// assume. A `loss_rate` knob drops outgoing DATA/ACK frames to exercise
-// this machinery in tests.
+// assume.
+//
+// Link shaping: every outgoing directed link (self -> peer) carries a
+// LinkPolicy (latency, jitter, loss, bandwidth cap, reorder window; see
+// net/link_policy.h) with deterministic seeded decision streams. The base
+// matrix comes from SocketConfig::link_matrix (a WAN emulation loaded from
+// a link-matrix file); the chaos driver mutates the CURRENT policy per
+// link at runtime and heal_links() restores the base matrix. Shaping
+// covers EVERY write on the link — DATA, ACK and the HELLO/reconnect
+// preamble — so an injected partition or loss burst cannot be pierced by
+// a lucky reconnect race (a shaped-away HELLO closes the socket and
+// redials under backoff).
 //
 // Topology: every ordered pair (a, b) uses one TCP connection, dialed by
 // a. The dialer sends a signed HELLO, then its DATA frames; the acceptor
@@ -58,6 +68,7 @@
 #include <vector>
 
 #include "crypto/signature.h"
+#include "net/link_policy.h"
 #include "net/transport.h"
 #include "sim/message.h"
 #include "util/bytes.h"
@@ -91,8 +102,13 @@ struct SocketConfig {
   std::uint32_t connect_retry_max_ms = 2000;
   double connect_retry_factor = 2.0;
   double connect_retry_jitter = 0.2;
-  double loss_rate = 0.0;      // P(drop) per DATA/ACK write
+  // Uniform loss shorthand: folded into every outgoing link's base policy
+  // (max with any matrix-specified loss). Prefer link_matrix for new code.
+  double loss_rate = 0.0;
   std::uint64_t loss_seed = 1;  // deterministic loss + jitter streams
+  // Per-link base policies (self -> peer); the WAN emulation. Links not
+  // matched by any rule stay neutral. heal_links() restores this matrix.
+  LinkMatrix link_matrix;
   // Monotone per-node restart counter, carried in the HELLO frame. A
   // receiver seeing a higher incarnation from a peer resets that peer's
   // dedup state: the restarted sender's sequence numbers begin again at
@@ -143,7 +159,7 @@ class SocketTransport final : public Transport {
     return std::unique_lock<std::mutex>(dispatch_mu_);
   }
 
-  /// Frames dropped by the injected-loss knob (testing aid).
+  /// Frames dropped by link shaping (loss policies; testing aid).
   std::uint64_t frames_dropped() const { return frames_dropped_.load(); }
   /// Duplicate DATA frames suppressed by receive-side dedup.
   std::uint64_t dups_suppressed() const { return dups_suppressed_.load(); }
@@ -155,13 +171,24 @@ class SocketTransport final : public Transport {
   void set_observability(obs::Registry* registry, obs::TraceWriter* trace);
 
   // -- Runtime chaos knobs (thread-safe; used by the nemesis driver).
-  //    Blocking a peer silences DATA/ACK frames in that direction only —
-  //    the perfect-link retransmission machinery heals once unblocked, so
-  //    these model asymmetric partitions, not crashes.
-  void set_loss_rate(double rate) { loss_rate_.store(rate); }
-  void set_send_delay_ms(std::uint32_t ms) { send_delay_ms_.store(ms); }
+  //    Blocking a peer silences every frame in that direction — including
+  //    HELLO, so a blocked link cannot be pierced by a reconnect race —
+  //    while the perfect-link retransmission machinery heals once
+  //    unblocked: these model asymmetric partitions, not crashes.
   void set_block_outgoing(ProcessId to, bool blocked);
   void set_block_incoming(ProcessId from, bool blocked);
+
+  // -- Per-link shaping (thread-safe). set_link_policy mutates the CURRENT
+  //    policy of one outgoing link; set_all_links every link; heal_links
+  //    restores the configured base matrix (not neutral). Legacy wrappers
+  //    set_loss_rate / set_send_delay_ms rewrite that one field across all
+  //    links' current policies, preserving the old global-knob semantics.
+  void set_link_policy(ProcessId to, const LinkPolicy& p);
+  void set_all_links(const LinkPolicy& p);
+  void heal_links();
+  LinkPolicy link_policy(ProcessId to) const;
+  void set_loss_rate(double rate);
+  void set_send_delay_ms(std::uint32_t ms);
 
  private:
   struct UnackedFrame {
@@ -176,7 +203,12 @@ class SocketTransport final : public Transport {
     std::uint64_t next_unsent = 0;  // frames >= this never hit the wire yet
     int fd = -1;           // current outgoing socket (sender thread's own)
     int wake_pipe[2] = {-1, -1};  // send()/stop() poke the sender thread
-    std::uint64_t loss_rng = 0;
+    // Shaping state for this directed link. The shaper is internally
+    // locked (consulted by the sender thread for DATA/HELLO and by
+    // inbound threads for ACKs); the holdback buffer is the sender
+    // thread's alone.
+    std::unique_ptr<LinkShaper> shaper;
+    ReorderBuffer holdback{0};
   };
   struct DedupState {  // per sender
     std::uint64_t contiguous = 0;  // every seq < contiguous was delivered
@@ -194,13 +226,38 @@ class SocketTransport final : public Transport {
     obs::Counter* dups = nullptr;
     obs::Histogram* rtt_us = nullptr;
     obs::Gauge* backoff_attempts = nullptr;
+    obs::Counter* shaped_drops = nullptr;
+    obs::Counter* shaped_delay_us = nullptr;
+    obs::Counter* reorder_held = nullptr;
+  };
+
+  enum class WriteStatus {
+    kOk,          // frame hit the wire
+    kShapedDrop,  // link shaping ate it (connection stays healthy)
+    kHeld,        // reorder window absorbed it (caller owns the holdback)
+    kError,       // socket write failed — connection is dead
   };
 
   const PeerAddr& peer(ProcessId id) const;
   Bytes build_frame(std::uint8_t kind, ProcessId to, std::uint64_t seq,
                     BytesView payload) const;
-  bool write_frame(int fd, const Bytes& body, std::uint64_t* loss_rng,
-                   bool lossless);
+  /// Shapes (per the self->to link policy) and writes one frame. Every
+  /// write on a link goes through here — HELLO and ACK included — with
+  /// `reorderable` true only for DATA frames from the sender thread.
+  WriteStatus write_frame(int fd, const Bytes& body, ProcessId to,
+                          bool reorderable);
+  bool write_raw(int fd, const Bytes& body);
+  /// True while the given delay elapses; false if stopped meanwhile.
+  bool shaped_sleep(std::uint64_t delay_us);
+  /// Writes every frame currently in the holdback buffer (sender thread
+  /// only). Returns false when the connection died mid-drain.
+  bool flush_holdback(int fd, Outbox& ob, ProcessId to);
+  /// DATA write with reorder-holdback handling (sender thread only).
+  /// Returns false only on a dead connection; *wrote reports whether a
+  /// frame actually hit the wire (drain trigger for the holdback).
+  bool send_shaped_data(int fd, Outbox& ob, ProcessId to, const Bytes& body,
+                        bool* wrote);
+  bool blocked_out(ProcessId to) const;
   std::optional<Bytes> read_frame(int fd);
   int dial(const PeerAddr& addr, class Backoff& backoff,
            obs::Gauge* attempts_gauge);
@@ -247,9 +304,8 @@ class SocketTransport final : public Transport {
   obs::Counter* obs_reconnects_ = nullptr;
 
   // Chaos knobs (peer-id bitmasks; ids are bounded by the 64-process
-  // deployments the tools drive — enforced in the setters).
-  std::atomic<double> loss_rate_{0.0};
-  std::atomic<std::uint32_t> send_delay_ms_{0};
+  // deployments the tools drive — enforced in the setters). Loss and
+  // delay live in the per-link shapers inside each Outbox.
   std::atomic<std::uint64_t> block_out_mask_{0};
   std::atomic<std::uint64_t> block_in_mask_{0};
 

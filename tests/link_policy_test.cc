@@ -1,0 +1,259 @@
+// Unit and property tests for the per-peer link-shaping seam
+// (src/net/link_policy.h): the policy-spec / matrix-file parsers, the
+// LinkShaper's deterministic seeded decision stream, its jitter and
+// bandwidth bounds, and the ReorderBuffer window invariant.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/link_policy.h"
+
+namespace bgla::net {
+namespace {
+
+// ---------------------------------------------------------------- parsing --
+
+TEST(LinkPolicyParse, NeutralSpellings) {
+  for (const char* spec : {"", "off", "none"}) {
+    LinkPolicy p;
+    p.latency_ms = 99;  // must be overwritten
+    ASSERT_TRUE(parse_link_policy(spec, &p)) << spec;
+    EXPECT_TRUE(p.neutral()) << spec;
+    EXPECT_EQ(p, LinkPolicy{}) << spec;
+  }
+}
+
+TEST(LinkPolicyParse, FullSpecRoundTrips) {
+  LinkPolicy p;
+  ASSERT_TRUE(parse_link_policy(
+      "lat=25,jitter=10,loss=0.02,bw=256,reorder=4,reorder_rate=0.1", &p));
+  EXPECT_EQ(p.latency_ms, 25u);
+  EXPECT_EQ(p.jitter_ms, 10u);
+  EXPECT_DOUBLE_EQ(p.loss_rate, 0.02);
+  EXPECT_EQ(p.bandwidth_kbps, 256u);
+  EXPECT_EQ(p.reorder_window, 4u);
+  EXPECT_DOUBLE_EQ(p.reorder_rate, 0.1);
+
+  LinkPolicy q;
+  ASSERT_TRUE(parse_link_policy(link_policy_to_string(p), &q));
+  EXPECT_EQ(p, q);
+}
+
+TEST(LinkPolicyParse, RejectsGarbage) {
+  LinkPolicy p;
+  EXPECT_FALSE(parse_link_policy("lat=", &p));
+  EXPECT_FALSE(parse_link_policy("unknown=3", &p));
+  EXPECT_FALSE(parse_link_policy("loss=1.5", &p));
+  EXPECT_FALSE(parse_link_policy("loss=-0.1", &p));
+  // Reordering needs BOTH a window and a rate.
+  EXPECT_FALSE(parse_link_policy("reorder=4", &p));
+  EXPECT_FALSE(parse_link_policy("reorder_rate=0.5", &p));
+}
+
+TEST(LinkMatrix, LastMatchWinsAndWildcards) {
+  LinkMatrix m;
+  std::string err;
+  ASSERT_TRUE(parse_link_matrix("# comment\n"
+                                "* * lat=5\n"
+                                "0 * lat=10\n"
+                                "0 2 lat=20,loss=0.5\n",
+                                &m, &err))
+      << err;
+  EXPECT_EQ(m.policy_for(1, 2).latency_ms, 5u);   // * *
+  EXPECT_EQ(m.policy_for(0, 1).latency_ms, 10u);  // 0 *
+  EXPECT_EQ(m.policy_for(0, 2).latency_ms, 20u);  // exact pair
+  EXPECT_DOUBLE_EQ(m.policy_for(0, 2).loss_rate, 0.5);
+}
+
+TEST(LinkMatrix, BadLineReportsLineNumber) {
+  LinkMatrix m;
+  std::string err;
+  EXPECT_FALSE(parse_link_matrix("* * lat=5\n0 1 lat=\n", &m, &err));
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
+// ------------------------------------------------------------- the shaper --
+
+LinkPolicy wan_policy() {
+  LinkPolicy p;
+  p.latency_ms = 5;
+  p.jitter_ms = 3;
+  p.loss_rate = 0.1;
+  return p;
+}
+
+/// Same policy + same seed => byte-identical decision stream. This is the
+/// property that makes chaos campaigns replayable.
+TEST(LinkShaper, SameSeedSameDecisions) {
+  LinkShaper s1(wan_policy(), /*seed=*/7);
+  LinkShaper s2(wan_policy(), /*seed=*/7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t now = 1000ull * i;
+    const LinkShaper::Decision d1 = s1.shape(128, now, /*reorderable=*/false);
+    const LinkShaper::Decision d2 = s2.shape(128, now, /*reorderable=*/false);
+    EXPECT_EQ(d1.drop, d2.drop) << i;
+    EXPECT_EQ(d1.delay_us, d2.delay_us) << i;
+  }
+}
+
+TEST(LinkShaper, DifferentSeedsDiverge) {
+  LinkShaper s1(wan_policy(), 7);
+  LinkShaper s2(wan_policy(), 8);
+  bool diverged = false;
+  for (int i = 0; i < 1000 && !diverged; ++i) {
+    const std::uint64_t now = 1000ull * i;
+    const LinkShaper::Decision d1 = s1.shape(128, now, false);
+    const LinkShaper::Decision d2 = s2.shape(128, now, false);
+    diverged = d1.drop != d2.drop || d1.delay_us != d2.delay_us;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+/// Property: with latency L and jitter J (and no bandwidth cap), every
+/// non-dropped frame's delay lies in [L, L+J] milliseconds.
+TEST(LinkShaper, JitterBounds) {
+  LinkPolicy p;
+  p.latency_ms = 10;
+  p.jitter_ms = 4;
+  LinkShaper s(p, 42);
+  bool saw_above_floor = false;
+  for (int i = 0; i < 2000; ++i) {
+    const LinkShaper::Decision d = s.shape(64, 1000ull * i, false);
+    ASSERT_FALSE(d.drop);
+    ASSERT_FALSE(d.hold);
+    EXPECT_GE(d.delay_us, 10000u) << i;
+    EXPECT_LE(d.delay_us, 14000u) << i;
+    saw_above_floor = saw_above_floor || d.delay_us > 10000u;
+  }
+  EXPECT_TRUE(saw_above_floor);  // jitter actually applied
+}
+
+TEST(LinkShaper, NeutralPolicyIsTransparent) {
+  LinkShaper s(LinkPolicy{}, 1);
+  for (int i = 0; i < 100; ++i) {
+    const LinkShaper::Decision d = s.shape(1500, 1000ull * i, true);
+    EXPECT_FALSE(d.drop);
+    EXPECT_FALSE(d.hold);
+    EXPECT_EQ(d.delay_us, 0u);
+  }
+  EXPECT_EQ(s.drops(), 0u);
+}
+
+/// Loss frequency over a long stream tracks the configured rate (seeded,
+/// so this is deterministic — no flaky tolerance needed beyond the fixed
+/// stream's own deviation).
+TEST(LinkShaper, LossRateTracksPolicy) {
+  LinkPolicy p;
+  p.loss_rate = 0.25;
+  LinkShaper s(p, 1234);
+  const int kFrames = 20000;
+  int dropped = 0;
+  for (int i = 0; i < kFrames; ++i) {
+    if (s.shape(64, 1000ull * i, false).drop) ++dropped;
+  }
+  const double rate = static_cast<double>(dropped) / kFrames;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+  EXPECT_EQ(s.drops(), static_cast<std::uint64_t>(dropped));
+}
+
+/// Bandwidth serialization: frames arriving faster than the cap queue up
+/// behind busy_until, so per-frame delay grows linearly with the backlog.
+TEST(LinkShaper, BandwidthCapSerializes) {
+  LinkPolicy p;
+  p.bandwidth_kbps = 8;  // 1000 bytes/sec: a 1000-byte frame takes 1s
+  LinkShaper s(p, 1);
+  // Three frames at the same instant: delays stack 1s, 2s, 3s.
+  const LinkShaper::Decision d1 = s.shape(1000, 0, false);
+  const LinkShaper::Decision d2 = s.shape(1000, 0, false);
+  const LinkShaper::Decision d3 = s.shape(1000, 0, false);
+  EXPECT_EQ(d1.delay_us, 1000000u);
+  EXPECT_EQ(d2.delay_us, 2000000u);
+  EXPECT_EQ(d3.delay_us, 3000000u);
+  // After the line idles past the backlog, delay resets to one frame.
+  const LinkShaper::Decision d4 = s.shape(1000, 10000000, false);
+  EXPECT_EQ(d4.delay_us, 1000000u);
+}
+
+/// Only reorderable (DATA) frames may be held; HELLO/ACK never are.
+TEST(LinkShaper, HoldsOnlyReorderableFrames) {
+  LinkPolicy p;
+  p.reorder_window = 4;
+  p.reorder_rate = 1.0;  // hold every eligible frame
+  LinkShaper s(p, 9);
+  EXPECT_TRUE(s.shape(64, 0, /*reorderable=*/true).hold);
+  EXPECT_FALSE(s.shape(64, 0, /*reorderable=*/false).hold);
+}
+
+/// Runtime mutation: set_policy changes behaviour immediately, heal()
+/// restores the BASE policy (the WAN matrix), not a neutral link.
+TEST(LinkShaper, HealRestoresBasePolicy) {
+  LinkPolicy base;
+  base.latency_ms = 7;
+  LinkShaper s(base, 3);
+  LinkPolicy storm = base;
+  storm.loss_rate = 1.0;
+  s.set_policy(storm);
+  EXPECT_TRUE(s.shape(64, 0, false).drop);
+  s.heal();
+  const LinkShaper::Decision d = s.shape(64, 0, false);
+  EXPECT_FALSE(d.drop);
+  EXPECT_EQ(d.delay_us, 7000u);
+  EXPECT_EQ(s.policy(), base);
+}
+
+// --------------------------------------------------------- reorder buffer --
+
+/// Property: for any sequence of holds and drains, (a) the buffer never
+/// holds more than `window` frames — hold() refuses beyond that, which is
+/// what forces the transport to send the frame straight through — and
+/// (b) every held frame comes back out exactly once, so shaping can delay
+/// or reorder DATA but never lose it.
+TEST(ReorderBuffer, WindowBoundAndNoLoss) {
+  ReorderBuffer buf(/*window=*/3);
+  std::uint64_t rng = 0x1234567;
+  std::vector<std::uint32_t> put, got;
+  std::uint32_t next = 0;
+  for (int step = 0; step < 5000; ++step) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    if (rng % 3 != 0) {
+      Bytes frame = {static_cast<std::uint8_t>(next >> 8),
+                     static_cast<std::uint8_t>(next & 0xff)};
+      if (buf.hold(std::move(frame))) put.push_back(next);
+      ++next;
+      ASSERT_LE(buf.size(), buf.window());
+    } else {
+      for (const Bytes& b : buf.drain()) {
+        got.push_back((static_cast<std::uint32_t>(b[0]) << 8) | b[1]);
+      }
+    }
+  }
+  for (const Bytes& b : buf.drain()) {
+    got.push_back((static_cast<std::uint32_t>(b[0]) << 8) | b[1]);
+  }
+  EXPECT_EQ(got, put);  // drain preserves hold order and loses nothing
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(ReorderBuffer, ZeroWindowNeverHolds) {
+  ReorderBuffer buf(0);
+  EXPECT_FALSE(buf.hold(Bytes{1, 2, 3}));
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(ReorderBuffer, SetWindowShrinksFutureHoldsOnly) {
+  ReorderBuffer buf(4);
+  for (std::uint8_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(buf.hold(Bytes{i}));
+  }
+  buf.set_window(1);
+  EXPECT_FALSE(buf.hold(Bytes{9}));   // over the new window
+  EXPECT_EQ(buf.drain().size(), 4u);  // existing frames still all drain
+}
+
+}  // namespace
+}  // namespace bgla::net

@@ -25,9 +25,27 @@
 // the shard its command hashes to (the same FNV routing the cluster's
 // Routers apply), so a hot or wedged shard is visible as its own
 // retry/incomplete column rather than smeared into one aggregate.
+//
+// Live-mode key skew (--key-dist): update operands are drawn from
+//   seq           unique per (client, op) — the old behavior (default)
+//   uniform       uniformly from [0, --keys)
+//   zipf:<s>      rank r with weight 1/r^s over --keys ranks (seeded)
+//
+// Open-loop mode (--arrival-rate R): instead of each client running its
+// script back to back, a pacer injects R ops/sec (aggregate, round-robin
+// across clients) REGARDLESS of completions — the canonical overload
+// generator. Each client's uncompleted backlog is bounded by
+// --queue-cap: an arrival that would exceed it is SHED and counted,
+// never silently dropped. Completions still count SubmitNack
+// backpressure retries per shard, so an overloaded cluster shows up as
+// (a) shed arrivals at the generator and (b) nack-retries at the
+// replicas, separately attributed.
 // Every process of a deployment must share --seed (channel HMAC keys).
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
+#include <cstdlib>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -69,6 +87,10 @@ struct Args {
   std::uint32_t ops = 32;
   std::uint32_t run_ms = 30000;
   std::uint32_t shards = 1;
+  std::string key_dist = "seq";   // seq | uniform | zipf:<s>
+  std::uint32_t keys = 64;        // key-space size for uniform/zipf
+  double arrival_rate = 0.0;      // >0: open-loop ops/sec (aggregate)
+  std::uint32_t queue_cap = 16;   // open-loop per-client backlog bound
 };
 
 Args parse(int argc, char** argv) {
@@ -95,10 +117,93 @@ Args parse(int argc, char** argv) {
   flags.add_u32("run-ms", &a.run_ms, "live: overall deadline");
   flags.add_u32("shards", &a.shards,
                 "live: cluster shard count, for per-shard op attribution");
+  flags.add_string("key-dist", &a.key_dist,
+                   "live: update-operand distribution: seq | uniform | "
+                   "zipf:<s>");
+  flags.add_u32("keys", &a.keys,
+                "live: key-space size for uniform/zipf operands");
+  flags.add_double("arrival-rate", &a.arrival_rate,
+                   "live: open-loop aggregate arrival rate in ops/sec "
+                   "(0 = closed-loop scripts)");
+  flags.add_u32("queue-cap", &a.queue_cap,
+                "open-loop: max uncompleted backlog per client before an "
+                "arrival is shed (0 = unbounded)");
   flags.parse_or_exit(argc, argv);
   if (a.shards == 0) flags.fail("--shards must be at least 1");
+  if (a.keys == 0) flags.fail("--keys must be at least 1");
+  if (a.key_dist != "seq" && a.key_dist != "uniform") {
+    bool zipf_ok = false;
+    if (a.key_dist.rfind("zipf:", 0) == 0) {
+      const std::string s = a.key_dist.substr(5);
+      char* end = nullptr;
+      const double exp = std::strtod(s.c_str(), &end);
+      zipf_ok = !s.empty() && end == s.c_str() + s.size() &&
+                std::isfinite(exp) && exp > 0.0;
+    }
+    if (!zipf_ok) {
+      flags.fail("--key-dist must be seq | uniform | zipf:<s> with s > 0");
+    }
+  }
+  if (a.arrival_rate < 0.0) flags.fail("--arrival-rate must be >= 0");
+  if (a.arrival_rate > 0.0 && a.topology.empty()) {
+    flags.fail("--arrival-rate is a live-mode (--topology) option");
+  }
   return a;
 }
+
+/// Seeded operand sampler for --key-dist. zipf:<s> precomputes the CDF of
+/// 1/rank^s over --keys ranks and inverts it by binary search, so rank 1
+/// absorbs most of the mass for s >= 1 — the classic hot-key workload.
+/// Deterministic per (--seed, client): reruns offer the same key stream.
+class KeySampler {
+ public:
+  KeySampler(const std::string& dist, std::uint32_t keys, std::uint64_t seed)
+      : keys_(keys), rng_(seed == 0 ? 1 : seed) {
+    if (dist == "uniform") {
+      mode_ = Mode::kUniform;
+    } else if (dist.rfind("zipf:", 0) == 0) {
+      mode_ = Mode::kZipf;
+      const double s = std::stod(dist.substr(5));
+      cdf_.reserve(keys);
+      double total = 0.0;
+      for (std::uint32_t r = 1; r <= keys; ++r) {
+        total += 1.0 / std::pow(static_cast<double>(r), s);
+        cdf_.push_back(total);
+      }
+      for (double& c : cdf_) c /= total;
+    }
+  }
+
+  /// Next key in [0, keys); `fallback` is returned in seq mode so the
+  /// caller keeps the old unique-per-op operands.
+  std::uint64_t next(std::uint64_t fallback) {
+    switch (mode_) {
+      case Mode::kSeq: return fallback;
+      case Mode::kUniform: return next_u64() % keys_;
+      case Mode::kZipf: {
+        const double u = static_cast<double>(next_u64() >> 11) *
+                         (1.0 / 9007199254740992.0);  // [0,1) from 53 bits
+        const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+        return static_cast<std::uint64_t>(it - cdf_.begin());
+      }
+    }
+    return fallback;
+  }
+
+ private:
+  enum class Mode { kSeq, kUniform, kZipf };
+  std::uint64_t next_u64() {
+    rng_ ^= rng_ << 13;
+    rng_ ^= rng_ >> 7;
+    rng_ ^= rng_ << 17;
+    return rng_;
+  }
+
+  Mode mode_ = Mode::kSeq;
+  std::uint32_t keys_;
+  std::uint64_t rng_;
+  std::vector<double> cdf_;
+};
 
 /// Parses "<id> <host> <port>" lines; duplicates/garbage are fatal.
 std::vector<net::PeerAddr> load_topology(const std::string& path) {
@@ -226,12 +331,21 @@ int run_live(const Args& a) {
     std::unique_ptr<net::SocketTransport> net;
     std::unique_ptr<rsm::Client> client;
   };
+  const bool open_loop = a.arrival_rate > 0.0;
   std::vector<LiveClient> live;
   std::vector<double> latencies_us;  // op hooks run under dispatch locks,
   std::mutex lat_mu;                 // one per transport -> guard merges
+  // Per-client completion counters: written by the op hook (under that
+  // client's dispatch lock), read lock-free by the open-loop pacer to
+  // bound each backlog.
+  const auto done_ops =
+      std::make_unique<std::atomic<std::uint64_t>[]>(a.clients);
+  std::vector<KeySampler> samplers;
 
   for (std::uint32_t k = 0; k < a.clients; ++k) {
     const ProcessId cid = base + k;
+    samplers.emplace_back(a.key_dist, a.keys,
+                          a.seed ^ (0x9e3779b97f4a7c15ull * (k + 1)));
     net::SocketConfig scfg;
     scfg.self = cid;
     scfg.peers = peers;
@@ -240,14 +354,21 @@ int run_live(const Args& a) {
     LiveClient lc;
     lc.net = std::make_unique<net::SocketTransport>(scfg);
     lc.net->bind_and_listen();
+    // Closed loop: the whole script up front, executed back to back.
+    // Open loop: an empty script; the pacer below appends every arrival.
     std::vector<rsm::Op> script;
-    for (std::uint32_t op = 0; op < a.ops; ++op) {
-      script.push_back(rsm::Op::update(1000 + 100 * k + op));
+    if (!open_loop) {
+      for (std::uint32_t op = 0; op < a.ops; ++op) {
+        script.push_back(rsm::Op::update(
+            samplers[k].next(1000 + 100ull * k + op)));
+      }
     }
     lc.client = std::make_unique<rsm::Client>(*lc.net, cid, a.n, f,
                                               std::move(script));
     lc.client->set_op_hook(
-        [&lat_mu, &latencies_us](const rsm::Client&, const rsm::OpRecord& r) {
+        [&lat_mu, &latencies_us, done = &done_ops[k]](
+            const rsm::Client&, const rsm::OpRecord& r) {
+          done->fetch_add(1, std::memory_order_relaxed);
           const std::lock_guard<std::mutex> g(lat_mu);
           latencies_us.push_back(
               static_cast<double>(r.complete_time - r.invoke_time));
@@ -259,6 +380,42 @@ int run_live(const Args& a) {
   for (LiveClient& lc : live) lc.net->start();
 
   const auto deadline = t0 + std::chrono::milliseconds(a.run_ms);
+
+  // Open-loop pacer: --clients * --ops arrivals at --arrival-rate ops/sec
+  // aggregate, round-robin across clients, independent of completions.
+  // An arrival that would push a client's uncompleted backlog past
+  // --queue-cap is shed and counted — the generator stays open-loop
+  // instead of degrading into coordinated omission.
+  std::uint64_t arrivals = 0, shed = 0;
+  std::vector<std::uint64_t> issued(a.clients, 0);
+  const std::uint64_t total_arrivals =
+      static_cast<std::uint64_t>(a.clients) * a.ops;
+  if (open_loop) {
+    const auto interval =
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(1.0 / a.arrival_rate));
+    auto next_arrival = t0;
+    while (arrivals < total_arrivals &&
+           std::chrono::steady_clock::now() < deadline) {
+      next_arrival += interval;
+      std::this_thread::sleep_until(next_arrival);
+      const std::uint32_t k =
+          static_cast<std::uint32_t>(arrivals % a.clients);
+      ++arrivals;
+      const std::uint64_t outstanding =
+          issued[k] - done_ops[k].load(std::memory_order_relaxed);
+      if (a.queue_cap > 0 && outstanding >= a.queue_cap) {
+        ++shed;
+        continue;
+      }
+      const std::uint64_t operand =
+          samplers[k].next(1000 + 100ull * k + issued[k]);
+      auto lock = live[k].net->dispatch_lock();
+      live[k].client->append_ops({rsm::Op::update(operand)});
+      ++issued[k];
+    }
+  }
+
   bool all_done = false;
   while (!all_done && std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -298,16 +455,29 @@ int run_live(const Args& a) {
     }
     retries += lc.client->backpressure_retries();
   }
+  // In open-loop mode the success target is what the pacer actually
+  // injected: shed arrivals are the generator's own bounded-queue policy
+  // at work, not missing work.
+  std::uint64_t issued_total = 0;
+  for (const std::uint64_t i : issued) issued_total += i;
   const std::uint64_t target =
-      static_cast<std::uint64_t>(a.clients) * a.ops;
+      open_loop ? issued_total
+                : static_cast<std::uint64_t>(a.clients) * a.ops;
   const double ops_per_sec =
       wall_s > 0.0 ? static_cast<double>(completed) / wall_s : 0.0;
   const double p50 = percentile(latencies_us, 0.50);
   const double p99 = percentile(latencies_us, 0.99);
 
   std::cout << "live rsm load: " << a.clients << " client(s) x " << a.ops
-            << " update op(s), n=" << a.n << " f=" << f << "\n"
-            << "  completed:           " << completed << "/" << target
+            << " update op(s), n=" << a.n << " f=" << f
+            << " key-dist=" << a.key_dist << "\n";
+  if (open_loop) {
+    std::cout << "  open loop:           " << a.arrival_rate
+              << " ops/sec offered; " << arrivals << " arrival(s), "
+              << issued_total << " issued, " << shed
+              << " shed (queue-cap " << a.queue_cap << ")\n";
+  }
+  std::cout << "  completed:           " << completed << "/" << target
             << (all_done ? "" : "  (DEADLINE HIT)") << "\n"
             << "  throughput:          " << ops_per_sec << " ops/sec over "
             << wall_s << " s\n"
@@ -334,7 +504,14 @@ int run_live(const Args& a) {
         .set("p50_latency_us", p50)
         .set("p99_latency_us", p99)
         .set("backpressure_retries", retries)
-        .set("shards", static_cast<std::uint64_t>(a.shards));
+        .set("shards", static_cast<std::uint64_t>(a.shards))
+        .set("key_dist", a.key_dist)
+        .set("keys", static_cast<std::uint64_t>(a.keys))
+        .set("open_loop", open_loop)
+        .set("arrival_rate", a.arrival_rate)
+        .set("arrivals", arrivals)
+        .set("issued", issued_total)
+        .set("shed", shed);
     std::string srows = "[";
     for (std::uint32_t s = 0; s < a.shards; ++s) {
       bench::Json row;

@@ -27,6 +27,26 @@
 //   loss           cluster-wide loss bursts
 //   delay          cluster-wide delay spikes
 //   mixed          all of the above, interleaved (default)
+//   region-partition  correlated partition: region 0 is cut off from every
+//                  other region in BOTH directions at once (requires
+//                  --topology-mode regions)
+//   wan-brownout   every inter-region link degrades to a storm policy
+//                  (high latency/jitter/loss) and heals back to the BASE
+//                  WAN matrix, not to loopback
+//   byz-equivocate node n-1 runs byz::GsbsPartitionEquivocator while the
+//                  honest nodes are split into two halves that cannot talk
+//                  to each other — only the adversary straddles the cut
+//                  (gsbs only, n >= 3f+1)
+//   byz-replay     node n-1 runs byz::GsbsStaleCertReplayer; honest
+//                  replicas are kill -9ed and restarted so their type-70
+//                  catch-up runs against the stale-certificate replays
+//
+// WAN emulation (--topology-mode regions): replicas are grouped into
+// regions of --region-size; the driver writes a links.txt matrix (fast
+// --intra-link policies inside a region, slow --wan-link policies across)
+// that every replica loads via --link-matrix. `heal` restores this base
+// matrix. --retransmit-ms defaults to 120 in regions mode so the resend
+// period sits above the emulated WAN RTT.
 //
 // --trace gives every node incarnation its own JSONL trace file
 // (node<i>.inc<k>.trace.jsonl — per-incarnation so a restart never
@@ -60,6 +80,7 @@
 #include <thread>
 #include <vector>
 
+#include "byz/strategies.h"
 #include "la/recovery.h"
 #include "la/spec.h"
 #include "obs/trace.h"
@@ -99,6 +120,19 @@ struct Args {
   std::uint32_t shards = 1;
   std::uint32_t clients = 1;
   std::uint32_t ops = 4;
+  // WAN emulation: group replicas into regions of --region-size and write
+  // a base link matrix (intra/wan policy per ordered pair) that every
+  // replica loads; `heal` restores this matrix, not loopback.
+  std::string topology_mode = "flat";  // flat | regions
+  std::uint32_t region_size = 3;
+  std::string intra_link = "lat=1";
+  std::string wan_link = "lat=25,jitter=10,loss=0.02,bw=4096";
+  std::uint32_t retransmit_ms = 0;  // 0 = auto (120 in regions mode)
+  // Byzantine campaigns (set from --campaign, not flags): node byz_id runs
+  // `--byzantine byz_strategy` instead of a correct replica.
+  static constexpr std::uint32_t kNoByz = 0xffffffffu;
+  std::uint32_t byz_id = kNoByz;
+  std::string byz_strategy;
 };
 
 Args parse(int argc, char** argv) {
@@ -110,7 +144,9 @@ Args parse(int argc, char** argv) {
   flags.add_string("workdir", &a.workdir,
                    "scratch dir for topology, logs and data dirs");
   flags.add_string("campaign", &a.campaign,
-                   "none | kill-restart | partition | loss | delay | mixed");
+                   "none | kill-restart | partition | loss | delay | mixed | "
+                   "region-partition | wan-brownout | byz-equivocate | "
+                   "byz-replay");
   flags.add_u32("n", &a.n, "replicas");
   flags.add_u32("f", &a.f, "resilience parameter (also max concurrent kills)");
   flags.add_u64("seed", &a.seed, "deployment key seed");
@@ -142,6 +178,19 @@ Args parse(int argc, char** argv) {
   flags.add_u32("clients", &a.clients,
                 "rsm-replica: closed-loop client processes");
   flags.add_u32("ops", &a.ops, "rsm-replica: operations per client");
+  flags.add_string("topology-mode", &a.topology_mode,
+                   "flat | regions (regions writes a per-pair link matrix: "
+                   "--intra-link inside a region, --wan-link across)");
+  flags.add_u32("region-size", &a.region_size,
+                "replicas per region (regions mode; region of id = "
+                "id / region-size)");
+  flags.add_string("intra-link", &a.intra_link,
+                   "LinkPolicy spec for same-region replica pairs");
+  flags.add_string("wan-link", &a.wan_link,
+                   "LinkPolicy spec for cross-region replica pairs");
+  flags.add_u32("retransmit-ms", &a.retransmit_ms,
+                "forward --retransmit-ms to every node (0 = auto: 120 in "
+                "regions mode, transport default otherwise)");
   flags.parse_or_exit(argc, argv);
   if (a.protocol != "sbs" && a.protocol != "gwts" && a.protocol != "gsbs" &&
       a.protocol != "faleiro-la" && a.protocol != "rsm-replica") {
@@ -155,6 +204,33 @@ Args parse(int argc, char** argv) {
   }
   if (a.protocol == "rsm-replica" && a.clients == 0) {
     flags.fail("rsm-replica needs at least one --clients driver");
+  }
+  if (a.topology_mode != "flat" && a.topology_mode != "regions") {
+    flags.fail("--topology-mode must be flat | regions");
+  }
+  if (a.region_size == 0) flags.fail("--region-size must be at least 1");
+  if ((a.campaign == "region-partition" || a.campaign == "wan-brownout") &&
+      a.topology_mode != "regions") {
+    flags.fail("--campaign " + a.campaign +
+               " requires --topology-mode regions");
+  }
+  if (a.campaign == "byz-equivocate" || a.campaign == "byz-replay") {
+    // The adversary occupies the last replica slot; the honest remainder
+    // must still clear the ⌊(n+f)/2⌋+1 certificate quorum on its own.
+    if (a.protocol != "gsbs") {
+      flags.fail("--campaign " + a.campaign + " requires --protocol gsbs");
+    }
+    if (a.n < 3 * a.f + 1) {
+      flags.fail("byzantine campaigns need n >= 3f+1");
+    }
+    a.byz_id = a.n - 1;
+    a.byz_strategy =
+        a.campaign == "byz-equivocate" ? "equivocate" : "stale-replay";
+  }
+  if (a.topology_mode == "regions" && a.retransmit_ms == 0) {
+    // The 50ms transport default sits below an emulated WAN RTT and turns
+    // every cross-region frame into a retransmit storm.
+    a.retransmit_ms = 120;
   }
   return a;
 }
@@ -194,6 +270,7 @@ struct Node {
   std::uint32_t restarts = 0;
   bool running = false;
   bool exited_ok = false;
+  bool byzantine = false;  // adversary slot: no data dir, no exit duty
 };
 
 class Cluster {
@@ -210,11 +287,35 @@ class Cluster {
     }
     BGLA_CHECK_MSG(topo.good(), "cannot write " << topo_path_);
     topo.close();
+    // WAN emulation: one base-LinkPolicy rule per ordered replica pair,
+    // loaded by every replica via --link-matrix. Clients stay unshaped —
+    // the WAN lives between replicas, not between a driver and its home
+    // replica.
+    if (a_.topology_mode == "regions") {
+      links_path_ = a_.workdir + "/links.txt";
+      std::ofstream links(links_path_, std::ios::trunc);
+      links << "# regions of " << a_.region_size << " (region = id / "
+            << a_.region_size << "); intra=" << a_.intra_link
+            << " wan=" << a_.wan_link << "\n";
+      for (std::uint32_t i = 0; i < a_.n; ++i) {
+        for (std::uint32_t j = 0; j < a_.n; ++j) {
+          if (i == j) continue;
+          const bool same_region =
+              i / a_.region_size == j / a_.region_size;
+          links << i << " " << j << " "
+                << (same_region ? a_.intra_link : a_.wan_link) << "\n";
+        }
+      }
+      BGLA_CHECK_MSG(links.good(), "cannot write " << links_path_);
+    }
     nodes_.resize(total);
     for (std::uint32_t i = 0; i < total; ++i) {
       nodes_[i].id = i;
-      // Clients are stateless drivers: no durable directory.
-      if (i < a_.n) {
+      nodes_[i].byzantine = (i == a_.byz_id);
+      // Clients are stateless drivers and the adversary is deliberately
+      // stateless too (its "state" is reconstructed offline): no durable
+      // directory for either.
+      if (i < a_.n && !nodes_[i].byzantine) {
         nodes_[i].data_dir = a_.workdir + "/node" + std::to_string(i);
       }
       nodes_[i].log_path = a_.workdir + "/node" + std::to_string(i) + ".log";
@@ -274,7 +375,10 @@ class Cluster {
         "--linger-ms", std::to_string(a_.node_linger_ms),
         "--chaos-stdin",
     };
-    if (is_client) {
+    if (nd.byzantine) {
+      argv.push_back("--byzantine");
+      argv.push_back(a_.byz_strategy);
+    } else if (is_client) {
       argv.push_back("--client");
       argv.push_back("--ops");
       argv.push_back(std::to_string(a_.ops));
@@ -299,6 +403,14 @@ class Cluster {
       argv.push_back(std::to_string(a_.queue));
     }
     if (a_.pipeline) argv.push_back("--pipeline");
+    if (!links_path_.empty() && id < a_.n) {
+      argv.push_back("--link-matrix");
+      argv.push_back(links_path_);
+    }
+    if (a_.retransmit_ms != 0) {
+      argv.push_back("--retransmit-ms");
+      argv.push_back(std::to_string(a_.retransmit_ms));
+    }
     if (a_.trace) {
       // One trace file per incarnation: the writer truncates on open, so
       // reusing the name across a kill -9/restart would erase the
@@ -366,6 +478,9 @@ class Cluster {
   }
 
   /// Reaps any children that exited; returns the number still running.
+  /// Byzantine adversaries are reaped but never counted: they serve until
+  /// their deadline by design, and the driver kills them after the honest
+  /// nodes drain rather than waiting a full --node-run-ms on them.
   std::uint32_t poll_running() {
     std::uint32_t running = 0;
     for (Node& nd : nodes_) {
@@ -375,7 +490,7 @@ class Cluster {
       if (r == nd.pid) {
         nd.running = false;
         nd.exited_ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
-        if (!nd.exited_ok) {
+        if (!nd.exited_ok && !nd.byzantine) {
           std::cout << "[nemesis] node " << nd.id
                     << " exited with failure status\n";
         }
@@ -383,7 +498,7 @@ class Cluster {
           ::close(nd.stdin_fd);
           nd.stdin_fd = -1;
         }
-      } else {
+      } else if (!nd.byzantine) {
         ++running;
       }
     }
@@ -396,6 +511,7 @@ class Cluster {
   const Args& a_;
   std::vector<std::uint16_t> ports_;
   std::string topo_path_;
+  std::string links_path_;  // non-empty iff topology_mode == regions
   std::vector<Node> nodes_;
 };
 
@@ -471,6 +587,95 @@ void run_delay_spike(const Args& a, Cluster& c, obs::TraceWriter* faults) {
   record_fault(faults, a.n, "delay_end");
 }
 
+/// Correlated region failure: every link in or out of region 0 goes dark
+/// at once, in both directions — the "someone cut the submarine cable"
+/// event, as opposed to the single-victim asymmetric partition above.
+/// Because shaping now covers HELLO frames too, a reconnect race cannot
+/// pierce the cut; `heal` restores the base WAN matrix.
+void run_region_partition(const Args& a, Cluster& c,
+                          obs::TraceWriter* faults) {
+  std::vector<std::uint32_t> inside, outside;
+  for (std::uint32_t i = 0; i < a.n; ++i) {
+    (i / a.region_size == 0 ? inside : outside).push_back(i);
+  }
+  for (const std::uint32_t i : inside) {
+    for (const std::uint32_t j : outside) {
+      c.chaos(i, "block-to " + std::to_string(j));
+      c.chaos(i, "block-from " + std::to_string(j));
+      c.chaos(j, "block-to " + std::to_string(i));
+      c.chaos(j, "block-from " + std::to_string(i));
+    }
+  }
+  std::cout << "[nemesis] region 0 (" << inside.size()
+            << " nodes) partitioned from the other regions for "
+            << a.fault_ms << "ms\n";
+  record_fault(faults, a.n, "region_partition_start 0");
+  sleep_ms(a.fault_ms);
+  c.chaos_all("heal");
+  record_fault(faults, a.n, "region_partition_end 0");
+}
+
+/// WAN brownout: every cross-region link degrades to a storm policy (high
+/// latency, heavy jitter, real loss) while intra-region links stay clean,
+/// then heals back to the base matrix — not to loopback.
+void run_wan_brownout(const Args& a, Cluster& c, obs::TraceWriter* faults) {
+  const std::string storm = "lat=120,jitter=80,loss=0.15,bw=256";
+  for (std::uint32_t i = 0; i < a.n; ++i) {
+    for (std::uint32_t j = 0; j < a.n; ++j) {
+      if (i == j || i / a.region_size == j / a.region_size) continue;
+      c.chaos(i, "link " + std::to_string(j) + " " + storm);
+    }
+  }
+  std::cout << "[nemesis] WAN brownout (" << storm << ") for " << a.fault_ms
+            << "ms\n";
+  record_fault(faults, a.n, "wan_brownout_start " + storm);
+  sleep_ms(a.fault_ms);
+  c.chaos_all("heal");
+  record_fault(faults, a.n, "wan_brownout_end");
+}
+
+/// Equivocate-under-partition: the honest nodes are split into two halves
+/// that cannot talk to each other while the adversary (byz_id) straddles
+/// the cut — exactly the window in which GsbsPartitionEquivocator's
+/// conflicting batches (v1 to ids < n/2, v2 to the rest) could slip two
+/// certificates for one round past a weaker quorum rule.
+void run_byz_equivocate(const Args& a, Cluster& c, obs::TraceWriter* faults) {
+  const std::uint32_t half = a.n / 2;
+  for (std::uint32_t i = 0; i < half; ++i) {
+    for (std::uint32_t j = half; j < a.n; ++j) {
+      if (i == a.byz_id || j == a.byz_id) continue;
+      c.chaos(i, "block-to " + std::to_string(j));
+      c.chaos(i, "block-from " + std::to_string(j));
+      c.chaos(j, "block-to " + std::to_string(i));
+      c.chaos(j, "block-from " + std::to_string(i));
+    }
+  }
+  std::cout << "[nemesis] honest halves partitioned around equivocator "
+            << a.byz_id << " for " << a.fault_ms << "ms\n";
+  record_fault(faults, a.n, "byz_equivocate_partition_start");
+  sleep_ms(a.fault_ms);
+  c.chaos_all("heal");
+  record_fault(faults, a.n, "byz_equivocate_partition_end");
+}
+
+/// Stale-certificate replay: honest replicas are kill -9ed and restarted
+/// so their type-70 catch-up broadcast races GsbsStaleCertReplayer's
+/// duplicated frontier-0 answers; the rejoin must still land on a current
+/// round (per-sender dedup + monotone max-folds + cert round binding).
+void run_byz_replay(const Args& a, Cluster& c, std::uint32_t cycles,
+                    obs::TraceWriter* faults) {
+  const std::uint32_t honest = a.n - 1;  // byz_id == n-1
+  for (std::uint32_t k = 0; k < cycles; ++k) {
+    const std::uint32_t id = k % honest;
+    c.kill9(id);
+    record_fault(faults, a.n, "kill " + std::to_string(id));
+    sleep_ms(a.restart_after_ms);
+    c.restart(id);
+    record_fault(faults, a.n, "restart " + std::to_string(id));
+    sleep_ms(a.fault_ms);
+  }
+}
+
 // -------------------------------------------------------------- checking --
 
 struct CheckInput {
@@ -499,7 +704,19 @@ bool check_generalized(const Args& a, const CheckInput& in) {
   std::vector<la::GlaView> views;
   lattice::Elem all_submitted;
   lattice::Elem all_decided;
+  // Byzantine campaigns: the spec runs over the honest nodes' durable
+  // views only, with B = the adversary's reconstructible disclosed join
+  // (Non-Triviality: decisions ≤ ⊕(submissions ∪ B)). The equivocator's
+  // values are a deterministic function of (id, value_base=100+id, round),
+  // so no side channel from the adversary process is needed. The replayer
+  // never discloses anything of its own: B stays bottom.
+  lattice::Elem byz_disclosed;
+  if (a.byz_strategy == "equivocate") {
+    byz_disclosed = byz::GsbsPartitionEquivocator::disclosed_join(
+        a.byz_id, 100 + a.byz_id, byz::kGsbsEquivocatorRounds);
+  }
   for (std::uint32_t i = 0; i < a.n; ++i) {
+    if (i == a.byz_id) continue;
     const la::StateSummary& s = in.summaries[i];
     la::GlaView v;
     v.id = i;
@@ -517,8 +734,7 @@ bool check_generalized(const Args& a, const CheckInput& in) {
   }
   bool ok = true;
   const la::GlaSpecResult res =
-      la::check_gla(views, /*byz_disclosed=*/lattice::Elem(),
-                    /*min_decisions=*/1);
+      la::check_gla(views, byz_disclosed, /*min_decisions=*/1);
   if (!res.ok()) {
     std::cout << "[nemesis] spec FAILED: " << res.diagnostic << "\n";
     ok = false;
@@ -661,6 +877,14 @@ int main(int argc, char** argv) {
     run_kill_restart(a, cluster, a.kills, faults);
     run_partition(a, cluster, faults);
     run_delay_spike(a, cluster, faults);
+  } else if (a.campaign == "region-partition") {
+    run_region_partition(a, cluster, faults);
+  } else if (a.campaign == "wan-brownout") {
+    run_wan_brownout(a, cluster, faults);
+  } else if (a.campaign == "byz-equivocate") {
+    run_byz_equivocate(a, cluster, faults);
+  } else if (a.campaign == "byz-replay") {
+    run_byz_replay(a, cluster, a.kills, faults);
   } else {
     std::cerr << "error: unknown campaign '" << a.campaign << "'\n";
     return 2;
@@ -677,8 +901,14 @@ int main(int argc, char** argv) {
          std::chrono::steady_clock::now() < deadline) {
     sleep_ms(100);
   }
+  // An adversary has no exit duty: it serves until killed, and its status
+  // never counts toward the verdict.
+  if (a.byz_id != Args::kNoByz && cluster.node(a.byz_id).running) {
+    cluster.kill9(a.byz_id);
+  }
   bool all_ok = true;
   for (const Node& nd : cluster.nodes()) {
+    if (nd.byzantine) continue;
     if (nd.running) {
       std::cout << "[nemesis] node " << nd.id
                 << " did not finish before the drain deadline\n";
@@ -697,6 +927,7 @@ int main(int argc, char** argv) {
     CheckInput in;
     in.summaries.resize(a.n);
     for (std::uint32_t i = 0; i < a.n; ++i) {
+      if (i == a.byz_id) continue;  // adversary: no durable state by design
       std::vector<std::string> notes;
       const Bytes blob = store::ReplicaStore::peek_latest_state(
           cluster.node(i).data_dir, &notes);

@@ -36,10 +36,23 @@
 // resumes from disk. A data dir with quarantined corruption exits loudly
 // with status 3.
 //
+// Link shaping (--link-matrix): loads per-peer LinkPolicy base rules
+// (net/link_policy.h grammar) so a loopback cluster emulates a WAN
+// deployment; `heal` restores this matrix, not a neutral network.
+//
 // Chaos control (--chaos-stdin): a driver (tools/bgla_nemesis) can steer
 // fault injection at runtime by writing lines to stdin:
 //   loss <rate> | delay <ms> | block-to <id> | unblock-to <id>
 //   block-from <id> | unblock-from <id> | heal
+//   link <peer|*> <spec>   (spec: "lat=25,jitter=10,loss=0.02,..." | off)
+//
+// Byzantine mode (--byzantine <strategy>, gsbs only): instead of a correct
+// replica, the node runs an adversary from src/byz/strategies.h over the
+// same authenticated transport:
+//   equivocate     GsbsPartitionEquivocator (conflicting round-bound
+//                  batches to each half of the group, yes-machine acks)
+//   stale-replay   GsbsStaleCertReplayer (replays its oldest DECIDED
+//                  certificate at every type-70 catch-up request)
 //
 // Observability: --trace-file writes the schema-v1 JSONL protocol trace
 // (one file per node; merge them with tools/bgla_trace), --metrics-json
@@ -77,6 +90,7 @@
 #include <thread>
 #include <vector>
 
+#include "byz/strategies.h"
 #include "la/faleiro_la.h"
 #include "la/gsbs.h"
 #include "la/gwts.h"
@@ -121,6 +135,9 @@ struct Args {
   bool pipeline = false;
   std::string data_dir;
   std::uint32_t shards = 1;
+  std::string link_matrix;
+  std::uint32_t retransmit_ms = 0;  // 0 = transport default
+  std::string byzantine;
   bool chaos_stdin = false;
   std::string trace_file;
   std::string metrics_json;
@@ -164,6 +181,14 @@ Args parse(int argc, char** argv) {
                    "durable state directory (enables crash recovery)");
   flags.add_u32("shards", &a.shards,
                 "concurrent GLA shards per rsm-replica (1 = unsharded)");
+  flags.add_string("link-matrix", &a.link_matrix,
+                   "per-peer base LinkPolicy rules file (WAN emulation)");
+  flags.add_u32("retransmit-ms", &a.retransmit_ms,
+                "unacked-frame resend period (0 = default; raise on "
+                "high-latency links)");
+  flags.add_string("byzantine", &a.byzantine,
+                   "run an adversary instead of a correct replica: "
+                   "equivocate | stale-replay (gsbs only)");
   flags.add_bool("chaos-stdin", &a.chaos_stdin,
                  "accept fault-injection commands on stdin");
   flags.add_string("trace-file", &a.trace_file,
@@ -180,6 +205,14 @@ Args parse(int argc, char** argv) {
   if (a.shards == 0) flags.fail("--shards must be at least 1");
   if (a.shards > 1 && (a.client || a.protocol != "rsm-replica")) {
     flags.fail("--shards > 1 applies to rsm-replica replicas only");
+  }
+  if (!a.byzantine.empty()) {
+    if (a.protocol != "gsbs") {
+      flags.fail("--byzantine strategies target the gsbs protocol");
+    }
+    if (a.client || !a.data_dir.empty() || a.shards > 1) {
+      flags.fail("--byzantine excludes --client/--data-dir/--shards");
+    }
   }
   return a;
 }
@@ -270,10 +303,33 @@ void apply_chaos_line(net::SocketTransport& net, const std::string& line) {
   std::uint32_t id = 0;
   double rate = 0.0;
   std::uint32_t ms = 0;
+  std::string peer_tok, spec;
   if (cmd == "loss" && ls >> rate) {
     net.set_loss_rate(rate);
   } else if (cmd == "delay" && ls >> ms) {
     net.set_send_delay_ms(ms);
+  } else if (cmd == "link" && ls >> peer_tok >> spec) {
+    // Replace the CURRENT policy of one outgoing link (or all of them);
+    // `heal` restores the --link-matrix base, not a neutral network.
+    net::LinkPolicy p;
+    if (!net::parse_link_policy(spec, &p)) {
+      std::cerr << "chaos: bad link spec '" << spec << "'\n";
+    } else if (peer_tok == "*") {
+      net.set_all_links(p);
+    } else {
+      std::uint32_t peer = 0;
+      std::istringstream ps(peer_tok);
+      bool applied = false;
+      if (ps >> peer) {
+        try {
+          net.set_link_policy(peer, p);
+          applied = true;
+        } catch (const CheckError&) {
+        }
+      }
+      // Driver mistakes must never take the node down.
+      if (!applied) std::cerr << "chaos: bad link peer '" << peer_tok << "'\n";
+    }
   } else if (cmd == "block-to" && ls >> id) {
     net.set_block_outgoing(id, true);
   } else if (cmd == "unblock-to" && ls >> id) {
@@ -283,8 +339,7 @@ void apply_chaos_line(net::SocketTransport& net, const std::string& line) {
   } else if (cmd == "unblock-from" && ls >> id) {
     net.set_block_incoming(id, false);
   } else if (cmd == "heal") {
-    net.set_loss_rate(0.0);
-    net.set_send_delay_ms(0);
+    net.heal_links();
     for (std::uint32_t p = 0; p < 64; ++p) {
       net.set_block_outgoing(p, false);
       net.set_block_incoming(p, false);
@@ -414,6 +469,15 @@ int main(int argc, char** argv) {
   scfg.auth_seed = a.seed;
   scfg.loss_rate = a.loss_rate;
   scfg.incarnation = incarnation;
+  if (a.retransmit_ms != 0) scfg.retransmit_every_ms = a.retransmit_ms;
+  if (!a.link_matrix.empty()) {
+    std::string err;
+    if (!net::load_link_matrix(a.link_matrix, &scfg.link_matrix, &err)) {
+      std::cerr << "error: bad link matrix '" << a.link_matrix
+                << "': " << err << "\n";
+      return 2;
+    }
+  }
   net::SocketTransport net(scfg);
   net.set_observability(&registry, trace.get());
   net.bind_and_listen();
@@ -488,7 +552,40 @@ int main(int argc, char** argv) {
     return wire_store_at(p, store.get(), &instr);
   };
 
-  if (a.client) {
+  if (!a.byzantine.empty()) {
+    if (a.id >= n) {
+      std::cerr << "error: --byzantine requires a replica id < n\n";
+      return 2;
+    }
+    if (a.byzantine == "equivocate") {
+      auto* p = new byz::GsbsPartitionEquivocator(
+          net, a.id, cfg, auth, value, byz::kGsbsEquivocatorRounds);
+      endpoint.reset(p);
+      report = [&a] {
+        std::cout << "byzantine " << a.byzantine << " node served its term\n";
+        return true;
+      };
+    } else if (a.byzantine == "stale-replay") {
+      auto* p = new byz::GsbsStaleCertReplayer(net, a.id, cfg, auth);
+      endpoint.reset(p);
+      report = [p, &a] {
+        std::cout << "byzantine " << a.byzantine << " node served its term"
+                  << (p->has_stale_cert()
+                          ? " (replayed cert round " +
+                                std::to_string(p->stale_round()) + ")"
+                          : " (no certificate ever captured)")
+                  << "\n";
+        return true;
+      };
+    } else {
+      std::cerr << "error: unknown byzantine strategy '" << a.byzantine
+                << "'\n";
+      return 2;
+    }
+    // An adversary never "finishes"; it serves until the deadline.
+    completion_expected = false;
+    done = [] { return false; };
+  } else if (a.client) {
     if (a.id < n) {
       std::cerr << "error: --client requires an id >= n (" << n << ")\n";
       return 2;

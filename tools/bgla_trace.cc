@@ -63,6 +63,7 @@ struct Args {
   std::uint32_t f = 0xffffffff;     // override
   std::string json;                 // machine-readable summary
   bool timelines = false;           // print every per-proposal timeline
+  std::uint32_t region_size = 0;    // >0: group nodes into WAN regions
 };
 
 Args parse(int argc, char** argv) {
@@ -81,6 +82,10 @@ Args parse(int argc, char** argv) {
   flags.add_string("json", &a.json, "write a JSON summary to this file");
   flags.add_bool("timelines", &a.timelines,
                  "print every reconstructed per-proposal timeline");
+  flags.add_u32("region-size", &a.region_size,
+                "group nodes into WAN regions of this size (region of id = "
+                "id / region-size) and print per-region decide-latency "
+                "percentiles; 0 = off");
   flags.parse_or_exit(argc, argv);
   if (a.inputs.empty()) flags.fail("at least one --input is required");
   return a;
@@ -379,6 +384,31 @@ int main(int argc, char** argv) {
               << " max=" << fmt_us(lq.max) << "\n";
   }
 
+  // ---- per-region decide latency (WAN topologies, --region-size) -------
+  // Region of node id = id / region_size, matching bgla_nemesis
+  // --topology-mode regions. The spread between regions is the visible
+  // cost of the emulated WAN: a region whose proposers keep colliding
+  // with cross-region traffic decides later than one that mostly agrees
+  // locally.
+  std::map<std::uint64_t, Quantiles> region_latency;
+  if (a.region_size > 0 && !decides.empty()) {
+    std::map<std::uint64_t, std::vector<std::uint64_t>> by_region;
+    for (const Decide& d : decides) {
+      by_region[d.node / a.region_size].push_back(d.latency_us);
+    }
+    std::cout << "\nper-region decide latency (regions of " << a.region_size
+              << "):\n"
+              << "  region  decisions      p50      p90      p99      max\n";
+    for (auto& [region, lat] : by_region) {
+      const Quantiles rq = quantiles(std::move(lat));
+      region_latency[region] = rq;
+      std::cout << "  " << std::setw(6) << region << std::setw(11)
+                << rq.count << std::setw(9) << fmt_us(rq.p50) << std::setw(9)
+                << fmt_us(rq.p90) << std::setw(9) << fmt_us(rq.p99)
+                << std::setw(9) << fmt_us(rq.max) << "\n";
+    }
+  }
+
   // ---- effective batch sizes (ingress batching, if enabled) ------------
   std::uint64_t total_flushes = 0, total_batched = 0;
   for (const auto& [id, pn] : per_node) {
@@ -627,6 +657,18 @@ int main(int argc, char** argv) {
                 : *std::max_element(refinement_counts.begin(),
                                     refinement_counts.end()))
         << ",\"shards\":" << shards_present.size()
+        << ",\"regions\":[";
+    {
+      bool first = true;
+      for (const auto& [region, rq] : region_latency) {
+        if (!first) out << ",";
+        first = false;
+        out << "{\"region\":" << region << ",\"decisions\":" << rq.count
+            << ",\"p50_us\":" << rq.p50 << ",\"p90_us\":" << rq.p90
+            << ",\"p99_us\":" << rq.p99 << ",\"max_us\":" << rq.max << "}";
+      }
+    }
+    out << "]"
         << ",\"decisions_in_partition\":" << decisions_in_partition
         << ",\"batch_flushes\":" << total_flushes
         << ",\"mean_batch_size\":"
