@@ -5,11 +5,12 @@
 // beyond a pointer test, and that attaching the metrics registry alone
 // stays within noise: every hot-path handle is a cached pointer to a
 // relaxed atomic. This bench runs the same deterministic SbS simulations
-// three ways — no instrument, registry only, registry + JSONL tracing —
-// interleaved round-robin so clock drift hits all three equally, and
-// reports the overhead of each against the uninstrumented baseline.
-// The ≤2% acceptance gate applies to the registry-only (tracing-off)
-// column. A microbench section prices the primitives themselves.
+// four ways — no instrument, registry only, registry + JSONL tracing,
+// and registry + tracing + causal spans — interleaved round-robin so
+// clock drift hits all four equally. Two acceptance gates: the
+// registry-only (tracing-off) column must stay ≤2% of the uninstrumented
+// baseline, and the spans-on column ≤5% marginal over the JSONL-traced
+// config. A microbench section prices the primitives themselves.
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -80,12 +81,21 @@ int main(int argc, char** argv) {
   obs::TraceWriter trace(topt);
   obs::Instrument traced(&traced_reg, &trace);
 
+  const std::string spans_path = "bench_obs.spans.trace.jsonl";
+  obs::Registry spans_reg;
+  obs::TraceWriter::Options spopt;
+  spopt.path = spans_path;
+  obs::TraceWriter spans_trace(spopt);
+  obs::Instrument spanned(&spans_reg, &spans_trace);
+  spanned.enable_spans(0);
+
   // Warm-up pass per config (page in code, size the registry maps).
   run_workload(nullptr, nullptr);
   run_workload(&metrics_only, nullptr);
   run_workload(&traced, nullptr);
+  run_workload(&spanned, nullptr);
 
-  double base_s = 0, metrics_s = 0, traced_s = 0;
+  double base_s = 0, metrics_s = 0, traced_s = 0, spans_s = 0;
   std::uint64_t events = 0;
   std::uint64_t decides = 0;
   for (std::size_t r = 0; r < rounds; ++r) {
@@ -100,22 +110,35 @@ int main(int argc, char** argv) {
     t0 = std::chrono::steady_clock::now();
     run_workload(&traced, nullptr);
     traced_s += seconds_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    run_workload(&spanned, nullptr);
+    spans_s += seconds_since(t0);
   }
   trace.flush();
+  spans_trace.flush();
 
   const double metrics_pct = (metrics_s / base_s - 1.0) * 100.0;
   const double traced_pct = (traced_s / base_s - 1.0) * 100.0;
+  // Span cost is priced as the marginal overhead on top of JSONL tracing
+  // (spans are extra ring events on an already-tracing node; nobody runs
+  // spans without the trace file they land in).
+  const double spans_pct = (spans_s / traced_s - 1.0) * 100.0;
 
   bench::Table table({"config", "seconds", "overhead %", "gate"});
   table.row() << "no instrument (baseline)" << base_s << 0.0 << "-";
   table.row() << "registry only (tracing off)" << metrics_s << metrics_pct
               << (metrics_pct <= 2.0 ? "<=2% OK" : ">2% FAIL");
   table.row() << "registry + JSONL trace" << traced_s << traced_pct << "-";
+  table.row() << "registry + trace + spans" << spans_s << spans_pct
+              << (spans_pct <= 5.0 ? "<=5% OK" : ">5% FAIL");
   table.print();
   bench::note(
-      "\nThe tracing-off row is the acceptance gate: hooks resolve to "
-      "cached relaxed\natomics, so metrics-on must sit inside run-to-run "
-      "noise.");
+      "\nThe tracing-off row is the primary gate: hooks resolve to cached "
+      "relaxed\natomics, so metrics-on must sit inside run-to-run noise. "
+      "The spans row\nprices causal span tracing (per-command trace "
+      "minting + phase spans) as\nmarginal cost over the JSONL-traced "
+      "config and must stay within 5%.");
 
   const std::uint64_t traced_events = trace.recorded();
   std::cout << "\ntrace events recorded " << traced_events << " (dropped "
@@ -172,6 +195,11 @@ int main(int argc, char** argv) {
       .set("tracing_on_overhead_pct", traced_pct)
       .set("tracing_off_gate_pct", 2.0)
       .set("tracing_off_gate_ok", metrics_pct <= 2.0)
+      .set("spans_on_seconds", spans_s)
+      .set("spans_on_overhead_pct", spans_pct)
+      .set("spans_on_gate_pct", 5.0)
+      .set("spans_on_gate_ok", spans_pct <= 5.0)
+      .set("span_events_recorded", spans_trace.recorded())
       .set("trace_events_recorded", traced_events)
       .set("trace_events_dropped", trace.dropped())
       .set("counter_inc_ns", counter_ns)
@@ -181,5 +209,6 @@ int main(int argc, char** argv) {
     std::cerr << "warning: could not write " << json_path << "\n";
   }
   std::remove(trace_path.c_str());
+  std::remove(spans_path.c_str());
   return 0;
 }

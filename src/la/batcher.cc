@@ -12,12 +12,13 @@ std::uint64_t elem_encoded_bytes(const lattice::Elem& e) {
   return enc.bytes().size();
 }
 
-bool Batcher::offer(const lattice::Elem& v, std::uint64_t now) {
+bool Batcher::offer(const lattice::Elem& v, std::uint64_t now,
+                    const obs::TraceContext& ctx, std::uint64_t wall_us) {
   if (cfg_.max_queue != 0 && queue_.size() >= cfg_.max_queue) {
     ++stats_.rejected;
     return false;
   }
-  queue_.push_back(Pending{v, now});
+  queue_.push_back(Pending{v, now, ctx, wall_us});
   ++stats_.offered;
   stats_.max_depth = std::max<std::uint64_t>(stats_.max_depth, queue_.size());
   return true;
@@ -45,7 +46,8 @@ bool Batcher::release_ready(std::uint64_t now) const {
   return now >= oldest && now - oldest >= cfg_.flush_age;
 }
 
-lattice::Elem Batcher::take(std::uint64_t now) {
+lattice::Elem Batcher::take(std::uint64_t now,
+                            std::vector<Flushed>* flushed) {
   lattice::Elem batch;
   if (!release_ready(now)) return batch;
 
@@ -62,6 +64,9 @@ lattice::Elem Batcher::take(std::uint64_t now) {
     }
     bytes += elem_encoded_bytes(queue_.front().value);
     batch = batch.join(queue_.front().value);
+    if (flushed != nullptr && queue_.front().ctx.valid()) {
+      flushed->push_back(Flushed{queue_.front().ctx, queue_.front().wall_us});
+    }
     queue_.pop_front();
     ++taken;
   }

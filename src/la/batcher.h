@@ -28,9 +28,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "la/config.h"
 #include "lattice/elem.h"
+#include "obs/trace_ctx.h"
 
 namespace bgla::la {
 
@@ -41,15 +43,29 @@ class Batcher {
 
   const BatchConfig& config() const { return cfg_; }
 
+  /// Trace context + enqueue timestamp of one value released by take() —
+  /// the protocol turns each into an "enqueue" span joining the command's
+  /// trace to the round it rode in. Default-constructed (invalid) contexts
+  /// are never reported, so untraced runs pay nothing.
+  struct Flushed {
+    obs::TraceContext ctx;
+    std::uint64_t wall_us = 0;  ///< caller clock at offer() time
+  };
+
   /// Queues one value. Returns false (and counts the rejection) iff the
   /// queue is full — the value is NOT retained and the caller owns the
   /// backpressure response. `now` is the caller's transport clock,
-  /// recorded for the flush_age trigger.
-  bool offer(const lattice::Elem& v, std::uint64_t now);
+  /// recorded for the flush_age trigger. `ctx`/`wall_us` are the value's
+  /// optional span context, echoed back by take().
+  bool offer(const lattice::Elem& v, std::uint64_t now,
+             const obs::TraceContext& ctx = {}, std::uint64_t wall_us = 0);
 
   /// Joins and removes the next batch per the release policy; bottom when
-  /// nothing is pending or the hold timer has not fired.
-  lattice::Elem take(std::uint64_t now);
+  /// nothing is pending or the hold timer has not fired. When `flushed` is
+  /// non-null, the span contexts of the released values (those that carry
+  /// one) are appended to it.
+  lattice::Elem take(std::uint64_t now,
+                     std::vector<Flushed>* flushed = nullptr);
 
   /// Re-queues a recovered value at the front, bypassing max_queue — used
   /// by rejoin paths, where dropping a pre-crash submission would violate
@@ -80,6 +96,8 @@ class Batcher {
   struct Pending {
     lattice::Elem value;
     std::uint64_t enqueued_at = 0;
+    obs::TraceContext ctx;       ///< span context (invalid when untraced)
+    std::uint64_t wall_us = 0;   ///< caller clock at offer(), for span dur
   };
 
   bool release_ready(std::uint64_t now) const;

@@ -18,11 +18,15 @@ FaleiroProcess::FaleiroProcess(net::Transport& net, ProcessId id,
 
 void FaleiroProcess::submit(Elem value) { (void)try_submit(std::move(value)); }
 
-bool FaleiroProcess::try_submit(Elem value) {
-  if (!batcher_.offer(value, net().now())) {
+bool FaleiroProcess::try_submit(Elem value, obs::TraceContext ctx) {
+  if (obs_spans() && !ctx.valid()) ctx = obs_new_trace();
+  const std::uint64_t wall = ctx.valid() ? obs_steady_us() : 0;
+  if (!batcher_.offer(value, net().now(), ctx, wall)) {
     obs_backpressure();
+    obs_child_span("backpressure", ctx, /*dur_us=*/0);
     return false;
   }
+  obs_span("submit", ctx, /*parent=*/0, /*dur_us=*/0);
   submitted_.push_back(std::move(value));
   obs_submit(1);
   persist();
@@ -45,9 +49,24 @@ void FaleiroProcess::on_start() {
 
 void FaleiroProcess::maybe_begin_proposal() {
   if (!started_ || state_ != State::kIdle || rejoining_ || crashed()) return;
-  const Elem b = batcher_.take(net().now());
+  std::vector<Batcher::Flushed> flushed;
+  const Elem b =
+      batcher_.take(net().now(), obs_spans() ? &flushed : nullptr);
   if (b.is_bottom()) return;
   obs_batch_flush(batcher_.stats().last_batch_size, batcher_.depth());
+  if (obs_spans()) {
+    round_ctx_ = obs_new_trace();
+    round_start_us_ = obs_steady_us();
+    // The enqueue span joins each command's trace to the round that will
+    // carry it (round index = the NEXT decision, i.e. decided_rounds_).
+    for (const Batcher::Flushed& f : flushed) {
+      const std::uint64_t waited =
+          f.wall_us != 0 && round_start_us_ > f.wall_us
+              ? round_start_us_ - f.wall_us
+              : 0;
+      obs_child_span("enqueue", f.ctx, waited, "round", decided_rounds_);
+    }
+  }
   proposed_set_ = proposed_set_.join(b);
   state_ = State::kProposing;
   ++ts_;
@@ -58,15 +77,22 @@ void FaleiroProcess::maybe_begin_proposal() {
 
 void FaleiroProcess::broadcast_proposal() {
   obs_propose(/*proposal=*/decided_rounds_, /*round=*/ts_);
-  send_to_group(cfg_.n, std::make_shared<FAckReqMsg>(proposed_set_, ts_));
+  auto req = std::make_shared<FAckReqMsg>(proposed_set_, ts_);
+  if (round_ctx_.valid()) {
+    round_propose_us_ = obs_steady_us();
+    req->set_trace_ctx(round_ctx_);  // before the first encode
+  }
+  send_to_group(cfg_.n, req);
 }
 
 void FaleiroProcess::on_message(ProcessId from, const sim::MessagePtr& msg) {
   if (crashed()) return;
   if (const auto* m = dynamic_cast<const SubmitMsg*>(msg.get())) {
-    if (!try_submit(m->value) && from != id()) {
-      send(from, std::make_shared<SubmitNackMsg>(
-                     m->value, /*retry_after=*/batcher_.depth(), id()));
+    if (!try_submit(m->value, msg->trace_ctx()) && from != id()) {
+      auto nack = std::make_shared<SubmitNackMsg>(
+          m->value, /*retry_after=*/batcher_.depth(), id());
+      if (msg->trace_ctx().valid()) nack->set_trace_ctx(msg->trace_ctx());
+      send(from, nack);
     }
   } else if (const auto* m = dynamic_cast<const FAckReqMsg*>(msg.get())) {
     handle_ack_req(from, *m);
@@ -83,12 +109,17 @@ void FaleiroProcess::on_message(ProcessId from, const sim::MessagePtr& msg) {
 }
 
 void FaleiroProcess::handle_ack_req(ProcessId from, const FAckReqMsg& m) {
+  obs_child_span("ack", m.trace_ctx(), /*dur_us=*/0, "peer", from);
   if (accepted_set_.leq(m.proposal)) {
     accepted_set_ = m.proposal;
     persist();  // the ack below is a promise; it must survive a crash
-    send(from, std::make_shared<FAckMsg>(accepted_set_, m.ts));
+    auto ack = std::make_shared<FAckMsg>(accepted_set_, m.ts);
+    if (m.trace_ctx().valid()) ack->set_trace_ctx(m.trace_ctx());
+    send(from, ack);
   } else {
-    send(from, std::make_shared<FNackMsg>(accepted_set_, m.ts));
+    auto nack = std::make_shared<FNackMsg>(accepted_set_, m.ts);
+    if (m.trace_ctx().valid()) nack->set_trace_ctx(m.trace_ctx());
+    send(from, nack);
     accepted_set_ = accepted_set_.join(m.proposal);
     persist();
   }
@@ -124,6 +155,13 @@ void FaleiroProcess::decide() {
   decisions_.push_back(rec);
   state_ = State::kIdle;
   obs_decide(/*proposal=*/rec.round, rec.round, stats_.refinements);
+  if (round_ctx_.valid()) {
+    const std::uint64_t now = obs_steady_us();
+    obs_span("round", round_ctx_, /*parent=*/0, now - round_start_us_,
+             "round", rec.round);
+    obs_child_span("quorum", round_ctx_, now - round_propose_us_);
+    round_ctx_ = obs::TraceContext{};
+  }
   persist();
   if (decide_hook_) decide_hook_(*this, rec);
   maybe_begin_proposal();

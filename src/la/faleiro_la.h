@@ -43,8 +43,10 @@ class FaleiroProcess : public sim::Process {
   void submit(Elem value);
 
   /// Like submit(), but returns false iff the ingress queue is full (the
-  /// value is NOT retained; retry later).
-  bool try_submit(Elem value);
+  /// value is NOT retained; retry later). `ctx` is an optional span
+  /// context carried in from the wire (RSM update path); when spans are
+  /// enabled and none is given, a fresh root trace is minted here.
+  bool try_submit(Elem value, obs::TraceContext ctx = {});
 
   const std::vector<Elem>& submitted() const { return submitted_; }
   const Batcher& batcher() const { return batcher_; }
@@ -115,6 +117,12 @@ class FaleiroProcess : public sim::Process {
   std::uint64_t decided_rounds_ = 0;
   bool started_ = false;
   DecideHook decide_hook_;
+
+  // Causal span state: each command owns a submit trace that rides the
+  // batcher; the in-flight proposal owns a per-round trace.
+  obs::TraceContext round_ctx_;
+  std::uint64_t round_start_us_ = 0;
+  std::uint64_t round_propose_us_ = 0;
 
   // Crash-recovery state.
   std::function<void()> persist_hook_;

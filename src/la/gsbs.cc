@@ -19,12 +19,16 @@ GsbsProcess::GsbsProcess(net::Transport& net, ProcessId id, LaConfig cfg,
 
 void GsbsProcess::submit(Elem value) { (void)try_submit(std::move(value)); }
 
-bool GsbsProcess::try_submit(Elem value) {
+bool GsbsProcess::try_submit(Elem value, obs::TraceContext ctx) {
   BGLA_CHECK_MSG(cfg_.admissible(value), "GSbS: submitted value ∉ E");
-  if (!batcher_.offer(value, net().now())) {
+  if (obs_spans() && !ctx.valid()) ctx = obs_new_trace();
+  const std::uint64_t wall = ctx.valid() ? obs_steady_us() : 0;
+  if (!batcher_.offer(value, net().now(), ctx, wall)) {
     obs_backpressure();
+    obs_child_span("backpressure", ctx, /*dur_us=*/0);
     return false;
   }
+  obs_span("submit", ctx, /*parent=*/0, /*dur_us=*/0);
   submitted_.push_back(std::move(value));
   obs_submit(1);
   persist();
@@ -52,6 +56,10 @@ void GsbsProcess::start_round() {
   refinements_this_round_ = 0;
   ++stats_.rounds_joined;
   obs_round_advance(round_);
+  if (obs_spans()) {
+    round_ctx_ = obs_new_trace();
+    round_start_us_ = obs_steady_us();
+  }
 
   // A pipelined pre-init for this round already went out with its signed
   // batch; reuse it verbatim (the signature binds batch and round — a
@@ -63,9 +71,17 @@ void GsbsProcess::start_round() {
     presigned_.erase(it);
     already_sent = true;
   } else {
-    Elem b = batcher_.take(net().now());
+    std::vector<Batcher::Flushed> flushed;
+    Elem b = batcher_.take(net().now(), obs_spans() ? &flushed : nullptr);
     if (!b.is_bottom()) {
       obs_batch_flush(batcher_.stats().last_batch_size, batcher_.depth());
+      for (const Batcher::Flushed& f : flushed) {
+        const std::uint64_t waited =
+            f.wall_us != 0 && round_start_us_ > f.wall_us
+                ? round_start_us_ - f.wall_us
+                : 0;
+        obs_child_span("enqueue", f.ctx, waited, "round", round_);
+      }
     }
     own = make_signed_batch(signer_, b, round_);
   }
@@ -106,9 +122,12 @@ void GsbsProcess::on_message(ProcessId from, const sim::MessagePtr& msg) {
   } else if (dynamic_cast<const GSDecidedMsg*>(msg.get()) != nullptr) {
     handle_cert(msg);
   } else if (const auto* m = dynamic_cast<const SubmitMsg*>(msg.get())) {
-    if (cfg_.admissible(m->value) && !try_submit(m->value) && from != id()) {
-      send(from, std::make_shared<SubmitNackMsg>(
-                     m->value, /*retry_after=*/batcher_.depth(), id()));
+    if (cfg_.admissible(m->value) &&
+        !try_submit(m->value, msg->trace_ctx()) && from != id()) {
+      auto nack = std::make_shared<SubmitNackMsg>(
+          m->value, /*retry_after=*/batcher_.depth(), id());
+      if (msg->trace_ctx().valid()) nack->set_trace_ctx(msg->trace_ctx());
+      send(from, nack);
     }
   } else if (const auto* m = dynamic_cast<const CatchupReqMsg*>(msg.get())) {
     handle_catchup_req(from, *m);
@@ -211,9 +230,19 @@ void GsbsProcess::maybe_preinit() {
   }
   const std::uint64_t next = round_ + 1;
   if (presigned_.count(next) > 0) return;  // round already signed
-  const Elem b = batcher_.take(net().now());
+  std::vector<Batcher::Flushed> flushed;
+  const Elem b =
+      batcher_.take(net().now(), obs_spans() ? &flushed : nullptr);
   if (b.is_bottom()) return;
   obs_batch_flush(batcher_.stats().last_batch_size, batcher_.depth());
+  if (obs_spans()) {
+    const std::uint64_t now = obs_steady_us();
+    for (const Batcher::Flushed& f : flushed) {
+      const std::uint64_t waited =
+          f.wall_us != 0 && now > f.wall_us ? now - f.wall_us : 0;
+      obs_child_span("enqueue", f.ctx, waited, "round", next);
+    }
+  }
   const SignedBatch own = make_signed_batch(signer_, b, next);
   presigned_[next] = own;
   init_high_ = std::max(init_high_, next);
@@ -225,8 +254,12 @@ void GsbsProcess::maybe_preinit() {
 
 void GsbsProcess::broadcast_proposal() {
   obs_propose(/*proposal=*/round_, round_);
-  send_to_group(cfg_.n,
-                std::make_shared<GSAckReqMsg>(proposed_, ts_, round_));
+  auto req = std::make_shared<GSAckReqMsg>(proposed_, ts_, round_);
+  if (round_ctx_.valid()) {
+    round_propose_us_ = obs_steady_us();
+    req->set_trace_ctx(round_ctx_);  // before the first encode
+  }
+  send_to_group(cfg_.n, req);
 }
 
 bool GsbsProcess::all_safe(const SafeBatchSet& set, const LaConfig& cfg,
@@ -260,6 +293,9 @@ void GsbsProcess::handle_ack_req(ProcessId from, const GSAckReqMsg& m) {
                 &stats_.verifies_skipped)) {
     return;
   }
+  // The signed ack/nack replies are never stamped (their bytes feed the
+  // DECIDED certificate); the acceptor-side span is the evidence instead.
+  obs_child_span("ack", m.trace_ctx(), /*dur_us=*/0, "peer", from);
   if (accepted_.leq(m.proposal)) {
     accepted_ = m.proposal;
     const crypto::Digest fp = accepted_.fingerprint();
@@ -374,6 +410,16 @@ void GsbsProcess::decide_with(const SafeBatchSet& set) {
   decisions_.push_back(rec);
   decided_ = set;
   obs_decide(/*proposal=*/round_, round_, refinements_this_round_);
+  if (round_ctx_.valid()) {
+    const std::uint64_t now = obs_steady_us();
+    obs_span("round", round_ctx_, /*parent=*/0, now - round_start_us_,
+             "round", round_);
+    obs_child_span("quorum", round_ctx_,
+                   round_propose_us_ != 0 && now > round_propose_us_
+                       ? now - round_propose_us_
+                       : 0);
+    round_ctx_ = obs::TraceContext{};
+  }
   persist();
   if (decide_hook_) decide_hook_(*this, rec);
   start_round();

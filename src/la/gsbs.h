@@ -45,8 +45,10 @@ class GsbsProcess : public sim::Process {
   void submit(Elem value);
 
   /// Like submit(), but returns false iff the ingress queue is full (the
-  /// value is NOT retained; retry later).
-  bool try_submit(Elem value);
+  /// value is NOT retained; retry later). `ctx` is an optional span
+  /// context carried in from the wire (RSM update path); when spans are
+  /// enabled and none is given, a fresh root trace is minted here.
+  bool try_submit(Elem value, obs::TraceContext ctx = {});
 
   void on_start() override;
   void on_message(ProcessId from, const sim::MessagePtr& msg) override;
@@ -170,6 +172,12 @@ class GsbsProcess : public sim::Process {
   ProposerStats stats_;
   std::uint64_t refinements_this_round_ = 0;
   DecideHook decide_hook_;
+
+  // Causal span state: command traces ride the batcher; each round owns a
+  // per-round trace (see gwts.h).
+  obs::TraceContext round_ctx_;
+  std::uint64_t round_start_us_ = 0;
+  std::uint64_t round_propose_us_ = 0;
 
   // Crash-recovery state.
   std::function<void()> persist_hook_;

@@ -31,13 +31,17 @@ GwtsProcess::GwtsProcess(net::Transport& net, ProcessId id, LaConfig cfg)
 
 void GwtsProcess::submit(Elem value) { (void)try_submit(std::move(value)); }
 
-bool GwtsProcess::try_submit(Elem value) {
+bool GwtsProcess::try_submit(Elem value, obs::TraceContext ctx) {
   BGLA_CHECK_MSG(cfg_.admissible(value), "GWTS: submitted value ∉ E");
+  if (obs_spans() && !ctx.valid()) ctx = obs_new_trace();
+  const std::uint64_t wall = ctx.valid() ? obs_steady_us() : 0;
   // Alg 3 L9-10: goes into the next round's batch (via the ingress queue).
-  if (!batcher_.offer(value, net().now())) {
+  if (!batcher_.offer(value, net().now(), ctx, wall)) {
     obs_backpressure();
+    obs_child_span("backpressure", ctx, /*dur_us=*/0);
     return false;
   }
+  obs_span("submit", ctx, /*parent=*/0, /*dur_us=*/0);
   submitted_.push_back(std::move(value));
   obs_submit(1);
   persist();
@@ -69,6 +73,10 @@ void GwtsProcess::start_new_round(std::optional<std::uint64_t> jump_to) {
   refinements_this_round_ = 0;
   ++stats_.rounds_joined;
   obs_round_advance(round_);
+  if (obs_spans()) {
+    round_ctx_ = obs_new_trace();
+    round_start_us_ = obs_steady_us();
+  }
 
   // A pipelined pre-disclosure for this round already went out with its
   // batch; consume it instead of re-burning the single-use RB tag.
@@ -79,9 +87,17 @@ void GwtsProcess::start_new_round(std::optional<std::uint64_t> jump_to) {
     predisclosed_.erase(it);
     already_disclosed = true;
   } else {
-    b = batcher_.take(net().now());
+    std::vector<Batcher::Flushed> flushed;
+    b = batcher_.take(net().now(), obs_spans() ? &flushed : nullptr);
     if (!b.is_bottom()) {
       obs_batch_flush(batcher_.stats().last_batch_size, batcher_.depth());
+      for (const Batcher::Flushed& f : flushed) {
+        const std::uint64_t waited =
+            f.wall_us != 0 && round_start_us_ > f.wall_us
+                ? round_start_us_ - f.wall_us
+                : 0;
+        obs_child_span("enqueue", f.ctx, waited, "round", round_);
+      }
     }
   }
   batch_[round_] = b;
@@ -184,9 +200,19 @@ void GwtsProcess::maybe_predisclose() {
   }
   const std::uint64_t next = round_ + 1;
   if (predisclosed_.count(next) > 0) return;  // tag already burned
-  const Elem b = batcher_.take(net().now());
+  std::vector<Batcher::Flushed> flushed;
+  const Elem b =
+      batcher_.take(net().now(), obs_spans() ? &flushed : nullptr);
   if (b.is_bottom()) return;
   obs_batch_flush(batcher_.stats().last_batch_size, batcher_.depth());
+  if (obs_spans()) {
+    const std::uint64_t now = obs_steady_us();
+    for (const Batcher::Flushed& f : flushed) {
+      const std::uint64_t waited =
+          f.wall_us != 0 && now > f.wall_us ? now - f.wall_us : 0;
+      obs_child_span("enqueue", f.ctx, waited, "round", next);
+    }
+  }
   predisclosed_[next] = b;
   disclosed_high_ = std::max(disclosed_high_, next);
   persist();  // the burned tag and its batch must survive a crash
@@ -196,8 +222,12 @@ void GwtsProcess::maybe_predisclose() {
 
 void GwtsProcess::broadcast_proposal() {
   obs_propose(/*proposal=*/round_, round_);
-  send_to_group(cfg_.n,
-                std::make_shared<GAckReqMsg>(proposed_set_, ts_, round_));
+  auto req = std::make_shared<GAckReqMsg>(proposed_set_, ts_, round_);
+  if (round_ctx_.valid()) {
+    round_propose_us_ = obs_steady_us();
+    req->set_trace_ctx(round_ctx_);  // before the first encode
+  }
+  send_to_group(cfg_.n, req);
 }
 
 void GwtsProcess::drain_waiting() {
@@ -241,9 +271,12 @@ bool GwtsProcess::try_process(ProcessId from, const sim::MessagePtr& msg) {
     return true;
   }
   if (const auto* m = dynamic_cast<const SubmitMsg*>(msg.get())) {
-    if (cfg_.admissible(m->value) && !try_submit(m->value) && from != id()) {
-      send(from, std::make_shared<SubmitNackMsg>(
-                     m->value, /*retry_after=*/batcher_.depth(), id()));
+    if (cfg_.admissible(m->value) &&
+        !try_submit(m->value, msg->trace_ctx()) && from != id()) {
+      auto nack = std::make_shared<SubmitNackMsg>(
+          m->value, /*retry_after=*/batcher_.depth(), id());
+      if (msg->trace_ctx().valid()) nack->set_trace_ctx(msg->trace_ctx());
+      send(from, nack);
     }
     return true;
   }
@@ -260,7 +293,10 @@ bool GwtsProcess::try_process(ProcessId from, const sim::MessagePtr& msg) {
 }
 
 void GwtsProcess::handle_ack_req(ProcessId from, const GAckReqMsg& m) {
-  // Alg 4 L8-13.
+  // Alg 4 L8-13. The RB-broadcast ack itself is never stamped (its bytes
+  // feed signature/cert paths); the acceptor-side span is the cross-node
+  // evidence instead.
+  obs_child_span("ack", m.trace_ctx(), /*dur_us=*/0, "peer", from);
   if (accepted_set_.leq(m.proposal)) {
     accepted_set_ = m.proposal;
     const std::uint64_t tag = next_ack_tag();
@@ -269,7 +305,9 @@ void GwtsProcess::handle_ack_req(ProcessId from, const GAckReqMsg& m) {
                   std::make_shared<GAckMsg>(accepted_set_, from, id(),
                                             m.ts, m.round));
   } else {
-    send(from, std::make_shared<GNackMsg>(accepted_set_, m.ts, m.round));
+    auto nack = std::make_shared<GNackMsg>(accepted_set_, m.ts, m.round);
+    if (m.trace_ctx().valid()) nack->set_trace_ctx(m.trace_ctx());
+    send(from, nack);
     accepted_set_ = accepted_set_.join(m.proposal);
     persist();
   }
@@ -345,6 +383,16 @@ void GwtsProcess::decide(const Elem& value) {
   decisions_.push_back(rec);
   decided_set_ = value;
   obs_decide(/*proposal=*/round_, round_, refinements_this_round_);
+  if (round_ctx_.valid()) {
+    const std::uint64_t now = obs_steady_us();
+    obs_span("round", round_ctx_, /*parent=*/0, now - round_start_us_,
+             "round", round_);
+    obs_child_span("quorum", round_ctx_,
+                   round_propose_us_ != 0 && now > round_propose_us_
+                       ? now - round_propose_us_
+                       : 0);
+    round_ctx_ = obs::TraceContext{};
+  }
   if (decide_hook_) decide_hook_(*this, rec);
   collect_garbage();
   start_new_round();

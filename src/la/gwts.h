@@ -54,7 +54,10 @@ class GwtsProcess : public sim::Process {
 
   /// Like submit(), but reports backpressure: returns false iff the
   /// ingress queue is full (the value is NOT retained; retry later).
-  bool try_submit(Elem value);
+  /// `ctx` is an optional span context carried in from the wire (RSM
+  /// update path); when spans are enabled and none is given, a fresh root
+  /// trace is minted here.
+  bool try_submit(Elem value, obs::TraceContext ctx = {});
 
   void on_start() override;
   void on_message(ProcessId from, const sim::MessagePtr& msg) override;
@@ -211,6 +214,13 @@ class GwtsProcess : public sim::Process {
   ProposerStats stats_;
   std::uint64_t refinements_this_round_ = 0;
   DecideHook decide_hook_;
+
+  // Causal span state: each command owns a submit trace that rides the
+  // batcher; each round owns a per-round trace (its "round" span carries
+  // the round index, joining command traces via their enqueue spans).
+  obs::TraceContext round_ctx_;
+  std::uint64_t round_start_us_ = 0;
+  std::uint64_t round_propose_us_ = 0;
   bool started_ = false;
   bool in_round_ = false;
   bool draining_ = false;

@@ -132,13 +132,23 @@ void SbsProcess::maybe_start_proposing() {
   state_ = State::kProposing;
   ack_set_.clear();
   ++ts_;
+  if (obs_spans() && !span_ctx_.valid()) {
+    span_ctx_ = obs_new_trace();
+    span_start_us_ = obs_steady_us();
+    obs_span("submit", span_ctx_, /*parent=*/0, /*dur_us=*/0);
+  }
   persist();
   broadcast_proposal();
 }
 
 void SbsProcess::broadcast_proposal() {
   obs_propose(/*proposal=*/0, /*round=*/ts_);
-  send_to_group(cfg_.n, std::make_shared<SAckReqMsg>(proposed_set_, ts_));
+  auto req = std::make_shared<SAckReqMsg>(proposed_set_, ts_);
+  if (span_ctx_.valid()) {
+    span_propose_us_ = obs_steady_us();
+    req->set_trace_ctx(span_ctx_);  // before the first encode
+  }
+  send_to_group(cfg_.n, req);
 }
 
 bool SbsProcess::all_safe(const SafeValueSet& set, const LaConfig& cfg,
@@ -173,12 +183,17 @@ void SbsProcess::handle_ack_req(ProcessId from, const SAckReqMsg& m) {
                 &stats_.verifies_skipped)) {
     return;
   }
+  obs_child_span("ack", m.trace_ctx(), /*dur_us=*/0, "peer", from);
   if (accepted_set_.leq(m.proposal)) {
     accepted_set_ = m.proposal;
     persist();  // the ack below is a promise; it must survive a crash
-    send(from, std::make_shared<SAckMsg>(accepted_set_, m.ts));
+    auto ack = std::make_shared<SAckMsg>(accepted_set_, m.ts);
+    if (m.trace_ctx().valid()) ack->set_trace_ctx(m.trace_ctx());
+    send(from, ack);
   } else {
-    send(from, std::make_shared<SNackMsg>(accepted_set_, m.ts));
+    auto nack = std::make_shared<SNackMsg>(accepted_set_, m.ts);
+    if (m.trace_ctx().valid()) nack->set_trace_ctx(m.trace_ctx());
+    send(from, nack);
     accepted_set_ = accepted_set_.unioned(m.proposal);
     persist();
   }
@@ -226,6 +241,11 @@ void SbsProcess::decide() {
   rec.depth = net().current_depth();
   decision_ = rec;
   obs_decide(/*proposal=*/0, /*round=*/0, stats_.refinements);
+  if (span_ctx_.valid()) {
+    const std::uint64_t now = obs_steady_us();
+    obs_child_span("round", span_ctx_, now - span_start_us_, "round", 0);
+    obs_child_span("quorum", span_ctx_, now - span_propose_us_);
+  }
   persist();
 }
 

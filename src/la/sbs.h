@@ -27,6 +27,7 @@
 #include "la/record.h"
 #include "la/recovery.h"
 #include "la/sbs_msgs.h"
+#include "obs/trace_ctx.h"
 #include "sim/network.h"
 
 namespace bgla::la {
@@ -127,6 +128,11 @@ class SbsProcess : public sim::Process {
 
   std::optional<DecisionRecord> decision_;
   ProposerStats stats_;
+
+  // Causal span state (one-shot protocol: command trace == round trace).
+  obs::TraceContext span_ctx_;
+  std::uint64_t span_start_us_ = 0;
+  std::uint64_t span_propose_us_ = 0;
 
   // Crash-recovery state.
   std::function<void()> persist_hook_;

@@ -95,14 +95,23 @@ void WtsProcess::maybe_start_proposing() {
   if (state_ != State::kDisclosing) return;
   if (svs_.size() < cfg_.disclosure_threshold()) return;
   state_ = State::kProposing;  // Alg 1 L18
+  if (obs_spans() && !span_ctx_.valid()) {
+    span_ctx_ = obs_new_trace();
+    span_start_us_ = obs_steady_us();
+    obs_span("submit", span_ctx_, /*parent=*/0, /*dur_us=*/0);
+  }
   persist();
   broadcast_proposal();        // Alg 1 L19
 }
 
 void WtsProcess::broadcast_proposal() {
   obs_propose(/*proposal=*/0, /*round=*/ts_);
-  send_to_group(cfg_.n,
-                std::make_shared<AckReqMsg>(proposed_set_, ts_));
+  auto req = std::make_shared<AckReqMsg>(proposed_set_, ts_);
+  if (span_ctx_.valid()) {
+    span_propose_us_ = obs_steady_us();
+    req->set_trace_ctx(span_ctx_);  // before the first encode
+  }
+  send_to_group(cfg_.n, req);
 }
 
 void WtsProcess::drain_waiting() {
@@ -147,13 +156,19 @@ bool WtsProcess::try_process(ProcessId from, const sim::MessagePtr& msg) {
 }
 
 void WtsProcess::handle_ack_req(ProcessId from, const AckReqMsg& m) {
-  // Alg 2 L7-12 (acceptor role).
+  // Alg 2 L7-12 (acceptor role). The ack/nack echoes the request's span
+  // context so the proposer-side trace owns the acceptor's evidence.
+  obs_child_span("ack", m.trace_ctx(), /*dur_us=*/0, "peer", from);
   if (accepted_set_.leq(m.proposal)) {
     accepted_set_ = m.proposal;
     persist();  // the ack below is a promise; it must survive a crash
-    send(from, std::make_shared<AckMsg>(accepted_set_, m.ts));
+    auto ack = std::make_shared<AckMsg>(accepted_set_, m.ts);
+    if (m.trace_ctx().valid()) ack->set_trace_ctx(m.trace_ctx());
+    send(from, ack);
   } else {
-    send(from, std::make_shared<NackMsg>(accepted_set_, m.ts));
+    auto nack = std::make_shared<NackMsg>(accepted_set_, m.ts);
+    if (m.trace_ctx().valid()) nack->set_trace_ctx(m.trace_ctx());
+    send(from, nack);
     accepted_set_ = accepted_set_.join(m.proposal);
     persist();
   }
@@ -191,6 +206,11 @@ void WtsProcess::decide() {
   rec.depth = net().current_depth();
   decision_ = rec;
   obs_decide(/*proposal=*/0, /*round=*/0, stats_.refinements);
+  if (span_ctx_.valid()) {
+    const std::uint64_t now = obs_steady_us();
+    obs_child_span("round", span_ctx_, now - span_start_us_, "round", 0);
+    obs_child_span("quorum", span_ctx_, now - span_propose_us_);
+  }
   persist();
   if (decide_hook_) decide_hook_(*this);
 }

@@ -26,6 +26,7 @@
 #include "la/messages.h"
 #include "la/record.h"
 #include "la/recovery.h"
+#include "obs/trace_ctx.h"
 #include "sim/network.h"
 
 namespace bgla::la {
@@ -119,6 +120,12 @@ class WtsProcess : public sim::Process {
   std::optional<DecisionRecord> decision_;
   ProposerStats stats_;
   DecideHook decide_hook_;
+
+  // Causal span state (one-shot protocol: the command trace and the round
+  // trace are the same trace). Invalid/zero unless spans are enabled.
+  obs::TraceContext span_ctx_;
+  std::uint64_t span_start_us_ = 0;    ///< proposing began (round span)
+  std::uint64_t span_propose_us_ = 0;  ///< last broadcast (quorum span)
 
   // Crash-recovery state.
   std::function<void()> persist_hook_;

@@ -98,6 +98,11 @@ Time SocketTransport::now() const {
 
 void SocketTransport::request_stop() { stop_flag_.store(true); }
 
+void SocketTransport::set_instrument(obs::Instrument* instrument) {
+  BGLA_CHECK_MSG(!started_, "set_instrument after start");
+  instr_ = instrument;
+}
+
 void SocketTransport::set_observability(obs::Registry* registry,
                                         obs::TraceWriter* trace) {
   BGLA_CHECK_MSG(!started_, "set_observability after start");
@@ -733,6 +738,11 @@ void SocketTransport::sender_loop(ProcessId to) {
           ev.node = cfg_.self;
           trace_->record(std::move(
               ev.with("peer", to).with("frames", resent)));
+        }
+        if (instr_ != nullptr && instr_->spans_enabled()) {
+          const obs::TraceContext t = instr_->new_trace();
+          instr_->on_span(cfg_.self, "retransmit", t.trace_id, t.span_id,
+                          /*parent=*/0, /*dur_us=*/0, "peer", to);
         }
       }
     }

@@ -170,6 +170,12 @@ class SocketTransport final : public Transport {
   /// gauges; with a trace writer each retransmit tick emits one event.
   void set_observability(obs::Registry* registry, obs::TraceWriter* trace);
 
+  /// Attaches a span instrument (optional; call before start()). When span
+  /// tracing is enabled on it, each retransmit tick additionally emits a
+  /// "retransmit" span on a fresh trace (retransmits have no causal parent
+  /// on the command path — they are transport-level repair work).
+  void set_instrument(obs::Instrument* instrument);
+
   // -- Runtime chaos knobs (thread-safe; used by the nemesis driver).
   //    Blocking a peer silences every frame in that direction — including
   //    HELLO, so a blocked link cannot be pierced by a reconnect race —
@@ -299,6 +305,7 @@ class SocketTransport final : public Transport {
   // Observability (optional; peer_obs_ is immutable after
   // set_observability, its handles are internally atomic).
   obs::TraceWriter* trace_ = nullptr;
+  obs::Instrument* instr_ = nullptr;
   std::map<ProcessId, PeerObs> peer_obs_;
   obs::Counter* obs_frames_dropped_ = nullptr;
   obs::Counter* obs_reconnects_ = nullptr;

@@ -184,6 +184,42 @@ class Endpoint {
     }
   }
 
+  // ---- causal span helpers (schema v2; no-ops unless the attached
+  // Instrument ran enable_spans — the sim/golden paths never do, so
+  // messages there are never stamped and transcripts stay byte-identical).
+
+  /// True iff span emission is live on this endpoint.
+  bool obs_spans() const {
+    return obs_ != nullptr && obs_->spans_enabled();
+  }
+  /// Fresh root trace context (zero context when spans are off).
+  obs::TraceContext obs_new_trace() {
+    return obs_spans() ? obs_->new_trace() : obs::TraceContext{};
+  }
+  std::uint64_t obs_new_span_id() {
+    return obs_spans() ? obs_->new_span_id() : 0;
+  }
+  /// Emits the span identified by `ctx` itself (span id = ctx.span_id).
+  void obs_span(const char* phase, const obs::TraceContext& ctx,
+                std::uint64_t parent, std::uint64_t dur_us,
+                const char* extra_key = nullptr,
+                std::uint64_t extra_val = 0) {
+    if (obs_spans() && ctx.valid()) {
+      obs_->on_span(id_, phase, ctx.trace_id, ctx.span_id, parent, dur_us,
+                    extra_key, extra_val);
+    }
+  }
+  /// Emits a fresh child span under `parent` (same trace, new span id).
+  void obs_child_span(const char* phase, const obs::TraceContext& parent,
+                      std::uint64_t dur_us,
+                      const char* extra_key = nullptr,
+                      std::uint64_t extra_val = 0) {
+    if (obs_spans() && parent.valid()) {
+      obs_->on_span(id_, phase, parent.trace_id, obs_->new_span_id(),
+                    parent.span_id, dur_us, extra_key, extra_val);
+    }
+  }
+
   static std::uint64_t obs_steady_us() {
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(

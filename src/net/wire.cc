@@ -15,6 +15,7 @@
 #include "la/sbs_msgs.h"
 #include "la/signed_value.h"
 #include "lattice/codec.h"
+#include "obs/trace_ctx.h"
 #include "rsm/msgs.h"
 #include "util/check.h"
 #include "util/codec.h"
@@ -269,6 +270,39 @@ MessagePtr decode_payload(std::uint32_t type_id, Decoder& dec, int depth) {
   }
 }
 
+/// Message types that may carry a trace-context tail (obs/trace_ctx.h).
+/// Signed-blob and certificate types (SbS/GSbS safe-acks, signed acks,
+/// DECIDED certs) and the RB wrappers are deliberately excluded: their
+/// encoded() bytes are embedded verbatim in proofs and persisted state
+/// whose pinned decoders (la/decode.h) reject trailing bytes — a hostile
+/// tail on one of those must be dropped here, never allowed to poison a
+/// proof set or a WAL blob.
+bool trace_ctx_allowed(std::uint32_t type_id) {
+  switch (type_id) {
+    case 11:  // AckReqMsg
+    case 12:  // AckMsg
+    case 13:  // NackMsg
+    case 21:  // GAckReqMsg
+    case 23:  // GNackMsg
+    case 24:  // SubmitMsg
+    case 25:  // SubmitNackMsg
+    case 30:  // FAckReqMsg
+    case 31:  // FAckMsg
+    case 32:  // FNackMsg
+    case 43:  // SAckReqMsg
+    case 44:  // SAckMsg
+    case 45:  // SNackMsg
+    case 53:  // GSAckReqMsg
+    case 60:  // UpdateMsg
+    case 61:  // DecideMsg
+    case 64:  // BatchUpdateMsg
+    case 80:  // ShardEnvelopeMsg
+      return true;
+    default:
+      return false;
+  }
+}
+
 MessagePtr decode_at(BytesView bytes, int depth) {
   BGLA_CHECK_MSG(depth <= kMaxDepth, "message nesting too deep");
   Decoder dec{bytes};
@@ -276,6 +310,11 @@ MessagePtr decode_at(BytesView bytes, int depth) {
   BGLA_CHECK_MSG(type_id <= 0xffffffffull, "type id out of range");
   MessagePtr msg =
       decode_payload(static_cast<std::uint32_t>(type_id), dec, depth);
+  if (trace_ctx_allowed(static_cast<std::uint32_t>(type_id))) {
+    // Stamped before the message is published, so a later re-encode
+    // reproduces the input bytes (round-trip contract) tail included.
+    msg->set_trace_ctx(obs::decode_trace_ctx_tail(dec));
+  }
   BGLA_CHECK_MSG(dec.done(), "trailing bytes after message payload");
   return msg;
 }

@@ -54,14 +54,55 @@ void MetricsHttpServer::serve_loop() {
     if (pr <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    // Drain whatever request line arrived; the response is the same for
-    // every path, so we only need to consume before we write.
+    // One request per connection: read the request line, route on path.
+    // The request bytes race the accept, so wait (bounded) for them — a
+    // nonblocking read here would misroute every slow client to "/".
     char buf[1024];
-    ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
-    const std::string body = reg_->snapshot().to_prometheus();
+    pollfd cfd{fd, POLLIN, 0};
+    ssize_t r = -1;
+    if (::poll(&cfd, 1, 500) > 0) {
+      r = ::recv(fd, buf, sizeof(buf) - 1, 0);
+    }
+    std::string path = "/";
+    if (r > 0) {
+      buf[r] = '\0';
+      const std::string req(buf);
+      if (req.rfind("GET ", 0) == 0) {
+        const std::size_t end = req.find_first_of(" \r\n", 4);
+        if (end != std::string::npos) path = req.substr(4, end - 4);
+        const std::size_t q = path.find('?');
+        if (q != std::string::npos) path.resize(q);
+      }
+    }
+    const char* status = "200 OK";
+    const char* ctype = "text/plain; version=0.0.4";
+    std::string body;
+    if (path == "/" || path == "/metrics") {
+      body = reg_->snapshot().to_prometheus();
+    } else if (path == "/healthz") {
+      ctype = "text/plain";
+      body = health_ ? health_() : std::string("ok\n");
+      if (body.empty()) {
+        status = "503 Service Unavailable";
+        body = "unhealthy\n";
+      }
+    } else if (path == "/spans") {
+      ctype = "application/x-ndjson";
+      if (flight_ != nullptr) {
+        body = flight_->dump();
+      } else {
+        status = "404 Not Found";
+        body = "span tracing is off (run with --trace-spans)\n";
+        ctype = "text/plain";
+      }
+    } else {
+      status = "404 Not Found";
+      ctype = "text/plain";
+      body = "unknown path (try /metrics, /healthz, /spans)\n";
+    }
     std::ostringstream resp;
-    resp << "HTTP/1.1 200 OK\r\n"
-         << "Content-Type: text/plain; version=0.0.4\r\n"
+    resp << "HTTP/1.1 " << status << "\r\n"
+         << "Content-Type: " << ctype << "\r\n"
          << "Content-Length: " << body.size() << "\r\n"
          << "Connection: close\r\n\r\n"
          << body;

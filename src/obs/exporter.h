@@ -1,16 +1,24 @@
 // Prometheus text exposition over a loopback health port.
 //
-// MetricsHttpServer answers every HTTP GET on 127.0.0.1:<port> with the
-// current registry snapshot in text format (one accept thread, one
-// request per connection — a scrape endpoint, not a web server). Port 0
-// binds an ephemeral port; port() reports the bound one.
+// MetricsHttpServer answers HTTP GETs on 127.0.0.1:<port> (one accept
+// thread, one request per connection — an introspection endpoint, not a
+// web server). Port 0 binds an ephemeral port; port() reports the bound
+// one. Routes:
+//   /         and /metrics — registry snapshot, Prometheus text format
+//   /healthz  — liveness summary from the health callback (503 when the
+//               callback reports unhealthy by returning an empty string)
+//   /spans    — the flight-recorder ring of the most recent span events,
+//               one schema-v2 JSONL line each (requires a recorder)
+// Unknown paths answer 404.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 
+#include "obs/flight_recorder.h"
 #include "obs/registry.h"
 
 namespace bgla::obs {
@@ -27,10 +35,25 @@ class MetricsHttpServer {
 
   std::uint16_t port() const { return port_; }
 
+  /// Health callback for /healthz: return a human-readable status body for
+  /// 200, or an empty string for 503. Called on the server thread — must
+  /// be thread-safe. Both setters race benignly only before first use;
+  /// call them right after construction, like the rest of the wiring.
+  void set_health(std::function<std::string()> health) {
+    health_ = std::move(health);
+  }
+
+  /// Flight recorder for /spans (not owned; must outlive the server).
+  void set_flight_recorder(const FlightRecorder* flight) {
+    flight_ = flight;
+  }
+
  private:
   void serve_loop();
 
   const Registry* reg_;
+  std::function<std::string()> health_;
+  const FlightRecorder* flight_ = nullptr;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};

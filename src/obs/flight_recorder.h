@@ -1,0 +1,46 @@
+// Bounded in-memory ring of the most recent span lines (already rendered
+// to JSONL), powering the live `/spans` introspection endpoint of
+// bgla_node. Oldest lines fall off the front; the ring never blocks a
+// protocol thread beyond one short mutex hold.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace bgla::obs {
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 512) : cap_(capacity) {}
+
+  void add(std::string line) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (lines_.size() >= cap_) lines_.pop_front();
+    lines_.push_back(std::move(line));
+  }
+
+  /// All buffered lines, oldest first, newline-terminated JSONL.
+  std::string dump() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::string out;
+    for (const std::string& l : lines_) {
+      out += l;
+      out += '\n';
+    }
+    return out;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return lines_.size();
+  }
+
+ private:
+  std::size_t cap_;
+  mutable std::mutex mu_;
+  std::deque<std::string> lines_;
+};
+
+}  // namespace bgla::obs

@@ -1,5 +1,6 @@
 #include "obs/instrument.h"
 
+#include <cstring>
 #include <sstream>
 
 namespace bgla::obs {
@@ -161,6 +162,76 @@ void Instrument::on_batch_flush(ProcessId node, std::uint64_t batch_size,
 void Instrument::on_backpressure(ProcessId node) {
   (void)node;
   if (backpressure_ != nullptr) backpressure_->inc();
+}
+
+void Instrument::enable_spans(ProcessId node) {
+  spans_enabled_ = true;
+  span_id_base_ = (static_cast<std::uint64_t>(node) + 1) << 32;
+  if (reg_ != nullptr && num_phase_hists_ == 0) {
+    // The full phase vocabulary (docs/OBSERVABILITY.md); resolving here
+    // keeps on_span off the registry lock.
+    static const char* const kPhases[] = {
+        "submit", "route",  "enqueue", "backpressure", "round",
+        "ack",    "quorum", "apply",   "retransmit",
+    };
+    for (const char* phase : kPhases) {
+      phase_hists_[num_phase_hists_].name = phase;
+      phase_hists_[num_phase_hists_].hist =
+          &reg_->histogram(std::string("bgla_span_dur_us{phase=\"") +
+                           phase + "\"}");
+      ++num_phase_hists_;
+    }
+  }
+}
+
+TraceContext Instrument::new_trace() {
+  const std::uint64_t id = new_span_id();
+  return TraceContext{id, id};
+}
+
+std::uint64_t Instrument::new_span_id() {
+  // Node-unique and nonzero: the node seeds the high half and the counter
+  // starts at 1 (trace id 0 means "absent" on the wire).
+  return span_id_base_ |
+         (span_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
+void Instrument::on_span(ProcessId node, const char* phase,
+                         std::uint64_t trace, std::uint64_t span,
+                         std::uint64_t parent, std::uint64_t dur_us,
+                         const char* extra_key, std::uint64_t extra_val) {
+  if (!spans_enabled_) return;
+  if (reg_ != nullptr) {
+    Histogram* hist = nullptr;
+    for (std::size_t i = 0; i < num_phase_hists_; ++i) {
+      // Pointer comparison first: call sites pass the same literals the
+      // vocabulary table holds, so the strcmp is a cold fallback.
+      if (phase_hists_[i].name == phase ||
+          std::strcmp(phase_hists_[i].name, phase) == 0) {
+        hist = phase_hists_[i].hist;
+        break;
+      }
+    }
+    if (hist == nullptr) {
+      hist = &reg_->histogram(std::string("bgla_span_dur_us{phase=\"") +
+                              phase + "\"}");
+    }
+    hist->observe(dur_us);
+  }
+  TraceEvent ev;
+  ev.kind = EventKind::kSpan;
+  ev.node = node;
+  ev.with("trace", trace)
+      .with("span", span)
+      .with("parent", parent)
+      .with("phase", std::string(phase))
+      .with("dur_us", dur_us);
+  if (extra_key != nullptr) ev.with(extra_key, extra_val);
+  if (flight_ != nullptr) {
+    flight_->add(TraceWriter::to_jsonl(ev, /*inc=*/0, /*seq=*/0,
+                                       wall_time_us(), /*steady_us=*/0));
+  }
+  if (trace_ != nullptr) trace_->record(std::move(ev));
 }
 
 void publish_crypto(Registry& reg, std::uint64_t macs_computed,

@@ -11,11 +11,14 @@
 // never take the registry lock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "obs/flight_recorder.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "obs/trace_ctx.h"
 #include "util/ids.h"
 
 namespace bgla::obs {
@@ -53,9 +56,52 @@ class Instrument {
                       std::uint64_t queue_depth);
   void on_backpressure(ProcessId node);
 
+  // ---- causal command spans (trace schema v2) ----
+  //
+  // Span emission is opt-in (enable_spans) on top of the event tracing
+  // above, so simulator/golden paths never see span traffic or trace-
+  // context tails. Ids are node-unique and nonzero:
+  // (node+1) << 32 | counter.
+
+  /// Turns span emission on for this process. Call before the transport
+  /// starts; `node` seeds the id space.
+  void enable_spans(ProcessId node);
+  bool spans_enabled() const { return spans_enabled_; }
+
+  /// Fresh root context: trace id == span id == a new unique id.
+  TraceContext new_trace();
+  std::uint64_t new_span_id();
+
+  /// Optional live ring of rendered span lines (the /spans endpoint).
+  void set_flight_recorder(FlightRecorder* fr) { flight_ = fr; }
+
+  /// Emits one phase span: a trace event (kind "span"), an observation in
+  /// the per-phase bgla_span_dur_us{phase=...} histogram, and a flight-
+  /// recorder line. No-op unless enable_spans() ran.
+  void on_span(ProcessId node, const char* phase, std::uint64_t trace,
+               std::uint64_t span, std::uint64_t parent,
+               std::uint64_t dur_us, const char* extra_key = nullptr,
+               std::uint64_t extra_val = 0);
+
  private:
   Registry* reg_;
   TraceWriter* trace_;
+
+  // Span state.
+  bool spans_enabled_ = false;
+  std::uint64_t span_id_base_ = 0;
+  std::atomic<std::uint64_t> span_seq_{0};
+  FlightRecorder* flight_ = nullptr;
+  // Per-phase duration histograms, resolved once in enable_spans() so
+  // on_span never takes the registry lock (read-only afterwards, so the
+  // scan is thread-safe). An unknown phase falls back to the registry.
+  struct PhaseHandle {
+    const char* name = nullptr;
+    Histogram* hist = nullptr;
+  };
+  static constexpr std::size_t kMaxPhaseHandles = 12;
+  PhaseHandle phase_hists_[kMaxPhaseHandles];
+  std::size_t num_phase_hists_ = 0;
 
   // Cached handles (null iff reg_ is null).
   Counter* sends_ = nullptr;

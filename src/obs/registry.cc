@@ -43,11 +43,26 @@ Snapshot Registry::snapshot() const {
   for (const auto& [name, h] : histograms_) {
     HistogramSnapshot hs;
     hs.buckets.resize(Histogram::kBuckets);
+    std::uint64_t total = 0;
     for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
       hs.buckets[b] = h->buckets_[b].load(std::memory_order_relaxed);
+      total += hs.buckets[b];
     }
-    hs.count = h->count();
-    hs.sum = h->sum();
+    // Consistency under concurrent observe(): the count derives from the
+    // buckets just read (observe() bumps the bucket before the count, so
+    // the bucket sum is always a count some instant actually had), never
+    // from a separate count_ read that can run ahead of the bucket loads
+    // and make quantile() walk off the end of the distribution.
+    hs.count = total;
+    // The sum has no per-bucket decomposition to derive from; a short
+    // stable-read loop filters the common torn case of reading mid-burst.
+    std::uint64_t sum = h->sum();
+    for (int retry = 0; retry < 3; ++retry) {
+      const std::uint64_t again = h->sum();
+      if (again == sum) break;
+      sum = again;
+    }
+    hs.sum = sum;
     s.histograms[name] = std::move(hs);
   }
   return s;
@@ -146,15 +161,123 @@ void append_number(std::ostringstream& os, double v) {
   }
 }
 
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; anything else
+/// (a peer host in a label-less name, a typo) becomes '_' so one bad
+/// registration cannot make a scraper reject the whole payload.
+std::string sanitize_metric_name(const std::string& base) {
+  std::string out;
+  out.reserve(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const char c = base[i];
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    c == '_' || c == ':' ||
+                    (i > 0 && c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+/// Escapes one label value per the text exposition format: backslash,
+/// double quote and newline are the three characters that break a scrape.
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Re-renders a `{k="v",...}` label block with sanitized label names and
+/// escaped label values. A block that doesn't parse as k="v" pairs is
+/// dropped entirely (better a label-less sample than a rejected scrape).
+std::string sanitize_labels(const std::string& labels) {
+  if (labels.empty()) return labels;
+  std::string out = "{";
+  bool first = true;
+  std::size_t i = 1;  // past '{'
+  while (i < labels.size() && labels[i] != '}') {
+    if (labels[i] == ',') {
+      ++i;
+      continue;
+    }
+    std::string name;
+    while (i < labels.size() && labels[i] != '=' && labels[i] != '}') {
+      name += labels[i++];
+    }
+    if (i >= labels.size() || labels[i] != '=') return "";  // malformed
+    ++i;  // '='
+    if (i >= labels.size() || labels[i] != '"') return "";
+    ++i;  // opening quote
+    std::string value;
+    while (i < labels.size() && labels[i] != '"') {
+      // Unescape nothing: registry label values are raw; escaping happens
+      // on the way out below.
+      value += labels[i++];
+    }
+    if (i >= labels.size()) return "";
+    ++i;  // closing quote
+    std::string safe_name;
+    for (std::size_t j = 0; j < name.size(); ++j) {
+      const char c = name[j];
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      c == '_' || (j > 0 && c >= '0' && c <= '9');
+      safe_name += ok ? c : '_';
+    }
+    if (safe_name.empty()) safe_name = "_";
+    if (!first) out += ",";
+    first = false;
+    out += safe_name + "=\"" + escape_label_value(value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
 }  // namespace
 
 std::string Snapshot::to_prometheus() const {
   std::ostringstream os;
-  for (const auto& [name, v] : counters) os << name << " " << v << "\n";
-  for (const auto& [name, v] : gauges) os << name << " " << v << "\n";
+  // One HELP/TYPE pair per metric family: labeled series of one family
+  // share the pair, and a family that appears as several registry entries
+  // (e.g. per-peer counters) must not repeat it — duplicated headers make
+  // strict scrapers reject the payload.
+  std::map<std::string, bool> family_emitted;
+  auto header = [&](const std::string& base, const char* type) {
+    bool& emitted = family_emitted[base];
+    if (emitted) return;
+    emitted = true;
+    os << "# HELP " << base << " bgla metric " << base << "\n";
+    os << "# TYPE " << base << " " << type << "\n";
+  };
+  for (const auto& [name, v] : counters) {
+    std::string base, labels;
+    split_labels(name, &base, &labels);
+    base = sanitize_metric_name(base);
+    header(base, "counter");
+    os << base << sanitize_labels(labels) << " " << v << "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    std::string base, labels;
+    split_labels(name, &base, &labels);
+    base = sanitize_metric_name(base);
+    header(base, "gauge");
+    os << base << sanitize_labels(labels) << " " << v << "\n";
+  }
   for (const auto& [name, h] : histograms) {
     std::string base, labels;
     split_labels(name, &base, &labels);
+    base = sanitize_metric_name(base);
+    labels = sanitize_labels(labels);
+    header(base, "summary");
     os << base << "_count" << labels << " " << h.count << "\n";
     os << base << "_sum" << labels << " " << h.sum << "\n";
     for (const double q : {0.5, 0.9, 0.99}) {

@@ -33,6 +33,11 @@ constexpr FieldSpec kNodeFinalFields[] = {{"decided", false},
 constexpr FieldSpec kFaultFields[] = {{"fault", true}};
 constexpr FieldSpec kBatchFlushFields[] = {{"batch_size", false},
                                            {"queue_depth", false}};
+constexpr FieldSpec kSpanFields[] = {{"trace", false},
+                                     {"span", false},
+                                     {"parent", false},
+                                     {"phase", true},
+                                     {"dur_us", false}};
 
 constexpr KindSpec kKindSpecs[kNumEventKinds] = {
     /*propose*/ {kProposeFields, 2},
@@ -51,6 +56,7 @@ constexpr KindSpec kKindSpecs[kNumEventKinds] = {
     /*node_final*/ {kNodeFinalFields, 3},
     /*fault*/ {kFaultFields, 1},
     /*batch_flush*/ {kBatchFlushFields, 2},
+    /*span*/ {kSpanFields, 5},
 };
 
 constexpr const char* kEnvelopeU64[] = {"node", "inc", "seq", "wall_us",
@@ -82,9 +88,9 @@ bool validate_trace_line(const FlatJson& obj, std::string* err) {
     *err = "missing schema version \"v\"";
     return false;
   }
-  if (v->second.u64 != kTraceSchemaVersion) {
+  if (v->second.u64 == 0 || v->second.u64 > kTraceSchemaVersion) {
     std::ostringstream os;
-    os << "unsupported schema version " << v->second.u64 << " (want "
+    os << "unsupported schema version " << v->second.u64 << " (want <= "
        << kTraceSchemaVersion << ")";
     *err = os.str();
     return false;

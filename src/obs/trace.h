@@ -51,9 +51,10 @@ enum class EventKind : std::uint8_t {
   kNodeFinal,        // process final report: totals for the analyzer
   kFault,            // nemesis fault timeline (kill/restart/partition/...)
   kBatchFlush,       // ingress batcher released a batch into a round
+  kSpan,             // causal phase span of one traced command (schema v2)
 };
 inline constexpr std::size_t kNumEventKinds =
-    static_cast<std::size_t>(EventKind::kBatchFlush) + 1;
+    static_cast<std::size_t>(EventKind::kSpan) + 1;
 
 const char* kind_name(EventKind k);
 /// Returns kNumEventKinds for an unknown name.
@@ -97,7 +98,11 @@ struct TraceEvent {
   }
 };
 
-inline constexpr std::uint32_t kTraceSchemaVersion = 1;
+// Version 2 adds the "span" kind (trace/span/parent/phase/dur_us); the
+// validator accepts every version from 1 up to this one.
+inline constexpr std::uint32_t kTraceSchemaVersion = 2;
+
+class Counter;  // obs/registry.h
 
 class TraceWriter {
  public:
@@ -105,6 +110,13 @@ class TraceWriter {
     std::string path;
     std::size_t ring_capacity = 1 << 14;  // events buffered before drop
     std::uint64_t incarnation = 0;        // stamped on every event
+    /// Optional registry counter (bgla_trace_dropped_total) bumped for
+    /// every event the ring or an unopenable file swallowed.
+    Counter* dropped_counter = nullptr;
+    /// Roll a pre-existing file at `path` aside (to `path + ".1"`)
+    /// instead of truncating it, so a restart that re-uses the path never
+    /// destroys the previous run's lines.
+    bool rollover = false;
   };
 
   explicit TraceWriter(Options opt);

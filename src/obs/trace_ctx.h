@@ -1,0 +1,46 @@
+// Causal trace context — the per-command identity that rides wire
+// messages as an optional tail (see net/wire.cc for the allowlist of
+// message types that may carry one).
+//
+// Encoding: absent entirely (zero bytes) when trace_id == 0, else
+// `varint(trace_id) || varint(span_id)` appended after the message
+// payload. Because the tail is part of Message::encoded(), digests and
+// signatures computed over a stamped message cover the context too —
+// a context must therefore be stamped BEFORE the first encoded()/digest()
+// call and never changed afterwards (sim/message.h enforces the memoized
+// fill-once discipline).
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.h"
+#include "util/codec.h"
+
+namespace bgla::obs {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;  // 0 = no context attached
+  std::uint64_t span_id = 0;   // emitting span (the parent on the far side)
+
+  bool valid() const { return trace_id != 0; }
+};
+
+inline void encode_trace_ctx(Encoder& enc, const TraceContext& ctx) {
+  if (!ctx.valid()) return;
+  enc.put_u64(ctx.trace_id);
+  enc.put_u64(ctx.span_id);
+}
+
+/// Decodes an optional context tail: zero context if the decoder is
+/// already exhausted, else exactly two varints. Throws CheckError on a
+/// tail with a zero trace id (reserved for "absent").
+inline TraceContext decode_trace_ctx_tail(Decoder& dec) {
+  if (dec.done()) return {};
+  TraceContext ctx;
+  ctx.trace_id = dec.get_u64();
+  ctx.span_id = dec.get_u64();
+  BGLA_CHECK_MSG(ctx.trace_id != 0, "trace context with zero trace id");
+  return ctx;
+}
+
+}  // namespace bgla::obs

@@ -16,11 +16,13 @@ Replica::Replica(net::Transport& net, ProcessId id, la::LaConfig cfg,
 
 void Replica::on_message(ProcessId from, const sim::MessagePtr& msg) {
   if (const auto* m = dynamic_cast<const UpdateMsg*>(msg.get())) {
-    handle_update(from, m->cmd);
+    handle_update(from, m->cmd, msg->trace_ctx());
     return;
   }
   if (const auto* m = dynamic_cast<const BatchUpdateMsg*>(msg.get())) {
-    for (const Item& cmd : m->cmds) handle_update(from, cmd);
+    for (const Item& cmd : m->cmds) {
+      handle_update(from, cmd, msg->trace_ctx());
+    }
     return;
   }
   if (const auto* m = dynamic_cast<const ConfReqMsg*>(msg.get())) {
@@ -33,21 +35,29 @@ void Replica::on_message(ProcessId from, const sim::MessagePtr& msg) {
   flush_confirmations();
 }
 
-void Replica::handle_update(ProcessId from, const Item& cmd) {
+void Replica::handle_update(ProcessId from, const Item& cmd,
+                            obs::TraceContext ctx) {
   // Deduplicate by (client, seq) — a Byzantine client hammering the same
   // command only gets it proposed once.
   const auto [it, fresh] = seen_cmds_.emplace(cmd.a, cmd.b);
   if (!fresh) return;
+  // Mint the trace here (not inside try_submit) so the apply span below
+  // joins the same trace as the submit span.
+  if (obs_spans() && !ctx.valid()) ctx = obs_new_trace();
   const Elem value = lattice::make_set({cmd});
-  if (!try_submit(value)) {
+  if (!try_submit(value, ctx)) {
     // Full ingress queue: backpressure. The command is un-marked so the
     // client's retry goes through once the queue drains. (try_submit only
     // persists on success, so the durable dedup set stays consistent.)
     seen_cmds_.erase(it);
     if (from != id()) {
-      send(from, std::make_shared<la::SubmitNackMsg>(
-                     value, /*retry_after=*/batcher().depth(), id()));
+      auto nack = std::make_shared<la::SubmitNackMsg>(
+          value, /*retry_after=*/batcher().depth(), id());
+      if (ctx.valid()) nack->set_trace_ctx(ctx);
+      send(from, nack);
     }
+  } else if (ctx.valid()) {
+    pending_apply_.push_back(PendingApply{value, ctx, obs_steady_us()});
   }
 }
 
@@ -72,6 +82,28 @@ void Replica::flush_confirmations() {
 
 void Replica::push_decision(const la::DecisionRecord& rec) {
   const auto msg = std::make_shared<DecideMsg>(rec.value, id());
+  if (!pending_apply_.empty()) {
+    // Every command this decision covers completes its trace with an
+    // "apply" span (submit wall → decide wall); the decide push carries
+    // the first covered command's context back to the client.
+    const std::uint64_t now = obs_steady_us();
+    bool stamped = false;
+    for (std::size_t i = 0; i < pending_apply_.size();) {
+      const PendingApply& e = pending_apply_[i];
+      if (e.value.leq(rec.value)) {
+        obs_child_span("apply", e.ctx,
+                       now > e.wall_us ? now - e.wall_us : 0);
+        if (!stamped) {
+          msg->set_trace_ctx(e.ctx);  // before the first encode
+          stamped = true;
+        }
+        pending_apply_.erase(pending_apply_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
   for (std::uint32_t c = 0; c < num_clients_; ++c) {
     send(client_base_ + c, msg);
   }

@@ -41,7 +41,8 @@ class Replica : public la::GwtsProcess {
   /// and a client retry is proposed normally once the queue drains. A full
   /// queue answers with la::SubmitNackMsg carrying the queue depth as an
   /// advisory retry hint.
-  void handle_update(ProcessId from, const Item& cmd);
+  void handle_update(ProcessId from, const Item& cmd,
+                     obs::TraceContext ctx = {});
   void handle_conf_req(ProcessId from, const ConfReqMsg& m);
   void flush_confirmations();
   void push_decision(const la::DecisionRecord& rec);
@@ -50,6 +51,16 @@ class Replica : public la::GwtsProcess {
   std::uint32_t num_clients_;
   std::set<std::pair<std::uint64_t, std::uint64_t>> seen_cmds_;
   std::vector<std::pair<ProcessId, Elem>> pending_conf_;
+
+  /// Commands in flight between submit and decide, tracked only when span
+  /// tracing is on: each decision emits an "apply" span (submit wall time
+  /// → decide wall time) for every command it covers.
+  struct PendingApply {
+    Elem value;
+    obs::TraceContext ctx;
+    std::uint64_t wall_us = 0;
+  };
+  std::vector<PendingApply> pending_apply_;
 };
 
 }  // namespace bgla::rsm

@@ -130,7 +130,9 @@ void Router::on_message(ProcessId from, const MessagePtr& msg) {
     return;
   }
   if (const auto* u = dynamic_cast<const rsm::UpdateMsg*>(msg.get())) {
-    deliver_to_shard(map_.shard_of(u->cmd), from, msg);
+    const std::uint32_t s = map_.shard_of(u->cmd);
+    obs_child_span("route", msg->trace_ctx(), /*dur_us=*/0, "shard", s);
+    deliver_to_shard(s, from, msg);
     return;
   }
   if (const auto* b = dynamic_cast<const rsm::BatchUpdateMsg*>(msg.get())) {
@@ -138,8 +140,10 @@ void Router::on_message(ProcessId from, const MessagePtr& msg) {
     for (const Item& cmd : b->cmds) parts[map_.shard_of(cmd)].push_back(cmd);
     for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
       if (parts[s].empty()) continue;
-      deliver_to_shard(
-          s, from, std::make_shared<rsm::BatchUpdateMsg>(std::move(parts[s])));
+      obs_child_span("route", msg->trace_ctx(), /*dur_us=*/0, "shard", s);
+      auto part = std::make_shared<rsm::BatchUpdateMsg>(std::move(parts[s]));
+      if (msg->trace_ctx().valid()) part->set_trace_ctx(msg->trace_ctx());
+      deliver_to_shard(s, from, part);
     }
     return;
   }
@@ -147,7 +151,10 @@ void Router::on_message(ProcessId from, const MessagePtr& msg) {
     const std::vector<Elem> parts = map_.split(sub->value);
     for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
       if (parts[s].is_bottom()) continue;
-      deliver_to_shard(s, from, std::make_shared<la::SubmitMsg>(parts[s]));
+      obs_child_span("route", msg->trace_ctx(), /*dur_us=*/0, "shard", s);
+      auto part = std::make_shared<la::SubmitMsg>(parts[s]);
+      if (msg->trace_ctx().valid()) part->set_trace_ctx(msg->trace_ctx());
+      deliver_to_shard(s, from, part);
     }
     return;
   }

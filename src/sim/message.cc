@@ -21,6 +21,7 @@ const Bytes& Message::encoded() const {
     Encoder enc;
     enc.put_u32(type_id());
     encode_payload(enc);
+    obs::encode_trace_ctx(enc, trace_ctx_);
     return enc.take();
   });
 }
@@ -30,6 +31,7 @@ const crypto::Digest& Message::digest() const {
     Encoder enc;
     enc.put_u32(type_id());
     encode_payload(enc);
+    obs::encode_trace_ctx(enc, trace_ctx_);
     return enc.take();
   });
 }

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "crypto/sha256.h"
+#include "obs/trace_ctx.h"
 #include "util/codec.h"
 #include "util/memo.h"
 
@@ -53,8 +54,20 @@ class Message {
   /// and by the §8 signature schemes. Memoized alongside encoded().
   const crypto::Digest& digest() const;
 
+  /// Optional causal trace context, carried as an encoded tail (see
+  /// obs/trace_ctx.h). Must be stamped before the first encoded()/digest()
+  /// call — senders stamp right after construction, the wire decoder
+  /// stamps before publishing the message — and never changed after.
+  void set_trace_ctx(const obs::TraceContext& ctx) const {
+    trace_ctx_ = ctx;
+  }
+  const obs::TraceContext& trace_ctx() const { return trace_ctx_; }
+
  private:
   util::EncodingCache enc_cache_;
+  // Mutable + const setter: messages travel as shared_ptr<const Message>
+  // and the context is sender/decoder metadata, not message state.
+  mutable obs::TraceContext trace_ctx_;
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

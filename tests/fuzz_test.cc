@@ -245,6 +245,32 @@ TEST_P(FuzzSweep, WireDecoderSurvivesFuzzedMessages) {
   }
 }
 
+// The optional trace-context tail widens the decode surface of the
+// allowlisted types (net/wire.cc): random trailing bytes must either be
+// rejected or decode into a valid context whose re-encoding is canonical
+// — and a tail glued onto a non-allowlisted type must always reject.
+TEST_P(FuzzSweep, WireDecoderSurvivesFuzzedTraceContextTails) {
+  Rng rng(GetParam() * 131 + 7);
+  for (int i = 0; i < 400; ++i) {
+    const sim::MessagePtr msg = random_message(rng, 4);
+    Bytes bytes = msg->encoded();
+    const std::size_t tail_len = rng.uniform(1, 10);
+    for (std::size_t b = 0; b < tail_len; ++b) {
+      bytes.push_back(static_cast<std::uint8_t>(rng.uniform(0, 255)));
+    }
+    const sim::MessagePtr d = net::decode_message(bytes);
+    if (d != nullptr) {
+      // Only an allowlisted type can absorb trailing bytes, and then only
+      // as a well-formed context (nonzero trace id).
+      EXPECT_TRUE(d->trace_ctx().valid() || bytes == msg->encoded())
+          << msg->to_string();
+      const sim::MessagePtr d2 = net::decode_message(d->encoded());
+      ASSERT_NE(d2, nullptr) << msg->to_string();
+      EXPECT_EQ(d2->encoded(), d->encoded()) << msg->to_string();
+    }
+  }
+}
+
 // ----------------------------------------------------- durable-state fuzz --
 // The store decoders face a weaker adversary than the wire (a disk, not a
 // Byzantine peer) but the same contract: arbitrary bytes must yield clean,

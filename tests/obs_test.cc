@@ -186,6 +186,108 @@ TEST(SnapshotTest, MergeAddsCountersMaxesGaugesAddsBuckets) {
   EXPECT_EQ(m.gauges.at("g"), 9);
 }
 
+TEST(SnapshotTest, ConcurrentObserveNeverTearsASnapshot) {
+  // The SIGUSR1 dump path (and the /metrics endpoint) snapshots the
+  // registry while protocol threads keep observing. The invariant under
+  // test: a snapshot's histogram count always equals the sum of the
+  // buckets it carries (observe() bumps the bucket first), so quantile()
+  // can never walk past the distribution, and the sum can never lag so
+  // far that the mean of a constant-valued histogram leaves the bucket.
+  Registry reg;
+  Histogram& h = reg.histogram("lat_us");
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  constexpr std::uint64_t kValue = 7;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kIters; ++i) h.observe(kValue);
+    });
+  }
+  for (int probe = 0; probe < 200; ++probe) {
+    const Snapshot s = reg.snapshot();
+    const HistogramSnapshot& hs = s.histograms.at("lat_us");
+    std::uint64_t total = 0;
+    for (const std::uint64_t b : hs.buckets) total += b;
+    ASSERT_EQ(hs.count, total);
+    // Every observation is 7, so any consistent quantile sits in the
+    // bucket covering 7 ([4,7]).
+    if (hs.count > 0) {
+      ASSERT_GE(hs.quantile(1.0), 4.0);
+      ASSERT_LE(hs.quantile(1.0), 7.0);
+    }
+  }
+  for (auto& th : threads) th.join();
+  const HistogramSnapshot hs = reg.snapshot().histograms.at("lat_us");
+  EXPECT_EQ(hs.count, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(hs.sum, kValue * kThreads * kIters);
+}
+
+TEST(SnapshotTest, PrometheusSanitizesNamesAndEscapesLabelValues) {
+  Registry reg;
+  // Hostile metric name (dots/dashes from a peer hostname) and label
+  // values carrying the three characters that break the text exposition.
+  reg.counter("bgla.peer-host/frames_total").inc(2);
+  reg.counter("bgla_net_frames_recv_total{peer=\"host\nwith\\slash\"}")
+      .inc(1);
+  reg.counter("bgla_shard_ops_total{shard id=\"3\"}").inc(4);
+  reg.counter("bgla_bad_block_total{not labels}").inc(7);
+  const std::string text = reg.snapshot().to_prometheus();
+
+  // Name: every non-[a-zA-Z0-9_:] byte became '_'.
+  EXPECT_NE(text.find("bgla_peer_host_frames_total 2\n"),
+            std::string::npos);
+  // Label value: the raw newline and backslash are escaped per the text
+  // exposition format, so no sample line is ever split in two.
+  EXPECT_NE(
+      text.find(
+          "bgla_net_frames_recv_total{peer=\"host\\nwith\\\\slash\"} 1"),
+      std::string::npos);
+  EXPECT_EQ(text.find("host\nwith"), std::string::npos);
+  // Label name: the space is sanitized, value untouched.
+  EXPECT_NE(text.find("bgla_shard_ops_total{shard_id=\"3\"} 4\n"),
+            std::string::npos);
+  // A block that does not parse as k="v" pairs is dropped entirely:
+  // better a label-less sample than a rejected scrape.
+  EXPECT_NE(text.find("bgla_bad_block_total 7\n"), std::string::npos);
+}
+
+TEST(SnapshotTest, PrometheusEmitsOneHelpTypePairPerFamily) {
+  Registry reg;
+  // Three labeled series of one counter family, two of one histogram
+  // family: strict scrapers reject duplicated HELP/TYPE headers, so each
+  // family must emit exactly one pair no matter how many series it has.
+  reg.counter("bgla_net_frames_recv_total{peer=\"1\"}").inc(1);
+  reg.counter("bgla_net_frames_recv_total{peer=\"2\"}").inc(1);
+  reg.counter("bgla_net_frames_recv_total{peer=\"3\"}").inc(1);
+  reg.histogram("bgla_span_dur_us{phase=\"round\"}").observe(5);
+  reg.histogram("bgla_span_dur_us{phase=\"quorum\"}").observe(9);
+  const std::string text = reg.snapshot().to_prometheus();
+
+  auto count_occurrences = [&text](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_occurrences("# HELP bgla_net_frames_recv_total "), 1u);
+  EXPECT_EQ(count_occurrences("# TYPE bgla_net_frames_recv_total "), 1u);
+  EXPECT_EQ(count_occurrences("# HELP bgla_span_dur_us "), 1u);
+  EXPECT_EQ(count_occurrences("# TYPE bgla_span_dur_us "), 1u);
+  // All three counter series and both histogram series still rendered.
+  EXPECT_NE(text.find("bgla_net_frames_recv_total{peer=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("bgla_net_frames_recv_total{peer=\"3\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("bgla_span_dur_us_count{phase=\"round\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("bgla_span_dur_us_count{phase=\"quorum\"} 1"),
+            std::string::npos);
+}
+
 TEST(SnapshotTest, PrometheusRenderingPutsSuffixBeforeLabels) {
   Registry reg;
   reg.counter("bgla_test_total").inc(3);

@@ -140,11 +140,171 @@ TEST(TraceSchemaTest, InstrumentHooksEmitSchemaValidEvents) {
 TEST(TraceSchemaTest, UnopenablePathDropsEverythingButNeverBlocks) {
   TraceWriter::Options opt;
   opt.path = "/nonexistent-bgla-dir/trace.jsonl";
+  Registry reg;
+  opt.dropped_counter = &reg.counter("bgla_trace_dropped_total");
   TraceWriter w(opt);
   for (int i = 0; i < 3; ++i) w.record(make_event(0));
   w.flush();  // must return even though nothing reached disk
   EXPECT_EQ(w.recorded(), 3u);
   EXPECT_EQ(w.dropped(), 3u);
+  // The registry mirror of the drop count powers the live /metrics view.
+  EXPECT_EQ(reg.counter("bgla_trace_dropped_total").value(), 3u);
+}
+
+TEST(TraceSchemaTest, RingOverflowDropsOldestButNeverCorruptsJsonl) {
+  const std::string path =
+      testing::TempDir() + "/bgla_trace_overflow_test.jsonl";
+  std::remove(path.c_str());
+  Registry reg;
+  constexpr std::uint64_t kEvents = 50000;
+  std::uint64_t dropped = 0;
+  {
+    TraceWriter::Options opt;
+    opt.path = path;
+    opt.ring_capacity = 1;  // every burst of two in-flight events drops one
+    opt.dropped_counter = &reg.counter("bgla_trace_dropped_total");
+    TraceWriter w(opt);
+    for (std::uint64_t i = 0; i < kEvents; ++i) w.record(make_event(0));
+    w.flush();
+    dropped = w.dropped();
+    EXPECT_EQ(w.recorded() + dropped, kEvents);
+  }
+  // A single-slot ring hammered 50k times from one thread must overflow
+  // (the writer thread does file I/O per event), and the registry mirror
+  // must agree with the writer's own count.
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(reg.counter("bgla_trace_dropped_total").value(), dropped);
+  // Whatever survived is complete, schema-valid JSONL — drops lose whole
+  // events, never halves of lines.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::uint64_t lines = 0;
+  while (std::getline(in, line)) {
+    FlatJson obj;
+    std::string err;
+    ASSERT_TRUE(validate_trace_jsonl(line, lines + 1, &obj, &err))
+        << err << "\n  line: " << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines + dropped, kEvents);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSchemaTest, RolloverPreservesThePreviousIncarnationsLines) {
+  const std::string path =
+      testing::TempDir() + "/bgla_trace_rollover_test.jsonl";
+  const std::string rolled = path + ".1";
+  std::remove(path.c_str());
+  std::remove(rolled.c_str());
+
+  auto run_incarnation = [&](std::uint64_t inc, std::size_t events) {
+    TraceWriter::Options opt;
+    opt.path = path;
+    opt.incarnation = inc;
+    opt.rollover = true;
+    TraceWriter w(opt);
+    for (std::size_t i = 0; i < events; ++i) w.record(make_event(0));
+    w.flush();
+    EXPECT_EQ(w.dropped(), 0u);
+  };
+  auto read_incs = [&](const std::string& p) {
+    std::vector<std::uint64_t> incs;
+    std::ifstream in(p);
+    std::string line;
+    while (std::getline(in, line)) {
+      FlatJson obj;
+      std::string err;
+      EXPECT_TRUE(validate_trace_jsonl(line, incs.size() + 1, &obj, &err))
+          << err;
+      incs.push_back(obj.at("inc").u64);
+    }
+    return incs;
+  };
+
+  run_incarnation(1, 3);
+  run_incarnation(2, 2);  // restart re-using the path: must roll, not trunc
+
+  const auto rolled_incs = read_incs(rolled);
+  const auto live_incs = read_incs(path);
+  EXPECT_EQ(rolled_incs, (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_EQ(live_incs, (std::vector<std::uint64_t>{2, 2}));
+
+  std::remove(path.c_str());
+  std::remove(rolled.c_str());
+}
+
+TEST(TraceSchemaTest, SpanHooksEmitValidV2EventsAndFeedSinks) {
+  const std::string path = testing::TempDir() + "/bgla_trace_span_test.jsonl";
+  std::remove(path.c_str());
+  Registry reg;
+  FlightRecorder flight(/*capacity=*/4);
+  std::uint64_t trace_id = 0;
+  {
+    TraceWriter::Options opt;
+    opt.path = path;
+    TraceWriter w(opt);
+    Instrument instr(&reg, &w);
+    instr.set_flight_recorder(&flight);
+
+    // Disabled: on_span is a no-op on all three sinks.
+    instr.on_span(3, "quorum", 1, 2, 0, 10);
+    w.flush();
+    EXPECT_EQ(w.recorded(), 0u);
+    EXPECT_EQ(flight.size(), 0u);
+
+    instr.enable_spans(/*node=*/3);
+    const TraceContext root = instr.new_trace();
+    ASSERT_TRUE(root.valid());
+    trace_id = root.trace_id;
+    // Node-unique nonzero ids: (node+1) << 32 | counter.
+    EXPECT_EQ(root.trace_id >> 32, 4u);
+    const std::uint64_t child = instr.new_span_id();
+    EXPECT_NE(child, root.span_id);
+    instr.on_span(3, "submit", root.trace_id, root.span_id, 0, 0);
+    instr.on_span(3, "quorum", root.trace_id, child, root.span_id, 120,
+                  "round", 7);
+    w.flush();
+    EXPECT_EQ(w.recorded(), 2u);
+  }
+
+  // File: schema-valid v2 span lines carrying the causal fields.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    FlatJson obj;
+    std::string err;
+    ASSERT_TRUE(validate_trace_jsonl(line, lines + 1, &obj, &err)) << err;
+    EXPECT_EQ(obj.at("kind").str, "span");
+    EXPECT_EQ(obj.at("v").u64, 2u);
+    EXPECT_EQ(obj.at("trace").u64, trace_id);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+
+  // Flight recorder: same two lines, oldest first.
+  EXPECT_EQ(flight.size(), 2u);
+  const std::string dump = flight.dump();
+  EXPECT_NE(dump.find("\"phase\":\"submit\""), std::string::npos);
+  EXPECT_NE(dump.find("\"phase\":\"quorum\""), std::string::npos);
+  EXPECT_NE(dump.find("\"round\":7"), std::string::npos);
+
+  // Registry: per-phase duration histogram.
+  const Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.histograms.at("bgla_span_dur_us{phase=\"quorum\"}").sum,
+            120u);
+  EXPECT_EQ(s.histograms.at("bgla_span_dur_us{phase=\"submit\"}").count,
+            1u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSchemaTest, FlightRecorderRingKeepsOnlyTheNewestLines) {
+  FlightRecorder fr(/*capacity=*/3);
+  for (int i = 0; i < 10; ++i) fr.add("line" + std::to_string(i));
+  EXPECT_EQ(fr.size(), 3u);
+  EXPECT_EQ(fr.dump(), "line7\nline8\nline9\n");
 }
 
 TEST(TraceSchemaTest, StringFieldsEscapeQuotesAndDropControlChars) {
@@ -170,11 +330,21 @@ TEST(TraceSchemaTest, RejectsWrongVersionUnknownKindAndMissingFields) {
   const std::string envelope =
       "\"node\":1,\"inc\":0,\"seq\":0,\"wall_us\":1,\"steady_us\":1";
 
-  // Wrong schema version.
+  // Wrong schema version (v2 added spans; v3 does not exist yet).
   EXPECT_FALSE(validate_trace_jsonl(
-      "{\"v\":2,\"kind\":\"rejoin_start\"," + envelope + "}", 1, &obj,
+      "{\"v\":3,\"kind\":\"rejoin_start\"," + envelope + "}", 1, &obj,
       &err));
   EXPECT_NE(err.find("unsupported schema version"), std::string::npos);
+
+  // Both released versions validate.
+  EXPECT_TRUE(validate_trace_jsonl(
+      "{\"v\":1,\"kind\":\"rejoin_start\"," + envelope + "}", 1, &obj,
+      &err))
+      << err;
+  EXPECT_TRUE(validate_trace_jsonl(
+      "{\"v\":2,\"kind\":\"rejoin_start\"," + envelope + "}", 1, &obj,
+      &err))
+      << err;
 
   // Unknown kind.
   EXPECT_FALSE(validate_trace_jsonl(

@@ -290,5 +290,77 @@ TEST(WireCodec, NestedShardEnvelopesAreBounded) {
   EXPECT_EQ(net::decode_message(inner->encoded()), nullptr);
 }
 
+// --------------------------------------------------- trace-context tail --
+// The causal-span trace context (obs/trace_ctx.h) rides allowlisted
+// message types as an optional `varint(trace)||varint(span)` tail inside
+// the canonical encoding. The allowlist in net/wire.cc must round-trip
+// the tail; every other type must keep rejecting trailing bytes so a
+// hostile tail can never poison a signed blob or a persisted proof.
+
+const std::set<std::uint32_t>& ctx_allowed_types() {
+  static const std::set<std::uint32_t> kAllowed = {
+      11, 12, 13,          // WTS ack-req/ack/nack
+      21, 23, 24, 25,      // GWTS ack-req/nack + submit/backpressure
+      30, 31, 32,          // Faleiro ack-req/ack/nack
+      43, 44, 45,          // SbS ack-req/ack/nack
+      53,                  // GSbS ack-req
+      60, 61, 64,          // RSM update/decide/batch-update
+      80,                  // shard envelope
+  };
+  return kAllowed;
+}
+
+TEST(WireCodec, TraceContextTailRoundTripsOnAllowlistedTypes) {
+  std::set<std::uint32_t> covered;
+  for (const auto& msg : sample_messages()) {
+    if (ctx_allowed_types().count(msg->type_id()) == 0) continue;
+    covered.insert(msg->type_id());
+    // Stamp before the first encoded() call: the tail is part of the
+    // memoized canonical bytes.
+    msg->set_trace_ctx({/*trace_id=*/0x123456789abcull, /*span_id=*/42});
+    const Bytes& bytes = msg->encoded();
+    const sim::MessagePtr d = net::decode_message(bytes);
+    ASSERT_NE(d, nullptr) << msg->to_string();
+    EXPECT_EQ(d->trace_ctx().trace_id, 0x123456789abcull)
+        << msg->to_string();
+    EXPECT_EQ(d->trace_ctx().span_id, 42u) << msg->to_string();
+    EXPECT_EQ(d->encoded(), bytes)
+        << "tail lost in re-encode of " << msg->to_string();
+  }
+  // Every allowlisted type must appear in the sample set, so the tail
+  // coverage cannot silently rot as types are added.
+  EXPECT_EQ(covered, ctx_allowed_types());
+}
+
+TEST(WireCodec, UnstampedMessagesCarryNoTailAndDecodeContextFree) {
+  for (const auto& msg : sample_messages()) {
+    const sim::MessagePtr d = net::decode_message(msg->encoded());
+    ASSERT_NE(d, nullptr) << msg->to_string();
+    EXPECT_FALSE(d->trace_ctx().valid()) << msg->to_string();
+  }
+}
+
+TEST(WireCodec, ZeroTraceIdTailRejects) {
+  for (const auto& msg : sample_messages()) {
+    if (ctx_allowed_types().count(msg->type_id()) == 0) continue;
+    Bytes bytes = msg->encoded();
+    bytes.push_back(0x00);  // varint trace_id = 0 (reserved for "absent")
+    bytes.push_back(0x05);  // varint span_id = 5
+    EXPECT_EQ(net::decode_message(bytes), nullptr) << msg->to_string();
+  }
+}
+
+TEST(WireCodec, NonAllowlistedTypesRejectTrailingContextBytes) {
+  for (const auto& msg : sample_messages()) {
+    if (ctx_allowed_types().count(msg->type_id()) != 0) continue;
+    Bytes bytes = msg->encoded();
+    bytes.push_back(0x07);  // would-be varint trace_id
+    bytes.push_back(0x09);  // would-be varint span_id
+    EXPECT_EQ(net::decode_message(bytes), nullptr)
+        << "type " << msg->type_id() << " accepted a trailing tail: "
+        << msg->to_string();
+  }
+}
+
 }  // namespace
 }  // namespace bgla

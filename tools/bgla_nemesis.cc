@@ -110,6 +110,10 @@ struct Args {
   std::uint32_t node_linger_ms = 5000;   // post-finish serving window
   std::uint32_t drain_ms = 45000;        // wait for nodes after healing
   bool trace = false;  // per-node JSONL traces + the faults.jsonl timeline
+  bool trace_spans = false;  // forward --trace-spans (causal phase spans)
+  // >0: node <id> serves live introspection on 127.0.0.1:<base>+<id>
+  // (/metrics, /healthz, /spans) for mid-campaign curls and bgla_top.
+  std::uint32_t metrics_port_base = 0;
   // Ingress batching knobs, forwarded verbatim to every spawned node.
   std::uint32_t batch = 0;
   std::uint32_t queue = 0;
@@ -167,6 +171,13 @@ Args parse(int argc, char** argv) {
   flags.add_bool("trace", &a.trace,
                  "write per-node JSONL traces and a faults.jsonl fault "
                  "timeline into --workdir (feed both to tools/bgla_trace)");
+  flags.add_bool("trace-spans", &a.trace_spans,
+                 "forward --trace-spans to every node (causal per-command "
+                 "phase spans; analyze with bgla_trace --critical-path)");
+  flags.add_u32("metrics-port-base", &a.metrics_port_base,
+                "forward --metrics-port <base>+<id> to every node so the "
+                "live /metrics, /healthz and /spans endpoints are "
+                "reachable mid-campaign (0 = off)");
   flags.add_u32("batch", &a.batch,
                 "forward --batch to every node (values per round batch)");
   flags.add_u32("queue", &a.queue,
@@ -418,6 +429,11 @@ class Cluster {
       argv.push_back("--trace-file");
       argv.push_back(a_.workdir + "/node" + std::to_string(id) + ".inc" +
                      std::to_string(nd.restarts) + ".trace.jsonl");
+      if (a_.trace_spans) argv.push_back("--trace-spans");
+    }
+    if (a_.metrics_port_base != 0) {
+      argv.push_back("--metrics-port");
+      argv.push_back(std::to_string(a_.metrics_port_base + id));
     }
 
     const pid_t pid = ::fork();

@@ -54,11 +54,14 @@
 //   stale-replay   GsbsStaleCertReplayer (replays its oldest DECIDED
 //                  certificate at every type-70 catch-up request)
 //
-// Observability: --trace-file writes the schema-v1 JSONL protocol trace
-// (one file per node; merge them with tools/bgla_trace), --metrics-json
-// writes a final metrics snapshot, --metrics-port serves the live
-// Prometheus text format on 127.0.0.1, and SIGUSR1 dumps the same text to
-// stderr at any point.
+// Observability: --trace-file writes the JSONL protocol trace (one file
+// per node; merge them with tools/bgla_trace), --trace-spans additionally
+// emits the schema-v2 causal phase spans (submit/enqueue/round/quorum/
+// ack/apply/...; analyze with `bgla_trace --critical-path`),
+// --metrics-json writes a final metrics snapshot, --metrics-port serves
+// live introspection on 127.0.0.1 (/metrics Prometheus text, /healthz
+// progress + peer liveness, /spans the recent-span flight recorder), and
+// SIGUSR1 dumps the Prometheus text to stderr at any point.
 //
 // Sharding (--shards S, rsm-replica only): the node keeps ONE transport
 // identity but mounts S independent replica stacks behind a shard::Router.
@@ -99,6 +102,7 @@
 #include "lattice/set_elem.h"
 #include "net/socket_transport.h"
 #include "obs/exporter.h"
+#include "obs/flight_recorder.h"
 #include "obs/instrument.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -140,6 +144,7 @@ struct Args {
   std::string byzantine;
   bool chaos_stdin = false;
   std::string trace_file;
+  bool trace_spans = false;
   std::string metrics_json;
   std::uint32_t metrics_port = 0;
 };
@@ -193,6 +198,9 @@ Args parse(int argc, char** argv) {
                  "accept fault-injection commands on stdin");
   flags.add_string("trace-file", &a.trace_file,
                    "write the JSONL protocol trace to this file");
+  flags.add_bool("trace-spans", &a.trace_spans,
+                 "emit causal per-command phase spans (schema v2) into the "
+                 "trace and the /spans flight recorder");
   flags.add_string("metrics-json", &a.metrics_json,
                    "write a final metrics snapshot (JSON) to this file");
   flags.add_u32("metrics-port", &a.metrics_port,
@@ -435,14 +443,24 @@ int main(int argc, char** argv) {
   // Observability sinks. The registry always exists (its cost without a
   // reader is a few cached atomics); the trace writer only with a file.
   obs::Registry registry;
+  obs::FlightRecorder flight;
   std::unique_ptr<obs::TraceWriter> trace;
   if (!a.trace_file.empty()) {
     obs::TraceWriter::Options topt;
     topt.path = a.trace_file;
     topt.incarnation = incarnation;
+    // A restart re-using the path (per-incarnation campaigns) rolls the
+    // previous run's lines aside instead of truncating them; ring
+    // overflows surface in the scrapeable dropped counter.
+    topt.rollover = true;
+    topt.dropped_counter = &registry.counter("bgla_trace_dropped_total");
     trace = std::make_unique<obs::TraceWriter>(topt);
   }
   obs::Instrument instr(&registry, trace.get());
+  if (a.trace_spans) {
+    instr.enable_spans(a.id);
+    instr.set_flight_recorder(&flight);
+  }
   // Sharded nodes get one trace file and instrument per shard, so the
   // offline checker (tools/bgla_trace) can verify each shard's GLA spec
   // independently — the shard index rides in the ".shard<k>" file suffix.
@@ -455,10 +473,19 @@ int main(int argc, char** argv) {
       topt.path = a.trace_file + ".shard" + std::to_string(s);
       topt.incarnation =
           s < shard_stores.size() ? shard_stores[s]->incarnation() : 0;
+      topt.rollover = true;
+      topt.dropped_counter = &registry.counter("bgla_trace_dropped_total");
       shard_traces.push_back(std::make_unique<obs::TraceWriter>(topt));
       st = shard_traces.back().get();
     }
     shard_instrs.push_back(std::make_unique<obs::Instrument>(&registry, st));
+    if (a.trace_spans) {
+      // Each instrument seeds its own span-id namespace; shard s borrows a
+      // synthetic node id so its trace ids never collide with the node's
+      // own or a sibling shard's (real ids are < 64, see the chaos masks).
+      shard_instrs.back()->enable_spans(a.id + (s + 1) * 1024);
+      shard_instrs.back()->set_flight_recorder(&flight);
+    }
   }
   std::signal(SIGUSR1, &on_sigusr1);
 
@@ -480,6 +507,7 @@ int main(int argc, char** argv) {
   }
   net::SocketTransport net(scfg);
   net.set_observability(&registry, trace.get());
+  net.set_instrument(&instr);  // retransmit spans when --trace-spans
   net.bind_and_listen();
 
   la::LaConfig cfg;
@@ -738,8 +766,39 @@ int main(int argc, char** argv) {
   if (a.metrics_port != 0) {
     metrics_server = std::make_unique<obs::MetricsHttpServer>(
         &registry, static_cast<std::uint16_t>(a.metrics_port));
+    // /healthz: frontier progress (decides / frontier weights) plus peer
+    // liveness (per-peer frames received). Runs on the server thread over
+    // a registry snapshot, so it never touches protocol state.
+    metrics_server->set_health([&registry, &a] {
+      const obs::Snapshot snap = registry.snapshot();
+      const auto counter = [&snap](const std::string& name) {
+        const auto it = snap.counters.find(name);
+        return it == snap.counters.end() ? 0ull : it->second;
+      };
+      std::ostringstream os;
+      os << "ok node=" << a.id << " protocol=" << a.protocol
+         << " decided=" << counter("bgla_proto_decides_total")
+         << " submitted=" << counter("bgla_proto_submitted_values_total")
+         << " rejoins=" << counter("bgla_proto_rejoins_total") << "\n";
+      for (const auto& [name, v] : snap.gauges) {
+        if (name.rfind("bgla_shard_frontier_weight", 0) == 0) {
+          os << "frontier " << name << " " << v << "\n";
+        }
+      }
+      for (const auto& [name, v] : snap.counters) {
+        constexpr const char* kRecv = "bgla_net_frames_recv_total{peer=";
+        if (name.rfind(kRecv, 0) == 0) {
+          os << "peer " << name.substr(std::string(kRecv).size(),
+                                       name.size() -
+                                           std::string(kRecv).size() - 1)
+             << (v > 0 ? " alive " : " silent ") << v << "\n";
+        }
+      }
+      return os.str();
+    });
+    if (a.trace_spans) metrics_server->set_flight_recorder(&flight);
     std::cout << "metrics on http://127.0.0.1:" << metrics_server->port()
-              << "/metrics\n";
+              << "/metrics (/healthz, /spans)\n";
   }
 
   std::cout << "node " << a.id << " (" << a.protocol

@@ -1,0 +1,243 @@
+// bgla_top — live cluster introspection over the bgla_node metrics ports.
+//
+// Polls each node's /metrics endpoint (the Prometheus text exposition the
+// MetricsHttpServer serves) and renders a refreshing per-node table of
+// throughput, queue depth and causal-span phase latencies:
+//
+//   bgla_top --port-base 9100 --n 5                # ports 9100..9104
+//   bgla_top --port 9100 --port 9200 --interval-ms 500
+//   bgla_top --port 9100 --iterations 1            # one sample (CI smoke)
+//
+// The phase columns come from the bgla_span_dur_us{phase="..."} histograms
+// populated when the nodes run with --trace-spans; without span tracing
+// they stay blank and the counter columns still work. A node whose port
+// does not answer is shown as DOWN — bgla_top is a viewer, not a health
+// checker; /healthz is there for machines.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/flags.h"
+
+using namespace bgla;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> ports;   // explicit ports (repeatable)
+  std::uint32_t port_base = 0;      // with --n: ports base..base+n-1
+  std::uint32_t n = 0;
+  std::string host = "127.0.0.1";
+  std::uint32_t interval_ms = 1000;
+  std::uint32_t iterations = 0;     // 0 = until interrupted
+  bool no_clear = false;
+  std::string raw;                  // fetch this path, print the raw body
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  util::FlagSet flags("bgla_top",
+                      "poll bgla_node /metrics endpoints and render a "
+                      "refreshing phase-latency / queue-depth table");
+  flags.add_string_list("port", &a.ports,
+                        "node metrics port (repeatable)");
+  flags.add_u32("port-base", &a.port_base,
+                "first metrics port; with --n polls base..base+n-1");
+  flags.add_u32("n", &a.n, "number of nodes (with --port-base)");
+  flags.add_string("host", &a.host, "host the nodes listen on");
+  flags.add_u32("interval-ms", &a.interval_ms, "poll interval");
+  flags.add_u32("iterations", &a.iterations,
+                "stop after this many polls (0 = run until interrupted)");
+  flags.add_bool("no-clear", &a.no_clear,
+                 "append samples instead of redrawing in place");
+  flags.add_string("raw", &a.raw,
+                   "fetch this path (e.g. /healthz or /spans) from every "
+                   "port and print the raw body instead of the table");
+  flags.parse_or_exit(argc, argv);
+  if (a.ports.empty() && (a.port_base == 0 || a.n == 0)) {
+    flags.fail("need --port ... or --port-base with --n");
+  }
+  return a;
+}
+
+/// One HTTP GET against host:port, returning the response body (empty on
+/// any failure — connection refused IS the signal for a down node).
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req =
+      "GET " + path + " HTTP/1.1\r\nHost: " + host +
+      "\r\nConnection: close\r\n\r\n";
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t w = ::send(fd, req.data() + off, req.size() - off, 0);
+    if (w <= 0) {
+      ::close(fd);
+      return {};
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  std::string resp;
+  char buf[4096];
+  ssize_t r;
+  while ((r = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  const std::size_t hdr_end = resp.find("\r\n\r\n");
+  if (hdr_end == std::string::npos) return {};
+  return resp.substr(hdr_end + 4);
+}
+
+/// Parses Prometheus text exposition into full-series-name -> value
+/// ("bgla_span_dur_us{phase=\"quorum\",quantile=\"0.99\"}" is one key).
+std::map<std::string, double> parse_metrics(const std::string& body) {
+  std::map<std::string, double> out;
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    // `name{labels} value` or `name value`; labels may embed spaces only
+    // inside quoted values, which the exporter escapes, so the value is
+    // everything after the last space.
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp == 0) continue;
+    const std::string name = line.substr(0, sp);
+    try {
+      out[name] = std::stod(line.substr(sp + 1));
+    } catch (...) {
+      // Non-numeric sample (NaN renderings etc.) — skip the line.
+    }
+  }
+  return out;
+}
+
+double series(const std::map<std::string, double>& m,
+              const std::string& name) {
+  const auto it = m.find(name);
+  return it == m.end() ? 0.0 : it->second;
+}
+
+std::string fmt_us(double us) {
+  std::ostringstream os;
+  os << std::fixed;
+  if (us >= 1e6) {
+    os << std::setprecision(1) << us / 1e6 << "s";
+  } else if (us >= 1e3) {
+    os << std::setprecision(1) << us / 1e3 << "ms";
+  } else {
+    os << std::setprecision(0) << us << "us";
+  }
+  return os.str();
+}
+
+/// "p50/p99" for one span phase, blank when the phase never fired.
+std::string phase_cell(const std::map<std::string, double>& m,
+                       const std::string& phase) {
+  const std::string base = "bgla_span_dur_us{phase=\"" + phase + "\"";
+  if (series(m, base + ",quantile=\"0.5\"}") == 0.0 &&
+      series(m, base + ",quantile=\"0.99\"}") == 0.0) {
+    const std::string count = "bgla_span_dur_us_count{phase=\"" + phase +
+                              "\"}";
+    if (series(m, count) == 0.0) return "-";
+  }
+  return fmt_us(series(m, base + ",quantile=\"0.5\"}")) + "/" +
+         fmt_us(series(m, base + ",quantile=\"0.99\"}"));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  std::vector<std::uint16_t> ports;
+  for (const std::string& p : a.ports) {
+    ports.push_back(static_cast<std::uint16_t>(std::stoul(p)));
+  }
+  for (std::uint32_t i = 0; i < a.n && a.port_base != 0; ++i) {
+    ports.push_back(static_cast<std::uint16_t>(a.port_base + i));
+  }
+
+  bool any_sample = false;
+  for (std::uint32_t tick = 0; a.iterations == 0 || tick < a.iterations;
+       ++tick) {
+    if (tick > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(a.interval_ms));
+    }
+    if (!a.raw.empty()) {
+      for (const std::uint16_t port : ports) {
+        const std::string body = http_get(a.host, port, a.raw);
+        std::cout << "== " << a.host << ":" << port << a.raw << " ==\n";
+        if (body.empty()) {
+          std::cout << "DOWN\n";
+        } else {
+          any_sample = true;
+          std::cout << body;
+          if (body.back() != '\n') std::cout << "\n";
+        }
+      }
+      continue;
+    }
+    std::ostringstream frame;
+    frame << "bgla_top — " << ports.size() << " node(s), tick " << tick + 1
+          << "\n"
+          << "  port   decide  submit  queue  backpr  "
+          << std::left << std::setw(14) << "enqueue" << std::setw(14)
+          << "round" << std::setw(14) << "quorum" << std::setw(14)
+          << "apply" << std::right << "\n";
+    for (const std::uint16_t port : ports) {
+      const std::string body = http_get(a.host, port, "/metrics");
+      if (body.empty()) {
+        frame << "  " << std::setw(5) << port << "  DOWN\n";
+        continue;
+      }
+      any_sample = true;
+      const auto m = parse_metrics(body);
+      frame << "  " << std::setw(5) << port << std::setw(8)
+            << static_cast<std::uint64_t>(
+                   series(m, "bgla_proto_decides_total"))
+            << std::setw(8)
+            << static_cast<std::uint64_t>(
+                   series(m, "bgla_proto_submitted_values_total"))
+            << std::setw(7)
+            << static_cast<std::int64_t>(
+                   series(m, "bgla_proto_batch_queue_depth"))
+            << std::setw(8)
+            << static_cast<std::uint64_t>(
+                   series(m, "bgla_proto_backpressure_total"))
+            << "  " << std::left << std::setw(14)
+            << phase_cell(m, "enqueue") << std::setw(14)
+            << phase_cell(m, "round") << std::setw(14)
+            << phase_cell(m, "quorum") << std::setw(14)
+            << phase_cell(m, "apply") << std::right << "\n";
+    }
+    if (!a.no_clear && a.iterations != 1) {
+      std::cout << "\x1b[2J\x1b[H";  // redraw in place
+    }
+    std::cout << frame.str() << std::flush;
+  }
+  // CI smoke usage (--iterations N) needs a truthful exit: sampling only
+  // DOWN nodes means the endpoints were never actually exercised.
+  return any_sample ? 0 : 1;
+}

@@ -64,6 +64,8 @@ struct Args {
   std::string json;                 // machine-readable summary
   bool timelines = false;           // print every per-proposal timeline
   std::uint32_t region_size = 0;    // >0: group nodes into WAN regions
+  bool critical_path = false;       // span-merge critical-path analysis
+  std::uint32_t top_k = 5;          // slowest commands to print in full
 };
 
 Args parse(int argc, char** argv) {
@@ -86,6 +88,14 @@ Args parse(int argc, char** argv) {
                 "group nodes into WAN regions of this size (region of id = "
                 "id / region-size) and print per-region decide-latency "
                 "percentiles; 0 = off");
+  flags.add_bool("critical-path", &a.critical_path,
+                 "merge the schema-v2 causal spans into per-command "
+                 "critical paths: per-phase latency attribution, "
+                 "completeness gate (>=99% of decided commands must "
+                 "reconstruct), top-k slowest commands with span trees");
+  flags.add_u32("top-k", &a.top_k,
+                "slowest commands to print with full span trees "
+                "(--critical-path)");
   flags.parse_or_exit(argc, argv);
   if (a.inputs.empty()) flags.fail("at least one --input is required");
   return a;
@@ -243,6 +253,251 @@ std::string fmt_us(std::uint64_t us) {
     os << us << "us";
   }
   return os.str();
+}
+
+// ---- causal span merge (--critical-path) ---------------------------------
+//
+// Schema-v2 "span" events carry {trace, span, parent, phase, dur_us} plus
+// one phase-specific extra. The merge groups spans by trace id and joins
+// the two trace families the protocols emit:
+//   - command traces: rooted at a "submit" span on the submitting node;
+//     the one-shot protocols (WTS/SbS) hang "round"/"quorum" children
+//     directly off it, the generalized ones hang an "enqueue" child whose
+//     "round" extra names the batch round the command rode into.
+//   - round traces: rooted at a "round" span (per-round in the generalized
+//     protocols), with a "quorum" child measuring propose -> decide.
+// A command's critical path is complete when its trace either carries the
+// decide evidence itself (quorum or apply span) or its enqueue round joins
+// a decided round trace on the same node (the round may have merged the
+// batch upward, so any decided round >= the enqueue round completes it).
+
+struct SpanEv {
+  std::uint64_t trace = 0, span = 0, parent = 0, dur_us = 0;
+  std::uint64_t node = 0, wall_us = 0, extra = 0;
+  std::int32_t shard = -1;
+  std::string phase;
+};
+
+struct SpanTrace {
+  std::vector<SpanEv> spans;
+  std::uint64_t node = 0;   // node of the root span
+  std::int32_t shard = -1;  // from the file the root came from
+  bool has_submit = false, has_round = false, has_quorum = false;
+  bool has_apply = false, has_enqueue = false, has_backpressure = false;
+  std::uint64_t round_no = 0;     // "round" extra of the round span
+  std::uint64_t enqueue_round = 0;  // max "round" extra of enqueue spans
+  std::uint64_t quorum_dur = 0, round_dur = 0, enqueue_dur = 0;
+  std::uint64_t apply_dur = 0;
+};
+
+struct CommandPath {
+  std::uint64_t trace = 0;
+  std::uint64_t latency_us = 0;  // end-to-end attribution (see below)
+  bool complete = false;
+  std::uint64_t node = 0;
+  std::int32_t shard = -1;
+  std::vector<SpanEv> spans;  // owned copy, filled for the top-k only
+};
+
+struct CriticalPathReport {
+  std::size_t span_events = 0;
+  std::size_t commands = 0;      // decided-command denominator
+  std::size_t complete = 0;
+  std::size_t backpressured = 0;  // nacked-only traces (excluded)
+  double complete_frac = 1.0;
+  std::map<std::string, Quantiles> phase_q;  // per-phase dur quantiles
+  std::map<std::int32_t, Quantiles> shard_q;  // command latency per shard
+  std::map<std::uint64_t, Quantiles> region_q;  // ... per region
+  std::vector<CommandPath> top;  // slowest first
+};
+
+void print_span_tree(const std::vector<SpanEv>& spans, std::uint64_t root,
+                     std::size_t depth) {
+  for (const SpanEv& s : spans) {
+    if (s.parent != root) continue;
+    std::cout << "      " << std::string(depth * 2, ' ') << s.phase << "@n"
+              << s.node << " dur=" << fmt_us(s.dur_us);
+    if (s.phase == "enqueue" || s.phase == "round") {
+      std::cout << " round=" << s.extra;
+    } else if (s.phase == "ack" || s.phase == "retransmit") {
+      std::cout << " peer=" << s.extra;
+    } else if (s.phase == "route") {
+      std::cout << " shard=" << s.extra;
+    }
+    std::cout << "\n";
+    if (s.span != root) print_span_tree(spans, s.span, depth + 1);
+  }
+}
+
+CriticalPathReport analyze_critical_path(const std::vector<Ev>& events,
+                                         std::uint32_t region_size,
+                                         std::uint32_t top_k) {
+  CriticalPathReport rep;
+  std::map<std::uint64_t, SpanTrace> traces;
+  std::map<std::string, std::vector<std::uint64_t>> phase_durs;
+  for (const Ev& ev : events) {
+    if (ev.kind != obs::EventKind::kSpan) continue;
+    ++rep.span_events;
+    SpanEv s;
+    s.trace = ev.u("trace");
+    s.span = ev.u("span");
+    s.parent = ev.u("parent");
+    s.dur_us = ev.u("dur_us");
+    s.node = ev.node;
+    s.wall_us = ev.wall_us;
+    s.shard = ev.shard;
+    s.phase = ev.s("phase");
+    // The one phase-specific extra rides under its own key.
+    s.extra = ev.u("round") + ev.u("peer") + ev.u("shard");
+    phase_durs[s.phase].push_back(s.dur_us);
+    SpanTrace& tr = traces[s.trace];
+    if (s.parent == 0) {
+      tr.node = s.node;
+      tr.shard = s.shard;
+    }
+    if (s.phase == "submit") tr.has_submit = true;
+    if (s.phase == "round") {
+      tr.has_round = true;
+      tr.round_no = s.extra;
+      tr.round_dur = std::max(tr.round_dur, s.dur_us);
+    }
+    if (s.phase == "quorum") {
+      tr.has_quorum = true;
+      tr.quorum_dur = std::max(tr.quorum_dur, s.dur_us);
+    }
+    if (s.phase == "apply") {
+      tr.has_apply = true;
+      tr.apply_dur = std::max(tr.apply_dur, s.dur_us);
+    }
+    if (s.phase == "enqueue") {
+      tr.has_enqueue = true;
+      tr.enqueue_round = std::max(tr.enqueue_round, s.extra);
+      tr.enqueue_dur = std::max(tr.enqueue_dur, s.dur_us);
+    }
+    if (s.phase == "backpressure") tr.has_backpressure = true;
+    tr.spans.push_back(std::move(s));
+  }
+  for (auto& [phase, durs] : phase_durs) {
+    rep.phase_q[phase] = quantiles(std::move(durs));
+  }
+
+  // Decided-round index: node -> decided round traces, for the enqueue
+  // join. A decided round on the node at or above the enqueue round
+  // completes every command batched into it.
+  struct RoundRef {
+    std::uint64_t round = 0, quorum_dur = 0, round_dur = 0;
+  };
+  std::map<std::uint64_t, std::vector<RoundRef>> rounds_by_node;
+  for (const auto& [id, tr] : traces) {
+    if (!tr.has_round || !tr.has_quorum || tr.has_submit) continue;
+    rounds_by_node[tr.node].push_back(
+        RoundRef{tr.round_no, tr.quorum_dur, tr.round_dur});
+  }
+
+  std::vector<CommandPath> cmds;
+  std::map<std::int32_t, std::vector<std::uint64_t>> shard_lat;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> region_lat;
+  for (const auto& [id, tr] : traces) {
+    if (!tr.has_submit) continue;
+    if (tr.has_backpressure && !tr.has_enqueue && !tr.has_quorum &&
+        !tr.has_apply) {
+      // Nacked at the ingress queue and never re-admitted: the command was
+      // never decided, so it does not count against completeness.
+      ++rep.backpressured;
+      continue;
+    }
+    CommandPath c;
+    c.trace = id;
+    c.node = tr.node;
+    c.shard = tr.shard;
+    const RoundRef* joined = nullptr;
+    if (tr.has_enqueue) {
+      const auto it = rounds_by_node.find(tr.node);
+      if (it != rounds_by_node.end()) {
+        for (const RoundRef& r : it->second) {
+          if (r.round >= tr.enqueue_round &&
+              (joined == nullptr || r.round < joined->round)) {
+            joined = &r;
+          }
+        }
+      }
+    }
+    c.complete = (tr.has_quorum) || tr.has_apply || joined != nullptr;
+    if (tr.has_apply) {
+      c.latency_us = tr.apply_dur;
+    } else if (joined != nullptr) {
+      c.latency_us = tr.enqueue_dur + joined->round_dur;
+    } else if (tr.has_round) {
+      c.latency_us = tr.round_dur;  // one-shot: round dur is end-to-end
+    } else {
+      c.latency_us = tr.quorum_dur;
+    }
+    ++rep.commands;
+    if (c.complete) {
+      ++rep.complete;
+      if (c.shard >= 0) shard_lat[c.shard].push_back(c.latency_us);
+      if (region_size > 0) {
+        region_lat[c.node / region_size].push_back(c.latency_us);
+      }
+    }
+    cmds.push_back(std::move(c));
+  }
+  rep.complete_frac =
+      rep.commands == 0
+          ? 1.0
+          : static_cast<double>(rep.complete) /
+                static_cast<double>(rep.commands);
+  for (auto& [s, lat] : shard_lat) rep.shard_q[s] = quantiles(std::move(lat));
+  for (auto& [r, lat] : region_lat) {
+    rep.region_q[r] = quantiles(std::move(lat));
+  }
+  std::sort(cmds.begin(), cmds.end(),
+            [](const CommandPath& x, const CommandPath& y) {
+              return x.latency_us > y.latency_us;
+            });
+  if (cmds.size() > top_k) cmds.resize(top_k);
+  for (CommandPath& c : cmds) c.spans = traces.at(c.trace).spans;
+  rep.top = std::move(cmds);
+  return rep;
+}
+
+void print_critical_path(const CriticalPathReport& rep) {
+  std::cout << "\ncritical path (" << rep.span_events << " span event(s)):\n"
+            << "  commands: " << rep.commands << " decided, " << rep.complete
+            << " complete (" << std::fixed << std::setprecision(1)
+            << rep.complete_frac * 100.0 << "%), " << rep.backpressured
+            << " backpressure-nacked (excluded)\n";
+  if (!rep.phase_q.empty()) {
+    std::cout << "  per-phase latency attribution:\n"
+              << "    phase          count      p50      p99      max\n";
+    for (const auto& [phase, q] : rep.phase_q) {
+      std::cout << "    " << std::left << std::setw(12) << phase
+                << std::right << std::setw(9) << q.count << std::setw(9)
+                << fmt_us(q.p50) << std::setw(9) << fmt_us(q.p99)
+                << std::setw(9) << fmt_us(q.max) << "\n";
+    }
+  }
+  for (const auto& [s, q] : rep.shard_q) {
+    std::cout << "  shard " << s << ": " << q.count
+              << " command(s), p50=" << fmt_us(q.p50)
+              << " p99=" << fmt_us(q.p99) << " max=" << fmt_us(q.max)
+              << "\n";
+  }
+  for (const auto& [r, q] : rep.region_q) {
+    std::cout << "  region " << r << ": " << q.count
+              << " command(s), p50=" << fmt_us(q.p50)
+              << " p99=" << fmt_us(q.p99) << " max=" << fmt_us(q.max)
+              << "\n";
+  }
+  if (!rep.top.empty()) {
+    std::cout << "  slowest commands:\n";
+    for (const CommandPath& c : rep.top) {
+      std::cout << "    trace " << std::hex << c.trace << std::dec << " ("
+                << fmt_us(c.latency_us) << ", "
+                << (c.complete ? "complete" : "INCOMPLETE") << "):\n";
+      print_span_tree(c.spans, 0, 0);
+    }
+  }
 }
 
 }  // namespace
@@ -445,8 +700,32 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- critical-path span merge (--critical-path) ----------------------
+  CriticalPathReport cp;
+  if (a.critical_path) {
+    cp = analyze_critical_path(events, a.region_size, a.top_k);
+    print_critical_path(cp);
+  }
+
   // ---- bound verdicts ---------------------------------------------------
   std::vector<Verdict> verdicts;
+
+  if (a.critical_path) {
+    // The tracing gate: on a traced run every decided command must
+    // reconstruct into a complete causal span tree. 99% (not 100%) because
+    // commands still in flight at shutdown legitimately lack their decide
+    // evidence.
+    Verdict v;
+    v.name = "critical path: >=99% of decided commands reconstruct";
+    v.pass = cp.commands == 0 || cp.complete_frac >= 0.99;
+    std::ostringstream os;
+    os << cp.complete << "/" << cp.commands << " complete ("
+       << std::fixed << std::setprecision(1) << cp.complete_frac * 100.0
+       << "%) from " << cp.span_events << " span(s)";
+    if (cp.commands == 0) os << "; no command traces (skipped)";
+    v.detail = os.str();
+    verdicts.push_back(std::move(v));
+  }
 
   {
     // Refinement bound <=> delay bound. Thm 3: a WTS decision with r
@@ -668,8 +947,50 @@ int main(int argc, char** argv) {
             << ",\"p99_us\":" << rq.p99 << ",\"max_us\":" << rq.max << "}";
       }
     }
-    out << "]"
-        << ",\"decisions_in_partition\":" << decisions_in_partition
+    out << "]";
+    if (a.critical_path) {
+      out << ",\"critical_path\":{\"spans\":" << cp.span_events
+          << ",\"commands\":" << cp.commands
+          << ",\"complete\":" << cp.complete
+          << ",\"complete_frac\":" << cp.complete_frac
+          << ",\"backpressured\":" << cp.backpressured << ",\"phases\":{";
+      bool first = true;
+      for (const auto& [phase, q] : cp.phase_q) {
+        if (!first) out << ",";
+        first = false;
+        out << "\"" << phase << "\":{\"count\":" << q.count
+            << ",\"p50_us\":" << q.p50 << ",\"p99_us\":" << q.p99
+            << ",\"max_us\":" << q.max << "}";
+      }
+      out << "},\"shards\":{";
+      first = true;
+      for (const auto& [s, q] : cp.shard_q) {
+        if (!first) out << ",";
+        first = false;
+        out << "\"" << s << "\":{\"count\":" << q.count
+            << ",\"p50_us\":" << q.p50 << ",\"p99_us\":" << q.p99 << "}";
+      }
+      out << "},\"regions\":{";
+      first = true;
+      for (const auto& [r, q] : cp.region_q) {
+        if (!first) out << ",";
+        first = false;
+        out << "\"" << r << "\":{\"count\":" << q.count
+            << ",\"p50_us\":" << q.p50 << ",\"p99_us\":" << q.p99 << "}";
+      }
+      out << "},\"top\":[";
+      first = true;
+      for (const CommandPath& c : cp.top) {
+        if (!first) out << ",";
+        first = false;
+        out << "{\"trace\":" << c.trace
+            << ",\"latency_us\":" << c.latency_us << ",\"complete\":"
+            << (c.complete ? "true" : "false") << ",\"spans\":"
+            << c.spans.size() << "}";
+      }
+      out << "]}";
+    }
+    out << ",\"decisions_in_partition\":" << decisions_in_partition
         << ",\"batch_flushes\":" << total_flushes
         << ",\"mean_batch_size\":"
         << (total_flushes == 0

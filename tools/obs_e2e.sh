@@ -1,24 +1,79 @@
 #!/bin/sh
 # Observability end-to-end check: run a real loopback TCP cluster with
-# JSONL tracing on (fault-free nemesis campaign), then feed the merged
-# traces to bgla_trace, which exits non-zero if any schema line or any of
-# the paper's bounds (Thm 3 / Thm 8 refinement caps, message complexity)
-# is violated.
+# JSONL tracing AND causal span tracing on (fault-free nemesis campaign),
+# poke the live introspection endpoints mid-run (/metrics and /healthz via
+# bgla_top, so the check has no curl dependency), then feed the merged
+# traces to bgla_trace --critical-path, which exits non-zero if any schema
+# line, any of the paper's bounds (Thm 3 / Thm 8 refinement caps, message
+# complexity), or the >=99% span-reconstruction gate is violated. The
+# per-phase latency attribution lands in $WORKDIR/attribution.json for CI
+# to upload.
 #
-# usage: obs_e2e.sh NEMESIS_BIN TRACE_BIN NODE_BIN WORKDIR [nemesis args...]
+# usage: obs_e2e.sh NEMESIS_BIN TRACE_BIN NODE_BIN TOP_BIN WORKDIR \
+#          [nemesis args...]
 set -eu
 
 NEMESIS=$1
 TRACE=$2
 NODE=$3
-WORKDIR=$4
-shift 4
+TOP=$4
+WORKDIR=$5
+shift 5
 
 rm -rf "$WORKDIR"
 
+# Recover --n from the pass-through nemesis args so bgla_top knows how
+# many metrics ports to poll (defaults match the nemesis default).
+N=3
+prev=""
+for arg in "$@"; do
+  if [ "$prev" = "--n" ]; then N="$arg"; fi
+  prev="$arg"
+done
+
+# Per-invocation metrics port base keyed off the PID so parallel ctest
+# instances don't collide on fixed ports.
+PORT_BASE=$(( ($$ % 2000) * 16 + 20000 ))
+
 "$NEMESIS" --node-bin "$NODE" --workdir "$WORKDIR" \
-  --campaign none --trace "$@"
+  --campaign none --trace --trace-spans \
+  --metrics-port-base "$PORT_BASE" "$@" &
+NEMESIS_PID=$!
+
+# Mid-run introspection: wait for the endpoints to come up (nodes bind
+# their metrics port after startup), then require one full /metrics table
+# sample and one /healthz sweep. bgla_top exits 1 when every port is DOWN.
+METRICS_OK=0
+tries=0
+while [ "$tries" -lt 30 ]; do
+  if ! kill -0 "$NEMESIS_PID" 2>/dev/null; then
+    break
+  fi
+  if "$TOP" --port-base "$PORT_BASE" --n "$N" --iterations 1; then
+    METRICS_OK=1
+    break
+  fi
+  tries=$((tries + 1))
+  sleep 1
+done
+if [ "$METRICS_OK" -ne 1 ]; then
+  echo "obs_e2e: /metrics never became reachable on ports $PORT_BASE..+$N" >&2
+  kill "$NEMESIS_PID" 2>/dev/null || true
+  wait "$NEMESIS_PID" 2>/dev/null || true
+  exit 1
+fi
+"$TOP" --port-base "$PORT_BASE" --n "$N" --iterations 1 --raw /healthz
+"$TOP" --port-base "$PORT_BASE" --n "$N" --iterations 1 --raw /spans \
+  > "$WORKDIR/spans_midrun.txt"
+
+NEMESIS_RC=0
+wait "$NEMESIS_PID" || NEMESIS_RC=$?
+if [ "$NEMESIS_RC" -ne 0 ]; then
+  echo "obs_e2e: nemesis campaign failed (rc=$NEMESIS_RC)" >&2
+  exit "$NEMESIS_RC"
+fi
 
 # bgla_trace expands the glob itself; keep it quoted.
 "$TRACE" --input "$WORKDIR/node*.trace.jsonl" \
-  --faults "$WORKDIR/faults.jsonl"
+  --faults "$WORKDIR/faults.jsonl" \
+  --critical-path --json "$WORKDIR/attribution.json"
