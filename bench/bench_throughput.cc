@@ -230,6 +230,86 @@ int main(int argc, char** argv) {
   }
   stable.print();
 
+  // ---- bytes axis (T-bytes): per-command wire cost vs feed length ----
+  //
+  // Claim under test: full-state proposals/acks make the *per-command*
+  // byte cost grow with history (each message carries the whole
+  // accumulated set), while delta encoding against the receiver's acked
+  // frontier keeps it flat. Measured on faleiro-la (no RB or digest
+  // traffic to dilute the effect) at n=3, batch=64, with the same run
+  // executed twice through the wire decorator: meter-only (full-state
+  // bytes, the delta-off baseline) and delta-on.
+  const std::vector<std::uint32_t> byte_feeds =
+      smoke ? std::vector<std::uint32_t>{32, 320}
+            : std::vector<std::uint32_t>{334, 3334, 16667};  // ~1k/10k/50k total
+  bench::banner(
+      "T-bytes: delta wire encoding — bytes/command vs feed length "
+      "(faleiro-la, n=3, batch=64, meter-only vs delta-on)");
+  bench::Table btable({"cmds_total", "B/cmd_full", "B/cmd_delta", "ratio",
+                       "delta_msgs", "resets", "spec_ok"});
+  std::vector<std::string> byte_rows_json;
+  bool bytes_cells_ok = true;
+  double delta_first = 0.0, delta_last = 0.0;
+  double full_first = 0.0, full_last = 0.0;
+
+  for (const std::uint32_t cpp : byte_feeds) {
+    harness::ThroughputScenario sc;
+    sc.protocol = ThroughputProtocol::kFaleiro;
+    sc.n = 3;
+    sc.f = 1;
+    sc.batch.max_batch = 64;
+    sc.commands_per_proc = cpp;
+    sc.window = 256;
+    sc.seed = 1;
+    sc.wire = harness::ThroughputScenario::WireMode::kMeter;
+    const harness::ThroughputReport off = harness::run_throughput(sc);
+    sc.wire = harness::ThroughputScenario::WireMode::kDelta;
+    const harness::ThroughputReport on = harness::run_throughput(sc);
+
+    const bool ok = off.completed && off.spec.ok() && on.completed &&
+                    on.spec.ok() && on.wire.resets_sent == 0;
+    bytes_cells_ok = bytes_cells_ok && ok;
+    const double ratio =
+        on.bytes_per_command > 0.0 ? off.bytes_per_command / on.bytes_per_command
+                                   : 0.0;
+    if (cpp == byte_feeds.front()) {
+      delta_first = on.bytes_per_command;
+      full_first = off.bytes_per_command;
+    }
+    if (cpp == byte_feeds.back()) {
+      delta_last = on.bytes_per_command;
+      full_last = off.bytes_per_command;
+    }
+
+    btable.row() << 3 * cpp << off.bytes_per_command << on.bytes_per_command
+                 << ratio << on.wire.msgs_delta << on.wire.resets_sent
+                 << (ok ? "yes" : "NO");
+
+    bench::Json row;
+    row.set("commands_total", static_cast<std::uint64_t>(3 * cpp))
+        .set("protocol", "faleiro-la")
+        .set("bytes_per_command_full", off.bytes_per_command)
+        .set("bytes_per_command_delta", on.bytes_per_command)
+        .set("full_over_delta", ratio)
+        .set("wire_bytes_full", off.wire.wire_bytes_passthrough)
+        .set("wire_bytes_delta", on.wire.wire_bytes_delta)
+        .set("delta_msgs", on.wire.msgs_delta)
+        .set("resets", on.wire.resets_sent)
+        .set("spec_ok", ok);
+    byte_rows_json.push_back(row.str());
+  }
+  btable.print();
+
+  // Delta-on must stay flat as the feed grows (≤1.5× from the shortest to
+  // the longest feed); the full-state baseline must grow faster than the
+  // delta curve, or the encoding isn't buying anything.
+  const double delta_growth =
+      delta_first > 0.0 ? delta_last / delta_first : 0.0;
+  const double full_growth = full_first > 0.0 ? full_last / full_first : 0.0;
+  const bool bytes_gate =
+      bytes_cells_ok && delta_growth > 0.0 && delta_growth <= 1.5 &&
+      (smoke || full_growth > delta_growth);
+
   const double shard_speedup =
       shards1_rate > 0.0 ? shards4_rate / shards1_rate : 0.0;
 
@@ -240,6 +320,7 @@ int main(int argc, char** argv) {
   // gate also the ≥3× batching and ≥2× sharding ratios. Per-shard spec
   // verdicts are never waived.
   const bool gate_ok = all_spec_ok && all_completed && shard_cells_ok &&
+                       bytes_gate &&
                        (smoke || (speedup >= 3.0 && shard_speedup >= 2.0));
   bench::note("");
   std::ostringstream sp;
@@ -251,6 +332,12 @@ int main(int argc, char** argv) {
       << shard_speedup << "x (gate: >= 2x"
       << (smoke ? ", waived in --smoke" : "") << ")";
   bench::note(shp.str());
+  std::ostringstream bp;
+  bp << "faleiro-la delta bytes/command growth over the feed axis: "
+     << delta_growth << "x (gate: <= 1.5x); full-state baseline: "
+     << full_growth << "x"
+     << (smoke ? " (separation waived in --smoke)" : "");
+  bench::note(bp.str());
   bench::note(gate_ok ? "GATE ok" : "GATE FAILED");
 
   bench::Json out;
@@ -262,9 +349,12 @@ int main(int argc, char** argv) {
       .set("seeds", seeds)
       .set("gwts_batch64_speedup", speedup)
       .set("shard_speedup_s4", shard_speedup)
+      .set("delta_bytes_growth", delta_growth)
+      .set("full_bytes_growth", full_growth)
       .set("all_spec_ok", all_spec_ok)
       .set("all_completed", all_completed)
       .set("shard_cells_ok", shard_cells_ok)
+      .set("bytes_gate_ok", bytes_gate)
       .set("gate_ok", gate_ok);
   std::string rows = "[";
   for (std::size_t i = 0; i < rows_json.size(); ++i) {
@@ -280,6 +370,13 @@ int main(int argc, char** argv) {
   }
   srows += "]";
   out.raw("shard_rows", srows);
+  std::string brows = "[";
+  for (std::size_t i = 0; i < byte_rows_json.size(); ++i) {
+    if (i > 0) brows += ",";
+    brows += byte_rows_json[i];
+  }
+  brows += "]";
+  out.raw("byte_rows", brows);
   if (!out.write(json_path)) {
     std::cerr << "warning: could not write " << json_path << "\n";
   }

@@ -64,6 +64,19 @@ ThroughputReport run_throughput(const ThroughputScenario& sc) {
   sim::Network net(make_delay(sc.sched), sc.seed, sc.n);
   const crypto::SignatureAuthority auth(sc.n, sc.seed ^ 0x5eed5eed);
 
+  // Optional wire decorator. Constructed before the processes so they
+  // attach to it instead of the raw network; under kNone the historical
+  // direct path (and its seeded transcripts) is untouched.
+  std::optional<net::DeltaTransport> delta;
+  if (sc.wire != ThroughputScenario::WireMode::kNone) {
+    net::DeltaTransport::Options dopts;
+    dopts.enabled = sc.wire == ThroughputScenario::WireMode::kDelta;
+    dopts.instrument = sc.instrument;
+    delta.emplace(net, dopts);
+  }
+  net::Transport& wire_net = delta ? static_cast<net::Transport&>(*delta)
+                                   : static_cast<net::Transport&>(net);
+
   // Owning storage (one vector per protocol; only one is populated).
   std::vector<std::unique_ptr<la::FaleiroProcess>> faleiro;
   std::vector<std::unique_ptr<la::GwtsProcess>> gwts;
@@ -123,7 +136,7 @@ ThroughputReport run_throughput(const ThroughputScenario& sc) {
     switch (sc.protocol) {
       case ThroughputProtocol::kFaleiro: {
         if (id == 0) ccfg.validate();
-        auto p = std::make_unique<la::FaleiroProcess>(net, id, ccfg);
+        auto p = std::make_unique<la::FaleiroProcess>(wire_net, id, ccfg);
         p->set_instrument(sc.instrument);
         p->set_decide_hook([&, id](const la::FaleiroProcess&,
                                    const la::DecisionRecord& rec) {
@@ -142,7 +155,7 @@ ThroughputReport run_throughput(const ThroughputScenario& sc) {
       }
       case ThroughputProtocol::kGwts: {
         if (id == 0) lcfg.validate();
-        auto p = std::make_unique<la::GwtsProcess>(net, id, lcfg);
+        auto p = std::make_unique<la::GwtsProcess>(wire_net, id, lcfg);
         p->set_instrument(sc.instrument);
         p->set_decide_hook([&, id](const la::GwtsProcess&,
                                    const la::DecisionRecord& rec) {
@@ -161,7 +174,7 @@ ThroughputReport run_throughput(const ThroughputScenario& sc) {
       }
       case ThroughputProtocol::kGsbs: {
         if (id == 0) lcfg.validate();
-        auto p = std::make_unique<la::GsbsProcess>(net, id, lcfg, auth);
+        auto p = std::make_unique<la::GsbsProcess>(wire_net, id, lcfg, auth);
         p->set_instrument(sc.instrument);
         p->set_decide_hook([&, id](const la::GsbsProcess&,
                                    const la::DecisionRecord& rec) {
@@ -255,6 +268,18 @@ ThroughputReport run_throughput(const ThroughputScenario& sc) {
   for (ProcessId id = 0; id < sc.n; ++id) {
     if (target(id) == 0) min_dec = 0;
   }
+  if (delta) {
+    rep.wire = delta->stats();
+    rep.bytes_per_command =
+        rep.commands == 0 ? 0.0
+                          : static_cast<double>(rep.wire.wire_bytes_total()) /
+                                static_cast<double>(rep.commands);
+    if (sc.instrument != nullptr) {
+      sc.instrument->on_bytes_per_command(
+          0, static_cast<std::uint64_t>(rep.bytes_per_command));
+    }
+  }
+
   rep.spec = la::check_gla(views, /*byz_disclosed=*/Elem(), min_dec);
   return rep;
 }

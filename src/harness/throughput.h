@@ -14,6 +14,7 @@
 
 #include "harness/scenario.h"
 #include "lattice/set_elem.h"
+#include "net/delta_transport.h"
 
 namespace bgla::harness {
 
@@ -39,6 +40,14 @@ struct ThroughputScenario {
   std::uint64_t max_events = 200'000'000;
   bool trace = false;
   obs::Instrument* instrument = nullptr;
+  /// Wire-encoding mode. kNone keeps the historical direct-on-sim path
+  /// (its seeded transcripts stay byte-identical). kMeter interposes
+  /// net::DeltaTransport as a metering passthrough — the delta-off
+  /// baseline of the byte-curve experiment. kDelta turns delta encoding
+  /// on: every lattice-bearing message is reconstructed from wrapper
+  /// bytes before delivery, so the run genuinely exercises the codec.
+  enum class WireMode { kNone, kMeter, kDelta };
+  WireMode wire = WireMode::kNone;
   /// Optional explicit feed (sharded runs): entry id is the ordered list
   /// of items process id submits, each as a singleton set. When non-empty
   /// (size must be n) it replaces the generated feed; commands_per_proc is
@@ -63,6 +72,11 @@ struct ThroughputReport {
   /// Join of every process's decided join — the run's decided frontier
   /// (what a shard contributes to a cross-shard FrontierMerger).
   lattice::Elem decided_frontier;
+  /// Wire metering (zeroed under WireMode::kNone): per-message byte
+  /// accounting from the DeltaTransport decorator.
+  net::DeltaTransport::Stats wire;
+  /// wire.wire_bytes_total() / commands — the byte-curve ordinate.
+  double bytes_per_command = 0.0;
 };
 
 ThroughputReport run_throughput(const ThroughputScenario& sc);

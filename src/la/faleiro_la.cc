@@ -176,22 +176,61 @@ void FaleiroProcess::export_state(Encoder& enc) const {
   accepted_set_.encode(enc);
   enc.put_u64(ts_);
   enc.put_u64(decided_rounds_);
+  enc.put_varint(folded_submitted_);
+  enc.put_varint(folded_decisions_);
   encode_elems(enc, submitted_);
   encode_decisions(enc, decisions_);
 }
 
 void FaleiroProcess::import_state(Decoder& dec) {
   BGLA_CHECK_MSG(!started_, "Faleiro: import_state after the run started");
-  check_state_header(dec, StateTag::kFaleiro);
+  const std::uint32_t version = check_state_header(dec, StateTag::kFaleiro);
   const Elem pending = lattice::decode_elem(dec);
   if (!pending.is_bottom()) batcher_.requeue(pending);
   proposed_set_ = lattice::decode_elem(dec);
   accepted_set_ = lattice::decode_elem(dec);
   ts_ = dec.get_u64();
   decided_rounds_ = dec.get_u64();
+  if (version >= 3) {
+    folded_submitted_ = dec.get_varint();
+    folded_decisions_ = dec.get_varint();
+  }
   submitted_ = decode_elems(dec);
   decisions_ = decode_decisions(dec);
   recovered_ = true;
+}
+
+std::size_t FaleiroProcess::compact_decided_prefix(std::size_t keep_tail) {
+  std::size_t folded = 0;
+  // Decisions are monotone: the newest retained record is the join of
+  // everything dropped before it, so the chain stays self-contained.
+  if (decisions_.size() > keep_tail + 1) {
+    const std::size_t drop = decisions_.size() - (keep_tail + 1);
+    decisions_.erase(decisions_.begin(),
+                     decisions_.begin() + static_cast<std::ptrdiff_t>(drop));
+    folded_decisions_ += drop;
+    folded += drop;
+  }
+  const Elem decided =
+      decisions_.empty() ? Elem() : decisions_.back().value;
+  if (!submitted_.empty() && !decided.is_bottom()) {
+    std::size_t prefix = 0;
+    Elem join;
+    while (prefix < submitted_.size() && submitted_[prefix].leq(decided)) {
+      join = join.join(submitted_[prefix]);
+      ++prefix;
+    }
+    // Inclusivity survives the fold: each folded submission ≤ the join,
+    // and the join ≤ the decided frontier.
+    if (prefix > 1) {
+      submitted_.erase(submitted_.begin(),
+                       submitted_.begin() + static_cast<std::ptrdiff_t>(prefix));
+      submitted_.insert(submitted_.begin(), std::move(join));
+      folded_submitted_ += prefix - 1;
+      folded += prefix - 1;
+    }
+  }
+  return folded;
 }
 
 void FaleiroProcess::rejoin() {

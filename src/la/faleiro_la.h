@@ -85,6 +85,14 @@ class FaleiroProcess : public sim::Process {
   }
   bool recovered() const { return recovered_; }
 
+  /// Decided-prefix compaction (see GwtsProcess::compact_decided_prefix):
+  /// folds decided submissions into one join entry and drops superseded
+  /// decision records, keeping `keep_tail` trailing records. Returns the
+  /// number of records folded.
+  std::size_t compact_decided_prefix(std::size_t keep_tail = 1);
+  std::uint64_t folded_submitted() const { return folded_submitted_; }
+  std::uint64_t folded_decisions() const { return folded_decisions_; }
+
  private:
   /// Starts a proposal iff idle and the batcher releases a batch (the
   /// PODC'12 buffered-values scheme: the next batch goes out as soon as
@@ -129,6 +137,9 @@ class FaleiroProcess : public sim::Process {
   bool recovered_ = false;
   bool rejoining_ = false;
   std::set<ProcessId> catchup_replies_;
+  // Decided-prefix compaction accounting (v3 state format).
+  std::uint64_t folded_submitted_ = 0;
+  std::uint64_t folded_decisions_ = 0;
 };
 
 }  // namespace bgla::la

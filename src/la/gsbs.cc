@@ -444,6 +444,8 @@ void GsbsProcess::export_state(Encoder& enc) const {
   enc.put_u64(trusted_);
   enc.put_bool(in_round_);
   batcher_.pending_join().encode(enc);
+  enc.put_varint(folded_submitted_);
+  enc.put_varint(folded_decisions_);
   encode_elems(enc, submitted_);
   my_safety_set_.encode(enc);
   proposed_.encode(enc);
@@ -468,7 +470,7 @@ void GsbsProcess::export_state(Encoder& enc) const {
 
 void GsbsProcess::import_state(Decoder& dec) {
   BGLA_CHECK_MSG(!started_, "GSbS: import_state after start");
-  check_state_header(dec, StateTag::kGsbs);
+  const std::uint32_t version = check_state_header(dec, StateTag::kGsbs);
   const std::uint8_t st = dec.get_u8();
   BGLA_CHECK_MSG(st <= static_cast<std::uint8_t>(State::kProposing),
                  "GSbS: bad persisted state " << static_cast<int>(st));
@@ -479,6 +481,10 @@ void GsbsProcess::import_state(Decoder& dec) {
   in_round_ = dec.get_bool();
   const Elem pending = lattice::decode_elem(dec);
   if (!pending.is_bottom()) batcher_.requeue(pending);
+  if (version >= 3) {
+    folded_submitted_ = dec.get_varint();
+    folded_decisions_ = dec.get_varint();
+  }
   submitted_ = decode_elems(dec);
   my_safety_set_ = decode_signed_batch_set(dec);
   proposed_ = decode_safe_batch_set(dec);
@@ -502,6 +508,39 @@ void GsbsProcess::import_state(Decoder& dec) {
   }
   init_high_ = dec.get_u64();
   recovered_ = true;
+}
+
+std::size_t GsbsProcess::compact_decided_prefix(std::size_t keep_tail) {
+  std::size_t folded = 0;
+  // Decisions are monotone: the newest retained record is the join of
+  // everything dropped before it, so the chain stays self-contained.
+  if (decisions_.size() > keep_tail + 1) {
+    const std::size_t drop = decisions_.size() - (keep_tail + 1);
+    decisions_.erase(decisions_.begin(),
+                     decisions_.begin() + static_cast<std::ptrdiff_t>(drop));
+    folded_decisions_ += drop;
+    folded += drop;
+  }
+  const Elem decided =
+      decisions_.empty() ? Elem() : decisions_.back().value;
+  if (!submitted_.empty() && !decided.is_bottom()) {
+    std::size_t prefix = 0;
+    Elem join;
+    while (prefix < submitted_.size() && submitted_[prefix].leq(decided)) {
+      join = join.join(submitted_[prefix]);
+      ++prefix;
+    }
+    // Inclusivity survives the fold: each folded submission ≤ the join,
+    // and the join ≤ the decided frontier.
+    if (prefix > 1) {
+      submitted_.erase(submitted_.begin(),
+                       submitted_.begin() + static_cast<std::ptrdiff_t>(prefix));
+      submitted_.insert(submitted_.begin(), std::move(join));
+      folded_submitted_ += prefix - 1;
+      folded += prefix - 1;
+    }
+  }
+  return folded;
 }
 
 void GsbsProcess::rejoin() {

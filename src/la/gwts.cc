@@ -494,8 +494,8 @@ void GwtsProcess::export_state(Encoder& enc) const {
 }
 
 void GwtsProcess::import_state(Decoder& dec) {
-  check_state_header(dec, StateTag::kGwts);
-  import_core(dec);
+  const std::uint32_t version = check_state_header(dec, StateTag::kGwts);
+  import_core(dec, version);
 }
 
 void GwtsProcess::export_core(Encoder& enc) const {
@@ -511,13 +511,15 @@ void GwtsProcess::export_core(Encoder& enc) const {
   batcher_.pending_join().encode(enc);
   svs_join_.encode(enc);
   accepted_set_.encode(enc);
+  enc.put_varint(folded_submitted_);
+  enc.put_varint(folded_decisions_);
   encode_elems(enc, submitted_);
   encode_decisions(enc, decisions_);
   encode_elem_map(enc, disclosed_by());
   enc.put_u64(disclosed_high_);
 }
 
-void GwtsProcess::import_core(Decoder& dec) {
+void GwtsProcess::import_core(Decoder& dec, std::uint32_t version) {
   BGLA_CHECK_MSG(!started_, "GWTS: import_state after the run started");
   round_ = dec.get_u64();
   ts_ = dec.get_u64();
@@ -530,11 +532,52 @@ void GwtsProcess::import_core(Decoder& dec) {
   if (!pending.is_bottom()) batcher_.requeue(pending);
   svs_join_ = lattice::decode_elem(dec);
   accepted_set_ = lattice::decode_elem(dec);
+  if (version >= 3) {
+    folded_submitted_ = dec.get_varint();
+    folded_decisions_ = dec.get_varint();
+  }
   submitted_ = decode_elems(dec);
   decisions_ = decode_decisions(dec);
   collected_disclosed_ = decode_elem_map(dec);
   disclosed_high_ = dec.get_u64();
   recovered_ = true;
+}
+
+std::size_t GwtsProcess::compact_decided_prefix(std::size_t keep_tail) {
+  std::size_t folded = 0;
+  // Decision chains are monotone (each record's value includes its
+  // predecessor's), so the join of any prefix is the prefix's last
+  // record: dropping all but the newest `keep_tail + 1` records loses
+  // nothing the spec checkers look at — the oldest survivor anchors the
+  // chain for everything folded beneath it.
+  if (decisions_.size() > keep_tail + 1) {
+    const std::size_t drop = decisions_.size() - (keep_tail + 1);
+    decisions_.erase(decisions_.begin(),
+                     decisions_.begin() + static_cast<std::ptrdiff_t>(drop));
+    folded_decisions_ += drop;
+    folded += drop;
+  }
+  // Submissions at or below the decided frontier collapse to their join:
+  // inclusivity is preserved because each folded submission is ≤ the
+  // join, and the join itself is ≤ decided_set_ (so it still checks as
+  // decided). Later submissions stay individually visible.
+  if (!submitted_.empty() && !decided_set_.is_bottom()) {
+    std::size_t prefix = 0;
+    Elem join;
+    while (prefix < submitted_.size() &&
+           submitted_[prefix].leq(decided_set_)) {
+      join = join.join(submitted_[prefix]);
+      ++prefix;
+    }
+    if (prefix > 1) {
+      submitted_.erase(submitted_.begin(),
+                       submitted_.begin() + static_cast<std::ptrdiff_t>(prefix));
+      submitted_.insert(submitted_.begin(), std::move(join));
+      folded_submitted_ += prefix - 1;
+      folded += prefix - 1;
+    }
+  }
+  return folded;
 }
 
 void GwtsProcess::rejoin() {

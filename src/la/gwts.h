@@ -113,9 +113,21 @@ class GwtsProcess : public sim::Process {
   }
   bool recovered() const { return recovered_; }
 
+  /// Decided-prefix compaction: folds every submission at or below the
+  /// current decided frontier into one join entry and drops all but the
+  /// newest fully-superseded decision record (decision chains are
+  /// monotone, so the newest record *is* the join of its prefix). Keeps
+  /// at least `keep_tail` trailing decision records untouched for
+  /// diagnostics. Safe at any quiescent point between messages; the next
+  /// persist writes the smaller v3 blob. Returns the number of records
+  /// folded by this call (submissions + decisions).
+  std::size_t compact_decided_prefix(std::size_t keep_tail = 1);
+  std::uint64_t folded_submitted() const { return folded_submitted_; }
+  std::uint64_t folded_decisions() const { return folded_decisions_; }
+
  protected:
   void export_core(Encoder& enc) const;
-  void import_core(Decoder& dec);
+  void import_core(Decoder& dec, std::uint32_t version);
 
  private:
   struct AckKey {
@@ -228,6 +240,11 @@ class GwtsProcess : public sim::Process {
   // Crash-recovery state.
   std::function<void()> persist_hook_;
   bool recovered_ = false;
+  // Decided-prefix compaction accounting (v3 state format): how many
+  // submissions / decision records were folded into the heads of
+  // submitted_ / decisions_. Survives export/import.
+  std::uint64_t folded_submitted_ = 0;
+  std::uint64_t folded_decisions_ = 0;
   bool rejoining_ = false;
   std::set<ProcessId> catchup_replies_;
   std::uint64_t catchup_frontier_ = 0;

@@ -386,4 +386,64 @@ class CatchupRepMsg final : public sim::Message {
   Bytes cert;  ///< latest GSDecidedMsg encoding (GSbS only; else empty)
 };
 
+// ------------------------------------------------- delta wire encoding ----
+
+/// Transport-level delta wrapper (net::DeltaTransport): carries one
+/// protocol message of type `inner_type` re-encoded against the per-peer
+/// chain state negotiated between the two transports — lattice elements
+/// and proof sets inside `payload` are either full or "delta above the
+/// last value sent on this stream". `epoch` names the sender's chain
+/// generation (bumped on every reset) and `seq` orders messages within
+/// one stream so the receiver applies deltas against the right baseline.
+/// Protocols never see this type: the receiving transport reconstructs
+/// the inner message byte-identically and delivers that instead.
+class DeltaWrapMsg final : public sim::Message {
+ public:
+  DeltaWrapMsg(std::uint64_t epoch, std::uint64_t seq,
+               std::uint32_t inner_type, Bytes payload)
+      : epoch(epoch),
+        seq(seq),
+        inner_type(inner_type),
+        payload(std::move(payload)) {}
+
+  std::uint32_t type_id() const override { return 90; }
+  sim::Layer layer() const override { return sim::Layer::kOther; }
+  void encode_payload(Encoder& enc) const override {
+    enc.put_u64(epoch);
+    enc.put_u64(seq);
+    enc.put_u32(inner_type);
+    enc.put_bytes(BytesView(payload));
+  }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "DELTA_WRAP(t=" << inner_type << ",epoch=" << epoch
+       << ",seq=" << seq << ",|p|=" << payload.size() << ")";
+    return os.str();
+  }
+
+  std::uint64_t epoch;        ///< sender chain generation
+  std::uint64_t seq;          ///< position within the stream's chain
+  std::uint32_t inner_type;   ///< wrapped message's type id
+  Bytes payload;              ///< delta-transformed inner encoding
+};
+
+/// Receiver→sender chain reset (baseline unknown or failed validation):
+/// "discard every delta baseline you hold for me and start a fresh epoch
+/// above `epoch`". Also consumed by the transport layer only.
+class DeltaResetMsg final : public sim::Message {
+ public:
+  explicit DeltaResetMsg(std::uint64_t epoch) : epoch(epoch) {}
+
+  std::uint32_t type_id() const override { return 91; }
+  sim::Layer layer() const override { return sim::Layer::kOther; }
+  void encode_payload(Encoder& enc) const override { enc.put_u64(epoch); }
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "DELTA_RESET(epoch=" << epoch << ")";
+    return os.str();
+  }
+
+  std::uint64_t epoch;  ///< highest sender epoch the receiver has seen
+};
+
 }  // namespace bgla::la

@@ -20,15 +20,17 @@ void put_state_header(Encoder& enc, StateTag tag) {
   enc.put_u8(static_cast<std::uint8_t>(tag));
 }
 
-void check_state_header(Decoder& dec, StateTag tag) {
+std::uint32_t check_state_header(Decoder& dec, StateTag tag) {
   const std::uint32_t version = dec.get_u32();
-  BGLA_CHECK_MSG(version == kStateFormatVersion,
+  BGLA_CHECK_MSG(version >= kMinStateFormatVersion &&
+                     version <= kStateFormatVersion,
                  "unsupported state format version " << version);
   const std::uint8_t got = dec.get_u8();
   BGLA_CHECK_MSG(got == static_cast<std::uint8_t>(tag),
                  "state blob carries protocol tag "
                      << static_cast<int>(got) << ", expected "
                      << static_cast<int>(static_cast<std::uint8_t>(tag)));
+  return version;
 }
 
 void encode_elems(Encoder& enc, const std::vector<Elem>& v) {
@@ -95,10 +97,17 @@ std::vector<DecisionRecord> decode_decisions(Decoder& dec) {
 StateSummary summarize_state(BytesView blob) {
   Decoder dec{blob};
   const std::uint32_t version = dec.get_u32();
-  BGLA_CHECK_MSG(version == kStateFormatVersion,
+  BGLA_CHECK_MSG(version >= kMinStateFormatVersion &&
+                     version <= kStateFormatVersion,
                  "unsupported state format version " << version);
   StateSummary out;
   out.tag = static_cast<StateTag>(dec.get_u8());
+  const auto read_fold_counters = [&] {
+    if (version >= 3) {
+      out.folded_submitted = dec.get_varint();
+      out.folded_decisions = dec.get_varint();
+    }
+  };
   switch (out.tag) {
     case StateTag::kWts: {
       dec.get_u8();   // state
@@ -140,6 +149,7 @@ StateSummary summarize_state(BytesView blob) {
       lattice::decode_elem(dec);   // pending_batch
       lattice::decode_elem(dec);   // svs_join
       lattice::decode_elem(dec);   // accepted_set
+      read_fold_counters();
       out.submitted = decode_elems(dec);
       out.decisions = decode_decisions(dec);
       out.svs = decode_elem_map(dec);
@@ -151,6 +161,7 @@ StateSummary summarize_state(BytesView blob) {
       lattice::decode_elem(dec);  // accepted_set
       dec.get_u64();              // ts
       dec.get_u64();              // decided_rounds
+      read_fold_counters();
       out.submitted = decode_elems(dec);
       out.decisions = decode_decisions(dec);
       break;
@@ -162,6 +173,7 @@ StateSummary summarize_state(BytesView blob) {
       dec.get_u64();  // trusted
       dec.get_bool();             // in_round
       lattice::decode_elem(dec);  // pending_batch
+      read_fold_counters();
       out.submitted = decode_elems(dec);
       decode_signed_batch_set(dec);  // my_safety_set
       decode_safe_batch_set(dec);    // proposed

@@ -28,7 +28,17 @@ using lattice::Elem;
 // v2: ingress-batcher pending queue persisted as its join in the old
 // pending-batch slot; GWTS/GSbS blobs gained a trailing pipelining
 // watermark (highest round disclosed/signed ahead).
-inline constexpr std::uint32_t kStateFormatVersion = 2;
+// v3: decided-prefix compaction — the generalized protocols
+// (GWTS/Replica, Faleiro, GSbS) write two fold counters (submissions and
+// decision records absorbed into their surviving neighbors) immediately
+// before the submitted list. The vectors themselves are already folded:
+// the oldest retained decision record is the join of everything dropped
+// before it (decision chains are monotone), and the oldest retained
+// submission is the join of the folded submissions — so v3 blobs shrink
+// while every spec invariant still checks against the stored vectors
+// alone. v2 blobs are read as fold counters = 0.
+inline constexpr std::uint32_t kStateFormatVersion = 3;
+inline constexpr std::uint32_t kMinStateFormatVersion = 2;
 
 /// One tag per protocol with durable state; pointing a replica at a data
 /// directory written by a different protocol is a config error that must
@@ -44,8 +54,10 @@ enum class StateTag : std::uint8_t {
 
 void put_state_header(Encoder& enc, StateTag tag);
 
-/// Throws CheckError on a version or protocol-tag mismatch.
-void check_state_header(Decoder& dec, StateTag tag);
+/// Throws CheckError on an unsupported version or a protocol-tag
+/// mismatch; returns the blob's format version (importers branch on it
+/// for fields added after v2).
+std::uint32_t check_state_header(Decoder& dec, StateTag tag);
 
 void encode_elems(Encoder& enc, const std::vector<Elem>& v);
 std::vector<Elem> decode_elems(Decoder& dec);
@@ -68,6 +80,11 @@ struct StateSummary {
   std::vector<Elem> submitted;            ///< generalized protocols
   std::vector<DecisionRecord> decisions;  ///< one-shot: zero or one
   std::map<ProcessId, Elem> svs;          ///< WTS/GWTS disclosure view
+  /// v3 decided-prefix compaction accounting: how many submissions /
+  /// decision records were folded into the heads of the vectors above
+  /// (0 for v2 blobs and uncompacted replicas).
+  std::uint64_t folded_submitted = 0;
+  std::uint64_t folded_decisions = 0;
 };
 
 /// Structurally decodes any export_state() blob (no signature checks).

@@ -1,0 +1,50 @@
+#include "lattice/delta.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "lattice/maxint_elem.h"
+#include "lattice/set_elem.h"
+#include "lattice/vclock_elem.h"
+
+namespace bgla::lattice {
+
+bool diff_above(const Elem& base, const Elem& cur, Elem* out) {
+  if (base.is_bottom()) {
+    *out = cur;
+    return true;
+  }
+  if (cur.is_bottom()) return false;  // base nonempty, cur empty: not ≤
+  const ElemModel* bm = base.model();
+  const ElemModel* cm = cur.model();
+  if (std::strcmp(bm->kind(), cm->kind()) != 0) return false;
+  if (!bm->leq(*cm)) return false;
+  if (const auto* cs = dynamic_cast<const SetElem*>(cm)) {
+    const auto* bs = static_cast<const SetElem*>(bm);
+    std::set<Item> extra;
+    std::set_difference(cs->items().begin(), cs->items().end(),
+                        bs->items().begin(), bs->items().end(),
+                        std::inserter(extra, extra.begin()));
+    *out = make_set(std::move(extra));
+    return true;
+  }
+  if (dynamic_cast<const MaxIntElem*>(cm) != nullptr) {
+    *out = cur;  // a single varint: nothing to shrink
+    return true;
+  }
+  if (const auto* cv = dynamic_cast<const VClockElem*>(cm)) {
+    const auto* bv = static_cast<const VClockElem*>(bm);
+    std::map<ProcessId, std::uint64_t> grown;
+    for (const auto& [id, ticks] : cv->clock()) {
+      const auto it = bv->clock().find(id);
+      if (it == bv->clock().end() || it->second < ticks) grown[id] = ticks;
+    }
+    *out = make_vclock(std::move(grown));
+    return true;
+  }
+  return false;  // unknown family: caller sends full state
+}
+
+}  // namespace bgla::lattice

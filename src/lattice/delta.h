@@ -1,0 +1,29 @@
+// Delta-state extraction for join-semilattice elements.
+//
+// Zheng & Garg's RSM construction (and GLA generally) only ever *joins*
+// received values, so a sender that knows the receiver already holds
+// `base` may ship any d with base ⊕ d = cur instead of the full `cur`.
+// diff_above computes the smallest such d per family:
+//   set:    cur \ base          (the new items only)
+//   vclock: entries with cur[k] > base[k]
+//   maxint: cur                 (already O(1) on the wire)
+//
+// The contract is exactness: diff_above succeeds only when base ≤ cur and
+// the families match, and then base.join(diff) == cur *structurally* —
+// the reconstructed element re-encodes byte-identically to the original
+// (canonical encodings are order-normalized). Callers fall back to full
+// encoding whenever diff_above returns false; correctness never depends
+// on a delta being available.
+#pragma once
+
+#include "lattice/elem.h"
+
+namespace bgla::lattice {
+
+/// Computes `*out` with base.join(*out) == cur. Returns false (out
+/// untouched) iff the delta is inexpressible: family mismatch, unknown
+/// family, or !(base ≤ cur). A bottom base always succeeds with out=cur;
+/// equal inputs succeed with an empty (but non-bottom) delta.
+bool diff_above(const Elem& base, const Elem& cur, Elem* out);
+
+}  // namespace bgla::lattice

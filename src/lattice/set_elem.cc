@@ -18,6 +18,16 @@ std::string Item::to_string() const {
 
 bool SetElem::leq(const ElemModel& other) const {
   const auto& o = static_cast<const SetElem&>(other);
+  if (items_.size() > o.items_.size()) return false;
+  // A small set against a much larger one (the common shape on the hot
+  // path: singleton-command ⊆ decided-frontier checks) is far cheaper as
+  // k·log n lookups than as the linear merge-walk of std::includes.
+  if (items_.size() * 16 < o.items_.size()) {
+    for (const Item& it : items_) {
+      if (o.items_.count(it) == 0) return false;
+    }
+    return true;
+  }
   return std::includes(o.items_.begin(), o.items_.end(), items_.begin(),
                        items_.end());
 }

@@ -1,0 +1,452 @@
+#include "net/delta_codec.h"
+
+#include <cstring>
+#include <utility>
+
+#include "la/decode.h"
+#include "lattice/codec.h"
+#include "lattice/delta.h"
+#include "util/check.h"
+
+namespace bgla::net {
+
+namespace {
+
+using lattice::Elem;
+
+// Matches net/wire.cc's nesting bound for arbitrary inner messages.
+constexpr int kMaxDepth = 8;
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= v & 0xff;
+    h *= kFnvPrime;
+    v >>= 8;
+  }
+  return h;
+}
+
+enum class SlotKind : std::uint8_t {
+  kNone,      // not delta-eligible: splice through untouched
+  kElem,      // `nslots` lattice::Elem values, then an opaque tail
+  kSvSet,     // one la::SignedValueSet, then an opaque tail
+  kSafeVSet,  // one la::SafeValueSet
+  kSbSet,     // one la::SignedBatchSet
+  kSafeBSet,  // one la::SafeBatchSet
+  kInner,     // one length-prefixed inner message, then an opaque tail
+};
+
+struct Shape {
+  // Scalar fields preceding the slot, in wire order: 'k' = u32 that keys
+  // the stream (RB origin, shard id), 'v' = varint spliced through.
+  const char* pre;
+  SlotKind kind;
+  int nslots;
+};
+
+// One entry per delta-eligible wire type; the field order ports
+// net/wire.cc's decode_payload. Everything after the last slot is an
+// opaque tail (scalars, certificates, signature lists, trace-context
+// tails) and is spliced through verbatim. Signed-blob types (42, 52, 54,
+// 56, 40, 50, 5) are deliberately absent: their bytes are pinned under
+// signatures and embedded in proofs, so they always pass through whole.
+Shape shape_of(std::uint32_t type_id) {
+  switch (type_id) {
+    case 1:   // RbSendMsg    {origin, tag, inner}
+    case 2:   // RbEchoMsg
+    case 3:   // RbReadyMsg
+    case 4:   // CrbSendMsg
+    case 6:   // CrbFinalMsg  {origin, tag, inner, cert tail}
+      return {"kv", SlotKind::kInner, 0};
+    case 80:  // ShardEnvelopeMsg {shard, inner}
+      return {"k", SlotKind::kInner, 0};
+    case 10:  // DisclosureMsg {elem}
+    case 11:  // AckReqMsg     {elem, ts}
+    case 12:  // AckMsg
+    case 13:  // NackMsg
+    case 20:  // GDisclosureMsg {elem, round}
+    case 21:  // GAckReqMsg     {elem, ts, round}
+    case 22:  // GAckMsg        {elem, dest, acceptor, ts, round}
+    case 23:  // GNackMsg
+    case 24:  // SubmitMsg      {elem}
+    case 25:  // SubmitNackMsg  {elem, retry_after, queue_cap}
+    case 30:  // FAckReqMsg     {elem, ts}
+    case 31:  // FAckMsg
+    case 32:  // FNackMsg
+    case 61:  // DecideMsg      {elem, replica}
+    case 62:  // ConfReqMsg     {elem}
+    case 63:  // ConfRepMsg     {elem, replica}
+      return {"", SlotKind::kElem, 1};
+    case 71:  // CatchupRepMsg {round, frontier, accepted, disclosed,
+              //                decided, cert tail}
+      return {"vv", SlotKind::kElem, 3};
+    case 41:  // SSafeReqMsg  {signed value set}
+      return {"", SlotKind::kSvSet, 1};
+    case 43:  // SAckReqMsg   {safe value set, ts}
+    case 44:  // SAckMsg
+    case 45:  // SNackMsg
+      return {"", SlotKind::kSafeVSet, 1};
+    case 51:  // GSSafeReqMsg {signed batch set, round}
+      return {"", SlotKind::kSbSet, 1};
+    case 53:  // GSAckReqMsg  {safe batch set, ts, round}
+    case 55:  // GSNackMsg
+      return {"", SlotKind::kSafeBSet, 1};
+    default:
+      return {"", SlotKind::kNone, 0};
+  }
+}
+
+// ---- per-kind set plumbing (uniform entries()/contains/insert API) ----
+
+la::SignedValueSet decode_set(Decoder& dec, const la::SignedValueSet*) {
+  return la::decode_signed_value_set(dec);
+}
+la::SafeValueSet decode_set(Decoder& dec, const la::SafeValueSet*) {
+  return la::decode_safe_value_set(dec);
+}
+la::SignedBatchSet decode_set(Decoder& dec, const la::SignedBatchSet*) {
+  return la::decode_signed_batch_set(dec);
+}
+la::SafeBatchSet decode_set(Decoder& dec, const la::SafeBatchSet*) {
+  return la::decode_safe_batch_set(dec);
+}
+
+template <typename V>
+bool entry_equal(const V& a, const V& b) {
+  Encoder ea;
+  a.encode(ea);
+  Encoder eb;
+  b.encode(eb);
+  return ea.bytes() == eb.bytes();
+}
+
+// SafeBatch has no single-entry codec (the set encoder pools its proof
+// blobs); compare the batch and each proof message's canonical bytes.
+bool entry_equal(const la::SafeBatch& a, const la::SafeBatch& b) {
+  if (!entry_equal(a.b, b.b) || a.proof.size() != b.proof.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.proof.size(); ++i) {
+    if (a.proof[i]->encoded() != b.proof[i]->encoded()) return false;
+  }
+  return true;
+}
+
+/// Sender: rewrites one set slot. The delta carries every entry that is
+/// new or whose bytes changed since the baseline; reconstruction prefers
+/// delta entries on key collision, so changed proofs replace stale ones
+/// and the rebuilt set is byte-exact. Falls back to full whenever a
+/// baseline key vanished (non-monotone sequence).
+template <typename Set>
+void encode_set_slot(Decoder& dec, Encoder& out, Set& base) {
+  Set cur = decode_set(dec, static_cast<const Set*>(nullptr));
+  bool monotone = true;
+  for (const auto& [key, value] : base.entries()) {
+    if (!cur.contains(key)) {
+      monotone = false;
+      break;
+    }
+  }
+  if (monotone) {
+    Set delta;
+    for (const auto& [key, value] : cur.entries()) {
+      const auto it = base.entries().find(key);
+      if (it == base.entries().end() || !entry_equal(it->second, value)) {
+        delta.insert(value);
+      }
+    }
+    out.put_u8(1);
+    out.put_varint(cur.size());
+    delta.encode(out);
+  } else {
+    out.put_u8(0);
+    cur.encode(out);
+  }
+  base = std::move(cur);
+}
+
+template <typename Set>
+void decode_set_slot(Decoder& dec, Encoder& out, Set& base) {
+  const std::uint8_t tag = dec.get_u8();
+  Set cur;
+  if (tag == 0) {
+    cur = decode_set(dec, static_cast<const Set*>(nullptr));
+  } else {
+    BGLA_CHECK_MSG(tag == 1, "bad delta set tag " << static_cast<int>(tag));
+    const std::uint64_t expected = dec.get_varint();
+    Set delta = decode_set(dec, static_cast<const Set*>(nullptr));
+    cur = delta.unioned(base);  // delta wins key collisions
+    BGLA_CHECK_MSG(cur.size() == expected,
+                   "delta set size mismatch: got " << cur.size()
+                                                   << ", expected "
+                                                   << expected);
+  }
+  cur.encode(out);
+  base = std::move(cur);
+}
+
+void encode_elem_slot(Decoder& dec, Encoder& out, Elem& base) {
+  Elem cur = lattice::decode_elem(dec);
+  Elem delta;
+  if (lattice::diff_above(base, cur, &delta)) {
+    out.put_u8(1);
+    out.put_varint(cur.weight());
+    delta.encode(out);
+  } else {
+    out.put_u8(0);
+    cur.encode(out);
+  }
+  base = std::move(cur);
+}
+
+void decode_elem_slot(Decoder& dec, Encoder& out, Elem& base) {
+  const std::uint8_t tag = dec.get_u8();
+  Elem cur;
+  if (tag == 0) {
+    cur = lattice::decode_elem(dec);
+  } else {
+    BGLA_CHECK_MSG(tag == 1, "bad delta elem tag " << static_cast<int>(tag));
+    const std::uint64_t expected = dec.get_varint();
+    Elem delta = lattice::decode_elem(dec);
+    cur = base.join(delta);  // throws on family mismatch
+    BGLA_CHECK_MSG(cur.weight() == expected,
+                   "delta weight mismatch: got " << cur.weight()
+                                                 << ", expected "
+                                                 << expected);
+  }
+  cur.encode(out);
+  base = std::move(cur);
+}
+
+// ---- the shared walk ----
+
+struct EncCtx {
+  std::map<std::uint64_t, SendChain>* chains = nullptr;
+  std::uint64_t key = kFnvOffset;
+  SendChain* chain = nullptr;
+  bool any_slot = false;
+};
+
+struct DecCtx {
+  RecvChain* chain = nullptr;
+  std::uint64_t key = kFnvOffset;
+  bool any_slot = false;
+};
+
+ChainSlots& resolve_enc(EncCtx& ctx) {
+  if (ctx.chain == nullptr) ctx.chain = &(*ctx.chains)[ctx.key];
+  ctx.any_slot = true;
+  return ctx.chain->slots;
+}
+
+/// Stream-key alias: the RB relay types (SEND/ECHO/READY, CrbSEND/FINAL)
+/// map to one family value so all relays of one origin's broadcast share
+/// a chain — an echo of a value the send already shipped deltas to empty.
+std::uint32_t key_alias(std::uint32_t type) {
+  switch (type) {
+    case 2:
+    case 3:
+      return 1;
+    case 6:
+      return 4;
+    default:
+      return type;
+  }
+}
+
+template <typename Ctx>
+bool walk_pre(std::uint32_t type, Decoder& dec, Encoder& out, Ctx& ctx,
+              const Shape& shape) {
+  ctx.key = fnv_mix(ctx.key, key_alias(type));
+  for (const char* p = shape.pre; *p != '\0'; ++p) {
+    if (*p == 'k') {
+      const std::uint32_t v = dec.get_u32();
+      ctx.key = fnv_mix(ctx.key, v);
+      out.put_u32(v);
+    } else {
+      out.put_varint(dec.get_varint());
+    }
+  }
+  return shape.kind != SlotKind::kNone;
+}
+
+void transform_encode(std::uint32_t type, Decoder& dec, Encoder& out,
+                      EncCtx& ctx, int depth) {
+  BGLA_CHECK_MSG(depth <= kMaxDepth, "message nesting too deep");
+  const Shape shape = shape_of(type);
+  if (!walk_pre(type, dec, out, ctx, shape)) {
+    out.put_raw(dec.rest());
+    dec.skip_rest();
+    return;
+  }
+  switch (shape.kind) {
+    case SlotKind::kInner: {
+      const Bytes raw = dec.get_bytes();
+      Decoder idec{raw};
+      const std::uint64_t itype = idec.get_varint();
+      BGLA_CHECK_MSG(itype <= 0xffffffffull, "type id out of range");
+      Encoder iout;
+      iout.put_u32(static_cast<std::uint32_t>(itype));
+      transform_encode(static_cast<std::uint32_t>(itype), idec, iout, ctx,
+                       depth + 1);
+      out.put_bytes(iout.bytes());
+      break;
+    }
+    case SlotKind::kElem: {
+      ChainSlots& slots = resolve_enc(ctx);
+      if (slots.elems.size() < static_cast<std::size_t>(shape.nslots)) {
+        slots.elems.resize(shape.nslots);
+      }
+      for (int i = 0; i < shape.nslots; ++i) {
+        encode_elem_slot(dec, out, slots.elems[i]);
+      }
+      break;
+    }
+    case SlotKind::kSvSet:
+      encode_set_slot(dec, out, resolve_enc(ctx).sv);
+      break;
+    case SlotKind::kSafeVSet:
+      encode_set_slot(dec, out, resolve_enc(ctx).safev);
+      break;
+    case SlotKind::kSbSet:
+      encode_set_slot(dec, out, resolve_enc(ctx).sb);
+      break;
+    case SlotKind::kSafeBSet:
+      encode_set_slot(dec, out, resolve_enc(ctx).safeb);
+      break;
+    case SlotKind::kNone:
+      break;  // unreachable: walk_pre returned false
+  }
+  out.put_raw(dec.rest());
+  dec.skip_rest();
+}
+
+void transform_decode(std::uint32_t type, Decoder& dec, Encoder& out,
+                      DecCtx& ctx, int depth) {
+  BGLA_CHECK_MSG(depth <= kMaxDepth, "message nesting too deep");
+  const Shape shape = shape_of(type);
+  if (!walk_pre(type, dec, out, ctx, shape)) {
+    out.put_raw(dec.rest());
+    dec.skip_rest();
+    return;
+  }
+  switch (shape.kind) {
+    case SlotKind::kInner: {
+      const Bytes raw = dec.get_bytes();
+      Decoder idec{raw};
+      const std::uint64_t itype = idec.get_varint();
+      BGLA_CHECK_MSG(itype <= 0xffffffffull, "type id out of range");
+      Encoder iout;
+      iout.put_u32(static_cast<std::uint32_t>(itype));
+      transform_decode(static_cast<std::uint32_t>(itype), idec, iout, ctx,
+                       depth + 1);
+      out.put_bytes(iout.bytes());
+      break;
+    }
+    case SlotKind::kElem: {
+      ctx.any_slot = true;
+      ChainSlots& slots = ctx.chain->slots;
+      if (slots.elems.size() < static_cast<std::size_t>(shape.nslots)) {
+        slots.elems.resize(shape.nslots);
+      }
+      for (int i = 0; i < shape.nslots; ++i) {
+        decode_elem_slot(dec, out, slots.elems[i]);
+      }
+      break;
+    }
+    case SlotKind::kSvSet:
+      ctx.any_slot = true;
+      decode_set_slot(dec, out, ctx.chain->slots.sv);
+      break;
+    case SlotKind::kSafeVSet:
+      ctx.any_slot = true;
+      decode_set_slot(dec, out, ctx.chain->slots.safev);
+      break;
+    case SlotKind::kSbSet:
+      ctx.any_slot = true;
+      decode_set_slot(dec, out, ctx.chain->slots.sb);
+      break;
+    case SlotKind::kSafeBSet:
+      ctx.any_slot = true;
+      decode_set_slot(dec, out, ctx.chain->slots.safeb);
+      break;
+    case SlotKind::kNone:
+      break;  // unreachable
+  }
+  out.put_raw(dec.rest());
+  dec.skip_rest();
+}
+
+}  // namespace
+
+bool delta_eligible(std::uint32_t type_id) {
+  return shape_of(type_id).kind != SlotKind::kNone;
+}
+
+bool encode_delta(const sim::Message& msg,
+                  std::map<std::uint64_t, SendChain>& chains,
+                  std::uint64_t* stream, std::uint64_t* seq, Bytes* out) {
+  if (!delta_eligible(msg.type_id())) return false;
+  const Bytes& encoded = msg.encoded();
+  Decoder dec{encoded};
+  const std::uint64_t type = dec.get_varint();
+  Encoder enc;
+  EncCtx ctx;
+  ctx.chains = &chains;
+  transform_encode(static_cast<std::uint32_t>(type), dec, enc, ctx, 0);
+  if (!ctx.any_slot) {
+    // A recursive wrapper around a non-lattice inner: the chain map was
+    // never touched, so passing the original through is side-effect free.
+    return false;
+  }
+  *stream = ctx.key;
+  *seq = ctx.chain->next_seq++;
+  *out = enc.take();
+  return true;
+}
+
+bool peek_stream(std::uint32_t inner_type, BytesView payload,
+                 std::uint64_t* stream) {
+  std::uint64_t key = kFnvOffset;
+  std::uint32_t type = inner_type;
+  Bytes owned;  // keeps nested inner bytes alive across descents
+  Decoder dec{payload};
+  for (int depth = 0; depth <= kMaxDepth; ++depth) {
+    const Shape shape = shape_of(type);
+    key = fnv_mix(key, key_alias(type));
+    if (shape.kind == SlotKind::kNone) return false;
+    for (const char* p = shape.pre; *p != '\0'; ++p) {
+      if (*p == 'k') {
+        key = fnv_mix(key, dec.get_u32());
+      } else {
+        dec.get_varint();
+      }
+    }
+    if (shape.kind != SlotKind::kInner) {
+      *stream = key;
+      return true;
+    }
+    owned = dec.get_bytes();
+    dec = Decoder{owned};
+    const std::uint64_t itype = dec.get_varint();
+    BGLA_CHECK_MSG(itype <= 0xffffffffull, "type id out of range");
+    type = static_cast<std::uint32_t>(itype);
+  }
+  BGLA_CHECK_MSG(false, "message nesting too deep");
+}
+
+Bytes decode_delta(std::uint32_t inner_type, BytesView payload,
+                   RecvChain& chain) {
+  Decoder dec{payload};
+  Encoder out;
+  DecCtx ctx;
+  ctx.chain = &chain;
+  transform_decode(inner_type, dec, out, ctx, 0);
+  BGLA_CHECK_MSG(ctx.any_slot, "delta wrapper around a non-lattice message");
+  return out.take();
+}
+
+}  // namespace bgla::net

@@ -1,0 +1,107 @@
+// Delta re-encoding of protocol messages against per-stream chain state.
+//
+// A message's canonical payload interleaves scalars, lattice elements and
+// proof sets in a fixed, type-determined order (net/wire.cc's decoders are
+// the authority). The codec walks that order with a small shape table and
+// rewrites every lattice-valued slot as a DeltaElem:
+//
+//   u8 0 | full canonical encoding          (baseline unknown/unusable)
+//   u8 1 | varint expected_weight | delta   (join against the chain value)
+//
+// where the baseline is the value the *sender* last shipped on the same
+// stream — so reconstruction is exact (base ⊕ delta rebuilds the sender's
+// value byte-for-byte) and never depends on the receiver's protocol
+// state. Proof sets (SbS/GSbS signed/safe value and batch sets) delta at
+// entry granularity: only entries whose key is new since the baseline are
+// shipped, and the receiver unions them back. expected_weight/expected
+// size give an O(1) desync check; a mismatch rejects the message and
+// forces a chain reset (net/delta_transport.h).
+//
+// A stream identifies one monotone value sequence between a peer pair:
+// FNV-1a over the descent path (outer type id, reliable-broadcast origin,
+// shard id, inner type id). Keying RB traffic by origin means a SEND and
+// the n ECHO/READY relays of the same disclosure share one chain, so the
+// relays' deltas are empty. The stream id is derived independently on
+// both ends from message *structure* only — every key component precedes
+// the first lattice slot in every eligible shape — so it never rides the
+// wire.
+//
+// Exclusions: signed-blob messages (SbS/GSbS ack payloads 42/52/54/56,
+// DECIDED certs) pin exact bytes under signatures and pass through
+// untouched, as do elem-free types. Unknown lattice families and
+// non-monotone slot sequences fall back to tag-0 full encoding per slot;
+// correctness never depends on a delta being expressible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "la/gsbs_msgs.h"
+#include "la/messages.h"
+#include "la/signed_value.h"
+#include "lattice/elem.h"
+#include "sim/message.h"
+#include "util/bytes.h"
+#include "util/codec.h"
+
+namespace bgla::net {
+
+/// Baseline values for one stream's lattice slots. A stream's shape is
+/// fixed (same descent path ⇒ same message type), so exactly one of the
+/// representations is in use; the others stay empty.
+struct ChainSlots {
+  std::vector<lattice::Elem> elems;
+  la::SignedValueSet sv;
+  la::SafeValueSet safev;
+  la::SignedBatchSet sb;
+  la::SafeBatchSet safeb;
+};
+
+struct SendChain {
+  std::uint64_t next_seq = 1;
+  ChainSlots slots;
+};
+
+struct RecvChain {
+  std::uint64_t next_seq = 1;
+  ChainSlots slots;
+  /// Out-of-order wrappers parked until their seq comes up.
+  std::map<std::uint64_t, std::shared_ptr<const la::DeltaWrapMsg>> held;
+};
+
+/// True iff `type_id`'s shape contains at least one delta-able slot at
+/// the top level (recursive wrappers report true; whether an actual
+/// message qualifies still depends on its inner type — see encode_delta).
+bool delta_eligible(std::uint32_t type_id);
+
+/// Sender side: rewrites `msg`'s canonical encoding into a delta payload
+/// against `chains` (per-stream baselines for one destination peer),
+/// updating the touched chain's baselines. Returns false — chains
+/// untouched — iff the walk reaches no lattice slot (ineligible type, or
+/// a wrapper around an ineligible inner); the caller passes the original
+/// message through. On success *stream/*seq identify the chain position
+/// and *out holds the transformed payload (scalars and opaque tails are
+/// spliced through byte-identically, trace-context tail included).
+bool encode_delta(const sim::Message& msg,
+                  std::map<std::uint64_t, SendChain>& chains,
+                  std::uint64_t* stream, std::uint64_t* seq, Bytes* out);
+
+/// Receiver side, step 1: derives the stream id of a wrapper from its
+/// structural prefix without touching chain state. Throws CheckError on
+/// garbage; returns false iff the walk proves there is no lattice slot
+/// (such a wrapper is malformed — senders never produce one).
+bool peek_stream(std::uint32_t inner_type, BytesView payload,
+                 std::uint64_t* stream);
+
+/// Receiver side, step 2: reconstructs the inner message's canonical
+/// payload from a delta payload, resolving tag-1 slots against `chain`
+/// and advancing its baselines. Throws CheckError on malformed input or
+/// a failed expected-weight/size check (callers treat that as chain
+/// desync and reset). The result, prefixed with varint(inner_type), is
+/// exactly what the sender's Message::encoded() held.
+Bytes decode_delta(std::uint32_t inner_type, BytesView payload,
+                   RecvChain& chain);
+
+}  // namespace bgla::net

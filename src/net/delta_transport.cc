@@ -1,0 +1,240 @@
+#include "net/delta_transport.h"
+
+#include <utility>
+
+#include "net/wire.h"
+#include "util/check.h"
+
+namespace bgla::net {
+
+/// Inner-facing endpoint standing in for one protocol endpoint: receives
+/// everything the inner transport delivers to `id` and hands it to the
+/// decorator for unwrapping.
+class DeltaTransport::Proxy final : public Endpoint {
+ public:
+  Proxy(DeltaTransport& parent, Transport& inner, ProcessId id)
+      : Endpoint(inner, id), parent_(parent) {}
+
+  void on_start() override {
+    std::lock_guard<std::recursive_mutex> lock(parent_.mu_);
+    const auto it = parent_.outer_.find(id());
+    if (it != parent_.outer_.end()) it->second->on_start();
+  }
+
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override {
+    parent_.on_inner_message(from, id(), msg);
+  }
+
+ private:
+  DeltaTransport& parent_;
+};
+
+DeltaTransport::DeltaTransport(Transport& inner)
+    : DeltaTransport(inner, Options()) {}
+
+DeltaTransport::DeltaTransport(Transport& inner, Options opts)
+    : inner_(inner), opts_(opts) {}
+
+DeltaTransport::~DeltaTransport() = default;
+
+ProcessId DeltaTransport::attach(Endpoint& e) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const ProcessId id = e.id();
+  BGLA_CHECK_MSG(outer_.count(id) == 0,
+                 "endpoint id " << id << " already attached");
+  // Registered before the proxy attaches: the inner transport may start
+  // delivering (socket dispatch) as soon as the proxy exists.
+  outer_[id] = &e;
+  proxies_[id] = std::make_unique<Proxy>(*this, inner_, id);
+  return id;
+}
+
+void DeltaTransport::detach(ProcessId id) {
+  std::unique_ptr<Proxy> doomed;
+  {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    outer_.erase(id);
+    const auto it = proxies_.find(id);
+    if (it != proxies_.end()) {
+      doomed = std::move(it->second);
+      proxies_.erase(it);
+    }
+  }
+  // Proxy dtor detaches from the inner transport outside our lock.
+}
+
+void DeltaTransport::meter(ProcessId from, std::size_t bytes, bool delta) {
+  if (delta) {
+    ++stats_.msgs_delta;
+    stats_.wire_bytes_delta += bytes;
+  } else {
+    ++stats_.msgs_passthrough;
+    stats_.wire_bytes_passthrough += bytes;
+  }
+  if (opts_.instrument != nullptr) {
+    opts_.instrument->on_wire_bytes(from, bytes, delta);
+  }
+}
+
+void DeltaTransport::send(ProcessId from, ProcessId to, sim::MessagePtr msg) {
+  if (msg == nullptr || from == to) {
+    // Self-sends are local steps, not wire traffic: never wrapped or
+    // metered, exactly as they cost nothing on a real link.
+    inner_.send(from, to, std::move(msg));
+    return;
+  }
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (!opts_.enabled || msg->type_id() == 90 || msg->type_id() == 91) {
+    meter(from, msg->encoded().size(), false);
+    inner_.send(from, to, std::move(msg));
+    return;
+  }
+  PeerOut& out = out_[{from, to}];
+  std::uint64_t stream = 0;
+  std::uint64_t seq = 0;
+  Bytes payload;
+  if (!encode_delta(*msg, out.chains, &stream, &seq, &payload)) {
+    meter(from, msg->encoded().size(), false);
+    inner_.send(from, to, std::move(msg));
+    return;
+  }
+  auto w = std::make_shared<la::DeltaWrapMsg>(out.epoch, seq, msg->type_id(),
+                                              std::move(payload));
+  w->set_trace_ctx(msg->trace_ctx());
+  stats_.logical_bytes += msg->encoded().size();
+  meter(from, w->encoded().size(), true);
+  inner_.send(from, to, std::move(w));
+}
+
+void DeltaTransport::on_inner_message(ProcessId from, ProcessId self,
+                                      const sim::MessagePtr& msg) {
+  if (msg == nullptr) return;
+  if (msg->type_id() == 90) {
+    auto w = std::dynamic_pointer_cast<const la::DeltaWrapMsg>(msg);
+    if (w != nullptr) {
+      std::lock_guard<std::recursive_mutex> lock(mu_);
+      on_wrapper(from, self, std::move(w));
+      return;
+    }
+  } else if (msg->type_id() == 91) {
+    auto r = std::dynamic_pointer_cast<const la::DeltaResetMsg>(msg);
+    if (r != nullptr) {
+      std::lock_guard<std::recursive_mutex> lock(mu_);
+      PeerOut& out = out_[{self, from}];
+      out.epoch = std::max(out.epoch, r->epoch) + 1;
+      out.chains.clear();
+      ++stats_.resets_received;
+      return;
+    }
+  }
+  deliver(from, self, msg);
+}
+
+void DeltaTransport::deliver(ProcessId from, ProcessId self,
+                             const sim::MessagePtr& msg) {
+  Endpoint* target = nullptr;
+  {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    const auto it = outer_.find(self);
+    if (it != outer_.end()) target = it->second;
+  }
+  if (target != nullptr) target->on_message(from, msg);
+}
+
+void DeltaTransport::fail_reset(ProcessId self, ProcessId from, PeerIn& in) {
+  in.poisoned = true;
+  in.chains.clear();
+  in.held_total = 0;
+  ++stats_.resets_sent;
+  inner_.send(self, from, std::make_shared<la::DeltaResetMsg>(in.epoch));
+}
+
+void DeltaTransport::on_wrapper(ProcessId from, ProcessId self,
+                                std::shared_ptr<const la::DeltaWrapMsg> w) {
+  PeerIn& in = in_[{self, from}];
+  if (w->epoch < in.epoch || (w->epoch == in.epoch && in.poisoned)) return;
+  if (w->epoch > in.epoch) {
+    in = PeerIn{};
+    in.epoch = w->epoch;
+  }
+  std::uint64_t stream = 0;
+  bool found = false;
+  try {
+    found = peek_stream(w->inner_type, BytesView(w->payload), &stream);
+  } catch (const CheckError&) {
+    found = false;
+  }
+  if (!found) {
+    ++stats_.reconstruct_failures;
+    fail_reset(self, from, in);
+    return;
+  }
+  RecvChain& chain = in.chains[stream];
+  if (w->seq < chain.next_seq) return;  // duplicate delivery
+  if (w->seq > chain.next_seq) {
+    if (in.held_total >= opts_.holdback_cap) {
+      ++stats_.holdback_overflows;
+      fail_reset(self, from, in);
+      return;
+    }
+    chain.held[w->seq] = std::move(w);
+    ++in.held_total;
+    stats_.held_peak = std::max<std::uint64_t>(stats_.held_peak,
+                                               in.held_total);
+    return;
+  }
+  process_ready(from, self, in, chain, std::move(w));
+}
+
+void DeltaTransport::process_ready(
+    ProcessId from, ProcessId self, PeerIn& in, RecvChain& chain,
+    std::shared_ptr<const la::DeltaWrapMsg> w) {
+  while (true) {
+    sim::MessagePtr rebuilt;
+    try {
+      const Bytes payload =
+          decode_delta(w->inner_type, BytesView(w->payload), chain);
+      Encoder enc;
+      enc.put_u32(w->inner_type);
+      enc.put_raw(BytesView(payload));
+      rebuilt = decode_message(enc.bytes());
+    } catch (const CheckError&) {
+      rebuilt = nullptr;
+    }
+    if (rebuilt == nullptr) {
+      ++stats_.reconstruct_failures;
+      fail_reset(self, from, in);
+      return;
+    }
+    ++chain.next_seq;
+    // Delivery happens under the (recursive) transport lock: handler
+    // re-entry into send() is expected and safe, and inner transports
+    // serialize deliveries per endpoint anyway.
+    deliver(from, self, rebuilt);
+    const auto it = chain.held.find(chain.next_seq);
+    if (it == chain.held.end()) return;
+    w = std::move(it->second);
+    chain.held.erase(it);
+    --in.held_total;
+  }
+}
+
+void DeltaTransport::reset_peer(ProcessId peer) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  for (auto& [key, out] : out_) {
+    if (key.second == peer) {
+      ++out.epoch;
+      out.chains.clear();
+    }
+  }
+  for (auto& [key, in] : in_) {
+    if (key.second == peer) in = PeerIn{};  // epoch 0: accept any restart
+  }
+}
+
+DeltaTransport::Stats DeltaTransport::stats() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace bgla::net

@@ -1,0 +1,132 @@
+// DeltaTransport — a Transport decorator that delta-encodes lattice
+// traffic between peers (net/delta_codec.h) without the protocols ever
+// noticing.
+//
+// Attachment interposes a proxy endpoint per protocol endpoint: sends are
+// rewritten into DeltaWrapMsg (type 90) when the message carries lattice
+// state, and incoming wrappers are reconstructed back into the original
+// message — byte-identically, from the wrapper bytes, never from shared
+// in-memory pointers — before delivery. Everything else (signed blobs,
+// elem-free traffic, self-sends) passes through untouched. Works over
+// both sim::Network (where it also forces real serialization, so the
+// deterministic suites genuinely exercise the codec) and SocketTransport.
+//
+// Chain discipline: per (sender, receiver, stream) the wrapper carries a
+// sequence number; the receiver applies deltas strictly in order, parking
+// out-of-order arrivals in a capped holdback buffer. Desync — a failed
+// expected-weight check, undecodable wrapper, or holdback overflow — is
+// handled by the automatic full-state fallback protocol: the receiver
+// clears its chains and sends DeltaResetMsg (type 91); the sender bumps
+// its epoch and starts every stream from a full encoding again. A peer
+// restart (socket HELLO incarnation bump) must call reset_peer(), which
+// does the same preemptively — the fresh-peer / post-rejoin / dedup-reset
+// cases named in the design note. Wrappers from a stale epoch are
+// discarded; that only drops messages a crash already put in doubt, and
+// the protocols' catch-up exchange (type 70/71) re-elicits the state.
+//
+// With Options.enabled=false the decorator is a pure pass-through that
+// still meters per-message wire bytes — the delta-off baseline of the
+// bench_throughput byte-curve experiment uses exactly this.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "la/messages.h"
+#include "net/delta_codec.h"
+#include "net/transport.h"
+#include "obs/instrument.h"
+
+namespace bgla::net {
+
+class DeltaTransport final : public Transport {
+ public:
+  struct Options {
+    /// false: meter-only passthrough (no wrapping, no chain state).
+    bool enabled = true;
+    /// Max parked out-of-order wrappers per sending peer before the
+    /// receiver declares desync and resets the chains.
+    std::size_t holdback_cap = 4096;
+    /// Optional metrics sink (bgla_wire_* counters).
+    obs::Instrument* instrument = nullptr;
+  };
+
+  struct Stats {
+    std::uint64_t msgs_delta = 0;         ///< sends wrapped as deltas
+    std::uint64_t msgs_passthrough = 0;   ///< sends forwarded untouched
+    std::uint64_t wire_bytes_delta = 0;   ///< encoded wrapper bytes
+    std::uint64_t wire_bytes_passthrough = 0;
+    /// What the wrapped messages would have cost un-delta'd (their full
+    /// canonical encodings) — the savings denominator.
+    std::uint64_t logical_bytes = 0;
+    std::uint64_t resets_sent = 0;
+    std::uint64_t resets_received = 0;
+    std::uint64_t holdback_overflows = 0;
+    std::uint64_t reconstruct_failures = 0;
+    std::uint64_t held_peak = 0;
+
+    std::uint64_t wire_bytes_total() const {
+      return wire_bytes_delta + wire_bytes_passthrough;
+    }
+  };
+
+  explicit DeltaTransport(Transport& inner);
+  DeltaTransport(Transport& inner, Options opts);
+  ~DeltaTransport() override;
+
+  ProcessId attach(Endpoint& e) override;
+  void detach(ProcessId id) override;
+  void send(ProcessId from, ProcessId to, sim::MessagePtr msg) override;
+  Time now() const override { return inner_.now(); }
+  std::uint64_t current_depth() const override {
+    return inner_.current_depth();
+  }
+  void request_stop() override { inner_.request_stop(); }
+
+  /// Peer restarted (transport-level dedup reset, e.g. a socket HELLO
+  /// with a bumped incarnation): drop every baseline negotiated with it.
+  void reset_peer(ProcessId peer);
+
+  Stats stats() const;
+  bool enabled() const { return opts_.enabled; }
+
+ private:
+  class Proxy;
+
+  struct PeerOut {
+    std::uint64_t epoch = 1;
+    std::map<std::uint64_t, SendChain> chains;
+  };
+  struct PeerIn {
+    std::uint64_t epoch = 0;
+    bool poisoned = false;  // drop wrappers until a fresh epoch arrives
+    std::size_t held_total = 0;
+    std::map<std::uint64_t, RecvChain> chains;
+  };
+  using PairKey = std::pair<ProcessId, ProcessId>;  // (self, peer)
+
+  void on_inner_message(ProcessId from, ProcessId self,
+                        const sim::MessagePtr& msg);
+  void on_wrapper(ProcessId from, ProcessId self,
+                  std::shared_ptr<const la::DeltaWrapMsg> w);
+  void process_ready(ProcessId from, ProcessId self, PeerIn& in,
+                     RecvChain& chain,
+                     std::shared_ptr<const la::DeltaWrapMsg> w);
+  void fail_reset(ProcessId self, ProcessId from, PeerIn& in);
+  void deliver(ProcessId from, ProcessId self, const sim::MessagePtr& msg);
+  void meter(ProcessId from, std::size_t bytes, bool delta);
+
+  Transport& inner_;
+  Options opts_;
+  mutable std::recursive_mutex mu_;
+  Stats stats_;
+  std::map<ProcessId, Endpoint*> outer_;
+  std::map<ProcessId, std::unique_ptr<Proxy>> proxies_;
+  std::map<PairKey, PeerOut> out_;  // keyed (sender self, destination)
+  std::map<PairKey, PeerIn> in_;    // keyed (receiver self, source)
+};
+
+}  // namespace bgla::net

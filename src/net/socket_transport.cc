@@ -513,13 +513,19 @@ void SocketTransport::inbound_loop(int fd) {
       // dedup watermark would silently swallow every new frame.
       if (f->kind == kHello) {
         from = f->from;
-        std::lock_guard<std::mutex> lk(inbound_mu_);
-        DedupState& d = dedup_[from];
-        if (f->seq > d.incarnation) {
-          d.incarnation = f->seq;
-          d.contiguous = 0;
-          d.seen.clear();
+        bool restarted = false;
+        {
+          std::lock_guard<std::mutex> lk(inbound_mu_);
+          DedupState& d = dedup_[from];
+          if (f->seq > d.incarnation) {
+            const bool first_contact = d.incarnation == 0;
+            d.incarnation = f->seq;
+            d.contiguous = 0;
+            d.seen.clear();
+            restarted = !first_contact;
+          }
         }
+        if (restarted && peer_reset_hook_) peer_reset_hook_(from);
       }
       continue;
     }

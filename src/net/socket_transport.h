@@ -59,6 +59,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -175,6 +176,16 @@ class SocketTransport final : public Transport {
   /// "retransmit" span on a fresh trace (retransmits have no causal parent
   /// on the command path — they are transport-level repair work).
   void set_instrument(obs::Instrument* instrument);
+
+  // -- Peer-restart notification. Invoked from a connection reader thread
+  //    whenever a peer's HELLO carries a higher incarnation than any seen
+  //    before — the peer restarted and lost its in-memory wire state, so
+  //    the old dedup watermark was just reset. Layered stateful codecs
+  //    (net::DeltaTransport) hook this to re-baseline that peer. Set
+  //    before start(); called without transport locks held.
+  void set_peer_reset_hook(std::function<void(ProcessId)> hook) {
+    peer_reset_hook_ = std::move(hook);
+  }
 
   // -- Runtime chaos knobs (thread-safe; used by the nemesis driver).
   //    Blocking a peer silences every frame in that direction — including
@@ -309,6 +320,7 @@ class SocketTransport final : public Transport {
   std::map<ProcessId, PeerObs> peer_obs_;
   obs::Counter* obs_frames_dropped_ = nullptr;
   obs::Counter* obs_reconnects_ = nullptr;
+  std::function<void(ProcessId)> peer_reset_hook_;  // set before start()
 
   // Chaos knobs (peer-id bitmasks; ids are bounded by the 64-process
   // deployments the tools drive — enforced in the setters). Loss and

@@ -246,6 +246,16 @@ MessagePtr decode_payload(std::uint32_t type_id, Decoder& dec, int depth) {
       return std::make_shared<ShardEnvelopeMsg>(
           shard, get_inner<sim::Message>(dec, depth));
     }
+    // ---- transport delta encoding ----
+    case 90: {
+      const std::uint64_t epoch = dec.get_u64();
+      const std::uint64_t seq = dec.get_u64();
+      const std::uint32_t inner_type = dec.get_u32();
+      return std::make_shared<la::DeltaWrapMsg>(epoch, seq, inner_type,
+                                                dec.get_bytes());
+    }
+    case 91:
+      return std::make_shared<la::DeltaResetMsg>(dec.get_u64());
     // ---- state-transfer / catch-up ----
     case 70:
       return std::make_shared<la::CatchupReqMsg>(dec.get_u64());
@@ -297,6 +307,9 @@ bool trace_ctx_allowed(std::uint32_t type_id) {
     case 61:  // DecideMsg
     case 64:  // BatchUpdateMsg
     case 80:  // ShardEnvelopeMsg
+    case 90:  // DeltaWrapMsg — its payload is an opaque length-prefixed
+              // blob (never embedded in proofs), so a tail is safe; the
+              // wrapped message's own tail rides *inside* the payload.
       return true;
     default:
       return false;

@@ -9,6 +9,13 @@ Instrument::Instrument(Registry* registry, TraceWriter* trace)
     : reg_(registry), trace_(trace) {
   if (reg_ == nullptr) return;
   sends_ = &reg_->counter("bgla_proto_msgs_sent_total");
+  wire_bytes_delta_ =
+      &reg_->counter("bgla_wire_bytes_total{encoding=\"delta\"}");
+  wire_bytes_full_ = &reg_->counter("bgla_wire_bytes_total{encoding=\"full\"}");
+  wire_msgs_delta_ =
+      &reg_->counter("bgla_wire_msgs_total{encoding=\"delta\"}");
+  wire_msgs_full_ = &reg_->counter("bgla_wire_msgs_total{encoding=\"full\"}");
+  bytes_per_command_ = &reg_->gauge("bgla_bytes_per_command");
   proposals_ = &reg_->counter("bgla_proto_proposals_total");
   submits_ = &reg_->counter("bgla_proto_submitted_values_total");
   acks_ = &reg_->counter("bgla_proto_acks_total");
@@ -28,6 +35,25 @@ Instrument::Instrument(Registry* registry, TraceWriter* trace)
 void Instrument::on_send(ProcessId node, std::uint64_t count) {
   (void)node;
   if (sends_ != nullptr) sends_->inc(count);
+}
+
+void Instrument::on_wire_bytes(ProcessId node, std::uint64_t bytes,
+                               bool delta) {
+  (void)node;
+  if (delta) {
+    if (wire_bytes_delta_ != nullptr) wire_bytes_delta_->inc(bytes);
+    if (wire_msgs_delta_ != nullptr) wire_msgs_delta_->inc();
+  } else {
+    if (wire_bytes_full_ != nullptr) wire_bytes_full_->inc(bytes);
+    if (wire_msgs_full_ != nullptr) wire_msgs_full_->inc();
+  }
+}
+
+void Instrument::on_bytes_per_command(ProcessId node, std::uint64_t value) {
+  (void)node;
+  if (bytes_per_command_ != nullptr) {
+    bytes_per_command_->set(static_cast<std::int64_t>(value));
+  }
 }
 
 void Instrument::on_propose(ProcessId node, std::uint64_t proposal,

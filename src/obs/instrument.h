@@ -38,6 +38,13 @@ class Instrument {
   // Protocol transitions. Counter + (where listed in the schema) one trace
   // event each. All are safe to call with either sink missing.
   void on_send(ProcessId node, std::uint64_t count = 1);
+  /// One message put on the wire by the delta transport: its encoded
+  /// size and whether it went out delta-wrapped or as a full encoding.
+  /// Feeds bgla_wire_bytes_total / bgla_wire_msgs_total{delta|full}.
+  void on_wire_bytes(ProcessId node, std::uint64_t bytes, bool delta);
+  /// Running per-command wire cost (total wire bytes / decided
+  /// commands), published as the bgla_bytes_per_command gauge.
+  void on_bytes_per_command(ProcessId node, std::uint64_t value);
   void on_propose(ProcessId node, std::uint64_t proposal,
                   std::uint64_t round);
   void on_submit(ProcessId node, std::uint64_t count);
@@ -105,6 +112,11 @@ class Instrument {
 
   // Cached handles (null iff reg_ is null).
   Counter* sends_ = nullptr;
+  Counter* wire_bytes_delta_ = nullptr;
+  Counter* wire_bytes_full_ = nullptr;
+  Counter* wire_msgs_delta_ = nullptr;
+  Counter* wire_msgs_full_ = nullptr;
+  Gauge* bytes_per_command_ = nullptr;
   Counter* proposals_ = nullptr;
   Counter* submits_ = nullptr;
   Counter* acks_ = nullptr;

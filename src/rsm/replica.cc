@@ -122,8 +122,9 @@ void Replica::export_state(Encoder& enc) const {
 }
 
 void Replica::import_state(Decoder& dec) {
-  la::check_state_header(dec, la::StateTag::kReplica);
-  import_core(dec);
+  const std::uint32_t version =
+      la::check_state_header(dec, la::StateTag::kReplica);
+  import_core(dec, version);
   const std::uint64_t count = dec.get_varint();
   BGLA_CHECK_MSG(count <= dec.remaining(),
                  "Replica: command count exceeds remaining bytes");

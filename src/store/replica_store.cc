@@ -71,15 +71,22 @@ ReplicaStore::ReplicaStore(std::string dir, std::uint32_t compact_every)
   wal_.open(join(dir_, "wal.log"));
 }
 
-void ReplicaStore::persist(BytesView state) {
+bool ReplicaStore::persist(BytesView state) {
   std::lock_guard<std::mutex> lk(mu_);
-  if (++appends_since_compact_ >= compact_every_) {
+  ++appends_since_compact_;
+  const bool over_bytes =
+      max_wal_bytes_ != 0 &&
+      wal_bytes_since_compact_ + state.size() > max_wal_bytes_;
+  if (appends_since_compact_ >= compact_every_ || over_bytes) {
     write_snapshot(join(dir_, "snapshot.bin"), state);
     wal_.reset_to_empty();
     appends_since_compact_ = 0;
-  } else {
-    wal_.append(state);
+    wal_bytes_since_compact_ = 0;
+    return true;
   }
+  wal_.append(state);
+  wal_bytes_since_compact_ += state.size();
+  return false;
 }
 
 void ReplicaStore::compact(BytesView state) {
@@ -87,6 +94,19 @@ void ReplicaStore::compact(BytesView state) {
   write_snapshot(join(dir_, "snapshot.bin"), state);
   wal_.reset_to_empty();
   appends_since_compact_ = 0;
+  wal_bytes_since_compact_ = 0;
+}
+
+void ReplicaStore::set_max_wal_bytes(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  max_wal_bytes_ = bytes;
+}
+
+bool ReplicaStore::due_for_compact(std::size_t next_record_bytes) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (appends_since_compact_ + 1 >= compact_every_) return true;
+  return max_wal_bytes_ != 0 &&
+         wal_bytes_since_compact_ + next_record_bytes > max_wal_bytes_;
 }
 
 Bytes ReplicaStore::peek_latest_state(const std::string& dir,

@@ -58,11 +58,24 @@ class ReplicaStore {
   const std::string& dir() const { return dir_; }
 
   // ---- persistence (thread-safe; called from the persist hook) ----
-  /// Logs one full-state record; every `compact_every` appends it folds
-  /// the state into the snapshot and resets the WAL.
-  void persist(BytesView state);
+  /// Logs one full-state record; every `compact_every` appends — or once
+  /// the WAL accumulates `max_wal_bytes` of payload, when set — it folds
+  /// the state into the snapshot and resets the WAL. Returns true iff
+  /// this call folded.
+  bool persist(BytesView state);
   /// Forces the fold immediately.
   void compact(BytesView state);
+
+  /// Byte-based fold policy (0 = disabled, the default): fold as soon as
+  /// WAL payload since the last fold exceeds this, regardless of the
+  /// append counter. Lets hosts bound disk growth by state size — the
+  /// lever the decided-prefix compaction path uses.
+  void set_max_wal_bytes(std::uint64_t bytes);
+  /// True iff the *next* persist of a `next_record_bytes` record would
+  /// fold. Hosts that shrink state before snapshotting (decided-prefix
+  /// compaction) check this, fold the process state, and call compact()
+  /// with the smaller blob instead of persist().
+  bool due_for_compact(std::size_t next_record_bytes) const;
 
   /// Reads a data dir without opening it for writing (no incarnation
   /// bump, no repairs beyond WAL recovery): the latest intact full-state
@@ -80,9 +93,11 @@ class ReplicaStore {
   bool clean_ = true;
   bool found_ = false;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   WalWriter wal_;
   std::uint32_t appends_since_compact_ = 0;
+  std::uint64_t max_wal_bytes_ = 0;  // 0: count-only policy
+  std::uint64_t wal_bytes_since_compact_ = 0;
 };
 
 }  // namespace bgla::store

@@ -57,6 +57,11 @@ class Decoder {
   bool done() const { return pos_ == data_.size(); }
   std::size_t remaining() const { return data_.size() - pos_; }
 
+  /// View of the not-yet-consumed suffix (valid while the underlying
+  /// buffer lives) — for splicing an opaque tail through a re-encoder.
+  BytesView rest() const { return data_.subspan(pos_); }
+  void skip_rest() { pos_ = data_.size(); }
+
  private:
   BytesView data_;
   std::size_t pos_ = 0;

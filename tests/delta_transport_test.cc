@@ -1,0 +1,294 @@
+// DeltaTransport equivalence and fault-path tests.
+//
+// Equivalence: every protocol run over the delta-encoding decorator must
+// decide exactly what the direct-on-sim run decides — the decorator
+// reconstructs each message byte-identically from wrapper bytes, so the
+// protocols cannot tell the difference. Fault paths: out-of-order
+// wrappers park in the holdback buffer, duplicates drop, a corrupted
+// wrapper triggers the full-state reset protocol, and reset_peer()
+// re-baselines after a simulated peer restart.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "harness/throughput.h"
+#include "la/messages.h"
+#include "lattice/set_elem.h"
+#include "net/delta_transport.h"
+#include "net/wire.h"
+
+namespace bgla {
+namespace {
+
+using harness::ThroughputProtocol;
+using harness::ThroughputScenario;
+using harness::run_throughput;
+using lattice::Elem;
+using lattice::Item;
+using lattice::make_set;
+
+Bytes enc(const Elem& e) {
+  Encoder en;
+  e.encode(en);
+  return en.take();
+}
+
+ThroughputScenario base_scenario(ThroughputProtocol proto) {
+  ThroughputScenario sc;
+  sc.protocol = proto;
+  sc.n = proto == ThroughputProtocol::kFaleiro ? 3 : 4;
+  sc.f = 1;
+  sc.batch.max_batch = 8;
+  sc.commands_per_proc = 48;
+  sc.window = 8;
+  sc.seed = 1234;
+  return sc;
+}
+
+class DeltaEquivalenceTest
+    : public ::testing::TestWithParam<ThroughputProtocol> {};
+
+TEST_P(DeltaEquivalenceTest, DeltaRunDecidesSameAsDirectRun) {
+  ThroughputScenario direct = base_scenario(GetParam());
+  ThroughputScenario delta = direct;
+  delta.wire = ThroughputScenario::WireMode::kDelta;
+
+  const auto a = run_throughput(direct);
+  const auto b = run_throughput(delta);
+
+  EXPECT_TRUE(a.completed);
+  EXPECT_TRUE(b.completed);
+  EXPECT_TRUE(a.spec.ok()) << a.spec.diagnostic;
+  EXPECT_TRUE(b.spec.ok()) << b.spec.diagnostic;
+  EXPECT_EQ(a.commands, b.commands);
+  EXPECT_EQ(enc(a.decided_frontier), enc(b.decided_frontier));
+
+  // The run must actually have exercised the codec, cleanly.
+  EXPECT_GT(b.wire.msgs_delta, 0u);
+  EXPECT_EQ(b.wire.resets_sent, 0u);
+  EXPECT_EQ(b.wire.reconstruct_failures, 0u);
+  // Deltas must beat shipping full states on the wrapped traffic.
+  EXPECT_LT(b.wire.wire_bytes_delta, b.wire.logical_bytes);
+}
+
+TEST_P(DeltaEquivalenceTest, MeterModeIsPurePassthrough) {
+  ThroughputScenario direct = base_scenario(GetParam());
+  ThroughputScenario meter = direct;
+  meter.wire = ThroughputScenario::WireMode::kMeter;
+
+  const auto a = run_throughput(direct);
+  const auto b = run_throughput(meter);
+
+  EXPECT_TRUE(b.spec.ok()) << b.spec.diagnostic;
+  EXPECT_EQ(a.commands, b.commands);
+  EXPECT_EQ(enc(a.decided_frontier), enc(b.decided_frontier));
+  EXPECT_EQ(b.wire.msgs_delta, 0u);
+  EXPECT_GT(b.wire.msgs_passthrough, 0u);
+  EXPECT_GT(b.bytes_per_command, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, DeltaEquivalenceTest,
+    ::testing::Values(ThroughputProtocol::kFaleiro, ThroughputProtocol::kGwts,
+                      ThroughputProtocol::kGsbs),
+    [](const auto& info) {
+      switch (info.param) {
+        case ThroughputProtocol::kFaleiro: return std::string("Faleiro");
+        case ThroughputProtocol::kGwts: return std::string("Gwts");
+        case ThroughputProtocol::kGsbs: return std::string("Gsbs");
+      }
+      return std::string("Unknown");
+    });
+
+// ---------------------------------------------------------------------------
+// Fault-path tests against a hand-pumped inner transport.
+
+struct Captured {
+  ProcessId from;
+  ProcessId to;
+  sim::MessagePtr msg;
+};
+
+/// Inner transport the test pumps by hand: sends are captured, delivery
+/// order (reorder, duplicate, drop) is entirely the test's choice.
+class ManualTransport final : public net::Transport {
+ public:
+  ProcessId attach(net::Endpoint& e) override {
+    eps_[e.id()] = &e;
+    return e.id();
+  }
+  void detach(ProcessId id) override { eps_.erase(id); }
+  void send(ProcessId from, ProcessId to, sim::MessagePtr msg) override {
+    sent.push_back({from, to, std::move(msg)});
+  }
+  net::Time now() const override { return 0; }
+  std::uint64_t current_depth() const override { return 0; }
+  void request_stop() override {}
+
+  /// Hands one captured message to the registered endpoint (the
+  /// DeltaTransport proxy) as if the network delivered it.
+  void deliver(const Captured& c) {
+    const auto it = eps_.find(c.to);
+    ASSERT_NE(it, eps_.end());
+    it->second->on_message(c.from, c.msg);
+  }
+
+  std::vector<Captured> sent;
+
+ private:
+  std::map<ProcessId, net::Endpoint*> eps_;
+};
+
+/// Outer endpoint recording everything the decorator delivers.
+class Sink final : public net::Endpoint {
+ public:
+  Sink(net::Transport& t, ProcessId id) : net::Endpoint(t, id) {}
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override {
+    received.push_back({from, id(), msg});
+  }
+  std::vector<Captured> received;
+};
+
+std::shared_ptr<la::DisclosureMsg> disclosure(std::uint64_t hi) {
+  // 8 items per step: step k's delta (8 new items) is strictly smaller
+  // than its full encoding (8*k items), so size assertions are
+  // meaningful from the second message on.
+  std::set<Item> items;
+  for (std::uint64_t k = 1; k <= hi * 8; ++k) items.insert(Item{1, k, 1});
+  return std::make_shared<la::DisclosureMsg>(make_set(std::move(items)));
+}
+
+class DeltaFaultTest : public ::testing::Test {
+ protected:
+  DeltaFaultTest() : dt_(inner_), a_(dt_, 0), b_(dt_, 1) {}
+
+  /// Sends `n` growing disclosures 0 -> 1 and returns the captured
+  /// wrappers (clearing the capture buffer first).
+  std::vector<Captured> send_chain(std::uint64_t n) {
+    inner_.sent.clear();
+    for (std::uint64_t k = 1; k <= n; ++k) {
+      dt_.send(0, 1, disclosure(k));
+    }
+    return inner_.sent;
+  }
+
+  ManualTransport inner_;
+  net::DeltaTransport dt_;
+  Sink a_;
+  Sink b_;
+};
+
+TEST_F(DeltaFaultTest, InOrderChainReconstructsByteIdentically) {
+  const auto wrapped = send_chain(3);
+  ASSERT_EQ(wrapped.size(), 3u);
+  // Second and third ride the chain as deltas: strictly smaller than
+  // their own full encodings even with the wrapper header on top.
+  EXPECT_LT(wrapped[1].msg->encoded().size(), disclosure(2)->encoded().size());
+  EXPECT_LT(wrapped[2].msg->encoded().size(), disclosure(3)->encoded().size());
+  for (const auto& c : wrapped) {
+    EXPECT_EQ(c.msg->type_id(), 90u);
+    inner_.deliver(c);
+  }
+  ASSERT_EQ(b_.received.size(), 3u);
+  for (std::uint64_t k = 1; k <= 3; ++k) {
+    EXPECT_EQ(b_.received[k - 1].msg->encoded(), disclosure(k)->encoded());
+  }
+}
+
+TEST_F(DeltaFaultTest, OutOfOrderWrappersParkInHoldback) {
+  const auto wrapped = send_chain(3);
+  ASSERT_EQ(wrapped.size(), 3u);
+  inner_.deliver(wrapped[2]);  // seq 3: parked
+  inner_.deliver(wrapped[1]);  // seq 2: parked
+  EXPECT_TRUE(b_.received.empty());
+  inner_.deliver(wrapped[0]);  // seq 1: drains all three in order
+  ASSERT_EQ(b_.received.size(), 3u);
+  for (std::uint64_t k = 1; k <= 3; ++k) {
+    EXPECT_EQ(b_.received[k - 1].msg->encoded(), disclosure(k)->encoded());
+  }
+  EXPECT_EQ(dt_.stats().held_peak, 2u);
+  EXPECT_EQ(dt_.stats().resets_sent, 0u);
+}
+
+TEST_F(DeltaFaultTest, DuplicateWrapperIsDropped) {
+  const auto wrapped = send_chain(2);
+  inner_.deliver(wrapped[0]);
+  inner_.deliver(wrapped[0]);  // duplicate: dropped, chain undisturbed
+  inner_.deliver(wrapped[1]);
+  ASSERT_EQ(b_.received.size(), 2u);
+  EXPECT_EQ(b_.received[1].msg->encoded(), disclosure(2)->encoded());
+}
+
+TEST_F(DeltaFaultTest, CorruptedWrapperTriggersResetAndRecovers) {
+  const auto wrapped = send_chain(2);
+  inner_.deliver(wrapped[0]);
+  // Corrupt the second wrapper's payload: reconstruct must fail loudly.
+  auto w = std::dynamic_pointer_cast<const la::DeltaWrapMsg>(wrapped[1].msg);
+  ASSERT_NE(w, nullptr);
+  Bytes garbled = w->payload;
+  ASSERT_FALSE(garbled.empty());
+  garbled.back() ^= 0xFF;
+  auto bad = std::make_shared<la::DeltaWrapMsg>(w->epoch, w->seq,
+                                                w->inner_type, garbled);
+  inner_.sent.clear();
+  inner_.deliver({0, 1, bad});
+  EXPECT_EQ(dt_.stats().reconstruct_failures, 1u);
+  EXPECT_EQ(dt_.stats().resets_sent, 1u);
+  // The receiver pushed a DeltaResetMsg back to the sender.
+  ASSERT_EQ(inner_.sent.size(), 1u);
+  EXPECT_EQ(inner_.sent[0].msg->type_id(), 91u);
+  EXPECT_EQ(inner_.sent[0].to, 0u);
+  inner_.deliver(inner_.sent[0]);
+  EXPECT_EQ(dt_.stats().resets_received, 1u);
+  // Post-reset traffic restarts from a full encoding in a fresh epoch and
+  // reconstructs again.
+  const auto fresh = send_chain(1);
+  ASSERT_EQ(fresh.size(), 1u);
+  inner_.deliver(fresh[0]);
+  ASSERT_EQ(b_.received.size(), 2u);
+  EXPECT_EQ(b_.received.back().msg->encoded(), disclosure(1)->encoded());
+}
+
+TEST_F(DeltaFaultTest, ResetPeerRebaselinesBothDirections) {
+  const auto before = send_chain(2);
+  for (const auto& c : before) inner_.deliver(c);
+  ASSERT_EQ(b_.received.size(), 2u);
+  // Peer 1 "restarted": its decorator state is gone. Ours must forget
+  // every baseline negotiated with it.
+  dt_.reset_peer(1);
+  const auto after = send_chain(2);
+  ASSERT_EQ(after.size(), 2u);
+  auto w = std::dynamic_pointer_cast<const la::DeltaWrapMsg>(after[0].msg);
+  ASSERT_NE(w, nullptr);
+  EXPECT_GT(w->epoch, 1u);  // fresh epoch, so a fresh receiver accepts it
+  for (const auto& c : after) inner_.deliver(c);
+  ASSERT_EQ(b_.received.size(), 4u);
+  EXPECT_EQ(b_.received[2].msg->encoded(), disclosure(1)->encoded());
+  EXPECT_EQ(b_.received[3].msg->encoded(), disclosure(2)->encoded());
+}
+
+TEST_F(DeltaFaultTest, StaleEpochWrapperIsDiscarded) {
+  const auto old_epoch = send_chain(1);
+  dt_.reset_peer(1);
+  const auto new_epoch = send_chain(1);
+  inner_.deliver(new_epoch[0]);
+  ASSERT_EQ(b_.received.size(), 1u);
+  inner_.deliver(old_epoch[0]);  // stale epoch: silently dropped
+  EXPECT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(dt_.stats().resets_sent, 0u);
+}
+
+TEST_F(DeltaFaultTest, IneligibleTrafficPassesThroughUnwrapped) {
+  inner_.sent.clear();
+  dt_.send(0, 1, std::make_shared<la::CatchupReqMsg>(7));
+  ASSERT_EQ(inner_.sent.size(), 1u);
+  EXPECT_EQ(inner_.sent[0].msg->type_id(), 70u);
+  inner_.deliver(inner_.sent[0]);
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(dt_.stats().msgs_passthrough, 1u);
+}
+
+}  // namespace
+}  // namespace bgla

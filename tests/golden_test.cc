@@ -177,6 +177,44 @@ TEST(Golden, ThroughputPipelinedReferenceRun) {
   EXPECT_EQ(rep.end_time, 168u);
 }
 
+// Same scenario over the delta wire decorator. Reconstruction is
+// byte-identical and resets never fire on a clean run, but the proxy
+// endpoints re-attach to the inner network, which changes same-tick
+// delivery order — so the run takes a slightly different (equally
+// valid) trajectory and gets its own pins. What must hold regardless:
+// every command decides, the spec checker is green, no resets fire,
+// and the delta encoding beats the logical bytes.
+TEST(Golden, ThroughputDeltaWireReferenceRun) {
+  harness::ThroughputScenario sc;
+  sc.protocol = harness::ThroughputProtocol::kGwts;
+  sc.n = 4;
+  sc.f = 1;
+  sc.batch.max_batch = 8;
+  sc.batch.pipeline = true;
+  sc.commands_per_proc = 24;
+  sc.window = 16;
+  sc.seed = 3;
+  sc.wire = harness::ThroughputScenario::WireMode::kDelta;
+  const auto rep = harness::run_throughput(sc);
+  ASSERT_TRUE(rep.completed);
+  ASSERT_TRUE(rep.spec.ok()) << rep.spec.diagnostic;
+
+  // Pinned reference values (seed 3, batch=8, pipeline on, delta wire).
+  EXPECT_EQ(rep.commands, 96u);
+  EXPECT_EQ(rep.total_msgs, 2083u);
+  EXPECT_EQ(rep.end_time, 192u);
+  EXPECT_EQ(rep.wire.resets_sent, 0u);
+  EXPECT_EQ(rep.wire.reconstruct_failures, 0u);
+
+  // Wire accounting is deterministic per seed: pin it.
+  const auto again = harness::run_throughput(sc);
+  EXPECT_EQ(rep.wire.msgs_delta, again.wire.msgs_delta);
+  EXPECT_EQ(rep.wire.wire_bytes_delta, again.wire.wire_bytes_delta);
+  EXPECT_EQ(rep.wire.logical_bytes, again.wire.logical_bytes);
+  EXPECT_GT(rep.wire.msgs_delta, 0u);
+  EXPECT_LT(rep.wire.wire_bytes_delta, rep.wire.logical_bytes);
+}
+
 TEST(Golden, RsmReferenceRun) {
   harness::RsmScenario sc;
   sc.n = 4;

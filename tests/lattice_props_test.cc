@@ -20,10 +20,12 @@
 #include <vector>
 
 #include "la/batcher.h"
+#include "lattice/delta.h"
 #include "lattice/elem.h"
 #include "lattice/maxint_elem.h"
 #include "lattice/set_elem.h"
 #include "lattice/vclock_elem.h"
+#include "util/codec.h"
 #include "util/rng.h"
 
 namespace bgla::lattice {
@@ -522,6 +524,124 @@ TEST(BatcherProps, ByteBudgetSplitsBatches) {
   ASSERT_TRUE(t.offer(make_set({Item{0, 1, 0}, Item{0, 2, 0}}), 0));
   EXPECT_FALSE(t.take(0).is_bottom());
 }
+
+// ---------------------------------------------------------------------------
+// Delta-encoding properties (the lattice half of the wire codec): apply ∘
+// diff must be the identity — not just up to lattice equality but on the
+// canonical encoding, since the transport promises byte-identical
+// reconstruction. Same seeded generate → check → shrink loop as above.
+
+Bytes canon(const Elem& e) {
+  Encoder enc;
+  e.encode(enc);
+  return enc.take();
+}
+
+class DeltaProps
+    : public ::testing::TestWithParam<std::tuple<Family, std::uint64_t>> {};
+
+TEST_P(DeltaProps, ApplyAfterDiffIsByteIdentity) {
+  const auto [fam, seed] = GetParam();
+  check_property("apply∘diff identity", fam.gen, 2, seed,
+                 [](const Tuple& t) {
+                   const Elem base = t[0];
+                   const Elem cur = t[0].join(t[1]);  // base ≤ cur always
+                   Elem d;
+                   if (!diff_above(base, cur, &d)) return false;
+                   return canon(base.join(d)) == canon(cur);
+                 });
+}
+
+TEST_P(DeltaProps, DiffSucceedsIffBaseBelow) {
+  const auto [fam, seed] = GetParam();
+  check_property("diff defined ⟺ base ≤ cur", fam.gen, 2, seed,
+                 [](const Tuple& t) {
+                   Elem d;
+                   const bool ok = diff_above(t[0], t[1], &d);
+                   // Same family throughout, so leq is the exact criterion
+                   // (modulo the cur-bottom corner the codec never takes).
+                   const bool expect =
+                       t[0].leq(t[1]) && !(t[1].is_bottom() && !t[0].is_bottom());
+                   if (ok != expect) return false;
+                   return !ok || canon(t[0].join(d)) == canon(t[1]);
+                 });
+}
+
+TEST_P(DeltaProps, InterleavedDeltasAndFullStatesConverge) {
+  // A monotone chain shipped as an arbitrary interleaving of deltas
+  // (against the previous link) and full states must reconstruct every
+  // link byte-identically — the invariant that lets the transport fall
+  // back to full encodings at any point without resynchronizing.
+  const auto [fam, seed] = GetParam();
+  Rng rng(seed ^ 0xde17a);
+  for (int round = 0; round < 100; ++round) {
+    Elem sender;   // the chain being shipped
+    Elem receiver; // reconstruction
+    for (int step = 0; step < 12; ++step) {
+      const Elem prev = sender;
+      sender = sender.join(fam.gen(rng));
+      if (rng.chance(0.5)) {
+        Elem d;
+        ASSERT_TRUE(diff_above(prev, sender, &d));
+        receiver = receiver.join(d);
+      } else {
+        receiver = sender;  // full state (also: a compacted snapshot)
+      }
+      ASSERT_EQ(canon(receiver), canon(sender))
+          << fam.name << " diverged (seed " << seed << ", round " << round
+          << ", step " << step << ")";
+    }
+  }
+}
+
+TEST_P(DeltaProps, DiffIsMinimalForSets) {
+  // For the set family the delta must carry exactly the new items — the
+  // whole point of the encoding. (maxint/vclock deltas are scalar-sized
+  // by construction.)
+  const auto [fam, seed] = GetParam();
+  if (std::string(fam.name) != "set") return;
+  check_property("set delta = set difference", fam.gen, 2, seed,
+                 [](const Tuple& t) {
+                   const Elem base = t[0];
+                   const Elem cur = t[0].join(t[1]);
+                   Elem d;
+                   if (!diff_above(base, cur, &d)) return false;
+                   if (d.is_bottom()) return base == cur;
+                   for (const Item& it : set_items(d)) {
+                     if (base.is_bottom()) continue;
+                     if (set_items(base).count(it) != 0) return false;
+                   }
+                   return true;
+                 });
+}
+
+TEST(DeltaProps, KindMismatchAndNonMonotoneRejected) {
+  Rng rng(0xdead);
+  const Elem s = gen_set(rng);
+  const Elem m = gen_maxint(rng);
+  Elem d;
+  EXPECT_FALSE(diff_above(s, m, &d));  // kind mismatch
+  const Elem a = make_set({Item{0, 1, 0}});
+  const Elem b = make_set({Item{0, 2, 0}});
+  EXPECT_FALSE(diff_above(a, b, &d));  // base ⊄ cur: non-monotone
+  EXPECT_TRUE(diff_above(Elem(), m, &d));  // bottom base: delta is cur
+  Encoder e1, e2;
+  d.encode(e1);
+  m.encode(e2);
+  EXPECT_EQ(e1.bytes(), e2.bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, DeltaProps,
+    ::testing::Combine(
+        ::testing::Values(Family{"set", &gen_set},
+                          Family{"maxint", &gen_maxint},
+                          Family{"vclock", &gen_vclock}),
+        ::testing::Values<std::uint64_t>(0xd0d1, 0xd0d2, 0xd0d3)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).name) + "_seed" +
+             std::to_string(std::get<1>(info.param) & 0xf);
+    });
 
 TEST(BatcherProps, StatsAccount) {
   Rng rng(13);

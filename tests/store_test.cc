@@ -8,6 +8,11 @@
 #include <string>
 #include <vector>
 
+#include "la/gwts.h"
+#include "la/recovery.h"
+#include "lattice/codec.h"
+#include "lattice/set_elem.h"
+#include "sim/network.h"
 #include "store/replica_store.h"
 #include "store/snapshot.h"
 #include "store/wal.h"
@@ -259,6 +264,162 @@ TEST(ReplicaStore, CompactionFoldsWalIntoSnapshot) {
   }
   EXPECT_EQ(ReplicaStore::peek_latest_state(dir + "/node0"),
             bytes_of("state-9"));
+}
+
+TEST(ReplicaStore, ByteBudgetTriggersEarlyFold) {
+  const std::string dir = store::make_temp_dir("bgla-store-");
+  ReplicaStore s(dir + "/node0", /*compact_every=*/100);
+  s.set_max_wal_bytes(64);
+
+  // Small records stay under the budget: no fold.
+  EXPECT_FALSE(s.due_for_compact(20));
+  EXPECT_FALSE(s.persist(BytesView(bytes_of(std::string(20, 'a')))));
+  EXPECT_FALSE(s.persist(BytesView(bytes_of(std::string(20, 'b')))));
+  // The third 20-byte record pushes payload past 64: persist folds even
+  // though the append counter (100) is nowhere near due.
+  EXPECT_TRUE(s.due_for_compact(30));
+  EXPECT_TRUE(s.persist(BytesView(bytes_of(std::string(30, 'c')))));
+  // The fold reset the byte counter.
+  EXPECT_FALSE(s.due_for_compact(20));
+  EXPECT_FALSE(s.persist(BytesView(bytes_of(std::string(20, 'd')))));
+
+  ReplicaStore again(dir + "/node0", 100);
+  EXPECT_EQ(again.snapshot(), bytes_of(std::string(30, 'c')));
+  ASSERT_EQ(again.wal_records().size(), 1u);
+  EXPECT_EQ(again.wal_records()[0], bytes_of(std::string(20, 'd')));
+}
+
+// Runs a short GWTS cluster and returns process 0's exported state blob
+// (v3 format), leaving the donor process alive in `*donor` for
+// comparison. The run decides enough that compaction has work to do.
+Bytes export_gwts_state(sim::Network& net,
+                        std::vector<std::unique_ptr<la::GwtsProcess>>& procs,
+                        bool compact) {
+  la::LaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  for (ProcessId id = 0; id < 4; ++id) {
+    procs.push_back(std::make_unique<la::GwtsProcess>(net, id, cfg));
+    for (std::uint64_t k = 0; k < 3; ++k) {
+      procs[id]->submit(
+          lattice::make_set({lattice::Item{id, 900 + 8 * k + id, 0}}));
+    }
+  }
+  net.run(4'000'000);
+  if (compact) procs[0]->compact_decided_prefix(/*keep_tail=*/1);
+  Encoder enc;
+  procs[0]->export_state(enc);
+  return enc.bytes();
+}
+
+// A version-2 blob (no fold counters) must still import: v3 only
+// inserted the two varint counters, so a v2 body is a v3 body with the
+// counters spliced out and the header version rewound. Build exactly
+// that from a live export and check both the summarizer and a fresh
+// process accept it with zero folds.
+TEST(StateFormat, V2BlobWithoutFoldCountersImports) {
+  sim::Network net(std::make_unique<sim::UniformDelay>(1, 10), 77, 4);
+  std::vector<std::unique_ptr<la::GwtsProcess>> procs;
+  const Bytes v3 = export_gwts_state(net, procs, /*compact=*/true);
+  ASSERT_GT(procs[0]->folded_submitted() + procs[0]->folded_decisions(), 0u);
+
+  // Walk the v3 prefix with the public decoders to find the counters.
+  Decoder dec{BytesView(v3)};
+  dec.get_u32();  // version
+  const std::size_t version_len = v3.size() - dec.remaining();
+  dec.get_u8();  // tag
+  dec.get_u64();  // round
+  dec.get_u64();  // ts
+  dec.get_u64();  // safe_r
+  dec.get_u64();  // ack_tag_counter
+  dec.get_bool();  // in_round
+  for (int i = 0; i < 5; ++i) lattice::decode_elem(dec);  // core elems
+  const std::size_t counters_at = v3.size() - dec.remaining();
+  dec.get_varint();  // folded_submitted
+  dec.get_varint();  // folded_decisions
+  const std::size_t counters_end = v3.size() - dec.remaining();
+
+  Encoder v2enc;
+  v2enc.put_u32(2);
+  Bytes v2 = v2enc.bytes();
+  v2.insert(v2.end(), v3.begin() + static_cast<std::ptrdiff_t>(version_len),
+            v3.begin() + static_cast<std::ptrdiff_t>(counters_at));
+  v2.insert(v2.end(), v3.begin() + static_cast<std::ptrdiff_t>(counters_end),
+            v3.end());
+
+  const la::StateSummary s2 = la::summarize_state(BytesView(v2));
+  const la::StateSummary s3 = la::summarize_state(BytesView(v3));
+  EXPECT_EQ(s2.folded_submitted, 0u);
+  EXPECT_EQ(s2.folded_decisions, 0u);
+  EXPECT_EQ(s2.submitted.size(), s3.submitted.size());
+  EXPECT_EQ(s2.decisions.size(), s3.decisions.size());
+
+  la::LaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  sim::Network net2(std::make_unique<sim::UniformDelay>(1, 10), 1, 4);
+  la::GwtsProcess p(net2, 0, cfg);
+  Decoder d2{BytesView(v2)};
+  p.import_state(d2);
+  EXPECT_EQ(p.folded_submitted(), 0u);
+  EXPECT_EQ(p.folded_decisions(), 0u);
+  // Same live state as the donor: re-export (v3, zero counters) must
+  // match the donor's export with its counters zeroed out — i.e. equal
+  // everywhere but the spliced span.
+  Encoder re;
+  p.export_state(re);
+  Bytes expect(v3.begin(), v3.begin() + static_cast<std::ptrdiff_t>(counters_at));
+  expect.push_back(0);  // folded_submitted = 0
+  expect.push_back(0);  // folded_decisions = 0
+  expect.insert(expect.end(),
+                v3.begin() + static_cast<std::ptrdiff_t>(counters_end),
+                v3.end());
+  EXPECT_EQ(re.bytes(), expect);
+}
+
+// End-to-end compaction flow the node host runs: when the store says a
+// fold is due, compact the process's decided prefix first, then fold the
+// *smaller* blob into the snapshot. A reopened store + fresh process must
+// recover the same decided frontier.
+TEST(ReplicaStore, ProcessFoldThenStoreCompactRoundTrips) {
+  const std::string dir = store::make_temp_dir("bgla-store-");
+  sim::Network net(std::make_unique<sim::UniformDelay>(1, 10), 21, 4);
+  std::vector<std::unique_ptr<la::GwtsProcess>> procs;
+  const Bytes full = export_gwts_state(net, procs, /*compact=*/false);
+
+  ReplicaStore s(dir + "/node0", /*compact_every=*/1000);
+  s.set_max_wal_bytes(1);  // every record is over budget: always due
+  ASSERT_TRUE(s.due_for_compact(full.size()));
+
+  // The host path: fold process state, re-export, compact with the
+  // smaller blob.
+  procs[0]->compact_decided_prefix(/*keep_tail=*/1);
+  Encoder enc;
+  procs[0]->export_state(enc);
+  const Bytes compacted = enc.bytes();
+  EXPECT_LT(compacted.size(), full.size());
+  s.compact(BytesView(compacted));
+
+  ReplicaStore again(dir + "/node0", 1000);
+  EXPECT_TRUE(again.found());
+  EXPECT_TRUE(again.clean());
+  EXPECT_EQ(again.snapshot(), compacted);
+  EXPECT_TRUE(again.wal_records().empty());
+
+  la::LaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  sim::Network net2(std::make_unique<sim::UniformDelay>(1, 10), 1, 4);
+  la::GwtsProcess p(net2, 0, cfg);
+  Decoder dec{BytesView(again.snapshot())};
+  p.import_state(dec);
+  Encoder a;
+  Encoder b;
+  p.decided_set().encode(a);
+  procs[0]->decided_set().encode(b);
+  EXPECT_EQ(a.bytes(), b.bytes());
+  EXPECT_EQ(p.folded_submitted(), procs[0]->folded_submitted());
+  EXPECT_EQ(p.folded_decisions(), procs[0]->folded_decisions());
 }
 
 TEST(ReplicaStore, IncarnationSurvivesCorruptState) {

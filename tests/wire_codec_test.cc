@@ -26,6 +26,7 @@
 #include "lattice/maxint_elem.h"
 #include "lattice/set_elem.h"
 #include "lattice/vclock_elem.h"
+#include "net/delta_codec.h"
 #include "net/shard_envelope.h"
 #include "net/wire.h"
 #include "rsm/msgs.h"
@@ -174,6 +175,16 @@ std::vector<sim::MessagePtr> sample_messages() {
   all.push_back(std::make_shared<la::CatchupRepMsg>(3, 5, set_a, set_b,
                                                     set_a, Bytes{}));
 
+  // Delta wire protocol (90-91). The wrapper payload is opaque at this
+  // layer (net/delta_codec.cc owns its meaning), so any byte string must
+  // survive the frame round trip.
+  all.push_back(std::make_shared<la::DeltaWrapMsg>(
+      /*epoch=*/2, /*seq=*/17, /*inner_type=*/11,
+      Bytes{0x01, 0x05, 0x00, 0xfe, 0x20}));
+  all.push_back(std::make_shared<la::DeltaWrapMsg>(
+      /*epoch=*/1, /*seq=*/1, /*inner_type=*/41, Bytes{}));
+  all.push_back(std::make_shared<la::DeltaResetMsg>(/*epoch=*/9));
+
   return all;
 }
 
@@ -214,6 +225,7 @@ TEST(WireCodec, RoundTripsEveryMessageType) {
       60, 61, 62, 63, 64,              // RSM (64 = batched updates)
       70, 71,                          // rejoin catch-up
       80,                              // shard envelope
+      90, 91,                          // delta wire wrapper + reset
   };
   EXPECT_EQ(covered, registry);
 }
@@ -306,6 +318,7 @@ const std::set<std::uint32_t>& ctx_allowed_types() {
       53,                  // GSbS ack-req
       60, 61, 64,          // RSM update/decide/batch-update
       80,                  // shard envelope
+      90,                  // delta wrapper (carries the inner msg's ctx)
   };
   return kAllowed;
 }
@@ -359,6 +372,146 @@ TEST(WireCodec, NonAllowlistedTypesRejectTrailingContextBytes) {
     EXPECT_EQ(net::decode_message(bytes), nullptr)
         << "type " << msg->type_id() << " accepted a trailing tail: "
         << msg->to_string();
+  }
+}
+
+// -------------------------------------------------------- delta codec --
+// net/delta_codec.h payload-level contract, independent of the transport
+// decorator: encode → decode is byte-identity on a live chain, a delta
+// decoded against the wrong baseline is rejected loudly (never silently
+// misapplied), and truncated/corrupted payloads throw instead of crash.
+
+/// Ships every sample message (in order) through one sender chain set and
+/// one receiver chain set, asserting byte-identical reconstruction of the
+/// eligible ones. Returns (inner_type, payload) of every wrapped message.
+std::vector<std::pair<std::uint32_t, Bytes>> ship_all(
+    const std::vector<sim::MessagePtr>& msgs) {
+  std::map<std::uint64_t, net::SendChain> send;
+  std::map<std::uint64_t, net::RecvChain> recv;
+  std::vector<std::pair<std::uint32_t, Bytes>> wrapped;
+  for (const auto& msg : msgs) {
+    if (!net::delta_eligible(msg->type_id())) continue;
+    std::uint64_t stream = 0, seq = 0;
+    Bytes payload;
+    if (!net::encode_delta(*msg, send, &stream, &seq, &payload)) continue;
+    std::uint64_t peeked = 0;
+    EXPECT_TRUE(net::peek_stream(msg->type_id(), BytesView(payload), &peeked));
+    EXPECT_EQ(peeked, stream);
+    const Bytes rebuilt =
+        net::decode_delta(msg->type_id(), BytesView(payload), recv[stream]);
+    Encoder framed;
+    framed.put_u32(msg->type_id());
+    framed.put_raw(BytesView(rebuilt));
+    EXPECT_EQ(framed.bytes(), msg->encoded())
+        << "reconstruction diverged for " << msg->to_string();
+    wrapped.emplace_back(msg->type_id(), payload);
+  }
+  return wrapped;
+}
+
+TEST(DeltaCodec, EveryEligibleSampleReconstructsByteIdentically) {
+  const auto wrapped = ship_all(sample_messages());
+  // The sample set covers the eligible surface broadly; if this count
+  // drops, shapes silently fell out of coverage.
+  EXPECT_GE(wrapped.size(), 20u);
+}
+
+TEST(DeltaCodec, RepeatedTrafficActuallyDeltas) {
+  // Growing proposals on one stream: later payloads must be smaller than
+  // the full inner encodings they reconstruct.
+  std::map<std::uint64_t, net::SendChain> send;
+  std::map<std::uint64_t, net::RecvChain> recv;
+  std::set<Item> items;
+  for (std::uint64_t k = 1; k <= 6; ++k) {
+    for (std::uint64_t j = 0; j < 8; ++j) items.insert(Item{1, k * 16 + j, 0});
+    const auto msg = std::make_shared<la::AckReqMsg>(make_set(items), k);
+    std::uint64_t stream = 0, seq = 0;
+    Bytes payload;
+    ASSERT_TRUE(net::encode_delta(*msg, send, &stream, &seq, &payload));
+    ASSERT_EQ(seq, k);
+    const Bytes rebuilt =
+        net::decode_delta(msg->type_id(), BytesView(payload), recv[stream]);
+    if (k > 1) {
+      EXPECT_LT(payload.size(), msg->encoded().size())
+          << "step " << k << " did not shrink";
+    }
+  }
+}
+
+TEST(DeltaCodec, DeltaAgainstWrongBaselineRejects) {
+  std::map<std::uint64_t, net::SendChain> send;
+  net::RecvChain synced, fresh;
+  const auto m1 = std::make_shared<la::AckReqMsg>(
+      make_set({Item{1, 1, 0}, Item{1, 2, 0}}), 1);
+  const auto m2 = std::make_shared<la::AckReqMsg>(
+      make_set({Item{1, 1, 0}, Item{1, 2, 0}, Item{1, 3, 0}}), 2);
+  std::uint64_t stream = 0, seq = 0;
+  Bytes p1, p2;
+  ASSERT_TRUE(net::encode_delta(*m1, send, &stream, &seq, &p1));
+  ASSERT_TRUE(net::encode_delta(*m2, send, &stream, &seq, &p2));
+  net::decode_delta(m1->type_id(), BytesView(p1), synced);
+  // Synced chain applies the delta; a chain that never saw m1 must
+  // refuse it (expected-weight check), not fabricate state.
+  net::decode_delta(m2->type_id(), BytesView(p2), synced);
+  EXPECT_THROW(net::decode_delta(m2->type_id(), BytesView(p2), fresh),
+               CheckError);
+}
+
+TEST(DeltaCodec, TruncatedAndCorruptedPayloadsThrowNotCrash) {
+  for (const auto& [inner_type, payload] : ship_all(sample_messages())) {
+    for (std::size_t cut = 0; cut < payload.size();
+         cut += 1 + payload.size() / 24) {
+      const Bytes trunc(payload.begin(),
+                        payload.begin() + static_cast<std::ptrdiff_t>(cut));
+      net::RecvChain chain;
+      try {
+        net::decode_delta(inner_type, BytesView(trunc), chain);
+      } catch (const CheckError&) {
+      }
+    }
+    for (std::size_t i = 0; i < payload.size();
+         i += 1 + payload.size() / 24) {
+      Bytes flipped = payload;
+      flipped[i] ^= 0x40;
+      net::RecvChain chain;
+      try {
+        const Bytes rebuilt =
+            net::decode_delta(inner_type, BytesView(flipped), chain);
+        // If the flip still parses, the rebuilt inner frame must either
+        // decode cleanly or be rejected — never crash downstream.
+        Encoder framed;
+        framed.put_u32(inner_type);
+        framed.put_raw(BytesView(rebuilt));
+        const sim::MessagePtr d = net::decode_message(framed.bytes());
+        if (d != nullptr) expect_canonical_fixpoint(d, "delta-corrupt");
+      } catch (const CheckError&) {
+      }
+    }
+  }
+}
+
+TEST(DeltaCodec, GarbagePayloadsThrowNotCrash) {
+  std::uint64_t x = 0x2545f4914f6cdd1dull;
+  const auto next = [&x] {
+    x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+    return static_cast<std::uint8_t>(x);
+  };
+  for (const std::uint32_t inner_type : {10u, 11u, 21u, 41u, 43u, 51u, 53u,
+                                         1u, 6u, 71u, 80u}) {
+    for (int round = 0; round < 200; ++round) {
+      Bytes junk(static_cast<std::size_t>(next()) % 64);
+      for (auto& b : junk) b = next();
+      net::RecvChain chain;
+      try {
+        net::decode_delta(inner_type, BytesView(junk), chain);
+      } catch (const CheckError&) {
+      }
+      std::uint64_t stream = 0;
+      try {
+        net::peek_stream(inner_type, BytesView(junk), &stream);
+      } catch (const CheckError&) {
+      }
+    }
   }
 }
 

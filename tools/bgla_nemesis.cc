@@ -40,6 +40,12 @@
 //   byz-replay     node n-1 runs byz::GsbsStaleCertReplayer; honest
 //                  replicas are kill -9ed and restarted so their type-70
 //                  catch-up runs against the stale-certificate replays
+//   compact-churn  decided-prefix compaction racing kill -9: forces
+//                  --delta-wire and an aggressive --compact-wal-bytes so
+//                  every persist folds the snapshot, then kills/restarts
+//                  replicas with minimal dead time — restarts recover
+//                  from folded (v3) snapshots and rebaseline the delta
+//                  wire via the HELLO incarnation bump
 //
 // WAN emulation (--topology-mode regions): replicas are grouped into
 // regions of --region-size; the driver writes a links.txt matrix (fast
@@ -118,6 +124,11 @@ struct Args {
   std::uint32_t batch = 0;
   std::uint32_t queue = 0;
   bool pipeline = false;
+  // Wire/compaction knobs, forwarded to every spawned node. The
+  // compact-churn campaign turns these on with aggressive defaults.
+  bool delta_wire = false;
+  std::uint64_t compact_wal_bytes = 0;
+  std::uint32_t fold_keep = 1;
   // Sharded RSM campaigns (--protocol rsm-replica): every replica runs
   // --shards GLA instances behind its Router; --clients driver processes
   // (topology ids n..n+clients-1) each run --ops update/read operations.
@@ -202,6 +213,14 @@ Args parse(int argc, char** argv) {
   flags.add_u32("retransmit-ms", &a.retransmit_ms,
                 "forward --retransmit-ms to every node (0 = auto: 120 in "
                 "regions mode, transport default otherwise)");
+  flags.add_bool("delta-wire", &a.delta_wire,
+                 "forward --delta-wire to every node (delta-encoded "
+                 "proposals/acks; compact-churn turns this on)");
+  flags.add_u64("compact-wal-bytes", &a.compact_wal_bytes,
+                "forward --compact-wal-bytes to every replica (0 = "
+                "count-based folds; compact-churn defaults to 512)");
+  flags.add_u32("fold-keep", &a.fold_keep,
+                "forward --fold-keep to every replica");
   flags.parse_or_exit(argc, argv);
   if (a.protocol != "sbs" && a.protocol != "gwts" && a.protocol != "gsbs" &&
       a.protocol != "faleiro-la" && a.protocol != "rsm-replica") {
@@ -242,6 +261,13 @@ Args parse(int argc, char** argv) {
     // The 50ms transport default sits below an emulated WAN RTT and turns
     // every cross-region frame into a retransmit storm.
     a.retransmit_ms = 120;
+  }
+  if (a.campaign == "compact-churn") {
+    // The point of the campaign is snapshot folds racing kill -9: force
+    // the delta wire on and make every persist due for a fold unless the
+    // caller picked a budget themselves.
+    a.delta_wire = true;
+    if (a.compact_wal_bytes == 0) a.compact_wal_bytes = 512;
   }
   return a;
 }
@@ -404,7 +430,17 @@ class Cluster {
         argv.push_back("--shards");
         argv.push_back(std::to_string(a_.shards));
       }
+      if (a_.compact_wal_bytes != 0) {
+        argv.push_back("--compact-wal-bytes");
+        argv.push_back(std::to_string(a_.compact_wal_bytes));
+        argv.push_back("--fold-keep");
+        argv.push_back(std::to_string(a_.fold_keep));
+      }
     }
+    // The whole deployment speaks one wire dialect: clients and
+    // adversaries get the flag too (their ineligible traffic passes
+    // through unwrapped either way).
+    if (a_.delta_wire) argv.push_back("--delta-wire");
     if (a_.batch != 0) {
       argv.push_back("--batch");
       argv.push_back(std::to_string(a_.batch));
@@ -692,6 +728,34 @@ void run_byz_replay(const Args& a, Cluster& c, std::uint32_t cycles,
   }
 }
 
+/// Compaction churn: with --compact-wal-bytes forced low, EVERY durable
+/// transition triggers a decided-prefix fold + snapshot rewrite, so
+/// kill -9 lands inside or right after compactions and restarts recover
+/// from freshly folded snapshots (v3 blobs with nonzero fold counters).
+/// The delta wire is on throughout, so each restart also exercises the
+/// HELLO-incarnation rebaseline path. Kills follow with almost no dead
+/// time to maximize torn-snapshot/WAL races; a loss burst mid-sequence
+/// adds retransmit pressure on the rejoin exchange.
+void run_compact_churn(const Args& a, Cluster& c, std::uint32_t cycles,
+                       obs::TraceWriter* faults) {
+  for (std::uint32_t k = 0; k < cycles; ++k) {
+    const std::uint32_t id = k % a.n;
+    c.kill9(id);
+    record_fault(faults, a.n, "kill " + std::to_string(id));
+    sleep_ms(100);  // near-immediate restart: maximize mid-fold kills
+    c.restart(id);
+    record_fault(faults, a.n, "restart " + std::to_string(id));
+    if (k + 1 == cycles / 2) {
+      c.chaos_all("loss 0.2");
+      record_fault(faults, a.n, "loss_start 0.2");
+      sleep_ms(a.fault_ms / 2);
+      c.chaos_all("loss 0");
+      record_fault(faults, a.n, "loss_end");
+    }
+    sleep_ms(a.fault_ms);
+  }
+}
+
 // -------------------------------------------------------------- checking --
 
 struct CheckInput {
@@ -901,6 +965,8 @@ int main(int argc, char** argv) {
     run_byz_equivocate(a, cluster, faults);
   } else if (a.campaign == "byz-replay") {
     run_byz_replay(a, cluster, a.kills, faults);
+  } else if (a.campaign == "compact-churn") {
+    run_compact_churn(a, cluster, a.kills + 2, faults);
   } else {
     std::cerr << "error: unknown campaign '" << a.campaign << "'\n";
     return 2;

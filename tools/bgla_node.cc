@@ -87,6 +87,7 @@
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -100,6 +101,7 @@
 #include "la/sbs.h"
 #include "la/wts.h"
 #include "lattice/set_elem.h"
+#include "net/delta_transport.h"
 #include "net/socket_transport.h"
 #include "obs/exporter.h"
 #include "obs/flight_recorder.h"
@@ -138,6 +140,9 @@ struct Args {
   std::uint64_t flush_age = 0;
   bool pipeline = false;
   std::string data_dir;
+  bool delta_wire = false;
+  std::uint64_t compact_wal_bytes = 0;
+  std::uint32_t fold_keep = 1;
   std::uint32_t shards = 1;
   std::string link_matrix;
   std::uint32_t retransmit_ms = 0;  // 0 = transport default
@@ -184,6 +189,16 @@ Args parse(int argc, char** argv) {
                  "pre-disclose the next round's batch (gwts/gsbs)");
   flags.add_string("data-dir", &a.data_dir,
                    "durable state directory (enables crash recovery)");
+  flags.add_bool("delta-wire", &a.delta_wire,
+                 "delta-encode proposals/acks against each peer's "
+                 "acked frontier (full-state fallback on rejoin)");
+  flags.add_u64("compact-wal-bytes", &a.compact_wal_bytes,
+                "fold the WAL into the snapshot once it holds this many "
+                "payload bytes, compacting the decided prefix first "
+                "(0 = count-based folds only)");
+  flags.add_u32("fold-keep", &a.fold_keep,
+                "decision records kept live through a decided-prefix "
+                "compaction (newest N + the running join)");
   flags.add_u32("shards", &a.shards,
                 "concurrent GLA shards per rsm-replica (1 = unsharded)");
   flags.add_string("link-matrix", &a.link_matrix,
@@ -438,6 +453,10 @@ int main(int argc, char** argv) {
       if (store == nullptr) return 3;
       incarnation = store->incarnation();
     }
+    if (a.compact_wal_bytes != 0) {
+      if (store != nullptr) store->set_max_wal_bytes(a.compact_wal_bytes);
+      for (auto& s : shard_stores) s->set_max_wal_bytes(a.compact_wal_bytes);
+    }
   }
 
   // Observability sinks. The registry always exists (its cost without a
@@ -508,6 +527,25 @@ int main(int argc, char** argv) {
   net::SocketTransport net(scfg);
   net.set_observability(&registry, trace.get());
   net.set_instrument(&instr);  // retransmit spans when --trace-spans
+
+  // Delta wire layer: endpoints attach to the decorator instead of the
+  // raw transport, so proposals/acks go out as deltas against each
+  // peer's acked frontier. A peer restart (higher HELLO incarnation)
+  // re-baselines that peer — its next messages fall back to full state.
+  // Declared after `net` so endpoints detach from it before it detaches
+  // its proxies from `net`.
+  std::optional<net::DeltaTransport> delta;
+  if (a.delta_wire) {
+    net::DeltaTransport::Options dopts;
+    dopts.enabled = true;
+    dopts.instrument = &instr;
+    delta.emplace(net, dopts);
+    net.set_peer_reset_hook(
+        [&delta](ProcessId peer) { delta->reset_peer(peer); });
+  }
+  net::Transport& wire_net =
+      delta ? static_cast<net::Transport&>(*delta)
+            : static_cast<net::Transport&>(net);
   net.bind_and_listen();
 
   la::LaConfig cfg;
@@ -567,10 +605,27 @@ int main(int argc, char** argv) {
                   << " (incarnation " << sp->incarnation() << ")\n";
       }
     }
-    p->set_persist_hook([p, sp, ip, &a, &steady_us] {
+    p->set_persist_hook([p, sp, ip, &registry, &a, &steady_us] {
       Encoder e;
       p->export_state(e);
       const std::uint64_t t0 = steady_us();
+      // When the store is about to fold anyway, compact the decided
+      // prefix first (generalized protocols only) so the snapshot — and
+      // every later WAL record — carries the folded state, not the full
+      // decision history.
+      if constexpr (requires { p->compact_decided_prefix(std::size_t{1}); }) {
+        if (sp->due_for_compact(e.bytes().size())) {
+          const std::size_t folded = p->compact_decided_prefix(a.fold_keep);
+          if (folded > 0) {
+            registry.counter("bgla_store_prefix_folds_total").inc(folded);
+            Encoder ce;
+            p->export_state(ce);
+            sp->compact(BytesView(ce.bytes()));
+            ip->on_persist(a.id, ce.bytes().size(), steady_us() - t0);
+            return;
+          }
+        }
+      }
       sp->persist(BytesView(e.bytes()));
       ip->on_persist(a.id, e.bytes().size(), steady_us() - t0);
     });
@@ -587,14 +642,14 @@ int main(int argc, char** argv) {
     }
     if (a.byzantine == "equivocate") {
       auto* p = new byz::GsbsPartitionEquivocator(
-          net, a.id, cfg, auth, value, byz::kGsbsEquivocatorRounds);
+          wire_net, a.id, cfg, auth, value, byz::kGsbsEquivocatorRounds);
       endpoint.reset(p);
       report = [&a] {
         std::cout << "byzantine " << a.byzantine << " node served its term\n";
         return true;
       };
     } else if (a.byzantine == "stale-replay") {
-      auto* p = new byz::GsbsStaleCertReplayer(net, a.id, cfg, auth);
+      auto* p = new byz::GsbsStaleCertReplayer(wire_net, a.id, cfg, auth);
       endpoint.reset(p);
       report = [p, &a] {
         std::cout << "byzantine " << a.byzantine << " node served its term"
@@ -624,7 +679,7 @@ int main(int argc, char** argv) {
         script.push_back(k % 2 == 0 ? rsm::Op::update(value + k)
                                     : rsm::Op::read());
       }
-      auto* c = new rsm::Client(net, a.id, n, a.f, std::move(script));
+      auto* c = new rsm::Client(wire_net, a.id, n, a.f, std::move(script));
       endpoint.reset(c);
       done = [c] { return c->done(); };
       report = [c, &a] {
@@ -635,7 +690,7 @@ int main(int argc, char** argv) {
         return completed == a.ops;
       };
     } else {
-      auto* c = new SubmitClient(net, a.id, n, a.submissions, value);
+      auto* c = new SubmitClient(wire_net, a.id, n, a.submissions, value);
       endpoint.reset(c);
       done = [c] { return c->done(); };
       report = [c, &a] {
@@ -647,7 +702,7 @@ int main(int argc, char** argv) {
   } else if (a.protocol == "wts" || a.protocol == "sbs") {
     const lattice::Elem proposal = make_set({Item{a.id, value, 0}});
     if (a.protocol == "wts") {
-      auto* p = new la::WtsProcess(net, a.id, cfg, proposal);
+      auto* p = new la::WtsProcess(wire_net, a.id, cfg, proposal);
       endpoint.reset(p);
       if (!wire_store(p)) return 3;
       done = [p] { return p->decided(); };
@@ -657,7 +712,7 @@ int main(int argc, char** argv) {
         return true;
       };
     } else {
-      auto* p = new la::SbsProcess(net, a.id, cfg, auth, proposal);
+      auto* p = new la::SbsProcess(wire_net, a.id, cfg, auth, proposal);
       endpoint.reset(p);
       if (!wire_store(p)) return 3;
       done = [p] { return p->decided(); };
@@ -671,7 +726,7 @@ int main(int argc, char** argv) {
              a.protocol == "faleiro-la") {
     const std::vector<la::DecisionRecord>* decs = nullptr;
     if (a.protocol == "gwts") {
-      auto* p = new la::GwtsProcess(net, a.id, cfg);
+      auto* p = new la::GwtsProcess(wire_net, a.id, cfg);
       endpoint.reset(p);
       if (!wire_store(p)) return 3;
       for (std::uint32_t k = 0; k < a.submissions; ++k) {
@@ -679,7 +734,7 @@ int main(int argc, char** argv) {
       }
       decs = &p->decisions();
     } else if (a.protocol == "gsbs") {
-      auto* p = new la::GsbsProcess(net, a.id, cfg, auth);
+      auto* p = new la::GsbsProcess(wire_net, a.id, cfg, auth);
       endpoint.reset(p);
       if (!wire_store(p)) return 3;
       for (std::uint32_t k = 0; k < a.submissions; ++k) {
@@ -691,7 +746,7 @@ int main(int argc, char** argv) {
       ccfg.n = n;
       ccfg.f = a.f;
       ccfg.batch = cfg.batch;
-      auto* p = new la::FaleiroProcess(net, a.id, ccfg);
+      auto* p = new la::FaleiroProcess(wire_net, a.id, ccfg);
       endpoint.reset(p);
       if (!wire_store(p)) return 3;
       for (std::uint32_t k = 0; k < a.submissions; ++k) {
@@ -719,7 +774,7 @@ int main(int argc, char** argv) {
       rcfg.num_shards = a.shards;
       rcfg.num_replicas = n;
       rcfg.registry = &registry;
-      auto* r = new shard::Router(net, a.id, rcfg);
+      auto* r = new shard::Router(wire_net, a.id, rcfg);
       endpoint.reset(r);
       for (std::uint32_t s = 0; s < a.shards; ++s) {
         auto p = std::make_unique<rsm::Replica>(
@@ -742,7 +797,7 @@ int main(int argc, char** argv) {
         return true;
       };
     } else {
-      auto* p = new rsm::Replica(net, a.id, cfg, /*client_base=*/n,
+      auto* p = new rsm::Replica(wire_net, a.id, cfg, /*client_base=*/n,
                                  /*num_clients=*/num_endpoints - n);
       endpoint.reset(p);
       if (!wire_store(p)) return 3;
@@ -846,6 +901,21 @@ int main(int argc, char** argv) {
   net.stop();
 
   const bool ok = report() && (finished || !completion_expected);
+
+  if (delta) {
+    const net::DeltaTransport::Stats ws = delta->stats();
+    const std::uint64_t decided =
+        registry.counter("bgla_proto_decides_total").value();
+    if (decided > 0) {
+      instr.on_bytes_per_command(
+          a.id, (ws.wire_bytes_delta + ws.wire_bytes_passthrough) / decided);
+    }
+    std::cout << "delta wire: " << ws.msgs_delta << " delta msgs ("
+              << ws.wire_bytes_delta << " B on wire, " << ws.logical_bytes
+              << " B logical), " << ws.msgs_passthrough
+              << " passthrough msgs, " << ws.resets_sent << " resets sent, "
+              << ws.resets_received << " received\n";
+  }
 
   // Final observability drain: PR 1 crypto counters, the summary event,
   // the JSON snapshot and the trace flush, in that order (the snapshot
